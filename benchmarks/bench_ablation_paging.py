@@ -1,0 +1,75 @@
+"""§7.3's paging argument, quantified.
+
+"On the other hand, Zerber uses no additional bandwidth to retrieve
+lower-ranked search results, while traditional inverted indexes do
+revisit the server for each page of results."
+
+Zerber ships every accessible element once (client ranks locally and can
+page for free); a traditional top-K engine sends one page per visit plus
+per-request overhead. The crossover: shallow sessions favor the
+traditional engine, deep result exploration favors Zerber.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+
+PAGE_SIZE = 10
+ELEMENT_BYTES = 12          # one Zerber wire element (96 bits + framing)
+PLAIN_RESULT_BYTES = 8      # one traditional result row (64-bit element)
+REQUEST_OVERHEAD_BYTES = 400  # HTTP-ish per-page request+response framing
+
+
+def zerber_session_bytes(total_results: int, pages_viewed: int) -> int:
+    """One full response up front; paging afterwards is local."""
+    return REQUEST_OVERHEAD_BYTES + total_results * ELEMENT_BYTES
+
+
+def traditional_session_bytes(total_results: int, pages_viewed: int) -> int:
+    """One server visit per page viewed."""
+    pages_available = max(1, -(-total_results // PAGE_SIZE))
+    pages = min(pages_viewed, pages_available)
+    return pages * (REQUEST_OVERHEAD_BYTES + PAGE_SIZE * PLAIN_RESULT_BYTES)
+
+
+def test_ablation_paging(benchmark):
+    total_results = 300  # accessible elements for the query
+    rows = [
+        "Ablation: §7.3 paging — session bytes vs pages viewed "
+        f"({total_results} accessible results, {PAGE_SIZE}/page)",
+        f"{'pages viewed':>12} | {'Zerber bytes':>12} | {'traditional':>12}",
+    ]
+    crossover = None
+    for pages in (1, 2, 3, 5, 10, 20, 30):
+        z = zerber_session_bytes(total_results, pages)
+        t = traditional_session_bytes(total_results, pages)
+        if crossover is None and z <= t:
+            crossover = pages
+        rows.append(f"{pages:>12} | {z:>12} | {t:>12}")
+    rows.append(
+        f"crossover at ~{crossover} pages: beyond it, Zerber's "
+        "all-at-once response is the cheaper session"
+    )
+    emit("ablation_paging", rows)
+
+    # Shape: the traditional engine wins page 1; Zerber's cost is flat
+    # and wins for deep sessions; a crossover exists.
+    assert traditional_session_bytes(total_results, 1) < zerber_session_bytes(
+        total_results, 1
+    )
+    assert crossover is not None
+    deep_z = zerber_session_bytes(total_results, 30)
+    deep_t = traditional_session_bytes(total_results, 30)
+    assert deep_z < deep_t
+    assert zerber_session_bytes(total_results, 1) == zerber_session_bytes(
+        total_results, 30
+    )
+
+    benchmark.pedantic(
+        lambda: [
+            (zerber_session_bytes(300, p), traditional_session_bytes(300, p))
+            for p in range(1, 31)
+        ],
+        rounds=5,
+        iterations=1,
+    )

@@ -1,0 +1,114 @@
+"""Figure 10: ratios of workload cost for BFM, DFM and UDM (§7.6).
+
+Formula (8) cost ratios, per heuristic, for terms with document frequency
+DF ∈ {1, 1000, 3500} in the paper, as M sweeps the Table-1 values.
+
+The paper's three DF targets sit at structural positions relative to the
+32K-list index: DF=3500 terms are inside the singleton head (top ~1.83%
+of terms get their own lists), DF=1000 terms sit near the boundary, and
+DF=1 terms are deep in the merged tail. A linearly scaled corpus moves
+those absolute DFs relative to the boundary, so this bench selects its
+scaled targets *by rank relative to M*: head = rank M/2, boundary =
+rank 2M, tail = the rarest queried DF. The printed table reports both.
+
+Shape targets:
+- "merging mostly affects the costs of queries with rarer terms";
+- "increasing M significantly improves the cost ratios for terms with
+  low and medium DF";
+- "queries over terms with high and medium DF are nearly unaffected by
+  merging" at the largest M (BFM/DFM);
+- "UDM slows down queries over low-DF terms more than the other schemes".
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.workload import q_ratio_by_document_frequency
+
+
+def test_fig10_workload_ratio(benchmark, merges, probs, dfs, qfs, m_values):
+    largest_m = m_values[-1][1]
+    ranked = sorted(dfs, key=lambda t: (-dfs[t], t))
+    queried_dfs = sorted({dfs[t] for t in qfs if t in dfs})
+    # Structural positions relative to the largest index, mirroring the
+    # paper: "high" sits inside the singleton head (own list under
+    # BFM/DFM, like the paper's DF=3500), "medium" just outside the head
+    # (like DF=1000), "low" is the rarest queried term (DF=1).
+    dfm_large = merges.merge("dfm", largest_m)
+    singleton_leaders = sorted(
+        (dfs[members[0]] for members in dfm_large.lists if len(members) == 1)
+    )
+    head_count = max(1, len(singleton_leaders))
+    targets = {
+        "high (paper DF=3500)": singleton_leaders[len(singleton_leaders) // 2]
+        if singleton_leaders
+        else dfs[ranked[0]],
+        "medium (paper DF=1000)": dfs[
+            ranked[min(len(ranked) - 1, 2 * head_count)]
+        ],
+        "low (paper DF=1)": queried_dfs[0],
+    }
+    target_values = sorted(set(targets.values()))
+    results = {}
+    for heuristic in ("bfm", "dfm", "udm"):
+        for _, m in m_values:
+            merge = merges.merge(heuristic, m)
+            results[(heuristic, m)] = q_ratio_by_document_frequency(
+                merge, dfs, qfs, target_values, tolerance=0.35
+            )
+    rows = ["Figure 10: workload-cost ratio QRatio(t) vs M, per heuristic"]
+    rows.append(
+        "scaled DF targets: "
+        + ", ".join(f"{label} -> DF={df}" for label, df in targets.items())
+    )
+    label_of = {df: label.split(" ")[0] for label, df in targets.items()}
+    for heuristic in ("bfm", "dfm", "udm"):
+        rows.append(f"-- {heuristic.upper()} --")
+        rows.append(
+            f"{'M (paper[scaled])':>18} | "
+            + " | ".join(
+                f"{label_of[df]:>6}(DF={df:>4})" for df in target_values
+            )
+        )
+        for paper_m, m in m_values:
+            cells = []
+            for df in target_values:
+                ratio = results[(heuristic, m)].get(df)
+                cells.append(
+                    f"{ratio:>14.1f}" if ratio is not None else "           n/a"
+                )
+            rows.append(f"{paper_m:>10}[{m:>5}] | " + " | ".join(cells))
+    emit("fig10_workload_ratio", rows)
+
+    low_df = targets["low (paper DF=1)"]
+    med_df = targets["medium (paper DF=1000)"]
+    high_df = targets["high (paper DF=3500)"]
+    smallest_m = m_values[0][1]
+    for heuristic in ("bfm", "dfm", "udm"):
+        small = results[(heuristic, smallest_m)]
+        large = results[(heuristic, largest_m)]
+        # Rare terms pay more than frequent terms at any M.
+        if low_df in small and high_df in small:
+            assert small[low_df] > small[high_df]
+        # Growing M improves the rare terms' ratio.
+        if low_df in small and low_df in large:
+            assert large[low_df] < small[low_df]
+    # High-DF terms nearly unaffected at the largest M for BFM/DFM
+    # (singleton head => ratio ~ 1).
+    for heuristic in ("bfm", "dfm"):
+        large = results[(heuristic, largest_m)]
+        if high_df in large:
+            assert large[high_df] < 10.0
+    # UDM hurts low-DF terms more than BFM/DFM at the largest M.
+    udm_large = results[("udm", largest_m)]
+    bfm_large = results[("bfm", largest_m)]
+    if low_df in udm_large and low_df in bfm_large:
+        assert udm_large[low_df] > bfm_large[low_df]
+
+    benchmark.pedantic(
+        lambda: q_ratio_by_document_frequency(
+            merges.merge("dfm", largest_m), dfs, qfs, target_values, 0.35
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,64 @@
+"""Figure 11: efficiency in query answering, 32K-list indexes (§7.6).
+
+Formula (9) distribution over the query workload. Paper headline (DFM/BFM
+32K): "the longest running 70% of the queries in the workload have an
+efficiency value QRatio_eff > 0.96 and the next 10% longest-running
+queries have QRatio_eff = 0.75 on average. The shortest running 20% of
+the queries have average QRatio_eff = 0.2."
+
+Shape targets: DFM/BFM strictly dominate UDM; the workload-weighted bulk
+of queries is near-perfectly efficient while a short-query tail pays the
+merging tax.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.workload import (
+    efficiency_distribution,
+    workload_efficiency_summary,
+)
+
+
+def test_fig11_query_efficiency(benchmark, merges, probs, dfs, qfs, m_values):
+    paper_m, m = m_values[-1]  # the 32K-list configuration
+    rows = [f"Figure 11: efficiency in query answering, M={paper_m} [{m}]"]
+    summaries = {}
+    for heuristic in ("bfm", "dfm", "udm"):
+        merge = merges.merge(heuristic, m)
+        dist = efficiency_distribution(merge, dfs, qfs)
+        summary = workload_efficiency_summary(merge, dfs, qfs)
+        summaries[heuristic] = summary
+        probe = [5, 10, 20, 50, 80, 95]
+        samples = []
+        for pct in probe:
+            eff = next((e for p, e in dist if p >= pct), dist[-1][1])
+            samples.append(f"{pct}%:{eff:.2f}")
+        rows.append(f"  {heuristic.upper()} efficiency at workload pct: "
+                    + "  ".join(samples))
+        rows.append(
+            f"       longest-70% mean={summary['longest_70pct_mean_eff']:.3f}  "
+            f"next-10% mean={summary['next_10pct_mean_eff']:.3f}  "
+            f"shortest-20% mean={summary['shortest_20pct_mean_eff']:.3f}"
+        )
+    emit("fig11_query_efficiency", rows)
+
+    for heuristic in ("bfm", "dfm"):
+        s = summaries[heuristic]
+        # The longest-running bulk is highly efficient...
+        assert s["longest_70pct_mean_eff"] > 0.8
+        # ...and the short tail is substantially worse.
+        assert (
+            s["shortest_20pct_mean_eff"] < s["longest_70pct_mean_eff"]
+        )
+    # DFM/BFM dominate UDM on the long-running bulk (UDM merges the head).
+    assert (
+        summaries["dfm"]["longest_70pct_mean_eff"]
+        > summaries["udm"]["longest_70pct_mean_eff"]
+    )
+
+    benchmark.pedantic(
+        lambda: efficiency_distribution(merges.merge("dfm", m), dfs, qfs),
+        rounds=3,
+        iterations=1,
+    )

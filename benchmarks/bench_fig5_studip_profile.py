@@ -1,0 +1,88 @@
+"""Figure 5: Stud IP statistical profile (§7.4.1).
+
+Four marginals of the university installations:
+  (a) documents per group          (heavy-tailed, most groups small)
+  (b) document uploads over time   (uniform growth across the semester)
+  (c) users per group              (few big lecture courses)
+  (d) documents accessible per user (most users < 200)
+
+We generate four installations ("universities") from the generative model
+and print the quartiles of each marginal.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.corpus.studip import StudIPConfig, generate_installation
+
+
+def quartiles(values):
+    ordered = sorted(values)
+    n = len(ordered)
+    return [
+        ordered[0],
+        ordered[n // 4],
+        ordered[n // 2],
+        ordered[(3 * n) // 4],
+        ordered[-1],
+    ]
+
+
+def test_fig5_studip_profile(benchmark):
+    universities = [
+        generate_installation(
+            StudIPConfig(
+                num_courses=330 * (u + 1),
+                num_users=600 * (u + 1),
+                seed=1000 + u,
+            )
+        )
+        for u in range(4)
+    ]
+    rows = ["Figure 5: Stud IP statistical profile (4 universities)"]
+    for u, inst in enumerate(universities, start=1):
+        rows.append(f"University {u}: courses={inst.config.num_courses} "
+                    f"users={inst.config.num_users} docs={inst.total_documents}")
+        rows.append(
+            "  (a) docs/group    min/q1/med/q3/max = "
+            + "/".join(str(v) for v in quartiles(inst.documents_per_group()))
+        )
+        cumulative = inst.cumulative_uploads_by_week()
+        rows.append(
+            "  (b) uploads by week (cumulative) = "
+            + " ".join(str(v) for v in cumulative)
+        )
+        rows.append(
+            "  (c) users/group    min/q1/med/q3/max = "
+            + "/".join(str(v) for v in quartiles(inst.users_per_group()))
+        )
+        rows.append(
+            "  (d) docs/user      min/q1/med/q3/max = "
+            + "/".join(
+                str(v) for v in quartiles(inst.documents_accessible_per_user())
+            )
+        )
+    emit("fig5_studip_profile", rows)
+
+    # Shape targets (§7.4.1's prose).
+    for inst in universities:
+        per_user_groups = inst.groups_per_user()
+        assert max(per_user_groups) <= 20
+        accessible = inst.documents_accessible_per_user()
+        below_200 = sum(1 for a in accessible if a < 200)
+        assert below_200 / len(accessible) > 0.6, "most users < 200 docs"
+        cumulative = inst.cumulative_uploads_by_week()
+        weekly = [
+            cumulative[i] - (cumulative[i - 1] if i else 0)
+            for i in range(len(cumulative))
+        ]
+        mean = cumulative[-1] / len(cumulative)
+        assert all(0.5 * mean < w < 1.5 * mean for w in weekly), (
+            "uploads grow ~uniformly"
+        )
+
+    benchmark.pedantic(
+        lambda: generate_installation(StudIPConfig(seed=7)),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,41 @@
+"""Figure 6: cumulative query workload cost vs. query-term rank (§7.4.3).
+
+"The log-scale X-axis shows the query terms in decreasing order of
+frequency. The most frequent queries constitute nearly the whole query
+workload." Shape target: a steeply saturating curve — the top few percent
+of query terms account for the bulk of formula (6)'s cost.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.workload import cumulative_workload_curve
+
+
+def test_fig6_cumulative_workload(benchmark, dfs, qfs):
+    curve = benchmark.pedantic(
+        lambda: cumulative_workload_curve(dfs, qfs, points=24),
+        rounds=3,
+        iterations=1,
+    )
+    total_terms = curve[-1][0]
+    rows = [
+        "Figure 6: cumulative query workload cost",
+        f"(distinct query terms={total_terms}, log-ranked)",
+        f"{'term rank':>10} | {'% of terms':>10} | {'cum. workload':>13}",
+    ]
+    # Log-spaced sample of the curve like the paper's x-axis.
+    probe_ranks = [1, 2, 5, 10, 50, 100, 500, 1000, 5000, total_terms]
+    for rank, fraction in curve:
+        if any(rank >= p and rank - p < total_terms / 24 for p in probe_ranks):
+            rows.append(
+                f"{rank:>10} | {100 * rank / total_terms:>9.2f}% | "
+                f"{100 * fraction:>12.2f}%"
+            )
+    emit("fig6_cumulative_workload", rows)
+
+    # Shape: the top 10% of query terms carry well over half the workload.
+    top_decile = next(f for r, f in curve if r >= total_terms / 10)
+    assert top_decile > 0.5
+    # Saturation: the curve reaches 1.0.
+    assert curve[-1][1] == 1.0 or abs(curve[-1][1] - 1.0) < 1e-9

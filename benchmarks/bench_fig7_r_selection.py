@@ -1,0 +1,71 @@
+"""Figure 7: r-parameter selection (§7.5).
+
+Plots the term occurrence probability distribution p_t (formula (2)) for
+the Stud IP and ODP data sets against the 1/r lines for 1,024 / 2,048 /
+4,096 / 32,768 posting lists. Shape targets:
+
+- p_t is Zipfian ("the top few percent of terms far more frequent");
+- with M scaled lists, the uniform-mass line 1/M crosses the probability
+  curve, splitting the vocabulary into a head that would earn singleton
+  lists under BFM/DFM and a merged tail;
+- §7.5: "with 32K merged lists, every term with original probability
+  p_t < 16.09e-6 will reside in a posting list with aggregate term
+  probability exceeding that of any but the 1.83% most frequent terms."
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from benchmarks.conftest import emit
+
+
+def describe_distribution(name, stats, m_pairs):
+    probs = stats.term_probabilities()
+    ranked = sorted(probs.values(), reverse=True)
+    vocab = len(ranked)
+    rows = [f"{name}: vocabulary={vocab}, documents={stats.num_documents}"]
+    probe_percentiles = (0.0001, 0.001, 0.01, 0.1, 0.5, 1.0)
+    for pct in probe_percentiles:
+        idx = min(vocab - 1, max(0, int(vocab * pct) - 1))
+        rows.append(f"  p_t at top {100 * pct:>7.2f}% of terms: {ranked[idx]:.3e}")
+    descending = sorted(probs.values(), reverse=True)
+    for paper_m, m in m_pairs:
+        line = 1.0 / m  # uniform aggregate mass per list
+        # How many terms individually exceed the 1/M line (the unmerged head).
+        ascending = descending[::-1]
+        head = vocab - bisect.bisect_right(ascending, line)
+        rows.append(
+            f"  1/r line for M={paper_m:>6} [{m:>5}]: {line:.3e} "
+            f"-> {head} terms ({100 * head / vocab:.2f}%) above the line"
+        )
+    return rows, ranked
+
+
+def test_fig7_r_selection(benchmark, odp_stats, studip_stats, m_values):
+    rows = ["Figure 7: r-parameter selection (term probability vs 1/r lines)"]
+    studip_rows, studip_ranked = describe_distribution(
+        "(a) Stud IP", studip_stats, m_values
+    )
+    odp_rows, odp_ranked = describe_distribution(
+        "(b) ODP", odp_stats, m_values
+    )
+    rows += studip_rows + odp_rows
+    emit("fig7_r_selection", rows)
+
+    for ranked in (studip_ranked, odp_ranked):
+        # Zipfian head: top 1% of terms dominates the median by >= 10x.
+        vocab = len(ranked)
+        assert ranked[max(0, vocab // 100 - 1)] > 10 * ranked[vocab // 2]
+        # The largest M line must cut the distribution strictly inside:
+        # some head terms above it, the long tail below it.
+        largest_m = m_values[-1][1]
+        line = 1.0 / largest_m
+        above = sum(1 for p in ranked if p > line)
+        assert 0 < above < vocab
+        # The unmerged head is a small fraction (paper: 1.83% at 32K).
+        assert above / vocab < 0.10
+
+    benchmark.pedantic(
+        lambda: odp_stats.term_probabilities(), rounds=3, iterations=1
+    )

@@ -1,0 +1,39 @@
+"""Figure 8: correlation between r and M for ODP & BFM/DFM (§7.5).
+
+"As M increases, the confidentiality level decreases according to the
+Zipfian term probability distribution in the underlying data."
+
+Shape targets: r grows monotonically with M, and super-linearly across
+the sweep (the Zipfian tail makes the weakest list's mass fall faster
+than 1/M).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+
+
+def test_fig8_r_vs_m(benchmark, merges, probs, m_values):
+    series = []
+    for paper_m, m in m_values:
+        merge = merges.merge("bfm", m)
+        series.append((paper_m, m, merge.resulting_r(probs)))
+    rows = [
+        "Figure 8: correlation between r and M (ODP, BFM/DFM)",
+        f"{'M (paper)':>10} | {'M (scaled)':>10} | {'resulting r':>12}",
+    ]
+    for paper_m, m, r in series:
+        rows.append(f"{paper_m:>10} | {m:>10} | {r:>12.1f}")
+    emit("fig8_r_vs_m", rows)
+
+    rs = [r for _, _, r in series]
+    ms = [m for _, m, _ in series]
+    assert rs == sorted(rs), "r must increase with M"
+    # Super-linear growth across the sweep (Zipfian tail).
+    assert rs[-1] / rs[0] > ms[-1] / ms[0] * 0.8
+
+    benchmark.pedantic(
+        lambda: merges.merge("bfm", ms[-1]).resulting_r(probs),
+        rounds=3,
+        iterations=1,
+    )

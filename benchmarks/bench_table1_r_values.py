@@ -1,0 +1,59 @@
+"""Table 1: r-parameter value for the 3 merging heuristics.
+
+Paper (§7.5, web/ODP data):
+
+    # of Posting Lists | 1/r for BFM, DFM | 1/r for UDM
+    1,024              | 9.30e-4          | 7.86e-4
+    2,048              | 4.45e-4          | 3.57e-4
+    4,096              | 2.07e-4          | 1.58e-4
+    32,768             | 16.09e-6         | 9.60e-6
+
+Shape targets: 1/r decreases as M grows; UDM's 1/r is below BFM/DFM at
+every M (UDM "offers less confidentiality on average"); BFM and DFM agree.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.merging.dfm import DepthFirstMerging
+
+
+def test_table1_r_values(benchmark, merges, probs, m_values):
+    rows = [
+        "Table 1: r-parameter value for 3 merging heuristics",
+        f"(vocabulary={len(probs)}, scaled M in brackets)",
+        f"{'# lists (paper)':>16} | {'1/r BFM':>12} | {'1/r DFM':>12} | {'1/r UDM':>12}",
+    ]
+    checks = []
+    for paper_m, m in m_values:
+        inv_r = {}
+        for heuristic in ("bfm", "dfm", "udm"):
+            merge = merges.merge(heuristic, m)
+            inv_r[heuristic] = 1.0 / merge.resulting_r(probs)
+        rows.append(
+            f"{paper_m:>9} [{m:>5}] | {inv_r['bfm']:>12.3e} | "
+            f"{inv_r['dfm']:>12.3e} | {inv_r['udm']:>12.3e}"
+        )
+        checks.append(inv_r)
+    emit("table1_r_values", rows)
+
+    # Shape assertions (the paper's qualitative findings).
+    for row in checks:
+        assert row["udm"] <= row["bfm"] * 1.05, "UDM must not beat BFM/DFM"
+        assert abs(row["bfm"] - row["dfm"]) <= 0.35 * row["bfm"], (
+            "BFM and DFM produce (approximately) the same r value"
+        )
+    bfm_series = [row["bfm"] for row in checks]
+    assert bfm_series == sorted(bfm_series, reverse=True), (
+        "1/r must decrease as M grows"
+    )
+
+    # Timing: one full DFM merge at the largest scaled M.
+    largest_m = m_values[-1][1]
+    target_r = merges.calibrated_r(largest_m)
+
+    def run_dfm():
+        return DepthFirstMerging(largest_m, target_r).merge(probs)
+
+    result = benchmark.pedantic(run_dfm, rounds=3, iterations=1)
+    assert result.num_lists == largest_m

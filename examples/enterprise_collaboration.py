@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Enterprise scenario: a Stud IP-like installation on Zerber (§2, §7.4.1).
+
+Simulates the paper's motivating environment — many collaboration groups
+inside one large organization, churning membership, no universally
+trusted administrator:
+
+- a generated Stud IP-style installation provides courses (groups),
+  users and upload volumes;
+- a synthetic corpus provides the course documents;
+- the semester plays out: uploads arrive in batches week by week,
+  students join and leave courses, everyone searches;
+- at the end we audit what each index server accumulated and what the
+  ideal trusted index would have answered (they must agree).
+
+Run:  python examples/enterprise_collaboration.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines.plain_index import IdealTrustedIndex
+from repro.client.batching import BatchPolicy
+from repro.core.zerber_index import ZerberDeployment
+from repro.corpus.studip import StudIPConfig, generate_installation
+from repro.corpus.synthetic import SyntheticCorpusConfig, generate_corpus
+
+NUM_COURSES = 8
+SEMESTER_WEEKS = 6
+
+
+def main() -> None:
+    rng = random.Random(2008)
+    installation = generate_installation(
+        StudIPConfig(
+            num_courses=NUM_COURSES,
+            num_users=30,
+            semester_weeks=SEMESTER_WEEKS,
+            mean_documents_per_course=8.0,
+            seed=31,
+        )
+    )
+    total_docs = installation.total_documents
+    corpus = generate_corpus(
+        SyntheticCorpusConfig(
+            num_documents=total_docs,
+            vocabulary_size=3_000,
+            num_groups=NUM_COURSES,
+            num_hosts=NUM_COURSES,
+            mean_document_length=80,
+            topic_concentration=0.4,
+            seed=13,
+        )
+    )
+    probs = corpus.term_probabilities()
+    deployment = ZerberDeployment.bootstrap(
+        probs,
+        heuristic="bfm",
+        num_lists=48,
+        k=2,
+        n=3,
+        batch_policy=BatchPolicy(min_documents=4, max_age_ticks=1),
+        seed=7,
+    )
+    ideal = IdealTrustedIndex(deployment.groups)
+
+    # Course coordinators own the groups; students enroll per the model.
+    for course in range(NUM_COURSES):
+        deployment.create_group(course, coordinator=f"teacher{course}")
+    for user_id, courses in installation.memberships.items():
+        for course in courses:
+            if course < NUM_COURSES:
+                deployment.add_member(
+                    course, f"student{user_id}", actor=f"teacher{course}"
+                )
+
+    # The semester: uploads arrive week by week; the owner daemon batches.
+    docs_by_id = {d.doc_id: d for d in corpus}
+    uploaded = 0
+    for week in range(SEMESTER_WEEKS):
+        weekly = [
+            (course, doc_id)
+            for (w, course, doc_id) in installation.uploads
+            if w == week and doc_id < len(docs_by_id)
+        ]
+        for course, doc_id in weekly:
+            document = docs_by_id[doc_id]
+            # Rebind the document to the uploading course's group.
+            from dataclasses import replace
+
+            document = replace(document, group_id=course)
+            deployment.share_document(f"teacher{course}", document)
+            ideal.index_document(document)
+            uploaded += 1
+        for owner_id in (f"teacher{c}" for c in range(NUM_COURSES)):
+            deployment.owner(owner_id).tick()
+        print(f"week {week + 1}: {len(weekly)} uploads "
+              f"(cumulative {uploaded})")
+    deployment.flush_all()
+
+    # Students search their courses' material.
+    print("\nsearch spot-checks (Zerber vs ideal trusted index):")
+    agreements = 0
+    trials = 0
+    for user_id, courses in list(installation.memberships.items())[:10]:
+        student = f"student{user_id}"
+        course = courses[0]
+        course_docs = [
+            d for d in ideal_documents(ideal, deployment, course)
+        ]
+        if not course_docs:
+            continue
+        term = rng.choice(sorted(docs_by_id[course_docs[0]].term_counts))
+        zerber_hits = {
+            h.doc_id
+            for h in deployment.searcher(student).search(
+                [term], top_k=20, fetch_snippets=False
+            )
+        }
+        ideal_hits = {
+            h.doc_id for h in ideal.search(student, [term], top_k=20)
+        }
+        agree = zerber_hits == ideal_hits
+        agreements += agree
+        trials += 1
+        print(f"  {student} in course {course} queried {term!r}: "
+              f"{len(zerber_hits)} hits  "
+              f"{'==' if agree else '!='} ideal")
+    print(f"\n{agreements}/{trials} spot-checks agree with the ideal index")
+    assert agreements == trials
+
+    # Server-side audit.
+    for server in deployment.servers:
+        print(f"{server.server_id}: {server.num_elements} share records, "
+              f"{server.num_posting_lists} non-empty merged lists, "
+              f"{server.storage_bytes()} bytes")
+    r = deployment.merge_result.resulting_r(probs)
+    print(f"index-wide confidentiality r = {r:.1f} "
+          f"(adversary gains at most that factor over background knowledge)")
+
+
+def ideal_documents(ideal, deployment, course):
+    """Doc ids currently indexed for a course (via the coordinator view)."""
+    teacher = f"teacher{course}"
+    owner = deployment.owner(teacher)
+    return owner.shared_documents
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Exploring the confidentiality/efficiency dial of §6.
+
+For an ODP-like corpus, sweeps the number of merged posting lists M and
+prints, per heuristic (DFM / BFM / UDM):
+
+- the resulting confidentiality value r (formula 7),
+- the total workload cost versus an unmerged index (formula 6),
+- the fraction of terms with their own (singleton) posting list,
+- the size of the public mapping table once the §6.4 rare-term hash
+  cutoff hides the long tail.
+
+This is how an operator would pick M and r for a real deployment.
+
+Run:  python examples/merging_tradeoffs.py
+"""
+
+from __future__ import annotations
+
+from repro.core.mapping_table import MappingTable
+from repro.core.merging.bfm import BreadthFirstMerging, bfm_r_for_list_count
+from repro.core.merging.dfm import DepthFirstMerging
+from repro.core.merging.udm import UniformDistributionMerging
+from repro.corpus.querylog import QueryLogConfig, generate_query_log
+from repro.corpus.synthetic import odp_like_statistics
+from repro.invindex.costmodel import unmerged_workload_cost, workload_cost
+
+
+def main() -> None:
+    stats = odp_like_statistics(scale=0.01)
+    probs = stats.term_probabilities()
+    dfs = dict(stats.document_frequencies)
+    qlog = generate_query_log(
+        stats,
+        QueryLogConfig(
+            total_queries=40_000,
+            distinct_query_terms=1_200,
+            rank_noise=0.005,
+            tail_fraction=0.2,
+            seed=5,
+        ),
+    )
+    qfs = qlog.frequencies()
+    baseline = unmerged_workload_cost(dfs, qfs)
+    print(f"corpus: {stats.num_documents} docs, "
+          f"{stats.vocabulary_size} terms, "
+          f"{stats.total_postings} postings")
+    print(f"workload: {qlog.total_queries} queries over "
+          f"{qlog.distinct_terms} terms; unmerged cost {baseline:.3e}\n")
+
+    header = (f"{'M':>6} | {'heuristic':>9} | {'r':>10} | "
+              f"{'workload x':>10} | {'singletons':>10} | {'table size':>10}")
+    print(header)
+    print("-" * len(header))
+    for m in (16, 64, 256, 1024):
+        target_r = bfm_r_for_list_count(probs, m)
+        heuristics = {
+            "DFM": DepthFirstMerging(m, target_r),
+            "BFM": BreadthFirstMerging(target_r),
+            "UDM": UniformDistributionMerging(m),
+        }
+        for name, algo in heuristics.items():
+            merge = algo.merge(probs)
+            r = merge.resulting_r(probs)
+            cost = workload_cost(merge.lists, dfs, qfs)
+            # Hide terms below the median probability via the §6.4 hash.
+            cutoff = sorted(probs.values())[len(probs) // 2]
+            table = MappingTable.from_merge(
+                merge, term_probabilities=probs, rare_cutoff=cutoff
+            )
+            print(
+                f"{m:>6} | {name:>9} | {r:>10.1f} | "
+                f"{cost / baseline:>10.1f} | "
+                f"{merge.singleton_lists():>10} | {table.table_size:>10}"
+            )
+        print("-" * len(header))
+
+    print(
+        "\nReading the dial: small M = strong confidentiality (small r) "
+        "but heavy query cost; large M = fast queries, weaker r. "
+        "BFM/DFM give the head its own lists (singletons) — UDM never "
+        "does, protecting common terms at the tail's expense (Fig. 9/10)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Quickstart: share, search and withdraw sensitive documents with Zerber.
+
+Walks the full paper pipeline in miniature:
+
+1. learn term statistics and build a merged, r-confidential mapping table;
+2. stand up a 2-out-of-3 deployment (3 index servers, enterprise auth);
+3. two collaboration groups share documents;
+4. members search — exact, ranked, snippet-equipped results;
+5. outsiders and ex-members get nothing;
+6. a compromised server's view is inspected and found bounded by r.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.client.batching import BatchPolicy
+from repro.core.zerber_index import ZerberDeployment
+from repro.corpus.document import Document
+from repro.invindex.tokenizer import Tokenizer
+
+DOCS = {
+    # (doc_id, host, group): text
+    (1, "peer-legal", 0): (
+        "Confidential merger brief: ImClone acquisition term sheet "
+        "drafted by Martha for the board, budget attached."
+    ),
+    (2, "peer-legal", 0): (
+        "Layoff planning memo: budget impact of the merger on the "
+        "Hannover office, restructuring options."
+    ),
+    (3, "peer-research", 1): (
+        "Lab notebook: catalyst compound synthesis for the new "
+        "chemical process, yield improved to 62 percent."
+    ),
+    (4, "peer-research", 1): (
+        "Experiment plan: scale up catalyst production, order compound "
+        "precursors, book reactor time."
+    ),
+}
+
+
+def make_document(doc_id: int, host: str, group: int, text: str) -> Document:
+    counts = Tokenizer().term_counts(text)
+    return Document(
+        doc_id=doc_id,
+        host=host,
+        group_id=group,
+        term_counts=dict(counts),
+        length=sum(counts.values()),
+        text=text,
+    )
+
+
+def main() -> None:
+    documents = [
+        make_document(doc_id, host, group, text)
+        for (doc_id, host, group), text in DOCS.items()
+    ]
+
+    # 1. Term statistics -> merged posting lists. With a toy vocabulary we
+    #    hash-route everything into 8 merged lists (§6.4 path); real
+    #    deployments learn statistics first (see merging_tradeoffs.py).
+    from repro.core.mapping_table import MappingTable
+
+    table = MappingTable({}, num_lists=8)
+
+    # 2. The deployment: 3 index servers, any 2 reconstruct (paper's k/n).
+    deployment = ZerberDeployment(
+        mapping_table=table,
+        k=2,
+        n=3,
+        batch_policy=BatchPolicy(min_documents=2),
+        seed=42,
+    )
+    print(f"servers: {[s.server_id for s in deployment.servers]}")
+    print(f"Shamir: k={deployment.scheme.k} of n={deployment.scheme.n}, "
+          f"p={deployment.field.p}")
+
+    # 3. Two groups share their documents.
+    deployment.create_group(0, coordinator="alice")   # legal
+    deployment.create_group(1, coordinator="bo")      # research
+    for document in documents:
+        owner = "alice" if document.group_id == 0 else "bo"
+        deployment.share_document(owner, document)
+    deployment.flush_all()
+    print(f"elements per server: {deployment.servers[0].num_elements}")
+
+    # 4. Members search: exact results, ranked, with snippets.
+    print("\nalice searches ['merger', 'budget']:")
+    for hit in deployment.search("alice", ["merger", "budget"], top_k=5):
+        print(f"  doc {hit.doc_id} @ {hit.host}  score={hit.score:.3f}")
+        print(f"    matched={list(hit.matched_terms)}")
+        print(f"    snippet: {hit.snippet[:68]}...")
+
+    # 5. Access control: the research group cannot see legal's documents,
+    #    and membership changes apply instantly — no re-encryption.
+    assert deployment.search("bo", ["merger"], top_k=5) == []
+    print("\nbo (research) searching 'merger': no results — access denied")
+
+    deployment.add_member(0, "carol", actor="alice")
+    assert deployment.search("carol", ["merger"], top_k=5)
+    deployment.remove_member(0, "carol", actor="alice")
+    assert deployment.search("carol", ["merger"], top_k=5) == []
+    print("carol was granted then revoked: results appeared, then vanished")
+
+    # 6. What does a compromised server learn?
+    view = deployment.servers[0].compromise()
+    lengths = view.merged_list_lengths()
+    print(f"\ncompromised server sees {len(lengths)} merged lists with "
+          f"lengths {sorted(lengths.values(), reverse=True)}")
+    print("   ...but every stored value is a Shamir share: without a "
+          "second server, nothing decrypts.")
+
+    # Withdraw a document: per-element deletes at every server.
+    deleted = deployment.owner("alice").delete_document(1)
+    print(f"\nalice withdrew doc 1 ({deleted} elements deleted per server)")
+    assert all(
+        hit.doc_id != 1
+        for hit in deployment.search("alice", ["merger"], top_k=5)
+    )
+    print("doc 1 no longer appears in results — done.")
+
+
+if __name__ == "__main__":
+    main()

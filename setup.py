@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment is offline and its setuptools (65.5) lacks the
+``wheel`` package that PEP 660 editable installs require, so ``pip install
+-e .`` falls back to this legacy path (``setup.py develop``). All real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

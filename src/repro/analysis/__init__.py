@@ -1,0 +1,47 @@
+"""Analytical models of the evaluation section (§7.2–§7.4).
+
+- :mod:`repro.analysis.workload` — formulas (6), (8), (9) and the curve
+  extractors behind Figs. 6, 10, 11, 12;
+- :mod:`repro.analysis.storage` — the §7.2 storage-overhead accounting
+  (per-element +50%, fleet-wide 1.5 n ×);
+- :mod:`repro.analysis.bandwidth` — the §7.3 network model: per-query-term
+  response sizes, user/server queries-per-second, top-10 response
+  composition, the Google/Altavista/Yahoo comparison and the share
+  (in)compressibility experiment.
+"""
+
+from repro.analysis.workload import (
+    cumulative_workload_curve,
+    efficiency_distribution,
+    fraction_of_lists_larger_than,
+    q_ratio,
+    q_ratio_eff,
+    q_ratio_by_document_frequency,
+    response_size_distribution,
+    workload_efficiency_summary,
+)
+from repro.analysis.storage import StorageReport, storage_report
+from repro.analysis.bandwidth import (
+    BandwidthModel,
+    BandwidthReport,
+    compression_experiment,
+)
+from repro.analysis.audit import ConfidentialityAudit, audit_merge
+
+__all__ = [
+    "cumulative_workload_curve",
+    "efficiency_distribution",
+    "fraction_of_lists_larger_than",
+    "q_ratio",
+    "q_ratio_eff",
+    "q_ratio_by_document_frequency",
+    "response_size_distribution",
+    "workload_efficiency_summary",
+    "StorageReport",
+    "storage_report",
+    "BandwidthModel",
+    "BandwidthReport",
+    "compression_experiment",
+    "ConfidentialityAudit",
+    "audit_merge",
+]

@@ -1,0 +1,135 @@
+"""Operator-facing confidentiality audit (Def. 1 in practice).
+
+Before going live, a Zerber operator wants one answer: *given this merge
+and these corpus statistics, what exactly does a compromised server
+learn?* :func:`audit_merge` rolls every §4–§6 quantity into a single
+report: the index-wide r (formula 7), the weakest lists that set it, the
+singleton head an adversary can identify outright, mapping-table
+exposure under the §6.4 cutoff, and — when a query log is supplied — the
+§8 request-stream leak channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.attacks.query_inference import (
+    band_information_bits,
+    expected_posterior_concentration,
+)
+from repro.core.merging.base import MergeResult
+from repro.errors import ConfidentialityError
+
+
+@dataclass(frozen=True)
+class ConfidentialityAudit:
+    """The audit result; render with :meth:`render`.
+
+    Attributes:
+        resulting_r: formula-(7) index-wide amplification bound.
+        weakest_lists: the (list_id, probability mass) pairs that set r,
+            ascending by mass — the lists to reinforce first.
+        singleton_lists: lists holding exactly one term; an adversary
+            reads those terms' document frequencies directly off the
+            list lengths.
+        singleton_fraction: share of the vocabulary sitting in singletons.
+        mass_quantiles: (min, p25, median, p75, max) of per-list masses.
+        table_exposure: fraction of the vocabulary visible in the public
+            mapping table (1.0 when no §6.4 cutoff is applied).
+        band_information: §8 band-channel leak in bits (None without a
+            query log).
+        identity_accuracy: §8 identity-guess accuracy (None without a
+            query log).
+    """
+
+    resulting_r: float
+    weakest_lists: tuple[tuple[int, float], ...]
+    singleton_lists: int
+    singleton_fraction: float
+    mass_quantiles: tuple[float, float, float, float, float]
+    table_exposure: float
+    band_information: float | None = None
+    identity_accuracy: float | None = None
+
+    def render(self) -> list[str]:
+        """Human-readable report lines."""
+        lines = [
+            "Zerber confidentiality audit",
+            f"  index-wide r (formula 7): {self.resulting_r:.1f}",
+            "  weakest lists (id: mass): "
+            + ", ".join(f"{lid}: {mass:.2e}" for lid, mass in self.weakest_lists),
+            f"  singleton lists: {self.singleton_lists} "
+            f"({100 * self.singleton_fraction:.2f}% of vocabulary — their "
+            "document frequencies are readable off list lengths)",
+            "  per-list mass min/p25/med/p75/max: "
+            + "/".join(f"{q:.2e}" for q in self.mass_quantiles),
+            f"  mapping-table exposure: {100 * self.table_exposure:.1f}% "
+            "of vocabulary",
+        ]
+        if self.band_information is not None:
+            lines.append(
+                f"  request-stream band leak: {self.band_information:.2f} bits"
+            )
+        if self.identity_accuracy is not None:
+            lines.append(
+                "  request-stream identity-guess accuracy: "
+                f"{self.identity_accuracy:.3f}"
+            )
+        return lines
+
+
+def audit_merge(
+    merge: MergeResult,
+    term_probabilities: Mapping[str, float],
+    table_size: int | None = None,
+    query_frequencies: Mapping[str, int] | None = None,
+    weakest: int = 3,
+) -> ConfidentialityAudit:
+    """Audit one merge against corpus statistics.
+
+    Args:
+        merge: the §6 heuristic output in production.
+        term_probabilities: formula-(2) statistics the merge was built on.
+        table_size: explicit mapping-table entry count when a §6.4 cutoff
+            hides part of the vocabulary (defaults to full exposure).
+        query_frequencies: optional query log for the §8 channels.
+        weakest: how many weakest lists to report.
+
+    Raises:
+        ConfidentialityError: inherited from the underlying formulas on
+            malformed inputs.
+    """
+    if weakest < 1:
+        raise ConfidentialityError("must report at least one weakest list")
+    masses = merge.masses(term_probabilities)
+    ranked = sorted(enumerate(masses), key=lambda im: im[1])
+    ordered = sorted(masses)
+    n = len(ordered)
+    quantiles = (
+        ordered[0],
+        ordered[n // 4],
+        ordered[n // 2],
+        ordered[(3 * n) // 4],
+        ordered[-1],
+    )
+    vocab = merge.num_terms
+    singleton = merge.singleton_lists()
+    exposure = 1.0 if table_size is None else table_size / vocab
+    band_mi = None
+    accuracy = None
+    if query_frequencies is not None:
+        band_mi = band_information_bits(merge, query_frequencies)
+        accuracy = expected_posterior_concentration(
+            merge, query_frequencies
+        )
+    return ConfidentialityAudit(
+        resulting_r=merge.resulting_r(term_probabilities),
+        weakest_lists=tuple(ranked[:weakest]),
+        singleton_lists=singleton,
+        singleton_fraction=singleton / vocab,
+        mass_quantiles=quantiles,
+        table_exposure=exposure,
+        band_information=band_mi,
+        identity_accuracy=accuracy,
+    )

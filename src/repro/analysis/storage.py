@@ -1,0 +1,81 @@
+"""Storage-overhead accounting (paper §7.2).
+
+"The number of posting elements that Zerber maintains per index server is
+the same as in any conventional inverted index. However, Zerber posting
+elements include additional fields to identify the term in the merged set
+and the global element ID, which increases element size by about 50%.
+Encryption under Shamir's k-out-of-n scheme does not change the element
+size. Hence, each Zerber index server uses about 50% more space than an
+ordinary inverted index. Since Zerber replicates the index on n servers,
+the total index space required is 1.5n times more than for an ordinary
+inverted index."
+
+The report derives those factors from the configured
+:class:`~repro.core.posting.PackingSpec` rather than hard-coding 1.5, so a
+custom layout reports its true overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.posting import PackingSpec
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """Per-element and fleet-wide storage accounting.
+
+    Attributes:
+        plain_element_bits: ordinary index element (doc_id + tf).
+        zerber_element_bits: Zerber wire element (packed secret + element id).
+        per_server_overhead: zerber/plain per-element ratio (§7.2's ≈1.5).
+        num_servers: n.
+        total_overhead: per_server_overhead * n (§7.2's ≈1.5 n).
+        num_elements: posting elements in the indexed collection.
+        plain_index_bytes: total bytes of the ordinary single-copy index.
+        zerber_fleet_bytes: total bytes across all n Zerber replicas.
+    """
+
+    plain_element_bits: int
+    zerber_element_bits: int
+    per_server_overhead: float
+    num_servers: int
+    total_overhead: float
+    num_elements: int
+    plain_index_bytes: int
+    zerber_fleet_bytes: int
+
+
+def storage_report(
+    num_elements: int,
+    num_servers: int,
+    spec: PackingSpec | None = None,
+) -> StorageReport:
+    """Compute the §7.2 storage comparison for a collection.
+
+    Args:
+        num_elements: posting elements in the collection (equal for the
+            ordinary index and each Zerber server, per §7.2).
+        num_servers: n, the replication degree.
+        spec: the element bit layout (standard 64-bit layout by default).
+    """
+    if num_elements < 0:
+        raise ReproError("element count cannot be negative")
+    if num_servers < 1:
+        raise ReproError("need at least one server")
+    spec = spec or PackingSpec()
+    plain_bits = spec.plain_element_bits
+    zerber_bits = spec.zerber_element_bits
+    per_server = zerber_bits / plain_bits
+    return StorageReport(
+        plain_element_bits=plain_bits,
+        zerber_element_bits=zerber_bits,
+        per_server_overhead=per_server,
+        num_servers=num_servers,
+        total_overhead=per_server * num_servers,
+        num_elements=num_elements,
+        plain_index_bytes=num_elements * plain_bits // 8,
+        zerber_fleet_bytes=num_elements * zerber_bits * num_servers // 8,
+    )

@@ -1,0 +1,240 @@
+"""Workload-cost analysis: formulas (6), (8), (9) and Figs. 6/10/11/12.
+
+All functions consume the same three ingredients the paper's simulations
+use: a merge result (the partition of terms into lists), per-term document
+frequencies, and per-term query frequencies. None of them require a live
+index — §7.6's "extensive simulations" are algebra over these maps, which
+is what lets the paper (and us) sweep M up to 32,768.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Mapping, Sequence
+
+from repro.core.merging.base import MergeResult
+from repro.errors import ReproError
+
+
+def q_ratio(
+    members: Sequence[str],
+    term: str,
+    document_frequencies: Mapping[str, int],
+    query_frequencies: Mapping[str, int],
+) -> float:
+    """Formula (8): workload-cost ratio of ``term`` in its merged list.
+
+    ``QRatio(t) = (sum_{u in L} DF_u * sum_{u in L} qf_u) / (DF_t * qf_t)``
+
+    The numerator is the whole list's workload (every query for any member
+    transfers every element); the denominator is what t's queries would
+    cost against its private, unmerged list.
+    """
+    if term not in members:
+        raise ReproError(f"term {term!r} is not a member of the list")
+    df_t = document_frequencies.get(term, 0)
+    qf_t = query_frequencies.get(term, 0)
+    if df_t <= 0 or qf_t <= 0:
+        raise ReproError(
+            f"QRatio undefined for term {term!r} with DF={df_t}, qf={qf_t}"
+        )
+    df_sum = sum(document_frequencies.get(u, 0) for u in members)
+    qf_sum = sum(query_frequencies.get(u, 0) for u in members)
+    return (df_sum * qf_sum) / (df_t * qf_t)
+
+
+def q_ratio_eff(
+    members: Sequence[str],
+    term: str,
+    document_frequencies: Mapping[str, int],
+) -> float:
+    """Formula (9): query-answering efficiency of ``term`` in its list.
+
+    ``QRatio_eff(t) = DF_t / sum_{u in L} DF_u`` — the fraction of the
+    transferred response that actually answers the query (1.0 means the
+    merged list is pure signal; Fig. 11).
+    """
+    if term not in members:
+        raise ReproError(f"term {term!r} is not a member of the list")
+    df_t = document_frequencies.get(term, 0)
+    df_sum = sum(document_frequencies.get(u, 0) for u in members)
+    if df_sum <= 0:
+        raise ReproError("merged list has no postings")
+    return df_t / df_sum
+
+
+def q_ratio_by_document_frequency(
+    merge: MergeResult,
+    document_frequencies: Mapping[str, int],
+    query_frequencies: Mapping[str, int],
+    df_targets: Sequence[int],
+    tolerance: float = 0.15,
+) -> dict[int, float]:
+    """Fig. 10's series: average QRatio over terms near each DF target.
+
+    The paper plots "terms with document frequency DF of 1, 1000, and
+    3500"; synthetic corpora rarely contain terms at *exactly* those DFs,
+    so terms within ``tolerance`` (relative) of a target are averaged.
+
+    Returns:
+        df_target -> mean QRatio (targets with no queried terms nearby are
+        omitted).
+    """
+    list_of: dict[str, int] = merge.assignments()
+    out: dict[int, float] = {}
+    for target in df_targets:
+        lo = target * (1 - tolerance) - 1e-9
+        hi = target * (1 + tolerance) + 1e-9
+        ratios = []
+        for term, df in document_frequencies.items():
+            if not lo <= df <= hi:
+                continue
+            if query_frequencies.get(term, 0) <= 0:
+                continue
+            members = merge.lists[list_of[term]]
+            ratios.append(
+                q_ratio(members, term, document_frequencies, query_frequencies)
+            )
+        if ratios:
+            out[target] = sum(ratios) / len(ratios)
+    return out
+
+
+def cumulative_workload_curve(
+    document_frequencies: Mapping[str, int],
+    query_frequencies: Mapping[str, int],
+    points: int = 50,
+) -> list[tuple[int, float]]:
+    """Fig. 6: cumulative share of total workload vs. query-term rank.
+
+    Terms are ordered by descending query frequency (the figure's log-scale
+    x-axis); each term contributes ``qf_t * DF_t`` (formula (6) with
+    unmerged lists). Returns ``points`` samples of
+    (rank, cumulative_fraction).
+    """
+    queried = [
+        (t, qf) for t, qf in query_frequencies.items() if qf > 0
+    ]
+    if not queried:
+        raise ReproError("no queried terms")
+    queried.sort(key=lambda kv: (-kv[1], kv[0]))
+    costs = [qf * document_frequencies.get(t, 0) for t, qf in queried]
+    total = sum(costs)
+    if total <= 0:
+        raise ReproError("workload has zero cost")
+    curve = []
+    running = 0.0
+    sample_every = max(1, len(costs) // points)
+    for rank, cost in enumerate(costs, start=1):
+        running += cost
+        if rank % sample_every == 0 or rank == len(costs):
+            curve.append((rank, running / total))
+    return curve
+
+
+def efficiency_distribution(
+    merge: MergeResult,
+    document_frequencies: Mapping[str, int],
+    query_frequencies: Mapping[str, int],
+) -> list[tuple[float, float]]:
+    """Fig. 11: QRatio_eff of each queried term, ordered by efficiency.
+
+    Returns (workload percentile in [0, 100], efficiency) pairs where the
+    percentile axis weights terms by their query frequency — matching the
+    figure's "query terms in the workload (in %)" x-axis.
+    """
+    list_of = merge.assignments()
+    entries = []
+    for term, qf in query_frequencies.items():
+        if qf <= 0 or term not in list_of:
+            continue
+        members = merge.lists[list_of[term]]
+        eff = q_ratio_eff(members, term, document_frequencies)
+        entries.append((eff, qf))
+    if not entries:
+        raise ReproError("no queried terms intersect the merge")
+    entries.sort(key=lambda e: e[0])
+    total_qf = sum(qf for _, qf in entries)
+    out = []
+    running = 0.0
+    for eff, qf in entries:
+        running += qf
+        out.append((100.0 * running / total_qf, eff))
+    return out
+
+
+def workload_efficiency_summary(
+    merge: MergeResult,
+    document_frequencies: Mapping[str, int],
+    query_frequencies: Mapping[str, int],
+) -> dict[str, float]:
+    """§7.6's headline numbers over the Fig. 11 distribution.
+
+    The paper reports (for DFM/BFM-32K): "the longest running 70% of the
+    queries ... have an efficiency value QRatio_eff > 0.96 and the next
+    10% longest-running queries have QRatio_eff = 0.75 on average. The
+    shortest running 20% ... have average QRatio_eff = 0.2."
+
+    Longest-running queries are those over the highest-DF terms, so the
+    summary buckets terms by their share of total workload cost.
+    """
+    list_of = merge.assignments()
+    entries = []  # (workload cost of term, efficiency, qf)
+    for term, qf in query_frequencies.items():
+        if qf <= 0 or term not in list_of:
+            continue
+        members = merge.lists[list_of[term]]
+        eff = q_ratio_eff(members, term, document_frequencies)
+        cost = qf * document_frequencies.get(term, 0)
+        entries.append((cost, eff, qf))
+    if not entries:
+        raise ReproError("no queried terms intersect the merge")
+    entries.sort(key=lambda e: -e[0])  # longest-running first
+    total_qf = sum(e[2] for e in entries)
+
+    def bucket_mean(lo_frac: float, hi_frac: float) -> float:
+        lo, hi = lo_frac * total_qf, hi_frac * total_qf
+        running = 0.0
+        effs: list[float] = []
+        weights: list[float] = []
+        for _cost, eff, qf in entries:
+            start, end = running, running + qf
+            running = end
+            overlap = min(end, hi) - max(start, lo)
+            if overlap > 0:
+                effs.append(eff * overlap)
+                weights.append(overlap)
+        return sum(effs) / sum(weights) if weights else 0.0
+
+    return {
+        "longest_70pct_mean_eff": bucket_mean(0.0, 0.70),
+        "next_10pct_mean_eff": bucket_mean(0.70, 0.80),
+        "shortest_20pct_mean_eff": bucket_mean(0.80, 1.0),
+    }
+
+
+def response_size_distribution(
+    merge: MergeResult,
+    document_frequencies: Mapping[str, int],
+) -> list[int]:
+    """Fig. 12: total elements per merged list, ascending.
+
+    "The X-axis shows the posting lists ordered by the number of elements
+    they contain, and the Y-axis shows the total number of posting
+    elements in the posting lists, computed as the sum of document
+    frequencies of the terms in a merged posting list."
+    """
+    return sorted(merge.list_lengths(document_frequencies))
+
+
+def fraction_of_lists_larger_than(
+    merge: MergeResult,
+    document_frequencies: Mapping[str, int],
+    threshold: int,
+) -> float:
+    """Fig. 12's headline: share of lists exceeding ``threshold`` elements."""
+    sizes = response_size_distribution(merge, document_frequencies)
+    if not sizes:
+        raise ReproError("merge has no lists")
+    idx = bisect_right(sizes, threshold)
+    return (len(sizes) - idx) / len(sizes)

@@ -1,0 +1,48 @@
+"""Adversary simulations for the §4 threat model and §7.1 security analysis.
+
+The paper's evaluation of Zerber's security is analytical; this package
+makes it *executable*. Each attack consumes only what a real adversary in
+the threat model could hold: the public mapping table, general language
+statistics (background knowledge B), and — after :meth:`IndexServer.compromise`
+— everything on up to ``k - 1`` boxes.
+
+- :mod:`repro.attacks.adversary` — the background-knowledge model B;
+- :mod:`repro.attacks.statistical` — the document/term-frequency attack of
+  §4: read merged list lengths off a compromised server, form formula-(3)
+  posteriors, and check amplification never exceeds the configured r;
+- :mod:`repro.attacks.correlation` — the §7.1 update-watching attack: guess
+  which inserted elements belong to one document, against batched and
+  unbatched owners;
+- :mod:`repro.attacks.collusion` — the < k collusion futility results:
+  reconstruction is impossible, share marginals are uniform, and any
+  candidate secret is equally consistent with the observed shares
+  (information-theoretic secrecy, demonstrated constructively).
+"""
+
+from repro.attacks.adversary import BackgroundKnowledge
+from repro.attacks.statistical import StatisticalAttack, AttackReport
+from repro.attacks.correlation import CorrelationAttack, CorrelationReport
+from repro.attacks.collusion import (
+    attempt_reconstruction,
+    consistent_with_every_secret,
+    share_uniformity_pvalue,
+)
+from repro.attacks.query_inference import (
+    QueryInferenceAttack,
+    band_information_bits,
+    expected_posterior_concentration,
+)
+
+__all__ = [
+    "BackgroundKnowledge",
+    "StatisticalAttack",
+    "AttackReport",
+    "CorrelationAttack",
+    "CorrelationReport",
+    "attempt_reconstruction",
+    "consistent_with_every_secret",
+    "share_uniformity_pvalue",
+    "QueryInferenceAttack",
+    "band_information_bits",
+    "expected_posterior_concentration",
+]

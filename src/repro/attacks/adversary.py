@@ -1,0 +1,65 @@
+"""The adversary's background knowledge B (paper §4).
+
+"An attacker Alice will already have some background knowledge about the
+possible contents of a document collection. ... From her background
+knowledge B and the parts of the index structure I that she can access,
+Alice will know a priori that a term t is contained in document d with a
+probability P(t is in d)."
+
+We model B as general language statistics: a term -> occurrence-probability
+map (formula (2) over some reference corpus the adversary has seen — not
+necessarily the indexed one). The r-confidentiality guarantee is relative
+to exactly this object.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import ConfidentialityError
+
+
+class BackgroundKnowledge:
+    """Language statistics available to the adversary a priori."""
+
+    def __init__(self, term_probabilities: Mapping[str, float]) -> None:
+        """Args:
+        term_probabilities: formula-(2)-style occurrence probabilities
+            of every term the adversary knows about.
+        """
+        if not term_probabilities:
+            raise ConfidentialityError("background knowledge cannot be empty")
+        bad = [t for t, p in term_probabilities.items() if p <= 0 or p > 1]
+        if bad:
+            raise ConfidentialityError(
+                f"background probabilities outside (0, 1]: {bad[:3]}"
+            )
+        self._probabilities = dict(term_probabilities)
+
+    @classmethod
+    def from_document_frequencies(
+        cls, document_frequencies: Mapping[str, int]
+    ) -> "BackgroundKnowledge":
+        """Build B from a reference corpus's document frequencies."""
+        total = sum(document_frequencies.values())
+        if total <= 0:
+            raise ConfidentialityError("reference corpus is empty")
+        return cls(
+            {t: df / total for t, df in document_frequencies.items() if df > 0}
+        )
+
+    def prior(self, term: str) -> float:
+        """P(t in d | B); unknown terms get the smallest known prior."""
+        known = self._probabilities.get(term)
+        if known is not None:
+            return known
+        return min(self._probabilities.values())
+
+    def knows(self, term: str) -> bool:
+        return term in self._probabilities
+
+    def terms(self) -> list[str]:
+        return sorted(self._probabilities)
+
+    def priors(self, terms: Iterable[str]) -> dict[str, float]:
+        return {t: self.prior(t) for t in terms}

@@ -1,0 +1,114 @@
+"""Collusion with fewer than k servers learns nothing (§5, §7.1).
+
+"If the colluders take over fewer than k servers, they will not be able to
+violate r-confidentiality for documents committed before the attack."
+
+Shamir's scheme gives this information-theoretically, and this module
+demonstrates it three ways, all executable:
+
+- :func:`attempt_reconstruction` — the direct attempt simply fails
+  (fewer than k distinct shares cannot determine the polynomial);
+- :func:`consistent_with_every_secret` — constructively exhibits, for any
+  candidate secret, a polynomial consistent with the observed k-1 shares:
+  the shares rule *nothing* out, which is the definition of zero leakage;
+- :func:`share_uniformity_pvalue` — a chi-squared test that observed share
+  values are indistinguishable from uniform field elements (what a
+  statistical adversary staring at one server's y-values actually faces).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import SecretSharingError
+from repro.secretsharing.field import PrimeField
+from repro.secretsharing.shamir import Share, reconstruct_secret
+
+
+def attempt_reconstruction(
+    shares: Sequence[Share], k: int, field: PrimeField
+) -> int:
+    """Try to reconstruct with whatever shares the colluders pooled.
+
+    Succeeds iff they hold >= k distinct shares; otherwise raises
+    :class:`InsufficientSharesError` — there is no partial answer to give.
+    """
+    return reconstruct_secret(shares, k, field)
+
+
+def consistent_with_every_secret(
+    shares: Sequence[Share],
+    k: int,
+    field: PrimeField,
+    candidate_secrets: Iterable[int],
+) -> bool:
+    """Perfect-secrecy witness: every candidate secret fits the shares.
+
+    Given at most ``k - 1`` shares, for *any* hypothesized secret ``s``
+    there exists a degree-(k-1) polynomial with constant term ``s``
+    passing through all observed shares: interpolate through the points
+    ``{(0, s)} ∪ shares``. If that interpolation exists for every
+    candidate (it always does, with distinct x-coordinates), the observed
+    shares carry zero information about the secret.
+
+    Returns:
+        True iff every candidate is consistent.
+
+    Raises:
+        SecretSharingError: if called with >= k shares (where secrecy
+            genuinely does not hold and the premise is wrong).
+    """
+    distinct = {field.normalize(s.x) for s in shares}
+    if len(distinct) >= k:
+        raise SecretSharingError(
+            "with k or more shares the secret IS determined; "
+            "this check only makes sense below the threshold"
+        )
+    if 0 in distinct:
+        raise SecretSharingError("x = 0 would itself be the secret")
+    for candidate in candidate_secrets:
+        points = [(0, field.normalize(candidate))] + [
+            (s.x, s.y) for s in shares
+        ]
+        # Interpolation through <= k points always yields a polynomial of
+        # degree <= k-1; it exists iff x-coordinates are distinct. Evaluate
+        # it back at x=0 to confirm consistency (it returns the candidate
+        # by construction — the point is that nothing fails).
+        recovered = field.lagrange_at_zero(points)
+        if recovered != field.normalize(candidate):
+            return False
+    return True
+
+
+def share_uniformity_pvalue(
+    share_values: Sequence[int],
+    field: PrimeField,
+    num_buckets: int = 16,
+) -> float:
+    """Chi-squared p-value that share y-values look uniform over Z_p.
+
+    A compromised server's stored y-values are, for a secure scheme,
+    uniform field elements; a p-value well above the usual significance
+    thresholds means the adversary's distributional tests come up empty.
+
+    Args:
+        share_values: the y-values harvested from the compromised store.
+        field: the field they live in.
+        num_buckets: histogram resolution for the test.
+
+    Returns:
+        The chi-squared goodness-of-fit p-value.
+    """
+    from scipy import stats as scipy_stats
+
+    if len(share_values) < num_buckets * 5:
+        raise SecretSharingError(
+            "too few shares for a meaningful uniformity test"
+        )
+    bucket_width = field.p // num_buckets + 1
+    observed = [0] * num_buckets
+    for y in share_values:
+        observed[min(y // bucket_width, num_buckets - 1)] += 1
+    expected = len(share_values) / num_buckets
+    chi2 = sum((o - expected) ** 2 / expected for o in observed)
+    return float(1.0 - scipy_stats.chi2.cdf(chi2, df=num_buckets - 1))

@@ -1,0 +1,172 @@
+"""Query-inference attack on a compromised server (paper §7.1, §8).
+
+"Alice can see which posting lists each user queries at her compromised
+server" (§7.1) and — the future-work remark of §8 — "how to support query
+confidentiality, even when one server has been compromised and the
+adversary can view the incoming stream of requests for posting lists.
+BFM leaks probabilistic information in this situation, while the other
+merging heuristics are more robust."
+
+The adversary's play: given a request for posting list L, her posterior
+that the hidden query term is t ∈ L is ``qf_t / sum_{u in L} qf_u``
+(query-frequency background knowledge). Two quantities measure the leak:
+
+- :func:`expected_posterior_concentration` — the workload-weighted
+  expected max-posterior. 1.0 means every request identifies its term
+  (singleton lists are total leaks); 1/|L| means nothing learned.
+- :func:`QueryInferenceAttack.empirical_accuracy` — how often the argmax
+  guess is right against a materialized query stream.
+- :func:`band_information_bits` — the mutual information between the
+  observed list ID and the queried term's *frequency band*.
+
+The two metrics pull apart exactly the way §8's remark needs: BFM's
+lists are frequency-contiguous bands, so members have near-identical
+query frequencies and the argmax identity guess is *weak* — but the list
+ID reveals the query's frequency band almost perfectly (high mutual
+information), which is the "probabilistic information" BFM leaks: a
+request to the tail list says "someone queried a rare term" (the
+Hesselhofers of §4). UDM/DFM's round-robin dealing mixes every band into
+every list, destroying the band signal.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Sequence
+
+from repro.core.merging.base import MergeResult
+from repro.errors import ConfidentialityError
+
+
+def list_posterior(
+    members: Sequence[str], query_frequencies: Mapping[str, int]
+) -> dict[str, float]:
+    """P(queried term = t | request for this list), from qf background.
+
+    Terms never queried get the background floor of one count so the
+    posterior is defined for every member.
+    """
+    if not members:
+        raise ConfidentialityError("empty posting list")
+    weights = {t: max(1, query_frequencies.get(t, 0)) for t in members}
+    total = sum(weights.values())
+    return {t: w / total for t, w in weights.items()}
+
+
+def expected_posterior_concentration(
+    merge: MergeResult, query_frequencies: Mapping[str, int]
+) -> float:
+    """Expected accuracy of the argmax identity guess over the stream.
+
+    For each merged list L, the chance it is requested is proportional to
+    its members' total query frequency, and the adversary's guess is the
+    maximum-posterior member (ties broken exactly as
+    :meth:`QueryInferenceAttack.guess` does); her per-request success
+    probability is the guessed term's share of the list's true query
+    mass. The result equals :meth:`QueryInferenceAttack.empirical_accuracy`
+    in expectation.
+    """
+    numerator = 0.0
+    denominator = 0.0
+    for members in merge.lists:
+        qf_sum = sum(query_frequencies.get(t, 0) for t in members)
+        if qf_sum == 0:
+            continue  # never requested: contributes nothing to the stream
+        posterior = list_posterior(members, query_frequencies)
+        best = max(posterior.items(), key=lambda kv: (kv[1], kv[0]))[0]
+        numerator += query_frequencies.get(best, 0)
+        denominator += qf_sum
+    if denominator == 0:
+        raise ConfidentialityError("workload never touches the index")
+    return numerator / denominator
+
+
+def band_information_bits(
+    merge: MergeResult,
+    query_frequencies: Mapping[str, int],
+    num_bands: int = 8,
+) -> float:
+    """Mutual information (bits) between requested list and query band.
+
+    Terms are banded by query-frequency rank (band 0 = the hottest
+    ``1/num_bands`` of queried terms, the last band = the rarest). The
+    joint distribution over (list, band) is induced by the query stream
+    (P ∝ qf). High MI means watching list requests reveals how rare the
+    hidden query terms are.
+    """
+    import math
+
+    if num_bands < 2:
+        raise ConfidentialityError("need at least 2 bands")
+    assignments = merge.assignments()
+    queried = [
+        t for t, qf in query_frequencies.items()
+        if qf > 0 and t in assignments
+    ]
+    if not queried:
+        raise ConfidentialityError("workload never touches the index")
+    ranked = sorted(queried, key=lambda t: (-query_frequencies[t], t))
+    band_of = {
+        t: min(num_bands - 1, (rank * num_bands) // len(ranked))
+        for rank, t in enumerate(ranked)
+    }
+    total_qf = sum(query_frequencies[t] for t in queried)
+    joint: dict[tuple[int, int], float] = {}
+    p_list: dict[int, float] = {}
+    p_band: dict[int, float] = {}
+    for t in queried:
+        p = query_frequencies[t] / total_qf
+        key = (assignments[t], band_of[t])
+        joint[key] = joint.get(key, 0.0) + p
+        p_list[key[0]] = p_list.get(key[0], 0.0) + p
+        p_band[key[1]] = p_band.get(key[1], 0.0) + p
+    mi = 0.0
+    for (list_id, band), p in joint.items():
+        mi += p * math.log2(p / (p_list[list_id] * p_band[band]))
+    return mi
+
+
+class QueryInferenceAttack:
+    """Alice watching the posting-list request stream."""
+
+    def __init__(
+        self,
+        merge: MergeResult,
+        query_frequencies: Mapping[str, int],
+    ) -> None:
+        """Args:
+        merge: the public merge (Alice reads the mapping table).
+        query_frequencies: her query-statistics background knowledge.
+        """
+        self._merge = merge
+        self._qfs = dict(query_frequencies)
+        self._assignments = merge.assignments()
+
+    def guess(self, pl_id: int) -> str:
+        """Her maximum-posterior guess for one observed request."""
+        members = self._merge.lists[pl_id]
+        posterior = list_posterior(members, self._qfs)
+        return max(posterior.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
+    def empirical_accuracy(
+        self, num_queries: int = 2_000, rng: random.Random | None = None
+    ) -> float:
+        """Simulate a query stream and score her argmax guesses.
+
+        Queries are drawn from the same qf distribution she knows —
+        the paper's worst case, where her background is accurate.
+        """
+        rng = rng or random.Random(0xA77)
+        queried_terms = [
+            t for t in self._qfs if self._qfs[t] > 0 and t in self._assignments
+        ]
+        if not queried_terms:
+            raise ConfidentialityError("no queried terms intersect the merge")
+        weights = [self._qfs[t] for t in queried_terms]
+        hits = 0
+        for _ in range(num_queries):
+            actual = rng.choices(queried_terms, weights=weights, k=1)[0]
+            observed_list = self._assignments[actual]
+            if self.guess(observed_list) == actual:
+                hits += 1
+        return hits / num_queries

@@ -1,0 +1,199 @@
+"""The statistical attack on a compromised index server (paper §4, §5.2, §7.1).
+
+The adversary owns one server. She can read, for every merged posting list,
+its combined length, and she knows the public mapping table and general
+language statistics. Two questions follow:
+
+1. *Document-frequency estimation.* In an unmerged index the list length
+   **is** the term's document frequency ("the length of a term's posting
+   list is its (global) document frequency"). With merging she only sees
+   the combined length; her best per-term estimate follows formula (3).
+2. *Element-identity guessing.* For each (encrypted) element of a merged
+   list she can form the posterior that it belongs to term t — formula (3)
+   again — and her amplification over the prior is ``1 / sum_{i in S} p_i``
+   which Zerber's merge bounds by r (formula (5)).
+
+:class:`StatisticalAttack` implements the adversary's best play, and
+:meth:`StatisticalAttack.empirical_guess_accuracy` measures how often her
+maximum-posterior guess is actually right against ground truth — the
+end-to-end demonstration that merging caps what statistics can extract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.attacks.adversary import BackgroundKnowledge
+from repro.errors import ConfidentialityError
+from repro.server.index_server import CompromisedView
+
+
+@dataclass(frozen=True)
+class AttackReport:
+    """Outcome of a statistical attack over one compromised server.
+
+    Attributes:
+        max_amplification: largest posterior/prior ratio over all (list,
+            term) pairs — must be <= the merge's configured r.
+        mean_amplification: probability-weighted average amplification.
+        per_list_amplification: pl_id -> the shared amplification factor of
+            that list's members (``1 / sum p_i``).
+        df_estimate_error: mean relative error of the adversary's per-term
+            document-frequency estimates (0 would be a perfect leak; the
+            unmerged index scores 0 by construction).
+    """
+
+    max_amplification: float
+    mean_amplification: float
+    per_list_amplification: dict[int, float]
+    df_estimate_error: float
+
+
+class StatisticalAttack:
+    """Alice's optimal statistical play on one compromised server."""
+
+    def __init__(
+        self,
+        view: CompromisedView,
+        list_members: Mapping[int, Sequence[str]],
+        background: BackgroundKnowledge,
+    ) -> None:
+        """Args:
+        view: the compromised server's full state.
+        list_members: pl_id -> terms merged into that list. Public: Alice
+            reads it straight out of the mapping table (plus the public
+            hash function for rare terms).
+        background: her language statistics B.
+        """
+        self._view = view
+        self._members = {
+            pl: list(terms) for pl, terms in list_members.items()
+        }
+        self._background = background
+
+    # -- posteriors ------------------------------------------------------------
+
+    def element_posterior(self, pl_id: int) -> dict[str, float]:
+        """Formula (3): P(element is term t | it sits in list pl_id)."""
+        members = self._members.get(pl_id)
+        if not members:
+            raise ConfidentialityError(f"no member terms known for list {pl_id}")
+        priors = self._background.priors(members)
+        total = sum(priors.values())
+        return {t: p / total for t, p in priors.items()}
+
+    def amplification_of(self, pl_id: int) -> float:
+        """The shared posterior/prior ratio of every member of one list."""
+        members = self._members.get(pl_id)
+        if not members:
+            raise ConfidentialityError(f"no member terms known for list {pl_id}")
+        return 1.0 / sum(self._background.priors(members).values())
+
+    # -- document-frequency estimation ---------------------------------------------
+
+    def estimate_document_frequencies(self) -> dict[str, float]:
+        """Best per-term DF estimates from combined list lengths.
+
+        Expected DF of term t = (combined length) * posterior(t).
+        """
+        estimates: dict[str, float] = {}
+        lengths = self._view.merged_list_lengths()
+        for pl_id, members in self._members.items():
+            length = lengths.get(pl_id, 0)
+            posterior = self.element_posterior(pl_id)
+            for term in members:
+                estimates[term] = length * posterior[term]
+        return estimates
+
+    def df_estimation_error(
+        self, true_dfs: Mapping[str, int]
+    ) -> float:
+        """Mean relative error of the DF estimates vs ground truth."""
+        estimates = self.estimate_document_frequencies()
+        errors = []
+        for term, true_df in true_dfs.items():
+            if true_df <= 0 or term not in estimates:
+                continue
+            errors.append(abs(estimates[term] - true_df) / true_df)
+        if not errors:
+            raise ConfidentialityError("no overlapping terms to score")
+        return sum(errors) / len(errors)
+
+    # -- element-identity guessing -----------------------------------------------------
+
+    def guess_element_terms(self) -> dict[int, str]:
+        """Her maximum-posterior guess for every stored element.
+
+        Returns:
+            element_id -> guessed term (over all lists on the box).
+        """
+        guesses: dict[int, str] = {}
+        for pl_id, records in self._view.posting_store.items():
+            if pl_id not in self._members:
+                continue
+            posterior = self.element_posterior(pl_id)
+            best_term = max(posterior.items(), key=lambda kv: (kv[1], kv[0]))[0]
+            for record in records:
+                guesses[record.element_id] = best_term
+        return guesses
+
+    def empirical_guess_accuracy(
+        self, true_terms: Mapping[int, str]
+    ) -> tuple[float, float]:
+        """(attack accuracy, best blind accuracy from priors alone).
+
+        Args:
+            true_terms: element_id -> actual term (ground truth the test
+                harness knows, the adversary does not).
+
+        Returns:
+            The fraction of elements she names correctly using the index,
+            and the accuracy of the prior-only strategy (always guess the
+            globally most probable term). Their ratio is the *empirical*
+            amplification, to be compared with the analytical bound r.
+        """
+        if not true_terms:
+            raise ConfidentialityError("no ground truth supplied")
+        guesses = self.guess_element_terms()
+        scored = [
+            (guesses.get(eid), actual) for eid, actual in true_terms.items()
+        ]
+        hits = sum(1 for guess, actual in scored if guess == actual)
+        attack_accuracy = hits / len(scored)
+        # Blind strategy: guess the highest-prior term for every element.
+        blind_term = max(
+            self._background.terms(), key=lambda t: self._background.prior(t)
+        )
+        blind_hits = sum(1 for _, actual in scored if actual == blind_term)
+        blind_accuracy = blind_hits / len(scored)
+        return attack_accuracy, blind_accuracy
+
+    # -- the full report -------------------------------------------------------------------
+
+    def report(self, true_dfs: Mapping[str, int] | None = None) -> AttackReport:
+        """Run the whole statistical playbook."""
+        per_list = {
+            pl_id: self.amplification_of(pl_id) for pl_id in self._members
+        }
+        if not per_list:
+            raise ConfidentialityError("nothing to attack")
+        weights = {
+            pl_id: sum(
+                self._background.priors(self._members[pl_id]).values()
+            )
+            for pl_id in per_list
+        }
+        total_weight = sum(weights.values())
+        mean_amp = (
+            sum(per_list[pl] * weights[pl] for pl in per_list) / total_weight
+        )
+        df_error = (
+            self.df_estimation_error(true_dfs) if true_dfs is not None else 0.0
+        )
+        return AttackReport(
+            max_amplification=max(per_list.values()),
+            mean_amplification=mean_amp,
+            per_list_amplification=per_list,
+            df_estimate_error=df_error,
+        )

@@ -1,0 +1,35 @@
+"""The comparison systems the paper evaluates Zerber against.
+
+- :mod:`repro.baselines.plain_index` — the §2 "ideal" scheme: a trusted
+  centralized ordinary inverted index "that incorporates an access control
+  list check on the ranked document list just before returning it to the
+  user". Zerber's answers must be identical to this oracle's;
+- :mod:`repro.baselines.bloom` — a from-scratch Bloom filter, the substrate
+  μ-Serv is built on;
+- :mod:`repro.baselines.mu_serv` — μ-Serv [3], "the research most relevant
+  to our problem": a central Bloom-filter index that answers with *sites*
+  (not documents) and trades precision for confidentiality via the preset
+  parameter x;
+- :mod:`repro.baselines.shotgun` — the §1 "shotgun approach": broadcast
+  every query to every document owner;
+- :mod:`repro.baselines.keyed_index` — the §3 keyed-encryption
+  alternative (LKH group keys + encrypted index), implemented so the
+  ablation bench can price the revocation/re-encryption cost Zerber
+  avoids.
+"""
+
+from repro.baselines.bloom import BloomFilter
+from repro.baselines.keyed_index import KeyedInvertedIndex, LogicalKeyTree
+from repro.baselines.mu_serv import MuServIndex, MuServSite
+from repro.baselines.plain_index import IdealTrustedIndex
+from repro.baselines.shotgun import ShotgunBroadcast
+
+__all__ = [
+    "BloomFilter",
+    "KeyedInvertedIndex",
+    "LogicalKeyTree",
+    "MuServIndex",
+    "MuServSite",
+    "IdealTrustedIndex",
+    "ShotgunBroadcast",
+]

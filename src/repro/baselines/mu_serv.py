@@ -1,0 +1,153 @@
+"""The μ-Serv baseline (paper §3, citing Bawa, Bayardo & Agrawal [3]).
+
+"μ-Serv has a centralized index based on a Bloom filter; it responds to a
+keyword search by returning a list of sites that have at least x%
+probability of having documents containing one of the query keywords,
+where x is a preset parameter. Users then repeat their query at each
+suggested site. ... For example, if x = 5%, the user must query 20 times
+as many sites to get the relevant results. Further, μ-Serv does not
+support centralized ranking; the user must get ranked search results from
+individual sites and combine them."
+
+Model: each site summarizes its vocabulary in a deliberately lossy Bloom
+filter. The central index answers a keyword query with every site whose
+filter matches — true holders plus false positives. The filter's
+false-positive rate is the confidentiality dial: the expected *precision*
+of the answer (the paper's x) falls as the fp rate rises, and the user's
+query cost multiplies by ≈ 1/x. :func:`fp_rate_for_precision` computes the
+fp rate that realizes a target x for a given corpus profile, which is how
+the comparison bench reproduces the "x = 5% ⇒ 20×" sentence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.baselines.bloom import BloomFilter
+from repro.corpus.document import Document
+from repro.errors import ReproError
+from repro.invindex.inverted_index import InvertedIndex
+
+
+@dataclass
+class MuServSite:
+    """One participating site: its local index plus its published summary."""
+
+    site_id: str
+    local_index: InvertedIndex
+    summary: BloomFilter
+
+    @classmethod
+    def build(
+        cls,
+        site_id: str,
+        documents: Iterable[Document],
+        fp_rate: float,
+    ) -> "MuServSite":
+        """Index a site's documents and publish its Bloom summary."""
+        index = InvertedIndex()
+        vocabulary: set[str] = set()
+        for document in documents:
+            index.index_document(document)
+            vocabulary.update(document.term_counts)
+        summary = BloomFilter.with_false_positive_rate(
+            expected_items=max(1, len(vocabulary)), fp_rate=fp_rate
+        )
+        summary.add_all(vocabulary)
+        return cls(site_id=site_id, local_index=index, summary=summary)
+
+    def local_search(self, terms: Sequence[str]) -> set[int]:
+        """The per-site query the user repeats at each suggested site."""
+        return self.local_index.search_or(terms)
+
+
+class MuServIndex:
+    """The central site-granularity index."""
+
+    def __init__(self, sites: Sequence[MuServSite]) -> None:
+        if not sites:
+            raise ReproError("μ-Serv needs at least one site")
+        self._sites = {site.site_id: site for site in sites}
+        if len(self._sites) != len(sites):
+            raise ReproError("duplicate site ids")
+
+    @property
+    def num_sites(self) -> int:
+        return len(self._sites)
+
+    def site(self, site_id: str) -> MuServSite:
+        return self._sites[site_id]
+
+    # -- the central answer ---------------------------------------------------
+
+    def candidate_sites(self, terms: Sequence[str]) -> list[str]:
+        """Sites whose summaries match *any* query keyword (§3's answer)."""
+        matches = []
+        for site_id, site in sorted(self._sites.items()):
+            if any(term in site.summary for term in terms):
+                matches.append(site_id)
+        return matches
+
+    # -- the user's full (two-phase) query ----------------------------------------
+
+    def search(
+        self, terms: Sequence[str]
+    ) -> tuple[dict[str, set[int]], int]:
+        """Phase 1 central lookup + phase 2 per-site queries.
+
+        Returns:
+            (site_id -> matching doc_ids (possibly empty — a wasted visit),
+             number of sites contacted). The wasted visits are exactly the
+            §3 criticism: "This approach lengthens the querying process and
+            wastes cycles at sites that do not contain query-relevant
+            entries."
+        """
+        candidates = self.candidate_sites(terms)
+        results = {
+            site_id: self._sites[site_id].local_search(terms)
+            for site_id in candidates
+        }
+        return results, len(candidates)
+
+    def precision(self, terms: Sequence[str]) -> float:
+        """Fraction of suggested sites that actually held a match (the x)."""
+        results, contacted = self.search(terms)
+        if contacted == 0:
+            return 1.0
+        useful = sum(1 for docs in results.values() if docs)
+        return useful / contacted
+
+
+def fp_rate_for_precision(
+    target_precision: float,
+    true_site_fraction: float,
+) -> float:
+    """The Bloom fp rate realizing an expected answer precision of x.
+
+    With S sites, a fraction ``t`` truly matching and fp rate ``f``, the
+    expected answer is ``tS + f(1-t)S`` sites and its precision
+    ``t / (t + f(1-t))``. Solving for ``f`` at precision ``x``:
+
+        f = t (1 - x) / (x (1 - t))
+
+    Args:
+        target_precision: the paper's x, in (0, 1].
+        true_site_fraction: fraction of sites genuinely holding the keyword.
+
+    Returns:
+        The fp rate, clamped into (0, 0.99].
+
+    Raises:
+        ReproError: on out-of-range inputs.
+    """
+    if not 0.0 < target_precision <= 1.0:
+        raise ReproError("target precision must be in (0, 1]")
+    if not 0.0 < true_site_fraction < 1.0:
+        raise ReproError("true_site_fraction must be in (0, 1)")
+    f = (
+        true_site_fraction
+        * (1.0 - target_precision)
+        / (target_precision * (1.0 - true_site_fraction))
+    )
+    return min(max(f, 1e-6), 0.99)

@@ -1,0 +1,102 @@
+"""The §2 "ideal" scheme: trusted centralized index + post-hoc ACL check.
+
+"Given a keyword query, the ideal indexing scheme's answer will be
+identical to that of a trusted centralized ordinary inverted index that
+incorporates an access control list check on the ranked document list just
+before returning it to the user."
+
+This oracle defines Zerber's correctness target: for any corpus, any group
+structure and any query, Zerber must return exactly the documents (and the
+same ranking) the ideal index returns. The integration and property tests
+enforce that equivalence. Of course the ideal index is *not* confidential —
+its administrator sees everything — which is the whole point of the paper.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.corpus.document import Document
+from repro.invindex.inverted_index import InvertedIndex
+from repro.ranking.scores import CollectionStatistics, TfIdfScorer
+from repro.ranking.threshold import RankedHit, threshold_top_k
+from repro.server.groups import GroupDirectory
+
+
+class IdealTrustedIndex:
+    """Fully trusted central index with per-query ACL filtering."""
+
+    def __init__(self, groups: GroupDirectory) -> None:
+        """Args:
+        groups: the same membership table the Zerber servers consult,
+            so equivalence comparisons see one access-control universe.
+        """
+        self._index = InvertedIndex()
+        self._groups = groups
+        self._group_of_doc: dict[int, int] = {}
+
+    # -- updates -------------------------------------------------------------
+
+    def index_document(self, document: Document) -> None:
+        self._index.index_document(document)
+        self._group_of_doc[document.doc_id] = document.group_id
+
+    def delete_document(self, doc_id: int) -> bool:
+        self._group_of_doc.pop(doc_id, None)
+        return self._index.delete_document(doc_id)
+
+    # -- the ideal query path ------------------------------------------------------
+
+    def _accessible(self, user_id: str, doc_id: int) -> bool:
+        group = self._group_of_doc.get(doc_id)
+        return group is not None and self._groups.is_member(user_id, group)
+
+    def search(
+        self, user_id: str, terms: Sequence[str], top_k: int = 10
+    ) -> list[RankedHit]:
+        """Rank over accessible documents, with the same personalized
+        statistics and aggregation Zerber's client uses, then ACL-filter.
+
+        The ACL check runs on the candidate list "just before returning it
+        to the user" — but because ranking statistics must match Zerber's
+        *personalized* view (accessible documents only), the accessible set
+        is applied to the statistics too. The result set equals Zerber's by
+        construction of both pipelines.
+        """
+        postings_by_term: dict[str, list[tuple[int, float]]] = defaultdict(list)
+        for term in terms:
+            plist = self._index.posting_list(term)
+            if plist is None:
+                continue
+            for posting in plist:
+                if self._accessible(user_id, posting.doc_id):
+                    postings_by_term[term].append((posting.doc_id, posting.tf))
+        if not postings_by_term:
+            return []
+        statistics = CollectionStatistics.from_postings(
+            {t: [d for d, _ in ps] for t, ps in postings_by_term.items()}
+        )
+        scorer = TfIdfScorer(statistics)
+        weights = {t: scorer.weight(t) for t in postings_by_term}
+        return threshold_top_k(postings_by_term, weights, top_k)
+
+    def matching_documents(
+        self, user_id: str, terms: Sequence[str]
+    ) -> set[int]:
+        """Unranked accessible matches (equivalence-test helper)."""
+        return {
+            doc_id
+            for doc_id in self._index.search_or(terms)
+            if self._accessible(user_id, doc_id)
+        }
+
+    # -- statistics -----------------------------------------------------------------
+
+    @property
+    def num_documents(self) -> int:
+        return self._index.num_documents
+
+    @property
+    def num_postings(self) -> int:
+        return self._index.num_postings

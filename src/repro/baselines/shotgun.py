@@ -1,0 +1,53 @@
+"""The §1 "shotgun" baseline: broadcast every query to every owner.
+
+"One possible solution is for each document owner to keep an inverted
+index over the documents it owns locally. Then a user's query ... can be
+broadcast to all document owners, and the resulting answers can be
+collected by the user and, if desired, ranked. ... However, this shotgun
+approach to querying is relatively slow, and wastes network bandwidth and
+computing power, since most document owners will not have posting list
+elements matching most queries."
+
+Included so the benchmark harness can quantify that waste next to μ-Serv
+and Zerber: the shotgun contacts *all* S sites per query, μ-Serv ≈ 1/x
+times the relevant sites, Zerber only the hosts of the top-K hits.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.invindex.inverted_index import InvertedIndex
+
+
+class ShotgunBroadcast:
+    """Query-broadcast federation over per-owner local indexes."""
+
+    def __init__(self, site_indexes: Mapping[str, InvertedIndex]) -> None:
+        if not site_indexes:
+            raise ReproError("shotgun federation needs at least one site")
+        self._sites = dict(site_indexes)
+
+    @property
+    def num_sites(self) -> int:
+        return len(self._sites)
+
+    def search(
+        self, terms: Sequence[str]
+    ) -> tuple[dict[str, set[int]], int]:
+        """Broadcast to every site.
+
+        Returns:
+            (site_id -> matching docs, sites contacted == all of them).
+        """
+        results = {
+            site_id: index.search_or(terms)
+            for site_id, index in sorted(self._sites.items())
+        }
+        return results, len(self._sites)
+
+    def wasted_contacts(self, terms: Sequence[str]) -> int:
+        """Sites contacted that had no match at all (the §1 waste)."""
+        results, contacted = self.search(terms)
+        return contacted - sum(1 for docs in results.values() if docs)

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four entry points for kicking Zerber's tires without writing code:
+
+- ``demo``      — the quickstart scenario end to end;
+- ``merge``     — run a §6 heuristic over a synthetic corpus and print the
+  merge statistics (r, singletons, mass quantiles);
+- ``audit``     — the operator confidentiality audit for a chosen
+  configuration, including the §8 request-stream channels;
+- ``bandwidth`` — the §7.3 network model with adjustable parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.client.batching import BatchPolicy
+    from repro.core.mapping_table import MappingTable
+    from repro.core.zerber_index import ZerberDeployment
+    from repro.corpus.synthetic import SyntheticCorpusConfig, generate_corpus
+
+    corpus = generate_corpus(
+        SyntheticCorpusConfig(
+            num_documents=args.documents,
+            vocabulary_size=800,
+            num_groups=2,
+            seed=args.seed,
+        )
+    )
+    deployment = ZerberDeployment.bootstrap(
+        corpus.term_probabilities(),
+        heuristic="dfm",
+        num_lists=min(32, corpus.vocabulary_size),
+        k=2,
+        n=3,
+        batch_policy=BatchPolicy(min_documents=4),
+        seed=args.seed,
+    )
+    for g in corpus.group_ids():
+        deployment.create_group(g, coordinator=f"owner{g}")
+    for document in corpus:
+        deployment.share_document(f"owner{document.group_id}", document)
+    deployment.flush_all()
+    print(f"indexed {len(corpus)} documents -> "
+          f"{deployment.servers[0].num_elements} elements per server "
+          f"(k=2 of n=3)")
+    doc = corpus.documents_in_group(0)[0]
+    term = sorted(doc.term_counts)[0]
+    results = deployment.search("owner0", [term], top_k=5)
+    print(f"owner0 queried {term!r}: {len(results)} hits")
+    for hit in results:
+        print(f"  doc {hit.doc_id} @ {hit.host}  score={hit.score:.3f}")
+    outsider = deployment.search("owner1", [term], top_k=5)
+    print(f"owner1 (other group) queried {term!r}: {len(outsider)} hits")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from repro.core.merging.bfm import BreadthFirstMerging, bfm_r_for_list_count
+    from repro.core.merging.dfm import DepthFirstMerging
+    from repro.core.merging.udm import UniformDistributionMerging
+    from repro.corpus.synthetic import generate_term_statistics
+
+    stats = generate_term_statistics(args.documents, args.vocabulary)
+    probs = stats.term_probabilities()
+    m = min(args.lists, len(probs))
+    if args.heuristic == "udm":
+        algo = UniformDistributionMerging(m)
+    else:
+        target = bfm_r_for_list_count(probs, m)
+        algo = (
+            BreadthFirstMerging(target)
+            if args.heuristic == "bfm"
+            else DepthFirstMerging(m, target)
+        )
+    merge = algo.merge(probs)
+    masses = sorted(merge.masses(probs))
+    print(f"{args.heuristic.upper()} over {len(probs)} terms -> "
+          f"{merge.num_lists} lists")
+    print(f"resulting r (formula 7): {merge.resulting_r(probs):.1f}")
+    print(f"singleton lists: {merge.singleton_lists()}")
+    print(f"list mass min/median/max: {masses[0]:.2e} / "
+          f"{masses[len(masses) // 2]:.2e} / {masses[-1]:.2e}")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.analysis.audit import audit_merge
+    from repro.core.merging.bfm import bfm_r_for_list_count
+    from repro.core.merging.dfm import DepthFirstMerging
+    from repro.corpus.querylog import QueryLogConfig, generate_query_log
+    from repro.corpus.synthetic import generate_term_statistics
+
+    stats = generate_term_statistics(args.documents, args.vocabulary)
+    probs = stats.term_probabilities()
+    m = min(args.lists, len(probs))
+    merge = DepthFirstMerging(m, bfm_r_for_list_count(probs, m)).merge(probs)
+    qlog = generate_query_log(
+        stats,
+        QueryLogConfig(
+            total_queries=50_000,
+            distinct_query_terms=min(2_000, len(probs)),
+            rank_noise=0.005,
+            tail_fraction=0.2,
+            seed=args.seed,
+        ),
+    )
+    audit = audit_merge(
+        merge, probs, query_frequencies=qlog.frequencies()
+    )
+    for line in audit.render():
+        print(line)
+    return 0
+
+
+def _cmd_bandwidth(args: argparse.Namespace) -> int:
+    from repro.analysis.bandwidth import BandwidthModel
+
+    model = BandwidthModel(
+        elements_per_query_term=args.elements_per_term,
+        k=args.k,
+        terms_per_query=args.terms_per_query,
+    )
+    report = model.report()
+    print(f"per-query-term response: {report.response_kb_per_query_term:.1f} KB")
+    print(f"user throughput:   {report.queries_per_second_user:.0f} q/s")
+    print(f"server throughput: {report.queries_per_second_server:.0f} q/s")
+    print(f"top-10 response:   {report.total_response_bytes_top_k / 1000:.1f} KB "
+          f"(x{report.vs_google:.2f} Google, x{report.vs_yahoo:.2f} Yahoo)")
+    print(f"insert fan-out:    x{model.insert_bandwidth_factor(args.n):.1f} "
+          "plain-index bandwidth")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Zerber (EDBT 2008) reproduction — demo and analysis CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="index a toy corpus and search it")
+    demo.add_argument("--documents", type=int, default=30)
+    demo.add_argument("--seed", type=int, default=7)
+    demo.set_defaults(func=_cmd_demo)
+
+    merge = sub.add_parser("merge", help="run a merging heuristic, print stats")
+    merge.add_argument("--heuristic", choices=("dfm", "bfm", "udm"), default="dfm")
+    merge.add_argument("--documents", type=int, default=2_000)
+    merge.add_argument("--vocabulary", type=int, default=5_000)
+    merge.add_argument("--lists", type=int, default=64)
+    merge.set_defaults(func=_cmd_merge)
+
+    audit = sub.add_parser("audit", help="confidentiality audit of a config")
+    audit.add_argument("--documents", type=int, default=2_000)
+    audit.add_argument("--vocabulary", type=int, default=5_000)
+    audit.add_argument("--lists", type=int, default=64)
+    audit.add_argument("--seed", type=int, default=7)
+    audit.set_defaults(func=_cmd_audit)
+
+    bandwidth = sub.add_parser("bandwidth", help="the §7.3 network model")
+    bandwidth.add_argument("--elements-per-term", type=float, default=2_700)
+    bandwidth.add_argument("--terms-per-query", type=float, default=2.45)
+    bandwidth.add_argument("--k", type=int, default=2)
+    bandwidth.add_argument("--n", type=int, default=3)
+    bandwidth.set_defaults(func=_cmd_bandwidth)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Client-side Zerber: document owners and querying users (paper §5.4).
+
+- :mod:`repro.client.batching` — update batching policies ("Batch size,
+  frequency, and other batch parameters can be tuned by each document owner
+  to trade off security and index freshness", §5.4.1);
+- :mod:`repro.client.owner` — the document owner's daemon: parse, build
+  posting elements, Shamir-split, distribute to the n servers, track local
+  changes, and delete element-by-element;
+- :mod:`repro.client.searcher` — the querying user: resolve terms through
+  the mapping table, gather ≥ k shares, reconstruct, filter false
+  positives, rank with Fagin's TA, fetch snippets (Algorithm 2);
+- :mod:`repro.client.snippets` — the hosting peers' snippet service.
+"""
+
+from repro.client.batching import BatchPolicy, UpdateBatcher
+from repro.client.owner import DocumentOwner
+from repro.client.searcher import SearchClient, SearchResult
+from repro.client.snippets import SnippetService
+
+__all__ = [
+    "BatchPolicy",
+    "UpdateBatcher",
+    "DocumentOwner",
+    "SearchClient",
+    "SearchResult",
+    "SnippetService",
+]

@@ -1,0 +1,320 @@
+"""The document owner's client daemon (paper §5.4.1, §7.2).
+
+"Zerber runs a client program at the document owner that tracks local
+changes and performs only the necessary updates at the central indexes."
+
+For each shared document the owner: tokenizes it, builds one posting
+element per distinct term, packs the ``[doc_id, term_id, tf]`` secret,
+splits it k-out-of-n, mints a global element ID, resolves the merged
+posting list through the public mapping table, and enqueues one
+:class:`~repro.server.index_server.InsertOp` per server. A batching policy
+(§5.4.1) decides when the accumulated, *cross-document shuffled* operations
+actually reach the servers.
+
+The owner also keeps two local structures §7.2 calls for: a local inverted
+index over its shared documents ("also useful for local search") and the
+shadow map ``doc_id -> [(pl_id, element_id)]`` that makes per-element
+deletion possible — the servers cannot group elements by document, but the
+owner can.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.client.batching import BatchPolicy, UpdateBatcher
+from repro.core.dictionary import TermDictionary
+from repro.core.mapping_table import MappingTable
+from repro.core.posting import PostingElement, PostingElementCodec, new_element_id
+from repro.corpus.document import Document
+from repro.errors import ReproError
+from repro.invindex.inverted_index import InvertedIndex
+from repro.secretsharing.shamir import ShamirScheme
+from repro.server.auth import AuthToken
+from repro.server.index_server import DeleteOp, IndexServer, InsertOp
+from repro.server.transport import SimulatedNetwork
+
+
+@dataclass(frozen=True)
+class _ElementPlan:
+    """One posting element fanned out to all n servers (internal)."""
+
+    pl_id: int
+    element_id: int
+    group_id: int
+    shares_y: tuple[int, ...]  # index-aligned with the server fleet
+
+
+class DocumentOwner:
+    """A peer that shares, updates and withdraws its own documents."""
+
+    def __init__(
+        self,
+        owner_id: str,
+        token: AuthToken,
+        scheme: ShamirScheme,
+        mapping_table: MappingTable,
+        dictionary: TermDictionary,
+        servers: Sequence[IndexServer],
+        codec: PostingElementCodec | None = None,
+        network: SimulatedNetwork | None = None,
+        batch_policy: BatchPolicy | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        """Args:
+        owner_id: the owner's principal name (also its network endpoint).
+        token: the owner's enterprise auth ticket.
+        scheme: the public Shamir deployment parameters.
+        mapping_table: the public term -> posting-list table.
+        dictionary: the public term -> term_id registry.
+        servers: the n index servers, index-aligned with the scheme's
+            x-coordinates.
+        codec: posting-element packer (standard 64-bit layout by default).
+        network: when given, every server call is routed through the
+            simulated network for §7.3 byte accounting.
+        batch_policy: §5.4.1 batching knobs; defaults to a 4-document
+            batch. Use ``BatchPolicy(min_documents=1)`` for the paper's
+            "if the user trusts that no index servers are compromised"
+            immediate-update mode.
+        rng: element-ID/shuffle randomness (seed it in tests).
+        """
+        if len(servers) != scheme.n:
+            raise ReproError(
+                f"scheme expects {scheme.n} servers, got {len(servers)}"
+            )
+        self.owner_id = owner_id
+        self._token = token
+        self._scheme = scheme
+        self._mapping = mapping_table
+        self._dictionary = dictionary
+        # Kept as the caller's live sequence so fleet extension
+        # (ZerberDeployment.add_server) is visible to existing owners.
+        self._servers = servers
+        self._codec = codec or PostingElementCodec()
+        self._network = network
+        self._rng = rng or random.Random()
+        self._batcher: UpdateBatcher[_ElementPlan] = UpdateBatcher(
+            batch_policy or BatchPolicy(),
+            flush_fn=self._send_insert_batch,
+            rng=self._rng,
+        )
+        #: doc_id -> [(pl_id, element_id)] — the deletion shadow map (§7.3).
+        self._shadow: dict[int, list[tuple[int, int]]] = {}
+        #: the §7.2 local index over this owner's shared documents.
+        self.local_index = InvertedIndex()
+        self._documents: dict[int, Document] = {}
+
+    # -- sharing -------------------------------------------------------------
+
+    def share_document(self, document: Document) -> int:
+        """Share (or re-share) a document; returns its element count.
+
+        Re-sharing an already-shared doc_id first withdraws the old
+        elements, so "only the most recent copy of the document on a site
+        will ever be retrieved".
+        """
+        if document.doc_id in self._shadow:
+            self.delete_document(document.doc_id)
+        plans = self._build_plans(document)
+        self._shadow[document.doc_id] = [
+            (plan.pl_id, plan.element_id) for plan in plans
+        ]
+        self._documents[document.doc_id] = document
+        self.local_index.index_document(document)
+        self._batcher.enqueue_document(plans)
+        return len(plans)
+
+    def _build_plans(self, document: Document) -> list[_ElementPlan]:
+        plans = []
+        used_ids: set[tuple[int, int]] = set()
+        for term, count in sorted(document.term_counts.items()):
+            term_id = self._dictionary.get_or_assign(term)
+            element = PostingElement(
+                doc_id=document.doc_id,
+                term_id=term_id,
+                tf=count / document.length,
+            )
+            secret = self._codec.pack(element)
+            shares = self._scheme.split(secret, rng=self._rng)
+            pl_id = self._mapping.lookup(term)
+            id_bits = self._codec.spec.element_id_bits
+            element_id = new_element_id(self._rng, id_bits)
+            while (pl_id, element_id) in used_ids:
+                element_id = new_element_id(self._rng, id_bits)
+            used_ids.add((pl_id, element_id))
+            plans.append(
+                _ElementPlan(
+                    pl_id=pl_id,
+                    element_id=element_id,
+                    group_id=document.group_id,
+                    shares_y=tuple(share.y for share in shares),
+                )
+            )
+        return plans
+
+    def _send_insert_batch(self, plans: list[_ElementPlan]) -> None:
+        """Fan one shuffled batch out to every server."""
+        for server_index, server in enumerate(self._servers):
+            operations = [
+                InsertOp(
+                    pl_id=plan.pl_id,
+                    element_id=plan.element_id,
+                    group_id=plan.group_id,
+                    share_y=plan.shares_y[server_index],
+                )
+                for plan in plans
+            ]
+            if self._network is not None:
+                request_bytes = self._token.wire_bytes() + sum(
+                    op.wire_bytes(server.share_bytes) for op in operations
+                )
+                self._network.call(
+                    src=self.owner_id,
+                    dst=server.server_id,
+                    kind="insert",
+                    message=(self._token, operations),
+                    request_bytes=request_bytes,
+                    response_bytes_of=lambda _count: 8,
+                )
+            else:
+                server.insert_batch(self._token, operations)
+
+    # -- freshness -----------------------------------------------------------
+
+    def flush_updates(self) -> int:
+        """Force pending batches out (end-of-day daemon flush)."""
+        return self._batcher.flush()
+
+    def tick(self, ticks: int = 1) -> bool:
+        """Advance the batcher's freshness clock."""
+        return self._batcher.tick(ticks)
+
+    @property
+    def pending_documents(self) -> int:
+        return self._batcher.pending_documents
+
+    # -- withdrawal ----------------------------------------------------------
+
+    def delete_document(self, doc_id: int) -> int:
+        """Withdraw a document: delete each of its elements separately.
+
+        Returns the number of elements deleted per server. Flushes pending
+        inserts first so a delete can never race ahead of its own insert.
+        """
+        self._batcher.flush()
+        entries = self._shadow.pop(doc_id, None)
+        if not entries:
+            return 0
+        operations = [
+            DeleteOp(pl_id=pl_id, element_id=element_id)
+            for pl_id, element_id in entries
+        ]
+        self._rng.shuffle(operations)
+        for server in self._servers:
+            if self._network is not None:
+                request_bytes = self._token.wire_bytes() + sum(
+                    op.wire_bytes() for op in operations
+                )
+                self._network.call(
+                    src=self.owner_id,
+                    dst=server.server_id,
+                    kind="delete",
+                    message=(self._token, operations),
+                    request_bytes=request_bytes,
+                    response_bytes_of=lambda _count: 8,
+                )
+            else:
+                server.delete(self._token, operations)
+        self.local_index.delete_document(doc_id)
+        self._documents.pop(doc_id, None)
+        return len(operations)
+
+    # -- fleet extension (§5.1) ------------------------------------------------
+
+    def provision_new_server(self, new_server_index: int) -> int:
+        """Hand a newly added server shares of this owner's existing elements.
+
+        §5.1: Shamir "allows dynamic extension of the number n of servers
+        without recalculating the existing secret shares, by just selecting
+        additional points on the polynomial curve." The owner — who is
+        entitled to read its own documents — gathers k shares of each of
+        its elements from the old servers, interpolates the original
+        polynomial, evaluates it at the new server's x-coordinate, and
+        inserts that single new point. Element IDs and posting-list IDs
+        are unchanged, so queries spanning old and new servers keep
+        joining correctly.
+
+        Args:
+            new_server_index: index of the already-registered new server
+                (its x-coordinate must be the scheme's ``x_of(index)``).
+
+        Returns:
+            The number of elements provisioned.
+        """
+        self._batcher.flush()
+        new_server = self._servers[new_server_index]
+        field = self._scheme.field
+        new_x = self._scheme.x_of(new_server_index)
+        if new_server.x_coordinate != new_x:
+            raise ReproError(
+                "new server's x-coordinate disagrees with the scheme"
+            )
+        my_entries = {
+            (pl_id, element_id)
+            for entries in self._shadow.values()
+            for pl_id, element_id in entries
+        }
+        if not my_entries:
+            return 0
+        pl_ids = sorted({pl_id for pl_id, _ in my_entries})
+        k = self._scheme.k
+        # Gather k shares of every element from the first k old servers.
+        points: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        for server_index in range(k):
+            server = self._servers[server_index]
+            x = self._scheme.x_of(server_index)
+            for response in server.get_posting_lists(self._token, pl_ids):
+                for record in response.records:
+                    key = (response.pl_id, record.element_id)
+                    if key in my_entries:
+                        points.setdefault(key, []).append(
+                            (x, record.share_y)
+                        )
+        operations = []
+        group_of_entry = {
+            entry: document.group_id
+            for doc_id, entries in self._shadow.items()
+            for entry in entries
+            if (document := self._documents.get(doc_id)) is not None
+        }
+        for key, share_points in sorted(points.items()):
+            if len(share_points) < k:
+                continue  # an old server is missing data; skip, don't guess
+            pl_id, element_id = key
+            y_new = field.lagrange_eval(share_points[:k], new_x)
+            operations.append(
+                InsertOp(
+                    pl_id=pl_id,
+                    element_id=element_id,
+                    group_id=group_of_entry[key],
+                    share_y=y_new,
+                )
+            )
+        if operations:
+            new_server.insert_batch(self._token, operations)
+        return len(operations)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def shared_documents(self) -> list[int]:
+        return sorted(self._shadow)
+
+    def document(self, doc_id: int) -> Document | None:
+        return self._documents.get(doc_id)
+
+    def elements_of(self, doc_id: int) -> list[tuple[int, int]]:
+        """The shadow map entries for one document (copies)."""
+        return list(self._shadow.get(doc_id, ()))

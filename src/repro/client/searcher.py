@@ -1,0 +1,334 @@
+"""The querying user's client (paper §5.4.2, Algorithm 2).
+
+Query processing, exactly as Algorithm 2 stages it:
+
+1. map query terms to merged posting-list IDs through the public mapping
+   table ("she does not divulge which terms she is querying" — only list
+   IDs travel);
+2. authenticate to k (or more) index servers and fetch the requested lists;
+   each server returns only the elements the user's groups may read;
+3. join the share streams on the global element ID and reconstruct each
+   element from any k shares (``decodeShamirsScheme``);
+4. filter false positives — elements of merged-in terms the user did not
+   query (``filterElements``);
+5. rank client-side with personalized collection statistics and Fagin's
+   Threshold Algorithm;
+6. fetch snippets for the top-K from the hosting peers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.client.snippets import SnippetService
+from repro.core.dictionary import TermDictionary
+from repro.core.mapping_table import MappingTable
+from repro.core.posting import PostingElement, PostingElementCodec
+from repro.errors import PackingError, ReproError
+from repro.ranking.scores import CollectionStatistics, TfIdfScorer
+from repro.ranking.threshold import threshold_top_k
+from repro.secretsharing.shamir import ShamirScheme, Share
+from repro.server.auth import AuthToken
+from repro.server.index_server import IndexServer, PostingListResponse
+from repro.server.transport import SimulatedNetwork
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked hit as presented to the user.
+
+    Attributes:
+        doc_id: the matching document.
+        score: its personalized tf-idf score.
+        host: hosting peer (from the snippet fetch; "" when snippets off).
+        snippet: context text ("" when snippets off).
+        matched_terms: the query terms the document actually contains.
+    """
+
+    doc_id: int
+    score: float
+    host: str = ""
+    snippet: str = ""
+    matched_terms: tuple[str, ...] = ()
+
+
+@dataclass
+class SearchDiagnostics:
+    """Per-query accounting the §7.3 experiments read off.
+
+    Attributes:
+        posting_lists_requested: distinct merged-list IDs sent to servers.
+        elements_received: share groups received with >= k shares.
+        false_positives: decrypted elements discarded as merged-in noise.
+        elements_matched: elements surviving the term filter.
+        response_bytes: total lookup response bytes across servers
+            (0 unless a network is attached).
+    """
+
+    posting_lists_requested: int = 0
+    elements_received: int = 0
+    false_positives: int = 0
+    elements_matched: int = 0
+    response_bytes: int = 0
+    inconsistent_elements: int = 0
+    recovered_elements: int = 0
+
+
+class SearchClient:
+    """A group member searching the shared index."""
+
+    def __init__(
+        self,
+        user_id: str,
+        token: AuthToken,
+        scheme: ShamirScheme,
+        mapping_table: MappingTable,
+        dictionary: TermDictionary,
+        servers: Sequence[IndexServer],
+        codec: PostingElementCodec | None = None,
+        network: SimulatedNetwork | None = None,
+        snippet_service: SnippetService | None = None,
+        reconstruct_method: str = "lagrange",
+        verify_consistency: bool = False,
+    ) -> None:
+        """Args:
+        user_id: the searching principal (network endpoint name too).
+        token: enterprise auth ticket.
+        scheme: public Shamir parameters (k, n, x-coordinates).
+        mapping_table: public term -> posting-list resolver.
+        dictionary: public term -> term_id registry.
+        servers: the full server fleet, index-aligned with the scheme.
+        codec: posting-element unpacker.
+        network: optional simulated network for byte accounting.
+        snippet_service: optional hosting-peer registry for step 6.
+        reconstruct_method: "lagrange" (default) or "gaussian" (the
+            paper's Algorithm 1b formulation).
+        verify_consistency: when querying more than k servers, cross-check
+            every element by reconstructing from two different k-subsets
+            of its shares; elements whose reconstructions disagree (a
+            lying or corrupted server) are dropped and counted in
+            :attr:`SearchDiagnostics.inconsistent_elements`.
+        """
+        if len(servers) != scheme.n:
+            raise ReproError(
+                f"scheme expects {scheme.n} servers, got {len(servers)}"
+            )
+        self.user_id = user_id
+        self._token = token
+        self._scheme = scheme
+        self._mapping = mapping_table
+        self._dictionary = dictionary
+        # Live reference: fleet extension must be visible to old clients.
+        self._servers = servers
+        self._codec = codec or PostingElementCodec()
+        self._network = network
+        self._snippets = snippet_service
+        self._method = reconstruct_method
+        self._verify = verify_consistency
+        self.last_diagnostics = SearchDiagnostics()
+
+    # -- low level: fetch + decrypt -------------------------------------------
+
+    def _fetch_lists(
+        self, pl_ids: Sequence[int], num_servers: int
+    ) -> list[tuple[int, list[PostingListResponse]]]:
+        """Ask ``num_servers`` servers for the lists; returns (server_index, responses)."""
+        chosen = list(range(len(self._servers)))[:num_servers]
+        out = []
+        for server_index in chosen:
+            server = self._servers[server_index]
+            if self._network is not None:
+                request_bytes = self._token.wire_bytes() + 4 * len(pl_ids)
+                responses = self._network.call(
+                    src=self.user_id,
+                    dst=server.server_id,
+                    kind="lookup",
+                    message=(self._token, list(pl_ids)),
+                    request_bytes=request_bytes,
+                    response_bytes_of=lambda rs: sum(
+                        r.wire_bytes(server.share_bytes) for r in rs
+                    ),
+                )
+                self.last_diagnostics.response_bytes += sum(
+                    r.wire_bytes(server.share_bytes) for r in responses
+                )
+            else:
+                responses = server.get_posting_lists(self._token, pl_ids)
+            out.append((server_index, responses))
+        return out
+
+    def fetch_elements(
+        self, terms: Sequence[str], num_servers: int | None = None
+    ) -> list[PostingElement]:
+        """Steps 1-4 of Algorithm 2: fetch, join, reconstruct, filter.
+
+        Returns the decrypted posting elements of the queried terms only
+        (false positives already removed). Populates
+        :attr:`last_diagnostics`.
+        """
+        self.last_diagnostics = SearchDiagnostics()
+        if not terms:
+            return []
+        wanted_term_ids = {
+            self._dictionary.id_of(t)
+            for t in terms
+            if self._dictionary.id_of(t) is not None
+        }
+        pl_ids = sorted({self._mapping.lookup(t) for t in terms})
+        self.last_diagnostics.posting_lists_requested = len(pl_ids)
+        k = self._scheme.k
+        num_servers = num_servers or k
+        if num_servers < k:
+            raise ReproError(
+                f"must query at least k={k} servers, asked {num_servers}"
+            )
+        # Join share streams on (pl_id, element_id).
+        shares_of: dict[tuple[int, int], list[Share]] = defaultdict(list)
+        for server_index, responses in self._fetch_lists(pl_ids, num_servers):
+            x = self._scheme.x_of(server_index)
+            for response in responses:
+                for record in response.records:
+                    shares_of[(response.pl_id, record.element_id)].append(
+                        Share(x=x, y=record.share_y)
+                    )
+        elements: list[PostingElement] = []
+        for (_pl_id, _element_id), shares in shares_of.items():
+            if len(shares) < k:
+                # A lagging or lying server; cannot reconstruct.
+                continue
+            self.last_diagnostics.elements_received += 1
+            secret = self._scheme.reconstruct(shares, method=self._method)
+            if self._verify and len(shares) > k:
+                # Cross-check and, when shares disagree, recover by
+                # plurality vote over k-subsets: with a single lying
+                # server among m > k shares, the true secret appears in
+                # C(m-1, k) subsets while each corrupted reconstruction
+                # is a distinct field element appearing once.
+                verdict, distinct = self._majority_reconstruct(shares, k)
+                if distinct > 1:
+                    self.last_diagnostics.inconsistent_elements += 1
+                    if verdict is None:
+                        continue  # detectable but not correctable: drop
+                    self.last_diagnostics.recovered_elements += 1
+                    secret = verdict
+            try:
+                element = self._codec.unpack(secret)
+            except PackingError:
+                # Inconsistent shares decode to garbage; drop them.
+                continue
+            if element.term_id in wanted_term_ids:
+                elements.append(element)
+            else:
+                self.last_diagnostics.false_positives += 1
+        self.last_diagnostics.elements_matched = len(elements)
+        return elements
+
+    def _majority_reconstruct(self, shares, k: int) -> tuple[int | None, int]:
+        """Plurality secret over (up to 21) k-subsets of the shares.
+
+        A single corrupted share among ``m`` shares poisons every subset
+        containing it with a *distinct* garbage value, while the true
+        secret repeats across all C(m-1, k) honest subsets — so strict
+        plurality identifies it whenever m >= k + 2 (standard
+        error-correction bound: detection needs k + 1, correction k + 2e).
+        Colluding servers injecting *identical* wrong shares can defeat
+        plurality; that stronger adversary needs verifiable secret
+        sharing, out of the paper's scope.
+
+        Returns:
+            ``(verdict, distinct_values)`` — verdict is the plurality
+            secret, or None on a tie (detection without correction);
+            distinct_values is how many different reconstructions were
+            observed (1 means all subsets agree).
+        """
+        from collections import Counter
+        from itertools import combinations, islice
+
+        counts: Counter[int] = Counter()
+        for subset in islice(combinations(shares, k), 21):
+            counts[
+                self._scheme.reconstruct(list(subset), method=self._method)
+            ] += 1
+        ranked = counts.most_common(2)
+        if len(ranked) == 1:
+            return ranked[0][0], 1
+        (value, top), (_, runner_up) = ranked
+        verdict = value if top > runner_up else None
+        return verdict, len(counts)
+
+    def _fetch_snippet(self, doc_id: int, terms: Sequence[str]):
+        """Step 6 of Algorithm 2, with §7.3 byte accounting when the
+        hosting peer is reachable over the simulated network."""
+        host = self._snippets.host_of(doc_id)
+        if (
+            self._network is not None
+            and host is not None
+            and self._network.has_endpoint(host)
+        ):
+            request = (self.user_id, doc_id, list(terms))
+            request_bytes = self._token.wire_bytes() + 8 + sum(
+                len(t) for t in terms
+            )
+            return self._network.call(
+                src=self.user_id,
+                dst=host,
+                kind="snippet",
+                message=request,
+                request_bytes=request_bytes,
+                response_bytes_of=lambda s: s.wire_bytes(),
+            )
+        return self._snippets.request_snippet(
+            self.user_id, doc_id, list(terms)
+        )
+
+    # -- full query path ----------------------------------------------------------
+
+    def search(
+        self,
+        terms: Sequence[str],
+        top_k: int = 10,
+        num_servers: int | None = None,
+        fetch_snippets: bool = True,
+    ) -> list[SearchResult]:
+        """The complete Algorithm 2 pipeline; returns ranked results."""
+        elements = self.fetch_elements(terms, num_servers)
+        if not elements:
+            return []
+        term_of_id = {
+            self._dictionary.id_of(t): t
+            for t in terms
+            if self._dictionary.id_of(t) is not None
+        }
+        postings_by_term: dict[str, list[tuple[int, float]]] = defaultdict(list)
+        for element in elements:
+            term = term_of_id[element.term_id]
+            postings_by_term[term].append((element.doc_id, element.tf))
+        # Personalized collection statistics from the accessible postings.
+        statistics = CollectionStatistics.from_postings(
+            {t: [doc for doc, _ in ps] for t, ps in postings_by_term.items()}
+        )
+        scorer = TfIdfScorer(statistics)
+        weights = {t: scorer.weight(t) for t in postings_by_term}
+        hits = threshold_top_k(postings_by_term, weights, top_k)
+        matched: dict[int, list[str]] = defaultdict(list)
+        for term, postings in postings_by_term.items():
+            for doc_id, _ in postings:
+                matched[doc_id].append(term)
+        results = []
+        for hit in hits:
+            host, snippet = "", ""
+            if fetch_snippets and self._snippets is not None:
+                fetched = self._fetch_snippet(hit.doc_id, terms)
+                host, snippet = fetched.host, fetched.text
+            results.append(
+                SearchResult(
+                    doc_id=hit.doc_id,
+                    score=hit.score,
+                    host=host,
+                    snippet=snippet,
+                    matched_terms=tuple(sorted(matched[hit.doc_id])),
+                )
+            )
+        return results

@@ -1,0 +1,171 @@
+"""The r-confidentiality measure (paper §4 Definition 1; §5.2 formulas 2–5; §6.3 formula 7).
+
+Definition 1: an indexing scheme is r-confidential iff
+
+    P(X | B, I) / P(X | B)  <=  r
+
+for every fact X of the form "term t is / is not in document d", where B is
+the adversary's background knowledge and I the index she can inspect.
+
+For Zerber's merged posting lists the relevant computations are:
+
+- formula (2): a term's occurrence probability ``p_t`` is its normalized
+  document frequency;
+- formula (3): given an element of a merged list with member set S, the
+  posterior that it belongs to term ``t_u`` is ``p_u / sum_{i in S} p_i``;
+- formula (4)/(5): the list is r-confidential iff ``sum_{i in S} p_i >= 1/r``;
+- formula (7): the r delivered by a whole index is governed by its *weakest*
+  list: ``1/r = min_L sum_{u in L} p_u``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import ConfidentialityError
+
+
+def _validate_probabilities(probabilities: Iterable[float]) -> list[float]:
+    probs = list(probabilities)
+    if not probs:
+        raise ConfidentialityError("empty term set")
+    if any(p <= 0.0 or p > 1.0 for p in probs):
+        raise ConfidentialityError(
+            "term probabilities must lie in (0, 1]"
+        )
+    return probs
+
+
+def merged_term_probability(
+    term_probability: float, member_probabilities: Iterable[float]
+) -> float:
+    """Formula (3): posterior that a merged-list element is a given term.
+
+    Args:
+        term_probability: ``p_u`` of the candidate term (must be a member).
+        member_probabilities: ``p_i`` for every term merged into the list.
+
+    Returns:
+        ``p_u / sum_i p_i``.
+    """
+    members = _validate_probabilities(member_probabilities)
+    if term_probability <= 0.0:
+        raise ConfidentialityError("candidate probability must be positive")
+    total = sum(members)
+    if term_probability > total + 1e-12:
+        raise ConfidentialityError(
+            "candidate term is not among the merged members"
+        )
+    return term_probability / total
+
+
+def amplification(
+    term_probability: float, member_probabilities: Iterable[float]
+) -> float:
+    """The probability amplification ``P(X|B,I) / P(X|B)`` for one term.
+
+    By formulas (3)/(4) this is ``1 / sum_i p_i`` regardless of which member
+    term is asked about — merging amplifies every member's posterior by the
+    same factor.
+    """
+    posterior = merged_term_probability(
+        term_probability, member_probabilities
+    )
+    return posterior / term_probability
+
+
+def absence_amplification(
+    term_probability: float, member_probabilities: Iterable[float]
+) -> float:
+    """Amplification for the *absence* fact "t is not in d" (§5.2).
+
+    Given an element of the merged list, the probability it is **not** the
+    candidate term is ``1 - p_u / sum p_i``, versus the prior ``1 - p_u``.
+    The paper notes this ratio is below 1 ("smaller than the original
+    probability"), i.e. absence claims are never amplified by merging.
+    """
+    members = _validate_probabilities(member_probabilities)
+    if not 0.0 < term_probability < 1.0:
+        raise ConfidentialityError(
+            "absence amplification needs p_u strictly inside (0, 1)"
+        )
+    posterior_absent = 1.0 - term_probability / sum(members)
+    return posterior_absent / (1.0 - term_probability)
+
+
+def is_r_confidential(
+    member_probabilities: Iterable[float], r: float
+) -> bool:
+    """Formula (5): the merged list satisfies r iff ``sum_i p_i >= 1/r``."""
+    if r < 1.0:
+        raise ConfidentialityError(
+            f"r must be >= 1 (r=1 is maximal protection), got {r}"
+        )
+    members = _validate_probabilities(member_probabilities)
+    return sum(members) >= (1.0 / r) - 1e-15
+
+
+def required_probability_mass(r: float) -> float:
+    """The minimum aggregate probability ``1/r`` a merged list must carry."""
+    if r < 1.0:
+        raise ConfidentialityError(f"r must be >= 1, got {r}")
+    return 1.0 / r
+
+
+def list_confidentiality(member_probabilities: Iterable[float]) -> float:
+    """The r-value delivered by a single merged list: ``1 / sum_i p_i``.
+
+    A list whose members' probabilities sum to >= 1 delivers r <= 1, i.e.
+    the index adds *nothing* beyond background knowledge for those terms.
+    """
+    members = _validate_probabilities(member_probabilities)
+    return 1.0 / sum(members)
+
+
+def resulting_r(
+    lists: Sequence[Sequence[str]],
+    term_probabilities: Mapping[str, float],
+) -> float:
+    """Formula (7): the index-wide r, governed by the weakest merged list.
+
+    ``1/r = min over lists L of sum_{u in L} p_u``.
+
+    Args:
+        lists: the merged posting lists (term partitions).
+        term_probabilities: formula-(2) probabilities for every term.
+
+    Returns:
+        The resulting confidentiality value r (>= 0; smaller is better,
+        r = 1 is maximal protection).
+    """
+    if not lists:
+        raise ConfidentialityError("an index needs at least one posting list")
+    min_mass = math.inf
+    for members in lists:
+        if not members:
+            raise ConfidentialityError("empty merged posting list")
+        mass = 0.0
+        for term in members:
+            p = term_probabilities.get(term)
+            if p is None:
+                raise ConfidentialityError(f"no probability for term {term!r}")
+            if p <= 0.0:
+                raise ConfidentialityError(
+                    f"non-positive probability for term {term!r}"
+                )
+            mass += p
+        min_mass = min(min_mass, mass)
+    return 1.0 / min_mass
+
+
+def uniform_distribution_r(num_lists: int) -> float:
+    """§6's closed form: under a *uniform* term distribution, r equals the
+    number of merged posting lists M.
+
+    "If all terms are merged into one posting list, then r = 1 ... With two
+    posting lists, r = 2 and we have half as much confidentiality."
+    """
+    if num_lists < 1:
+        raise ConfidentialityError("need at least one posting list")
+    return float(num_lists)

@@ -1,0 +1,70 @@
+"""The public term dictionary: term ↔ term_id.
+
+Posting elements carry "an additional encoding ... stored with each element
+to identify the term for that element" (§5.2). That encoding — the term ID —
+must be assigned consistently across all document owners so that a querying
+user can recognize her terms after decryption. Like the mapping table and
+the Shamir public parameters, the dictionary is public shared
+infrastructure: it reveals which terms exist in the *language*, not which
+appear in any document (rare terms can be pre-registered wholesale, and the
+§6.4 hash path never consults it for list routing).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import PackingError
+
+
+class TermDictionary:
+    """Monotone public registry assigning dense integer IDs to terms."""
+
+    def __init__(self, max_term_id: int = (1 << 22) - 1) -> None:
+        """Args:
+        max_term_id: capacity bound, defaulting to the 22-bit term_id
+            field of the standard :class:`~repro.core.posting.PackingSpec`.
+        """
+        if max_term_id < 0:
+            raise PackingError("max_term_id must be non-negative")
+        self._max_term_id = max_term_id
+        self._id_of: dict[str, int] = {}
+        self._term_of: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._id_of)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._id_of
+
+    def get_or_assign(self, term: str) -> int:
+        """The term's ID, minting the next dense ID on first sight.
+
+        Raises:
+            PackingError: dictionary capacity (the term_id field) exhausted.
+        """
+        existing = self._id_of.get(term)
+        if existing is not None:
+            return existing
+        new_id = len(self._term_of)
+        if new_id > self._max_term_id:
+            raise PackingError(
+                f"term dictionary full ({self._max_term_id + 1} terms)"
+            )
+        self._id_of[term] = new_id
+        self._term_of.append(term)
+        return new_id
+
+    def assign_all(self, terms: Iterable[str]) -> dict[str, int]:
+        """Bulk registration (deployment bootstrap); returns term -> id."""
+        return {term: self.get_or_assign(term) for term in terms}
+
+    def id_of(self, term: str) -> int | None:
+        """Lookup without assignment (None if never registered)."""
+        return self._id_of.get(term)
+
+    def term_of(self, term_id: int) -> str | None:
+        """Reverse lookup (None for unknown IDs)."""
+        if 0 <= term_id < len(self._term_of):
+            return self._term_of[term_id]
+        return None

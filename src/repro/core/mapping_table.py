@@ -1,0 +1,117 @@
+"""The public term → posting-list mapping table (paper §6, Figure 4).
+
+"During merging, we create a publicly available mapping table that maps a
+term to the ID of its posting list." The table is public by design — it
+reveals only which *merged* list a frequent term lives in, and §6.4's
+hash-based assignment keeps rare terms out of it entirely, so inspecting
+the table proves nothing about whether a rare term is indexed anywhere.
+
+Both document owners (indexing) and querying users (lookup) resolve terms
+through the same table; unknown and rare terms fall through to the shared
+public :class:`~repro.core.merging.hashed.HashMerger`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.merging.base import MergeResult
+from repro.core.merging.hashed import HashMerger
+from repro.errors import MergingError
+
+
+class MappingTable:
+    """Public, immutable-by-convention term → posting-list-ID resolver."""
+
+    def __init__(
+        self,
+        assignments: Mapping[str, int],
+        num_lists: int,
+        hash_salt: str = "zerber",
+    ) -> None:
+        """Args:
+        assignments: explicit table entries (frequent terms only).
+        num_lists: M; explicit and hashed assignments must land in
+            ``[0, M)``.
+        hash_salt: public salt of the rare-term hash function.
+        """
+        if num_lists < 1:
+            raise MergingError(f"M must be >= 1, got {num_lists}")
+        bad = [t for t, lid in assignments.items() if not 0 <= lid < num_lists]
+        if bad:
+            raise MergingError(
+                f"assignments out of range [0, {num_lists}): {bad[:3]}"
+            )
+        self._assignments = dict(assignments)
+        self._hash = HashMerger(num_lists, salt=hash_salt)
+        self.num_lists = num_lists
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_merge(
+        cls,
+        merge: MergeResult,
+        term_probabilities: Mapping[str, float] | None = None,
+        rare_cutoff: float = 0.0,
+        hash_salt: str = "zerber",
+    ) -> "MappingTable":
+        """Build the table from a merge, optionally hiding rare terms.
+
+        Args:
+            merge: a §6 heuristic's output.
+            term_probabilities: needed when ``rare_cutoff > 0`` to decide
+                which terms are rare.
+            rare_cutoff: terms with probability strictly below this never
+                enter the table; they resolve through the hash instead
+                (§6.4). 0.0 disables hash-hiding.
+            hash_salt: public hash salt.
+        """
+        assignments = merge.assignments()
+        if rare_cutoff > 0.0:
+            if term_probabilities is None:
+                raise MergingError(
+                    "rare_cutoff requires term probabilities"
+                )
+            assignments = {
+                term: list_id
+                for term, list_id in assignments.items()
+                if term_probabilities.get(term, 0.0) >= rare_cutoff
+            }
+            if not assignments:
+                raise MergingError(
+                    "rare_cutoff hides the entire mapping table"
+                )
+        return cls(assignments, merge.num_lists, hash_salt=hash_salt)
+
+    # -- resolution ---------------------------------------------------------------
+
+    def lookup(self, term: str) -> int:
+        """Posting-list ID for ``term``: table entry or public hash."""
+        explicit = self._assignments.get(term)
+        if explicit is not None:
+            return explicit
+        return self._hash.list_for(term)
+
+    def lookup_many(self, terms: Iterable[str]) -> dict[str, int]:
+        """Resolve a whole query's terms at once."""
+        return {term: self.lookup(term) for term in terms}
+
+    def is_tabled(self, term: str) -> bool:
+        """Whether ``term`` appears explicitly (False ⇒ hash-resolved)."""
+        return term in self._assignments
+
+    # -- introspection (what an adversary inspecting the table sees) ----------
+
+    @property
+    def table_size(self) -> int:
+        """Number of explicit entries."""
+        return len(self._assignments)
+
+    def visible_terms(self) -> list[str]:
+        """The terms an adversary can read out of the public table."""
+        return sorted(self._assignments)
+
+    def entries(self) -> dict[str, int]:
+        """A copy of the explicit table (public data)."""
+        return dict(self._assignments)

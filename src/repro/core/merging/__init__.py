@@ -1,0 +1,34 @@
+"""Posting-list merging heuristics (paper §6).
+
+"An efficient posting list merging heuristic must satisfy the r-constraint
+and minimize the expected workload cost ... This problem can be shown to be
+NP-complete by reduction from the minimum sum of squares. Thus we look for
+merging heuristics that are good in practice."
+
+- :class:`DepthFirstMerging` (DFM, Algorithm 3) — round-robin dealing of
+  frequency-sorted terms into a predetermined number M of lists, skipping
+  lists whose probability mass already satisfies the r-condition;
+- :class:`BreadthFirstMerging` (BFM, Algorithm 4) — fill one list at a time
+  until its mass reaches 1/r; M emerges from the data;
+- :class:`UniformDistributionMerging` (UDM, §6.3) — DFM's round-robin
+  without the mass check; r is computed after the fact via formula (7);
+- :func:`bfm_r_for_list_count` — the §7.5 calibration step ("we tweaked the
+  input value of r given to the BFM algorithm so that it would also produce
+  the same number of lists").
+"""
+
+from repro.core.merging.base import MergeResult, MergingHeuristic
+from repro.core.merging.dfm import DepthFirstMerging
+from repro.core.merging.bfm import BreadthFirstMerging, bfm_r_for_list_count
+from repro.core.merging.udm import UniformDistributionMerging
+from repro.core.merging.hashed import HashMerger
+
+__all__ = [
+    "MergeResult",
+    "MergingHeuristic",
+    "DepthFirstMerging",
+    "BreadthFirstMerging",
+    "bfm_r_for_list_count",
+    "UniformDistributionMerging",
+    "HashMerger",
+]

@@ -1,0 +1,118 @@
+"""Shared machinery for the §6 merging heuristics."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.confidentiality import resulting_r
+from repro.errors import MergingError
+
+
+def sort_terms_by_probability(
+    term_probabilities: Mapping[str, float]
+) -> list[str]:
+    """Terms in descending probability order, ties broken lexicographically.
+
+    Every §6 heuristic starts with "Sort terms into descending order, based
+    on p_t"; the deterministic tie-break keeps merges reproducible.
+    """
+    if not term_probabilities:
+        raise MergingError("cannot merge an empty vocabulary")
+    bad = [t for t, p in term_probabilities.items() if p <= 0]
+    if bad:
+        raise MergingError(f"non-positive probability for terms {bad[:3]}")
+    return sorted(
+        term_probabilities, key=lambda t: (-term_probabilities[t], t)
+    )
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """The outcome of one merging run: a partition of the vocabulary.
+
+    Attributes:
+        lists: merged posting lists; index in this sequence is the
+            posting-list ID used by the mapping table and the servers.
+        heuristic: name of the producing heuristic ("DFM" / "BFM" / "UDM").
+        target_r: the input r-value, when the heuristic takes one.
+    """
+
+    lists: tuple[tuple[str, ...], ...]
+    heuristic: str
+    target_r: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.lists:
+            raise MergingError("merge produced no posting lists")
+        if any(not members for members in self.lists):
+            raise MergingError("merge produced an empty posting list")
+
+    @property
+    def num_lists(self) -> int:
+        """M — the number of merged posting lists."""
+        return len(self.lists)
+
+    @property
+    def num_terms(self) -> int:
+        return sum(len(members) for members in self.lists)
+
+    def assignments(self) -> dict[str, int]:
+        """term -> posting-list ID (the mapping-table payload, Fig. 4)."""
+        table: dict[str, int] = {}
+        for list_id, members in enumerate(self.lists):
+            for term in members:
+                if term in table:
+                    raise MergingError(
+                        f"term {term!r} assigned to two posting lists"
+                    )
+                table[term] = list_id
+        return table
+
+    def masses(
+        self, term_probabilities: Mapping[str, float]
+    ) -> list[float]:
+        """Aggregate probability mass of every list (formula (5)'s lhs)."""
+        return [
+            sum(term_probabilities[t] for t in members)
+            for members in self.lists
+        ]
+
+    def resulting_r(self, term_probabilities: Mapping[str, float]) -> float:
+        """Formula (7): the r delivered by this merge on these statistics."""
+        return resulting_r(self.lists, term_probabilities)
+
+    def list_lengths(
+        self, document_frequencies: Mapping[str, int]
+    ) -> list[int]:
+        """Element count of every merged list — sum of member DFs (Fig. 12)."""
+        return [
+            sum(document_frequencies.get(t, 0) for t in members)
+            for members in self.lists
+        ]
+
+    def singleton_lists(self) -> int:
+        """How many lists hold exactly one term (the unmerged head, §7.5)."""
+        return sum(1 for members in self.lists if len(members) == 1)
+
+
+class MergingHeuristic(abc.ABC):
+    """Interface of the §6 heuristics: probabilities in, partition out."""
+
+    #: short display name used in experiment tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def merge(
+        self, term_probabilities: Mapping[str, float]
+    ) -> MergeResult:
+        """Partition the vocabulary into merged posting lists.
+
+        Args:
+            term_probabilities: formula-(2) occurrence probability of every
+                term (``TermStatistics.term_probabilities()``).
+
+        Returns:
+            A :class:`MergeResult` covering every input term exactly once.
+        """

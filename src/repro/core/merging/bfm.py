@@ -1,0 +1,138 @@
+"""Breadth First Merging — Algorithm 4 (paper §6.2).
+
+"The Breadth First Merging heuristic sorts terms on document frequency,
+then assigns successive terms to the first posting list until the
+r-condition is met. Then BFM moves to the second posting list, and so on
+until all terms are assigned to a list. BFM does not require us to
+predetermine M." If the final list cannot reach the 1/r mass ("there are
+not enough terms left to reach a good r-value for this list"), it is deleted
+and its terms are randomly distributed among the other lists.
+
+:func:`bfm_r_for_list_count` reproduces the calibration of §7.5: "We tweaked
+the input value of r given to the BFM algorithm so that it would also
+produce the same number of lists" as DFM/UDM.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping
+
+from repro.core.merging.base import (
+    MergeResult,
+    MergingHeuristic,
+    sort_terms_by_probability,
+)
+from repro.errors import MergingError
+
+
+class BreadthFirstMerging(MergingHeuristic):
+    """Algorithm 4: fill lists one at a time to the 1/r mass."""
+
+    name = "BFM"
+
+    def __init__(self, target_r: float, seed: int = 0xBF4) -> None:
+        """Args:
+        target_r: the r-value to satisfy; each list accumulates terms
+            while its probability mass is below ``1/target_r``.
+        seed: randomness for the final-list redistribution step.
+        """
+        if target_r < 1.0:
+            raise MergingError(f"target r must be >= 1, got {target_r}")
+        self.target_r = target_r
+        self._seed = seed
+
+    def merge(self, term_probabilities: Mapping[str, float]) -> MergeResult:
+        terms = sort_terms_by_probability(term_probabilities)
+        required_mass = 1.0 / self.target_r
+        lists: list[list[str]] = []
+        masses: list[float] = []
+        current: list[str] = []
+        current_mass = 0.0
+        for term in terms:
+            # Algorithm 4 line 5: keep assigning while mass < 1/r.
+            current.append(term)
+            current_mass += term_probabilities[term]
+            if current_mass >= required_mass:
+                lists.append(current)
+                masses.append(current_mass)
+                current = []
+                current_mass = 0.0
+        if current:
+            # Algorithm 4 lines 7-8: the leftover list missed the
+            # r-condition; delete it and randomly spread its terms.
+            if lists:
+                rng = random.Random(self._seed)
+                for term in current:
+                    lists[rng.randrange(len(lists))].append(term)
+            else:
+                # The whole vocabulary cannot reach 1/r: one list is the
+                # best (and most confidential) partition available.
+                lists.append(current)
+        return MergeResult(
+            lists=tuple(tuple(members) for members in lists),
+            heuristic=self.name,
+            target_r=self.target_r,
+        )
+
+
+def bfm_r_for_list_count(
+    term_probabilities: Mapping[str, float],
+    num_lists: int,
+    max_iterations: int = 80,
+) -> float:
+    """Find an input r for which BFM yields exactly ``num_lists`` lists.
+
+    Binary-searches the target r (equivalently the per-list mass 1/r).
+    Larger r (smaller mass) produces more lists, so the relation is
+    monotone — but not every count is reachable: the final-list
+    redistribution step (Algorithm 4 lines 7-8) can skip individual
+    counts. When the exact count is unreachable the closest achievable
+    r is returned (the §7.5 calibration only needs "the same number of
+    lists" up to that granularity).
+
+    Args:
+        term_probabilities: formula-(2) probabilities.
+        num_lists: desired M.
+        max_iterations: bisection budget.
+
+    Returns:
+        A target r for which BFM yields ``num_lists`` lists, or the
+        nearest reachable count if the exact value is skipped.
+
+    Raises:
+        MergingError: if ``num_lists`` exceeds the vocabulary size.
+    """
+    vocab = len(term_probabilities)
+    if not 1 <= num_lists <= vocab:
+        raise MergingError(
+            f"cannot produce {num_lists} lists from {vocab} terms"
+        )
+    total_mass = sum(term_probabilities.values())
+    lo = 1.0 / total_mass  # r producing a single all-terms list
+    hi = 4.0 / min(term_probabilities.values())  # r beyond one-term lists
+    result_for: dict[float, int] = {}
+
+    def count_for(r: float) -> int:
+        if r not in result_for:
+            result_for[r] = BreadthFirstMerging(max(1.0, r)).merge(
+                term_probabilities
+            ).num_lists
+        return result_for[r]
+
+    if count_for(max(1.0, lo)) == num_lists:
+        return max(1.0, lo)
+    for _ in range(max_iterations):
+        mid = (lo * hi) ** 0.5  # geometric midpoint: r spans decades
+        count = count_for(mid)
+        if count == num_lists:
+            return mid
+        if count < num_lists:
+            lo = mid
+        else:
+            hi = mid
+    # Exact count unreachable (redistribution skipped it): closest wins.
+    return min(
+        result_for,
+        key=lambda r: (abs(result_for[r] - num_lists), r),
+    )

@@ -1,0 +1,91 @@
+"""Depth First Merging — Algorithm 3 (paper §6.1).
+
+"DFM assigns the most frequent terms to separate posting lists, using a
+predetermined value of M (the number of merged posting lists) as the table
+size. This exploits the fact that frequently occurring terms are also
+queried more often. DFM fills the cells of the table from top to bottom with
+terms sorted by document frequency in rounds until the r-condition in each
+cell is satisfied."
+
+The first dealing round therefore gives each of the M most frequent terms
+its own list; later rounds skip lists whose accumulated probability mass
+already exceeds ``1/r``.
+
+One practical completion the paper leaves implicit: if every list reaches
+its 1/r mass while terms remain unassigned, Algorithm 3's loop would never
+terminate. We keep dealing the remaining terms round-robin across all lists
+— extra mass can only *increase* each list's aggregate probability, so the
+r-condition is never weakened by this completion.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.merging.base import (
+    MergeResult,
+    MergingHeuristic,
+    sort_terms_by_probability,
+)
+from repro.errors import MergingError
+
+
+class DepthFirstMerging(MergingHeuristic):
+    """Algorithm 3 with a predetermined list count M and target r."""
+
+    name = "DFM"
+
+    def __init__(self, num_lists: int, target_r: float) -> None:
+        """Args:
+        num_lists: M, the mapping-table size (predetermined, §6.1).
+        target_r: the r-value whose 1/r mass marks a list as filled.
+        """
+        if num_lists < 1:
+            raise MergingError(f"M must be >= 1, got {num_lists}")
+        if target_r < 1.0:
+            raise MergingError(f"target r must be >= 1, got {target_r}")
+        self.num_lists = num_lists
+        self.target_r = target_r
+
+    def merge(self, term_probabilities: Mapping[str, float]) -> MergeResult:
+        terms = sort_terms_by_probability(term_probabilities)
+        m = min(self.num_lists, len(terms))
+        if m < self.num_lists:
+            # Fewer terms than cells: every term gets its own list; empty
+            # cells cannot exist in a valid index (§6.4).
+            return MergeResult(
+                lists=tuple((t,) for t in terms),
+                heuristic=self.name,
+                target_r=self.target_r,
+            )
+        required_mass = 1.0 / self.target_r
+        lists: list[list[str]] = [[] for _ in range(m)]
+        masses = [0.0] * m
+        filled = [False] * m
+        unfilled_remaining = m
+        cursor = 0
+        for term in terms:
+            if unfilled_remaining > 0:
+                # Walk to the next unfilled cell, marking satisfied cells
+                # as filled along the way (Algorithm 3 lines 5-7).
+                while filled[cursor] or masses[cursor] > required_mass:
+                    if not filled[cursor]:
+                        filled[cursor] = True
+                        unfilled_remaining -= 1
+                        if unfilled_remaining == 0:
+                            break
+                    cursor = (cursor + 1) % m
+                if unfilled_remaining == 0:
+                    # Fall through to the round-robin completion below.
+                    lists[cursor].append(term)
+                    masses[cursor] += term_probabilities[term]
+                    cursor = (cursor + 1) % m
+                    continue
+            lists[cursor].append(term)
+            masses[cursor] += term_probabilities[term]
+            cursor = (cursor + 1) % m
+        return MergeResult(
+            lists=tuple(tuple(members) for members in lists),
+            heuristic=self.name,
+            target_r=self.target_r,
+        )

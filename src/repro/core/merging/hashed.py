@@ -1,0 +1,85 @@
+"""Hash-based merging for rare terms (paper §6.4).
+
+"An adversary can inspect the mapping table and see whether a term is not
+included in any indexed site. Also, if a rare term is subsequently added to
+the mapping table, an adversary who has taken over a server can see which
+site requested the term's inclusion. To avoid this, we use hash-based
+merging for rare terms ... rare terms never appear in the mapping table.
+Therefore by inspecting the mapping table an adversary cannot find out
+whether a rare term appears at any indexed site or not."
+
+The hash function must be *public* (owners and queriers independently map
+the same term to the same list) and stable across processes, so we use
+SHA-256 of a salted term, reduced mod M — never Python's randomized
+``hash()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping
+
+from repro.errors import MergingError
+
+
+class HashMerger:
+    """Public hash-assignment of terms to posting lists.
+
+    Used (a) for rare terms below the §6.4 probability cutoff, and (b) "to
+    distribute the new terms randomly over the index" — terms coined after
+    the mapping table was built.
+    """
+
+    def __init__(self, num_lists: int, salt: str = "zerber") -> None:
+        """Args:
+        num_lists: M, the number of posting lists the hash maps into.
+        salt: public domain-separation string (all participants share it).
+        """
+        if num_lists < 1:
+            raise MergingError(f"M must be >= 1, got {num_lists}")
+        self.num_lists = num_lists
+        self.salt = salt
+
+    def list_for(self, term: str) -> int:
+        """The posting-list ID that ``term`` hashes to (deterministic)."""
+        digest = hashlib.sha256(
+            f"{self.salt}\x00{term}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") % self.num_lists
+
+    def assign(self, terms: Mapping[str, float] | list[str]) -> dict[str, int]:
+        """Hash-assign a batch of terms; returns term -> list ID."""
+        return {term: self.list_for(term) for term in terms}
+
+    def split_by_cutoff(
+        self, term_probabilities: Mapping[str, float], cutoff: float
+    ) -> tuple[dict[str, float], list[str]]:
+        """Partition vocabulary into (table-eligible, hash-assigned) terms.
+
+        "We consider a term rare if its original probability was below a
+        certain cut-off threshold." Rare terms "do not significantly change
+        the total probability mass for a specific posting list", so their
+        later hash-assignment cannot break a list's r-condition in any
+        meaningful way.
+
+        Args:
+            term_probabilities: formula-(2) probabilities.
+            cutoff: probability threshold; strictly-below goes to the hash.
+
+        Returns:
+            (frequent term -> probability, rare terms list).
+        """
+        if cutoff < 0:
+            raise MergingError("cutoff must be non-negative")
+        frequent: dict[str, float] = {}
+        rare: list[str] = []
+        for term, p in term_probabilities.items():
+            if p < cutoff:
+                rare.append(term)
+            else:
+                frequent[term] = p
+        if not frequent:
+            raise MergingError(
+                "cutoff excludes the whole vocabulary from the mapping table"
+            )
+        return frequent, rare

@@ -1,0 +1,175 @@
+"""Zerber posting elements and their wire encoding (paper §5.2, §7.2–7.3).
+
+"An unencrypted element hence contains three fields:
+``secret = [document_ID, term_ID, tf]``." The element is what gets split
+with Shamir's scheme, so it must pack into one field secret; §7.3 assumes
+"each posting element is encoded using 64 bits". We adopt the layout
+
+    ``doc_id:30 | term_id:22 | tf:12``  (configurable via PackingSpec)
+
+with ``tf`` stored as a 12-bit fixed-point fraction of 1. §7.2's observation
+that "Zerber posting elements include additional fields to identify the term
+in the merged set and the global element ID, which increases element size by
+about 50%" is captured by :meth:`PackingSpec.zerber_element_bits`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import PackingError
+
+
+@dataclass(frozen=True)
+class PackingSpec:
+    """Bit layout of the packed ``[doc_id, term_id, tf]`` secret.
+
+    Attributes:
+        doc_id_bits: width of the document-ID field (identifies host + doc).
+        term_id_bits: width of the term-ID field ("an additional encoding
+            ... stored with each element to identify the term", §5.2).
+        tf_bits: width of the fixed-point term-frequency field.
+        element_id_bits: width of the *unencrypted* global element ID that
+            accompanies each share on the wire (§5.4.1).
+    """
+
+    doc_id_bits: int = 30
+    term_id_bits: int = 22
+    tf_bits: int = 12
+    element_id_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if min(self.doc_id_bits, self.term_id_bits, self.tf_bits) < 1:
+            raise PackingError("all packed fields need at least one bit")
+        if self.element_id_bits < 16:
+            raise PackingError("element IDs need at least 16 bits")
+
+    @property
+    def secret_bits(self) -> int:
+        """Total bits of the packed secret (the paper's 64)."""
+        return self.doc_id_bits + self.term_id_bits + self.tf_bits
+
+    @property
+    def max_doc_id(self) -> int:
+        return (1 << self.doc_id_bits) - 1
+
+    @property
+    def max_term_id(self) -> int:
+        return (1 << self.term_id_bits) - 1
+
+    @property
+    def tf_scale(self) -> int:
+        """Fixed-point denominator for the tf field."""
+        return (1 << self.tf_bits) - 1
+
+    @property
+    def plain_element_bits(self) -> int:
+        """Bits of an *ordinary* index element.
+
+        A conventional posting is the same fixed-width record minus the
+        term encoding: since the plain index keys posting lists by term, the
+        ``term_id_bits`` are repurposed for a wider document ID, keeping the
+        record at ``secret_bits`` (64 by default — the paper's §7.3 element
+        size). Zerber's extra cost is then exactly the global element ID.
+        """
+        return self.secret_bits
+
+    @property
+    def zerber_element_bits(self) -> int:
+        """Bits of a Zerber wire element: packed secret share + element ID.
+
+        With the default layout this is 64 + 32 = 96 bits against a 64-bit
+        plain element — §7.2's "increases element size by about 50%".
+        """
+        return self.secret_bits + self.element_id_bits
+
+
+@dataclass(frozen=True, slots=True)
+class PostingElement:
+    """One plaintext Zerber posting element (the secret's three fields).
+
+    Attributes:
+        doc_id: document identifier (host + local id packed upstream).
+        term_id: dictionary ID of the term, needed to filter false positives
+            out of merged lists after decryption (§5.4.2).
+        tf: normalized term frequency in (0, 1].
+    """
+
+    doc_id: int
+    term_id: int
+    tf: float
+
+    def __post_init__(self) -> None:
+        if self.doc_id < 0 or self.term_id < 0:
+            raise PackingError("doc_id and term_id must be non-negative")
+        if not 0.0 < self.tf <= 1.0:
+            raise PackingError(f"tf {self.tf} outside (0, 1]")
+
+
+class PostingElementCodec:
+    """Packs :class:`PostingElement` triples into field secrets and back.
+
+    The codec is lossless on ``doc_id`` / ``term_id`` and quantizes ``tf``
+    to ``tf_bits`` of fixed point (quantization error <= 1/tf_scale, far
+    below what ranking can distinguish).
+    """
+
+    def __init__(self, spec: PackingSpec | None = None) -> None:
+        self.spec = spec or PackingSpec()
+
+    def pack(self, element: PostingElement) -> int:
+        """Encode ``element`` as an integer < 2**secret_bits.
+
+        Raises:
+            PackingError: if an ID exceeds its configured field width.
+        """
+        spec = self.spec
+        if element.doc_id > spec.max_doc_id:
+            raise PackingError(
+                f"doc_id {element.doc_id} exceeds {spec.doc_id_bits}-bit field"
+            )
+        if element.term_id > spec.max_term_id:
+            raise PackingError(
+                f"term_id {element.term_id} exceeds {spec.term_id_bits}-bit field"
+            )
+        quantized_tf = round(element.tf * spec.tf_scale)
+        quantized_tf = min(max(quantized_tf, 1), spec.tf_scale)
+        packed = element.doc_id
+        packed = (packed << spec.term_id_bits) | element.term_id
+        packed = (packed << spec.tf_bits) | quantized_tf
+        return packed
+
+    def unpack(self, secret: int) -> PostingElement:
+        """Decode a packed secret back into its three fields.
+
+        Raises:
+            PackingError: if the value does not fit ``secret_bits`` (e.g. a
+                corrupted reconstruction from mismatched shares).
+        """
+        spec = self.spec
+        if secret < 0 or secret >= (1 << spec.secret_bits):
+            raise PackingError(
+                f"packed value does not fit {spec.secret_bits} bits"
+            )
+        quantized_tf = secret & spec.tf_scale
+        secret >>= spec.tf_bits
+        term_id = secret & spec.max_term_id
+        secret >>= spec.term_id_bits
+        doc_id = secret
+        if quantized_tf == 0:
+            raise PackingError("tf field decoded to zero — corrupt element")
+        return PostingElement(
+            doc_id=doc_id, term_id=term_id, tf=quantized_tf / spec.tf_scale
+        )
+
+
+def new_element_id(rng: random.Random, bits: int = 32) -> int:
+    """Mint a global element ID, "globally unique within its posting list".
+
+    IDs are drawn uniformly at random from ``bits`` bits by the document
+    owner (§5.4.1); uniqueness within a posting list is enforced at insert
+    time by the index servers. Clients use the ID to match the shares of
+    one element across servers.
+    """
+    return rng.getrandbits(bits)

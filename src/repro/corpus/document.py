@@ -1,0 +1,149 @@
+"""Document and corpus models shared by the indexers and generators.
+
+A :class:`Document` is what a document owner feeds into Zerber (§5.4.1):
+an identifier that "must identify both the machine on which the document is
+hosted and the document within that machine", the group allowed to read it,
+and its text (or, for synthetic corpora, a pre-tokenized term bag).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import CorpusError
+
+
+@dataclass(frozen=True)
+class Document:
+    """One shared document.
+
+    Attributes:
+        doc_id: corpus-unique numeric ID (packed into posting elements).
+        host: identifier of the peer hosting the document ("the machine on
+            which the document is hosted").
+        group_id: the collaboration group whose members may read it.
+        term_counts: term -> number of occurrences in this document.
+        length: total token count; used to normalize term frequency
+            ("a count of the number of times that term appears in that
+            document, divided by the document's length", §1).
+        text: optional raw text the counts were derived from (snippets are
+            served out of this, §5.4.2).
+    """
+
+    doc_id: int
+    host: str
+    group_id: int
+    term_counts: Mapping[str, int]
+    length: int
+    text: str = ""
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise CorpusError(f"document {self.doc_id} has non-positive length")
+        if any(c <= 0 for c in self.term_counts.values()):
+            raise CorpusError(
+                f"document {self.doc_id} has non-positive term counts"
+            )
+        if sum(self.term_counts.values()) > self.length:
+            raise CorpusError(
+                f"document {self.doc_id}: term counts exceed document length"
+            )
+
+    @property
+    def distinct_terms(self) -> int:
+        """Number of distinct terms (the N of Algorithm 1a's O(nN) cost)."""
+        return len(self.term_counts)
+
+    def term_frequency(self, term: str) -> float:
+        """Normalized term frequency ``count / length`` (0.0 if absent)."""
+        return self.term_counts.get(term, 0) / self.length
+
+    def snippet(self, term: str, width: int = 120) -> str:
+        """A text window around the first occurrence of ``term``.
+
+        Models the snippet the hosting peer returns for a top-K result;
+        falls back to the document prefix when the term is not in the raw
+        text (e.g. synthetic term-bag documents).
+        """
+        if self.text:
+            lowered = self.text.lower()
+            pos = lowered.find(term.lower())
+            if pos >= 0:
+                start = max(0, pos - width // 2)
+                return self.text[start : start + width]
+            return self.text[:width]
+        preview = " ".join(sorted(self.term_counts)[: max(1, width // 10)])
+        return preview[:width]
+
+
+class Corpus:
+    """An in-memory document collection with the statistics §7 consumes.
+
+    Provides the two distributions every experiment is built on: per-term
+    document frequency ``n_d(t)`` and the term occurrence probability
+    ``p_t`` of formula (2).
+    """
+
+    def __init__(self, documents: Iterable[Document]) -> None:
+        self._documents: dict[int, Document] = {}
+        for doc in documents:
+            if doc.doc_id in self._documents:
+                raise CorpusError(f"duplicate doc_id {doc.doc_id}")
+            self._documents[doc.doc_id] = doc
+        self._document_frequency: Counter[str] = Counter()
+        for doc in self._documents.values():
+            self._document_frequency.update(doc.term_counts.keys())
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents.values())
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._documents
+
+    def get(self, doc_id: int) -> Document:
+        """Fetch a document by ID (KeyError if absent)."""
+        return self._documents[doc_id]
+
+    @property
+    def vocabulary(self) -> list[str]:
+        """All distinct terms, unordered."""
+        return list(self._document_frequency)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._document_frequency)
+
+    def document_frequency(self, term: str) -> int:
+        """``n_d(t)``: number of documents containing ``term``."""
+        return self._document_frequency.get(term, 0)
+
+    def document_frequencies(self) -> dict[str, int]:
+        """The full term -> document-frequency map."""
+        return dict(self._document_frequency)
+
+    def term_probabilities(self) -> dict[str, float]:
+        """Formula (2): ``p_t = n_d(t) / sum_i n_d(t_i)``.
+
+        Note the denominator is the paper's: the *sum of document
+        frequencies over the vocabulary*, not the corpus size, so the
+        probabilities form a distribution over posting elements.
+        """
+        total = sum(self._document_frequency.values())
+        if total == 0:
+            return {}
+        return {
+            term: df / total for term, df in self._document_frequency.items()
+        }
+
+    def documents_in_group(self, group_id: int) -> list[Document]:
+        """All documents readable by one collaboration group."""
+        return [d for d in self._documents.values() if d.group_id == group_id]
+
+    def group_ids(self) -> list[int]:
+        """Distinct group IDs present in the corpus."""
+        return sorted({d.group_id for d in self._documents.values()})

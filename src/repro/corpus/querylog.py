@@ -1,0 +1,182 @@
+"""Query-log synthesis (paper §7.4.3).
+
+The paper's workload is a real web search-engine log: 7 million queries,
+135,000 distinct query terms, 2.45 terms per query on average, Zipfian query
+frequencies (Fig. 6: "The most frequent queries constitute nearly the whole
+query workload"). Crucially, §7.4.3 notes query frequency is *correlated
+with but not identical to* document frequency — "some frequent terms are
+rarely queried (e.g., 'although')".
+
+:func:`generate_query_log` reproduces those properties: Zipfian query mass
+over a subset of the vocabulary, with the query-frequency rank of each term
+obtained by perturbing its document-frequency rank with configurable noise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.corpus.synthetic import TermStatistics
+from repro.corpus.zipf import zipf_weights
+from repro.errors import CorpusError
+
+#: Sizes reported in §7.4.3.
+PAPER_TOTAL_QUERIES = 7_000_000
+PAPER_DISTINCT_QUERY_TERMS = 135_000
+PAPER_MEAN_TERMS_PER_QUERY = 2.45
+
+
+@dataclass
+class QueryLogConfig:
+    """Configuration for the synthetic query log.
+
+    Attributes:
+        total_queries: total query volume to distribute (only the per-term
+            frequencies matter to formulas (6)/(8), so this is mass, not a
+            materialized list).
+        distinct_query_terms: how many vocabulary terms are ever queried.
+        zipf_exponent: skew of the query-frequency distribution.
+        rank_noise: standard deviation (as a fraction of the vocabulary
+            size) of the Gaussian perturbation applied to each term's
+            document-frequency rank before assigning query ranks. 0.0 makes
+            query rank == document rank; larger values reproduce the
+            "frequent but rarely queried" phenomenon.
+        tail_fraction: fraction of the distinct query terms drawn uniformly
+            at random from the whole vocabulary instead of by document
+            rank. Real logs query arbitrarily rare terms (the paper's
+            "Hesselhofer" example); this puts DF=1 terms in the workload.
+        mean_terms_per_query: average query length, used when materializing
+            multi-term queries (1 + Poisson(mean - 1)).
+        seed: rng seed.
+    """
+
+    total_queries: int = 100_000
+    distinct_query_terms: int = 1_000
+    zipf_exponent: float = 1.0
+    rank_noise: float = 0.05
+    tail_fraction: float = 0.0
+    mean_terms_per_query: float = PAPER_MEAN_TERMS_PER_QUERY
+    seed: int = 0xD1CE
+
+    def __post_init__(self) -> None:
+        if self.total_queries <= 0 or self.distinct_query_terms <= 0:
+            raise CorpusError("query log dimensions must be positive")
+        if self.rank_noise < 0:
+            raise CorpusError("rank_noise must be >= 0")
+        if not 0.0 <= self.tail_fraction <= 1.0:
+            raise CorpusError("tail_fraction must be in [0, 1]")
+        if self.mean_terms_per_query < 1:
+            raise CorpusError("queries contain at least one term")
+
+
+class QueryLog:
+    """Per-term query frequencies plus a multi-term query materializer."""
+
+    def __init__(
+        self,
+        query_frequencies: dict[str, int],
+        mean_terms_per_query: float = PAPER_MEAN_TERMS_PER_QUERY,
+        seed: int = 0,
+    ) -> None:
+        if not query_frequencies:
+            raise CorpusError("empty query log")
+        if any(qf < 0 for qf in query_frequencies.values()):
+            raise CorpusError("negative query frequency")
+        self._frequencies = dict(query_frequencies)
+        self._mean_terms = mean_terms_per_query
+        self._seed = seed
+
+    @property
+    def total_queries(self) -> int:
+        """Total query mass (sum of per-term frequencies)."""
+        return sum(self._frequencies.values())
+
+    @property
+    def distinct_terms(self) -> int:
+        return len(self._frequencies)
+
+    def frequency(self, term: str) -> int:
+        """Query frequency ``qf_t`` (0 for never-queried terms)."""
+        return self._frequencies.get(term, 0)
+
+    def frequencies(self) -> dict[str, int]:
+        """The full term -> query-frequency map."""
+        return dict(self._frequencies)
+
+    def terms_by_frequency(self) -> list[str]:
+        """Query terms sorted by descending frequency (Fig. 6's x-axis)."""
+        return sorted(
+            self._frequencies, key=lambda t: (-self._frequencies[t], t)
+        )
+
+    def materialize_queries(
+        self, count: int, rng: random.Random | None = None
+    ) -> list[list[str]]:
+        """Draw ``count`` multi-term queries.
+
+        Terms are drawn proportionally to their query frequency; query
+        length is ``1 + Poisson(mean_terms_per_query - 1)``, matching the
+        2.45-term average of §7.4.3 without zero-length queries.
+        """
+        rng = rng or random.Random(self._seed)
+        terms = list(self._frequencies)
+        weights = [self._frequencies[t] for t in terms]
+        lam = self._mean_terms - 1.0
+        queries = []
+        for _ in range(count):
+            # Knuth's Poisson sampler is fine for lam ~ 1.45.
+            length, threshold, product = 1, pow(2.718281828459045, -lam), 1.0
+            while True:
+                product *= rng.random()
+                if product <= threshold:
+                    break
+                length += 1
+            drawn = rng.choices(terms, weights=weights, k=length)
+            # A query never repeats a term; dedupe but keep at least one.
+            queries.append(list(dict.fromkeys(drawn)))
+        return queries
+
+
+def generate_query_log(
+    statistics: TermStatistics, config: QueryLogConfig | None = None
+) -> QueryLog:
+    """Build a query log rank-correlated with ``statistics``' document frequencies.
+
+    The most document-frequent terms get the top query ranks, perturbed by
+    Gaussian noise of ``rank_noise * vocabulary_size``, and Zipfian query
+    mass is assigned by perturbed rank. Terms outside the top
+    ``distinct_query_terms`` after perturbation are never queried —
+    reproducing that the paper's 135k query terms are a small subset of the
+    987.7k vocabulary.
+    """
+    config = config or QueryLogConfig()
+    rng = random.Random(config.seed)
+    doc_ranked = statistics.terms_by_frequency()
+    vocab_size = len(doc_ranked)
+    distinct = min(config.distinct_query_terms, vocab_size)
+    noise_sd = config.rank_noise * vocab_size
+    perturbed = sorted(
+        range(vocab_size),
+        key=lambda rank: rank + rng.gauss(0.0, noise_sd),
+    )
+    head_count = distinct - round(config.tail_fraction * distinct)
+    chosen = perturbed[:head_count]
+    chosen_set = set(chosen)
+    # The uniform tail: arbitrarily rare terms (DF=1 included) get the
+    # lowest query ranks.
+    while len(chosen) < distinct:
+        candidate = rng.randrange(vocab_size)
+        if candidate not in chosen_set:
+            chosen_set.add(candidate)
+            chosen.append(candidate)
+    weights = zipf_weights(distinct, config.zipf_exponent)
+    frequencies: dict[str, int] = {}
+    for query_rank, doc_rank in enumerate(chosen):
+        qf = max(1, round(config.total_queries * weights[query_rank]))
+        frequencies[doc_ranked[doc_rank]] = qf
+    return QueryLog(
+        frequencies,
+        mean_terms_per_query=config.mean_terms_per_query,
+        seed=config.seed,
+    )

@@ -1,0 +1,196 @@
+"""Stud IP installation model (paper §7.4.1, Figure 5).
+
+The paper profiles the Stud IP learning-management installations of four
+universities: "the installation at 'University 1' has over 3,300 courses and
+6,000 registered students. Most users belong to at most 20 groups and can
+access fewer than 200 documents. The amount of material stored for each
+course increases uniformly during the semester."
+
+We model an installation generatively: courses (= collaboration groups)
+with heavy-tailed enrollment, users joining a bounded number of courses,
+and per-course uploads accruing uniformly across semester weeks. The four
+Figure 5 marginals are exposed as methods so the Fig. 5 bench can print
+exactly the profile the paper plots:
+
+- (a) documents per group,
+- (b) document uploads over time (cumulative),
+- (c) users per group,
+- (d) documents accessible per user.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.errors import CorpusError
+
+
+@dataclass
+class StudIPConfig:
+    """Installation-scale knobs, defaulting to the "University 1" figures.
+
+    Attributes:
+        num_courses: course/group count (paper: "over 3,300 courses").
+        num_users: registered students (paper: "6,000 registered students").
+        semester_weeks: weeks across which uploads accrue uniformly.
+        max_groups_per_user: enrollment cap (paper: "most users belong to at
+            most 20 groups").
+        mean_documents_per_course: average course material volume, sized so
+            the snapshot lands near the paper's 8,500-document corpus when
+            scaled.
+        seed: rng seed; installations are deterministic given it.
+    """
+
+    num_courses: int = 330
+    num_users: int = 600
+    semester_weeks: int = 15
+    max_groups_per_user: int = 20
+    mean_documents_per_course: float = 26.0
+    seed: int = 0x57CD
+
+    def __post_init__(self) -> None:
+        if min(self.num_courses, self.num_users, self.semester_weeks) <= 0:
+            raise CorpusError("installation dimensions must be positive")
+        if self.max_groups_per_user < 1:
+            raise CorpusError("users must be allowed at least one group")
+        if self.mean_documents_per_course <= 0:
+            raise CorpusError("courses need a positive document volume")
+
+
+class StudIPInstallation:
+    """A generated installation: groups, memberships and upload history."""
+
+    def __init__(
+        self,
+        config: StudIPConfig,
+        memberships: dict[int, list[int]],
+        uploads: list[tuple[int, int, int]],
+    ) -> None:
+        """Args:
+        config: the generating configuration.
+        memberships: user_id -> sorted list of course/group ids.
+        uploads: (week, course_id, doc_id) triples, week ascending.
+        """
+        self.config = config
+        self._memberships = memberships
+        self._uploads = uploads
+        self._docs_per_course: dict[int, int] = defaultdict(int)
+        for _, course_id, _ in uploads:
+            self._docs_per_course[course_id] += 1
+
+    # -- Figure 5 marginals -------------------------------------------------
+
+    def documents_per_group(self) -> list[int]:
+        """Fig. 5a: document count of every course, descending."""
+        counts = [
+            self._docs_per_course.get(c, 0)
+            for c in range(self.config.num_courses)
+        ]
+        return sorted(counts, reverse=True)
+
+    def cumulative_uploads_by_week(self) -> list[int]:
+        """Fig. 5b: cumulative upload count at the end of each week.
+
+        The paper observes uploads "increase uniformly during the semester",
+        i.e. this curve is close to linear.
+        """
+        per_week = [0] * self.config.semester_weeks
+        for week, _, _ in self._uploads:
+            per_week[week] += 1
+        cumulative, total = [], 0
+        for count in per_week:
+            total += count
+            cumulative.append(total)
+        return cumulative
+
+    def users_per_group(self) -> list[int]:
+        """Fig. 5c: member count of every course, descending."""
+        counts: dict[int, int] = defaultdict(int)
+        for groups in self._memberships.values():
+            for g in groups:
+                counts[g] += 1
+        return sorted(
+            (counts.get(c, 0) for c in range(self.config.num_courses)),
+            reverse=True,
+        )
+
+    def documents_accessible_per_user(self) -> list[int]:
+        """Fig. 5d: number of documents each user can read, descending."""
+        accessible = [
+            sum(self._docs_per_course.get(g, 0) for g in groups)
+            for groups in self._memberships.values()
+        ]
+        return sorted(accessible, reverse=True)
+
+    def groups_per_user(self) -> list[int]:
+        """Supporting stat for §2/§7.3: group memberships per user, descending."""
+        return sorted(
+            (len(g) for g in self._memberships.values()), reverse=True
+        )
+
+    # -- raw structure -------------------------------------------------------
+
+    @property
+    def memberships(self) -> dict[int, list[int]]:
+        """user_id -> group ids (copy)."""
+        return {u: list(g) for u, g in self._memberships.items()}
+
+    @property
+    def uploads(self) -> list[tuple[int, int, int]]:
+        """(week, course_id, doc_id) history (copy)."""
+        return list(self._uploads)
+
+    @property
+    def total_documents(self) -> int:
+        return len(self._uploads)
+
+
+def generate_installation(config: StudIPConfig | None = None) -> StudIPInstallation:
+    """Generate an installation matching the Fig. 5 profile shapes.
+
+    Course popularity (both enrollment and material volume) is heavy-tailed:
+    a few large lecture courses, many small seminars. Users draw a geometric
+    number of course memberships capped at ``max_groups_per_user``, biased
+    toward popular courses — reproducing that "most users belong to at most
+    20 groups and can access fewer than 200 documents". Uploads are spread
+    uniformly over the semester weeks.
+    """
+    config = config or StudIPConfig()
+    rng = random.Random(config.seed)
+    # Heavy-tailed course popularity weights (Zipf-ish with offset so that
+    # small seminars retain non-trivial mass).
+    popularity = [1.0 / (rank + 3) for rank in range(config.num_courses)]
+    # Memberships: geometric count, popularity-biased sampling w/o replacement.
+    memberships: dict[int, list[int]] = {}
+    course_ids = list(range(config.num_courses))
+    for user_id in range(config.num_users):
+        wanted = 1
+        while (
+            wanted < config.max_groups_per_user and rng.random() < 0.72
+        ):
+            wanted += 1
+        chosen: set[int] = set()
+        while len(chosen) < wanted:
+            chosen.add(rng.choices(course_ids, weights=popularity, k=1)[0])
+        memberships[user_id] = sorted(chosen)
+    # Uploads: per-course volume is lognormal around the configured mean
+    # and *independent* of enrollment popularity — big lecture courses do
+    # not hold proportionally more files, which is what keeps "most users
+    # can access fewer than 200 documents" (§7.4.1) true even for students
+    # of the popular courses. Weeks are drawn uniformly (Fig. 5b).
+    import math
+
+    sigma = 0.7
+    mu = math.log(config.mean_documents_per_course) - sigma**2 / 2
+    uploads: list[tuple[int, int, int]] = []
+    doc_id = 0
+    for course_id in range(config.num_courses):
+        volume = max(0, round(rng.lognormvariate(mu, sigma)))
+        for _ in range(volume):
+            week = rng.randrange(config.semester_weeks)
+            uploads.append((week, course_id, doc_id))
+            doc_id += 1
+    uploads.sort()
+    return StudIPInstallation(config, memberships, uploads)

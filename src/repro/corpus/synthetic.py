@@ -1,0 +1,245 @@
+"""Synthetic corpus generation calibrated to the paper's datasets (§7.4).
+
+Two levels of fidelity are provided:
+
+- :func:`generate_term_statistics` produces per-term document and query
+  frequency vectors *without* materializing documents. All the merging /
+  workload experiments (Table 1, Figs. 6–12) consume only these statistics,
+  which is what lets us run them at the paper's ODP scale (987,700 terms)
+  in pure Python.
+- :func:`generate_corpus` materializes actual :class:`~repro.corpus.document.Document`
+  objects with group structure and raw text, for the end-to-end index /
+  query / attack experiments.
+
+Presets:
+- :func:`odp_like_statistics` — the ODP 2005 crawl (§7.4.2): 237,000
+  documents, 987,700 distinct terms, 100 topic groups.
+- :func:`studip_like_statistics` — the mid-semester Stud IP snapshot
+  (§7.4.1): 8,500 documents, 570,000 terms.
+
+Both accept a ``scale`` knob so the default test/bench runs stay fast while
+the full paper scale remains one argument away.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.corpus.document import Corpus, Document
+from repro.corpus.zipf import ZipfSampler, expected_document_frequencies
+from repro.errors import CorpusError
+
+#: Sizes reported in §7.4 for the two datasets.
+ODP_DOCUMENTS = 237_000
+ODP_VOCABULARY = 987_700
+ODP_GROUPS = 100
+STUDIP_DOCUMENTS = 8_500
+STUDIP_VOCABULARY = 570_000
+
+
+def _term_name(rank: int) -> str:
+    """Stable, sortable synthetic term for frequency rank ``rank`` (0 = most frequent)."""
+    return f"term{rank:07d}"
+
+
+@dataclass(frozen=True)
+class TermStatistics:
+    """Per-term corpus statistics: everything §6/§7's formulas need.
+
+    Attributes:
+        document_frequencies: term -> n_d(t), number of documents containing
+            the term (the length of its unmerged posting list).
+        num_documents: corpus size the frequencies were drawn against.
+    """
+
+    document_frequencies: dict[str, int]
+    num_documents: int
+
+    def __post_init__(self) -> None:
+        if self.num_documents <= 0:
+            raise CorpusError("num_documents must be positive")
+        if not self.document_frequencies:
+            raise CorpusError("empty vocabulary")
+        bad = [t for t, df in self.document_frequencies.items() if df <= 0]
+        if bad:
+            raise CorpusError(f"non-positive document frequency for {bad[:3]}")
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self.document_frequencies)
+
+    @property
+    def total_postings(self) -> int:
+        """Total posting elements = sum of document frequencies."""
+        return sum(self.document_frequencies.values())
+
+    def term_probabilities(self) -> dict[str, float]:
+        """Formula (2): normalized document frequencies ``p_t``."""
+        total = self.total_postings
+        return {
+            t: df / total for t, df in self.document_frequencies.items()
+        }
+
+    def terms_by_frequency(self) -> list[str]:
+        """Vocabulary sorted by descending document frequency (stable)."""
+        return sorted(
+            self.document_frequencies,
+            key=lambda t: (-self.document_frequencies[t], t),
+        )
+
+
+def generate_term_statistics(
+    num_documents: int,
+    vocabulary_size: int,
+    zipf_exponent: float = 1.0,
+    terms_per_document: int = 100,
+) -> TermStatistics:
+    """Zipf-shaped per-term document frequencies (no document materialization).
+
+    The shape matches Fig. 7: a Zipfian head a few percent of terms wide and
+    a long tail of document frequency 1.
+    """
+    frequencies = expected_document_frequencies(
+        num_documents, vocabulary_size, zipf_exponent, terms_per_document
+    )
+    return TermStatistics(
+        document_frequencies={
+            _term_name(rank): df for rank, df in enumerate(frequencies)
+        },
+        num_documents=num_documents,
+    )
+
+
+def odp_like_statistics(
+    scale: float = 0.02,
+    zipf_exponent: float = 1.0,
+    terms_per_document: int = 25,
+) -> TermStatistics:
+    """ODP-like statistics (§7.4.2), scaled.
+
+    ``scale=1.0`` reproduces the full 237k-document / 987.7k-term corpus;
+    the default 0.02 keeps test runs below a second while preserving the
+    Zipfian shape (both axes scale linearly).
+
+    ``terms_per_document`` is calibrated so the synthetic corpus matches
+    the real crawl's *average document frequency* (≈ 6 postings per term:
+    987.7k terms over 237k web pages means a hapax-heavy tail). Fig. 12's
+    minimum-list-size structure depends on this ratio.
+    """
+    if not 0 < scale <= 1.0:
+        raise CorpusError(f"scale must be in (0, 1], got {scale}")
+    return generate_term_statistics(
+        num_documents=max(100, int(ODP_DOCUMENTS * scale)),
+        vocabulary_size=max(500, int(ODP_VOCABULARY * scale)),
+        zipf_exponent=zipf_exponent,
+        terms_per_document=terms_per_document,
+    )
+
+
+def studip_like_statistics(
+    scale: float = 0.1,
+    zipf_exponent: float = 1.0,
+    terms_per_document: int = 120,
+) -> TermStatistics:
+    """Stud IP-like statistics (§7.4.1: 8,500 documents, 570,000 terms), scaled.
+
+    Course materials are longer than web pages, but with 570k distinct
+    terms over only 8,500 documents the tail is still hapax-dominated;
+    ``terms_per_document`` is calibrated accordingly.
+    """
+    if not 0 < scale <= 1.0:
+        raise CorpusError(f"scale must be in (0, 1], got {scale}")
+    return generate_term_statistics(
+        num_documents=max(50, int(STUDIP_DOCUMENTS * scale)),
+        vocabulary_size=max(300, int(STUDIP_VOCABULARY * scale)),
+        zipf_exponent=zipf_exponent,
+        terms_per_document=terms_per_document,
+    )
+
+
+@dataclass
+class SyntheticCorpusConfig:
+    """Configuration for a fully materialized synthetic corpus.
+
+    Attributes:
+        num_documents: documents to generate.
+        vocabulary_size: distinct terms available for sampling.
+        num_groups: collaboration groups; documents are assigned uniformly
+            (ODP: "we used the set of documents on one topic as the set of
+            documents of one group").
+        num_hosts: distinct hosting peers; documents are spread round-robin.
+        mean_document_length: tokens per document (geometric-ish spread).
+        zipf_exponent: token-draw skew.
+        topic_concentration: fraction of each document's tokens drawn from
+            its group's private topic slice of the vocabulary rather than
+            the global Zipf. Gives groups distinguishable vocabulary the
+            way ODP topics do, which the attack experiments rely on.
+        seed: generator seed (corpora are fully deterministic given it).
+    """
+
+    num_documents: int = 200
+    vocabulary_size: int = 2_000
+    num_groups: int = 10
+    num_hosts: int = 5
+    mean_document_length: int = 120
+    zipf_exponent: float = 1.0
+    topic_concentration: float = 0.3
+    seed: int = 0xC0FFEE
+
+    def __post_init__(self) -> None:
+        if self.num_documents <= 0 or self.vocabulary_size <= 0:
+            raise CorpusError("corpus dimensions must be positive")
+        if self.num_groups <= 0 or self.num_hosts <= 0:
+            raise CorpusError("need at least one group and one host")
+        if not 0.0 <= self.topic_concentration <= 1.0:
+            raise CorpusError("topic_concentration must be in [0, 1]")
+        if self.mean_document_length < 2:
+            raise CorpusError("documents need at least a couple of tokens")
+
+
+def generate_corpus(config: SyntheticCorpusConfig) -> Corpus:
+    """Materialize a deterministic synthetic corpus per ``config``.
+
+    Documents draw ``(1 - topic_concentration)`` of their tokens from the
+    global Zipfian vocabulary and the rest from a per-group topic slice, so
+    that group collections have the distinct flavor of ODP topics. Raw text
+    is the space-joined token stream — enough for snippet extraction.
+    """
+    rng = random.Random(config.seed)
+    sampler = ZipfSampler(config.vocabulary_size, config.zipf_exponent)
+    # Carve a private slice of the tail vocabulary per group for topic terms.
+    slice_width = max(1, config.vocabulary_size // (config.num_groups * 2))
+    tail_start = config.vocabulary_size // 2
+    documents = []
+    for doc_id in range(config.num_documents):
+        group_id = doc_id % config.num_groups
+        host = f"host{doc_id % config.num_hosts:03d}"
+        length = max(
+            2, int(rng.gauss(config.mean_document_length,
+                             config.mean_document_length / 4))
+        )
+        topic_lo = tail_start + (group_id * slice_width) % max(
+            1, config.vocabulary_size - tail_start - slice_width
+        )
+        tokens: list[str] = []
+        for _ in range(length):
+            if rng.random() < config.topic_concentration:
+                rank = topic_lo + rng.randrange(slice_width)
+            else:
+                rank = sampler.sample(rng)
+            tokens.append(_term_name(min(rank, config.vocabulary_size - 1)))
+        counts: dict[str, int] = {}
+        for token in tokens:
+            counts[token] = counts.get(token, 0) + 1
+        documents.append(
+            Document(
+                doc_id=doc_id,
+                host=host,
+                group_id=group_id,
+                term_counts=counts,
+                length=length,
+                text=" ".join(tokens),
+            )
+        )
+    return Corpus(documents)

@@ -1,0 +1,102 @@
+"""Zipfian sampling utilities.
+
+Both document frequencies (§7.5: "document frequencies follow a Zipfian
+distribution", Fig. 7) and query frequencies (Fig. 6) in the paper are
+Zipf-shaped. This module provides the weight vector and an O(log n)-per-draw
+sampler used by every corpus generator in :mod:`repro.corpus`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import Sequence
+
+from repro.errors import CorpusError
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> list[float]:
+    """Normalized Zipf weights ``w_i ∝ (i+1)^-exponent`` for ranks 0..n-1.
+
+    Args:
+        n: number of ranks; must be positive.
+        exponent: the Zipf ``s`` parameter; 1.0 is classic Zipf's law.
+
+    Returns:
+        A probability vector of length ``n`` summing to 1.0.
+    """
+    if n <= 0:
+        raise CorpusError(f"need a positive number of ranks, got {n}")
+    if exponent < 0:
+        raise CorpusError(f"Zipf exponent must be >= 0, got {exponent}")
+    raw = [(rank + 1) ** -exponent for rank in range(n)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+class ZipfSampler:
+    """Draws ranks from a Zipf distribution via inverse-CDF bisection.
+
+    The sampler precomputes the cumulative distribution once (O(n)) and then
+    serves draws in O(log n), which keeps materializing a multi-million-token
+    synthetic corpus tractable in pure Python.
+    """
+
+    def __init__(self, n: int, exponent: float = 1.0) -> None:
+        """Args:
+        n: number of ranks (0-based ranks ``0..n-1`` are drawn).
+        exponent: Zipf exponent.
+        """
+        self._weights = zipf_weights(n, exponent)
+        self._cdf = list(itertools.accumulate(self._weights))
+        # Guard against floating-point shortfall at the tail.
+        self._cdf[-1] = 1.0
+        self.n = n
+        self.exponent = exponent
+
+    @property
+    def weights(self) -> Sequence[float]:
+        """The normalized probability of each rank."""
+        return self._weights
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one rank."""
+        return bisect.bisect_left(self._cdf, rng.random())
+
+    def sample_many(self, count: int, rng: random.Random) -> list[int]:
+        """Draw ``count`` i.i.d. ranks."""
+        cdf = self._cdf
+        rand = rng.random
+        return [bisect.bisect_left(cdf, rand()) for _ in range(count)]
+
+
+def expected_document_frequencies(
+    num_documents: int,
+    vocabulary_size: int,
+    exponent: float = 1.0,
+    terms_per_document: int = 100,
+) -> list[int]:
+    """Closed-form expected per-term document frequencies under a Zipf model.
+
+    For rank ``i`` with occurrence probability ``w_i`` and documents of
+    ``terms_per_document`` tokens, the probability a document contains the
+    term at least once is ``1 - (1 - w_i)^terms_per_document``; the expected
+    document frequency is ``num_documents`` times that. Generators use this
+    to synthesize DF vectors without materializing every document, which is
+    how we reach the paper's 237k-document ODP scale on a laptop.
+
+    Returns:
+        Integer document frequencies (minimum 1 — a term that appears in the
+        vocabulary appears somewhere), sorted descending by construction.
+    """
+    if num_documents <= 0:
+        raise CorpusError("num_documents must be positive")
+    if terms_per_document <= 0:
+        raise CorpusError("terms_per_document must be positive")
+    weights = zipf_weights(vocabulary_size, exponent)
+    frequencies = []
+    for w in weights:
+        p_contains = 1.0 - (1.0 - w) ** terms_per_document
+        frequencies.append(max(1, round(num_documents * p_contains)))
+    return frequencies

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the Zerber reproduction.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch one base class at an API boundary. Subclasses are grouped by the
+subsystem that raises them; none of them carry sensitive payloads (no secrets,
+no shares) so they are always safe to log.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class FieldError(ReproError):
+    """Invalid finite-field construction or operation (e.g. non-prime modulus)."""
+
+
+class SecretSharingError(ReproError):
+    """Secret-sharing failure: bad parameters, insufficient or inconsistent shares."""
+
+
+class InsufficientSharesError(SecretSharingError):
+    """Fewer than ``k`` distinct shares were supplied to a reconstruction."""
+
+
+class PackingError(ReproError):
+    """A posting element does not fit the configured bit layout."""
+
+
+class MergingError(ReproError):
+    """A merging heuristic was invoked with unsatisfiable parameters."""
+
+
+class ConfidentialityError(ReproError):
+    """An r-confidentiality computation received invalid probabilities."""
+
+
+class AuthError(ReproError):
+    """Authentication or authorization failure at an index server."""
+
+
+class AccessDeniedError(AuthError):
+    """The authenticated principal lacks the group membership for an operation."""
+
+
+class IndexServerError(ReproError):
+    """An index server rejected a structurally invalid request."""
+
+
+class UnknownPostingListError(IndexServerError):
+    """A lookup referenced a posting-list ID the server has never seen."""
+
+
+class TransportError(ReproError):
+    """Simulated-network failure (unknown endpoint, link down)."""
+
+
+class CorpusError(ReproError):
+    """Corpus or query-log generation was configured inconsistently."""
+
+
+class RankingError(ReproError):
+    """Ranking was asked to score with malformed statistics."""

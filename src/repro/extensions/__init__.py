@@ -1,0 +1,35 @@
+"""Implementations of the paper's future-work directions (§3, §7.1, §8).
+
+- :mod:`repro.extensions.topk_server` — "A challenging extension is to
+  support top-K processing on the server side, while maintaining the
+  confidentiality properties": coarse relevance buckets stored in plain
+  next to each share, with the induced leakage quantified rather than
+  hidden;
+- :mod:`repro.extensions.dht` — "The extension of r-confidential indexing
+  to a DHT-based infrastructure is an interesting area for future
+  research": a consistent-hash ring spreading merged posting lists over
+  peers, with per-peer confidentiality accounting;
+- :mod:`repro.extensions.opaque_ids` — "to prevent this, one would need to
+  extend Zerber to include only opaque user IDs in requests and in the
+  user-group mapping": HMAC pseudonymization of principals;
+- :mod:`repro.extensions.mixnet` — "we recommend the use of MIX networks
+  and other standard techniques from network security that foil traffic
+  analysis attacks": a threshold-batch mix relay with shuffling and
+  size padding.
+"""
+
+from repro.extensions.topk_server import BucketedTopKStore, bucket_leakage_bits
+from repro.extensions.dht import ConsistentHashRing, DHTPlacement
+from repro.extensions.mixnet import MixMessage, MixRelay
+from repro.extensions.opaque_ids import OpaqueIdMapper, PseudonymizedGroupDirectory
+
+__all__ = [
+    "BucketedTopKStore",
+    "bucket_leakage_bits",
+    "ConsistentHashRing",
+    "DHTPlacement",
+    "MixMessage",
+    "MixRelay",
+    "OpaqueIdMapper",
+    "PseudonymizedGroupDirectory",
+]

@@ -1,0 +1,173 @@
+"""DHT-distributed posting lists (future work, §3 / §8).
+
+"Zerber distributes complete instances of an encrypted index to multiple
+servers for security reasons, while in DHTs each peer typically stores
+only a fraction of the index. The extension of r-confidential indexing to
+a DHT-based infrastructure is an interesting area for future research."
+
+This module explores that direction: a consistent-hash ring places each
+*merged posting list* on ``replicas`` peers. Every peer now stores only a
+fraction of the index, so a single compromised peer sees only the lists it
+hosts — :meth:`DHTPlacement.peer_confidentiality` computes the r-value of
+that restricted view, which is never worse (and usually no better: r is a
+per-list property) than the full-replica deployment, while churn costs
+shrink from whole-index copies to per-list transfers
+(:meth:`DHTPlacement.rebalance_cost`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Mapping, Sequence
+
+from repro.core.merging.base import MergeResult
+from repro.errors import ReproError
+
+
+def _hash64(value: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(value.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class ConsistentHashRing:
+    """Classic consistent hashing with virtual nodes."""
+
+    def __init__(self, peers: Sequence[str], virtual_nodes: int = 64) -> None:
+        """Args:
+        peers: initial peer names (must be non-empty, unique).
+        virtual_nodes: ring points per peer; more = smoother balance.
+        """
+        if not peers:
+            raise ReproError("ring needs at least one peer")
+        if len(set(peers)) != len(peers):
+            raise ReproError("duplicate peer names")
+        if virtual_nodes < 1:
+            raise ReproError("need at least one virtual node per peer")
+        self._virtual_nodes = virtual_nodes
+        self._ring: list[tuple[int, str]] = []
+        self._peers: set[str] = set()
+        for peer in peers:
+            self._insert_peer(peer)
+
+    def _insert_peer(self, peer: str) -> None:
+        self._peers.add(peer)
+        for v in range(self._virtual_nodes):
+            point = _hash64(f"{peer}#{v}")
+            bisect.insort(self._ring, (point, peer))
+
+    # -- membership ------------------------------------------------------------
+
+    @property
+    def peers(self) -> list[str]:
+        return sorted(self._peers)
+
+    def add_peer(self, peer: str) -> None:
+        if peer in self._peers:
+            raise ReproError(f"peer {peer!r} already on the ring")
+        self._insert_peer(peer)
+
+    def remove_peer(self, peer: str) -> None:
+        if peer not in self._peers:
+            raise ReproError(f"peer {peer!r} not on the ring")
+        self._peers.discard(peer)
+        self._ring = [(pt, p) for pt, p in self._ring if p != peer]
+        if not self._ring:
+            raise ReproError("cannot remove the last peer")
+
+    # -- placement -----------------------------------------------------------------
+
+    def owners(self, key: str, replicas: int = 1) -> list[str]:
+        """The ``replicas`` distinct peers responsible for ``key``."""
+        if replicas < 1:
+            raise ReproError("need at least one replica")
+        if replicas > len(self._peers):
+            raise ReproError(
+                f"asked for {replicas} replicas with {len(self._peers)} peers"
+            )
+        point = _hash64(key)
+        start = bisect.bisect_right(self._ring, (point, "￿"))
+        owners: list[str] = []
+        i = start
+        while len(owners) < replicas:
+            _, peer = self._ring[i % len(self._ring)]
+            if peer not in owners:
+                owners.append(peer)
+            i += 1
+        return owners
+
+
+class DHTPlacement:
+    """Placement of a merge's posting lists onto a ring, with analysis."""
+
+    def __init__(
+        self,
+        ring: ConsistentHashRing,
+        merge: MergeResult,
+        replicas: int = 2,
+    ) -> None:
+        self._ring = ring
+        self._merge = merge
+        self._replicas = replicas
+        self._placement: dict[int, list[str]] = {
+            pl_id: ring.owners(f"pl:{pl_id}", replicas)
+            for pl_id in range(merge.num_lists)
+        }
+
+    # -- views ------------------------------------------------------------------
+
+    def peers_for(self, pl_id: int) -> list[str]:
+        if pl_id not in self._placement:
+            raise ReproError(f"unknown posting list {pl_id}")
+        return list(self._placement[pl_id])
+
+    def lists_on(self, peer: str) -> list[int]:
+        """The fraction of the index one peer hosts."""
+        return sorted(
+            pl_id
+            for pl_id, owners in self._placement.items()
+            if peer in owners
+        )
+
+    def load_distribution(self) -> dict[str, int]:
+        """peer -> hosted list count (balance diagnostics)."""
+        return {peer: len(self.lists_on(peer)) for peer in self._ring.peers}
+
+    # -- confidentiality accounting -------------------------------------------------
+
+    def peer_confidentiality(
+        self, peer: str, term_probabilities: Mapping[str, float]
+    ) -> float:
+        """The r-value of one compromised peer's *restricted* view.
+
+        r is governed by the weakest merged list the peer can see —
+        formula (7) restricted to its hosted lists. Hosting fewer lists
+        can only drop weak lists from the min, so per-peer r <= fleet r.
+        """
+        hosted = self.lists_on(peer)
+        if not hosted:
+            return 1.0  # sees nothing beyond background knowledge
+        min_mass = min(
+            sum(term_probabilities[t] for t in self._merge.lists[pl_id])
+            for pl_id in hosted
+        )
+        return 1.0 / min_mass
+
+    def rebalance_cost(self, new_peer: str) -> int:
+        """Posting lists that move when ``new_peer`` joins.
+
+        The DHT's operational win over full replication: joins shuffle
+        only the lists whose ownership changed, not the whole index.
+        """
+        before = {
+            pl_id: tuple(owners) for pl_id, owners in self._placement.items()
+        }
+        self._ring.add_peer(new_peer)
+        moved = 0
+        for pl_id in before:
+            after = self._ring.owners(f"pl:{pl_id}", self._replicas)
+            if tuple(after) != before[pl_id]:
+                moved += 1
+            self._placement[pl_id] = after
+        return moved

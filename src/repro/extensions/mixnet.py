@@ -1,0 +1,130 @@
+"""A MIX-network relay for update/query anonymity (paper §4, §5.4.1).
+
+"If no one should be able to tell that a particular user sent a request
+to an index server, we recommend the use of MIX networks" and "Bob can
+also pool his updates with other people's, or send his through a MIX
+network, to give himself anonymity and improve index freshness."
+
+This is a single-hop mix in the classic Chaum mold, adapted to Zerber's
+trust model: the mix is *honest-but-curious-tolerant* because everything
+passing through it is already secret-shared — the mix only ever handles
+opaque payloads. What the mix adds is **unlinkability**: it collects
+messages from many senders, waits for a threshold batch, shuffles, and
+forwards them under its own sender identity with padded, uniform sizes.
+
+A compromised index server downstream of the mix sees batches arriving
+from "the mix" and cannot attribute individual updates to users — which
+also upgrades the §5.4.1 batching defence from per-owner to cross-owner
+mixing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import TransportError
+
+
+@dataclass(frozen=True)
+class MixMessage:
+    """One message queued at the mix.
+
+    Attributes:
+        destination: final endpoint (an index server).
+        kind: message kind forwarded verbatim ("insert" / "delete" / ...).
+        payload: the opaque payload (already secret-shared content).
+        payload_bytes: wire size for padding and accounting.
+    """
+
+    destination: str
+    kind: str
+    payload: Any
+    payload_bytes: int
+
+
+class MixRelay:
+    """Threshold-batch mix: collect, shuffle, pad, forward.
+
+    Args:
+        forward: transport function
+            ``forward(destination, kind, payload, padded_bytes)``.
+        batch_threshold: messages required before a flush fires.
+        rng: shuffle randomness (seeded in tests).
+        pad_to_multiple: every forwarded message's accounted size is
+            rounded up to this multiple so length fingerprinting across
+            senders fails.
+    """
+
+    def __init__(
+        self,
+        forward: Callable[[str, str, Any, int], Any],
+        batch_threshold: int = 8,
+        rng: random.Random | None = None,
+        pad_to_multiple: int = 1024,
+    ) -> None:
+        if batch_threshold < 1:
+            raise TransportError("batch threshold must be >= 1")
+        if pad_to_multiple < 1:
+            raise TransportError("padding multiple must be >= 1")
+        self._forward = forward
+        self._threshold = batch_threshold
+        self._rng = rng or random.Random()
+        self._pad = pad_to_multiple
+        self._pending: list[MixMessage] = []
+        #: (sender count, message count) per flushed batch — the mix's
+        #: own audit trail; note it never records *which* sender sent what.
+        self.flush_history: list[tuple[int, int]] = []
+        self._pending_senders: set[str] = set()
+
+    # -- ingress ------------------------------------------------------------
+
+    def submit(self, sender: str, message: MixMessage) -> bool:
+        """Queue a message; returns True if this submission flushed a batch.
+
+        The sender identity is used ONLY for the threshold heuristic
+        (a batch from a single sender mixes nothing) and is discarded at
+        flush time.
+        """
+        if message.payload_bytes < 0:
+            raise TransportError("negative payload size")
+        self._pending.append(message)
+        self._pending_senders.add(sender)
+        if (
+            len(self._pending) >= self._threshold
+            and len(self._pending_senders) >= min(2, self._threshold)
+        ):
+            self.flush()
+            return True
+        return False
+
+    @property
+    def pending_messages(self) -> int:
+        return len(self._pending)
+
+    # -- egress -------------------------------------------------------------
+
+    def padded_size(self, payload_bytes: int) -> int:
+        """Size after padding to the configured multiple."""
+        blocks = (payload_bytes + self._pad - 1) // self._pad
+        return max(1, blocks) * self._pad
+
+    def flush(self) -> int:
+        """Shuffle and forward everything pending; returns messages sent."""
+        if not self._pending:
+            return 0
+        batch = self._pending
+        senders = len(self._pending_senders)
+        self._pending = []
+        self._pending_senders = set()
+        self._rng.shuffle(batch)
+        for message in batch:
+            self._forward(
+                message.destination,
+                message.kind,
+                message.payload,
+                self.padded_size(message.payload_bytes),
+            )
+        self.flush_history.append((senders, len(batch)))
+        return len(batch)

@@ -1,0 +1,99 @@
+"""Opaque user IDs (future work, §7.1).
+
+"If Alice takes over a server, she can learn who sends each new
+query/update to that server; to prevent this, one would need to extend
+Zerber to include only opaque user IDs in requests and in the user-group
+mapping."
+
+:class:`OpaqueIdMapper` derives a stable pseudonym per principal with a
+keyed HMAC held by the enterprise identity provider (not by the index
+servers), and :class:`PseudonymizedGroupDirectory` is a drop-in
+:class:`~repro.server.groups.GroupDirectory` whose tables only ever contain
+pseudonyms — a compromised server learns *that* some principal queried,
+but not *who*.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+
+from repro.errors import AuthError
+from repro.server.groups import GroupDirectory
+
+
+class OpaqueIdMapper:
+    """Keyed pseudonymization of principal names.
+
+    The mapping key lives with the identity provider; index servers only
+    ever see outputs. Pseudonyms are stable (same user -> same opaque ID)
+    so group tables and query ACLs keep working unchanged.
+    """
+
+    def __init__(self, key: bytes | None = None) -> None:
+        """Args:
+        key: the HMAC key; a fresh random key is drawn when omitted
+            (tests inject a fixed key for determinism).
+        """
+        self._key = key if key is not None else secrets.token_bytes(32)
+        if len(self._key) < 16:
+            raise AuthError("pseudonymization key too short")
+
+    def opaque(self, user_id: str) -> str:
+        """The stable pseudonym of ``user_id``."""
+        if not user_id:
+            raise AuthError("empty user id")
+        digest = hmac.new(
+            self._key, user_id.encode("utf-8"), hashlib.sha256
+        ).hexdigest()
+        return f"opaque:{digest[:24]}"
+
+    def is_opaque(self, value: str) -> bool:
+        return value.startswith("opaque:")
+
+
+class PseudonymizedGroupDirectory(GroupDirectory):
+    """A group directory whose stored principals are pseudonyms only.
+
+    All mutation and lookup methods accept *real* user IDs and translate
+    them at the boundary, so client code is unchanged, but
+    :meth:`snapshot` (what a compromised server dumps) contains nothing
+    linkable without the mapper's key.
+    """
+
+    def __init__(self, mapper: OpaqueIdMapper) -> None:
+        super().__init__()
+        self._mapper = mapper
+
+    def _as_opaque(self, user_id: str | None) -> str | None:
+        """Map a real ID to its pseudonym; pass pseudonyms through."""
+        if user_id is None or self._mapper.is_opaque(user_id):
+            return user_id
+        return self._mapper.opaque(user_id)
+
+    def create_group(self, group_id: int, coordinator: str) -> None:
+        super().create_group(group_id, self._as_opaque(coordinator))
+
+    def add_member(
+        self, group_id: int, user_id: str, actor: str | None = None
+    ) -> None:
+        super().add_member(
+            group_id, self._as_opaque(user_id), actor=self._as_opaque(actor)
+        )
+
+    def remove_member(
+        self, group_id: int, user_id: str, actor: str | None = None
+    ) -> None:
+        super().remove_member(
+            group_id, self._as_opaque(user_id), actor=self._as_opaque(actor)
+        )
+
+    def groups_of(self, user_id: str) -> frozenset[int]:
+        # Accept either form so index servers (which authenticate real
+        # principals) can resolve without holding the key themselves —
+        # they call through this directory, which embeds the mapper.
+        return super().groups_of(self._as_opaque(user_id))
+
+    def is_member(self, user_id: str, group_id: int) -> bool:
+        return super().is_member(self._as_opaque(user_id), group_id)

@@ -1,0 +1,26 @@
+"""Ordinary inverted index substrate (paper §1, Fig. 1; baseline in §7).
+
+"An inverted index is a sequence of posting lists, each of which contains
+the IDs of all documents containing one particular term." This package
+implements that classic structure from scratch — tokenizer, posting lists
+with term frequencies, and the disk cost model of §7.4 (seek + transfer
+time, workload cost formula (6)) — both as Zerber's plaintext comparison
+baseline and as the local per-owner index that "each document server
+maintains ... of its local shared documents, to support efficient updates"
+(§7.2).
+"""
+
+from repro.invindex.tokenizer import Tokenizer, tokenize
+from repro.invindex.postings import Posting, PostingList
+from repro.invindex.inverted_index import InvertedIndex
+from repro.invindex.costmodel import DiskCostModel, workload_cost
+
+__all__ = [
+    "Tokenizer",
+    "tokenize",
+    "Posting",
+    "PostingList",
+    "InvertedIndex",
+    "DiskCostModel",
+    "workload_cost",
+]

@@ -1,0 +1,108 @@
+"""Disk cost model and workload cost — formula (6) (paper §6, §7.4).
+
+§7.4 defines how the experiments measure query cost: "The time to scan a
+posting list is the sum of the seek time (to position the disk head at the
+start of the posting list) and the transfer time (the time to read the
+posting list). The total seek time for a given query workload is a constant,
+independent of the merging heuristic. The transfer time for a posting list
+is proportional to its length. Formula (6) is the sum of the posting list
+lengths, weighted by their query frequencies. Thus the total transfer time
+(and hence the total workload cost ...) is proportional to formula (6),
+which we use as the workload cost."
+
+This module provides both the physical model (seek + transfer seconds) and
+the abstract formula-(6) cost that all the Fig. 6/10/11 experiments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class DiskCostModel:
+    """A seek + transfer disk model.
+
+    Attributes:
+        seek_time_s: constant cost to position at the start of a list.
+        transfer_time_per_element_s: per-posting-element read cost.
+    """
+
+    seek_time_s: float = 0.008
+    transfer_time_per_element_s: float = 2e-7
+
+    def __post_init__(self) -> None:
+        if self.seek_time_s < 0 or self.transfer_time_per_element_s < 0:
+            raise ReproError("disk cost parameters must be non-negative")
+
+    def scan_time(self, list_length: int) -> float:
+        """Seconds to scan one posting list of ``list_length`` elements."""
+        if list_length < 0:
+            raise ReproError("negative list length")
+        return self.seek_time_s + list_length * self.transfer_time_per_element_s
+
+    def workload_time(
+        self,
+        list_lengths: Mapping[int, int],
+        list_query_frequencies: Mapping[int, int],
+    ) -> float:
+        """Total seconds for a workload of per-list query frequencies.
+
+        Args:
+            list_lengths: posting-list id -> element count.
+            list_query_frequencies: posting-list id -> number of queries
+                that touch it.
+        """
+        total = 0.0
+        for list_id, qf in list_query_frequencies.items():
+            if qf < 0:
+                raise ReproError("negative query frequency")
+            total += qf * self.scan_time(list_lengths.get(list_id, 0))
+        return total
+
+
+def workload_cost(
+    lists: Sequence[Sequence[str]],
+    document_frequencies: Mapping[str, int],
+    query_frequencies: Mapping[str, int],
+) -> float:
+    """Formula (6): ``Q = sum_L [ length(L) * sum_{j in L} q_j ]``.
+
+    Each query for any term of a merged list transfers the *whole* list
+    (the server cannot tell which elements match), so a list's contribution
+    is its length times the total query frequency of its member terms.
+
+    Args:
+        lists: the merged posting lists, each a sequence of member terms.
+        document_frequencies: term -> document frequency (list length
+            contribution of that term).
+        query_frequencies: term -> query frequency; terms absent from the
+            map are treated as never queried.
+
+    Returns:
+        The workload cost in posting-element transfers.
+    """
+    total = 0.0
+    for members in lists:
+        length = sum(document_frequencies.get(t, 0) for t in members)
+        qf_sum = sum(query_frequencies.get(t, 0) for t in members)
+        total += length * qf_sum
+    return total
+
+
+def unmerged_workload_cost(
+    document_frequencies: Mapping[str, int],
+    query_frequencies: Mapping[str, int],
+) -> float:
+    """Formula (6) for the *unmerged* index: each term is its own list.
+
+    This is the ordinary-inverted-index denominator used by the Fig. 10
+    cost-ratio experiment.
+    """
+    return sum(
+        document_frequencies.get(t, 0) * qf
+        for t, qf in query_frequencies.items()
+    )

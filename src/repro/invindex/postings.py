@@ -1,0 +1,77 @@
+"""Posting-list structures for the ordinary inverted index (Fig. 1).
+
+A posting records that one document contains one term, together with the
+normalized term frequency that ranking needs ("in practice, each element
+includes a term frequency, that is, a count of the number of times that term
+appears in that document, divided by the document's length", §1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True, slots=True)
+class Posting:
+    """One posting-list element of the *plaintext* index.
+
+    Attributes:
+        doc_id: the containing document.
+        tf: normalized term frequency, ``count / document_length`` in (0, 1].
+    """
+
+    doc_id: int
+    tf: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.tf <= 1.0:
+            raise ReproError(
+                f"term frequency {self.tf} outside (0, 1] for doc {self.doc_id}"
+            )
+
+
+class PostingList:
+    """An append-ordered list of postings for one term.
+
+    Exposes the two quantities the threat model cares about: its *length*
+    (the term's document frequency, which "can tell an industrial spy which
+    compounds are used", §1) and its elements.
+    """
+
+    def __init__(self, term: str) -> None:
+        self.term = term
+        self._postings: dict[int, Posting] = {}
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def __iter__(self) -> Iterator[Posting]:
+        return iter(self._postings.values())
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._postings
+
+    def add(self, posting: Posting) -> None:
+        """Insert or replace the posting for ``posting.doc_id``."""
+        self._postings[posting.doc_id] = posting
+
+    def remove(self, doc_id: int) -> bool:
+        """Delete the posting for ``doc_id``; returns whether one existed."""
+        return self._postings.pop(doc_id, None) is not None
+
+    def get(self, doc_id: int) -> Posting | None:
+        return self._postings.get(doc_id)
+
+    @property
+    def document_frequency(self) -> int:
+        """The term's document frequency — the list's length."""
+        return len(self._postings)
+
+    def by_tf_descending(self) -> list[Posting]:
+        """Postings sorted by tf descending (the order Fagin's TA scans)."""
+        return sorted(
+            self._postings.values(), key=lambda p: (-p.tf, p.doc_id)
+        )

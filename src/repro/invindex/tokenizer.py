@@ -1,0 +1,67 @@
+"""Document tokenization.
+
+Zerber's indexing flow starts with "its owner first parses the document and
+computes its elements" (§5.1). This tokenizer performs that parse: Unicode
+word extraction, lowercasing, optional stop-word removal and length
+filtering. Note the paper's experiments keep stop words ("we did not remove
+stop words", §7.5), so removal defaults to off.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass
+
+# A compact English stop list; only used when a Tokenizer opts in.
+DEFAULT_STOP_WORDS = frozenset(
+    """a an and are as at be but by for from has have if in into is it its of
+    on or not no so such that the their then there these they this to was
+    were will with""".split()
+)
+
+_WORD_RE = re.compile(r"[\w][\w'-]*", re.UNICODE)
+
+
+@dataclass(frozen=True)
+class Tokenizer:
+    """Configurable text -> term-sequence converter.
+
+    Attributes:
+        lowercase: fold case before emitting terms.
+        remove_stop_words: drop terms in ``stop_words`` (paper default: off).
+        stop_words: the stop list used when removal is enabled.
+        min_length: drop terms shorter than this many characters.
+        max_length: truncate terms longer than this (guards the packed
+            term-ID dictionary against pathological tokens).
+    """
+
+    lowercase: bool = True
+    remove_stop_words: bool = False
+    stop_words: frozenset[str] = DEFAULT_STOP_WORDS
+    min_length: int = 1
+    max_length: int = 64
+
+    def tokens(self, text: str) -> list[str]:
+        """All terms of ``text`` in order (with duplicates)."""
+        out = []
+        for match in _WORD_RE.finditer(text):
+            token = match.group(0)
+            if self.lowercase:
+                token = token.lower()
+            if len(token) < self.min_length:
+                continue
+            token = token[: self.max_length]
+            if self.remove_stop_words and token in self.stop_words:
+                continue
+            out.append(token)
+        return out
+
+    def term_counts(self, text: str) -> Counter[str]:
+        """term -> occurrence count for ``text``."""
+        return Counter(self.tokens(text))
+
+
+def tokenize(text: str) -> list[str]:
+    """Tokenize with paper-default settings (lowercase, stop words kept)."""
+    return Tokenizer().tokens(text)

@@ -1,0 +1,23 @@
+"""Client-side ranking (paper §5.4.2).
+
+"Zerber uses client-side ranking with personalized collection statistics
+obtained from the set of all documents accessible to the user. We use a
+modification of Fagin's Threshold Algorithm that lets one obtain the top-K
+ranked results."
+
+- :mod:`repro.ranking.scores` — TF-IDF scoring over personalized
+  statistics (the user's accessible sub-collection, not the global corpus,
+  because the global document frequencies are exactly what Zerber hides);
+- :mod:`repro.ranking.threshold` — Fagin's Threshold Algorithm over
+  tf-descending posting lists.
+"""
+
+from repro.ranking.scores import CollectionStatistics, TfIdfScorer
+from repro.ranking.threshold import RankedHit, threshold_top_k
+
+__all__ = [
+    "CollectionStatistics",
+    "TfIdfScorer",
+    "RankedHit",
+    "threshold_top_k",
+]

@@ -1,0 +1,88 @@
+"""TF-IDF scoring with personalized collection statistics (paper §5.4.2).
+
+Zerber cannot use global corpus statistics for ranking — global document
+frequencies are the very thing the index hides. Instead, "Zerber uses
+client-side ranking with personalized collection statistics obtained from
+the set of all documents accessible to the user": the client derives
+document frequencies from the decrypted posting elements it is allowed to
+see, and scores with a standard ltc-style tf-idf [30].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import RankingError
+
+
+@dataclass(frozen=True)
+class CollectionStatistics:
+    """The user's personal view of the collection.
+
+    Attributes:
+        num_documents: documents accessible to this user (their personal N).
+        document_frequencies: term -> number of *accessible* documents
+            containing it.
+    """
+
+    num_documents: int
+    document_frequencies: Mapping[str, int]
+
+    def __post_init__(self) -> None:
+        if self.num_documents < 0:
+            raise RankingError("document count cannot be negative")
+        bad = [t for t, df in self.document_frequencies.items() if df < 0]
+        if bad:
+            raise RankingError(f"negative document frequency for {bad[:3]}")
+
+    @classmethod
+    def from_postings(
+        cls, postings_by_term: Mapping[str, Iterable[int]]
+    ) -> "CollectionStatistics":
+        """Derive statistics from decrypted query results.
+
+        Args:
+            postings_by_term: term -> iterable of doc_ids the user can see.
+        """
+        dfs: dict[str, int] = {}
+        all_docs: set[int] = set()
+        for term, doc_ids in postings_by_term.items():
+            docs = set(doc_ids)
+            dfs[term] = len(docs)
+            all_docs |= docs
+        return cls(num_documents=len(all_docs), document_frequencies=dfs)
+
+    def idf(self, term: str) -> float:
+        """Smoothed inverse document frequency ``ln((N + 1) / (df + 1)) + 1``.
+
+        The +1 smoothing keeps the weight positive and defined even when a
+        term matches every accessible document (common in tiny personal
+        collections).
+        """
+        df = self.document_frequencies.get(term, 0)
+        return math.log((self.num_documents + 1) / (df + 1)) + 1.0
+
+
+class TfIdfScorer:
+    """Weighted-sum tf-idf document scorer over personalized statistics."""
+
+    def __init__(self, statistics: CollectionStatistics) -> None:
+        self._statistics = statistics
+
+    def weight(self, term: str) -> float:
+        """The query-side weight (idf) of one term."""
+        return self._statistics.idf(term)
+
+    def score(self, term_tfs: Mapping[str, float]) -> float:
+        """Score one document from its term -> tf map for the query terms.
+
+        The aggregate is the monotone weighted sum Fagin's TA requires:
+        ``sum_t tf(t, d) * idf(t)``.
+        """
+        if any(tf < 0 for tf in term_tfs.values()):
+            raise RankingError("negative term frequency")
+        return sum(
+            tf * self._statistics.idf(term) for term, tf in term_tfs.items()
+        )

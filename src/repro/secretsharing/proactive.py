@@ -1,0 +1,103 @@
+"""Proactive secret sharing (paper §5.1, citing Herzberg et al. [21]).
+
+"Moreover, if an adversary learns some of the shares, proactive sharing
+techniques can be used to prevent the adversary from getting k shares. With
+this technique, the shares are updated so that those she already knows become
+useless."
+
+The refresh protocol: a dealer (or jointly, the servers) generates a random
+polynomial ``g`` of degree ``k - 1`` with **zero** constant term, and every
+server ``i`` replaces its share ``y_i`` with ``y_i + g(x_i)``. The underlying
+secret ``f(0) + g(0) = f(0)`` is unchanged, but old and new share sets do not
+mix: any set containing fewer than ``k`` post-refresh shares — together with
+any number of pre-refresh shares — still reveals nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import SecretSharingError
+from repro.secretsharing.field import PrimeField
+from repro.secretsharing.shamir import Share, ShamirScheme, _DEFAULT_RNG
+
+
+def refresh_shares(
+    shares: Sequence[Share],
+    k: int,
+    field: PrimeField,
+    rng: random.Random | None = None,
+) -> list[Share]:
+    """One proactive refresh round over a full share set.
+
+    Args:
+        shares: the current share of every server (all ``n`` of them —
+            a refresh must update every live share or the sets diverge).
+        k: the scheme threshold; the blinding polynomial has degree ``k - 1``.
+        field: the Z_p field the shares live in.
+        rng: randomness for the blinding polynomial; CSPRNG by default.
+
+    Returns:
+        New shares at the same x-coordinates encoding the same secret.
+
+    Raises:
+        SecretSharingError: on an empty share set or duplicate coordinates.
+    """
+    if not shares:
+        raise SecretSharingError("cannot refresh an empty share set")
+    xs = [field.normalize(s.x) for s in shares]
+    if len(set(xs)) != len(xs):
+        raise SecretSharingError("duplicate x-coordinates in refresh")
+    rng = rng or _DEFAULT_RNG
+    # Blinding polynomial g with g(0) = 0: coefficients [0, r1, ..., r_{k-1}].
+    blind = [0] + [field.random_element(rng) for _ in range(k - 1)]
+    return [
+        Share(x=s.x, y=field.add(s.y, field.poly_eval(blind, s.x)))
+        for s in shares
+    ]
+
+
+class ProactiveRefresher:
+    """Drives periodic refresh rounds across a server fleet's share tables.
+
+    The refresher tracks an epoch counter so servers (and tests) can assert
+    that shares from different epochs are never combined — combining them
+    yields field garbage, which is exactly the property that makes leaked
+    old shares useless.
+    """
+
+    def __init__(self, scheme: ShamirScheme, rng: random.Random | None = None):
+        self._scheme = scheme
+        self._rng = rng or _DEFAULT_RNG
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Number of refresh rounds performed so far."""
+        return self._epoch
+
+    def refresh(self, shares: Sequence[Share]) -> list[Share]:
+        """Refresh one secret's full share set and bump the epoch."""
+        refreshed = refresh_shares(
+            shares, self._scheme.k, self._scheme.field, self._rng
+        )
+        self._epoch += 1
+        return refreshed
+
+    def refresh_table(
+        self, table: dict[int, list[Share]]
+    ) -> dict[int, list[Share]]:
+        """Refresh every entry of an ``element_id -> shares`` table atomically.
+
+        All entries advance together in a single epoch, modelling the
+        fleet-wide refresh round of [21].
+        """
+        refreshed = {
+            element_id: refresh_shares(
+                shares, self._scheme.k, self._scheme.field, self._rng
+            )
+            for element_id, shares in table.items()
+        }
+        self._epoch += 1
+        return refreshed

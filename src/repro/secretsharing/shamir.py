@@ -1,0 +1,325 @@
+"""Shamir k-out-of-n secret sharing (paper §5.1, Algorithms 1a/1b).
+
+Zerber encrypts every posting element with Shamir's scheme instead of keyed
+encryption: the document owner builds a random polynomial ``f`` of degree
+``k - 1`` whose constant term is the secret, and hands server ``i`` the point
+``f(x_i)`` where ``x_i`` is that server's public x-coordinate. Any ``k``
+shares reconstruct the secret; ``k - 1`` shares are information-theoretically
+useless. This module implements:
+
+- :func:`split_secret` — Algorithm 1a (compute k-out-of-n shares);
+- :func:`reconstruct_secret` — Algorithm 1b, with two interchangeable
+  back-ends: Gaussian elimination over the Vandermonde system (exactly as the
+  paper describes, O(k^3)) and Lagrange interpolation at zero (O(k^2), the
+  back-end used by default);
+- :class:`ShamirScheme` — a configured (k, n, field, x-coordinates) bundle
+  that owners and servers share, supporting dynamic extension of ``n``
+  ("Shamir's secret sharing scheme allows dynamic extension of the number n
+  of servers without recalculating the existing secret shares").
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+from dataclasses import dataclass
+from typing import Iterable, Literal, Sequence
+
+from repro.errors import InsufficientSharesError, SecretSharingError
+from repro.secretsharing.field import DEFAULT_PRIME, PrimeField
+
+ReconstructMethod = Literal["lagrange", "gaussian"]
+
+
+class _SystemRandomAdapter(random.Random):
+    """A ``random.Random`` backed by the OS CSPRNG.
+
+    Shamir coefficient randomness is security-critical (a predictable
+    coefficient leaks the secret), so when callers do not inject an rng we
+    use this adapter rather than the default Mersenne Twister. Tests inject
+    seeded ``random.Random`` instances for determinism.
+    """
+
+    def random(self) -> float:  # pragma: no cover - delegated
+        return secrets.SystemRandom().random()
+
+    def getrandbits(self, k: int) -> int:
+        return secrets.randbits(k)
+
+    def randrange(self, start, stop=None, step=1) -> int:  # type: ignore[override]
+        if stop is None:
+            start, stop = 0, start
+        width = stop - start
+        if width <= 0:
+            raise ValueError("empty range for randrange")
+        return start + secrets.randbelow(width)
+
+    def seed(self, *args, **kwargs) -> None:  # pragma: no cover - stateless
+        return None
+
+
+_DEFAULT_RNG = _SystemRandomAdapter()
+
+
+@dataclass(frozen=True, slots=True)
+class Share:
+    """One server's share of one secret: the point ``(x, y)`` on ``f``.
+
+    Attributes:
+        x: the server's public x-coordinate in Z_p.
+        y: ``f(x)`` — the confidential share value held by that server.
+    """
+
+    x: int
+    y: int
+
+
+def split_secret(
+    secret: int,
+    k: int,
+    x_coordinates: Sequence[int],
+    field: PrimeField | None = None,
+    rng: random.Random | None = None,
+) -> list[Share]:
+    """Algorithm 1a: split ``secret`` into ``len(x_coordinates)`` shares.
+
+    Builds ``f(x) = a_{k-1} x^{k-1} + ... + a_1 x + secret mod p`` with
+    uniformly random coefficients and returns ``f(x_i)`` for each server
+    x-coordinate.
+
+    Args:
+        secret: the value to protect; must lie in ``[0, p)``.
+        k: reconstruction threshold (polynomial degree is ``k - 1``).
+        x_coordinates: the public, distinct, non-zero x-coordinate of every
+            share recipient (one per index server).
+        field: the Z_p field; defaults to the library-wide 64-bit+ prime.
+        rng: coefficient randomness; defaults to a CSPRNG.
+
+    Returns:
+        One :class:`Share` per x-coordinate, in the same order.
+
+    Raises:
+        SecretSharingError: on out-of-range secret, bad threshold, or
+            duplicate / zero x-coordinates.
+    """
+    field = field or PrimeField(DEFAULT_PRIME)
+    rng = rng or _DEFAULT_RNG
+    n = len(x_coordinates)
+    if k < 1:
+        raise SecretSharingError(f"threshold k={k} must be >= 1")
+    if n < k:
+        raise SecretSharingError(f"need at least k={k} recipients, got {n}")
+    if not 0 <= secret < field.p:
+        raise SecretSharingError(
+            f"secret {secret} outside field range [0, {field.p})"
+        )
+    normalized = [field.normalize(x) for x in x_coordinates]
+    if len(set(normalized)) != n:
+        raise SecretSharingError("x-coordinates must be distinct")
+    if any(x == 0 for x in normalized):
+        raise SecretSharingError("x-coordinate 0 would expose the secret")
+    coefficients = [secret] + [field.random_element(rng) for _ in range(k - 1)]
+    return [Share(x=x, y=field.poly_eval(coefficients, x)) for x in normalized]
+
+
+def _reconstruct_gaussian(
+    shares: Sequence[Share], k: int, field: PrimeField
+) -> int:
+    """Solve the k x k Vandermonde system ``y_i = sum a_j x_i^j`` for a_0.
+
+    This is the verbatim Algorithm 1b: "Recover a0 by solving the following
+    system of k linear equations ... with Gaussian elimination methods".
+    """
+    subset = shares[:k]
+    matrix = [
+        [field.pow(s.x, j) for j in range(k)]
+        for s in subset
+    ]
+    rhs = [s.y for s in subset]
+    solution = field.solve_linear_system(matrix, rhs)
+    return solution[0]
+
+
+def reconstruct_secret(
+    shares: Iterable[Share],
+    k: int,
+    field: PrimeField | None = None,
+    method: ReconstructMethod = "lagrange",
+) -> int:
+    """Algorithm 1b: recover the secret from any ``k`` of the ``n`` shares.
+
+    Args:
+        shares: at least ``k`` shares with distinct x-coordinates. Extra
+            shares beyond the first ``k`` are ignored (any k suffice).
+        k: the reconstruction threshold used at split time.
+        field: the Z_p field; must match the split-time field.
+        method: ``"lagrange"`` (default, O(k^2)) or ``"gaussian"`` (the
+            paper's O(k^3) linear-system formulation). Both return identical
+            results; the benchmark harness compares their speed.
+
+    Returns:
+        The original secret (the polynomial's constant term).
+
+    Raises:
+        InsufficientSharesError: fewer than ``k`` distinct shares supplied.
+        SecretSharingError: duplicate x-coordinates among the chosen shares.
+    """
+    field = field or PrimeField(DEFAULT_PRIME)
+    unique: dict[int, Share] = {}
+    for share in shares:
+        unique.setdefault(field.normalize(share.x), share)
+    if len(unique) < k:
+        raise InsufficientSharesError(
+            f"need {k} distinct shares, got {len(unique)}"
+        )
+    chosen = list(unique.values())[:k]
+    if method == "gaussian":
+        return _reconstruct_gaussian(chosen, k, field)
+    if method == "lagrange":
+        return field.lagrange_at_zero([(s.x, s.y) for s in chosen])
+    raise SecretSharingError(f"unknown reconstruction method {method!r}")
+
+
+class ShamirScheme:
+    """A configured k-out-of-n deployment shared by owners and servers.
+
+    The scheme owns the public parameters the paper says "are made public, so
+    all users know them": the prime ``p`` and each server's x-coordinate
+    ``x_i``. Document owners call :meth:`split`; querying clients call
+    :meth:`reconstruct`; operators call :meth:`extend` to add servers without
+    touching existing shares.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        n: int,
+        field: PrimeField | None = None,
+        rng: random.Random | None = None,
+        x_coordinates: Sequence[int] | None = None,
+    ) -> None:
+        """Create a scheme with ``n`` servers and threshold ``k``.
+
+        Args:
+            k: reconstruction threshold (1 <= k <= n).
+            n: number of index servers.
+            field: field to operate in; defaults to the 64-bit+ prime.
+            rng: randomness for x-coordinate assignment and, if no per-call
+                rng is given, share generation.
+            x_coordinates: explicit server x-coordinates (distinct, non-zero).
+                When omitted, unique random coordinates are drawn.
+        """
+        if k < 1 or n < k:
+            raise SecretSharingError(f"require 1 <= k <= n, got k={k} n={n}")
+        self.field = field or PrimeField(DEFAULT_PRIME)
+        self.k = k
+        self._rng = rng or _DEFAULT_RNG
+        if x_coordinates is not None:
+            coords = [self.field.normalize(x) for x in x_coordinates]
+            if len(coords) != n:
+                raise SecretSharingError(
+                    f"expected {n} x-coordinates, got {len(coords)}"
+                )
+            if len(set(coords)) != n or any(x == 0 for x in coords):
+                raise SecretSharingError(
+                    "x-coordinates must be distinct and non-zero"
+                )
+            self._x_coordinates = coords
+        else:
+            self._x_coordinates = self._draw_coordinates(n)
+
+    def _draw_coordinates(self, count: int) -> list[int]:
+        coords: set[int] = set()
+        while len(coords) < count:
+            coords.add(self.field.random_nonzero(self._rng))
+        return sorted(coords)
+
+    # -- public parameters -------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Current number of servers."""
+        return len(self._x_coordinates)
+
+    @property
+    def x_coordinates(self) -> tuple[int, ...]:
+        """The public x-coordinate of each server, index-aligned."""
+        return tuple(self._x_coordinates)
+
+    def x_of(self, server_index: int) -> int:
+        """x-coordinate of server ``server_index`` (0-based)."""
+        return self._x_coordinates[server_index]
+
+    # -- operations ----------------------------------------------------------
+
+    def split(self, secret: int, rng: random.Random | None = None) -> list[Share]:
+        """Split ``secret`` into one share per configured server."""
+        return split_secret(
+            secret, self.k, self._x_coordinates, self.field, rng or self._rng
+        )
+
+    def split_many(
+        self, secrets_: Sequence[int], rng: random.Random | None = None
+    ) -> list[list[Share]]:
+        """Vectorized :meth:`split`; returns ``[shares_of(s) for s in secrets_]``.
+
+        Splitting a whole document's elements in one call mirrors the paper's
+        indexing flow ("The owner repeats this process to split all the
+        elements for the document across the n servers", complexity O(nN)).
+        """
+        return [self.split(s, rng) for s in secrets_]
+
+    def reconstruct(
+        self,
+        shares: Iterable[Share],
+        method: ReconstructMethod = "lagrange",
+    ) -> int:
+        """Recover a secret from any ``k`` of its shares."""
+        return reconstruct_secret(shares, self.k, self.field, method)
+
+    def extend(self, additional_servers: int) -> list[int]:
+        """Dynamically add servers by "just selecting additional points on the
+        polynomial curve" — i.e. minting fresh x-coordinates.
+
+        Existing shares are untouched; the caller is responsible for
+        re-running :meth:`split` (or a resharing protocol) to populate the
+        new servers with shares of pre-existing secrets, or for only using
+        the new coordinates for documents indexed from now on.
+
+        Returns:
+            The newly assigned x-coordinates, in server order.
+        """
+        if additional_servers < 1:
+            raise SecretSharingError("must add at least one server")
+        existing = set(self._x_coordinates)
+        new_coords: list[int] = []
+        while len(new_coords) < additional_servers:
+            candidate = self.field.random_nonzero(self._rng)
+            if candidate not in existing:
+                existing.add(candidate)
+                new_coords.append(candidate)
+        self._x_coordinates.extend(new_coords)
+        return new_coords
+
+    def share_for_new_server(
+        self, secret: int, existing_shares: Sequence[Share], new_x: int
+    ) -> Share:
+        """Compute the share a newly added server would hold for an existing
+        secret, given ``k`` existing shares (owner-side resharing helper).
+
+        Reconstructs the full polynomial through the k points and evaluates
+        it at ``new_x``; the secret itself never needs to be re-split.
+        """
+        if len(existing_shares) < self.k:
+            raise InsufficientSharesError(
+                f"need {self.k} shares to extend, got {len(existing_shares)}"
+            )
+        chosen = list(existing_shares)[: self.k]
+        matrix = [[self.field.pow(s.x, j) for j in range(self.k)] for s in chosen]
+        rhs = [s.y for s in chosen]
+        coefficients = self.field.solve_linear_system(matrix, rhs)
+        if coefficients[0] != self.field.normalize(secret):
+            raise SecretSharingError(
+                "existing shares do not reconstruct the claimed secret"
+            )
+        return Share(x=new_x, y=self.field.poly_eval(coefficients, new_x))

@@ -1,0 +1,108 @@
+"""User-group metadata tables (paper §5.3, Figure 3).
+
+"Each index server records which users belong to each group, and which
+posting elements are accessible to each group. ... The architecture supports
+dynamic changes in group membership. To add or remove a user from a group,
+only the table containing the user-group metadata needs to be updated."
+
+Membership changes are therefore *immediately* reflected in query answers —
+the property §2's ideal scheme demands — because access control is evaluated
+against this table at lookup time, not baked into any encryption.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.errors import AccessDeniedError
+
+
+class GroupDirectory:
+    """The user ↔ group membership table replicated at every index server.
+
+    Also records each group's coordinator — "the group coordinator maintain
+    a list of the identities of the people in the group" (§2) — who is the
+    only principal allowed to mutate membership.
+    """
+
+    def __init__(self) -> None:
+        self._members: dict[int, set[str]] = defaultdict(set)
+        self._groups_of: dict[str, set[int]] = defaultdict(set)
+        self._coordinators: dict[int, str] = {}
+
+    # -- administration ------------------------------------------------------
+
+    def create_group(self, group_id: int, coordinator: str) -> None:
+        """Create a group with its coordinator as the first member."""
+        if group_id in self._coordinators:
+            raise AccessDeniedError(f"group {group_id} already exists")
+        self._coordinators[group_id] = coordinator
+        self.add_member(group_id, coordinator, actor=coordinator)
+
+    def coordinator_of(self, group_id: int) -> str | None:
+        return self._coordinators.get(group_id)
+
+    def _check_actor(self, group_id: int, actor: str | None) -> None:
+        coordinator = self._coordinators.get(group_id)
+        if coordinator is None:
+            raise AccessDeniedError(f"group {group_id} does not exist")
+        if actor is not None and actor != coordinator:
+            raise AccessDeniedError(
+                f"only coordinator {coordinator!r} may administer group {group_id}"
+            )
+
+    def add_member(
+        self, group_id: int, user_id: str, actor: str | None = None
+    ) -> None:
+        """Add ``user_id`` to the group (coordinator-gated when actor given)."""
+        self._check_actor(group_id, actor)
+        self._members[group_id].add(user_id)
+        self._groups_of[user_id].add(group_id)
+
+    def remove_member(
+        self, group_id: int, user_id: str, actor: str | None = None
+    ) -> None:
+        """Remove a member; their future queries stop matching instantly."""
+        self._check_actor(group_id, actor)
+        self._members[group_id].discard(user_id)
+        self._groups_of[user_id].discard(group_id)
+
+    # -- lookup (the Fig. 3 query path) -----------------------------------------
+
+    def groups_of(self, user_id: str) -> frozenset[int]:
+        """All groups the user belongs to — the O(N) lookup of §5.4.2."""
+        return frozenset(self._groups_of.get(user_id, frozenset()))
+
+    def members_of(self, group_id: int) -> frozenset[str]:
+        return frozenset(self._members.get(group_id, frozenset()))
+
+    def is_member(self, user_id: str, group_id: int) -> bool:
+        return user_id in self._members.get(group_id, frozenset())
+
+    def group_ids(self) -> list[int]:
+        return sorted(self._coordinators)
+
+    # -- replication ----------------------------------------------------------------
+
+    def snapshot(self) -> dict[int, frozenset[str]]:
+        """Replication payload: group -> members (what servers exchange)."""
+        return {gid: frozenset(m) for gid, m in self._members.items()}
+
+    def load_snapshot(
+        self,
+        snapshot: dict[int, Iterable[str]],
+        coordinators: dict[int, str] | None = None,
+    ) -> None:
+        """Replace local state with a replicated snapshot."""
+        self._members = defaultdict(set)
+        self._groups_of = defaultdict(set)
+        for gid, members in snapshot.items():
+            for user in members:
+                self._members[gid].add(user)
+                self._groups_of[user].add(gid)
+        if coordinators is not None:
+            self._coordinators = dict(coordinators)
+        else:
+            for gid in snapshot:
+                self._coordinators.setdefault(gid, "")

@@ -1,0 +1,271 @@
+"""The Zerber index server (paper §5.3–§5.4, Figure 3).
+
+Each of the n servers holds exactly one Shamir share of every posting
+element, keyed by merged-posting-list ID and global element ID, next to the
+user-group table it consults before answering. The interface is
+deliberately narrow — "providing only a narrow interface to the outside
+world (i.e., only insert, delete, and look up posting list elements)" — and
+every operation authenticates the caller first.
+
+:meth:`IndexServer.compromise` models an attacker taking the box over
+("one can bribe the sysadmin, measure radiation, take over root"): it
+exposes everything a root-level adversary could see — shares, list
+lengths, the group table, and the update log — which is precisely the
+information the §7.1 attack experiments are allowed to use.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import AccessDeniedError, IndexServerError
+from repro.server.auth import AuthService, AuthToken
+from repro.server.groups import GroupDirectory
+
+
+@dataclass(frozen=True, slots=True)
+class ShareRecord:
+    """One stored (or served) share of one posting element.
+
+    Attributes:
+        element_id: the owner-minted global element ID — the join key a
+            client uses to combine this share with the other servers'.
+        group_id: the collaboration group allowed to read the element.
+        share_y: this server's y-coordinate of the element's polynomial.
+    """
+
+    element_id: int
+    group_id: int
+    share_y: int
+
+    def wire_bytes(self, share_bytes: int = 9) -> int:
+        """On-the-wire size: element id (4) + group id (4) + share."""
+        return 4 + 4 + share_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class InsertOp:
+    """One element insertion bound for one server."""
+
+    pl_id: int
+    element_id: int
+    group_id: int
+    share_y: int
+
+    def wire_bytes(self, share_bytes: int = 9) -> int:
+        """pl id (4) + element id (4) + group id (4) + share."""
+        return 4 + 4 + 4 + share_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class DeleteOp:
+    """One element deletion ("its owner must delete each element separately")."""
+
+    pl_id: int
+    element_id: int
+
+    def wire_bytes(self) -> int:
+        return 4 + 4
+
+
+@dataclass(frozen=True)
+class PostingListResponse:
+    """One merged posting list's accessible elements, §5.4.2's
+
+    ``PL_ID, [{g_id1, e(doc1, term1, tf1)}, ...]``
+    """
+
+    pl_id: int
+    records: tuple[ShareRecord, ...]
+
+    def wire_bytes(self, share_bytes: int = 9) -> int:
+        return 4 + sum(r.wire_bytes(share_bytes) for r in self.records)
+
+
+@dataclass(frozen=True)
+class CompromisedView:
+    """Everything an adversary who owns the box can observe.
+
+    Attributes:
+        server_id: which server fell.
+        x_coordinate: the server's public Shamir x-coordinate.
+        posting_store: pl_id -> list of stored share records. Lengths of
+            these lists are the merged document frequencies the adversary
+            can read directly.
+        group_table: the user-group membership snapshot.
+        update_log: per accepted batch, the (pl_id, element_id) pairs it
+            carried, in arrival order — the raw material of the §7.1
+            correlation attack.
+        query_log: per lookup, (user_id, requested pl_ids) — what §7.1
+            concedes Alice sees ("Alice can see which posting lists each
+            user queries at her compromised server").
+    """
+
+    server_id: str
+    x_coordinate: int
+    posting_store: dict[int, list[ShareRecord]]
+    group_table: dict[int, frozenset[str]]
+    update_log: list[list[tuple[int, int]]]
+    query_log: list[tuple[str, tuple[int, ...]]]
+
+    def merged_list_lengths(self) -> dict[int, int]:
+        """pl_id -> combined posting-list length (all the lengths leak)."""
+        return {pl: len(records) for pl, records in self.posting_store.items()}
+
+
+class IndexServer:
+    """One of the n index servers: share store + ACL + narrow interface."""
+
+    def __init__(
+        self,
+        server_id: str,
+        x_coordinate: int,
+        auth: AuthService,
+        groups: GroupDirectory,
+        share_bytes: int = 9,
+    ) -> None:
+        """Args:
+        server_id: unique name (also its network endpoint).
+        x_coordinate: the server's public Shamir x-coordinate.
+        auth: the enterprise authentication service it trusts.
+        groups: its replica of the user-group table.
+        share_bytes: wire size of one share value (ceil(bits(p)/8)).
+        """
+        if x_coordinate <= 0:
+            raise IndexServerError("x-coordinate must be positive")
+        self.server_id = server_id
+        self.x_coordinate = x_coordinate
+        self.share_bytes = share_bytes
+        self._auth = auth
+        self._groups = groups
+        self._store: dict[int, dict[int, ShareRecord]] = defaultdict(dict)
+        self._update_log: list[list[tuple[int, int]]] = []
+        self._query_log: list[tuple[str, tuple[int, ...]]] = []
+
+    # -- narrow interface: insert --------------------------------------------
+
+    def insert_batch(
+        self, token: AuthToken, operations: Sequence[InsertOp]
+    ) -> int:
+        """Accept one update batch; returns elements inserted.
+
+        The whole batch is logged as a single update event — batching is the
+        §5.4.1 defence against correlation attacks, and the log models what
+        a compromised server's watcher can actually distinguish.
+
+        Raises:
+            AuthError: bad token.
+            AccessDeniedError: inserting into a group the user is outside.
+            IndexServerError: duplicate element ID within a posting list.
+        """
+        user_id = self._auth.verify(token)
+        for op in operations:
+            if not self._groups.is_member(user_id, op.group_id):
+                raise AccessDeniedError(
+                    f"user {user_id!r} is not in group {op.group_id}"
+                )
+        batch_entry: list[tuple[int, int]] = []
+        for op in operations:
+            plist = self._store[op.pl_id]
+            if op.element_id in plist:
+                raise IndexServerError(
+                    f"element {op.element_id} already exists in list {op.pl_id}"
+                )
+            plist[op.element_id] = ShareRecord(
+                element_id=op.element_id,
+                group_id=op.group_id,
+                share_y=op.share_y,
+            )
+            batch_entry.append((op.pl_id, op.element_id))
+        if batch_entry:
+            self._update_log.append(batch_entry)
+        return len(batch_entry)
+
+    # -- narrow interface: delete -----------------------------------------------
+
+    def delete(self, token: AuthToken, operations: Sequence[DeleteOp]) -> int:
+        """Delete elements one by one; returns how many existed.
+
+        "Zerber elements (and hence the document ID field) are encrypted,
+        so the server cannot determine which posting elements have the same
+        document ID. To delete a document, its owner must delete each
+        element separately." (§7.3)
+        """
+        user_id = self._auth.verify(token)
+        deleted = 0
+        for op in operations:
+            plist = self._store.get(op.pl_id)
+            if plist is None:
+                continue
+            record = plist.get(op.element_id)
+            if record is None:
+                continue
+            if not self._groups.is_member(user_id, record.group_id):
+                raise AccessDeniedError(
+                    f"user {user_id!r} may not delete from group {record.group_id}"
+                )
+            del plist[op.element_id]
+            deleted += 1
+        return deleted
+
+    # -- narrow interface: lookup ---------------------------------------------------
+
+    def get_posting_lists(
+        self, token: AuthToken, pl_ids: Iterable[int]
+    ) -> list[PostingListResponse]:
+        """§5.4.2 lookup: return each requested list's *accessible* elements.
+
+        The server "determines her groups by consulting the group table"
+        and returns a share of every element in a group she belongs to.
+        Unknown posting lists yield empty responses rather than errors: an
+        error would tell the caller the list has never been used anywhere,
+        which §6.4 works to conceal.
+        """
+        user_id = self._auth.verify(token)
+        user_groups = self._groups.groups_of(user_id)
+        requested = tuple(pl_ids)
+        self._query_log.append((user_id, requested))
+        responses = []
+        for pl_id in requested:
+            stored = self._store.get(pl_id, {})
+            records = tuple(
+                record
+                for record in stored.values()
+                if record.group_id in user_groups
+            )
+            responses.append(PostingListResponse(pl_id=pl_id, records=records))
+        return responses
+
+    # -- operator/diagnostic surface ---------------------------------------------
+
+    @property
+    def num_posting_lists(self) -> int:
+        return sum(1 for plist in self._store.values() if plist)
+
+    @property
+    def num_elements(self) -> int:
+        return sum(len(plist) for plist in self._store.values())
+
+    def storage_bytes(self) -> int:
+        """Bytes this server's store occupies on the wire encoding."""
+        per_record = 4 + 4 + 4 + self.share_bytes  # pl id + record fields
+        return self.num_elements * per_record
+
+    # -- the attack surface ------------------------------------------------------
+
+    def compromise(self) -> CompromisedView:
+        """Hand the adversary the whole box (for the §7.1 experiments)."""
+        return CompromisedView(
+            server_id=self.server_id,
+            x_coordinate=self.x_coordinate,
+            posting_store={
+                pl_id: list(plist.values())
+                for pl_id, plist in self._store.items()
+                if plist
+            },
+            group_table=self._groups.snapshot(),
+            update_log=[list(batch) for batch in self._update_log],
+            query_log=list(self._query_log),
+        )

@@ -1,0 +1,181 @@
+"""Durable storage for index servers (paper §5.4.1).
+
+"The element IDs help an index recover after failure" — this module makes
+that sentence concrete. Each server can attach a :class:`PostingLog`, an
+append-only write-ahead log of insert/delete records keyed by
+``(pl_id, element_id)``. Because element IDs are globally unique within
+their posting list, replaying the log is idempotent and order-tolerant
+past the last checkpoint, which is exactly why Zerber gives elements
+stable public IDs instead of positional addresses.
+
+Format: one record per line —
+
+    I <pl_id> <element_id> <group_id> <share_y>
+    D <pl_id> <element_id>
+    C <snapshot line count>          (checkpoint marker)
+
+Shares are integers in Z_p; the log never stores anything but shares, so
+a stolen disk is exactly as useless as a compromised server (§5).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Iterable
+
+from repro.errors import IndexServerError
+from repro.server.index_server import InsertOp, DeleteOp, ShareRecord
+
+
+class PostingLog:
+    """Append-only WAL + snapshot persistence for one server's store."""
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        """Args:
+        path: the log file; created empty if absent.
+        """
+        self._path = pathlib.Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self._path, "a", encoding="ascii")
+        self.records_appended = 0
+
+    # -- writing ------------------------------------------------------------
+
+    def append_inserts(self, operations: Iterable[InsertOp]) -> int:
+        """Log one accepted insert batch (call after ACL checks pass)."""
+        count = 0
+        for op in operations:
+            self._handle.write(
+                f"I {op.pl_id} {op.element_id} {op.group_id} {op.share_y}\n"
+            )
+            count += 1
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.records_appended += count
+        return count
+
+    def append_deletes(self, operations: Iterable[DeleteOp]) -> int:
+        """Log accepted deletions."""
+        count = 0
+        for op in operations:
+            self._handle.write(f"D {op.pl_id} {op.element_id}\n")
+            count += 1
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.records_appended += count
+        return count
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    # -- recovery -------------------------------------------------------------
+
+    def replay(self) -> dict[int, dict[int, ShareRecord]]:
+        """Rebuild the posting store from the log.
+
+        Returns:
+            pl_id -> {element_id -> ShareRecord}, the exact in-memory
+            layout of :class:`~repro.server.index_server.IndexServer`.
+
+        Raises:
+            IndexServerError: on a corrupt record (torn writes at the
+                tail are tolerated: a final partial line is skipped).
+        """
+        store: dict[int, dict[int, ShareRecord]] = {}
+        if not self._path.exists():
+            return store
+        with open(self._path, "r", encoding="ascii") as handle:
+            lines = handle.readlines()
+        for line_no, line in enumerate(lines):
+            if not line.endswith("\n"):
+                if line_no == len(lines) - 1:
+                    break  # torn tail write: discard
+                raise IndexServerError(f"corrupt log line {line_no}")
+            parts = line.split()
+            if not parts:
+                continue
+            kind = parts[0]
+            try:
+                if kind == "I":
+                    pl_id, element_id, group_id, share_y = map(int, parts[1:])
+                    store.setdefault(pl_id, {})[element_id] = ShareRecord(
+                        element_id=element_id,
+                        group_id=group_id,
+                        share_y=share_y,
+                    )
+                elif kind == "D":
+                    pl_id, element_id = map(int, parts[1:])
+                    store.get(pl_id, {}).pop(element_id, None)
+                elif kind == "C":
+                    continue  # checkpoint markers are informational
+                else:
+                    raise ValueError(kind)
+            except (ValueError, IndexError) as exc:
+                raise IndexServerError(
+                    f"corrupt log record at line {line_no}: {line!r}"
+                ) from exc
+        return store
+
+    def compact(self, store: dict[int, dict[int, ShareRecord]]) -> int:
+        """Rewrite the log as a snapshot of the live store.
+
+        Returns the number of records written. The old log is atomically
+        replaced (write to a temp file, fsync, rename).
+        """
+        tmp_path = self._path.with_suffix(".compact")
+        count = 0
+        with open(tmp_path, "w", encoding="ascii") as tmp:
+            for pl_id in sorted(store):
+                for element_id in sorted(store[pl_id]):
+                    record = store[pl_id][element_id]
+                    tmp.write(
+                        f"I {pl_id} {record.element_id} "
+                        f"{record.group_id} {record.share_y}\n"
+                    )
+                    count += 1
+            tmp.write(f"C {count}\n")
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        self.close()
+        os.replace(tmp_path, self._path)
+        self._handle = open(self._path, "a", encoding="ascii")
+        return count
+
+
+def attach_log(server, log: PostingLog) -> None:
+    """Wire a :class:`PostingLog` into a live IndexServer.
+
+    Wraps the server's narrow interface so every accepted mutation is
+    logged *after* validation succeeds (rejected batches never hit disk).
+    """
+    original_insert = server.insert_batch
+    original_delete = server.delete
+
+    def insert_batch(token, operations):
+        inserted = original_insert(token, operations)
+        log.append_inserts(operations)
+        return inserted
+
+    def delete(token, operations):
+        deleted = original_delete(token, operations)
+        log.append_deletes(operations)
+        return deleted
+
+    server.insert_batch = insert_batch
+    server.delete = delete
+    server.posting_log = log
+
+
+def recover_server(server, log: PostingLog) -> int:
+    """Load a replayed store into a fresh IndexServer; returns element count.
+
+    The server must be empty (recovery happens before it serves traffic).
+    """
+    if server.num_elements:
+        raise IndexServerError("recovery target server is not empty")
+    replayed = log.replay()
+    for pl_id, records in replayed.items():
+        server._store[pl_id].update(records)
+    return server.num_elements

@@ -1,0 +1,71 @@
+"""Shared fixtures for the Zerber reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.corpus.querylog import QueryLogConfig, generate_query_log
+from repro.corpus.synthetic import (
+    SyntheticCorpusConfig,
+    generate_corpus,
+    generate_term_statistics,
+)
+from repro.secretsharing.field import DEFAULT_PRIME, PrimeField
+
+#: A small Mersenne prime keeps share arithmetic fast in unit tests.
+SMALL_PRIME = (1 << 31) - 1
+
+
+@pytest.fixture(scope="session")
+def small_field() -> PrimeField:
+    return PrimeField(SMALL_PRIME)
+
+
+@pytest.fixture(scope="session")
+def default_field() -> PrimeField:
+    return PrimeField(DEFAULT_PRIME)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(0xA11CE)
+
+
+@pytest.fixture(scope="session")
+def zipf_stats():
+    """A Zipfian term-statistics object shared across analysis tests."""
+    return generate_term_statistics(
+        num_documents=2_000, vocabulary_size=3_000, zipf_exponent=1.0
+    )
+
+
+@pytest.fixture(scope="session")
+def zipf_probs(zipf_stats):
+    return zipf_stats.term_probabilities()
+
+
+@pytest.fixture(scope="session")
+def query_log(zipf_stats):
+    return generate_query_log(
+        zipf_stats,
+        QueryLogConfig(
+            total_queries=50_000, distinct_query_terms=800, seed=7
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A materialized 40-document corpus with 4 groups and 3 hosts."""
+    return generate_corpus(
+        SyntheticCorpusConfig(
+            num_documents=40,
+            vocabulary_size=600,
+            num_groups=4,
+            num_hosts=3,
+            mean_document_length=60,
+            seed=11,
+        )
+    )

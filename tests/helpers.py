@@ -1,0 +1,54 @@
+"""Shared helpers for integration-style tests."""
+
+from __future__ import annotations
+
+from repro.baselines.plain_index import IdealTrustedIndex
+from repro.client.batching import BatchPolicy
+from repro.core.zerber_index import ZerberDeployment
+from repro.corpus.document import Corpus
+
+
+def owner_of_group(group_id: int) -> str:
+    return f"owner{group_id}"
+
+
+def deploy_corpus(
+    corpus: Corpus,
+    k: int = 2,
+    n: int = 3,
+    num_lists: int = 32,
+    heuristic: str = "dfm",
+    use_network: bool = False,
+    batch_policy: BatchPolicy | None = None,
+    seed: int = 0xBEEF,
+) -> ZerberDeployment:
+    """Bootstrap a deployment from a corpus and index every document.
+
+    One owner per group (its coordinator) shares that group's documents;
+    all batches are flushed before returning.
+    """
+    probs = corpus.term_probabilities()
+    deployment = ZerberDeployment.bootstrap(
+        probs,
+        heuristic=heuristic,
+        num_lists=min(num_lists, len(probs)),
+        k=k,
+        n=n,
+        use_network=use_network,
+        batch_policy=batch_policy,
+        seed=seed,
+    )
+    for group_id in corpus.group_ids():
+        deployment.create_group(group_id, coordinator=owner_of_group(group_id))
+    for document in corpus:
+        deployment.share_document(owner_of_group(document.group_id), document)
+    deployment.flush_all()
+    return deployment
+
+
+def ideal_twin(corpus: Corpus, deployment: ZerberDeployment) -> IdealTrustedIndex:
+    """The §2 oracle over the same documents and the same group table."""
+    ideal = IdealTrustedIndex(deployment.groups)
+    for document in corpus:
+        ideal.index_document(document)
+    return ideal

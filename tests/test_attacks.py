@@ -1,0 +1,279 @@
+"""Tests for the §7.1 adversary simulations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.attacks.adversary import BackgroundKnowledge
+from repro.attacks.collusion import (
+    attempt_reconstruction,
+    consistent_with_every_secret,
+    share_uniformity_pvalue,
+)
+from repro.attacks.correlation import CorrelationAttack
+from repro.attacks.statistical import StatisticalAttack
+from repro.client.batching import BatchPolicy
+from repro.errors import (
+    ConfidentialityError,
+    InsufficientSharesError,
+    SecretSharingError,
+)
+from repro.secretsharing.field import PrimeField
+from repro.secretsharing.shamir import ShamirScheme
+
+from tests.helpers import deploy_corpus
+
+FIELD = PrimeField((1 << 31) - 1)
+
+
+class TestBackgroundKnowledge:
+    def test_priors(self):
+        b = BackgroundKnowledge({"a": 0.5, "b": 0.1})
+        assert b.prior("a") == 0.5
+        assert b.knows("a") and not b.knows("z")
+        # Unknown terms get the smallest known prior, never zero.
+        assert b.prior("z") == 0.1
+
+    def test_from_document_frequencies(self):
+        b = BackgroundKnowledge.from_document_frequencies({"a": 3, "b": 1})
+        assert b.prior("a") == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ConfidentialityError):
+            BackgroundKnowledge({})
+        with pytest.raises(ConfidentialityError):
+            BackgroundKnowledge({"a": 0.0})
+        with pytest.raises(ConfidentialityError):
+            BackgroundKnowledge.from_document_frequencies({})
+
+
+class TestStatisticalAttack:
+    @pytest.fixture(scope="class")
+    def attack_env(self, small_corpus_cls):
+        corpus = small_corpus_cls
+        deployment = deploy_corpus(corpus, num_lists=16)
+        view = deployment.servers[0].compromise()
+        merge = deployment.merge_result
+        members = {i: list(ms) for i, ms in enumerate(merge.lists)}
+        probs = corpus.term_probabilities()
+        background = BackgroundKnowledge(probs)
+        attack = StatisticalAttack(view, members, background)
+        return corpus, deployment, merge, attack
+
+    @pytest.fixture(scope="class")
+    def small_corpus_cls(self):
+        from repro.corpus.synthetic import (
+            SyntheticCorpusConfig,
+            generate_corpus,
+        )
+
+        return generate_corpus(
+            SyntheticCorpusConfig(
+                num_documents=40,
+                vocabulary_size=600,
+                num_groups=4,
+                seed=11,
+            )
+        )
+
+    def test_posteriors_normalized(self, attack_env):
+        *_, attack = attack_env
+        posterior = attack.element_posterior(0)
+        assert sum(posterior.values()) == pytest.approx(1.0)
+
+    def test_amplification_never_exceeds_configured_r(self, attack_env):
+        corpus, deployment, merge, attack = attack_env
+        probs = corpus.term_probabilities()
+        r = merge.resulting_r(probs)
+        report = attack.report()
+        # Formula (7): the worst list defines r; the attack can't beat it.
+        assert report.max_amplification <= r * (1 + 1e-9)
+        assert report.mean_amplification <= report.max_amplification
+
+    def test_df_estimates_degrade_with_merging(self, attack_env):
+        # The adversary's background stats are always approximate (general
+        # language statistics, not this corpus). An UNMERGED index hands
+        # her exact document frequencies regardless — the list length IS
+        # the df. A merged index forces her back onto her noisy priors.
+        corpus, deployment, merge, attack = attack_env
+        true_dfs = corpus.document_frequencies()
+        probs = corpus.term_probabilities()
+        rng = random.Random(99)
+        noisy = {t: p * rng.lognormvariate(0.0, 0.6) for t, p in probs.items()}
+        total = sum(noisy.values())
+        noisy_background = BackgroundKnowledge(
+            {t: p / total for t, p in noisy.items()}
+        )
+        view = deployment.servers[0].compromise()
+        members = {i: list(ms) for i, ms in enumerate(merge.lists)}
+        merged_attack = StatisticalAttack(view, members, noisy_background)
+        merged_error = merged_attack.df_estimation_error(true_dfs)
+        # Unmerged counterpart: every term in a singleton list whose
+        # length equals its true df (what a plain index stores).
+        singleton_members = {i: [t] for i, t in enumerate(true_dfs)}
+        unmerged_store = {
+            i: [None] * true_dfs[t]
+            for i, t in enumerate(true_dfs)
+        }
+        unmerged_view = type(view)(
+            server_id="plain",
+            x_coordinate=1,
+            posting_store=unmerged_store,
+            group_table={},
+            update_log=[],
+            query_log=[],
+        )
+        unmerged_attack = StatisticalAttack(
+            unmerged_view, singleton_members, noisy_background
+        )
+        unmerged_error = unmerged_attack.df_estimation_error(true_dfs)
+        assert unmerged_error == pytest.approx(0.0, abs=1e-9)
+        assert merged_error > 0.10
+
+    def test_guess_accuracy_bounded_by_amplified_prior(self, attack_env):
+        corpus, deployment, merge, attack = attack_env
+        # Ground truth: decrypt-side mapping element -> term.
+        true_terms = {}
+        dictionary = deployment.dictionary
+        for group in corpus.group_ids():
+            owner = deployment.owner(f"owner{group}")
+            for doc_id in owner.shared_documents:
+                document = owner.document(doc_id)
+                for term in document.term_counts:
+                    # element ids are per (pl, element); we need the
+                    # reverse map from the owner's shadow entries.
+                    pass
+        # Simpler ground truth: rebuild it from the shadow maps.
+        true_terms = _element_term_truth(corpus, deployment)
+        attack_acc, blind_acc = attack.empirical_guess_accuracy(true_terms)
+        probs = corpus.term_probabilities()
+        r = merge.resulting_r(probs)
+        max_prior = max(probs.values())
+        # The attack's accuracy can't exceed the r-amplified best prior.
+        assert attack_acc <= min(1.0, r * max_prior) + 0.05
+        assert blind_acc <= attack_acc + 0.05
+
+    def test_missing_list_raises(self, attack_env):
+        *_, attack = attack_env
+        with pytest.raises(ConfidentialityError):
+            attack.element_posterior(10_000)
+
+
+def _element_term_truth(corpus, deployment):
+    """element_id -> term, rebuilt from owners' shadow maps + documents."""
+    truth = {}
+    for group in corpus.group_ids():
+        owner = deployment.owner(f"owner{group}")
+        for doc_id in owner.shared_documents:
+            document = owner.document(doc_id)
+            terms_sorted = sorted(document.term_counts)
+            entries = owner.elements_of(doc_id)
+            # _build_plans iterates terms in sorted order, so entries align.
+            for (pl_id, element_id), term in zip(entries, terms_sorted):
+                truth[element_id] = term
+    return truth
+
+
+class TestCorrelationAttack:
+    def _env(self, batch_docs: int):
+        from repro.corpus.synthetic import (
+            SyntheticCorpusConfig,
+            generate_corpus,
+        )
+
+        corpus = generate_corpus(
+            SyntheticCorpusConfig(
+                num_documents=24,
+                vocabulary_size=400,
+                num_groups=2,
+                mean_document_length=30,
+                seed=5,
+            )
+        )
+        deployment = deploy_corpus(
+            corpus,
+            num_lists=16,
+            batch_policy=BatchPolicy(min_documents=batch_docs),
+        )
+        truth = {}
+        for group in corpus.group_ids():
+            owner = deployment.owner(f"owner{group}")
+            for doc_id in owner.shared_documents:
+                for _pl, element_id in owner.elements_of(doc_id):
+                    truth[element_id] = doc_id
+        view = deployment.servers[0].compromise()
+        return CorrelationAttack(view), truth
+
+    def test_unbatched_updates_leak_cooccurrence(self):
+        attack, truth = self._env(batch_docs=1)
+        report = attack.score(truth)
+        # One document per batch: every guessed pair is correct.
+        assert report.precision == pytest.approx(1.0)
+        assert report.recall == pytest.approx(1.0)
+
+    def test_batching_dilutes_the_attack(self):
+        unbatched, truth_a = self._env(batch_docs=1)
+        batched, truth_b = self._env(batch_docs=12)
+        assert (
+            batched.score(truth_b).precision
+            < unbatched.score(truth_a).precision
+        )
+
+    def test_batched_recall_still_high_precision_low(self):
+        attack, truth = self._env(batch_docs=12)
+        report = attack.score(truth)
+        assert report.recall == pytest.approx(1.0)  # pairs are in-batch
+        assert report.precision < 0.25
+
+    def test_empty_truth_rejected(self):
+        attack, _ = self._env(batch_docs=1)
+        with pytest.raises(ConfidentialityError):
+            attack.score({})
+
+
+class TestCollusion:
+    def test_below_threshold_reconstruction_fails(self):
+        scheme = ShamirScheme(
+            k=3, n=5, field=FIELD, rng=random.Random(1)
+        )
+        shares = scheme.split(424242)
+        with pytest.raises(InsufficientSharesError):
+            attempt_reconstruction(shares[:2], 3, FIELD)
+
+    def test_at_threshold_succeeds(self):
+        scheme = ShamirScheme(k=3, n=5, field=FIELD, rng=random.Random(1))
+        shares = scheme.split(424242)
+        assert attempt_reconstruction(shares[:3], 3, FIELD) == 424242
+
+    def test_k_minus_1_shares_consistent_with_any_secret(self):
+        scheme = ShamirScheme(k=2, n=3, field=FIELD, rng=random.Random(2))
+        shares = scheme.split(777)
+        candidates = [0, 1, 777, 999_999, FIELD.p - 1]
+        assert consistent_with_every_secret(
+            shares[:1], 2, FIELD, candidates
+        )
+
+    def test_consistency_check_rejects_k_shares(self):
+        scheme = ShamirScheme(k=2, n=3, field=FIELD, rng=random.Random(2))
+        shares = scheme.split(777)
+        with pytest.raises(SecretSharingError):
+            consistent_with_every_secret(shares[:2], 2, FIELD, [1, 2])
+
+    def test_share_values_look_uniform(self):
+        scheme = ShamirScheme(k=2, n=3, field=FIELD, rng=random.Random(3))
+        # Same secret split many times: one server's y-values.
+        ys = [scheme.split(13)[0].y for _ in range(400)]
+        p_value = share_uniformity_pvalue(ys, FIELD, num_buckets=8)
+        assert p_value > 0.001  # cannot reject uniformity
+
+    def test_structured_values_fail_uniformity(self):
+        # Sanity: the test has power — clustered values ARE rejected.
+        ys = [i % 1000 for i in range(400)]
+        p_value = share_uniformity_pvalue(ys, FIELD, num_buckets=8)
+        assert p_value < 1e-6
+
+    def test_uniformity_needs_enough_samples(self):
+        with pytest.raises(SecretSharingError):
+            share_uniformity_pvalue([1, 2, 3], FIELD, num_buckets=8)

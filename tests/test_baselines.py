@@ -1,0 +1,187 @@
+"""Tests for the baselines: ideal index, Bloom filter, μ-Serv, shotgun."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bloom import BloomFilter
+from repro.baselines.mu_serv import (
+    MuServIndex,
+    MuServSite,
+    fp_rate_for_precision,
+)
+from repro.baselines.plain_index import IdealTrustedIndex
+from repro.baselines.shotgun import ShotgunBroadcast
+from repro.corpus.document import Document
+from repro.errors import ReproError
+from repro.invindex.inverted_index import InvertedIndex
+from repro.server.groups import GroupDirectory
+
+
+def doc(doc_id, terms, group=0, host="h"):
+    return Document(
+        doc_id=doc_id,
+        host=host,
+        group_id=group,
+        term_counts=terms,
+        length=sum(terms.values()),
+    )
+
+
+class TestIdealTrustedIndex:
+    @pytest.fixture()
+    def ideal(self):
+        groups = GroupDirectory()
+        groups.create_group(0, coordinator="alice")
+        groups.create_group(1, coordinator="bob")
+        ideal = IdealTrustedIndex(groups)
+        ideal.index_document(doc(1, {"merger": 2, "budget": 1}, group=0))
+        ideal.index_document(doc(2, {"merger": 1}, group=1))
+        ideal.index_document(doc(3, {"budget": 3}, group=0))
+        return ideal
+
+    def test_acl_filters_results(self, ideal):
+        assert ideal.matching_documents("alice", ["merger"]) == {1}
+        assert ideal.matching_documents("bob", ["merger"]) == {2}
+
+    def test_outsider_sees_nothing(self, ideal):
+        assert ideal.matching_documents("mallory", ["merger"]) == set()
+
+    def test_ranked_search(self, ideal):
+        hits = ideal.search("alice", ["budget"], top_k=5)
+        assert [h.doc_id for h in hits] == [3, 1]
+
+    def test_delete(self, ideal):
+        assert ideal.delete_document(1)
+        assert ideal.matching_documents("alice", ["merger"]) == set()
+        assert not ideal.delete_document(1)
+
+    def test_counts(self, ideal):
+        assert ideal.num_documents == 3
+        assert ideal.num_postings == 4
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter.with_false_positive_rate(100, 0.01)
+        items = [f"item{i}" for i in range(100)]
+        bloom.add_all(items)
+        assert all(item in bloom for item in items)
+
+    def test_fp_rate_near_target(self):
+        bloom = BloomFilter.with_false_positive_rate(500, 0.05)
+        bloom.add_all(f"member{i}" for i in range(500))
+        probes = [f"absent{i}" for i in range(4000)]
+        fp = sum(1 for p in probes if p in bloom) / len(probes)
+        assert fp < 0.12  # target 0.05 with slack
+
+    def test_small_filter_has_high_fp(self):
+        tight = BloomFilter.with_false_positive_rate(200, 0.5)
+        tight.add_all(f"m{i}" for i in range(200))
+        probes = [f"absent{i}" for i in range(2000)]
+        fp = sum(1 for p in probes if p in tight) / len(probes)
+        assert fp > 0.2
+
+    def test_fill_ratio_and_estimate(self):
+        bloom = BloomFilter(num_bits=64, num_hashes=2)
+        assert bloom.fill_ratio == 0.0
+        bloom.add("x")
+        assert 0 < bloom.fill_ratio <= 2 / 64
+        assert bloom.estimated_fp_rate() < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            BloomFilter(num_bits=4, num_hashes=1)
+        with pytest.raises(ReproError):
+            BloomFilter(num_bits=64, num_hashes=0)
+        with pytest.raises(ReproError):
+            BloomFilter.with_false_positive_rate(0, 0.1)
+        with pytest.raises(ReproError):
+            BloomFilter.with_false_positive_rate(10, 1.5)
+
+
+def build_mu_serv(num_sites=20, fp_rate=0.05):
+    sites = []
+    for s in range(num_sites):
+        terms = {f"common{s % 3}": 1, f"site{s}-private": 2}
+        documents = [doc(s * 10 + 1, terms, host=f"site{s}")]
+        sites.append(
+            MuServSite.build(f"site{s}", documents, fp_rate=fp_rate)
+        )
+    return MuServIndex(sites)
+
+
+class TestMuServ:
+    def test_true_holder_always_suggested(self):
+        index = build_mu_serv()
+        candidates = index.candidate_sites(["site7-private"])
+        assert "site7" in candidates
+
+    def test_two_phase_search_finds_documents(self):
+        index = build_mu_serv()
+        results, contacted = index.search(["site7-private"])
+        assert results["site7"] == {71}
+        assert contacted >= 1
+
+    def test_high_fp_filter_wastes_visits(self):
+        # The §3 criticism: small filters (more confidential) mean more
+        # suggested-but-empty sites.
+        vague = build_mu_serv(num_sites=40, fp_rate=0.5)
+        precise = build_mu_serv(num_sites=40, fp_rate=0.0001)
+        term = ["site3-private"]
+        assert len(vague.candidate_sites(term)) >= len(
+            precise.candidate_sites(term)
+        )
+        assert vague.precision(term) <= precise.precision(term)
+
+    def test_precision_is_one_when_all_suggested_match(self):
+        index = build_mu_serv(num_sites=5, fp_rate=0.0001)
+        assert index.precision(["common0"]) == pytest.approx(1.0)
+
+    def test_duplicate_sites_rejected(self):
+        site = MuServSite.build("s", [doc(1, {"a": 1})], 0.1)
+        with pytest.raises(ReproError):
+            MuServIndex([site, site])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            MuServIndex([])
+
+
+class TestFpRateForPrecision:
+    def test_x_5_percent_gives_20x_overhead(self):
+        # §3: "if x = 5%, the user must query 20 times as many sites".
+        t = 0.01  # 1% of sites genuinely match
+        f = fp_rate_for_precision(0.05, t)
+        expected_sites = t + f * (1 - t)
+        overhead = expected_sites / t
+        assert overhead == pytest.approx(20.0, rel=0.01)
+
+    def test_precision_one_needs_no_false_positives(self):
+        assert fp_rate_for_precision(1.0, 0.1) == pytest.approx(1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            fp_rate_for_precision(0.0, 0.1)
+        with pytest.raises(ReproError):
+            fp_rate_for_precision(0.5, 0.0)
+        with pytest.raises(ReproError):
+            fp_rate_for_precision(0.5, 1.0)
+
+
+class TestShotgun:
+    def test_contacts_every_site(self):
+        indexes = {}
+        for s in range(10):
+            idx = InvertedIndex()
+            idx.index_document(doc(s, {f"private{s}": 1}))
+            indexes[f"site{s}"] = idx
+        shotgun = ShotgunBroadcast(indexes)
+        results, contacted = shotgun.search(["private3"])
+        assert contacted == 10
+        assert results["site3"] == {3}
+        assert shotgun.wasted_contacts(["private3"]) == 9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            ShotgunBroadcast({})

@@ -1,0 +1,121 @@
+"""Tests for update batching (§5.4.1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.client.batching import BatchPolicy, UpdateBatcher
+from repro.errors import ReproError
+
+
+def collector():
+    flushed: list[list[str]] = []
+    return flushed, flushed.append
+
+
+class TestPolicyValidation:
+    def test_bounds(self):
+        with pytest.raises(ReproError):
+            BatchPolicy(min_documents=0)
+        with pytest.raises(ReproError):
+            BatchPolicy(max_elements=0)
+        with pytest.raises(ReproError):
+            BatchPolicy(max_age_ticks=-1)
+
+
+class TestTriggers:
+    def test_document_count_trigger(self):
+        flushed, sink = collector()
+        batcher = UpdateBatcher(
+            BatchPolicy(min_documents=3, max_age_ticks=1000),
+            sink,
+            rng=random.Random(1),
+        )
+        assert not batcher.enqueue_document(["a1"])
+        assert not batcher.enqueue_document(["b1", "b2"])
+        assert batcher.enqueue_document(["c1"])
+        assert len(flushed) == 1
+        assert sorted(flushed[0]) == ["a1", "b1", "b2", "c1"]
+        assert batcher.pending_documents == 0
+
+    def test_element_count_trigger(self):
+        flushed, sink = collector()
+        batcher = UpdateBatcher(
+            BatchPolicy(min_documents=100, max_elements=5, max_age_ticks=1000),
+            sink,
+            rng=random.Random(1),
+        )
+        assert not batcher.enqueue_document(["a"] )
+        assert batcher.enqueue_document(["b1", "b2", "b3", "b4"])
+        assert len(flushed) == 1
+
+    def test_age_trigger(self):
+        flushed, sink = collector()
+        batcher = UpdateBatcher(
+            BatchPolicy(min_documents=100, max_age_ticks=5),
+            sink,
+            rng=random.Random(1),
+        )
+        batcher.enqueue_document(["a"])
+        assert not batcher.tick(4)
+        assert batcher.tick(1)
+        assert len(flushed) == 1
+
+    def test_tick_without_pending_never_flushes(self):
+        flushed, sink = collector()
+        batcher = UpdateBatcher(BatchPolicy(max_age_ticks=0), sink)
+        assert not batcher.tick(100)
+        assert not flushed
+
+    def test_time_moves_forward_only(self):
+        _, sink = collector()
+        batcher = UpdateBatcher(BatchPolicy(), sink)
+        with pytest.raises(ReproError):
+            batcher.tick(-1)
+
+    def test_immediate_mode(self):
+        # min_documents=1: "the indexes can be updated whenever a shared
+        # document changes, rather than in batches".
+        flushed, sink = collector()
+        batcher = UpdateBatcher(BatchPolicy(min_documents=1), sink)
+        assert batcher.enqueue_document(["x"])
+        assert flushed == [["x"]]
+
+
+class TestShuffling:
+    def test_batch_destroys_document_order(self):
+        # The security-critical property: elements of different documents
+        # are interleaved in the released batch.
+        flushed, sink = collector()
+        batcher = UpdateBatcher(
+            BatchPolicy(min_documents=10), sink, rng=random.Random(7)
+        )
+        docs = [[f"d{d}e{e}" for e in range(10)] for d in range(10)]
+        for ops in docs:
+            batcher.enqueue_document(ops)
+        released = flushed[0]
+        concatenated = [op for ops in docs for op in ops]
+        assert sorted(released) == sorted(concatenated)
+        assert released != concatenated  # shuffled
+
+    def test_flush_returns_op_count(self):
+        _, sink = collector()
+        batcher = UpdateBatcher(BatchPolicy(min_documents=50), sink)
+        batcher.enqueue_document(["a", "b"])
+        assert batcher.flush() == 2
+        assert batcher.flush() == 0
+
+    def test_empty_enqueue_ignored(self):
+        flushed, sink = collector()
+        batcher = UpdateBatcher(BatchPolicy(min_documents=1), sink)
+        assert not batcher.enqueue_document([])
+        assert not flushed
+
+    def test_batches_flushed_counter(self):
+        _, sink = collector()
+        batcher = UpdateBatcher(BatchPolicy(min_documents=1), sink)
+        batcher.enqueue_document(["a"])
+        batcher.enqueue_document(["b"])
+        assert batcher.batches_flushed == 2

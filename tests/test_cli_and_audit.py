@@ -1,0 +1,144 @@
+"""Tests for the CLI entry points and the confidentiality audit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.audit import audit_merge
+from repro.cli import main
+from repro.core.merging.dfm import DepthFirstMerging
+from repro.core.merging.udm import UniformDistributionMerging
+from repro.errors import ConfidentialityError
+
+
+def zipf_probs(n: int) -> dict[str, float]:
+    raw = {f"t{i:03d}": 1.0 / (i + 1) for i in range(n)}
+    total = sum(raw.values())
+    return {t: p / total for t, p in raw.items()}
+
+
+PROBS = zipf_probs(150)
+QFS = {
+    t: max(1, 1_000 - 6 * rank)
+    for rank, t in enumerate(sorted(PROBS, key=lambda t: -PROBS[t]))
+}
+
+
+class TestAudit:
+    def test_fields_consistent(self):
+        merge = UniformDistributionMerging(8).merge(PROBS)
+        audit = audit_merge(merge, PROBS, query_frequencies=QFS)
+        assert audit.resulting_r == pytest.approx(merge.resulting_r(PROBS))
+        assert len(audit.weakest_lists) == 3
+        weakest_mass = audit.weakest_lists[0][1]
+        assert weakest_mass == pytest.approx(min(merge.masses(PROBS)))
+        assert audit.mass_quantiles[0] <= audit.mass_quantiles[-1]
+        assert audit.singleton_fraction == 0.0
+        assert audit.table_exposure == 1.0
+        assert audit.band_information is not None
+        assert 0.0 < audit.identity_accuracy <= 1.0
+
+    def test_singletons_reported(self):
+        merge = DepthFirstMerging(8, target_r=1000).merge(
+            zipf_probs(8)
+        )
+        audit = audit_merge(merge, zipf_probs(8))
+        assert audit.singleton_lists == 8
+        assert audit.singleton_fraction == 1.0
+
+    def test_table_exposure_with_cutoff(self):
+        merge = UniformDistributionMerging(8).merge(PROBS)
+        audit = audit_merge(merge, PROBS, table_size=30)
+        assert audit.table_exposure == pytest.approx(30 / 150)
+
+    def test_query_channels_optional(self):
+        merge = UniformDistributionMerging(8).merge(PROBS)
+        audit = audit_merge(merge, PROBS)
+        assert audit.band_information is None
+        assert audit.identity_accuracy is None
+
+    def test_render_mentions_key_numbers(self):
+        merge = UniformDistributionMerging(8).merge(PROBS)
+        audit = audit_merge(merge, PROBS, query_frequencies=QFS)
+        text = "\n".join(audit.render())
+        assert "index-wide r" in text
+        assert "band leak" in text
+
+    def test_weakest_validation(self):
+        merge = UniformDistributionMerging(8).merge(PROBS)
+        with pytest.raises(ConfidentialityError):
+            audit_merge(merge, PROBS, weakest=0)
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo", "--documents", "10", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "indexed 10 documents" in out
+        assert "hits" in out
+
+    def test_merge_all_heuristics(self, capsys):
+        for heuristic in ("dfm", "bfm", "udm"):
+            code = main(
+                [
+                    "merge",
+                    "--heuristic",
+                    heuristic,
+                    "--documents",
+                    "400",
+                    "--vocabulary",
+                    "800",
+                    "--lists",
+                    "16",
+                ]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert heuristic.upper() in out
+            assert "resulting r" in out
+
+    def test_audit(self, capsys):
+        code = main(
+            [
+                "audit",
+                "--documents",
+                "400",
+                "--vocabulary",
+                "800",
+                "--lists",
+                "16",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "confidentiality audit" in out
+        assert "band leak" in out
+
+    def test_bandwidth(self, capsys):
+        assert main(["bandwidth"]) == 0
+        out = capsys.readouterr().out
+        assert "21.6 KB" in out
+        assert "x4.5" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestSnippetNetworkAccounting:
+    def test_snippet_bytes_hit_the_ledger(self, small_corpus):
+        from tests.helpers import deploy_corpus, owner_of_group
+
+        deployment = deploy_corpus(
+            small_corpus, use_network=True, num_lists=16
+        )
+        doc = next(iter(small_corpus))
+        term = sorted(doc.term_counts)[0]
+        user = owner_of_group(doc.group_id)
+        searcher = deployment.searcher(user)
+        before = deployment.network.stats.bytes_by_kind.get("snippet", 0)
+        results = searcher.search([term], top_k=3)
+        after = deployment.network.stats.bytes_by_kind.get("snippet", 0)
+        assert results and all(r.snippet for r in results)
+        # Each snippet response carries its XML envelope (§7.3's ~250 B).
+        assert after - before >= len(results) * 130

@@ -1,0 +1,153 @@
+"""Tests for the r-confidentiality measure (Definition 1, formulas 2-5, 7)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.confidentiality import (
+    absence_amplification,
+    amplification,
+    is_r_confidential,
+    list_confidentiality,
+    merged_term_probability,
+    required_probability_mass,
+    resulting_r,
+    uniform_distribution_r,
+)
+from repro.errors import ConfidentialityError
+
+
+class TestFormula3:
+    def test_posterior_is_normalized_share(self):
+        # p = {0.1, 0.3, 0.6}: posterior of the 0.1 term is 0.1/1.0
+        assert merged_term_probability(0.1, [0.1, 0.3, 0.6]) == pytest.approx(0.1)
+
+    def test_posteriors_sum_to_one(self):
+        members = [0.05, 0.2, 0.25]
+        total = sum(merged_term_probability(p, members) for p in members)
+        assert total == pytest.approx(1.0)
+
+    def test_single_member_list_posterior_is_one(self):
+        assert merged_term_probability(0.2, [0.2]) == pytest.approx(1.0)
+
+    def test_candidate_must_be_member(self):
+        with pytest.raises(ConfidentialityError):
+            merged_term_probability(0.9, [0.1, 0.2])
+
+    def test_rejects_invalid_probabilities(self):
+        with pytest.raises(ConfidentialityError):
+            merged_term_probability(0.1, [0.1, 0.0])
+        with pytest.raises(ConfidentialityError):
+            merged_term_probability(0.1, [])
+
+
+class TestAmplification:
+    def test_amplification_is_inverse_mass(self):
+        members = [0.1, 0.15, 0.25]
+        expected = 1.0 / 0.5
+        for p in members:
+            assert amplification(p, members) == pytest.approx(expected)
+
+    def test_mass_one_means_no_amplification(self):
+        members = [0.4, 0.6]
+        assert amplification(0.4, members) == pytest.approx(1.0)
+
+    def test_absence_amplification_never_exceeds_one(self):
+        # §5.2: the absence posterior is SMALLER than the prior.
+        members = [0.1, 0.2, 0.3]
+        for p in members:
+            assert absence_amplification(p, members) <= 1.0
+
+    def test_absence_needs_interior_probability(self):
+        with pytest.raises(ConfidentialityError):
+            absence_amplification(1.0, [1.0])
+
+
+class TestFormula5:
+    def test_satisfied_when_mass_reaches_inverse_r(self):
+        assert is_r_confidential([0.05, 0.05], r=10)  # mass 0.1 == 1/10
+
+    def test_violated_when_mass_below(self):
+        assert not is_r_confidential([0.04, 0.05], r=10)
+
+    def test_r_below_one_rejected(self):
+        with pytest.raises(ConfidentialityError):
+            is_r_confidential([0.5], r=0.5)
+
+    def test_required_mass(self):
+        assert required_probability_mass(4.0) == pytest.approx(0.25)
+
+    def test_required_mass_rejects_r_below_one(self):
+        with pytest.raises(ConfidentialityError):
+            required_probability_mass(0.99)
+
+
+class TestFormula7:
+    def test_weakest_list_governs(self):
+        lists = [("a", "b"), ("c",)]
+        probs = {"a": 0.3, "b": 0.3, "c": 0.1}
+        # masses: 0.6 and 0.1 -> r = 1/0.1 = 10
+        assert resulting_r(lists, probs) == pytest.approx(10.0)
+
+    def test_single_all_terms_list_gives_r_at_most_one(self):
+        probs = {"a": 0.5, "b": 0.5}
+        assert resulting_r([("a", "b")], probs) == pytest.approx(1.0)
+
+    def test_missing_probability_raises(self):
+        with pytest.raises(ConfidentialityError):
+            resulting_r([("a", "zzz")], {"a": 0.5})
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ConfidentialityError):
+            resulting_r([()], {"a": 0.5})
+
+    def test_no_lists_raises(self):
+        with pytest.raises(ConfidentialityError):
+            resulting_r([], {"a": 0.5})
+
+    def test_list_confidentiality_helper(self):
+        assert list_confidentiality([0.1, 0.1]) == pytest.approx(5.0)
+
+
+class TestUniformClosedForm:
+    """§6: under uniform term probabilities, r equals the list count M."""
+
+    def test_closed_form(self):
+        assert uniform_distribution_r(1) == 1.0
+        assert uniform_distribution_r(2) == 2.0
+        assert uniform_distribution_r(1024) == 1024.0
+
+    def test_rejects_zero_lists(self):
+        with pytest.raises(ConfidentialityError):
+            uniform_distribution_r(0)
+
+    @pytest.mark.parametrize("m", [1, 2, 4, 8])
+    def test_closed_form_matches_formula_7(self, m):
+        # 64 uniform terms dealt into m equal lists.
+        vocab = 64
+        probs = {f"t{i}": 1.0 / vocab for i in range(vocab)}
+        lists = [
+            tuple(f"t{i}" for i in range(start, vocab, m))
+            for start in range(m)
+        ]
+        assert resulting_r(lists, probs) == pytest.approx(
+            uniform_distribution_r(m)
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    probs=st.lists(
+        st.floats(min_value=1e-6, max_value=0.2), min_size=1, max_size=20
+    )
+)
+def test_property_amplification_bounds(probs):
+    """For any merged list: every member's amplification equals 1/mass,
+    and the list is r-confidential exactly for r >= 1/mass."""
+    mass = sum(probs)
+    for p in probs:
+        assert amplification(p, probs) == pytest.approx(1.0 / mass, rel=1e-9)
+    r_exact = max(1.0, 1.0 / mass)
+    assert is_r_confidential(probs, r_exact * 1.0000001)

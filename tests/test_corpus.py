@@ -1,0 +1,219 @@
+"""Tests for corpus models, Zipf utilities and synthetic generators (§7.4)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.corpus.document import Corpus, Document
+from repro.corpus.synthetic import (
+    SyntheticCorpusConfig,
+    TermStatistics,
+    generate_corpus,
+    generate_term_statistics,
+    odp_like_statistics,
+    studip_like_statistics,
+)
+from repro.corpus.zipf import (
+    ZipfSampler,
+    expected_document_frequencies,
+    zipf_weights,
+)
+from repro.errors import CorpusError
+
+
+class TestZipf:
+    def test_weights_normalized_and_monotone(self):
+        w = zipf_weights(100, 1.0)
+        assert sum(w) == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(w, w[1:]))
+
+    def test_exponent_zero_is_uniform(self):
+        w = zipf_weights(10, 0.0)
+        assert all(x == pytest.approx(0.1) for x in w)
+
+    def test_invalid_args(self):
+        with pytest.raises(CorpusError):
+            zipf_weights(0)
+        with pytest.raises(CorpusError):
+            zipf_weights(10, -1.0)
+
+    def test_sampler_prefers_low_ranks(self):
+        sampler = ZipfSampler(1000, 1.0)
+        rng = random.Random(1)
+        draws = sampler.sample_many(5000, rng)
+        head = sum(1 for d in draws if d < 10)
+        tail = sum(1 for d in draws if d >= 500)
+        assert head > tail
+
+    def test_sampler_range(self):
+        sampler = ZipfSampler(50, 1.2)
+        rng = random.Random(2)
+        assert all(0 <= d < 50 for d in sampler.sample_many(1000, rng))
+
+    def test_expected_dfs_decreasing_and_positive(self):
+        dfs = expected_document_frequencies(1000, 500, 1.0, 80)
+        assert all(df >= 1 for df in dfs)
+        assert all(a >= b for a, b in zip(dfs, dfs[1:]))
+
+    def test_expected_dfs_bounded_by_corpus(self):
+        dfs = expected_document_frequencies(1000, 500, 1.0, 80)
+        assert max(dfs) <= 1000
+
+
+class TestDocument:
+    def test_validation(self):
+        with pytest.raises(CorpusError):
+            Document(1, "h", 0, {"a": 1}, length=0)
+        with pytest.raises(CorpusError):
+            Document(1, "h", 0, {"a": 0}, length=5)
+        with pytest.raises(CorpusError):
+            Document(1, "h", 0, {"a": 10}, length=5)
+
+    def test_term_frequency(self):
+        d = Document(1, "h", 0, {"a": 2, "b": 1}, length=4)
+        assert d.term_frequency("a") == pytest.approx(0.5)
+        assert d.term_frequency("zzz") == 0.0
+
+    def test_snippet_centers_on_term(self):
+        text = "x " * 50 + "needle" + " y" * 50
+        d = Document(1, "h", 0, {"needle": 1, "x": 50, "y": 50}, 101, text)
+        snippet = d.snippet("needle", width=40)
+        assert "needle" in snippet
+        assert len(snippet) <= 40
+
+    def test_snippet_falls_back_to_prefix(self):
+        d = Document(1, "h", 0, {"a": 1}, 1, text="only this text")
+        assert d.snippet("missing", width=40) == "only this text"
+
+
+class TestCorpus:
+    def test_duplicate_ids_rejected(self):
+        d = Document(1, "h", 0, {"a": 1}, 1)
+        with pytest.raises(CorpusError):
+            Corpus([d, d])
+
+    def test_statistics(self):
+        docs = [
+            Document(1, "h", 0, {"a": 1, "b": 1}, 2),
+            Document(2, "h", 1, {"b": 2}, 2),
+        ]
+        corpus = Corpus(docs)
+        assert corpus.document_frequency("b") == 2
+        assert corpus.document_frequency("a") == 1
+        probs = corpus.term_probabilities()
+        assert sum(probs.values()) == pytest.approx(1.0)
+        assert probs["b"] == pytest.approx(2 / 3)
+
+    def test_group_views(self):
+        docs = [
+            Document(1, "h", 0, {"a": 1}, 1),
+            Document(2, "h", 1, {"b": 1}, 1),
+        ]
+        corpus = Corpus(docs)
+        assert [d.doc_id for d in corpus.documents_in_group(0)] == [1]
+        assert corpus.group_ids() == [0, 1]
+
+
+class TestTermStatistics:
+    def test_probabilities_sum_to_one(self):
+        stats = generate_term_statistics(1000, 500)
+        assert sum(stats.term_probabilities().values()) == pytest.approx(1.0)
+
+    def test_zipf_shape(self):
+        stats = generate_term_statistics(5000, 2000)
+        ranked = stats.terms_by_frequency()
+        dfs = [stats.document_frequencies[t] for t in ranked]
+        # Strong skew: top term orders of magnitude above the median.
+        assert dfs[0] > 50 * dfs[len(dfs) // 2]
+
+    def test_tail_far_below_head(self):
+        stats = generate_term_statistics(5000, 2000)
+        ranked = stats.terms_by_frequency()
+        head = stats.document_frequencies[ranked[0]]
+        tail = stats.document_frequencies[ranked[-1]]
+        assert tail * 100 < head
+
+    def test_wide_vocabulary_tail_is_df_one(self):
+        # With a vocabulary much wider than documents, the tail hits the
+        # DF=1 floor the way the real ODP crawl's hapaxes do.
+        stats = generate_term_statistics(
+            500, 20_000, terms_per_document=30
+        )
+        ranked = stats.terms_by_frequency()
+        assert stats.document_frequencies[ranked[-1]] == 1
+
+    def test_validation(self):
+        with pytest.raises(CorpusError):
+            TermStatistics({}, 10)
+        with pytest.raises(CorpusError):
+            TermStatistics({"a": 0}, 10)
+        with pytest.raises(CorpusError):
+            TermStatistics({"a": 1}, 0)
+
+    def test_presets_scale(self):
+        odp = odp_like_statistics(scale=0.01)
+        assert odp.num_documents == 2370
+        assert odp.vocabulary_size == 9877
+        studip = studip_like_statistics(scale=0.1)
+        assert studip.num_documents == 850
+        with pytest.raises(CorpusError):
+            odp_like_statistics(scale=0.0)
+        with pytest.raises(CorpusError):
+            studip_like_statistics(scale=2.0)
+
+
+class TestGenerateCorpus:
+    def test_deterministic(self):
+        config = SyntheticCorpusConfig(num_documents=20, vocabulary_size=200)
+        a = generate_corpus(config)
+        b = generate_corpus(config)
+        assert {d.doc_id: d.term_counts for d in a} == {
+            d.doc_id: d.term_counts for d in b
+        }
+
+    def test_dimensions(self):
+        corpus = generate_corpus(
+            SyntheticCorpusConfig(
+                num_documents=30, vocabulary_size=300, num_groups=3, num_hosts=2
+            )
+        )
+        assert len(corpus) == 30
+        assert corpus.group_ids() == [0, 1, 2]
+        hosts = {d.host for d in corpus}
+        assert hosts == {"host000", "host001"}
+
+    def test_documents_have_text_for_snippets(self):
+        corpus = generate_corpus(SyntheticCorpusConfig(num_documents=5))
+        for d in corpus:
+            assert d.text
+            assert d.length >= 2
+
+    def test_topic_concentration_gives_groups_distinct_vocab(self):
+        corpus = generate_corpus(
+            SyntheticCorpusConfig(
+                num_documents=60,
+                vocabulary_size=2000,
+                num_groups=2,
+                topic_concentration=0.8,
+                seed=3,
+            )
+        )
+        vocab_g0 = set().union(
+            *(set(d.term_counts) for d in corpus.documents_in_group(0))
+        )
+        vocab_g1 = set().union(
+            *(set(d.term_counts) for d in corpus.documents_in_group(1))
+        )
+        only_g0 = vocab_g0 - vocab_g1
+        only_g1 = vocab_g1 - vocab_g0
+        assert len(only_g0) > 50 and len(only_g1) > 50
+
+    def test_invalid_configs(self):
+        with pytest.raises(CorpusError):
+            SyntheticCorpusConfig(num_documents=0)
+        with pytest.raises(CorpusError):
+            SyntheticCorpusConfig(topic_concentration=1.5)
+        with pytest.raises(CorpusError):
+            SyntheticCorpusConfig(mean_document_length=1)

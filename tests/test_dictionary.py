@@ -1,0 +1,61 @@
+"""Tests for the public term dictionary (term <-> term_id)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dictionary import TermDictionary
+from repro.errors import PackingError
+
+
+class TestAssignment:
+    def test_dense_monotone_ids(self):
+        d = TermDictionary()
+        assert d.get_or_assign("alpha") == 0
+        assert d.get_or_assign("beta") == 1
+        assert d.get_or_assign("alpha") == 0  # idempotent
+        assert len(d) == 2
+
+    def test_contains(self):
+        d = TermDictionary()
+        d.get_or_assign("x")
+        assert "x" in d
+        assert "y" not in d
+
+    def test_id_of_without_assignment(self):
+        d = TermDictionary()
+        assert d.id_of("nope") is None
+        d.get_or_assign("yes")
+        assert d.id_of("yes") == 0
+        assert d.id_of("nope") is None
+
+    def test_reverse_lookup(self):
+        d = TermDictionary()
+        d.get_or_assign("term-a")
+        assert d.term_of(0) == "term-a"
+        assert d.term_of(1) is None
+        assert d.term_of(-1) is None
+
+    def test_assign_all(self):
+        d = TermDictionary()
+        mapping = d.assign_all(["c", "a", "b", "a"])
+        assert mapping == {"c": 0, "a": 1, "b": 2}
+
+
+class TestCapacity:
+    def test_capacity_enforced(self):
+        d = TermDictionary(max_term_id=1)
+        d.get_or_assign("a")
+        d.get_or_assign("b")
+        with pytest.raises(PackingError):
+            d.get_or_assign("c")
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(PackingError):
+            TermDictionary(max_term_id=-1)
+
+    def test_default_capacity_matches_packing_field(self):
+        from repro.core.posting import PackingSpec
+
+        d = TermDictionary()
+        assert d._max_term_id == PackingSpec().max_term_id

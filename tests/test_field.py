@@ -1,0 +1,199 @@
+"""Unit + property tests for the Z_p field substrate (paper §5.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.secretsharing.field import (
+    DEFAULT_PRIME,
+    PrimeField,
+    is_prime,
+    next_prime,
+)
+
+SMALL_PRIME = (1 << 31) - 1
+
+
+class TestPrimality:
+    def test_small_primes_recognized(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 101, 7919):
+            assert is_prime(p), p
+
+    def test_small_composites_rejected(self):
+        for c in (0, 1, 4, 6, 9, 15, 91, 7917, 1_000_000):
+            assert not is_prime(c), c
+
+    def test_negative_not_prime(self):
+        assert not is_prime(-7)
+
+    def test_default_prime_is_prime(self):
+        assert is_prime(DEFAULT_PRIME)
+
+    def test_default_prime_covers_64_bit_secrets(self):
+        assert DEFAULT_PRIME > (1 << 64)
+
+    def test_mersenne_31_is_prime(self):
+        assert is_prime(SMALL_PRIME)
+
+    def test_carmichael_number_rejected(self):
+        # 561 = 3 * 11 * 17, the smallest Carmichael number.
+        assert not is_prime(561)
+        assert not is_prime(41041)
+
+    def test_large_composite_near_default_prime(self):
+        assert not is_prime(DEFAULT_PRIME + 2)  # even offset from 2^64+15
+
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(2) == 3
+        assert next_prime(14) == 17
+        assert next_prime(7919) == 7927
+
+    def test_next_prime_above_power_of_two(self):
+        assert next_prime(1 << 64) == DEFAULT_PRIME
+
+
+class TestFieldConstruction:
+    def test_rejects_composite_modulus(self):
+        with pytest.raises(FieldError):
+            PrimeField(100)
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(FieldError):
+            PrimeField(1)
+
+    def test_accepts_two(self):
+        field = PrimeField(2)
+        assert field.add(1, 1) == 0
+
+
+class TestArithmetic:
+    @pytest.fixture()
+    def field(self):
+        return PrimeField(SMALL_PRIME)
+
+    def test_normalize_wraps_negative(self, field):
+        assert field.normalize(-1) == SMALL_PRIME - 1
+
+    def test_add_sub_roundtrip(self, field):
+        assert field.sub(field.add(123, 456), 456) == 123
+
+    def test_inverse(self, field):
+        for a in (1, 2, 12345, SMALL_PRIME - 1):
+            assert field.mul(a, field.inv(a)) == 1
+
+    def test_zero_has_no_inverse(self, field):
+        with pytest.raises(FieldError):
+            field.inv(0)
+
+    def test_zero_mod_p_has_no_inverse(self, field):
+        with pytest.raises(FieldError):
+            field.inv(SMALL_PRIME)
+
+    def test_div(self, field):
+        assert field.div(field.mul(7, 9), 9) == 7
+
+    def test_pow_matches_builtin(self, field):
+        assert field.pow(3, 20) == pow(3, 20, SMALL_PRIME)
+
+    def test_poly_eval_constant(self, field):
+        assert field.poly_eval([42], 999) == 42
+
+    def test_poly_eval_linear(self, field):
+        # f(x) = 5 + 3x
+        assert field.poly_eval([5, 3], 10) == 35
+
+    def test_poly_eval_horner_matches_naive(self, field):
+        coeffs = [7, 0, 13, 1]
+        x = 321
+        naive = sum(c * x**i for i, c in enumerate(coeffs)) % SMALL_PRIME
+        assert field.poly_eval(coeffs, x) == naive
+
+
+_AXIOM_FIELD = PrimeField(SMALL_PRIME)
+_field_elements = st.integers(min_value=0, max_value=SMALL_PRIME - 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=_field_elements, b=_field_elements, c=_field_elements)
+def test_property_field_axioms(a, b, c):
+    """Hypothesis: Z_p satisfies the field axioms Shamir relies on."""
+    f = _AXIOM_FIELD
+    assert f.add(a, b) == f.add(b, a)
+    assert f.add(f.add(a, b), c) == f.add(a, f.add(b, c))
+    assert f.mul(a, b) == f.mul(b, a)
+    assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+    assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+    assert f.add(a, f.neg(a)) == 0
+    if a % SMALL_PRIME != 0:
+        assert f.mul(a, f.inv(a)) == 1
+
+
+class TestLinearSolver:
+    @pytest.fixture()
+    def field(self):
+        return PrimeField(97)
+
+    def test_identity_system(self, field):
+        sol = field.solve_linear_system([[1, 0], [0, 1]], [5, 9])
+        assert sol == [5, 9]
+
+    def test_known_system(self, field):
+        # x + y = 10, 2x + y = 13  =>  x = 3, y = 7
+        sol = field.solve_linear_system([[1, 1], [2, 1]], [10, 13])
+        assert sol == [3, 7]
+
+    def test_requires_pivoting(self, field):
+        # First pivot is zero; solver must swap rows.
+        sol = field.solve_linear_system([[0, 1], [1, 0]], [4, 6])
+        assert sol == [6, 4]
+
+    def test_singular_matrix_raises(self, field):
+        with pytest.raises(FieldError):
+            field.solve_linear_system([[1, 2], [2, 4]], [1, 2])
+
+    def test_non_square_raises(self, field):
+        with pytest.raises(FieldError):
+            field.solve_linear_system([[1, 2]], [1])
+
+    def test_empty_system_raises(self, field):
+        with pytest.raises(FieldError):
+            field.solve_linear_system([], [])
+
+    def test_solution_verifies(self, field):
+        matrix = [[3, 1, 4], [1, 5, 9], [2, 6, 5]]
+        rhs = [13, 21, 34]
+        sol = field.solve_linear_system(matrix, rhs)
+        for row, b in zip(matrix, rhs):
+            assert sum(r * s for r, s in zip(row, sol)) % 97 == b % 97
+
+
+class TestLagrange:
+    @pytest.fixture()
+    def field(self):
+        return PrimeField(SMALL_PRIME)
+
+    def test_constant_polynomial(self, field):
+        assert field.lagrange_at_zero([(1, 7), (2, 7)]) == 7
+
+    def test_linear_polynomial(self, field):
+        # f(x) = 10 + 3x
+        points = [(1, 13), (5, 25)]
+        assert field.lagrange_at_zero(points) == 10
+
+    def test_duplicate_x_raises(self, field):
+        with pytest.raises(FieldError):
+            field.lagrange_at_zero([(1, 2), (1, 3)])
+
+    def test_matches_gaussian_reconstruction(self, field):
+        # The two §5.1 decodings agree on a degree-2 polynomial.
+        coeffs = [424242, 1111, 99]
+        points = [(x, field.poly_eval(coeffs, x)) for x in (2, 17, 300)]
+        by_lagrange = field.lagrange_at_zero(points)
+        matrix = [[field.pow(x, j) for j in range(3)] for x, _ in points]
+        rhs = [y for _, y in points]
+        by_gauss = field.solve_linear_system(matrix, rhs)[0]
+        assert by_lagrange == by_gauss == 424242

@@ -1,0 +1,211 @@
+"""Tests for dynamic fleet extension and Byzantine-share detection.
+
+§5.1: "Shamir's secret sharing scheme allows dynamic extension of the
+number n of servers without recalculating the existing secret shares, by
+just selecting additional points on the polynomial curve."
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.client.searcher import SearchClient
+from repro.server.index_server import ShareRecord
+
+from tests.helpers import deploy_corpus, owner_of_group
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    from repro.corpus.synthetic import SyntheticCorpusConfig, generate_corpus
+
+    return generate_corpus(
+        SyntheticCorpusConfig(
+            num_documents=24,
+            vocabulary_size=400,
+            num_groups=2,
+            mean_document_length=40,
+            seed=77,
+        )
+    )
+
+
+def a_term(corpus, group=0):
+    return sorted(corpus.documents_in_group(group)[0].term_counts)[0]
+
+
+class TestAddServer:
+    def test_new_server_carries_all_elements(self, corpus):
+        deployment = deploy_corpus(corpus, num_lists=16)
+        before = deployment.servers[0].num_elements
+        new_server = deployment.add_server()
+        assert deployment.scheme.n == 4
+        assert len(deployment.servers) == 4
+        assert new_server.num_elements == before
+
+    def test_new_server_shares_join_old_ones(self, corpus):
+        deployment = deploy_corpus(corpus, num_lists=16)
+        deployment.add_server()
+        term = a_term(corpus)
+        user = owner_of_group(0)
+        searcher = deployment.searcher(user)
+        # Query using ALL four servers: old and new shares must join on
+        # element IDs and reconstruct consistently.
+        docs_all = {
+            e.doc_id for e in searcher.fetch_elements([term], num_servers=4)
+        }
+        docs_old = {
+            e.doc_id for e in searcher.fetch_elements([term], num_servers=2)
+        }
+        assert docs_all == docs_old
+        truth = {
+            d.doc_id
+            for d in corpus.documents_in_group(0)
+            if term in d.term_counts
+        }
+        assert docs_all == truth
+
+    def test_reconstruction_from_new_server_pair(self, corpus):
+        # The pair (old server 0, NEW server) must reconstruct correctly —
+        # proving the new share lies on the original polynomial.
+        deployment = deploy_corpus(corpus, num_lists=16)
+        deployment.add_server()
+        term = a_term(corpus)
+        user = owner_of_group(0)
+        token = deployment.enroll_user(user)
+        pl_id = deployment.mapping_table.lookup(term)
+        from repro.secretsharing.shamir import Share
+
+        old = deployment.servers[0]
+        new = deployment.servers[3]
+        old_records = {
+            r.element_id: r
+            for r in old.get_posting_lists(token, [pl_id])[0].records
+        }
+        new_records = {
+            r.element_id: r
+            for r in new.get_posting_lists(token, [pl_id])[0].records
+        }
+        assert set(new_records) == set(old_records)
+        checked = 0
+        for element_id, old_record in old_records.items():
+            shares = [
+                Share(x=old.x_coordinate, y=old_record.share_y),
+                Share(x=new.x_coordinate, y=new_records[element_id].share_y),
+            ]
+            secret = deployment.scheme.reconstruct(shares)
+            element = deployment.codec.unpack(secret)  # must not raise
+            assert element.doc_id >= 0
+            checked += 1
+        assert checked > 0
+
+    def test_new_documents_reach_all_servers(self, corpus):
+        deployment = deploy_corpus(corpus, num_lists=16)
+        deployment.add_server()
+        from repro.corpus.document import Document
+
+        fresh = Document(
+            doc_id=9_999,
+            host="hostX",
+            group_id=0,
+            term_counts={"postextension": 2},
+            length=2,
+            text="postextension postextension",
+        )
+        deployment.share_document(owner_of_group(0), fresh)
+        deployment.flush_all()
+        counts = {s.num_elements for s in deployment.servers}
+        assert len(counts) == 1  # every server got the new element
+
+    def test_owner_detects_x_coordinate_mismatch(self, corpus):
+        deployment = deploy_corpus(corpus, num_lists=16)
+        deployment.add_server()
+        owner = deployment.owner(owner_of_group(0))
+        # Corrupt the new server's coordinate and retry provisioning.
+        deployment.servers[3].x_coordinate = 12345
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            owner.provision_new_server(3)
+
+
+class TestByzantineDetection:
+    def _tamper(self, deployment, term, rng):
+        """Flip one share on server 2 for every element of term's list."""
+        pl_id = deployment.mapping_table.lookup(term)
+        server = deployment.servers[2]
+        store = server._store.get(pl_id, {})
+        for element_id, record in list(store.items()):
+            store[element_id] = ShareRecord(
+                element_id=record.element_id,
+                group_id=record.group_id,
+                share_y=(record.share_y + 1 + rng.randrange(1000))
+                % deployment.field.p,
+            )
+        return len(store)
+
+    def test_lying_server_detected_at_k_plus_1(self, corpus):
+        # m = k + 1 = 3 shares with one liar: detectable, NOT correctable
+        # (error correction needs m >= k + 2e) — elements are dropped.
+        deployment = deploy_corpus(corpus, num_lists=16, seed=5)
+        term = a_term(corpus)
+        tampered = self._tamper(deployment, term, random.Random(3))
+        assert tampered > 0
+        user = owner_of_group(0)
+        verifying = SearchClient(
+            user_id=user,
+            token=deployment.enroll_user(user),
+            scheme=deployment.scheme,
+            mapping_table=deployment.mapping_table,
+            dictionary=deployment.dictionary,
+            servers=deployment.servers,
+            codec=deployment.codec,
+            verify_consistency=True,
+        )
+        verifying.fetch_elements([term], num_servers=3)
+        diag = verifying.last_diagnostics
+        assert diag.inconsistent_elements > 0
+        assert diag.recovered_elements == 0
+
+    def test_lying_server_corrected_at_k_plus_2(self, corpus):
+        # m = k + 2 = 4 shares with one liar: the true secret wins the
+        # subset plurality and the result set equals the clean truth.
+        deployment = deploy_corpus(corpus, num_lists=16, seed=5)
+        deployment.add_server()  # 4th honest server
+        term = a_term(corpus)
+        tampered = self._tamper(deployment, term, random.Random(3))
+        assert tampered > 0
+        user = owner_of_group(0)
+        verifying = deployment.searcher(user, verify_consistency=True)
+        elements = verifying.fetch_elements([term], num_servers=4)
+        diag = verifying.last_diagnostics
+        assert diag.inconsistent_elements > 0
+        assert diag.recovered_elements == diag.inconsistent_elements
+        truth = {
+            d.doc_id
+            for d in corpus.documents_in_group(0)
+            if term in d.term_counts
+        }
+        assert {e.doc_id for e in elements} == truth
+
+    def test_no_false_alarms_on_honest_fleet(self, corpus):
+        deployment = deploy_corpus(corpus, num_lists=16, seed=6)
+        term = a_term(corpus)
+        user = owner_of_group(0)
+        verifying = deployment.searcher(user, verify_consistency=True)
+        elements = verifying.fetch_elements([term], num_servers=3)
+        assert elements
+        assert verifying.last_diagnostics.inconsistent_elements == 0
+
+    def test_verification_needs_extra_shares(self, corpus):
+        # Querying exactly k servers cannot cross-check; tampering goes
+        # unnoticed (the documented limitation).
+        deployment = deploy_corpus(corpus, num_lists=16, seed=7)
+        term = a_term(corpus)
+        self._tamper(deployment, term, random.Random(4))
+        user = owner_of_group(0)
+        verifying = deployment.searcher(user, verify_consistency=True)
+        verifying.fetch_elements([term], num_servers=2)
+        assert verifying.last_diagnostics.inconsistent_elements == 0

@@ -1,0 +1,82 @@
+"""Tests for the user-group metadata tables (§5.3, Fig. 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AccessDeniedError
+from repro.server.groups import GroupDirectory
+
+
+@pytest.fixture()
+def directory():
+    d = GroupDirectory()
+    d.create_group(1, coordinator="carol")
+    return d
+
+
+class TestAdministration:
+    def test_coordinator_is_first_member(self, directory):
+        assert directory.is_member("carol", 1)
+        assert directory.coordinator_of(1) == "carol"
+
+    def test_duplicate_group_rejected(self, directory):
+        with pytest.raises(AccessDeniedError):
+            directory.create_group(1, coordinator="dave")
+
+    def test_coordinator_gate(self, directory):
+        with pytest.raises(AccessDeniedError):
+            directory.add_member(1, "eve", actor="eve")
+        directory.add_member(1, "eve", actor="carol")
+        assert directory.is_member("eve", 1)
+
+    def test_unknown_group_rejected(self, directory):
+        with pytest.raises(AccessDeniedError):
+            directory.add_member(99, "eve")
+
+    def test_ungated_mutation_allowed_without_actor(self, directory):
+        # actor=None models trusted server-internal replication paths.
+        directory.add_member(1, "frank")
+        assert directory.is_member("frank", 1)
+
+
+class TestMembershipDynamics:
+    def test_add_remove_immediate(self, directory):
+        directory.add_member(1, "eve", actor="carol")
+        assert 1 in directory.groups_of("eve")
+        directory.remove_member(1, "eve", actor="carol")
+        assert 1 not in directory.groups_of("eve")
+        assert not directory.is_member("eve", 1)
+
+    def test_remove_nonmember_is_noop(self, directory):
+        directory.remove_member(1, "ghost", actor="carol")
+        assert not directory.is_member("ghost", 1)
+
+    def test_multi_group_membership(self, directory):
+        directory.create_group(2, coordinator="carol")
+        directory.add_member(2, "eve", actor="carol")
+        directory.add_member(1, "eve", actor="carol")
+        assert directory.groups_of("eve") == frozenset({1, 2})
+
+    def test_members_of(self, directory):
+        directory.add_member(1, "eve", actor="carol")
+        assert directory.members_of(1) == frozenset({"carol", "eve"})
+        assert directory.members_of(42) == frozenset()
+
+    def test_group_ids(self, directory):
+        directory.create_group(5, coordinator="x")
+        assert directory.group_ids() == [1, 5]
+
+
+class TestReplication:
+    def test_snapshot_roundtrip(self, directory):
+        directory.add_member(1, "eve", actor="carol")
+        replica = GroupDirectory()
+        replica.load_snapshot(directory.snapshot(), {1: "carol"})
+        assert replica.is_member("eve", 1)
+        assert replica.groups_of("eve") == frozenset({1})
+        assert replica.coordinator_of(1) == "carol"
+
+    def test_snapshot_is_a_copy(self, directory):
+        snap = directory.snapshot()
+        assert isinstance(snap[1], frozenset)

@@ -1,0 +1,161 @@
+"""Tests for the Zerber index server (§5.3-§5.4, Fig. 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AccessDeniedError, AuthError, IndexServerError
+from repro.server.auth import AuthService
+from repro.server.groups import GroupDirectory
+from repro.server.index_server import DeleteOp, IndexServer, InsertOp
+
+
+@pytest.fixture()
+def env():
+    auth = AuthService()
+    groups = GroupDirectory()
+    groups.create_group(1, coordinator="alice")
+    groups.create_group(2, coordinator="bob")
+    server = IndexServer("s0", x_coordinate=17, auth=auth, groups=groups)
+    tokens = {}
+    for user in ("alice", "bob"):
+        cred = auth.register_user(user)
+        tokens[user] = auth.issue_token(user, cred)
+    return auth, groups, server, tokens
+
+
+def op(pl, eid, group, share=999):
+    return InsertOp(pl_id=pl, element_id=eid, group_id=group, share_y=share)
+
+
+class TestInsert:
+    def test_insert_and_count(self, env):
+        _, _, server, tokens = env
+        inserted = server.insert_batch(
+            tokens["alice"], [op(0, 1, 1), op(0, 2, 1), op(3, 1, 1)]
+        )
+        assert inserted == 3
+        assert server.num_elements == 3
+        assert server.num_posting_lists == 2
+
+    def test_requires_group_membership(self, env):
+        _, _, server, tokens = env
+        with pytest.raises(AccessDeniedError):
+            server.insert_batch(tokens["alice"], [op(0, 1, 2)])
+
+    def test_membership_checked_before_any_write(self, env):
+        # A batch with one bad op must not partially apply.
+        _, _, server, tokens = env
+        with pytest.raises(AccessDeniedError):
+            server.insert_batch(
+                tokens["alice"], [op(0, 1, 1), op(0, 2, 2)]
+            )
+        assert server.num_elements == 0
+
+    def test_duplicate_element_in_list_rejected(self, env):
+        _, _, server, tokens = env
+        server.insert_batch(tokens["alice"], [op(0, 7, 1)])
+        with pytest.raises(IndexServerError):
+            server.insert_batch(tokens["alice"], [op(0, 7, 1)])
+
+    def test_same_element_id_ok_in_different_lists(self, env):
+        # Uniqueness is per posting list (§5.4.1: "globally unique within
+        # its posting list").
+        _, _, server, tokens = env
+        server.insert_batch(tokens["alice"], [op(0, 7, 1), op(1, 7, 1)])
+        assert server.num_elements == 2
+
+    def test_bad_token_rejected(self, env):
+        auth, _, server, tokens = env
+        auth.advance_clock(10_000)
+        with pytest.raises(AuthError):
+            server.insert_batch(tokens["alice"], [op(0, 1, 1)])
+
+
+class TestLookup:
+    def test_acl_filtering(self, env):
+        _, _, server, tokens = env
+        server.insert_batch(tokens["alice"], [op(0, 1, 1)])
+        server.insert_batch(tokens["bob"], [op(0, 2, 2)])
+        # Alice sees only group-1 elements; bob only group-2.
+        alice_view = server.get_posting_lists(tokens["alice"], [0])
+        assert [r.element_id for r in alice_view[0].records] == [1]
+        bob_view = server.get_posting_lists(tokens["bob"], [0])
+        assert [r.element_id for r in bob_view[0].records] == [2]
+
+    def test_membership_change_reflected_immediately(self, env):
+        _, groups, server, tokens = env
+        server.insert_batch(tokens["alice"], [op(0, 1, 1)])
+        assert not server.get_posting_lists(tokens["bob"], [0])[0].records
+        groups.add_member(1, "bob", actor="alice")
+        assert server.get_posting_lists(tokens["bob"], [0])[0].records
+        groups.remove_member(1, "bob", actor="alice")
+        assert not server.get_posting_lists(tokens["bob"], [0])[0].records
+
+    def test_unknown_list_returns_empty_not_error(self, env):
+        # §6.4: emptiness must not be distinguishable from absence.
+        _, _, server, tokens = env
+        responses = server.get_posting_lists(tokens["alice"], [12345])
+        assert responses[0].pl_id == 12345
+        assert responses[0].records == ()
+
+    def test_lookup_is_logged(self, env):
+        _, _, server, tokens = env
+        server.get_posting_lists(tokens["alice"], [3, 4])
+        view = server.compromise()
+        assert view.query_log == [("alice", (3, 4))]
+
+
+class TestDelete:
+    def test_per_element_delete(self, env):
+        _, _, server, tokens = env
+        server.insert_batch(tokens["alice"], [op(0, 1, 1), op(0, 2, 1)])
+        deleted = server.delete(
+            tokens["alice"], [DeleteOp(0, 1), DeleteOp(0, 99)]
+        )
+        assert deleted == 1
+        assert server.num_elements == 1
+
+    def test_delete_requires_membership_of_element_group(self, env):
+        _, _, server, tokens = env
+        server.insert_batch(tokens["alice"], [op(0, 1, 1)])
+        with pytest.raises(AccessDeniedError):
+            server.delete(tokens["bob"], [DeleteOp(0, 1)])
+
+    def test_delete_from_unknown_list_is_noop(self, env):
+        _, _, server, tokens = env
+        assert server.delete(tokens["alice"], [DeleteOp(42, 1)]) == 0
+
+
+class TestCompromise:
+    def test_view_contents(self, env):
+        _, _, server, tokens = env
+        server.insert_batch(tokens["alice"], [op(0, 1, 1), op(0, 2, 1)])
+        server.insert_batch(tokens["alice"], [op(1, 3, 1)])
+        view = server.compromise()
+        assert view.server_id == "s0"
+        assert view.x_coordinate == 17
+        assert view.merged_list_lengths() == {0: 2, 1: 1}
+        assert len(view.update_log) == 2
+        assert view.update_log[0] == [(0, 1), (0, 2)]
+        assert "alice" in view.group_table[1]
+
+    def test_view_is_a_snapshot(self, env):
+        _, _, server, tokens = env
+        server.insert_batch(tokens["alice"], [op(0, 1, 1)])
+        view = server.compromise()
+        view.posting_store[0].clear()
+        assert server.num_elements == 1
+
+
+class TestMisc:
+    def test_storage_bytes(self, env):
+        _, _, server, tokens = env
+        server.insert_batch(tokens["alice"], [op(0, 1, 1)])
+        per_record = 4 + 4 + 4 + server.share_bytes
+        assert server.storage_bytes() == per_record
+
+    def test_invalid_x_coordinate(self, env):
+        auth, groups, _, _ = env
+        with pytest.raises(IndexServerError):
+            IndexServer("bad", x_coordinate=0, auth=auth, groups=groups)

@@ -1,0 +1,191 @@
+"""Tests for the ordinary inverted-index substrate (Fig. 1) and cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.document import Document
+from repro.errors import ReproError
+from repro.invindex.costmodel import (
+    DiskCostModel,
+    unmerged_workload_cost,
+    workload_cost,
+)
+from repro.invindex.inverted_index import InvertedIndex
+from repro.invindex.postings import Posting, PostingList
+from repro.invindex.tokenizer import Tokenizer, tokenize
+
+
+def doc(doc_id: int, text_terms: dict[str, int], group: int = 0) -> Document:
+    return Document(
+        doc_id=doc_id,
+        host="h0",
+        group_id=group,
+        term_counts=text_terms,
+        length=sum(text_terms.values()),
+    )
+
+
+class TestTokenizer:
+    def test_lowercases_by_default(self):
+        assert tokenize("Martha IMCLONE layoff") == [
+            "martha",
+            "imclone",
+            "layoff",
+        ]
+
+    def test_keeps_stop_words_by_default(self):
+        # §7.5: "we did not remove stop words".
+        assert "the" in tokenize("the layoff")
+
+    def test_stop_word_removal_opt_in(self):
+        t = Tokenizer(remove_stop_words=True)
+        assert t.tokens("the layoff") == ["layoff"]
+
+    def test_min_length_filter(self):
+        t = Tokenizer(min_length=3)
+        assert t.tokens("a bb ccc dddd") == ["ccc", "dddd"]
+
+    def test_long_tokens_truncated(self):
+        t = Tokenizer(max_length=5)
+        assert t.tokens("abcdefghij") == ["abcde"]
+
+    def test_term_counts(self):
+        counts = Tokenizer().term_counts("a b a c a")
+        assert counts["a"] == 3 and counts["b"] == 1
+
+    def test_unicode_words(self):
+        assert tokenize("café zürich") == ["café", "zürich"]
+
+    def test_apostrophes_and_hyphens_kept_inside(self):
+        assert tokenize("don't well-known") == ["don't", "well-known"]
+
+
+class TestPostingList:
+    def test_add_and_df(self):
+        plist = PostingList("martha")
+        plist.add(Posting(doc_id=1, tf=0.5))
+        plist.add(Posting(doc_id=2, tf=0.1))
+        assert plist.document_frequency == 2
+        assert 1 in plist
+
+    def test_replace_same_doc(self):
+        plist = PostingList("t")
+        plist.add(Posting(doc_id=1, tf=0.5))
+        plist.add(Posting(doc_id=1, tf=0.9))
+        assert len(plist) == 1
+        assert plist.get(1).tf == 0.9
+
+    def test_remove(self):
+        plist = PostingList("t")
+        plist.add(Posting(doc_id=1, tf=0.5))
+        assert plist.remove(1)
+        assert not plist.remove(1)
+
+    def test_tf_bounds_enforced(self):
+        with pytest.raises(ReproError):
+            Posting(doc_id=1, tf=0.0)
+        with pytest.raises(ReproError):
+            Posting(doc_id=1, tf=1.5)
+
+    def test_tf_descending_order(self):
+        plist = PostingList("t")
+        plist.add(Posting(doc_id=1, tf=0.1))
+        plist.add(Posting(doc_id=2, tf=0.9))
+        plist.add(Posting(doc_id=3, tf=0.5))
+        assert [p.doc_id for p in plist.by_tf_descending()] == [2, 3, 1]
+
+
+class TestInvertedIndex:
+    def test_index_and_lookup(self):
+        index = InvertedIndex()
+        index.index_document(doc(1, {"martha": 2, "imclone": 1}))
+        index.index_document(doc(2, {"layoff": 1}))
+        assert index.document_frequency("martha") == 1
+        assert index.search_or(["martha", "layoff"]) == {1, 2}
+        assert index.search_and(["martha", "imclone"]) == {1}
+        assert index.search_and(["martha", "layoff"]) == set()
+
+    def test_search_and_with_unknown_term_is_empty(self):
+        index = InvertedIndex()
+        index.index_document(doc(1, {"a": 1}))
+        assert index.search_and(["a", "zzz"]) == set()
+
+    def test_empty_query(self):
+        index = InvertedIndex()
+        assert index.search_or([]) == set()
+        assert index.search_and([]) == set()
+
+    def test_delete_document_removes_postings(self):
+        index = InvertedIndex()
+        index.index_document(doc(1, {"a": 1, "b": 2}))
+        assert index.delete_document(1)
+        assert index.document_frequency("a") == 0
+        assert index.vocabulary_size == 0
+        assert not index.delete_document(1)
+
+    def test_reindex_replaces(self):
+        index = InvertedIndex()
+        index.index_document(doc(1, {"old": 1}))
+        index.index_document(doc(1, {"new": 1}))
+        assert index.document_frequency("old") == 0
+        assert index.document_frequency("new") == 1
+        assert index.num_documents == 1
+
+    def test_index_text(self):
+        index = InvertedIndex()
+        document = index.index_text(7, "Martha met ImClone about the layoff")
+        assert index.document_frequency("martha") == 1
+        assert document.length == 6
+
+    def test_index_empty_text_raises(self):
+        index = InvertedIndex()
+        with pytest.raises(ReproError):
+            index.index_text(1, "!!! ???")
+
+    def test_statistics(self):
+        index = InvertedIndex()
+        index.index_document(doc(1, {"a": 1, "b": 1}))
+        index.index_document(doc(2, {"b": 1}))
+        assert index.num_documents == 2
+        assert index.num_postings == 3
+        assert index.document_frequencies() == {"a": 1, "b": 2}
+        assert index.terms_of(1) == {"a", "b"}
+        assert index.document_length(1) == 2
+
+
+class TestCostModel:
+    def test_scan_time_is_seek_plus_transfer(self):
+        model = DiskCostModel(seek_time_s=0.01, transfer_time_per_element_s=0.001)
+        assert model.scan_time(100) == pytest.approx(0.11)
+
+    def test_scan_time_rejects_negative(self):
+        with pytest.raises(ReproError):
+            DiskCostModel().scan_time(-1)
+
+    def test_workload_time(self):
+        model = DiskCostModel(seek_time_s=0.0, transfer_time_per_element_s=1.0)
+        total = model.workload_time({1: 10, 2: 5}, {1: 2, 2: 4})
+        assert total == pytest.approx(10 * 2 + 5 * 4)
+
+    def test_formula_6_hand_computed(self):
+        lists = [["a", "b"], ["c"]]
+        dfs = {"a": 10, "b": 5, "c": 2}
+        qfs = {"a": 3, "b": 1, "c": 7}
+        # list1: length 15, qf 4 -> 60; list2: length 2, qf 7 -> 14
+        assert workload_cost(lists, dfs, qfs) == pytest.approx(74.0)
+
+    def test_formula_6_unqueried_terms_cost_nothing(self):
+        assert workload_cost([["a"]], {"a": 100}, {}) == 0.0
+
+    def test_unmerged_baseline(self):
+        dfs = {"a": 10, "b": 5}
+        qfs = {"a": 3, "b": 1}
+        assert unmerged_workload_cost(dfs, qfs) == pytest.approx(35.0)
+
+    def test_merging_never_cheaper_than_unmerged(self):
+        # Q(merged) >= Q(unmerged) for any partition (transfers superset).
+        dfs = {"a": 10, "b": 5, "c": 2, "d": 8}
+        qfs = {"a": 3, "b": 1, "c": 7, "d": 2}
+        merged = workload_cost([["a", "c"], ["b", "d"]], dfs, qfs)
+        assert merged >= unmerged_workload_cost(dfs, qfs)

@@ -1,0 +1,109 @@
+"""Tests for the §3 keyed-encryption baseline (what Zerber replaces)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.keyed_index import (
+    KeyedInvertedIndex,
+    LogicalKeyTree,
+)
+from repro.errors import AccessDeniedError, ReproError
+
+
+@pytest.fixture()
+def group():
+    tree = LogicalKeyTree(group_id=1)
+    for member in ("alice", "bob", "carol", "dave"):
+        tree.add_member(member)
+    return tree
+
+
+class TestLogicalKeyTree:
+    def test_membership(self, group):
+        assert group.size == 4
+        assert group.has_member("alice")
+        assert not group.has_member("mallory")
+
+    def test_duplicate_join_rejected(self, group):
+        with pytest.raises(ReproError):
+            group.add_member("alice")
+
+    def test_revoking_unknown_rejected(self, group):
+        with pytest.raises(ReproError):
+            group.revoke_member("mallory")
+
+    def test_revocation_changes_key_and_version(self, group):
+        old_key = group.group_key
+        group.revoke_member("dave")
+        assert group.group_key != old_key
+        assert group.key_version == 1
+        assert not group.has_member("dave")
+
+    def test_lkh_beats_naive_for_large_groups(self):
+        tree = LogicalKeyTree(group_id=2)
+        for i in range(256):
+            tree.add_member(f"m{i}")
+        lkh_cost = tree.revoke_member("m0")
+        naive_cost = LogicalKeyTree.naive_rekey_cost(256)
+        assert lkh_cost < naive_cost
+        assert lkh_cost <= 2 * 9  # 2 * ceil(log2(255)) + slack
+
+    def test_rekey_messages_accumulate(self, group):
+        before = group.rekey_messages
+        group.revoke_member("dave")
+        assert group.rekey_messages > before
+
+
+class TestKeyedInvertedIndex:
+    @pytest.fixture()
+    def index(self, group):
+        index = KeyedInvertedIndex(group)
+        index.insert("merger", doc_id=1, tf=0.25)
+        index.insert("merger", doc_id=2, tf=0.1)
+        index.insert("budget", doc_id=1, tf=0.5)
+        return index
+
+    def test_members_can_search(self, index):
+        results = index.search("alice", "merger")
+        assert sorted(results) == [(1, 0.25), (2, 0.1)]
+
+    def test_non_members_cannot(self, index):
+        with pytest.raises(AccessDeniedError):
+            index.search("mallory", "merger")
+
+    def test_server_never_sees_terms(self, index):
+        # Stored handles are HMAC blinded: no plaintext term appears.
+        for entry in index._entries:
+            assert b"merger" not in entry.term_handle
+            assert b"merger" not in entry.ciphertext
+
+    def test_revocation_bricks_the_index_until_reencryption(self, group, index):
+        group.revoke_member("dave")
+        assert index.stale_entries() == 3
+        # §3: content under the revoked key is unreadable/unsafe — the
+        # index refuses to serve until re-encrypted.
+        with pytest.raises(ReproError):
+            index.search("alice", "merger")
+        plaintext = [("merger", 1, 0.25), ("merger", 2, 0.1), ("budget", 1, 0.5)]
+        reencrypted = index.reencrypt_all(plaintext)
+        assert reencrypted == 3
+        assert index.reencrypted_elements == 3
+        assert sorted(index.search("alice", "merger")) == [(1, 0.25), (2, 0.1)]
+
+    def test_ex_member_cannot_search_after_rekey(self, group, index):
+        group.revoke_member("dave")
+        index.reencrypt_all([("merger", 1, 0.25)])
+        with pytest.raises(AccessDeniedError):
+            index.search("dave", "merger")
+
+    def test_contrast_with_zerber_revocation(self):
+        # The point of the baseline: Zerber's revocation cost is ONE
+        # membership-table update and ZERO re-encrypted elements.
+        from repro.server.groups import GroupDirectory
+
+        groups = GroupDirectory()
+        groups.create_group(1, coordinator="alice")
+        groups.add_member(1, "dave", actor="alice")
+        groups.remove_member(1, "dave", actor="alice")
+        assert not groups.is_member("dave", 1)  # instant, keyless

@@ -1,0 +1,115 @@
+"""Tests for the public mapping table (§6, Fig. 4; §6.4 hash fallback)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mapping_table import MappingTable
+from repro.core.merging.hashed import HashMerger
+from repro.core.merging.udm import UniformDistributionMerging
+from repro.errors import MergingError
+
+
+def zipf_probs(n: int) -> dict[str, float]:
+    raw = {f"t{i:03d}": 1.0 / (i + 1) for i in range(n)}
+    total = sum(raw.values())
+    return {t: p / total for t, p in raw.items()}
+
+
+PROBS = zipf_probs(60)
+MERGE = UniformDistributionMerging(num_lists=8).merge(PROBS)
+
+
+class TestConstruction:
+    def test_from_merge_covers_vocabulary(self):
+        table = MappingTable.from_merge(MERGE)
+        assert table.table_size == len(PROBS)
+        assert table.num_lists == 8
+
+    def test_rejects_out_of_range_assignment(self):
+        with pytest.raises(MergingError):
+            MappingTable({"a": 9}, num_lists=4)
+
+    def test_rejects_invalid_list_count(self):
+        with pytest.raises(MergingError):
+            MappingTable({}, num_lists=0)
+
+    def test_rare_cutoff_requires_probabilities(self):
+        with pytest.raises(MergingError):
+            MappingTable.from_merge(MERGE, rare_cutoff=0.01)
+
+    def test_rare_cutoff_cannot_hide_all(self):
+        with pytest.raises(MergingError):
+            MappingTable.from_merge(
+                MERGE, term_probabilities=PROBS, rare_cutoff=1.0
+            )
+
+
+class TestLookup:
+    def test_tabled_terms_resolve_to_their_merge_list(self):
+        table = MappingTable.from_merge(MERGE)
+        assignments = MERGE.assignments()
+        for term in list(PROBS)[:10]:
+            assert table.lookup(term) == assignments[term]
+
+    def test_unknown_terms_hash_in_range(self):
+        table = MappingTable.from_merge(MERGE)
+        for term in ("neverseen", "hesselhofer", "imclone"):
+            assert 0 <= table.lookup(term) < 8
+            assert not table.is_tabled(term)
+
+    def test_unknown_term_lookup_matches_public_hash(self):
+        # Owners and queriers must agree without coordination.
+        table = MappingTable.from_merge(MERGE, hash_salt="zerber")
+        hasher = HashMerger(8, salt="zerber")
+        assert table.lookup("brand-new-term") == hasher.list_for(
+            "brand-new-term"
+        )
+
+    def test_lookup_many(self):
+        table = MappingTable.from_merge(MERGE)
+        terms = list(PROBS)[:5] + ["unknown1"]
+        resolved = table.lookup_many(terms)
+        assert set(resolved) == set(terms)
+
+
+class TestRareTermHiding:
+    def test_rare_terms_absent_from_visible_table(self):
+        cutoff = 0.01
+        table = MappingTable.from_merge(
+            MERGE, term_probabilities=PROBS, rare_cutoff=cutoff
+        )
+        visible = set(table.visible_terms())
+        for term, p in PROBS.items():
+            if p < cutoff:
+                # §6.4: "rare terms never appear in the mapping table".
+                assert term not in visible
+            else:
+                assert term in visible
+
+    def test_rare_terms_still_resolve_deterministically(self):
+        table = MappingTable.from_merge(
+            MERGE, term_probabilities=PROBS, rare_cutoff=0.01
+        )
+        rare = [t for t, p in PROBS.items() if p < 0.01]
+        assert rare, "test fixture must include rare terms"
+        for term in rare:
+            lid = table.lookup(term)
+            assert 0 <= lid < table.num_lists
+            assert table.lookup(term) == lid
+
+    def test_adversary_cannot_distinguish_rare_from_absent(self):
+        # The resolution path for a rare-but-indexed term and a term that
+        # exists nowhere is the identical public hash.
+        table = MappingTable.from_merge(
+            MERGE, term_probabilities=PROBS, rare_cutoff=0.01
+        )
+        rare_indexed = next(t for t, p in PROBS.items() if p < 0.01)
+        assert not table.is_tabled(rare_indexed)
+        assert not table.is_tabled("completely-absent-term")
+
+    def test_entries_returns_copy(self):
+        table = MappingTable.from_merge(MERGE)
+        entries = table.entries()
+        entries.clear()
+        assert table.table_size == len(PROBS)

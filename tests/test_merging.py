@@ -1,0 +1,270 @@
+"""Tests for the §6 merging heuristics: DFM, BFM, UDM, hash-based."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.merging.base import MergeResult, sort_terms_by_probability
+from repro.core.merging.bfm import BreadthFirstMerging, bfm_r_for_list_count
+from repro.core.merging.dfm import DepthFirstMerging
+from repro.core.merging.hashed import HashMerger
+from repro.core.merging.udm import UniformDistributionMerging
+from repro.errors import MergingError
+
+
+def zipf_probs(n: int) -> dict[str, float]:
+    raw = {f"t{i:04d}": 1.0 / (i + 1) for i in range(n)}
+    total = sum(raw.values())
+    return {t: p / total for t, p in raw.items()}
+
+
+PROBS = zipf_probs(200)
+
+
+def assert_partition(merge: MergeResult, probs: dict[str, float]) -> None:
+    """Every merge must partition the vocabulary exactly."""
+    seen: list[str] = []
+    for members in merge.lists:
+        seen.extend(members)
+    assert sorted(seen) == sorted(probs)
+
+
+class TestSorting:
+    def test_descending_with_deterministic_ties(self):
+        probs = {"b": 0.5, "a": 0.5, "c": 0.1}
+        assert sort_terms_by_probability(probs) == ["a", "b", "c"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(MergingError):
+            sort_terms_by_probability({})
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(MergingError):
+            sort_terms_by_probability({"a": 0.0})
+
+
+class TestDFM:
+    def test_produces_exactly_m_lists(self):
+        merge = DepthFirstMerging(num_lists=16, target_r=50).merge(PROBS)
+        assert merge.num_lists == 16
+        assert_partition(merge, PROBS)
+
+    def test_most_frequent_terms_lead_their_lists(self):
+        # Round 1 deals the top-M terms, one per list, in order.
+        merge = DepthFirstMerging(num_lists=8, target_r=1000).merge(PROBS)
+        ranked = sort_terms_by_probability(PROBS)
+        leaders = [members[0] for members in merge.lists]
+        assert leaders == ranked[:8]
+
+    def test_high_target_r_spreads_terms(self):
+        # Huge r => tiny required mass => lists fill immediately; the
+        # round-robin completion still assigns every term.
+        merge = DepthFirstMerging(num_lists=8, target_r=1e9).merge(PROBS)
+        assert_partition(merge, PROBS)
+
+    def test_low_target_r_piles_mass(self):
+        # r close to 1 => lists keep absorbing terms and never fill.
+        merge = DepthFirstMerging(num_lists=4, target_r=1.0).merge(PROBS)
+        assert_partition(merge, PROBS)
+        assert merge.num_lists == 4
+
+    def test_fewer_terms_than_cells(self):
+        probs = zipf_probs(5)
+        merge = DepthFirstMerging(num_lists=100, target_r=10).merge(probs)
+        # No empty lists may exist (§6.4): every term its own list.
+        assert merge.num_lists == 5
+        assert merge.singleton_lists() == 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(MergingError):
+            DepthFirstMerging(num_lists=0, target_r=10)
+        with pytest.raises(MergingError):
+            DepthFirstMerging(num_lists=5, target_r=0.5)
+
+    def test_masses_cover_required_when_feasible(self):
+        # With target r chosen via BFM calibration, the resulting min
+        # mass must reach 1/r_result by formula (7)'s construction.
+        target = bfm_r_for_list_count(PROBS, 16)
+        merge = DepthFirstMerging(num_lists=16, target_r=target).merge(PROBS)
+        result_r = merge.resulting_r(PROBS)
+        assert min(merge.masses(PROBS)) == pytest.approx(1.0 / result_r)
+
+
+class TestBFM:
+    def test_fills_lists_to_mass(self):
+        merge = BreadthFirstMerging(target_r=20).merge(PROBS)
+        assert_partition(merge, PROBS)
+        # Every list reaches mass >= 1/20 (the leftover rule guarantees it).
+        for mass in merge.masses(PROBS):
+            assert mass >= 1.0 / 20 - 1e-12
+
+    def test_list_count_grows_with_r(self):
+        low = BreadthFirstMerging(target_r=5).merge(PROBS).num_lists
+        high = BreadthFirstMerging(target_r=50).merge(PROBS).num_lists
+        assert high > low
+
+    def test_r1_merges_everything_into_one_list(self):
+        merge = BreadthFirstMerging(target_r=1.0).merge(PROBS)
+        assert merge.num_lists == 1
+
+    def test_leftover_terms_redistributed(self):
+        # Pick r so the tail can't fill the final list; it must be
+        # deleted and its terms spread (partition still exact).
+        merge = BreadthFirstMerging(target_r=7.0).merge(PROBS)
+        assert_partition(merge, PROBS)
+        for mass in merge.masses(PROBS):
+            assert mass >= 1.0 / 7.0 - 1e-12
+
+    def test_frequency_order_within_fill(self):
+        merge = BreadthFirstMerging(target_r=30).merge(PROBS)
+        ranked = sort_terms_by_probability(PROBS)
+        # First list is a prefix of the ranked vocabulary.
+        first = list(merge.lists[0])
+        assert first == ranked[: len(first)]
+
+    def test_invalid_r(self):
+        with pytest.raises(MergingError):
+            BreadthFirstMerging(target_r=0.9)
+
+
+class TestBFMCalibration:
+    @pytest.mark.parametrize("m", [1, 4, 16, 50])
+    def test_hits_requested_list_count(self, m):
+        r = bfm_r_for_list_count(PROBS, m)
+        assert BreadthFirstMerging(r).merge(PROBS).num_lists == m
+
+    def test_rejects_impossible_counts(self):
+        with pytest.raises(MergingError):
+            bfm_r_for_list_count(PROBS, 0)
+        with pytest.raises(MergingError):
+            bfm_r_for_list_count(PROBS, len(PROBS) + 1)
+
+
+class TestUDM:
+    def test_round_robin_dealing(self):
+        merge = UniformDistributionMerging(num_lists=4).merge(PROBS)
+        ranked = sort_terms_by_probability(PROBS)
+        assert list(merge.lists[0])[:2] == [ranked[0], ranked[4]]
+        assert list(merge.lists[1])[0] == ranked[1]
+
+    def test_partition_and_balanced_sizes(self):
+        merge = UniformDistributionMerging(num_lists=7).merge(PROBS)
+        assert_partition(merge, PROBS)
+        sizes = [len(members) for members in merge.lists]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_merges_even_top_terms(self):
+        # §7.6: "UDM merges even these most popular terms" — no singletons
+        # when vocabulary is much larger than M.
+        merge = UniformDistributionMerging(num_lists=4).merge(PROBS)
+        assert merge.singleton_lists() == 0
+
+    def test_udm_r_no_better_than_bfm(self):
+        # Table 1: UDM offers less confidentiality (higher r / lower 1/r).
+        m = 16
+        udm_r = UniformDistributionMerging(m).merge(PROBS).resulting_r(PROBS)
+        bfm_r = BreadthFirstMerging(
+            bfm_r_for_list_count(PROBS, m)
+        ).merge(PROBS).resulting_r(PROBS)
+        assert udm_r >= bfm_r - 1e-9
+
+    def test_invalid_m(self):
+        with pytest.raises(MergingError):
+            UniformDistributionMerging(0)
+
+
+class TestBfmDfmEquivalence:
+    """§7.5: "For a given number of posting lists, BFM and DFM produce the
+    same r value"."""
+
+    @pytest.mark.parametrize("m", [8, 16, 32])
+    def test_same_r_at_same_list_count(self, m):
+        r_in = bfm_r_for_list_count(PROBS, m)
+        bfm = BreadthFirstMerging(r_in).merge(PROBS)
+        dfm = DepthFirstMerging(m, r_in).merge(PROBS)
+        assert bfm.num_lists == dfm.num_lists == m
+        assert bfm.resulting_r(PROBS) == pytest.approx(
+            dfm.resulting_r(PROBS), rel=0.25
+        )
+
+
+class TestMergeResult:
+    def test_assignments_bijective(self):
+        merge = UniformDistributionMerging(num_lists=5).merge(PROBS)
+        assignments = merge.assignments()
+        assert len(assignments) == len(PROBS)
+        assert set(assignments.values()) <= set(range(5))
+
+    def test_list_lengths_sum_to_total_postings(self):
+        dfs = {t: i + 1 for i, t in enumerate(PROBS)}
+        merge = UniformDistributionMerging(num_lists=5).merge(PROBS)
+        assert sum(merge.list_lengths(dfs)) == sum(dfs.values())
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(MergingError):
+            MergeResult(lists=(), heuristic="X")
+        with pytest.raises(MergingError):
+            MergeResult(lists=((),), heuristic="X")
+
+
+class TestHashMerger:
+    def test_deterministic_and_in_range(self):
+        merger = HashMerger(num_lists=32)
+        for term in ("alpha", "beta", "hesselhofer"):
+            lid = merger.list_for(term)
+            assert 0 <= lid < 32
+            assert merger.list_for(term) == lid
+
+    def test_different_salts_differ(self):
+        a = HashMerger(num_lists=1024, salt="s1")
+        b = HashMerger(num_lists=1024, salt="s2")
+        terms = [f"t{i}" for i in range(200)]
+        assert any(a.list_for(t) != b.list_for(t) for t in terms)
+
+    def test_spreads_terms(self):
+        merger = HashMerger(num_lists=16)
+        assignments = merger.assign([f"rare{i}" for i in range(400)])
+        used_lists = set(assignments.values())
+        assert len(used_lists) == 16  # all lists hit at this volume
+
+    def test_cutoff_split(self):
+        merger = HashMerger(num_lists=8)
+        frequent, rare = merger.split_by_cutoff(PROBS, cutoff=0.01)
+        assert set(frequent) | set(rare) == set(PROBS)
+        assert all(PROBS[t] >= 0.01 for t in frequent)
+        assert all(PROBS[t] < 0.01 for t in rare)
+
+    def test_cutoff_cannot_hide_everything(self):
+        merger = HashMerger(num_lists=8)
+        with pytest.raises(MergingError):
+            merger.split_by_cutoff(PROBS, cutoff=1.0)
+
+    def test_invalid_m(self):
+        with pytest.raises(MergingError):
+            HashMerger(num_lists=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    vocab=st.integers(min_value=2, max_value=120),
+    m=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_heuristics_always_partition(vocab, m, seed):
+    """All three heuristics produce exact partitions for any (vocab, M)."""
+    import random as _random
+
+    rng = _random.Random(seed)
+    raw = {f"w{i}": rng.random() + 1e-6 for i in range(vocab)}
+    total = sum(raw.values())
+    probs = {t: p / total for t, p in raw.items()}
+    m_eff = min(m, vocab)
+    for merge in (
+        DepthFirstMerging(m_eff, target_r=10).merge(probs),
+        UniformDistributionMerging(m_eff).merge(probs),
+        BreadthFirstMerging(target_r=float(max(1, m))).merge(probs),
+    ):
+        collected = sorted(t for members in merge.lists for t in members)
+        assert collected == sorted(probs)

@@ -1,0 +1,107 @@
+"""Tests for the MIX relay (§4 / §5.4.1 anonymity recommendation)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import TransportError
+from repro.extensions.mixnet import MixMessage, MixRelay
+
+
+def collector():
+    sent = []
+
+    def forward(destination, kind, payload, padded_bytes):
+        sent.append((destination, kind, payload, padded_bytes))
+
+    return sent, forward
+
+
+def msg(payload, dest="s0", size=100):
+    return MixMessage(
+        destination=dest, kind="insert", payload=payload, payload_bytes=size
+    )
+
+
+class TestThresholdBatching:
+    def test_holds_until_threshold(self):
+        sent, forward = collector()
+        mix = MixRelay(forward, batch_threshold=3, rng=random.Random(1))
+        assert not mix.submit("alice", msg("a"))
+        assert not mix.submit("bob", msg("b"))
+        assert sent == []
+        assert mix.submit("carol", msg("c"))
+        assert len(sent) == 3
+
+    def test_single_sender_cannot_flush_alone(self):
+        # A batch from one sender mixes nothing; the mix waits for a
+        # second participant even past the message threshold.
+        sent, forward = collector()
+        mix = MixRelay(forward, batch_threshold=2, rng=random.Random(1))
+        assert not mix.submit("alice", msg("a1"))
+        assert not mix.submit("alice", msg("a2"))
+        assert not mix.submit("alice", msg("a3"))
+        assert mix.submit("bob", msg("b1"))
+        assert len(sent) == 4
+
+    def test_manual_flush(self):
+        sent, forward = collector()
+        mix = MixRelay(forward, batch_threshold=100, rng=random.Random(1))
+        mix.submit("alice", msg("a"))
+        assert mix.flush() == 1
+        assert mix.flush() == 0
+        assert mix.pending_messages == 0
+
+    def test_flush_history_drops_sender_identities(self):
+        sent, forward = collector()
+        mix = MixRelay(forward, batch_threshold=2, rng=random.Random(1))
+        mix.submit("alice", msg("a"))
+        mix.submit("bob", msg("b"))
+        assert mix.flush_history == [(2, 2)]  # counts only, no names
+
+
+class TestUnlinkability:
+    def test_batch_order_is_shuffled(self):
+        sent, forward = collector()
+        mix = MixRelay(forward, batch_threshold=50, rng=random.Random(7))
+        order = [f"m{i}" for i in range(50)]
+        for i, payload in enumerate(order):
+            mix.submit(f"sender{i % 5}", msg(payload))
+        forwarded = [payload for _, _, payload, _ in sent]
+        assert sorted(forwarded) == sorted(order)
+        assert forwarded != order
+
+    def test_sizes_are_padded_uniformly(self):
+        sent, forward = collector()
+        mix = MixRelay(
+            forward, batch_threshold=3, rng=random.Random(1), pad_to_multiple=512
+        )
+        mix.submit("a", msg("x", size=13))
+        mix.submit("b", msg("y", size=500))
+        mix.submit("c", msg("z", size=513))
+        sizes = sorted(size for _, _, _, size in sent)
+        assert sizes == [512, 512, 1024]
+
+    def test_padded_size_floor(self):
+        _, forward = collector()
+        mix = MixRelay(forward, pad_to_multiple=256)
+        assert mix.padded_size(0) == 256
+        assert mix.padded_size(256) == 256
+        assert mix.padded_size(257) == 512
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        _, forward = collector()
+        with pytest.raises(TransportError):
+            MixRelay(forward, batch_threshold=0)
+        with pytest.raises(TransportError):
+            MixRelay(forward, pad_to_multiple=0)
+
+    def test_negative_payload_rejected(self):
+        _, forward = collector()
+        mix = MixRelay(forward)
+        with pytest.raises(TransportError):
+            mix.submit("a", msg("x", size=-1))

@@ -1,0 +1,136 @@
+"""Tests for the document-owner client (§5.4.1, §7.2-§7.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.batching import BatchPolicy
+from repro.corpus.document import Document
+from repro.errors import ReproError
+
+from tests.helpers import deploy_corpus, owner_of_group
+from repro.core.zerber_index import ZerberDeployment
+from repro.core.mapping_table import MappingTable
+
+
+def make_doc(doc_id: int, terms: dict[str, int], group: int = 0) -> Document:
+    return Document(
+        doc_id=doc_id,
+        host="peer-a",
+        group_id=group,
+        term_counts=terms,
+        length=sum(terms.values()),
+        text=" ".join(terms),
+    )
+
+
+@pytest.fixture()
+def deployment():
+    table = MappingTable({}, num_lists=16)  # all terms hash-routed
+    dep = ZerberDeployment(
+        mapping_table=table, k=2, n=3, use_network=False, seed=1
+    )
+    dep.create_group(0, coordinator="alice")
+    return dep
+
+
+class TestSharing:
+    def test_share_counts_distinct_terms(self, deployment):
+        owner = deployment.owner("alice", BatchPolicy(min_documents=1))
+        count = owner.share_document(make_doc(1, {"a": 2, "b": 1}))
+        assert count == 2
+        assert deployment.servers[0].num_elements == 2
+        # All n servers hold the same element count (one share each).
+        assert len({s.num_elements for s in deployment.servers}) == 1
+
+    def test_shadow_map_tracks_elements(self, deployment):
+        owner = deployment.owner("alice", BatchPolicy(min_documents=1))
+        owner.share_document(make_doc(1, {"a": 1, "b": 1, "c": 1}))
+        assert owner.shared_documents == [1]
+        assert len(owner.elements_of(1)) == 3
+
+    def test_local_index_updated(self, deployment):
+        owner = deployment.owner("alice", BatchPolicy(min_documents=1))
+        owner.share_document(make_doc(1, {"alpha": 2}))
+        assert owner.local_index.document_frequency("alpha") == 1
+
+    def test_reshare_replaces_old_elements(self, deployment):
+        owner = deployment.owner("alice", BatchPolicy(min_documents=1))
+        owner.share_document(make_doc(1, {"old": 1}))
+        owner.share_document(make_doc(1, {"new": 1}))
+        assert deployment.servers[0].num_elements == 1
+        assert owner.local_index.document_frequency("old") == 0
+
+    def test_batching_defers_until_flush(self, deployment):
+        owner = deployment.owner("alice", BatchPolicy(min_documents=10))
+        owner.share_document(make_doc(1, {"a": 1}))
+        assert deployment.servers[0].num_elements == 0
+        assert owner.pending_documents == 1
+        owner.flush_updates()
+        assert deployment.servers[0].num_elements == 1
+
+    def test_tick_triggers_age_flush(self, deployment):
+        owner = deployment.owner(
+            "alice", BatchPolicy(min_documents=10, max_age_ticks=2)
+        )
+        owner.share_document(make_doc(1, {"a": 1}))
+        assert not owner.tick(1)
+        assert owner.tick(1)
+        assert deployment.servers[0].num_elements == 1
+
+
+class TestDeletion:
+    def test_delete_removes_everywhere(self, deployment):
+        owner = deployment.owner("alice", BatchPolicy(min_documents=1))
+        owner.share_document(make_doc(1, {"a": 1, "b": 1}))
+        deleted = owner.delete_document(1)
+        assert deleted == 2
+        assert all(s.num_elements == 0 for s in deployment.servers)
+        assert owner.shared_documents == []
+
+    def test_delete_unknown_doc_is_noop(self, deployment):
+        owner = deployment.owner("alice")
+        assert owner.delete_document(99) == 0
+
+    def test_delete_flushes_pending_inserts_first(self, deployment):
+        owner = deployment.owner("alice", BatchPolicy(min_documents=10))
+        owner.share_document(make_doc(1, {"a": 1}))
+        owner.delete_document(1)  # must not orphan the pending insert
+        assert all(s.num_elements == 0 for s in deployment.servers)
+
+
+class TestConstruction:
+    def test_server_count_must_match_scheme(self, deployment):
+        from repro.client.owner import DocumentOwner
+
+        token = deployment.enroll_user("zed")
+        with pytest.raises(ReproError):
+            DocumentOwner(
+                owner_id="zed",
+                token=token,
+                scheme=deployment.scheme,
+                mapping_table=deployment.mapping_table,
+                dictionary=deployment.dictionary,
+                servers=deployment.servers[:2],  # n=3 scheme
+            )
+
+
+class TestBatchCorrelationSurface:
+    def test_batched_updates_share_one_log_entry(self, small_corpus):
+        deployment = deploy_corpus(
+            small_corpus,
+            batch_policy=BatchPolicy(min_documents=1000),
+            num_lists=16,
+        )
+        view = deployment.servers[0].compromise()
+        # One owner per group, each flushed once => one batch per owner.
+        assert len(view.update_log) == len(small_corpus.group_ids())
+
+    def test_unbatched_updates_expose_per_document_entries(self, small_corpus):
+        deployment = deploy_corpus(
+            small_corpus,
+            batch_policy=BatchPolicy(min_documents=1),
+            num_lists=16,
+        )
+        view = deployment.servers[0].compromise()
+        assert len(view.update_log) == len(small_corpus)

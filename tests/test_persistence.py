@@ -1,0 +1,122 @@
+"""Tests for the WAL-backed index-server persistence (§5.4.1 recovery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IndexServerError
+from repro.server.auth import AuthService
+from repro.server.groups import GroupDirectory
+from repro.server.index_server import DeleteOp, IndexServer, InsertOp
+from repro.server.persistence import PostingLog, attach_log, recover_server
+
+
+@pytest.fixture()
+def env(tmp_path):
+    auth = AuthService()
+    groups = GroupDirectory()
+    groups.create_group(1, coordinator="alice")
+    cred = auth.register_user("alice")
+    token = auth.issue_token("alice", cred)
+    server = IndexServer("s0", x_coordinate=5, auth=auth, groups=groups)
+    log = PostingLog(tmp_path / "s0.wal")
+    attach_log(server, log)
+    return auth, groups, server, token, log, tmp_path
+
+
+def op(pl, eid, share=111):
+    return InsertOp(pl_id=pl, element_id=eid, group_id=1, share_y=share)
+
+
+class TestLogging:
+    def test_inserts_are_logged_and_replayable(self, env):
+        _, _, server, token, log, _ = env
+        server.insert_batch(token, [op(0, 1), op(0, 2), op(3, 9)])
+        replayed = log.replay()
+        assert set(replayed[0]) == {1, 2}
+        assert replayed[3][9].share_y == 111
+
+    def test_deletes_are_logged(self, env):
+        _, _, server, token, log, _ = env
+        server.insert_batch(token, [op(0, 1), op(0, 2)])
+        server.delete(token, [DeleteOp(0, 1)])
+        replayed = log.replay()
+        assert set(replayed[0]) == {2}
+
+    def test_rejected_batches_never_hit_disk(self, env):
+        _, _, server, token, log, _ = env
+        bad = InsertOp(pl_id=0, element_id=1, group_id=99, share_y=1)
+        with pytest.raises(Exception):
+            server.insert_batch(token, [bad])
+        assert log.replay() == {}
+
+
+class TestRecovery:
+    def test_full_recovery_round_trip(self, env, tmp_path):
+        auth, groups, server, token, log, _ = env
+        server.insert_batch(token, [op(0, 1), op(0, 2), op(7, 3)])
+        server.delete(token, [DeleteOp(0, 2)])
+        # The box dies; a fresh server recovers from the log.
+        log.close()
+        recovered = IndexServer("s0b", x_coordinate=5, auth=auth, groups=groups)
+        count = recover_server(recovered, PostingLog(tmp_path / "s0.wal"))
+        assert count == 2
+        view = recovered.compromise()
+        assert view.merged_list_lengths() == {0: 1, 7: 1}
+
+    def test_recovery_requires_empty_server(self, env, tmp_path):
+        auth, groups, server, token, log, _ = env
+        server.insert_batch(token, [op(0, 1)])
+        with pytest.raises(IndexServerError):
+            recover_server(server, PostingLog(tmp_path / "other.wal"))
+
+    def test_torn_tail_write_is_tolerated(self, tmp_path):
+        path = tmp_path / "torn.wal"
+        path.write_text("I 0 1 1 42\nI 0 2 1 43")  # no trailing newline
+        replayed = PostingLog(path).replay()
+        assert set(replayed[0]) == {1}
+
+    def test_corrupt_interior_record_raises(self, tmp_path):
+        path = tmp_path / "bad.wal"
+        path.write_text("I 0 1 1 42\nGARBAGE LINE\nI 0 2 1 43\n")
+        with pytest.raises(IndexServerError):
+            PostingLog(path).replay()
+
+    def test_corrupt_field_raises(self, tmp_path):
+        path = tmp_path / "bad2.wal"
+        path.write_text("I 0 xx 1 42\n")
+        with pytest.raises(IndexServerError):
+            PostingLog(path).replay()
+
+    def test_empty_log_replays_empty(self, tmp_path):
+        assert PostingLog(tmp_path / "fresh.wal").replay() == {}
+
+
+class TestCompaction:
+    def test_compact_shrinks_and_preserves(self, env, tmp_path):
+        _, _, server, token, log, _ = env
+        server.insert_batch(token, [op(0, i) for i in range(1, 21)])
+        server.delete(token, [DeleteOp(0, i) for i in range(1, 16)])
+        before = (tmp_path / "s0.wal").stat().st_size
+        live_store = {
+            pl: {r.element_id: r for r in rs}
+            for pl, rs in server.compromise().posting_store.items()
+        }
+        written = log.compact(live_store)
+        after = (tmp_path / "s0.wal").stat().st_size
+        assert written == 5
+        assert after < before
+        replayed = log.replay()
+        assert set(replayed[0]) == {16, 17, 18, 19, 20}
+
+    def test_appends_after_compaction_work(self, env):
+        _, _, server, token, log, _ = env
+        server.insert_batch(token, [op(0, 1)])
+        store = {
+            pl: {r.element_id: r for r in rs}
+            for pl, rs in server.compromise().posting_store.items()
+        }
+        log.compact(store)
+        server.insert_batch(token, [op(0, 2)])
+        replayed = log.replay()
+        assert set(replayed[0]) == {1, 2}

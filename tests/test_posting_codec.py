@@ -1,0 +1,161 @@
+"""Tests for posting-element packing (paper §5.2, §7.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.posting import (
+    PackingSpec,
+    PostingElement,
+    PostingElementCodec,
+    new_element_id,
+)
+from repro.errors import PackingError
+from repro.secretsharing.field import DEFAULT_PRIME
+
+
+class TestPackingSpec:
+    def test_default_secret_is_64_bits(self):
+        assert PackingSpec().secret_bits == 64
+
+    def test_default_secret_fits_default_prime(self):
+        assert (1 << PackingSpec().secret_bits) <= DEFAULT_PRIME
+
+    def test_storage_overhead_is_the_papers_1_5(self):
+        spec = PackingSpec()
+        assert spec.zerber_element_bits / spec.plain_element_bits == pytest.approx(1.5)
+
+    def test_rejects_zero_width_fields(self):
+        with pytest.raises(PackingError):
+            PackingSpec(doc_id_bits=0)
+        with pytest.raises(PackingError):
+            PackingSpec(tf_bits=0)
+
+    def test_rejects_tiny_element_ids(self):
+        with pytest.raises(PackingError):
+            PackingSpec(element_id_bits=8)
+
+    def test_field_maxima(self):
+        spec = PackingSpec(doc_id_bits=4, term_id_bits=3, tf_bits=2)
+        assert spec.max_doc_id == 15
+        assert spec.max_term_id == 7
+        assert spec.tf_scale == 3
+
+
+class TestPostingElement:
+    def test_rejects_negative_ids(self):
+        with pytest.raises(PackingError):
+            PostingElement(doc_id=-1, term_id=0, tf=0.5)
+        with pytest.raises(PackingError):
+            PostingElement(doc_id=0, term_id=-1, tf=0.5)
+
+    def test_rejects_out_of_range_tf(self):
+        with pytest.raises(PackingError):
+            PostingElement(doc_id=0, term_id=0, tf=0.0)
+        with pytest.raises(PackingError):
+            PostingElement(doc_id=0, term_id=0, tf=1.5)
+
+
+class TestCodec:
+    @pytest.fixture()
+    def codec(self):
+        return PostingElementCodec()
+
+    def test_roundtrip_ids_lossless(self, codec):
+        element = PostingElement(doc_id=123456, term_id=9876, tf=0.25)
+        decoded = codec.unpack(codec.pack(element))
+        assert decoded.doc_id == 123456
+        assert decoded.term_id == 9876
+
+    def test_tf_quantization_error_bounded(self, codec):
+        for tf in (0.001, 0.1, 0.33333, 0.5, 0.9999, 1.0):
+            element = PostingElement(doc_id=1, term_id=1, tf=tf)
+            decoded = codec.unpack(codec.pack(element))
+            assert abs(decoded.tf - tf) <= 1.0 / codec.spec.tf_scale
+
+    def test_tiny_tf_rounds_up_not_to_zero(self, codec):
+        # A tf below half a quantum must still decode (floor at 1 quantum).
+        element = PostingElement(doc_id=1, term_id=1, tf=1e-9)
+        decoded = codec.unpack(codec.pack(element))
+        assert decoded.tf > 0
+
+    def test_packed_fits_secret_bits(self, codec):
+        element = PostingElement(
+            doc_id=codec.spec.max_doc_id,
+            term_id=codec.spec.max_term_id,
+            tf=1.0,
+        )
+        assert codec.pack(element) < (1 << codec.spec.secret_bits)
+
+    def test_doc_id_overflow_raises(self, codec):
+        with pytest.raises(PackingError):
+            codec.pack(
+                PostingElement(
+                    doc_id=codec.spec.max_doc_id + 1, term_id=0, tf=0.5
+                )
+            )
+
+    def test_term_id_overflow_raises(self, codec):
+        with pytest.raises(PackingError):
+            codec.pack(
+                PostingElement(
+                    doc_id=0, term_id=codec.spec.max_term_id + 1, tf=0.5
+                )
+            )
+
+    def test_unpack_rejects_oversized_value(self, codec):
+        with pytest.raises(PackingError):
+            codec.unpack(1 << codec.spec.secret_bits)
+
+    def test_unpack_rejects_negative(self, codec):
+        with pytest.raises(PackingError):
+            codec.unpack(-1)
+
+    def test_unpack_rejects_zero_tf_field(self, codec):
+        # doc=1, term=1, tf-field = 0 is a corrupt element (tf can't be 0).
+        corrupt = (1 << (codec.spec.term_id_bits + codec.spec.tf_bits)) | (
+            1 << codec.spec.tf_bits
+        )
+        with pytest.raises(PackingError):
+            codec.unpack(corrupt)
+
+    def test_custom_spec_roundtrip(self):
+        codec = PostingElementCodec(
+            PackingSpec(doc_id_bits=10, term_id_bits=8, tf_bits=6)
+        )
+        element = PostingElement(doc_id=1000, term_id=255, tf=0.75)
+        decoded = codec.unpack(codec.pack(element))
+        assert (decoded.doc_id, decoded.term_id) == (1000, 255)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    doc_id=st.integers(min_value=0, max_value=(1 << 30) - 1),
+    term_id=st.integers(min_value=0, max_value=(1 << 22) - 1),
+    tf_quanta=st.integers(min_value=1, max_value=(1 << 12) - 1),
+)
+def test_property_pack_unpack_roundtrip(doc_id, term_id, tf_quanta):
+    """Packing is lossless on ids and exact on quantized tf values."""
+    codec = PostingElementCodec()
+    tf = tf_quanta / codec.spec.tf_scale
+    element = PostingElement(doc_id=doc_id, term_id=term_id, tf=tf)
+    decoded = codec.unpack(codec.pack(element))
+    assert decoded.doc_id == doc_id
+    assert decoded.term_id == term_id
+    assert decoded.tf == pytest.approx(tf, abs=1e-12)
+
+
+class TestElementIds:
+    def test_respects_bit_width(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            assert new_element_id(rng, bits=32) < (1 << 32)
+
+    def test_deterministic_under_seed(self):
+        assert new_element_id(random.Random(7)) == new_element_id(
+            random.Random(7)
+        )

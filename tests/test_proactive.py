@@ -1,0 +1,85 @@
+"""Tests for proactive share refresh (paper §5.1, [21])."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SecretSharingError
+from repro.secretsharing.field import PrimeField
+from repro.secretsharing.proactive import ProactiveRefresher, refresh_shares
+from repro.secretsharing.shamir import ShamirScheme
+
+FIELD = PrimeField((1 << 31) - 1)
+
+
+@pytest.fixture()
+def scheme():
+    return ShamirScheme(
+        k=2, n=3, field=FIELD, rng=random.Random(3), x_coordinates=[7, 11, 13]
+    )
+
+
+class TestRefreshShares:
+    def test_secret_is_preserved(self, scheme):
+        shares = scheme.split(13579)
+        refreshed = refresh_shares(shares, 2, FIELD, random.Random(1))
+        assert scheme.reconstruct(refreshed) == 13579
+
+    def test_share_values_change(self, scheme):
+        shares = scheme.split(13579)
+        refreshed = refresh_shares(shares, 2, FIELD, random.Random(1))
+        assert [s.y for s in refreshed] != [s.y for s in shares]
+
+    def test_coordinates_unchanged(self, scheme):
+        shares = scheme.split(13579)
+        refreshed = refresh_shares(shares, 2, FIELD, random.Random(1))
+        assert [s.x for s in refreshed] == [s.x for s in shares]
+
+    def test_mixing_epochs_yields_garbage(self, scheme):
+        # The whole point: a leaked old share is useless with new shares.
+        secret = 24680
+        old = scheme.split(secret)
+        new = refresh_shares(old, 2, FIELD, random.Random(2))
+        mixed = scheme.reconstruct([old[0], new[1]])
+        assert mixed != secret
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(SecretSharingError):
+            refresh_shares([], 2, FIELD)
+
+    def test_duplicate_coordinates_rejected(self, scheme):
+        shares = scheme.split(1)
+        with pytest.raises(SecretSharingError):
+            refresh_shares([shares[0], shares[0]], 2, FIELD)
+
+    def test_multiple_rounds_still_reconstruct(self, scheme):
+        shares = scheme.split(42)
+        rng = random.Random(9)
+        for _ in range(5):
+            shares = refresh_shares(shares, 2, FIELD, rng)
+        assert scheme.reconstruct(shares) == 42
+
+
+class TestProactiveRefresher:
+    def test_epoch_counts_rounds(self, scheme):
+        refresher = ProactiveRefresher(scheme, rng=random.Random(5))
+        shares = scheme.split(99)
+        assert refresher.epoch == 0
+        shares = refresher.refresh(shares)
+        assert refresher.epoch == 1
+        refresher.refresh(shares)
+        assert refresher.epoch == 2
+
+    def test_refresh_table_updates_every_entry_atomically(self, scheme):
+        refresher = ProactiveRefresher(scheme, rng=random.Random(5))
+        table = {eid: scheme.split(eid * 17) for eid in range(1, 6)}
+        refreshed = refresher.refresh_table(table)
+        assert refresher.epoch == 1
+        assert set(refreshed) == set(table)
+        for eid, shares in refreshed.items():
+            assert scheme.reconstruct(shares) == eid * 17
+            # and every share actually changed
+            old_ys = [s.y for s in table[eid]]
+            assert [s.y for s in shares] != old_ys

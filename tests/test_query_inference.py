@@ -1,0 +1,118 @@
+"""Tests for the query-inference attack on the request stream (§7.1/§8)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.attacks.query_inference import (
+    QueryInferenceAttack,
+    band_information_bits,
+    expected_posterior_concentration,
+    list_posterior,
+)
+from repro.core.merging.bfm import BreadthFirstMerging, bfm_r_for_list_count
+from repro.core.merging.udm import UniformDistributionMerging
+from repro.errors import ConfidentialityError
+
+
+def zipf_probs(n: int) -> dict[str, float]:
+    raw = {f"t{i:04d}": 1.0 / (i + 1) for i in range(n)}
+    total = sum(raw.values())
+    return {t: p / total for t, p in raw.items()}
+
+
+PROBS = zipf_probs(400)
+# Query frequencies rank-aligned with document frequencies (head queried).
+QFS = {
+    t: max(1, int(10_000 / (rank + 1)))
+    for rank, t in enumerate(sorted(PROBS, key=lambda t: -PROBS[t]))
+}
+
+
+class TestListPosterior:
+    def test_normalized(self):
+        posterior = list_posterior(["t0000", "t0001"], QFS)
+        assert sum(posterior.values()) == pytest.approx(1.0)
+
+    def test_singleton_is_total_leak(self):
+        posterior = list_posterior(["t0000"], QFS)
+        assert posterior["t0000"] == 1.0
+
+    def test_unqueried_terms_get_floor(self):
+        posterior = list_posterior(["t0000", "never-queried"], QFS)
+        assert posterior["never-queried"] > 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfidentialityError):
+            list_posterior([], QFS)
+
+
+class TestConcentration:
+    def test_bounds(self):
+        m = 16
+        merge = UniformDistributionMerging(m).merge(PROBS)
+        conc = expected_posterior_concentration(merge, QFS)
+        assert 0.0 < conc <= 1.0
+
+    def test_bfm_band_leak_exceeds_udm(self):
+        # §8: "BFM leaks probabilistic information in this situation,
+        # while the other merging heuristics are more robust." BFM's
+        # frequency-contiguous lists make the list ID a near-perfect
+        # predictor of the query's frequency band; UDM's round-robin
+        # mixes every band into every list.
+        m = 16
+        bfm = BreadthFirstMerging(bfm_r_for_list_count(PROBS, m)).merge(PROBS)
+        udm = UniformDistributionMerging(m).merge(PROBS)
+        bfm_mi = band_information_bits(bfm, QFS)
+        udm_mi = band_information_bits(udm, QFS)
+        assert bfm_mi > 2 * udm_mi
+
+    def test_identity_guessing_is_the_flip_side(self):
+        # The tradeoff: BFM members have near-identical frequencies, so
+        # the *identity* argmax is weaker than UDM's (where each list's
+        # head term dominates its merged-in tail terms).
+        m = 16
+        bfm = BreadthFirstMerging(bfm_r_for_list_count(PROBS, m)).merge(PROBS)
+        udm = UniformDistributionMerging(m).merge(PROBS)
+        assert expected_posterior_concentration(
+            bfm, QFS
+        ) < expected_posterior_concentration(udm, QFS)
+
+    def test_one_big_list_minimizes_leak(self):
+        one = UniformDistributionMerging(1).merge(PROBS)
+        many = UniformDistributionMerging(64).merge(PROBS)
+        assert expected_posterior_concentration(
+            one, QFS
+        ) < expected_posterior_concentration(many, QFS)
+
+
+class TestEmpiricalAttack:
+    def test_accuracy_tracks_concentration(self):
+        m = 16
+        bfm = BreadthFirstMerging(bfm_r_for_list_count(PROBS, m)).merge(PROBS)
+        udm = UniformDistributionMerging(m).merge(PROBS)
+        bfm_acc = QueryInferenceAttack(bfm, QFS).empirical_accuracy(
+            1_500, random.Random(5)
+        )
+        udm_acc = QueryInferenceAttack(udm, QFS).empirical_accuracy(
+            1_500, random.Random(5)
+        )
+        # Identity guessing follows the concentration ordering...
+        assert udm_acc > bfm_acc
+        # ...and the analytic expectation predicts the empirical rates.
+        assert bfm_acc == pytest.approx(
+            expected_posterior_concentration(bfm, QFS), abs=0.06
+        )
+        assert udm_acc == pytest.approx(
+            expected_posterior_concentration(udm, QFS), abs=0.06
+        )
+
+    def test_guess_is_highest_qf_member(self):
+        merge = UniformDistributionMerging(4).merge(PROBS)
+        attack = QueryInferenceAttack(merge, QFS)
+        for pl_id, members in enumerate(merge.lists):
+            guess = attack.guess(pl_id)
+            best_qf = max(QFS.get(t, 1) for t in members)
+            assert QFS.get(guess, 1) == best_qf

@@ -1,0 +1,108 @@
+"""Tests for the synthetic query log (§7.4.3)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.corpus.querylog import (
+    QueryLog,
+    QueryLogConfig,
+    generate_query_log,
+)
+from repro.corpus.synthetic import generate_term_statistics
+from repro.errors import CorpusError
+
+STATS = generate_term_statistics(2000, 3000)
+
+
+class TestQueryLog:
+    def test_frequencies_positive_and_bounded(self):
+        log = generate_query_log(
+            STATS, QueryLogConfig(total_queries=10_000, distinct_query_terms=300)
+        )
+        assert log.distinct_terms == 300
+        assert all(qf >= 1 for qf in log.frequencies().values())
+
+    def test_unqueried_term_has_zero_frequency(self):
+        log = QueryLog({"a": 5})
+        assert log.frequency("a") == 5
+        assert log.frequency("b") == 0
+
+    def test_zipfian_mass_concentration(self):
+        # Fig. 6: "The most frequent queries constitute nearly the whole
+        # query workload."
+        log = generate_query_log(
+            STATS, QueryLogConfig(total_queries=100_000, distinct_query_terms=500)
+        )
+        ranked = log.terms_by_frequency()
+        top_10pct = sum(log.frequency(t) for t in ranked[:50])
+        assert top_10pct / log.total_queries > 0.5
+
+    def test_rank_correlation_with_document_frequency(self):
+        # Query rank tracks document rank (with noise): the top-queried
+        # decile should be document-frequent on average.
+        log = generate_query_log(
+            STATS,
+            QueryLogConfig(
+                total_queries=50_000, distinct_query_terms=400, rank_noise=0.05
+            ),
+        )
+        doc_rank = {t: i for i, t in enumerate(STATS.terms_by_frequency())}
+        queried = log.terms_by_frequency()
+        head = [doc_rank[t] for t in queried[:40]]
+        tail = [doc_rank[t] for t in queried[-40:]]
+        assert sum(head) / len(head) < sum(tail) / len(tail)
+
+    def test_noise_creates_frequent_but_rarely_queried_terms(self):
+        # §7.4.3's "although" phenomenon: with noise, some top-document
+        # terms are NOT among the top query terms.
+        log = generate_query_log(
+            STATS,
+            QueryLogConfig(
+                total_queries=50_000, distinct_query_terms=400, rank_noise=0.2
+            ),
+        )
+        top_doc_terms = set(STATS.terms_by_frequency()[:100])
+        top_query_terms = set(log.terms_by_frequency()[:100])
+        assert top_doc_terms - top_query_terms
+
+    def test_zero_noise_preserves_rank_order(self):
+        log = generate_query_log(
+            STATS,
+            QueryLogConfig(
+                total_queries=50_000, distinct_query_terms=100, rank_noise=0.0
+            ),
+        )
+        assert log.terms_by_frequency() == STATS.terms_by_frequency()[:100]
+
+
+class TestMaterialization:
+    def test_query_length_mean_near_2_45(self):
+        log = generate_query_log(
+            STATS, QueryLogConfig(total_queries=10_000, distinct_query_terms=300)
+        )
+        queries = log.materialize_queries(2000, random.Random(5))
+        mean_len = sum(len(q) for q in queries) / len(queries)
+        assert 2.0 < mean_len < 2.9  # paper: 2.45, pre-dedup
+
+    def test_queries_have_no_duplicate_terms(self):
+        log = generate_query_log(
+            STATS, QueryLogConfig(total_queries=10_000, distinct_query_terms=50)
+        )
+        for q in log.materialize_queries(500, random.Random(6)):
+            assert len(q) == len(set(q))
+            assert len(q) >= 1
+
+    def test_validation(self):
+        with pytest.raises(CorpusError):
+            QueryLog({})
+        with pytest.raises(CorpusError):
+            QueryLog({"a": -1})
+        with pytest.raises(CorpusError):
+            QueryLogConfig(total_queries=0)
+        with pytest.raises(CorpusError):
+            QueryLogConfig(mean_terms_per_query=0.5)
+        with pytest.raises(CorpusError):
+            QueryLogConfig(rank_noise=-0.1)

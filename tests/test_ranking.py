@@ -1,0 +1,145 @@
+"""Tests for personalized tf-idf and Fagin's Threshold Algorithm (§5.4.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RankingError
+from repro.ranking.scores import CollectionStatistics, TfIdfScorer
+from repro.ranking.threshold import naive_top_k, threshold_top_k
+
+
+class TestCollectionStatistics:
+    def test_from_postings(self):
+        stats = CollectionStatistics.from_postings(
+            {"a": [1, 2, 3], "b": [2, 2, 4]}
+        )
+        assert stats.num_documents == 4
+        assert stats.document_frequencies["a"] == 3
+        assert stats.document_frequencies["b"] == 2  # dedup within term
+
+    def test_idf_decreases_with_df(self):
+        stats = CollectionStatistics(
+            num_documents=100, document_frequencies={"rare": 1, "common": 90}
+        )
+        assert stats.idf("rare") > stats.idf("common")
+
+    def test_idf_of_unknown_term_is_highest(self):
+        stats = CollectionStatistics(
+            num_documents=10, document_frequencies={"a": 5}
+        )
+        assert stats.idf("unknown") > stats.idf("a")
+
+    def test_idf_positive_even_when_term_everywhere(self):
+        stats = CollectionStatistics(
+            num_documents=10, document_frequencies={"a": 10}
+        )
+        assert stats.idf("a") > 0
+
+    def test_validation(self):
+        with pytest.raises(RankingError):
+            CollectionStatistics(num_documents=-1, document_frequencies={})
+        with pytest.raises(RankingError):
+            CollectionStatistics(num_documents=1, document_frequencies={"a": -1})
+
+
+class TestScorer:
+    def test_weighted_sum(self):
+        stats = CollectionStatistics(
+            num_documents=10, document_frequencies={"a": 2, "b": 5}
+        )
+        scorer = TfIdfScorer(stats)
+        expected = 0.5 * stats.idf("a") + 0.2 * stats.idf("b")
+        assert scorer.score({"a": 0.5, "b": 0.2}) == pytest.approx(expected)
+
+    def test_negative_tf_rejected(self):
+        scorer = TfIdfScorer(
+            CollectionStatistics(num_documents=1, document_frequencies={})
+        )
+        with pytest.raises(RankingError):
+            scorer.score({"a": -0.1})
+
+
+class TestThresholdAlgorithm:
+    def test_simple_top_1(self):
+        postings = {
+            "a": [(1, 0.9), (2, 0.5)],
+            "b": [(2, 0.8), (1, 0.1)],
+        }
+        hits = threshold_top_k(postings, {"a": 1.0, "b": 1.0}, k=1)
+        # doc2: 0.5 + 0.8 = 1.3 beats doc1: 0.9 + 0.1 = 1.0
+        assert [h.doc_id for h in hits] == [2]
+        assert hits[0].score == pytest.approx(1.3)
+
+    def test_matches_naive_oracle_on_fixed_case(self):
+        postings = {
+            "x": [(i, (i % 7 + 1) / 10) for i in range(30)],
+            "y": [(i, (i % 5 + 1) / 10) for i in range(10, 40)],
+            "z": [(i, (i % 3 + 1) / 10) for i in range(20, 50)],
+        }
+        weights = {"x": 2.0, "y": 0.5, "z": 1.0}
+        for k in (1, 3, 10, 100):
+            ta = threshold_top_k(postings, weights, k)
+            oracle = naive_top_k(postings, weights, k)
+            assert [h.doc_id for h in ta] == [h.doc_id for h in oracle]
+
+    def test_k_larger_than_corpus(self):
+        postings = {"a": [(1, 0.5)]}
+        hits = threshold_top_k(postings, {"a": 1.0}, k=10)
+        assert len(hits) == 1
+
+    def test_empty_postings(self):
+        assert threshold_top_k({}, {}, k=5) == []
+        assert threshold_top_k({"a": []}, {"a": 1.0}, k=5) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(RankingError):
+            threshold_top_k({"a": [(1, 0.5)]}, {}, k=0)
+        with pytest.raises(RankingError):
+            naive_top_k({"a": [(1, 0.5)]}, {}, k=0)
+
+    def test_negative_tf_rejected(self):
+        with pytest.raises(RankingError):
+            threshold_top_k({"a": [(1, -0.5)]}, {"a": 1.0}, k=1)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(RankingError):
+            threshold_top_k({"a": [(1, 0.5)]}, {"a": -1.0}, k=1)
+
+    def test_deterministic_tie_break_by_doc_id(self):
+        postings = {"a": [(5, 0.5), (3, 0.5), (9, 0.5)]}
+        hits = threshold_top_k(postings, {"a": 1.0}, k=2)
+        assert [h.doc_id for h in hits] == [3, 5]
+
+    def test_missing_weight_defaults_to_one(self):
+        postings = {"a": [(1, 0.5)]}
+        hits = threshold_top_k(postings, {}, k=1)
+        assert hits[0].score == pytest.approx(0.5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_terms=st.integers(min_value=1, max_value=5),
+    num_docs=st.integers(min_value=1, max_value=60),
+    k=st.integers(min_value=1, max_value=15),
+)
+def test_property_ta_equals_naive(seed, num_terms, num_docs, k):
+    """Fagin's TA returns exactly the exhaustive top-K (scores and docs)."""
+    rng = random.Random(seed)
+    postings = {}
+    for t in range(num_terms):
+        docs = rng.sample(range(num_docs), rng.randint(1, num_docs))
+        postings[f"t{t}"] = [
+            (d, rng.randint(1, 100) / 100) for d in docs
+        ]
+    weights = {f"t{t}": rng.randint(1, 40) / 10 for t in range(num_terms)}
+    ta = threshold_top_k(postings, weights, k)
+    oracle = naive_top_k(postings, weights, k)
+    assert [h.doc_id for h in ta] == [h.doc_id for h in oracle]
+    for a, b in zip(ta, oracle):
+        assert a.score == pytest.approx(b.score)

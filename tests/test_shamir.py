@@ -1,0 +1,222 @@
+"""Unit + property tests for Shamir secret sharing (Algorithms 1a/1b)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientSharesError, SecretSharingError
+from repro.secretsharing.field import PrimeField
+from repro.secretsharing.shamir import (
+    ShamirScheme,
+    Share,
+    reconstruct_secret,
+    split_secret,
+)
+
+PRIME = (1 << 31) - 1
+FIELD = PrimeField(PRIME)
+
+
+def make_rng():
+    return random.Random(0x5A5A)
+
+
+class TestSplit:
+    def test_produces_one_share_per_coordinate(self):
+        shares = split_secret(42, 2, [1, 2, 3], FIELD, make_rng())
+        assert [s.x for s in shares] == [1, 2, 3]
+
+    def test_shares_differ_from_secret(self):
+        # With k >= 2 the share values are blinded by random coefficients.
+        shares = split_secret(42, 2, [1, 2, 3], FIELD, make_rng())
+        assert any(s.y != 42 for s in shares)
+
+    def test_k1_degenerate_scheme_replicates_secret(self):
+        # k = 1: the polynomial is the constant secret.
+        shares = split_secret(42, 1, [5, 9], FIELD, make_rng())
+        assert all(s.y == 42 for s in shares)
+
+    def test_rejects_secret_out_of_range(self):
+        with pytest.raises(SecretSharingError):
+            split_secret(PRIME, 2, [1, 2, 3], FIELD, make_rng())
+        with pytest.raises(SecretSharingError):
+            split_secret(-1, 2, [1, 2, 3], FIELD, make_rng())
+
+    def test_rejects_duplicate_coordinates(self):
+        with pytest.raises(SecretSharingError):
+            split_secret(42, 2, [1, 1, 3], FIELD, make_rng())
+
+    def test_rejects_zero_coordinate(self):
+        # f(0) IS the secret; a server at x=0 would hold it in plain.
+        with pytest.raises(SecretSharingError):
+            split_secret(42, 2, [0, 1, 2], FIELD, make_rng())
+
+    def test_rejects_fewer_recipients_than_threshold(self):
+        with pytest.raises(SecretSharingError):
+            split_secret(42, 4, [1, 2, 3], FIELD, make_rng())
+
+    def test_rejects_non_positive_threshold(self):
+        with pytest.raises(SecretSharingError):
+            split_secret(42, 0, [1, 2], FIELD, make_rng())
+
+
+class TestReconstruct:
+    def test_roundtrip(self):
+        shares = split_secret(123456, 3, [1, 2, 3, 4, 5], FIELD, make_rng())
+        assert reconstruct_secret(shares, 3, FIELD) == 123456
+
+    def test_any_k_subset_suffices(self):
+        secret = 987654321
+        shares = split_secret(secret, 2, [1, 2, 3], FIELD, make_rng())
+        for subset in itertools.combinations(shares, 2):
+            assert reconstruct_secret(list(subset), 2, FIELD) == secret
+
+    def test_fewer_than_k_raises(self):
+        shares = split_secret(7, 3, [1, 2, 3], FIELD, make_rng())
+        with pytest.raises(InsufficientSharesError):
+            reconstruct_secret(shares[:2], 3, FIELD)
+
+    def test_duplicate_shares_do_not_count_twice(self):
+        shares = split_secret(7, 2, [1, 2], FIELD, make_rng())
+        with pytest.raises(InsufficientSharesError):
+            reconstruct_secret([shares[0], shares[0]], 2, FIELD)
+
+    def test_gaussian_matches_lagrange(self):
+        shares = split_secret(31337, 3, [2, 5, 11, 17], FIELD, make_rng())
+        lag = reconstruct_secret(shares, 3, FIELD, method="lagrange")
+        gau = reconstruct_secret(shares, 3, FIELD, method="gaussian")
+        assert lag == gau == 31337
+
+    def test_unknown_method_raises(self):
+        shares = split_secret(1, 2, [1, 2], FIELD, make_rng())
+        with pytest.raises(SecretSharingError):
+            reconstruct_secret(shares, 2, FIELD, method="magic")
+
+    def test_wrong_k_shares_give_wrong_secret(self):
+        # Reconstructing a k=3 split with k=2 must NOT recover the secret
+        # (this is the k-1 collusion failure, deterministically).
+        shares = split_secret(999, 3, [1, 2, 3], FIELD, make_rng())
+        wrong = reconstruct_secret(shares[:2], 2, FIELD)
+        assert wrong != 999
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    secret=st.integers(min_value=0, max_value=PRIME - 1),
+    k=st.integers(min_value=1, max_value=5),
+    extra=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_roundtrip_any_k_of_n(secret, k, extra, seed):
+    """Any k of the n shares reconstruct; both methods agree."""
+    rng = random.Random(seed)
+    n = k + extra
+    xs = rng.sample(range(1, 10_000), n)
+    shares = split_secret(secret, k, xs, FIELD, rng)
+    chosen = rng.sample(shares, k)
+    assert reconstruct_secret(chosen, k, FIELD, "lagrange") == secret
+    assert reconstruct_secret(chosen, k, FIELD, "gaussian") == secret
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    secret=st.integers(min_value=0, max_value=PRIME - 1),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_k_minus_1_shares_are_uninformative(secret, seed):
+    """Reconstruction from k-1 shares yields an unrelated field element.
+
+    (The distributional zero-information property is tested in
+    test_attacks_collusion; here we pin the mechanical failure.)
+    """
+    rng = random.Random(seed)
+    shares = split_secret(secret, 3, [1, 2, 3, 4], FIELD, rng)
+    with pytest.raises(InsufficientSharesError):
+        reconstruct_secret(shares[:2], 3, FIELD)
+
+
+class TestShamirScheme:
+    def test_coordinates_distinct_nonzero(self):
+        scheme = ShamirScheme(k=2, n=5, field=FIELD, rng=make_rng())
+        xs = scheme.x_coordinates
+        assert len(set(xs)) == 5
+        assert all(x != 0 for x in xs)
+
+    def test_invalid_k_n(self):
+        with pytest.raises(SecretSharingError):
+            ShamirScheme(k=4, n=3, field=FIELD)
+        with pytest.raises(SecretSharingError):
+            ShamirScheme(k=0, n=3, field=FIELD)
+
+    def test_explicit_coordinates_validated(self):
+        with pytest.raises(SecretSharingError):
+            ShamirScheme(k=2, n=3, field=FIELD, x_coordinates=[1, 1, 2])
+        with pytest.raises(SecretSharingError):
+            ShamirScheme(k=2, n=3, field=FIELD, x_coordinates=[0, 1, 2])
+        with pytest.raises(SecretSharingError):
+            ShamirScheme(k=2, n=3, field=FIELD, x_coordinates=[1, 2])
+
+    def test_split_reconstruct(self):
+        scheme = ShamirScheme(k=2, n=3, field=FIELD, rng=make_rng())
+        shares = scheme.split(777)
+        assert scheme.reconstruct(shares[:2]) == 777
+        assert scheme.reconstruct(shares[1:]) == 777
+
+    def test_split_many(self):
+        scheme = ShamirScheme(k=2, n=3, field=FIELD, rng=make_rng())
+        all_shares = scheme.split_many([1, 2, 3])
+        assert [scheme.reconstruct(s) for s in all_shares] == [1, 2, 3]
+
+    def test_extend_adds_fresh_coordinates(self):
+        scheme = ShamirScheme(k=2, n=3, field=FIELD, rng=make_rng())
+        before = set(scheme.x_coordinates)
+        new = scheme.extend(2)
+        assert scheme.n == 5
+        assert len(new) == 2
+        assert before.isdisjoint(new)
+
+    def test_extend_requires_positive(self):
+        scheme = ShamirScheme(k=2, n=3, field=FIELD, rng=make_rng())
+        with pytest.raises(SecretSharingError):
+            scheme.extend(0)
+
+    def test_share_for_new_server_joins_existing_polynomial(self):
+        # §5.1: "dynamic extension of the number n of servers without
+        # recalculating the existing secret shares".
+        scheme = ShamirScheme(
+            k=2, n=3, field=FIELD, rng=make_rng(), x_coordinates=[10, 20, 30]
+        )
+        secret = 5150
+        shares = scheme.split(secret)
+        new_share = scheme.share_for_new_server(secret, shares, new_x=40)
+        # Old share + new share still reconstruct the same secret.
+        assert scheme.reconstruct([shares[0], new_share]) == secret
+
+    def test_share_for_new_server_rejects_wrong_secret(self):
+        scheme = ShamirScheme(
+            k=2, n=3, field=FIELD, rng=make_rng(), x_coordinates=[10, 20, 30]
+        )
+        shares = scheme.split(5150)
+        with pytest.raises(SecretSharingError):
+            scheme.share_for_new_server(9999, shares, new_x=40)
+
+    def test_share_for_new_server_needs_k_shares(self):
+        scheme = ShamirScheme(
+            k=3, n=4, field=FIELD, rng=make_rng(), x_coordinates=[1, 2, 3, 4]
+        )
+        shares = scheme.split(11)
+        with pytest.raises(InsufficientSharesError):
+            scheme.share_for_new_server(11, shares[:2], new_x=9)
+
+    def test_default_rng_is_crypto_backed(self):
+        # Without an injected rng, two splits of the same secret must
+        # produce different blinding (overwhelmingly).
+        scheme = ShamirScheme(k=2, n=3, field=FIELD, x_coordinates=[1, 2, 3])
+        a = scheme.split(5)
+        b = scheme.split(5)
+        assert [s.y for s in a] != [s.y for s in b]

@@ -1,0 +1,101 @@
+"""Tests for the hosting-peer snippet service (§5.4.2, §7.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.snippets import XML_ENVELOPE_BYTES, Snippet, SnippetService
+from repro.corpus.document import Document
+from repro.errors import AccessDeniedError, ReproError
+from repro.server.groups import GroupDirectory
+
+
+@pytest.fixture()
+def service():
+    groups = GroupDirectory()
+    groups.create_group(1, coordinator="alice")
+    groups.add_member(1, "bob", actor="alice")
+    service = SnippetService(groups, snippet_width=60)
+    service.host_document(
+        Document(
+            doc_id=10,
+            host="peer-a",
+            group_id=1,
+            term_counts={"merger": 1, "budget": 2, "memo": 1},
+            length=12,
+            text="quarterly memo about the merger budget and the board review",
+        )
+    )
+    return service
+
+
+class TestAccessControl:
+    def test_member_gets_snippet(self, service):
+        snippet = service.request_snippet("alice", 10, ["merger"])
+        assert "merger" in snippet.text
+        assert snippet.host == "peer-a"
+        assert snippet.doc_id == 10
+
+    def test_non_member_denied(self, service):
+        with pytest.raises(AccessDeniedError):
+            service.request_snippet("mallory", 10, ["merger"])
+
+    def test_revoked_member_denied(self, service):
+        groups = service._groups
+        groups.remove_member(1, "bob", actor="alice")
+        with pytest.raises(AccessDeniedError):
+            service.request_snippet("bob", 10, ["merger"])
+
+    def test_unknown_document(self, service):
+        with pytest.raises(ReproError):
+            service.request_snippet("alice", 999, ["merger"])
+
+
+class TestSnippetContent:
+    def test_first_matching_term_wins(self, service):
+        snippet = service.request_snippet("alice", 10, ["zzz", "budget"])
+        assert "budget" in snippet.text
+
+    def test_no_match_falls_back_to_prefix(self, service):
+        snippet = service.request_snippet("alice", 10, ["absentterm"])
+        assert snippet.text.startswith("quarterly")
+
+    def test_width_respected(self, service):
+        snippet = service.request_snippet("alice", 10, ["merger"])
+        assert len(snippet.text) <= 60
+
+    def test_wire_bytes_include_xml_envelope(self):
+        snippet = Snippet(doc_id=1, host="h", text="x" * 100)
+        assert snippet.wire_bytes() == 100 + XML_ENVELOPE_BYTES
+
+    def test_paper_250_byte_snippet(self):
+        # §7.3: "each snippet contains about 250 B including XML
+        # formatting" — a 120-char window plus envelope lands there.
+        snippet = Snippet(doc_id=1, host="h", text="y" * 120)
+        assert 200 < snippet.wire_bytes() < 300
+
+
+class TestHosting:
+    def test_rehost_replaces(self, service):
+        service.host_document(
+            Document(
+                doc_id=10,
+                host="peer-b",
+                group_id=1,
+                term_counts={"new": 1},
+                length=1,
+                text="new",
+            )
+        )
+        assert service.host_of(10) == "peer-b"
+
+    def test_withdraw(self, service):
+        assert service.withdraw_document(10)
+        assert not service.withdraw_document(10)
+        assert service.host_of(10) is None
+        with pytest.raises(ReproError):
+            service.request_snippet("alice", 10, ["merger"])
+
+    def test_width_validation(self):
+        with pytest.raises(ReproError):
+            SnippetService(GroupDirectory(), snippet_width=4)

@@ -1,0 +1,92 @@
+"""Tests for the Stud IP installation model (§7.4.1, Fig. 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.studip import StudIPConfig, generate_installation
+from repro.errors import CorpusError
+
+
+@pytest.fixture(scope="module")
+def installation():
+    return generate_installation(StudIPConfig(seed=42))
+
+
+class TestShapes:
+    def test_documents_per_group_heavy_tailed(self, installation):
+        counts = installation.documents_per_group()
+        assert len(counts) == installation.config.num_courses
+        assert counts[0] > counts[len(counts) // 2] >= counts[-1]
+
+    def test_uploads_grow_roughly_uniformly(self, installation):
+        # Fig. 5b: "The amount of material stored for each course increases
+        # uniformly during the semester" — the cumulative curve is close
+        # to linear: each week contributes roughly total/weeks.
+        cumulative = installation.cumulative_uploads_by_week()
+        assert all(a <= b for a, b in zip(cumulative, cumulative[1:]))
+        total = cumulative[-1]
+        weeks = len(cumulative)
+        per_week = [
+            cumulative[i] - (cumulative[i - 1] if i else 0)
+            for i in range(weeks)
+        ]
+        mean = total / weeks
+        assert all(0.5 * mean < w < 1.5 * mean for w in per_week)
+
+    def test_users_per_group_heavy_tailed(self, installation):
+        counts = installation.users_per_group()
+        assert len(counts) == installation.config.num_courses
+        assert counts[0] >= 5 * max(1, counts[-1])
+
+    def test_most_users_belong_to_at_most_20_groups(self, installation):
+        # §7.4.1: "Most users belong to at most 20 groups".
+        per_user = installation.groups_per_user()
+        assert max(per_user) <= installation.config.max_groups_per_user
+        at_most_20 = sum(1 for g in per_user if g <= 20)
+        assert at_most_20 / len(per_user) > 0.9
+
+    def test_most_users_access_fewer_than_200_documents(self, installation):
+        # §7.4.1: "can access fewer than 200 documents" (most users).
+        accessible = installation.documents_accessible_per_user()
+        below_200 = sum(1 for a in accessible if a < 200)
+        assert below_200 / len(accessible) > 0.6
+
+    def test_total_documents_consistent(self, installation):
+        assert installation.total_documents == sum(
+            installation.documents_per_group()
+        )
+        assert (
+            installation.cumulative_uploads_by_week()[-1]
+            == installation.total_documents
+        )
+
+
+class TestStructure:
+    def test_memberships_cover_all_users(self, installation):
+        memberships = installation.memberships
+        assert len(memberships) == installation.config.num_users
+        assert all(groups for groups in memberships.values())
+
+    def test_deterministic_given_seed(self):
+        a = generate_installation(StudIPConfig(seed=7))
+        b = generate_installation(StudIPConfig(seed=7))
+        assert a.memberships == b.memberships
+        assert a.uploads == b.uploads
+
+    def test_different_seeds_differ(self):
+        a = generate_installation(StudIPConfig(seed=1))
+        b = generate_installation(StudIPConfig(seed=2))
+        assert a.uploads != b.uploads
+
+    def test_upload_weeks_in_range(self, installation):
+        weeks = installation.config.semester_weeks
+        assert all(0 <= w < weeks for w, _, _ in installation.uploads)
+
+    def test_config_validation(self):
+        with pytest.raises(CorpusError):
+            StudIPConfig(num_courses=0)
+        with pytest.raises(CorpusError):
+            StudIPConfig(max_groups_per_user=0)
+        with pytest.raises(CorpusError):
+            StudIPConfig(mean_documents_per_course=0)
