@@ -1,0 +1,199 @@
+"""Cluster scaling: queries-per-second and bytes-per-query vs shards.
+
+Sweeps the sharded cluster over pod counts and failure rates, measuring
+the §7.3-style costs end to end through the simulated transport:
+
+- **qps** — wall-clock queries per second through the full Algorithm 2
+  pipeline (route, batch, fetch, reconstruct, rank);
+- **bytes_per_query** — lookup bytes crossing the network per query;
+- **messages_per_query** — lookup round-trips per query, the number the
+  batched fan-out exists to shrink.
+
+Every row lands in ``benchmarks/results/BENCH_cluster.json``
+(schema: ``{"schema", "rows": [{"config", "qps", "bytes_per_query",
+"messages_per_query"}]}``) so later PRs can track the trajectory.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_cluster_scaling.py``
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+from benchmarks.conftest import RESULTS_DIR, emit
+from repro.client.batching import BatchPolicy
+from repro.cluster import ClusterDeployment
+from repro.corpus.synthetic import SyntheticCorpusConfig, generate_corpus
+
+N, K = 3, 2
+NUM_QUERIES = 40
+TERMS_PER_QUERY = 3
+
+
+def _corpus():
+    return generate_corpus(
+        SyntheticCorpusConfig(
+            num_documents=120,
+            vocabulary_size=900,
+            num_groups=2,
+            seed=1723,
+        )
+    )
+
+
+def _queries(corpus, rng):
+    probabilities = corpus.term_probabilities()
+    frequent = sorted(
+        probabilities, key=lambda t: (-probabilities[t], t)
+    )[:120]
+    return [
+        rng.sample(frequent, TERMS_PER_QUERY) for _ in range(NUM_QUERIES)
+    ]
+
+
+def _build_cluster(corpus, num_pods, kill_per_pod=0):
+    cluster = ClusterDeployment.bootstrap(
+        corpus.term_probabilities(),
+        heuristic="dfm",
+        num_lists=64,
+        num_pods=num_pods,
+        k=K,
+        n=N,
+        batch_policy=BatchPolicy(min_documents=8),
+        seed=1723,
+    )
+    for g in corpus.group_ids():
+        cluster.create_group(g, coordinator=f"owner{g}")
+    for document in corpus:
+        cluster.share_document(f"owner{document.group_id}", document)
+    cluster.flush_all()
+    for pod in cluster.pods:
+        for slot_index in range(kill_per_pod):
+            cluster.kill_server(pod.index, slot_index)
+    return cluster
+
+
+def _run_queries(cluster, queries, use_cache, batch_lookups):
+    """Returns (qps, bytes_per_query, messages_per_query, results)."""
+    searcher = cluster.searcher(
+        "owner0", use_cache=use_cache, batch_lookups=batch_lookups
+    )
+    stats = cluster.network.stats
+    bytes_before = stats.bytes_by_kind["lookup"]
+    messages_before = stats.messages_by_kind["lookup"]
+    results = []
+    start = time.perf_counter()
+    for terms in queries:
+        results.append(
+            searcher.search(terms, top_k=10, fetch_snippets=False)
+        )
+    elapsed = time.perf_counter() - start
+    n = len(queries)
+    return (
+        n / elapsed,
+        (stats.bytes_by_kind["lookup"] - bytes_before) / n,
+        (stats.messages_by_kind["lookup"] - messages_before) / n,
+        results,
+    )
+
+
+def test_cluster_scaling_sweep(benchmark):
+    corpus = _corpus()
+    queries = _queries(corpus, random.Random(42))
+    rows = []
+    baseline_results = None
+    for num_pods in (1, 2, 4):
+        for kill_per_pod in (0, N - K):
+            cluster = _build_cluster(corpus, num_pods, kill_per_pod)
+            for use_cache in (False, True):
+                if use_cache:
+                    # Warm pass over the same query set: cache absorbs it.
+                    _run_queries(cluster, queries, True, True)
+                qps, bpq, mpq, results = _run_queries(
+                    cluster, queries, use_cache, batch_lookups=True
+                )
+                config = {
+                    "pods": num_pods,
+                    "n": N,
+                    "k": K,
+                    "killed_per_pod": kill_per_pod,
+                    "batched": True,
+                    "cache": use_cache,
+                    "queries": NUM_QUERIES,
+                    "terms_per_query": TERMS_PER_QUERY,
+                }
+                rows.append(
+                    {
+                        "config": config,
+                        "qps": round(qps, 1),
+                        "bytes_per_query": round(bpq, 1),
+                        "messages_per_query": round(mpq, 2),
+                    }
+                )
+                if num_pods == 1 and kill_per_pod == 0 and not use_cache:
+                    baseline_results = results
+                elif not use_cache and kill_per_pod == 0:
+                    # Sharding must never change answers.
+                    assert results == baseline_results
+    # One benchmarked reference pass for pytest-benchmark's ledger.
+    reference = _build_cluster(corpus, 2, 0)
+    benchmark.pedantic(
+        lambda: _run_queries(reference, queries, False, True),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "cluster scaling: qps / bytes-per-query / messages-per-query "
+        f"({NUM_QUERIES} queries x {TERMS_PER_QUERY} terms, n={N}, k={K})",
+    ]
+    for row in rows:
+        config = row["config"]
+        lines.append(
+            f"pods={config['pods']} killed/pod={config['killed_per_pod']} "
+            f"cache={'on ' if config['cache'] else 'off'}: "
+            f"{row['qps']:8.1f} q/s  "
+            f"{row['bytes_per_query']:9.1f} B/q  "
+            f"{row['messages_per_query']:5.2f} msg/q"
+        )
+    emit("cluster_scaling", lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema": "zerber.bench_cluster.v1",
+        "rows": rows,
+    }
+    (RESULTS_DIR / "BENCH_cluster.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    # Sanity floor: the ledger actually accumulated traffic.
+    assert all(row["bytes_per_query"] > 0 for row in rows if not row["config"]["cache"])
+    # Cached passes send (almost) nothing.
+    for cached, cold in zip(rows[1::2], rows[0::2]):
+        assert cached["bytes_per_query"] <= cold["bytes_per_query"]
+
+
+def test_batched_lookups_beat_naive_fanout(benchmark):
+    """The acceptance criterion: fewer lookup messages than per-term fan-out."""
+    corpus = _corpus()
+    queries = _queries(corpus, random.Random(43))
+    cluster = _build_cluster(corpus, 2, 0)
+    _, _, batched_mpq, batched_results = benchmark.pedantic(
+        lambda: _run_queries(cluster, queries, False, True),
+        rounds=1,
+        iterations=1,
+    )
+    _, _, naive_mpq, naive_results = _run_queries(
+        cluster, queries, False, False
+    )
+    emit(
+        "cluster_batching",
+        [
+            "batched vs naive lookup fan-out (2 pods, n=3, k=2, "
+            f"{TERMS_PER_QUERY}-term queries)",
+            f"batched: {batched_mpq:.2f} lookup messages per query",
+            f"naive:   {naive_mpq:.2f} lookup messages per query",
+        ],
+    )
+    assert naive_results == batched_results
+    assert batched_mpq < naive_mpq

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate.
+#
+# Runs the full test suite, then re-runs the cluster equivalence suite
+# on its own and fails the build if any of it was skipped or
+# deselected — the equivalence property is the contract every scaling
+# PR leans on, so it must never silently stop running.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1 suite =="
+python -m pytest -q
+
+echo "== cluster equivalence gate =="
+output=$(python -m pytest tests/test_cluster_equivalence.py -q -rs | tail -n 1)
+echo "$output"
+if echo "$output" | grep -qE "skipped|deselected|no tests ran|error"; then
+    echo "FAIL: the cluster equivalence suite did not run in full" >&2
+    exit 1
+fi
+if ! echo "$output" | grep -qE "[0-9]+ passed"; then
+    echo "FAIL: the cluster equivalence suite reported no passes" >&2
+    exit 1
+fi
+echo "CI gate passed."

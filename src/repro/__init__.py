@@ -23,11 +23,22 @@ Package map (see DESIGN.md for the paper-section cross-reference):
 - :mod:`repro.corpus` — synthetic ODP / Stud IP corpora and query logs;
 - :mod:`repro.attacks` — the §7.1 adversary simulations;
 - :mod:`repro.analysis` — workload/bandwidth/storage models (§7.2–7.4);
-- :mod:`repro.extensions` — the paper's future-work features.
+- :mod:`repro.extensions` — the paper's future-work features;
+- :mod:`repro.cluster` — the sharded multi-pod cluster engine (pods,
+  placement, batched lookups, failover, share caching).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+# core must finish initializing before cluster (which builds on the
+# client/core facade) — keep this import first.
 from repro.core.zerber_index import ZerberDeployment, ZerberSearchResult
 
-__all__ = ["ZerberDeployment", "ZerberSearchResult", "__version__"]
+from repro.cluster.deployment import ClusterDeployment
+
+__all__ = [
+    "ClusterDeployment",
+    "ZerberDeployment",
+    "ZerberSearchResult",
+    "__version__",
+]

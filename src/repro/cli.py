@@ -1,13 +1,18 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four entry points for kicking Zerber's tires without writing code:
+Five entry points for kicking Zerber's tires without writing code:
 
 - ``demo``      — the quickstart scenario end to end;
 - ``merge``     — run a §6 heuristic over a synthetic corpus and print the
   merge statistics (r, singletons, mass quantiles);
 - ``audit``     — the operator confidentiality audit for a chosen
   configuration, including the §8 request-stream channels;
-- ``bandwidth`` — the §7.3 network model with adjustable parameters.
+- ``bandwidth`` — the §7.3 network model with adjustable parameters;
+- ``cluster``   — the sharded multi-pod engine: ``deploy`` prints the
+  topology and shard placement, ``search`` runs batched cluster queries,
+  ``kill-server`` demonstrates failover under server loss. Every run
+  rebuilds the same deterministic scenario from ``--seed``, like the
+  other commands.
 """
 
 from __future__ import annotations
@@ -135,6 +140,144 @@ def _cmd_bandwidth(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_cluster(args: argparse.Namespace):
+    """The deterministic cluster scenario every ``cluster`` subcommand uses."""
+    from repro.cluster import ClusterDeployment
+    from repro.corpus.synthetic import SyntheticCorpusConfig, generate_corpus
+
+    corpus = generate_corpus(
+        SyntheticCorpusConfig(
+            num_documents=args.documents,
+            vocabulary_size=800,
+            num_groups=2,
+            seed=args.seed,
+        )
+    )
+    probs = corpus.term_probabilities()
+    cluster = ClusterDeployment.bootstrap(
+        probs,
+        heuristic="dfm",
+        num_lists=min(48, len(probs)),
+        num_pods=args.pods,
+        k=args.k,
+        n=args.n,
+        seed=args.seed,
+    )
+    for g in corpus.group_ids():
+        cluster.create_group(g, coordinator=f"owner{g}")
+    for document in corpus:
+        cluster.share_document(f"owner{document.group_id}", document)
+    cluster.flush_all()
+    return corpus, cluster
+
+
+def _parse_kills(specs) -> list[tuple[int, int]]:
+    """``pod:slot`` strings -> (pod_index, slot_index) pairs."""
+    kills = []
+    for spec in specs or ():
+        pod_str, _, slot_str = spec.partition(":")
+        try:
+            kills.append((int(pod_str), int(slot_str)))
+        except ValueError:
+            raise SystemExit(f"bad --kill {spec!r}; expected POD:SLOT")
+    return kills
+
+
+def _cluster_query_terms(corpus, args) -> list[str]:
+    if args.terms:
+        return list(args.terms)
+    doc = corpus.documents_in_group(0)[0]
+    return sorted(doc.term_counts)[:3]
+
+
+def _cmd_cluster_deploy(args: argparse.Namespace) -> int:
+    _, cluster = _build_cluster(args)
+    coordinator = cluster.coordinator
+    print(
+        f"cluster: {len(cluster.pods)} pods x {cluster.scheme.n} servers, "
+        f"k={cluster.scheme.k} (each pod tolerates "
+        f"{cluster.scheme.n - cluster.scheme.k} failures)"
+    )
+    for pod in cluster.pods:
+        ids = [slot.server_id for slot in pod.slots]
+        print(f"  {pod.name}: {', '.join(ids)}")
+    shards = coordinator.shard_distribution(cluster.mapping_table.num_lists)
+    print(f"shard placement over {cluster.mapping_table.num_lists} merged "
+          f"lists: {shards}")
+    print(f"stored elements (all live servers): {cluster.total_elements()}")
+    print(f"storage: {cluster.storage_bytes() / 1000:.1f} KB on the wire")
+    return 0
+
+
+def _kill_servers(cluster, kills) -> None:
+    from repro.errors import ClusterError
+
+    for pod_index, slot_index in kills:
+        try:
+            downed = cluster.kill_server(pod_index, slot_index)
+        except ClusterError as exc:
+            raise SystemExit(f"cannot kill {pod_index}:{slot_index}: {exc}")
+        print(f"killed {downed}")
+
+
+def _cmd_cluster_search(args: argparse.Namespace) -> int:
+    from repro.errors import ClusterDegradedError
+
+    corpus, cluster = _build_cluster(args)
+    _kill_servers(cluster, _parse_kills(args.kill))
+    terms = _cluster_query_terms(corpus, args)
+    searcher = cluster.searcher("owner0", batch_lookups=not args.naive)
+    try:
+        results = searcher.search(terms, top_k=args.top_k)
+    except ClusterDegradedError as exc:
+        print(f"cluster degraded below k: {exc}")
+        return 1
+    print(f"owner0 queried {terms}: {len(results)} hits")
+    for hit in results:
+        print(f"  doc {hit.doc_id} @ {hit.host}  score={hit.score:.3f}")
+    diag = searcher.last_cluster_diagnostics
+    print(f"pods contacted: {diag.pods_contacted}, "
+          f"lookup messages: {diag.lookup_messages}, "
+          f"cache hits: {diag.cache_hits}, failovers: {diag.failovers}")
+    print(f"lookup bytes: {searcher.last_diagnostics.response_bytes}")
+    repeated = searcher.search(terms, top_k=args.top_k)
+    if repeated != results:
+        print("ERROR: cached repeat query diverged from the first run")
+        return 1
+    print(f"repeat query: {searcher.last_cluster_diagnostics.cache_hits} "
+          f"cache hits, {searcher.last_cluster_diagnostics.lookup_messages} "
+          "messages")
+    return 0
+
+
+def _cmd_cluster_kill(args: argparse.Namespace) -> int:
+    corpus, cluster = _build_cluster(args)
+    terms = _cluster_query_terms(corpus, args)
+    healthy = cluster.search("owner0", terms, top_k=args.top_k)
+    print(f"healthy cluster: {len(healthy)} hits for {terms}")
+    kills = _parse_kills(args.kill)
+    if not kills:
+        # Default drill: one server per pod (the acceptance scenario).
+        kills = [(pod.index, pod.index % cluster.scheme.n)
+                 for pod in cluster.pods]
+    _kill_servers(cluster, kills)
+    from repro.errors import ClusterDegradedError
+
+    searcher = cluster.searcher("owner0", use_cache=False)
+    try:
+        degraded = searcher.search(terms, top_k=args.top_k)
+    except ClusterDegradedError as exc:
+        print(f"cluster degraded below k: {exc}")
+        print("restart servers (or kill fewer than n-k per pod) to "
+              "restore service")
+        return 1
+    diag = searcher.last_cluster_diagnostics
+    print(f"degraded cluster: {len(degraded)} hits, "
+          f"{diag.failovers} failovers, {diag.lookup_messages} messages")
+    print("results identical to healthy run:", degraded == healthy)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -167,6 +310,52 @@ def build_parser() -> argparse.ArgumentParser:
     bandwidth.add_argument("--k", type=int, default=2)
     bandwidth.add_argument("--n", type=int, default=3)
     bandwidth.set_defaults(func=_cmd_bandwidth)
+
+    cluster = sub.add_parser(
+        "cluster", help="the sharded multi-pod cluster engine"
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    def _common_cluster_args(p):
+        p.add_argument("--pods", type=int, default=3)
+        p.add_argument("--n", type=int, default=6)
+        p.add_argument("--k", type=int, default=3)
+        p.add_argument("--documents", type=int, default=40)
+        p.add_argument("--seed", type=int, default=7)
+
+    deploy = cluster_sub.add_parser(
+        "deploy", help="stand up a cluster, print topology and placement"
+    )
+    _common_cluster_args(deploy)
+    deploy.set_defaults(func=_cmd_cluster_deploy)
+
+    csearch = cluster_sub.add_parser(
+        "search", help="run a batched, cached cluster query"
+    )
+    _common_cluster_args(csearch)
+    csearch.add_argument("--terms", nargs="+", default=None)
+    csearch.add_argument("--top-k", type=int, default=5)
+    csearch.add_argument(
+        "--kill", action="append", metavar="POD:SLOT",
+        help="take servers down before querying (repeatable)",
+    )
+    csearch.add_argument(
+        "--naive", action="store_true",
+        help="per-term fan-out instead of batched lookups",
+    )
+    csearch.set_defaults(func=_cmd_cluster_search)
+
+    ckill = cluster_sub.add_parser(
+        "kill-server", help="failure drill: kill servers, verify failover"
+    )
+    _common_cluster_args(ckill)
+    ckill.add_argument("--terms", nargs="+", default=None)
+    ckill.add_argument("--top-k", type=int, default=5)
+    ckill.add_argument(
+        "--kill", action="append", metavar="POD:SLOT",
+        help="servers to down; default kills one per pod",
+    )
+    ckill.set_defaults(func=_cmd_cluster_kill)
     return parser
 
 

@@ -39,12 +39,30 @@ from repro.server.transport import SimulatedNetwork
 
 @dataclass(frozen=True)
 class _ElementPlan:
-    """One posting element fanned out to all n servers (internal)."""
+    """One posting element fanned out to its n share-holders (internal)."""
 
     pl_id: int
     element_id: int
     group_id: int
-    shares_y: tuple[int, ...]  # index-aligned with the server fleet
+    shares_y: tuple[int, ...]  # index-aligned with the share slots
+
+
+class FleetRouter:
+    """The paper's §5 placement: every posting list lives on every server.
+
+    A router decides which ``(share_slot, server)`` pairs an operation on
+    one posting list must reach; ``shares_y[share_slot]`` is the share
+    delivered to that server. This default routes everything to the whole
+    fleet; the cluster's :class:`~repro.cluster.coordinator.ClusterCoordinator`
+    implements the same ``targets`` contract to route each list to its
+    owning pod instead.
+    """
+
+    def __init__(self, servers: Sequence[IndexServer]) -> None:
+        self._servers = servers
+
+    def targets(self, pl_id: int) -> list[tuple[int, IndexServer]]:
+        return list(enumerate(self._servers))
 
 
 class DocumentOwner:
@@ -57,11 +75,12 @@ class DocumentOwner:
         scheme: ShamirScheme,
         mapping_table: MappingTable,
         dictionary: TermDictionary,
-        servers: Sequence[IndexServer],
+        servers: Sequence[IndexServer] | None,
         codec: PostingElementCodec | None = None,
         network: SimulatedNetwork | None = None,
         batch_policy: BatchPolicy | None = None,
         rng: random.Random | None = None,
+        router=None,
     ) -> None:
         """Args:
         owner_id: the owner's principal name (also its network endpoint).
@@ -79,11 +98,19 @@ class DocumentOwner:
             "if the user trusts that no index servers are compromised"
             immediate-update mode.
         rng: element-ID/shuffle randomness (seed it in tests).
+        router: placement of posting lists onto servers; defaults to the
+            paper's full replication (:class:`FleetRouter` over
+            ``servers``). A cluster coordinator routes each list to its
+            owning pod instead, in which case ``servers`` may be None.
         """
-        if len(servers) != scheme.n:
-            raise ReproError(
-                f"scheme expects {scheme.n} servers, got {len(servers)}"
-            )
+        if router is None:
+            if servers is None:
+                raise ReproError("need servers, a router, or both")
+            if len(servers) != scheme.n:
+                raise ReproError(
+                    f"scheme expects {scheme.n} servers, got {len(servers)}"
+                )
+            router = FleetRouter(servers)
         self.owner_id = owner_id
         self._token = token
         self._scheme = scheme
@@ -92,6 +119,7 @@ class DocumentOwner:
         # Kept as the caller's live sequence so fleet extension
         # (ZerberDeployment.add_server) is visible to existing owners.
         self._servers = servers
+        self._router = router
         self._codec = codec or PostingElementCodec()
         self._network = network
         self._rng = rng or random.Random()
@@ -154,32 +182,59 @@ class DocumentOwner:
             )
         return plans
 
+    def _batch_targets(self, pl_id: int, memo: dict) -> list:
+        """Router targets memoized per distinct list within one batch
+        (the router may invalidate caches / scan liveness per call)."""
+        targets = memo.get(pl_id)
+        if targets is None:
+            targets = memo[pl_id] = self._router.targets(pl_id)
+        return targets
+
     def _send_insert_batch(self, plans: list[_ElementPlan]) -> None:
-        """Fan one shuffled batch out to every server."""
-        for server_index, server in enumerate(self._servers):
-            operations = [
-                InsertOp(
-                    pl_id=plan.pl_id,
-                    element_id=plan.element_id,
-                    group_id=plan.group_id,
-                    share_y=plan.shares_y[server_index],
+        """Fan one shuffled batch out along the router's placement."""
+        ops_by_server: dict[str, tuple[IndexServer, list[InsertOp]]] = {}
+        targets_memo: dict[int, list] = {}
+        for plan in plans:
+            for share_slot, server in self._batch_targets(
+                plan.pl_id, targets_memo
+            ):
+                _, operations = ops_by_server.setdefault(
+                    server.server_id, (server, [])
                 )
-                for plan in plans
-            ]
-            if self._network is not None:
-                request_bytes = self._token.wire_bytes() + sum(
+                operations.append(
+                    InsertOp(
+                        pl_id=plan.pl_id,
+                        element_id=plan.element_id,
+                        group_id=plan.group_id,
+                        share_y=plan.shares_y[share_slot],
+                    )
+                )
+        for server, operations in ops_by_server.values():
+            self._deliver("insert", server, operations)
+
+    def _deliver(
+        self, kind: str, server: IndexServer, operations: list
+    ) -> None:
+        """One insert/delete message to one server (network or direct)."""
+        if self._network is not None:
+            if kind == "insert":
+                payload = sum(
                     op.wire_bytes(server.share_bytes) for op in operations
                 )
-                self._network.call(
-                    src=self.owner_id,
-                    dst=server.server_id,
-                    kind="insert",
-                    message=(self._token, operations),
-                    request_bytes=request_bytes,
-                    response_bytes_of=lambda _count: 8,
-                )
             else:
-                server.insert_batch(self._token, operations)
+                payload = sum(op.wire_bytes() for op in operations)
+            self._network.call(
+                src=self.owner_id,
+                dst=server.server_id,
+                kind=kind,
+                message=(self._token, operations),
+                request_bytes=self._token.wire_bytes() + payload,
+                response_bytes_of=lambda _count: 8,
+            )
+        elif kind == "insert":
+            server.insert_batch(self._token, operations)
+        else:
+            server.delete(self._token, operations)
 
     # -- freshness -----------------------------------------------------------
 
@@ -212,21 +267,18 @@ class DocumentOwner:
             for pl_id, element_id in entries
         ]
         self._rng.shuffle(operations)
-        for server in self._servers:
-            if self._network is not None:
-                request_bytes = self._token.wire_bytes() + sum(
-                    op.wire_bytes() for op in operations
+        ops_by_server: dict[str, tuple[IndexServer, list[DeleteOp]]] = {}
+        targets_memo: dict[int, list] = {}
+        for op in operations:
+            for _share_slot, server in self._batch_targets(
+                op.pl_id, targets_memo
+            ):
+                _, server_ops = ops_by_server.setdefault(
+                    server.server_id, (server, [])
                 )
-                self._network.call(
-                    src=self.owner_id,
-                    dst=server.server_id,
-                    kind="delete",
-                    message=(self._token, operations),
-                    request_bytes=request_bytes,
-                    response_bytes_of=lambda _count: 8,
-                )
-            else:
-                server.delete(self._token, operations)
+                server_ops.append(op)
+        for server, server_ops in ops_by_server.values():
+            self._deliver("delete", server, server_ops)
         self.local_index.delete_document(doc_id)
         self._documents.pop(doc_id, None)
         return len(operations)
@@ -254,6 +306,11 @@ class DocumentOwner:
             The number of elements provisioned.
         """
         self._batcher.flush()
+        if self._servers is None:
+            raise ReproError(
+                "fleet extension needs the full server list; cluster "
+                "deployments add whole pods instead"
+            )
         new_server = self._servers[new_server_index]
         field = self._scheme.field
         new_x = self._scheme.x_of(new_server_index)

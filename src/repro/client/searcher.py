@@ -86,7 +86,7 @@ class SearchClient:
         scheme: ShamirScheme,
         mapping_table: MappingTable,
         dictionary: TermDictionary,
-        servers: Sequence[IndexServer],
+        servers: Sequence[IndexServer] | None,
         codec: PostingElementCodec | None = None,
         network: SimulatedNetwork | None = None,
         snippet_service: SnippetService | None = None,
@@ -100,6 +100,8 @@ class SearchClient:
         mapping_table: public term -> posting-list resolver.
         dictionary: public term -> term_id registry.
         servers: the full server fleet, index-aligned with the scheme.
+            Subclasses that override :meth:`_fetch_lists` with their own
+            routing (the cluster client) pass None instead.
         codec: posting-element unpacker.
         network: optional simulated network for byte accounting.
         snippet_service: optional hosting-peer registry for step 6.
@@ -111,7 +113,7 @@ class SearchClient:
             lying or corrupted server) are dropped and counted in
             :attr:`SearchDiagnostics.inconsistent_elements`.
         """
-        if len(servers) != scheme.n:
+        if servers is not None and len(servers) != scheme.n:
             raise ReproError(
                 f"scheme expects {scheme.n} servers, got {len(servers)}"
             )
@@ -135,6 +137,11 @@ class SearchClient:
         self, pl_ids: Sequence[int], num_servers: int
     ) -> list[tuple[int, list[PostingListResponse]]]:
         """Ask ``num_servers`` servers for the lists; returns (server_index, responses)."""
+        if self._servers is None:
+            raise ReproError(
+                "no server fleet attached; servers=None is only valid for "
+                "subclasses that override _fetch_lists with their own routing"
+            )
         chosen = list(range(len(self._servers)))[:num_servers]
         out = []
         for server_index in chosen:
@@ -301,10 +308,17 @@ class SearchClient:
             for t in terms
             if self._dictionary.id_of(t) is not None
         }
-        postings_by_term: dict[str, list[tuple[int, float]]] = defaultdict(list)
+        collected: dict[str, list[tuple[int, float]]] = defaultdict(list)
         for element in elements:
             term = term_of_id[element.term_id]
-            postings_by_term[term].append((element.doc_id, element.tf))
+            collected[term].append((element.doc_id, element.tf))
+        # Normalize to term order, independent of share arrival order:
+        # float summation order must not depend on which server (or pod)
+        # answered first, or byte-identical ranking across deployments
+        # breaks in the last bit.
+        postings_by_term = {
+            term: sorted(collected[term]) for term in sorted(collected)
+        }
         # Personalized collection statistics from the accessible postings.
         statistics = CollectionStatistics.from_postings(
             {t: [doc for doc, _ in ps] for t, ps in postings_by_term.items()}

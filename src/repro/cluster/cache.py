@@ -1,0 +1,134 @@
+"""LRU cache of fetched posting-list shares (cluster front, ROADMAP).
+
+Lookups dominate a production workload (the §7.4.3 query log runs
+millions of queries against a corpus that changes slowly), so the cluster
+coordinator fronts the server fleet with a share cache: one entry holds
+the *raw share responses* one user fetched for one merged posting list —
+already ACL-filtered by the servers, already joined with enough shares to
+reconstruct every element.
+
+Two rules keep the cache exactly as safe as talking to the servers:
+
+- **Invalidation on write**: any insert or delete routed to a posting
+  list evicts every cached entry for that list *before* the write is
+  delivered, so a subsequent read refetches.
+- **Group fingerprinting**: the cache key includes a fingerprint of the
+  user's current group memberships. When memberships change, the key
+  changes, so stale ACL-filtered entries become unreachable and age out
+  via LRU instead of ever being served.
+
+Cached values are Shamir shares, so a stolen cache is exactly as useless
+as a compromised server (§5).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.errors import ClusterError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for the bench and diagnostics surfaces."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+
+@dataclass
+class _Entry:
+    pl_id: int
+    value: Any = field(default=None)
+
+
+class LRUShareCache:
+    """Bounded LRU of ``key -> fetched share responses``, keyed per list.
+
+    Keys are opaque hashables (the cluster uses
+    ``(user_id, group_fingerprint, pl_id)``); the separate ``pl_id``
+    argument to :meth:`put` feeds the write-invalidation index.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        """Args:
+        capacity: maximum entries; 0 disables caching entirely (every
+            ``get`` misses, every ``put`` is dropped).
+        """
+        if capacity < 0:
+            raise ClusterError(f"cache capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+        self._entries: OrderedDict[Hashable, _Entry] = OrderedDict()
+        self._keys_of_pl: dict[int, set[Hashable]] = {}
+        self.stats = CacheStats()
+
+    # -- core operations -----------------------------------------------------
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value, refreshed as most-recently-used; None on miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.value
+
+    def put(self, key: Hashable, pl_id: int, value: Any) -> None:
+        """Insert (or refresh) one entry, evicting the LRU tail if full."""
+        if self._capacity == 0:
+            return
+        if key in self._entries:
+            self._drop(key)
+        while len(self._entries) >= self._capacity:
+            oldest_key = next(iter(self._entries))
+            self._drop(oldest_key)
+            self.stats.evictions += 1
+        self._entries[key] = _Entry(pl_id=pl_id, value=value)
+        self._keys_of_pl.setdefault(pl_id, set()).add(key)
+
+    def invalidate(self, pl_id: int) -> int:
+        """Evict every entry for one posting list; returns how many."""
+        keys = self._keys_of_pl.pop(pl_id, None)
+        if not keys:
+            return 0
+        for key in list(keys):
+            self._entries.pop(key, None)
+        self.stats.invalidations += len(keys)
+        return len(keys)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._keys_of_pl.clear()
+
+    # -- internals ------------------------------------------------------------
+
+    def _drop(self, key: Hashable) -> None:
+        entry = self._entries.pop(key)
+        keys = self._keys_of_pl.get(entry.pl_id)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._keys_of_pl[entry.pl_id]
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity

@@ -1,0 +1,284 @@
+"""The sharded cluster's query client (cluster front of §5.4.2).
+
+:class:`ClusterSearchClient` speaks the exact :class:`SearchClient`
+surface — same :class:`~repro.client.searcher.SearchResult`, same
+Algorithm 2 pipeline — but replaces the fetch stage with cluster-aware
+routing:
+
+- **batched lookups**: a query's posting lists are grouped by owning pod
+  and each contacted server receives *one* lookup message carrying every
+  list it owns that the query needs — one round-trip per server per
+  query instead of one per term (set ``batch_lookups=False`` to get the
+  naive fan-out for comparison benches);
+- **failover**: servers are tried in slot order; a dead one costs a
+  :class:`TransportError` and the next slot takes its place, so any k
+  live servers per pod keep every query answerable;
+- **share-shortfall escalation**: a server restarted from a stale WAL
+  (or one that missed writes while down) may lack elements its peers
+  hold; when an element comes back with fewer than k shares, the lists
+  involved are refetched from additional live servers until every
+  element reconstructs or the pod is exhausted;
+- **share cache**: reads are fronted by the coordinator's LRU cache
+  (invalidated on writes, re-keyed on membership changes); a cache hit
+  costs zero messages and zero bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.client.searcher import SearchClient
+from repro.client.snippets import SnippetService
+from repro.cluster.coordinator import ClusterCoordinator, Pod, ServerSlot
+from repro.core.dictionary import TermDictionary
+from repro.core.mapping_table import MappingTable
+from repro.core.posting import PostingElementCodec
+from repro.errors import ClusterDegradedError, TransportError
+from repro.server.auth import AuthToken
+from repro.server.index_server import PostingListResponse
+from repro.server.transport import SimulatedNetwork
+
+
+@dataclass
+class ClusterDiagnostics:
+    """Per-query accounting of the cluster fetch stage.
+
+    Attributes:
+        pods_contacted: pods owning at least one requested list.
+        lookup_messages: lookup RPCs actually sent (cache hits send none).
+        cache_hits: posting lists served entirely from the share cache.
+        failovers: servers skipped because they were down.
+        escalations: extra fetches issued to cover share shortfalls.
+    """
+
+    pods_contacted: int = 0
+    lookup_messages: int = 0
+    cache_hits: int = 0
+    failovers: int = 0
+    escalations: int = 0
+
+
+class ClusterSearchClient(SearchClient):
+    """A group member searching the sharded cluster."""
+
+    def __init__(
+        self,
+        user_id: str,
+        token: AuthToken,
+        coordinator: ClusterCoordinator,
+        mapping_table: MappingTable,
+        dictionary: TermDictionary,
+        codec: PostingElementCodec | None = None,
+        network: SimulatedNetwork | None = None,
+        snippet_service: SnippetService | None = None,
+        reconstruct_method: str = "lagrange",
+        verify_consistency: bool = False,
+        use_cache: bool = True,
+        batch_lookups: bool = True,
+    ) -> None:
+        """Args:
+        user_id: the searching principal (network endpoint name too).
+        token: enterprise auth ticket.
+        coordinator: the cluster control plane (placement, liveness,
+            share cache, public Shamir parameters).
+        mapping_table: public term -> posting-list resolver.
+        dictionary: public term -> term_id registry.
+        codec: posting-element unpacker.
+        network: optional simulated network for byte accounting.
+        snippet_service: optional hosting-peer registry.
+        reconstruct_method: "lagrange" (default) or "gaussian".
+        verify_consistency: cross-check reconstructions when more than k
+            shares arrive (see :class:`SearchClient`).
+        use_cache: front lookups with the coordinator's share cache.
+        batch_lookups: one lookup message per server per query (True,
+            the default) vs one message per posting list per server
+            (False — the naive fan-out, kept for benches).
+        """
+        super().__init__(
+            user_id=user_id,
+            token=token,
+            scheme=coordinator.scheme,
+            mapping_table=mapping_table,
+            dictionary=dictionary,
+            servers=None,
+            codec=codec,
+            network=network,
+            snippet_service=snippet_service,
+            reconstruct_method=reconstruct_method,
+            verify_consistency=verify_consistency,
+        )
+        self._coordinator = coordinator
+        self._use_cache = use_cache
+        self._batch_lookups = batch_lookups
+        self.last_cluster_diagnostics = ClusterDiagnostics()
+
+    # -- the cluster fetch stage ------------------------------------------------
+
+    def _fetch_lists(
+        self, pl_ids: Sequence[int], num_servers: int
+    ) -> list[tuple[int, list[PostingListResponse]]]:
+        """Route, batch, fail over, escalate; returns (slot_index, responses).
+
+        Slot indices repeat across pods, but each pod owns a disjoint set
+        of posting lists, so the base class's ``(pl_id, element_id)``
+        share join never mixes pods — and slot ``s`` of every pod shares
+        the x-coordinate ``scheme.x_of(s)``.
+        """
+        self.last_cluster_diagnostics = ClusterDiagnostics()
+        diag = self.last_cluster_diagnostics
+        coordinator = self._coordinator
+        # verify_consistency needs fresh shares from > k servers every
+        # time — serving a k-share cached entry would silently disable
+        # the lying-server cross-check, so the cache steps aside.
+        cache = (
+            coordinator.cache
+            if self._use_cache and not self._verify
+            else None
+        )
+        fingerprint = (
+            coordinator.group_fingerprint(self.user_id)
+            if cache is not None
+            else None
+        )
+        out: list[tuple[int, list[PostingListResponse]]] = []
+        for pod, pod_pl_ids in coordinator.group_by_pod(pl_ids).items():
+            diag.pods_contacted += 1
+            need: list[int] = []
+            for pl_id in pod_pl_ids:
+                # num_servers is part of the key: a wider request must
+                # not be satisfied by a narrower fetch.
+                key = (self.user_id, fingerprint, num_servers, pl_id)
+                entry = cache.get(key) if cache is not None else None
+                if entry is not None:
+                    diag.cache_hits += 1
+                    for slot_index, response in entry:
+                        out.append((slot_index, [response]))
+                else:
+                    need.append(pl_id)
+            if not need:
+                continue
+            fetched, unresolved = self._fetch_from_pod(
+                pod, need, num_servers, diag
+            )
+            for pl_id in need:
+                pairs = fetched[pl_id]
+                for slot_index, response in pairs:
+                    out.append((slot_index, [response]))
+                # A list with an unresolved share shortfall is served but
+                # never cached: the missing shares may reappear when a
+                # server recovers, and a cached short entry would hide
+                # them until an unrelated write evicted it.
+                if cache is not None and pairs and pl_id not in unresolved:
+                    cache.put(
+                        (self.user_id, fingerprint, num_servers, pl_id),
+                        pl_id,
+                        pairs,
+                    )
+        return out
+
+    def _fetch_from_pod(
+        self,
+        pod: Pod,
+        need: Sequence[int],
+        num_servers: int,
+        diag: ClusterDiagnostics,
+    ) -> tuple[
+        dict[int, list[tuple[int, PostingListResponse]]], set[int]
+    ]:
+        """Fetch ``need`` from one pod with failover and escalation.
+
+        Returns ``(fetched, unresolved)`` — the responses per list, and
+        the lists that still contain an element with fewer than k shares
+        after exhausting every live server (uncacheable).
+        """
+        k = self._scheme.k
+        want = max(k, min(num_servers, len(pod.slots)))
+        fetched: dict[int, list[tuple[int, PostingListResponse]]] = {
+            pl_id: [] for pl_id in need
+        }
+        share_count: dict[tuple[int, int], int] = {}
+        successes = 0
+        shortfall: set[int] = set()
+        for slot in pod.slots:
+            if successes >= want:
+                if not shortfall:
+                    break
+                request: list[int] = sorted(shortfall)
+                escalating = True
+            else:
+                request = list(need)
+                escalating = False
+            try:
+                responses = self._lookup_slot(slot, request, diag)
+            except TransportError:
+                diag.failovers += 1
+                continue
+            if escalating:
+                diag.escalations += 1
+            else:
+                successes += 1
+            for response in responses:
+                fetched[response.pl_id].append((slot.slot_index, response))
+                for record in response.records:
+                    key = (response.pl_id, record.element_id)
+                    share_count[key] = share_count.get(key, 0) + 1
+            if successes >= want:
+                shortfall = {
+                    pl_id
+                    for (pl_id, _eid), count in share_count.items()
+                    if count < k
+                }
+        if successes < k:
+            raise ClusterDegradedError(
+                f"pod {pod.name!r}: only {successes} of the required "
+                f"k={k} servers answered"
+            )
+        unresolved = {
+            pl_id
+            for (pl_id, _eid), count in share_count.items()
+            if count < k
+        }
+        return fetched, unresolved
+
+    def _lookup_slot(
+        self,
+        slot: ServerSlot,
+        pl_ids: Sequence[int],
+        diag: ClusterDiagnostics,
+    ) -> list[PostingListResponse]:
+        """One server's lookup traffic: one batched message, or per-list."""
+        server = slot.server
+        if self._batch_lookups:
+            chunks = [list(pl_ids)]
+        else:
+            chunks = [[pl_id] for pl_id in pl_ids]
+        responses: list[PostingListResponse] = []
+        for chunk in chunks:
+            if self._network is not None:
+                request_bytes = self._token.wire_bytes() + 4 * len(chunk)
+                chunk_responses = self._network.call(
+                    src=self.user_id,
+                    dst=server.server_id,
+                    kind="lookup",
+                    message=(self._token, chunk),
+                    request_bytes=request_bytes,
+                    response_bytes_of=lambda rs: sum(
+                        r.wire_bytes(server.share_bytes) for r in rs
+                    ),
+                )
+                self.last_diagnostics.response_bytes += sum(
+                    r.wire_bytes(server.share_bytes)
+                    for r in chunk_responses
+                )
+            else:
+                if not slot.alive:
+                    raise TransportError(
+                        f"server {server.server_id!r} is down"
+                    )
+                chunk_responses = server.get_posting_lists(
+                    self._token, chunk
+                )
+            diag.lookup_messages += 1
+            responses.extend(chunk_responses)
+        return responses

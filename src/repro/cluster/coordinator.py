@@ -1,0 +1,327 @@
+"""Sharded cluster coordination: pods, placement, routing, failover.
+
+The paper's §5 deployment is one *pod*: n index servers that each hold
+one Shamir share of every posting element. That replicates every merged
+posting list n times and caps throughput at one fleet's capacity. The
+cluster layer shards the merged lists across many pods:
+
+- a :class:`~repro.extensions.dht.ConsistentHashRing` over pod names
+  places each ``pl_id`` on exactly one pod (``pl_id -> pod``), so a pod
+  stores — and a compromised pod reveals — only its fraction of the
+  index, the §8 "DHT-based infrastructure" direction;
+- within its pod, an element is still split k-of-n across that pod's
+  servers, so confidentiality and the §5.4.2 query protocol are
+  unchanged;
+- every pod shares one :class:`~repro.secretsharing.shamir.ShamirScheme`
+  (slot ``s`` of every pod uses ``x_of(s)``), which keeps owners and
+  searchers pod-agnostic: shares are index-aligned with *slots*, not
+  with global server numbers.
+
+The :class:`ClusterCoordinator` is the control plane: it owns the
+placement, routes writes to the owning pod's live servers (invalidating
+the share cache first), tracks which servers are dead, and restarts them
+— from their :class:`~repro.server.persistence.PostingLog` WAL when one
+is attached, which is the recovery path §5.4.1's element IDs exist for.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cluster.cache import LRUShareCache
+from repro.errors import ClusterDegradedError, ClusterError, TransportError
+from repro.extensions.dht import ConsistentHashRing
+from repro.secretsharing.shamir import ShamirScheme
+from repro.server.auth import AuthService
+from repro.server.groups import GroupDirectory
+from repro.server.index_server import IndexServer
+from repro.server.persistence import PostingLog, attach_log, recover_server
+
+
+@dataclass
+class ServerSlot:
+    """One server's seat in a pod: the live object plus its lifecycle state.
+
+    Attributes:
+        pod_index: which pod the seat belongs to.
+        slot_index: the seat number — also the Shamir share index, so
+            ``scheme.x_of(slot_index)`` is this server's x-coordinate.
+        server: the current :class:`IndexServer` occupying the seat (a
+            restart from WAL replaces the object; the seat persists).
+        alive: False between :meth:`ClusterCoordinator.kill_server` and
+            the matching restart.
+        wal_path: the seat's write-ahead log file, when durability is on.
+        log: the open :class:`PostingLog` attached to ``server``.
+    """
+
+    pod_index: int
+    slot_index: int
+    server: IndexServer
+    alive: bool = True
+    wal_path: pathlib.Path | None = None
+    log: PostingLog | None = field(default=None, repr=False)
+
+    @property
+    def server_id(self) -> str:
+        return self.server.server_id
+
+
+class Pod:
+    """One k-of-n server fleet owning a shard of the merged posting lists."""
+
+    def __init__(self, index: int, name: str, slots: Sequence[ServerSlot]) -> None:
+        if not slots:
+            raise ClusterError(f"pod {name!r} needs at least one server")
+        self.index = index
+        self.name = name
+        self.slots = list(slots)
+
+    @property
+    def servers(self) -> list[IndexServer]:
+        return [slot.server for slot in self.slots]
+
+    def live_slots(self) -> list[ServerSlot]:
+        return [slot for slot in self.slots if slot.alive]
+
+    def slot(self, slot_index: int) -> ServerSlot:
+        if not 0 <= slot_index < len(self.slots):
+            raise ClusterError(
+                f"pod {self.name!r} has no slot {slot_index} "
+                f"(0..{len(self.slots) - 1})"
+            )
+        return self.slots[slot_index]
+
+
+def slot_handler(slot: ServerSlot):
+    """Network adapter for one seat; a dead seat drops every request.
+
+    The closure reads ``slot.server`` at call time, so a WAL restart that
+    swaps the server object needs no network re-registration.
+    """
+
+    def handler(kind: str, message):
+        if not slot.alive:
+            raise TransportError(f"server {slot.server_id!r} is down")
+        token, payload = message
+        if kind == "insert":
+            return slot.server.insert_batch(token, payload)
+        if kind == "delete":
+            return slot.server.delete(token, payload)
+        if kind == "lookup":
+            return slot.server.get_posting_lists(token, payload)
+        raise TransportError(f"unknown message kind {kind!r}")
+
+    return handler
+
+
+class ClusterCoordinator:
+    """Control plane of a sharded Zerber cluster.
+
+    Owners use it as their write router (:meth:`targets`); searchers use
+    it for read placement (:meth:`group_by_pod`), the shared
+    :attr:`cache`, and liveness. Operators use :meth:`kill_server` /
+    :meth:`restart_server` for failure drills.
+    """
+
+    def __init__(
+        self,
+        scheme: ShamirScheme,
+        pods: Sequence[Pod],
+        auth: AuthService,
+        groups: GroupDirectory,
+        share_bytes: int,
+        cache_entries: int = 4096,
+        virtual_nodes: int = 64,
+    ) -> None:
+        """Args:
+        scheme: the k-of-n scheme every pod shares (n = pod size).
+        pods: the server fleets; every pod must have exactly ``scheme.n``
+            slots so shares stay slot-aligned.
+        auth: enterprise auth service (needed to rebuild servers on
+            WAL restart).
+        groups: the replicated group table (also feeds the cache's
+            membership fingerprints).
+        share_bytes: wire size of one share value.
+        cache_entries: LRU share-cache capacity; 0 disables caching.
+        virtual_nodes: ring smoothness for pod placement.
+        """
+        if not pods:
+            raise ClusterError("cluster needs at least one pod")
+        for pod in pods:
+            if len(pod.slots) != scheme.n:
+                raise ClusterError(
+                    f"pod {pod.name!r} has {len(pod.slots)} servers, "
+                    f"scheme expects n={scheme.n}"
+                )
+        names = [pod.name for pod in pods]
+        if len(set(names)) != len(names):
+            raise ClusterError("duplicate pod names")
+        self.scheme = scheme
+        self.pods = list(pods)
+        self._pod_by_name = {pod.name: pod for pod in self.pods}
+        self._ring = ConsistentHashRing(names, virtual_nodes=virtual_nodes)
+        self._placement_memo: dict[int, Pod] = {}
+        self._auth = auth
+        self._groups = groups
+        self._share_bytes = share_bytes
+        self.cache = LRUShareCache(cache_entries)
+        #: Routing decisions (one per distinct posting list per batch,
+        #: per dead seat) made while a seat was down. A lower bound on
+        #: missed per-operation writes — owners memoize targets() per
+        #: batch — so nonzero means some restarted WAL is missing data.
+        self.dropped_write_routes = 0
+
+    # -- placement -------------------------------------------------------------
+
+    def pod_of(self, pl_id: int) -> Pod:
+        """The pod owning one merged posting list (consistent hashing)."""
+        pod = self._placement_memo.get(pl_id)
+        if pod is None:
+            name = self._ring.owners(f"pl:{pl_id}", replicas=1)[0]
+            pod = self._pod_by_name[name]
+            self._placement_memo[pl_id] = pod
+        return pod
+
+    def group_by_pod(self, pl_ids: Sequence[int]) -> dict[Pod, list[int]]:
+        """Partition a query's posting lists by owning pod (routing plan)."""
+        plan: dict[Pod, list[int]] = {}
+        for pl_id in pl_ids:
+            plan.setdefault(self.pod_of(pl_id), []).append(pl_id)
+        return plan
+
+    def shard_distribution(self, num_lists: int) -> dict[str, int]:
+        """pod name -> owned list count over ``[0, num_lists)`` (balance)."""
+        counts = {pod.name: 0 for pod in self.pods}
+        for pl_id in range(num_lists):
+            counts[self.pod_of(pl_id).name] += 1
+        return counts
+
+    # -- write routing (the owner's router) --------------------------------------
+
+    def targets(self, pl_id: int) -> list[tuple[int, IndexServer]]:
+        """The ``(share_slot, server)`` pairs a write to ``pl_id`` must reach.
+
+        Invalidate-before-write: every cached entry for the list is
+        evicted first, so no reader can observe pre-write shares after
+        the write lands. Dead seats are skipped (and the skipped route
+        counted in :attr:`dropped_write_routes`); the write still
+        succeeds as long as ``k`` servers remain, and the element simply
+        has fewer than n live shares until an owner re-provisions.
+        """
+        self.cache.invalidate(pl_id)
+        pod = self.pod_of(pl_id)
+        live = pod.live_slots()
+        if len(live) < self.scheme.k:
+            raise ClusterDegradedError(
+                f"pod {pod.name!r} has {len(live)} live servers, "
+                f"needs k={self.scheme.k} to accept writes"
+            )
+        self.dropped_write_routes += len(pod.slots) - len(live)
+        return [(slot.slot_index, slot.server) for slot in live]
+
+    # -- read-side helpers ----------------------------------------------------------
+
+    def group_fingerprint(self, user_id: str) -> frozenset[int]:
+        """The user's current group set — part of every cache key, so a
+        membership change re-keys (and thereby bypasses) old entries."""
+        return frozenset(self._groups.groups_of(user_id))
+
+    # -- failure injection & recovery ----------------------------------------------
+
+    def kill_server(self, pod_index: int, slot_index: int) -> str:
+        """Take one server down; in-flight state is lost, the WAL survives.
+
+        Returns the downed server's id.
+        """
+        slot = self._slot(pod_index, slot_index)
+        if not slot.alive:
+            raise ClusterError(f"server {slot.server_id!r} is already down")
+        slot.alive = False
+        if slot.log is not None:
+            slot.log.close()
+        return slot.server_id
+
+    def restart_server(self, pod_index: int, slot_index: int) -> IndexServer:
+        """Bring a dead seat back.
+
+        With a WAL attached, the crash is taken seriously: the old
+        server object (its memory) is discarded, a fresh
+        :class:`IndexServer` replays the log, and the WAL is re-attached
+        so post-restart writes keep logging. Without a WAL the seat's
+        in-memory store is reused (a network partition, not a crash).
+        """
+        slot = self._slot(pod_index, slot_index)
+        if slot.alive:
+            raise ClusterError(f"server {slot.server_id!r} is not down")
+        if slot.wal_path is not None:
+            old = slot.server
+            fresh = IndexServer(
+                server_id=old.server_id,
+                x_coordinate=old.x_coordinate,
+                auth=self._auth,
+                groups=self._groups,
+                share_bytes=self._share_bytes,
+            )
+            log = PostingLog(slot.wal_path)
+            recover_server(fresh, log)
+            attach_log(fresh, log)
+            slot.server = fresh
+            slot.log = log
+        slot.alive = True
+        return slot.server
+
+    def attach_wal(self, pod_index: int, slot_index: int, path) -> PostingLog:
+        """Give one seat a write-ahead log (idempotent per seat)."""
+        slot = self._slot(pod_index, slot_index)
+        if slot.log is not None:
+            raise ClusterError(f"server {slot.server_id!r} already has a WAL")
+        log = PostingLog(path)
+        attach_log(slot.server, log)
+        slot.wal_path = pathlib.Path(path)
+        slot.log = log
+        return log
+
+    def _slot(self, pod_index: int, slot_index: int) -> ServerSlot:
+        if not 0 <= pod_index < len(self.pods):
+            raise ClusterError(
+                f"no pod {pod_index} (0..{len(self.pods) - 1})"
+            )
+        return self.pods[pod_index].slot(slot_index)
+
+    # -- introspection ---------------------------------------------------------------
+
+    def live_servers(self) -> list[str]:
+        return [
+            slot.server_id
+            for pod in self.pods
+            for slot in pod.slots
+            if slot.alive
+        ]
+
+    def dead_servers(self) -> list[str]:
+        return [
+            slot.server_id
+            for pod in self.pods
+            for slot in pod.slots
+            if not slot.alive
+        ]
+
+    def total_elements(self) -> int:
+        """Stored posting elements summed over every live server."""
+        return sum(
+            slot.server.num_elements
+            for pod in self.pods
+            for slot in pod.slots
+            if slot.alive
+        )
+
+    def storage_bytes(self) -> int:
+        """Wire-encoded storage across the cluster (n x per-pod shard)."""
+        return sum(
+            slot.server.storage_bytes()
+            for pod in self.pods
+            for slot in pod.slots
+            if slot.alive
+        )

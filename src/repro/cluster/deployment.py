@@ -1,0 +1,297 @@
+"""The sharded cluster facade — a multi-pod :class:`ZerberDeployment` (§8).
+
+Where :class:`~repro.core.zerber_index.ZerberDeployment` stands up one
+pod of n servers replicating the whole index, :class:`ClusterDeployment`
+stands up ``num_pods`` of them and shards the merged posting lists
+across pods by consistent hashing. The enterprise plane (auth service,
+group table, dictionary, mapping table, snippet registry) stays shared
+— there is still one logical Zerber installation, it just no longer fits
+on one fleet.
+
+Typical use (see ``examples/cluster_tour.py``)::
+
+    cluster = ClusterDeployment.bootstrap(
+        stats.term_probabilities(), num_pods=3, k=3, n=6, num_lists=256)
+    cluster.create_group(1, coordinator="alice")
+    cluster.share_document("alice", doc)
+    cluster.flush_all()
+    cluster.kill_server(pod_index=0, slot_index=2)   # survives n-k per pod
+    results = cluster.search("alice", ["budget"], top_k=10)
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+from typing import Mapping, Sequence
+
+from repro.client.batching import BatchPolicy
+from repro.client.owner import DocumentOwner
+from repro.client.searcher import SearchResult
+from repro.client.snippets import SnippetService
+from repro.cluster.clients import ClusterSearchClient
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    Pod,
+    ServerSlot,
+    slot_handler,
+)
+from repro.core.dictionary import TermDictionary
+from repro.core.mapping_table import MappingTable
+from repro.core.merging.base import MergingHeuristic
+from repro.core.posting import PackingSpec, PostingElementCodec
+from repro.core.zerber_index import build_mapping_table
+from repro.errors import ClusterError, TransportError
+from repro.secretsharing.field import DEFAULT_PRIME, PrimeField
+from repro.secretsharing.shamir import ShamirScheme
+from repro.server.auth import AuthService, AuthToken
+from repro.server.groups import GroupDirectory
+from repro.server.index_server import IndexServer
+from repro.server.transport import LinkSpec, SimulatedNetwork, WLAN_55_MBPS
+
+
+class ClusterDeployment:
+    """A complete sharded Zerber installation: pods, placement, clients."""
+
+    def __init__(
+        self,
+        mapping_table: MappingTable,
+        num_pods: int = 3,
+        k: int = 2,
+        n: int = 3,
+        field: PrimeField | None = None,
+        packing: PackingSpec | None = None,
+        use_network: bool = True,
+        batch_policy: BatchPolicy | None = None,
+        cache_entries: int = 4096,
+        virtual_nodes: int = 64,
+        wal_dir: str | pathlib.Path | None = None,
+        seed: int = 0x2E4B,
+    ) -> None:
+        """Args:
+        mapping_table: the public term -> posting-list table.
+        num_pods: server fleets to shard the merged lists across.
+        k: Shamir reconstruction threshold within each pod.
+        n: servers per pod (each pod tolerates n - k failures).
+        field: the Z_p field; defaults to the 64-bit+ prime.
+        packing: posting-element bit layout.
+        use_network: route all traffic through a
+            :class:`SimulatedNetwork` for byte/message accounting.
+        batch_policy: default owner batching policy.
+        cache_entries: coordinator share-cache capacity (0 disables).
+        virtual_nodes: consistent-hash smoothness for pod placement.
+        wal_dir: when given, every server gets a
+            :class:`~repro.server.persistence.PostingLog` WAL under this
+            directory and :meth:`restart_server` recovers from it.
+        seed: master seed for all deployment randomness.
+        """
+        if num_pods < 1:
+            raise ClusterError(f"need at least one pod, got {num_pods}")
+        self._rng = random.Random(seed)
+        self.field = field or PrimeField(DEFAULT_PRIME)
+        self.scheme = ShamirScheme(k=k, n=n, field=self.field, rng=self._rng)
+        self.mapping_table = mapping_table
+        self.dictionary = TermDictionary()
+        self.packing = packing or PackingSpec()
+        self.codec = PostingElementCodec(self.packing)
+        self.auth = AuthService()
+        self.groups = GroupDirectory()
+        self._batch_policy = batch_policy or BatchPolicy()
+        share_bytes = (self.field.p.bit_length() + 7) // 8
+        pods: list[Pod] = []
+        for pod_index in range(num_pods):
+            slots = [
+                ServerSlot(
+                    pod_index=pod_index,
+                    slot_index=slot_index,
+                    server=IndexServer(
+                        server_id=f"pod{pod_index}-server-{slot_index}",
+                        x_coordinate=self.scheme.x_of(slot_index),
+                        auth=self.auth,
+                        groups=self.groups,
+                        share_bytes=share_bytes,
+                    ),
+                )
+                for slot_index in range(n)
+            ]
+            pods.append(Pod(index=pod_index, name=f"pod{pod_index}", slots=slots))
+        self.coordinator = ClusterCoordinator(
+            scheme=self.scheme,
+            pods=pods,
+            auth=self.auth,
+            groups=self.groups,
+            share_bytes=share_bytes,
+            cache_entries=cache_entries,
+            virtual_nodes=virtual_nodes,
+        )
+        if wal_dir is not None:
+            base = pathlib.Path(wal_dir)
+            for pod in pods:
+                for slot in pod.slots:
+                    self.coordinator.attach_wal(
+                        pod.index,
+                        slot.slot_index,
+                        base / f"{slot.server_id}.wal",
+                    )
+        self.network: SimulatedNetwork | None = None
+        if use_network:
+            self.network = SimulatedNetwork(
+                default_link=LinkSpec(bandwidth_bps=WLAN_55_MBPS)
+            )
+            for pod in pods:
+                for slot in pod.slots:
+                    self.network.register(slot.server_id, slot_handler(slot))
+        self.snippets = SnippetService(self.groups)
+        self._tokens: dict[str, AuthToken] = {}
+        self._owners: dict[str, DocumentOwner] = {}
+
+    # -- construction from corpus statistics --------------------------------------
+
+    @classmethod
+    def bootstrap(
+        cls,
+        term_probabilities: Mapping[str, float],
+        heuristic: MergingHeuristic | str = "dfm",
+        num_lists: int | None = None,
+        target_r: float | None = None,
+        rare_cutoff: float = 0.0,
+        **kwargs,
+    ) -> "ClusterDeployment":
+        """Build a cluster by running a §6 merging heuristic first.
+
+        Same contract as :meth:`ZerberDeployment.bootstrap`; extra
+        ``**kwargs`` (num_pods, k, n, wal_dir, ...) reach the constructor.
+        """
+        table, merge = build_mapping_table(
+            term_probabilities,
+            heuristic=heuristic,
+            num_lists=num_lists,
+            target_r=target_r,
+            rare_cutoff=rare_cutoff,
+        )
+        deployment = cls(mapping_table=table, **kwargs)
+        deployment.merge_result = merge
+        return deployment
+
+    # -- principals ---------------------------------------------------------------
+
+    def enroll_user(self, user_id: str) -> AuthToken:
+        """Provision a user with the enterprise and cache their ticket."""
+        if user_id in self._tokens:
+            return self._tokens[user_id]
+        credential = self.auth.register_user(user_id)
+        token = self.auth.issue_token(user_id, credential)
+        self._tokens[user_id] = token
+        return token
+
+    def create_group(self, group_id: int, coordinator: str) -> None:
+        """Create a collaboration group; enrolls the coordinator if needed."""
+        self.enroll_user(coordinator)
+        self.groups.create_group(group_id, coordinator)
+
+    def add_member(
+        self, group_id: int, user_id: str, actor: str | None = None
+    ) -> None:
+        self.enroll_user(user_id)
+        self.groups.add_member(group_id, user_id, actor=actor)
+
+    def remove_member(
+        self, group_id: int, user_id: str, actor: str | None = None
+    ) -> None:
+        self.groups.remove_member(group_id, user_id, actor=actor)
+
+    # -- clients ---------------------------------------------------------------------
+
+    def owner(
+        self, owner_id: str, batch_policy: BatchPolicy | None = None
+    ) -> DocumentOwner:
+        """The (cached) owner client, routing writes through the cluster."""
+        if owner_id not in self._owners:
+            token = self.enroll_user(owner_id)
+            self._owners[owner_id] = DocumentOwner(
+                owner_id=owner_id,
+                token=token,
+                scheme=self.scheme,
+                mapping_table=self.mapping_table,
+                dictionary=self.dictionary,
+                servers=None,
+                codec=self.codec,
+                network=self.network,
+                batch_policy=batch_policy or self._batch_policy,
+                rng=random.Random(self._rng.getrandbits(64)),
+                router=self.coordinator,
+            )
+        return self._owners[owner_id]
+
+    def searcher(self, user_id: str, **kwargs) -> ClusterSearchClient:
+        """A fresh cluster search client for a principal."""
+        token = self.enroll_user(user_id)
+        return ClusterSearchClient(
+            user_id=user_id,
+            token=token,
+            coordinator=self.coordinator,
+            mapping_table=self.mapping_table,
+            dictionary=self.dictionary,
+            codec=self.codec,
+            network=self.network,
+            snippet_service=self.snippets,
+            **kwargs,
+        )
+
+    # -- convenience -------------------------------------------------------------------
+
+    def share_document(self, owner_id: str, document) -> int:
+        """Share one document and host it for snippet requests."""
+        owner = self.owner(owner_id)
+        count = owner.share_document(document)
+        self.snippets.host_document(document)
+        if self.network is not None and not self.network.has_endpoint(
+            document.host
+        ):
+            self.network.register(document.host, self._snippet_handler())
+        return count
+
+    def _snippet_handler(self):
+        """Network adapter serving snippet requests for hosted documents."""
+
+        def handler(kind: str, message):
+            if kind != "snippet":
+                raise TransportError(f"unknown message kind {kind!r}")
+            user_id, doc_id, terms = message
+            return self.snippets.request_snippet(user_id, doc_id, terms)
+
+        return handler
+
+    def search(
+        self, user_id: str, terms: Sequence[str], top_k: int = 10, **kwargs
+    ) -> list[SearchResult]:
+        """One-shot search for a principal."""
+        return self.searcher(user_id, **kwargs).search(terms, top_k=top_k)
+
+    def flush_all(self) -> int:
+        """Flush every owner's pending batches (test/bench convenience)."""
+        return sum(owner.flush_updates() for owner in self._owners.values())
+
+    # -- operations --------------------------------------------------------------------
+
+    def kill_server(self, pod_index: int, slot_index: int) -> str:
+        """Take one server down (failure drill); returns its id."""
+        return self.coordinator.kill_server(pod_index, slot_index)
+
+    def restart_server(self, pod_index: int, slot_index: int) -> IndexServer:
+        """Bring a dead server back (recovering from its WAL if it has one)."""
+        return self.coordinator.restart_server(pod_index, slot_index)
+
+    # -- fleet statistics ---------------------------------------------------------------
+
+    @property
+    def pods(self) -> list[Pod]:
+        return self.coordinator.pods
+
+    def total_elements(self) -> int:
+        """Posting elements stored across all live servers."""
+        return self.coordinator.total_elements()
+
+    def storage_bytes(self) -> int:
+        """Total wire-encoded storage across the cluster."""
+        return self.coordinator.storage_bytes()

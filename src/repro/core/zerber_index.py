@@ -56,6 +56,64 @@ from repro.server.transport import LinkSpec, SimulatedNetwork, WLAN_55_MBPS
 ZerberSearchResult = SearchResult
 
 
+def build_mapping_table(
+    term_probabilities: Mapping[str, float],
+    heuristic: MergingHeuristic | str = "dfm",
+    num_lists: int | None = None,
+    target_r: float | None = None,
+    rare_cutoff: float = 0.0,
+    hash_salt: str = "zerber",
+):
+    """Run a §6 merging heuristic and build the public mapping table.
+
+    Shared by :meth:`ZerberDeployment.bootstrap` and the cluster
+    deployment's bootstrap — the merge is deployment-shape-agnostic.
+
+    Args:
+        term_probabilities: formula-(2) probabilities from training data.
+        heuristic: a configured heuristic instance, or "dfm" / "bfm" /
+            "udm" to be configured from ``num_lists`` / ``target_r``.
+        num_lists: M for DFM/UDM (and BFM calibration).
+        target_r: r for DFM/BFM; derived by BFM-calibration when omitted
+            for DFM (the §7.5 procedure).
+        rare_cutoff: §6.4 cutoff below which terms are hash-routed.
+        hash_salt: public salt of the rare-term hash function.
+
+    Returns:
+        ``(mapping_table, merge_result)``.
+    """
+    if isinstance(heuristic, str):
+        name = heuristic.lower()
+        if name == "bfm":
+            if target_r is None:
+                if num_lists is None:
+                    raise ReproError(
+                        "BFM needs target_r or num_lists to calibrate"
+                    )
+                target_r = bfm_r_for_list_count(term_probabilities, num_lists)
+            heuristic = BreadthFirstMerging(target_r)
+        elif name == "dfm":
+            if num_lists is None:
+                raise ReproError("DFM needs num_lists")
+            if target_r is None:
+                target_r = bfm_r_for_list_count(term_probabilities, num_lists)
+            heuristic = DepthFirstMerging(num_lists, target_r)
+        elif name == "udm":
+            if num_lists is None:
+                raise ReproError("UDM needs num_lists")
+            heuristic = UniformDistributionMerging(num_lists)
+        else:
+            raise ReproError(f"unknown heuristic {heuristic!r}")
+    merge = heuristic.merge(term_probabilities)
+    table = MappingTable.from_merge(
+        merge,
+        term_probabilities=term_probabilities,
+        rare_cutoff=rare_cutoff,
+        hash_salt=hash_salt,
+    )
+    return table, merge
+
+
 def _server_handler(server: IndexServer):
     """Network adapter translating (kind, message) onto the narrow interface."""
 
@@ -160,36 +218,11 @@ class ZerberDeployment:
                 of the public table and are hash-routed.
             **kwargs: forwarded to the constructor (k, n, seed, ...).
         """
-        if isinstance(heuristic, str):
-            name = heuristic.lower()
-            if name == "bfm":
-                if target_r is None:
-                    if num_lists is None:
-                        raise ReproError(
-                            "BFM needs target_r or num_lists to calibrate"
-                        )
-                    target_r = bfm_r_for_list_count(
-                        term_probabilities, num_lists
-                    )
-                heuristic = BreadthFirstMerging(target_r)
-            elif name == "dfm":
-                if num_lists is None:
-                    raise ReproError("DFM needs num_lists")
-                if target_r is None:
-                    target_r = bfm_r_for_list_count(
-                        term_probabilities, num_lists
-                    )
-                heuristic = DepthFirstMerging(num_lists, target_r)
-            elif name == "udm":
-                if num_lists is None:
-                    raise ReproError("UDM needs num_lists")
-                heuristic = UniformDistributionMerging(num_lists)
-            else:
-                raise ReproError(f"unknown heuristic {heuristic!r}")
-        merge = heuristic.merge(term_probabilities)
-        table = MappingTable.from_merge(
-            merge,
-            term_probabilities=term_probabilities,
+        table, merge = build_mapping_table(
+            term_probabilities,
+            heuristic=heuristic,
+            num_lists=num_lists,
+            target_r=target_r,
             rare_cutoff=rare_cutoff,
         )
         deployment = cls(mapping_table=table, **kwargs)

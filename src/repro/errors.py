@@ -63,3 +63,12 @@ class CorpusError(ReproError):
 
 class RankingError(ReproError):
     """Ranking was asked to score with malformed statistics."""
+
+
+class ClusterError(ReproError):
+    """A sharded cluster was configured or operated inconsistently."""
+
+
+class ClusterDegradedError(ClusterError):
+    """A pod has fewer than ``k`` live servers, so it can neither accept
+    writes nor serve reconstructable lookups until servers restart."""

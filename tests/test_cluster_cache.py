@@ -1,0 +1,225 @@
+"""The cluster share cache: LRU mechanics and the two safety rules.
+
+Unit tests pin the LRU behaviour (capacity, eviction order, per-list
+invalidation index); the integration tests pin the rules that make
+caching exactly as safe as talking to the servers — invalidate-on-write
+and group-fingerprint re-keying on membership change.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.client.batching import BatchPolicy
+from repro.cluster import ClusterDeployment, LRUShareCache
+from repro.core.mapping_table import MappingTable
+from repro.corpus.document import Document
+from repro.errors import ClusterError
+
+
+class TestLRUShareCache:
+    def test_put_get_roundtrip(self):
+        cache = LRUShareCache(capacity=4)
+        cache.put(("u", None, 3), 3, "value")
+        assert cache.get(("u", None, 3)) == "value"
+        assert cache.stats.hits == 1
+        assert cache.get(("u", None, 9)) is None
+        assert cache.stats.misses == 1
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = LRUShareCache(capacity=2)
+        cache.put("a", 1, "A")
+        cache.put("b", 2, "B")
+        assert cache.get("a") == "A"  # refresh a; b is now LRU
+        cache.put("c", 3, "C")
+        assert cache.get("b") is None
+        assert cache.get("a") == "A"
+        assert cache.get("c") == "C"
+        assert cache.stats.evictions == 1
+
+    def test_invalidate_evicts_every_key_of_the_list(self):
+        cache = LRUShareCache(capacity=8)
+        cache.put(("alice", None, 5), 5, "A5")
+        cache.put(("bob", None, 5), 5, "B5")
+        cache.put(("alice", None, 6), 6, "A6")
+        assert cache.invalidate(5) == 2
+        assert cache.get(("alice", None, 5)) is None
+        assert cache.get(("bob", None, 5)) is None
+        assert cache.get(("alice", None, 6)) == "A6"
+        assert cache.invalidate(5) == 0  # idempotent
+        assert cache.stats.invalidations == 2
+
+    def test_reput_same_key_updates_value_and_index(self):
+        cache = LRUShareCache(capacity=4)
+        cache.put("k", 1, "old")
+        cache.put("k", 2, "new")
+        assert len(cache) == 1
+        assert cache.get("k") == "new"
+        assert cache.invalidate(1) == 0  # old index entry is gone
+        assert cache.invalidate(2) == 1
+
+    def test_zero_capacity_disables_caching(self):
+        cache = LRUShareCache(capacity=0)
+        cache.put("k", 1, "v")
+        assert len(cache) == 0
+        assert cache.get("k") is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ClusterError):
+            LRUShareCache(capacity=-1)
+
+    def test_clear(self):
+        cache = LRUShareCache(capacity=4)
+        cache.put("k", 1, "v")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.invalidate(1) == 0
+
+
+def doc(doc_id, group_id, counts):
+    return Document(
+        doc_id=doc_id,
+        host="host0",
+        group_id=group_id,
+        term_counts=dict(counts),
+        length=sum(counts.values()),
+        text=" ".join(sorted(counts)),
+    )
+
+
+@pytest.fixture()
+def cluster():
+    cluster = ClusterDeployment(
+        MappingTable({}, num_lists=6),
+        num_pods=2,
+        k=2,
+        n=3,
+        use_network=False,
+        batch_policy=BatchPolicy(min_documents=1),
+        seed=11,
+    )
+    cluster.create_group(0, coordinator="alice")
+    cluster.share_document("alice", doc(1, 0, {"budget": 2, "merger": 1}))
+    cluster.flush_all()
+    return cluster
+
+
+class TestWriteInvalidation:
+    def test_insert_invalidates_and_refetch_sees_new_document(self, cluster):
+        searcher = cluster.searcher("alice")
+        first = searcher.search(["budget"], top_k=5, fetch_snippets=False)
+        assert {h.doc_id for h in first} == {1}
+        # Warm: a repeat is served from cache.
+        searcher.search(["budget"], top_k=5, fetch_snippets=False)
+        assert searcher.last_cluster_diagnostics.cache_hits > 0
+        cluster.share_document("alice", doc(2, 0, {"budget": 3}))
+        cluster.flush_all()
+        after = searcher.search(["budget"], top_k=5, fetch_snippets=False)
+        assert {h.doc_id for h in after} == {1, 2}
+        assert searcher.last_cluster_diagnostics.lookup_messages > 0
+
+    def test_delete_invalidates_and_refetch_drops_document(self, cluster):
+        searcher = cluster.searcher("alice")
+        searcher.search(["budget"], top_k=5, fetch_snippets=False)
+        cluster.owner("alice").delete_document(1)
+        assert searcher.search(["budget"], top_k=5,
+                               fetch_snippets=False) == []
+
+    def test_unrelated_lists_stay_cached(self, cluster):
+        """A write only evicts its own posting list's entries."""
+        searcher = cluster.searcher("alice")
+        searcher.search(["budget", "merger"], top_k=5, fetch_snippets=False)
+        budget_pl = cluster.mapping_table.lookup("budget")
+        before = len(cluster.coordinator.cache)
+        assert before >= 1
+        assert cluster.coordinator.cache.invalidate(budget_pl) == 1
+        assert len(cluster.coordinator.cache) == before - 1
+
+
+class TestCacheCompleteness:
+    def test_shortfall_fetches_are_not_cached(self, cluster):
+        """A fetch that dropped an under-k element must not be cached.
+
+        Regression: slot 1 misses a write while down, slot 2 (which has
+        the share) dies, and the stale slot 1 restarts. The element now
+        has only one live share, so the read drops it — but once slot 2
+        recovers, the *same cached searcher* must see the element again
+        instead of serving the short entry forever.
+        """
+        cluster.kill_server(0, 1)
+        cluster.share_document("alice", doc(3, 0, {"budget": 5}))
+        cluster.flush_all()
+        pod_index = cluster.coordinator.pod_of(
+            cluster.mapping_table.lookup("budget")
+        ).index
+        if pod_index != 0:
+            cluster.restart_server(0, 1)
+            cluster.kill_server(pod_index, 1)
+            cluster.share_document("alice", doc(4, 0, {"budget": 5}))
+            cluster.flush_all()
+        new_doc = 3 if pod_index == 0 else 4
+        cluster.kill_server(pod_index, 2)
+        cluster.restart_server(pod_index, 1)  # stale: missed the write
+        searcher = cluster.searcher("alice")
+        degraded = searcher.search(["budget"], top_k=5,
+                                   fetch_snippets=False)
+        assert new_doc not in {h.doc_id for h in degraded}
+        cluster.restart_server(pod_index, 2)  # the missing share returns
+        recovered = searcher.search(["budget"], top_k=5,
+                                    fetch_snippets=False)
+        assert new_doc in {h.doc_id for h in recovered}
+
+    def test_verify_consistency_bypasses_cache(self, cluster):
+        """k-share cached entries must not starve the > k cross-check."""
+        warm = cluster.searcher("alice")
+        warm.search(["budget"], top_k=5, fetch_snippets=False)
+        verifier = cluster.searcher("alice", verify_consistency=True)
+        hits = verifier.search(
+            ["budget"], top_k=5, num_servers=3, fetch_snippets=False
+        )
+        assert {h.doc_id for h in hits} == {1}
+        assert verifier.last_cluster_diagnostics.cache_hits == 0
+        assert verifier.last_cluster_diagnostics.lookup_messages > 0
+
+    def test_wider_requests_miss_narrower_entries(self, cluster):
+        """num_servers is part of the cache key."""
+        narrow = cluster.searcher("alice")
+        narrow.search(["budget"], top_k=5, fetch_snippets=False)
+        wide = cluster.searcher("alice")
+        wide.search(
+            ["budget"], top_k=5, num_servers=3, fetch_snippets=False
+        )
+        assert wide.last_cluster_diagnostics.cache_hits == 0
+        assert wide.last_cluster_diagnostics.lookup_messages > 0
+
+
+class TestMembershipRekeying:
+    def test_revoked_member_stops_seeing_cached_results(self, cluster):
+        cluster.add_member(0, "carol", actor="alice")
+        searcher = cluster.searcher("carol")
+        hits = searcher.search(["budget"], top_k=5, fetch_snippets=False)
+        assert {h.doc_id for h in hits} == {1}
+        cluster.remove_member(0, "carol", actor="alice")
+        # The old cache entry is keyed to carol's old group set — the new
+        # fingerprint misses it and the servers enforce the revocation.
+        assert (
+            cluster.searcher("carol").search(
+                ["budget"], top_k=5, fetch_snippets=False
+            )
+            == []
+        )
+
+    def test_new_member_gets_fresh_results_not_another_users_cache(
+        self, cluster
+    ):
+        alice_searcher = cluster.searcher("alice")
+        alice_searcher.search(["budget"], top_k=5, fetch_snippets=False)
+        cluster.enroll_user("mallory")  # never in group 0
+        assert (
+            cluster.searcher("mallory").search(
+                ["budget"], top_k=5, fetch_snippets=False
+            )
+            == []
+        )

@@ -1,0 +1,228 @@
+"""Property suite: the sharded cluster is indistinguishable from one fleet.
+
+The cluster layer (pods, consistent-hash sharding, batched lookups, the
+share cache, failover) is pure mechanism — it must never change an
+answer. Over dozens of seeded random corpora, group structures and
+queries, :class:`ClusterSearchClient` must return **byte-identical**
+ranked results to the single-fleet :class:`SearchClient` of the same
+k/n, including while up to n - k servers per pod are dead, including
+when servers die *mid-run* (so late writes miss them entirely).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.client.batching import BatchPolicy
+from repro.cluster import ClusterDeployment
+from repro.core.mapping_table import MappingTable
+from repro.core.zerber_index import ZerberDeployment
+from repro.corpus.document import Document
+
+K, N = 3, 6  # the acceptance configuration: each pod tolerates 3 failures
+
+
+def make_world(seed: int):
+    """One random world: documents, groups, an extra member, queries."""
+    rng = random.Random(seed)
+    num_groups = rng.randint(1, 3)
+    vocab = [f"w{i}" for i in range(rng.randint(6, 24))]
+    documents = []
+    for doc_id in range(rng.randint(4, 16)):
+        terms = rng.sample(vocab, rng.randint(1, min(6, len(vocab))))
+        counts = {t: rng.randint(1, 4) for t in terms}
+        documents.append(
+            Document(
+                doc_id=doc_id,
+                host=f"host{doc_id % 3}",
+                group_id=rng.randrange(num_groups),
+                term_counts=counts,
+                length=sum(counts.values()) + rng.randint(0, 2),
+                text=" ".join(
+                    t for t, c in sorted(counts.items()) for _ in range(c)
+                ),
+            )
+        )
+    user_groups = [g for g in range(num_groups) if rng.random() < 0.6]
+    queries = [
+        rng.sample(vocab, rng.randint(1, min(4, len(vocab))))
+        for _ in range(3)
+    ]
+    queries.append(["never-indexed-term"])
+    num_lists = rng.randint(1, 10)
+    num_pods = rng.randint(1, 4)
+    return documents, num_groups, user_groups, queries, num_lists, num_pods
+
+
+def build_twins(world, seed: int, index_through: int | None = None):
+    """A single-fleet deployment and a cluster over the same documents.
+
+    Args:
+        world: output of :func:`make_world`.
+        seed: deployment seed (shared; element IDs still differ by rng
+            stream, which the equivalence property must not care about).
+        index_through: index only the first this-many documents into the
+            *cluster* (the rest are indexed later by the mid-run tests);
+            the single fleet always indexes everything.
+    """
+    documents, num_groups, user_groups, _, num_lists, num_pods = world
+    single = ZerberDeployment(
+        MappingTable({}, num_lists=num_lists),
+        k=K,
+        n=N,
+        use_network=False,
+        batch_policy=BatchPolicy(min_documents=2),
+        seed=seed,
+    )
+    cluster = ClusterDeployment(
+        MappingTable({}, num_lists=num_lists),
+        num_pods=num_pods,
+        k=K,
+        n=N,
+        use_network=False,
+        batch_policy=BatchPolicy(min_documents=2),
+        seed=seed,
+    )
+    for deployment in (single, cluster):
+        for g in range(num_groups):
+            deployment.create_group(g, coordinator=f"owner{g}")
+    for document in documents:
+        single.share_document(f"owner{document.group_id}", document)
+    cutoff = len(documents) if index_through is None else index_through
+    for document in documents[:cutoff]:
+        cluster.share_document(f"owner{document.group_id}", document)
+    single.flush_all()
+    cluster.flush_all()
+    for g in user_groups:
+        single.add_member(g, "the-user", actor=f"owner{g}")
+        cluster.add_member(g, "the-user", actor=f"owner{g}")
+    return single, cluster
+
+
+def kill_one_per_pod(cluster: ClusterDeployment, rng: random.Random) -> list[str]:
+    """The acceptance drill: any one server down in every pod."""
+    return [
+        cluster.kill_server(pod.index, rng.randrange(N))
+        for pod in cluster.pods
+    ]
+
+
+SEEDS = range(100, 124)  # 24 corpora >= the required 20
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cluster_equals_single_fleet_healthy_and_degraded(seed):
+    world = make_world(seed)
+    single, cluster = build_twins(world, seed)
+    queries = world[3]
+    for terms in queries:
+        expected = single.search("the-user", terms, top_k=5)
+        assert cluster.search("the-user", terms, top_k=5) == expected
+    # Any one server per pod goes down: answers must not change, whether
+    # served from the pre-kill cache or refetched with failover.
+    kill_one_per_pod(cluster, random.Random(seed * 31))
+    for terms in queries:
+        expected = single.search("the-user", terms, top_k=5)
+        assert cluster.search("the-user", terms, top_k=5) == expected
+        fresh = cluster.searcher("the-user", use_cache=False)
+        assert (
+            fresh.search(terms, top_k=5, fetch_snippets=False)
+            == single.searcher("the-user").search(
+                terms, top_k=5, fetch_snippets=False
+            )
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS[::3])
+def test_cluster_equals_single_fleet_with_max_failures_in_one_pod(seed):
+    """A whole pod may lose n - k servers and still answer identically."""
+    world = make_world(seed)
+    single, cluster = build_twins(world, seed)
+    for slot_index in range(N - K):
+        cluster.kill_server(0, slot_index)
+    for terms in world[3]:
+        searcher = cluster.searcher("the-user", use_cache=False)
+        assert (
+            searcher.search(terms, top_k=5, fetch_snippets=False)
+            == single.searcher("the-user").search(
+                terms, top_k=5, fetch_snippets=False
+            )
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS[::3])
+def test_cluster_equals_single_fleet_killed_mid_run(seed):
+    """Servers die mid-workload; later inserts miss them; answers hold.
+
+    Documents shared after the kill only reach the n - 1 live servers of
+    their pod — still >= k shares, so every element reconstructs and the
+    degraded cluster must keep matching the healthy single fleet.
+    """
+    world = make_world(seed)
+    documents = world[0]
+    half = len(documents) // 2
+    single, cluster = build_twins(world, seed, index_through=half)
+    kill_one_per_pod(cluster, random.Random(seed * 17))
+    for document in documents[half:]:
+        cluster.share_document(f"owner{document.group_id}", document)
+    cluster.flush_all()
+    for terms in world[3]:
+        searcher = cluster.searcher("the-user", use_cache=False)
+        assert (
+            searcher.search(terms, top_k=5, fetch_snippets=False)
+            == single.searcher("the-user").search(
+                terms, top_k=5, fetch_snippets=False
+            )
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS[::4])
+def test_cached_and_naive_paths_agree(seed):
+    """Cache hits and per-term naive fan-out return the same bytes too."""
+    world = make_world(seed)
+    single, cluster = build_twins(world, seed)
+    for terms in world[3]:
+        expected = single.searcher("the-user").search(
+            terms, top_k=5, fetch_snippets=False
+        )
+        cached = cluster.searcher("the-user")
+        first = cached.search(terms, top_k=5, fetch_snippets=False)
+        second = cached.search(terms, top_k=5, fetch_snippets=False)
+        naive = cluster.searcher(
+            "the-user", use_cache=False, batch_lookups=False
+        ).search(terms, top_k=5, fetch_snippets=False)
+        assert first == expected
+        assert second == expected
+        assert naive == expected
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**20),
+    kill_seed=st.integers(min_value=0, max_value=2**10),
+)
+def test_property_cluster_equivalence(seed, kill_seed):
+    """Hypothesis sweep over worlds x kill patterns (beyond the 24 seeds)."""
+    world = make_world(seed)
+    single, cluster = build_twins(world, seed)
+    rng = random.Random(kill_seed)
+    # A random legal kill pattern: up to n - k servers per pod.
+    for pod in cluster.pods:
+        for slot_index in rng.sample(range(N), rng.randint(0, N - K)):
+            cluster.kill_server(pod.index, slot_index)
+    for terms in world[3]:
+        searcher = cluster.searcher("the-user", use_cache=False)
+        assert (
+            searcher.search(terms, top_k=5, fetch_snippets=False)
+            == single.searcher("the-user").search(
+                terms, top_k=5, fetch_snippets=False
+            )
+        )

@@ -1,0 +1,253 @@
+"""Failure drills for the sharded cluster: kills, failover, escalation.
+
+Covers the operational properties the equivalence suite assumes: a pod
+answers with any k live servers, degrades loudly below k, counts the
+writes its dead seats miss, recovers via restart, and actually sends
+fewer lookup messages when batching than the naive per-term fan-out.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.client.batching import BatchPolicy
+from repro.cluster import ClusterDeployment
+from repro.core.mapping_table import MappingTable
+from repro.core.zerber_index import ZerberDeployment
+from repro.corpus.document import Document
+from repro.errors import ClusterDegradedError, ClusterError
+
+
+def make_documents(num_docs=12, vocab_size=20, num_groups=2, seed=5):
+    rng = random.Random(seed)
+    vocab = [f"w{i}" for i in range(vocab_size)]
+    documents = []
+    for doc_id in range(num_docs):
+        terms = rng.sample(vocab, rng.randint(2, 6))
+        counts = {t: rng.randint(1, 3) for t in terms}
+        documents.append(
+            Document(
+                doc_id=doc_id,
+                host=f"host{doc_id % 2}",
+                group_id=doc_id % num_groups,
+                term_counts=counts,
+                length=sum(counts.values()),
+                text=" ".join(sorted(counts)),
+            )
+        )
+    return documents
+
+
+def make_cluster(
+    documents,
+    num_pods=2,
+    k=2,
+    n=4,
+    num_lists=8,
+    use_network=False,
+    **kwargs,
+):
+    cluster = ClusterDeployment(
+        MappingTable({}, num_lists=num_lists),
+        num_pods=num_pods,
+        k=k,
+        n=n,
+        use_network=use_network,
+        batch_policy=BatchPolicy(min_documents=1),
+        seed=77,
+        **kwargs,
+    )
+    groups = {d.group_id for d in documents}
+    for g in groups:
+        cluster.create_group(g, coordinator=f"owner{g}")
+    for document in documents:
+        cluster.share_document(f"owner{document.group_id}", document)
+    cluster.flush_all()
+    return cluster
+
+
+class TestKillRestartLifecycle:
+    def test_kill_and_restart_bookkeeping(self):
+        cluster = make_cluster(make_documents())
+        downed = cluster.kill_server(0, 1)
+        assert downed == "pod0-server-1"
+        assert downed in cluster.coordinator.dead_servers()
+        with pytest.raises(ClusterError):
+            cluster.kill_server(0, 1)  # already down
+        cluster.restart_server(0, 1)
+        assert not cluster.coordinator.dead_servers()
+        with pytest.raises(ClusterError):
+            cluster.restart_server(0, 1)  # not down
+
+    def test_unknown_pod_or_slot_rejected(self):
+        cluster = make_cluster(make_documents())
+        with pytest.raises(ClusterError):
+            cluster.kill_server(9, 0)
+        with pytest.raises(ClusterError):
+            cluster.kill_server(0, 9)
+
+    def test_restart_without_wal_keeps_memory(self):
+        """No WAL -> the seat kept its in-memory store (a partition)."""
+        cluster = make_cluster(make_documents())
+        before = cluster.pods[0].slots[2].server.num_elements
+        cluster.kill_server(0, 2)
+        server = cluster.restart_server(0, 2)
+        assert server.num_elements == before
+
+
+class TestDegradation:
+    def test_pod_below_k_refuses_lookups(self):
+        documents = make_documents()
+        cluster = make_cluster(documents, num_pods=1, k=2, n=3)
+        cluster.kill_server(0, 0)
+        cluster.kill_server(0, 1)  # 1 live < k=2
+        searcher = cluster.searcher("owner0", use_cache=False)
+        with pytest.raises(ClusterDegradedError):
+            searcher.search(
+                sorted(documents[0].term_counts)[:1],
+                fetch_snippets=False,
+            )
+
+    def test_pod_below_k_refuses_writes(self):
+        documents = make_documents()
+        cluster = make_cluster(documents, num_pods=1, k=2, n=3)
+        cluster.kill_server(0, 0)
+        cluster.kill_server(0, 1)
+        with pytest.raises(ClusterDegradedError):
+            cluster.share_document("owner0", make_documents(seed=9)[0])
+            cluster.flush_all()
+
+    def test_dead_seats_drop_writes_and_count_them(self):
+        documents = make_documents()
+        cluster = make_cluster(documents, num_pods=1, k=2, n=3)
+        cluster.kill_server(0, 1)
+        assert cluster.coordinator.dropped_write_routes == 0
+        extra = Document(
+            doc_id=500,
+            host="host0",
+            group_id=0,
+            term_counts={"w1": 2, "w2": 1},
+            length=3,
+        )
+        cluster.share_document("owner0", extra)
+        cluster.flush_all()
+        # One skipped route per distinct list routed while the seat was
+        # down (the two terms land in two lists here).
+        assert cluster.coordinator.dropped_write_routes == 2
+        # The dead server holds nothing new; its peers do.
+        dead = cluster.pods[0].slots[1].server
+        live = cluster.pods[0].slots[0].server
+        assert live.num_elements == dead.num_elements + 2
+
+
+class TestFailoverAndEscalation:
+    def test_failover_over_dead_servers(self):
+        documents = make_documents()
+        cluster = make_cluster(documents, num_pods=2, k=2, n=4,
+                               use_network=True)
+        terms = sorted(documents[0].term_counts)[:2]
+        healthy = cluster.searcher("owner0", use_cache=False)
+        expected = healthy.search(terms, top_k=5, fetch_snippets=False)
+        for pod in cluster.pods:
+            cluster.kill_server(pod.index, 0)
+            cluster.kill_server(pod.index, 1)  # n - k = 2 per pod
+        degraded = cluster.searcher("owner0", use_cache=False)
+        assert degraded.search(
+            terms, top_k=5, fetch_snippets=False
+        ) == expected
+        assert degraded.last_cluster_diagnostics.failovers >= 2
+
+    def test_stale_restarted_server_triggers_escalation(self):
+        """A seat that missed writes answers short; the client tops up.
+
+        After the restart the stale server is back in the preferred k
+        set, so elements it never received come back with k - 1 shares —
+        the shortfall escalation must fetch the missing share from a
+        peer instead of silently dropping the element.
+        """
+        documents = make_documents()
+        cluster = make_cluster(documents, num_pods=1, k=2, n=3)
+        single = ZerberDeployment(
+            MappingTable({}, num_lists=8),
+            k=2,
+            n=3,
+            use_network=False,
+            batch_policy=BatchPolicy(min_documents=1),
+            seed=77,
+        )
+        single.create_group(0, coordinator="owner0")
+        single.create_group(1, coordinator="owner1")
+        for document in documents:
+            single.share_document(f"owner{document.group_id}", document)
+        late = Document(
+            doc_id=600,
+            host="host0",
+            group_id=0,
+            term_counts={"w0": 3, "w3": 1},
+            length=4,
+        )
+        cluster.kill_server(0, 0)
+        cluster.share_document("owner0", late)
+        cluster.flush_all()
+        single.share_document("owner0", late)
+        single.flush_all()
+        cluster.restart_server(0, 0)  # stale: missed `late`'s elements
+        searcher = cluster.searcher("owner0", use_cache=False)
+        results = searcher.search(["w0", "w3"], top_k=10,
+                                  fetch_snippets=False)
+        expected = single.searcher("owner0").search(
+            ["w0", "w3"], top_k=10, fetch_snippets=False
+        )
+        assert results == expected
+        assert any(hit.doc_id == 600 for hit in results)
+        assert searcher.last_cluster_diagnostics.escalations >= 1
+
+
+class TestBatchedLookups:
+    def test_batching_reduces_lookup_messages(self):
+        """Acceptance: batched lookups beat per-term fan-out in the ledger."""
+        documents = make_documents(num_docs=16, vocab_size=30)
+        cluster = make_cluster(
+            documents, num_pods=1, k=2, n=3, num_lists=16, use_network=True
+        )
+        # A query whose terms land in several merged lists of one pod.
+        terms = sorted(
+            {t for d in documents for t in d.term_counts}
+        )[:6]
+        ledger = cluster.network.stats.messages_by_kind
+        before = ledger["lookup"]
+        batched = cluster.searcher("owner0", use_cache=False)
+        batched_results = batched.search(terms, top_k=5,
+                                         fetch_snippets=False)
+        batched_messages = ledger["lookup"] - before
+        before = ledger["lookup"]
+        naive = cluster.searcher(
+            "owner0", use_cache=False, batch_lookups=False
+        )
+        naive_results = naive.search(terms, top_k=5, fetch_snippets=False)
+        naive_messages = ledger["lookup"] - before
+        assert batched_results == naive_results
+        assert batched.last_diagnostics.posting_lists_requested > 1
+        assert batched_messages < naive_messages
+        # Exactly one message per contacted server for the batched path.
+        assert batched_messages == 2  # k = 2 servers, one pod
+        assert naive_messages == (
+            2 * batched.last_diagnostics.posting_lists_requested
+        )
+
+    def test_cache_hits_send_zero_messages(self):
+        documents = make_documents()
+        cluster = make_cluster(documents, use_network=True)
+        terms = sorted(documents[0].term_counts)[:2]
+        searcher = cluster.searcher("owner0")
+        searcher.search(terms, top_k=5, fetch_snippets=False)
+        ledger = cluster.network.stats.messages_by_kind
+        before = ledger["lookup"]
+        bytes_before = cluster.network.stats.bytes_by_kind["lookup"]
+        searcher.search(terms, top_k=5, fetch_snippets=False)
+        assert ledger["lookup"] == before
+        assert cluster.network.stats.bytes_by_kind["lookup"] == bytes_before
+        assert searcher.last_cluster_diagnostics.lookup_messages == 0
+        assert searcher.last_cluster_diagnostics.cache_hits > 0

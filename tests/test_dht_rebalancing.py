@@ -1,0 +1,128 @@
+"""Rebalancing edge cases of :mod:`repro.extensions.dht`.
+
+The cluster's shard placement rides on the consistent-hash ring, so the
+ring's two core guarantees get pinned here: membership changes move only
+the minimal key range (keys whose owner actually changed), and
+``owners(key, replicas)`` never returns duplicates however small the
+peer set or large the virtual-node count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.extensions.dht import ConsistentHashRing
+
+KEYS = [f"pl:{i}" for i in range(400)]
+
+
+class TestAddPeerMovesMinimalRange:
+    def test_single_owner_keys_move_only_to_the_new_peer(self):
+        ring = ConsistentHashRing([f"p{i}" for i in range(4)])
+        before = {key: ring.owners(key, 1)[0] for key in KEYS}
+        ring.add_peer("p-new")
+        moved = 0
+        for key in KEYS:
+            after = ring.owners(key, 1)[0]
+            if after != before[key]:
+                # The only legal change is adoption by the new peer.
+                assert after == "p-new"
+                moved += 1
+        # The new peer took roughly 1/5th of the keys, never all of them.
+        assert 0 < moved < len(KEYS)
+
+    def test_replicated_owner_sets_only_gain_the_new_peer(self):
+        ring = ConsistentHashRing([f"p{i}" for i in range(5)])
+        before = {key: set(ring.owners(key, 3)) for key in KEYS}
+        ring.add_peer("p-new")
+        for key in KEYS:
+            after = set(ring.owners(key, 3))
+            # Adding a peer can only introduce p-new (displacing at most
+            # one old owner); it must never shuffle ownership among the
+            # pre-existing peers.
+            assert after - before[key] <= {"p-new"}
+            assert len(before[key] - after) <= 1
+
+    def test_duplicate_add_rejected(self):
+        ring = ConsistentHashRing(["a", "b"])
+        with pytest.raises(ReproError):
+            ring.add_peer("a")
+
+
+class TestRemovePeerMovesMinimalRange:
+    def test_unaffected_keys_keep_their_owner(self):
+        peers = [f"p{i}" for i in range(5)]
+        ring = ConsistentHashRing(peers)
+        before = {key: ring.owners(key, 1)[0] for key in KEYS}
+        ring.remove_peer("p2")
+        for key in KEYS:
+            after = ring.owners(key, 1)[0]
+            if before[key] != "p2":
+                assert after == before[key]
+            else:
+                assert after != "p2"
+
+    def test_surviving_replicas_are_preserved(self):
+        ring = ConsistentHashRing([f"p{i}" for i in range(5)])
+        before = {key: ring.owners(key, 2) for key in KEYS}
+        ring.remove_peer("p1")
+        for key in KEYS:
+            after = ring.owners(key, 2)
+            survivors = [p for p in before[key] if p != "p1"]
+            # Old surviving owners stay owners, in the same ring order.
+            assert [p for p in after if p in survivors] == survivors
+
+    def test_remove_then_readd_is_identity(self):
+        ring = ConsistentHashRing([f"p{i}" for i in range(4)])
+        before = {key: ring.owners(key, 2) for key in KEYS}
+        ring.remove_peer("p3")
+        ring.add_peer("p3")
+        assert {key: ring.owners(key, 2) for key in KEYS} == before
+
+    def test_remove_unknown_and_last_peer_rejected(self):
+        ring = ConsistentHashRing(["only"])
+        with pytest.raises(ReproError):
+            ring.remove_peer("ghost")
+        with pytest.raises(ReproError):
+            ring.remove_peer("only")
+
+
+class TestOwnersNeverDuplicates:
+    @pytest.mark.parametrize("num_peers", [1, 2, 3, 7])
+    @pytest.mark.parametrize("virtual_nodes", [1, 8, 64])
+    def test_owner_lists_are_duplicate_free(self, num_peers, virtual_nodes):
+        ring = ConsistentHashRing(
+            [f"p{i}" for i in range(num_peers)], virtual_nodes=virtual_nodes
+        )
+        for replicas in range(1, num_peers + 1):
+            for key in KEYS[:100]:
+                owners = ring.owners(key, replicas)
+                assert len(owners) == replicas
+                assert len(set(owners)) == replicas
+
+    def test_full_replication_covers_every_peer(self):
+        peers = [f"p{i}" for i in range(6)]
+        ring = ConsistentHashRing(peers)
+        for key in KEYS[:50]:
+            assert sorted(ring.owners(key, len(peers))) == peers
+
+    def test_owner_bounds_rejected(self):
+        ring = ConsistentHashRing(["a", "b"])
+        with pytest.raises(ReproError):
+            ring.owners("key", 0)
+        with pytest.raises(ReproError):
+            ring.owners("key", 3)
+
+    def test_membership_churn_keeps_owner_lists_clean(self):
+        """Interleaved adds/removes never corrupt the ring."""
+        ring = ConsistentHashRing(["a", "b", "c"])
+        ring.add_peer("d")
+        ring.remove_peer("a")
+        ring.add_peer("e")
+        ring.remove_peer("c")
+        assert ring.peers == ["b", "d", "e"]
+        for key in KEYS[:100]:
+            owners = ring.owners(key, 3)
+            assert sorted(owners) == sorted(set(owners))
+            assert set(owners) <= {"b", "d", "e"}
