@@ -9,9 +9,15 @@ the §7.3-style costs end to end through the simulated transport:
 - **messages_per_query** — lookup round-trips per query, the number the
   batched fan-out exists to shrink.
 
+A second sweep varies the **replication factor** (R = 1, 2, 3) and
+measures what replication buys and costs: read throughput healthy and
+with an entire pod dead, and storage amplification vs the R=1
+footprint.
+
 Every row lands in ``benchmarks/results/BENCH_cluster.json``
-(schema: ``{"schema", "rows": [{"config", "qps", "bytes_per_query",
-"messages_per_query"}]}``) so later PRs can track the trajectory.
+(schema v2: ``{"schema", "rows": [...], "replication_rows": [...]}``;
+both tests merge into the same file) so later PRs can track the
+trajectory.
 
 Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_cluster_scaling.py``
 """
@@ -21,6 +27,8 @@ from __future__ import annotations
 import json
 import random
 import time
+
+import pytest
 
 from benchmarks.conftest import RESULTS_DIR, emit
 from repro.client.batching import BatchPolicy
@@ -53,7 +61,7 @@ def _queries(corpus, rng):
     ]
 
 
-def _build_cluster(corpus, num_pods, kill_per_pod=0):
+def _build_cluster(corpus, num_pods, kill_per_pod=0, replication_factor=1):
     cluster = ClusterDeployment.bootstrap(
         corpus.term_probabilities(),
         heuristic="dfm",
@@ -61,6 +69,7 @@ def _build_cluster(corpus, num_pods, kill_per_pod=0):
         num_pods=num_pods,
         k=K,
         n=N,
+        replication_factor=replication_factor,
         batch_policy=BatchPolicy(min_documents=8),
         seed=1723,
     )
@@ -73,6 +82,22 @@ def _build_cluster(corpus, num_pods, kill_per_pod=0):
         for slot_index in range(kill_per_pod):
             cluster.kill_server(pod.index, slot_index)
     return cluster
+
+
+def _merge_results(update: dict) -> None:
+    """Fold one test's rows into BENCH_cluster.json without clobbering
+    the other test's section (either may run alone or first)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_cluster.json"
+    payload = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload["schema"] = "zerber.bench_cluster.v2"
+    payload.update(update)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def _run_queries(cluster, queries, use_cache, batch_lookups):
@@ -158,14 +183,7 @@ def test_cluster_scaling_sweep(benchmark):
             f"{row['messages_per_query']:5.2f} msg/q"
         )
     emit("cluster_scaling", lines)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {
-        "schema": "zerber.bench_cluster.v1",
-        "rows": rows,
-    }
-    (RESULTS_DIR / "BENCH_cluster.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    _merge_results({"rows": rows})
     # Sanity floor: the ledger actually accumulated traffic.
     assert all(row["bytes_per_query"] > 0 for row in rows if not row["config"]["cache"])
     # Cached passes send (almost) nothing.
@@ -197,3 +215,80 @@ def test_batched_lookups_beat_naive_fanout(benchmark):
     )
     assert naive_results == batched_results
     assert batched_mpq < naive_mpq
+
+
+def test_replication_factor_sweep(benchmark):
+    """What replication buys (pod-loss survival) and costs (storage).
+
+    R = 1, 2, 3 over a fixed 3-pod cluster: read qps healthy, read qps
+    with one entire pod dead (only possible at R >= 2), and storage
+    amplification vs the R=1 footprint. Results must stay byte-identical
+    across every configuration that can answer at all.
+    """
+    corpus = _corpus()
+    queries = _queries(corpus, random.Random(44))
+    rows = []
+    base_storage = None
+    baseline_results = None
+    for replication in (1, 2, 3):
+        cluster = _build_cluster(
+            corpus, num_pods=3, replication_factor=replication
+        )
+        storage = cluster.storage_bytes()
+        if base_storage is None:
+            base_storage = storage
+        qps, bpq, _mpq, results = _run_queries(
+            cluster, queries, use_cache=False, batch_lookups=True
+        )
+        if baseline_results is None:
+            baseline_results = results
+        else:
+            assert results == baseline_results  # replication never changes answers
+        row = {
+            "replication": replication,
+            "pods": 3,
+            "n": N,
+            "k": K,
+            "queries": NUM_QUERIES,
+            "qps": round(qps, 1),
+            "bytes_per_query": round(bpq, 1),
+            "storage_bytes": storage,
+            "storage_amplification": round(storage / base_storage, 3),
+            "qps_pod_down": None,
+        }
+        if replication >= 2:
+            cluster.kill_pod(0)
+            down_qps, _bpq, _mpq, down_results = _run_queries(
+                cluster, queries, use_cache=False, batch_lookups=True
+            )
+            assert down_results == baseline_results  # pod loss is invisible
+            row["qps_pod_down"] = round(down_qps, 1)
+        rows.append(row)
+    # One benchmarked reference pass for pytest-benchmark's ledger.
+    reference = _build_cluster(corpus, 3, replication_factor=2)
+    benchmark.pedantic(
+        lambda: _run_queries(reference, queries, False, True),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "replication sweep (3 pods, n=%d, k=%d, %d queries): read qps / "
+        "storage amplification / qps with one pod dead"
+        % (N, K, NUM_QUERIES),
+    ]
+    for row in rows:
+        pod_down = (
+            f"{row['qps_pod_down']:8.1f} q/s"
+            if row["qps_pod_down"] is not None
+            else "   (dies)"
+        )
+        lines.append(
+            f"R={row['replication']}: {row['qps']:8.1f} q/s  "
+            f"x{row['storage_amplification']:.2f} storage  "
+            f"pod-down: {pod_down}"
+        )
+    emit("cluster_replication", lines)
+    _merge_results({"replication_rows": rows})
+    # Storage really amplifies ~linearly with R.
+    assert rows[1]["storage_amplification"] == pytest.approx(2.0, rel=0.05)
+    assert rows[2]["storage_amplification"] == pytest.approx(3.0, rel=0.05)

@@ -13,7 +13,10 @@ Walks the sharded cluster engine end to end:
    byte-identical;
 5. kill down to exactly k in one pod, then past it — the pod degrades
    loudly instead of answering wrong;
-6. restart and verify the fleet is whole again.
+6. restart and verify the fleet is whole again;
+7. rebuild with replication_factor=2, kill an *entire pod* — answers
+   unchanged; write while it is dead, restart it, and watch the owner
+   re-provision the writes it missed.
 
 Run:  PYTHONPATH=src python examples/cluster_tour.py
 """
@@ -108,7 +111,50 @@ def main() -> None:
     final = cluster.searcher("owner0", use_cache=False).search(terms, top_k=5)
     assert final == results
     print(f"\nall servers restarted: {len(cluster.coordinator.live_servers())}"
-          f"/{PODS * N} live, answers unchanged — done.")
+          f"/{PODS * N} live, answers unchanged")
+
+    # 7. Replication: an entire pod can die without moving an answer.
+    replicated = ClusterDeployment.bootstrap(
+        corpus.term_probabilities(),
+        heuristic="dfm",
+        num_lists=48,
+        num_pods=PODS,
+        k=K,
+        n=N,
+        replication_factor=2,
+        batch_policy=BatchPolicy(min_documents=4),
+        seed=13,
+    )
+    for g in corpus.group_ids():
+        replicated.create_group(g, coordinator=f"owner{g}")
+    for document in corpus:
+        replicated.share_document(f"owner{document.group_id}", document)
+    replicated.flush_all()
+    baseline = replicated.searcher("owner0", use_cache=False).search(
+        terms, top_k=5
+    )
+    print(f"\nreplication_factor=2: every list on 2 pods "
+          f"({replicated.total_elements()} stored elements, "
+          "2x the single-replica footprint)")
+    replicated.kill_pod(0)
+    survivor = replicated.searcher("owner0", use_cache=False)
+    assert survivor.search(terms, top_k=5) == baseline
+    print("killed ALL of pod0: answers unchanged — rebalance-free pod loss")
+    late = corpus.documents_in_group(0)[-1]
+    replicated.share_document("owner0", late)
+    replicated.flush_all()
+    coordinator = replicated.coordinator
+    print(f"re-shared a document with pod0 dead: "
+          f"{coordinator.outstanding_write_routes} write routes dropped "
+          "(ledgered per seat)")
+    replicated.restart_pod(0)
+    repaired = replicated.reprovision_dropped_writes()
+    assert coordinator.outstanding_write_routes == 0
+    assert replicated.searcher("owner0", use_cache=False).search(
+        terms, top_k=5
+    ) == baseline
+    print(f"pod0 restarted; owner re-provisioned {repaired} missed "
+          "operations — fleet whole again, answers unchanged — done.")
 
 
 if __name__ == "__main__":

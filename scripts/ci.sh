@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate.
 #
-# Runs the full test suite, then re-runs the cluster equivalence suite
-# on its own and fails the build if any of it was skipped or
-# deselected — the equivalence property is the contract every scaling
-# PR leans on, so it must never silently stop running.
+# Runs the full test suite, then re-runs the contract suites on their
+# own and fails the build if any of them was skipped or deselected:
+#
+# - the cluster equivalence suite (byte-identical to the single fleet)
+#   is the contract every scaling PR leans on;
+# - the whole-pod-loss equivalence tests (replication_factor >= 2) are
+#   the contract of the replication layer;
+# - the README quickstart block must execute, so the first command a
+#   newcomer copies cannot rot.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,15 +17,33 @@ cd "$(dirname "$0")/.."
 echo "== tier-1 suite =="
 python -m pytest -q
 
-echo "== cluster equivalence gate =="
-output=$(python -m pytest tests/test_cluster_equivalence.py -q -rs | tail -n 1)
-echo "$output"
-if echo "$output" | grep -qE "skipped|deselected|no tests ran|error"; then
-    echo "FAIL: the cluster equivalence suite did not run in full" >&2
-    exit 1
-fi
-if ! echo "$output" | grep -qE "[0-9]+ passed"; then
-    echo "FAIL: the cluster equivalence suite reported no passes" >&2
-    exit 1
-fi
+gate() {
+    # gate <label> <forbidden-pattern> <pytest args...>
+    local label=$1 forbidden=$2
+    shift 2
+    echo "== ${label} gate =="
+    local output
+    # `|| true` keeps errexit/pipefail from aborting before the checks
+    # below can print which gate failed and why.
+    output=$(python -m pytest "$@" -q -rs | tail -n 1 || true)
+    echo "$output"
+    if echo "$output" | grep -qE "$forbidden"; then
+        echo "FAIL: the ${label} suite did not run in full" >&2
+        exit 1
+    fi
+    if ! echo "$output" | grep -qE "[0-9]+ passed"; then
+        echo "FAIL: the ${label} suite reported no passes" >&2
+        exit 1
+    fi
+}
+
+gate "cluster equivalence" "failed|skipped|deselected|no tests ran|error" \
+    tests/test_cluster_equivalence.py
+# -k selection intentionally deselects the rest of the file here.
+gate "pod-loss equivalence" "failed|skipped|no tests ran|error" \
+    tests/test_cluster_equivalence.py \
+    -k "whole_pod_dead or pod_killed_mid_run"
+gate "README quickstart (doc sanity)" "failed|skipped|deselected|no tests ran|error" \
+    tests/test_readme_quickstart.py
+
 echo "CI gate passed."

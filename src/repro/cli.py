@@ -10,9 +10,11 @@ Five entry points for kicking Zerber's tires without writing code:
 - ``bandwidth`` — the §7.3 network model with adjustable parameters;
 - ``cluster``   — the sharded multi-pod engine: ``deploy`` prints the
   topology and shard placement, ``search`` runs batched cluster queries,
-  ``kill-server`` demonstrates failover under server loss. Every run
-  rebuilds the same deterministic scenario from ``--seed``, like the
-  other commands.
+  ``kill-server`` demonstrates failover under server loss, and
+  ``kill-pod`` runs the whole-pod-loss drill (with ``--replication 2``
+  the answers stay byte-identical, then the pod restarts and owners
+  re-provision the writes it missed). Every run rebuilds the same
+  deterministic scenario from ``--seed``, like the other commands.
 """
 
 from __future__ import annotations
@@ -144,6 +146,7 @@ def _build_cluster(args: argparse.Namespace):
     """The deterministic cluster scenario every ``cluster`` subcommand uses."""
     from repro.cluster import ClusterDeployment
     from repro.corpus.synthetic import SyntheticCorpusConfig, generate_corpus
+    from repro.errors import ClusterError
 
     corpus = generate_corpus(
         SyntheticCorpusConfig(
@@ -154,15 +157,19 @@ def _build_cluster(args: argparse.Namespace):
         )
     )
     probs = corpus.term_probabilities()
-    cluster = ClusterDeployment.bootstrap(
-        probs,
-        heuristic="dfm",
-        num_lists=min(48, len(probs)),
-        num_pods=args.pods,
-        k=args.k,
-        n=args.n,
-        seed=args.seed,
-    )
+    try:
+        cluster = ClusterDeployment.bootstrap(
+            probs,
+            heuristic="dfm",
+            num_lists=min(48, len(probs)),
+            num_pods=args.pods,
+            k=args.k,
+            n=args.n,
+            replication_factor=args.replication,
+            seed=args.seed,
+        )
+    except ClusterError as exc:
+        raise SystemExit(f"bad cluster configuration: {exc}")
     for g in corpus.group_ids():
         cluster.create_group(g, coordinator=f"owner{g}")
     for document in corpus:
@@ -196,14 +203,17 @@ def _cmd_cluster_deploy(args: argparse.Namespace) -> int:
     print(
         f"cluster: {len(cluster.pods)} pods x {cluster.scheme.n} servers, "
         f"k={cluster.scheme.k} (each pod tolerates "
-        f"{cluster.scheme.n - cluster.scheme.k} failures)"
+        f"{cluster.scheme.n - cluster.scheme.k} failures), "
+        f"replication={coordinator.replication_factor}"
+        + (" (whole-pod loss tolerated)"
+           if coordinator.replication_factor >= 2 else "")
     )
     for pod in cluster.pods:
         ids = [slot.server_id for slot in pod.slots]
         print(f"  {pod.name}: {', '.join(ids)}")
     shards = coordinator.shard_distribution(cluster.mapping_table.num_lists)
     print(f"shard placement over {cluster.mapping_table.num_lists} merged "
-          f"lists: {shards}")
+          f"lists (x{coordinator.replication_factor} replicas): {shards}")
     print(f"stored elements (all live servers): {cluster.total_elements()}")
     print(f"storage: {cluster.storage_bytes() / 1000:.1f} KB on the wire")
     return 0
@@ -278,6 +288,56 @@ def _cmd_cluster_kill(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_kill_pod(args: argparse.Namespace) -> int:
+    """The rebalance-free pod-loss drill: kill, verify, restart, repair."""
+    from repro.errors import ClusterDegradedError, ClusterError
+
+    corpus, cluster = _build_cluster(args)
+    coordinator = cluster.coordinator
+    terms = _cluster_query_terms(corpus, args)
+    healthy = cluster.search("owner0", terms, top_k=args.top_k)
+    print(f"healthy cluster (replication={coordinator.replication_factor}): "
+          f"{len(healthy)} hits for {terms}")
+    try:
+        downed = cluster.kill_pod(args.pod)
+    except ClusterError as exc:
+        raise SystemExit(f"cannot kill pod {args.pod}: {exc}")
+    print(f"killed pod {args.pod} ({len(downed)} servers)")
+    searcher = cluster.searcher("owner0", use_cache=False)
+    try:
+        degraded = searcher.search(terms, top_k=args.top_k)
+    except ClusterDegradedError as exc:
+        print(f"cluster degraded below k: {exc}")
+        print("(run with --replication 2 to survive a whole pod)")
+        return 1
+    diag = searcher.last_cluster_diagnostics
+    print(f"pod down: {len(degraded)} hits, "
+          f"{diag.pod_failovers} pod failovers, "
+          f"{diag.lookup_messages} messages")
+    print("results identical to healthy run:", degraded == healthy)
+    # A write lands while the pod is dead; the survivors take it and the
+    # dead pod's routes go to the re-provisioning ledger.
+    extra = corpus.documents_in_group(0)[-1]
+    try:
+        cluster.share_document("owner0", extra)
+        cluster.flush_all()
+    except ClusterDegradedError as exc:
+        print(f"write refused while the pod is dead: {exc}")
+        print("(run with --replication 2 to keep writing through pod loss)")
+        return 1
+    print(f"wrote 1 document with the pod dead: "
+          f"{coordinator.outstanding_write_routes} write routes dropped")
+    cluster.restart_pod(args.pod)
+    repaired = cluster.reprovision_dropped_writes()
+    print(f"pod restarted; owners re-provisioned {repaired} operations "
+          f"({coordinator.outstanding_write_routes} routes outstanding)")
+    final = cluster.searcher("owner0", use_cache=False)
+    final_results = final.search(terms, top_k=args.top_k)
+    print("results identical after restart + repair:",
+          final_results == healthy)
+    return 0 if degraded == healthy and final_results == healthy else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -320,6 +380,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--pods", type=int, default=3)
         p.add_argument("--n", type=int, default=6)
         p.add_argument("--k", type=int, default=3)
+        p.add_argument(
+            "--replication", type=int, default=1,
+            help="pods each merged posting list lives on (>= 2 "
+                 "tolerates whole-pod loss)",
+        )
         p.add_argument("--documents", type=int, default=40)
         p.add_argument("--seed", type=int, default=7)
 
@@ -356,6 +421,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="servers to down; default kills one per pod",
     )
     ckill.set_defaults(func=_cmd_cluster_kill)
+
+    ckillpod = cluster_sub.add_parser(
+        "kill-pod",
+        help="pod-loss drill: kill a whole pod, verify byte-identical "
+             "answers, restart, re-provision",
+    )
+    _common_cluster_args(ckillpod)
+    ckillpod.add_argument("--terms", nargs="+", default=None)
+    ckillpod.add_argument("--top-k", type=int, default=5)
+    ckillpod.add_argument(
+        "--pod", type=int, default=0, help="pod index to take down"
+    )
+    ckillpod.set_defaults(func=_cmd_cluster_kill_pod, replication=2)
     return parser
 
 

@@ -47,6 +47,34 @@ class _ElementPlan:
     shares_y: tuple[int, ...]  # index-aligned with the share slots
 
 
+@dataclass(frozen=True)
+class DroppedRoute:
+    """One (share_slot, server) pair a write could not reach.
+
+    Attributes:
+        pod_name: the replica pod the seat belongs to ("" for the
+            single-fleet router, which never drops).
+        share_slot: the seat's share slot — ``shares_y[share_slot]`` is
+            the share that failed to land.
+        server_id: the seat's stable server name (survives WAL restarts,
+            unlike the server object itself).
+    """
+
+    pod_name: str
+    share_slot: int
+    server_id: str
+
+
+@dataclass(frozen=True)
+class WriteRoute:
+    """A router's full answer for one posting list: who gets the write,
+    and which seats missed it (the owner's re-provisioning ledger feeds
+    off ``dropped``)."""
+
+    live: tuple[tuple[int, IndexServer], ...]
+    dropped: tuple[DroppedRoute, ...] = ()
+
+
 class FleetRouter:
     """The paper's §5 placement: every posting list lives on every server.
 
@@ -54,8 +82,8 @@ class FleetRouter:
     one posting list must reach; ``shares_y[share_slot]`` is the share
     delivered to that server. This default routes everything to the whole
     fleet; the cluster's :class:`~repro.cluster.coordinator.ClusterCoordinator`
-    implements the same ``targets`` contract to route each list to its
-    owning pod instead.
+    implements the same ``route``/``targets`` contract to route each list
+    to its replica pods instead.
     """
 
     def __init__(self, servers: Sequence[IndexServer]) -> None:
@@ -63,6 +91,10 @@ class FleetRouter:
 
     def targets(self, pl_id: int) -> list[tuple[int, IndexServer]]:
         return list(enumerate(self._servers))
+
+    def route(self, pl_id: int) -> WriteRoute:
+        """Full replication never drops a seat: every server is live."""
+        return WriteRoute(live=tuple(enumerate(self._servers)))
 
 
 class DocumentOwner:
@@ -130,6 +162,13 @@ class DocumentOwner:
         )
         #: doc_id -> [(pl_id, element_id)] — the deletion shadow map (§7.3).
         self._shadow: dict[int, list[tuple[int, int]]] = {}
+        #: server_id -> [(kind, op)] — operations a dead seat missed, in
+        #: delivery order, kept until :meth:`reprovision_dropped_writes`
+        #: can replay them onto the restarted seat.
+        self._undelivered: dict[str, list[tuple[str, object]]] = {}
+        #: server_id -> routing decisions dropped on it (mirrors the
+        #: coordinator's dropped_write_routes ledger, per seat).
+        self._dropped_route_tally: dict[str, int] = {}
         #: the §7.2 local index over this owner's shared documents.
         self.local_index = InvertedIndex()
         self._documents: dict[int, Document] = {}
@@ -182,22 +221,33 @@ class DocumentOwner:
             )
         return plans
 
-    def _batch_targets(self, pl_id: int, memo: dict) -> list:
-        """Router targets memoized per distinct list within one batch
+    def _batch_route(self, pl_id: int, memo: dict) -> WriteRoute:
+        """Router route memoized per distinct list within one batch
         (the router may invalidate caches / scan liveness per call)."""
-        targets = memo.get(pl_id)
-        if targets is None:
-            targets = memo[pl_id] = self._router.targets(pl_id)
-        return targets
+        route = memo.get(pl_id)
+        if route is None:
+            route_fn = getattr(self._router, "route", None)
+            if route_fn is not None:
+                route = route_fn(pl_id)
+            else:
+                route = WriteRoute(live=tuple(self._router.targets(pl_id)))
+            memo[pl_id] = route
+            for dropped in route.dropped:
+                self._dropped_route_tally[dropped.server_id] = (
+                    self._dropped_route_tally.get(dropped.server_id, 0) + 1
+                )
+        return route
+
+    def _record_undelivered(self, dropped: DroppedRoute, kind: str, op) -> None:
+        self._undelivered.setdefault(dropped.server_id, []).append((kind, op))
 
     def _send_insert_batch(self, plans: list[_ElementPlan]) -> None:
         """Fan one shuffled batch out along the router's placement."""
         ops_by_server: dict[str, tuple[IndexServer, list[InsertOp]]] = {}
-        targets_memo: dict[int, list] = {}
+        route_memo: dict[int, WriteRoute] = {}
         for plan in plans:
-            for share_slot, server in self._batch_targets(
-                plan.pl_id, targets_memo
-            ):
+            route = self._batch_route(plan.pl_id, route_memo)
+            for share_slot, server in route.live:
                 _, operations = ops_by_server.setdefault(
                     server.server_id, (server, [])
                 )
@@ -208,6 +258,17 @@ class DocumentOwner:
                         group_id=plan.group_id,
                         share_y=plan.shares_y[share_slot],
                     )
+                )
+            for dropped in route.dropped:
+                self._record_undelivered(
+                    dropped,
+                    "insert",
+                    InsertOp(
+                        pl_id=plan.pl_id,
+                        element_id=plan.element_id,
+                        group_id=plan.group_id,
+                        share_y=plan.shares_y[dropped.share_slot],
+                    ),
                 )
         for server, operations in ops_by_server.values():
             self._deliver("insert", server, operations)
@@ -268,20 +329,89 @@ class DocumentOwner:
         ]
         self._rng.shuffle(operations)
         ops_by_server: dict[str, tuple[IndexServer, list[DeleteOp]]] = {}
-        targets_memo: dict[int, list] = {}
+        route_memo: dict[int, WriteRoute] = {}
         for op in operations:
-            for _share_slot, server in self._batch_targets(
-                op.pl_id, targets_memo
-            ):
+            route = self._batch_route(op.pl_id, route_memo)
+            for _share_slot, server in route.live:
                 _, server_ops = ops_by_server.setdefault(
                     server.server_id, (server, [])
                 )
                 server_ops.append(op)
+            for dropped in route.dropped:
+                self._record_undelivered(dropped, "delete", op)
         for server, server_ops in ops_by_server.values():
             self._deliver("delete", server, server_ops)
         self.local_index.delete_document(doc_id)
         self._documents.pop(doc_id, None)
         return len(operations)
+
+    # -- re-provisioning dropped writes ----------------------------------------
+
+    @property
+    def undelivered_operations(self) -> int:
+        """Operations still owed to dead (or not-yet-repaired) seats."""
+        return sum(len(entries) for entries in self._undelivered.values())
+
+    def reprovision_dropped_writes(self) -> int:
+        """Replay writes that dead seats missed onto their restarted seats.
+
+        A seat that was down while this owner wrote dropped those routes
+        (the router counted them in ``dropped_write_routes``); a restart
+        from the seat's WAL replays only what the seat *received*, so the
+        element would live on fewer than n servers forever. The owner —
+        who minted the shares — closes the gap: every undelivered insert
+        and delete is kept per seat, and this method re-delivers them to
+        seats that are alive again, in the original order (inserts before
+        the deletes that may reference them; an insert/delete pair that
+        cancelled out while the seat was down is skipped entirely).
+
+        Seats still dead keep their ledger entries for a later call.
+        Returns the number of operations re-delivered.
+        """
+        find_slot = getattr(self._router, "find_slot", None)
+        if find_slot is None or not self._undelivered:
+            return 0
+        self._batcher.flush()
+        redelivered = 0
+        for server_id in sorted(self._undelivered):
+            slot = find_slot(server_id)
+            if slot is None or not slot.alive:
+                continue
+            entries = self._undelivered.pop(server_id)
+            inserts = [op for kind, op in entries if kind == "insert"]
+            deletes = [op for kind, op in entries if kind == "delete"]
+            insert_keys = {(op.pl_id, op.element_id) for op in inserts}
+            cancelled = {
+                (op.pl_id, op.element_id)
+                for op in deletes
+                if (op.pl_id, op.element_id) in insert_keys
+            }
+            inserts = [
+                op for op in inserts
+                if (op.pl_id, op.element_id) not in cancelled
+            ]
+            deletes = [
+                op for op in deletes
+                if (op.pl_id, op.element_id) not in cancelled
+            ]
+            if inserts:
+                self._deliver("insert", slot.server, inserts)
+            if deletes:
+                self._deliver("delete", slot.server, deletes)
+            redelivered += len(inserts) + len(deletes)
+            repaired_lists = (
+                {op.pl_id for op in inserts}
+                | {op.pl_id for op in deletes}
+                | {pl_id for pl_id, _ in cancelled}
+            )
+            note = getattr(self._router, "note_repaired", None)
+            if note is not None:
+                note(
+                    server_id,
+                    repaired_lists,
+                    self._dropped_route_tally.pop(server_id, 0),
+                )
+        return redelivered
 
     # -- fleet extension (§5.1) ------------------------------------------------
 

@@ -13,7 +13,9 @@ from repro.cluster.clients import ClusterDiagnostics, ClusterSearchClient
 from repro.cluster.coordinator import (
     ClusterCoordinator,
     Pod,
+    RebalanceStats,
     ServerSlot,
+    attach_wal_to_slot,
     slot_handler,
 )
 from repro.cluster.deployment import ClusterDeployment
@@ -26,6 +28,8 @@ __all__ = [
     "ClusterSearchClient",
     "LRUShareCache",
     "Pod",
+    "RebalanceStats",
     "ServerSlot",
+    "attach_wal_to_slot",
     "slot_handler",
 ]

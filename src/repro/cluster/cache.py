@@ -19,6 +19,13 @@ Two rules keep the cache exactly as safe as talking to the servers:
 
 Cached values are Shamir shares, so a stolen cache is exactly as useless
 as a compromised server (§5).
+
+Keys are deliberately **pod-agnostic**: ``(user, group fingerprint,
+fetch width, pl_id)`` — never the pod that served the fetch. Replica
+pods hold identical slot-aligned shares, so an entry fetched from pod A
+is byte-equal to what pod B would have returned, and it keeps serving
+hits after A dies; likewise writes invalidate by ``pl_id`` alone, which
+covers every replica at once.
 """
 
 from __future__ import annotations

@@ -10,17 +10,28 @@ routing:
   list it owns that the query needs — one round-trip per server per
   query instead of one per term (set ``batch_lookups=False`` to get the
   naive fan-out for comparison benches);
-- **failover**: servers are tried in slot order; a dead one costs a
-  :class:`TransportError` and the next slot takes its place, so any k
-  live servers per pod keep every query answerable;
-- **share-shortfall escalation**: a server restarted from a stale WAL
-  (or one that missed writes while down) may lack elements its peers
-  hold; when an element comes back with fewer than k shares, the lists
-  involved are refetched from additional live servers until every
-  element reconstructs or the pod is exhausted;
+- **replica choice**: with ``replication_factor >= 2`` each list lives
+  on several pods holding the *same* slot-aligned shares; the client
+  reads from the least-loaded replica with the most *trusted* live
+  seats for the list — seats the coordinator's staleness ledger marks
+  as having missed writes are never asked about those lists at all
+  (a stale seat omits inserts it slept through and still holds shares
+  of deletes it missed; neither is detectable from responses);
+- **failover ladder**: within a pod, trusted servers are tried in slot
+  order — a dead one costs a :class:`TransportError` and the next slot
+  takes its place; when an element still comes back with fewer than k
+  shares (**share-shortfall escalation** — shares lost in ways the
+  ledger cannot see, e.g. disk rot), extra live servers of the pod are
+  asked; when the *pod* cannot finish the job, the next replica pod
+  takes over the unresolved lists, its slots unioning with what was
+  already fetched (slot s shares are identical across replicas, so the
+  merge dedups by slot). Only when every replica is exhausted below k
+  trusted answered slots does the query degrade loudly;
 - **share cache**: reads are fronted by the coordinator's LRU cache
   (invalidated on writes, re-keyed on membership changes); a cache hit
-  costs zero messages and zero bytes.
+  costs zero messages and zero bytes. Cache keys are pod-agnostic —
+  ``(user, group fingerprint, width, pl_id)`` — so an entry fetched
+  from one replica serves reads even after that pod dies.
 """
 
 from __future__ import annotations
@@ -45,11 +56,13 @@ class ClusterDiagnostics:
     """Per-query accounting of the cluster fetch stage.
 
     Attributes:
-        pods_contacted: pods owning at least one requested list.
+        pods_contacted: pods that actually received a lookup message.
         lookup_messages: lookup RPCs actually sent (cache hits send none).
         cache_hits: posting lists served entirely from the share cache.
         failovers: servers skipped because they were down.
         escalations: extra fetches issued to cover share shortfalls.
+        pod_failovers: lists retried on a further replica pod because
+            the preferred pod could not finish them.
     """
 
     pods_contacted: int = 0
@@ -57,6 +70,7 @@ class ClusterDiagnostics:
     cache_hits: int = 0
     failovers: int = 0
     escalations: int = 0
+    pod_failovers: int = 0
 
 
 class ClusterSearchClient(SearchClient):
@@ -120,10 +134,12 @@ class ClusterSearchClient(SearchClient):
     ) -> list[tuple[int, list[PostingListResponse]]]:
         """Route, batch, fail over, escalate; returns (slot_index, responses).
 
-        Slot indices repeat across pods, but each pod owns a disjoint set
-        of posting lists, so the base class's ``(pl_id, element_id)``
-        share join never mixes pods — and slot ``s`` of every pod shares
-        the x-coordinate ``scheme.x_of(s)``.
+        Slot indices repeat across pods, but replica pods of a list hold
+        *identical* slot-aligned shares, so the base class's
+        ``(pl_id, element_id)`` share join never mixes incompatible
+        shares — slot ``s`` of every pod shares the x-coordinate
+        ``scheme.x_of(s)``, and the per-list merge below keeps at most
+        one response per slot.
         """
         self.last_cluster_diagnostics = ClusterDiagnostics()
         diag = self.last_cluster_diagnostics
@@ -142,104 +158,248 @@ class ClusterSearchClient(SearchClient):
             else None
         )
         out: list[tuple[int, list[PostingListResponse]]] = []
-        for pod, pod_pl_ids in coordinator.group_by_pod(pl_ids).items():
-            diag.pods_contacted += 1
-            need: list[int] = []
-            for pl_id in pod_pl_ids:
-                # num_servers is part of the key: a wider request must
-                # not be satisfied by a narrower fetch.
-                key = (self.user_id, fingerprint, num_servers, pl_id)
-                entry = cache.get(key) if cache is not None else None
-                if entry is not None:
-                    diag.cache_hits += 1
-                    for slot_index, response in entry:
-                        out.append((slot_index, [response]))
-                else:
-                    need.append(pl_id)
-            if not need:
-                continue
-            fetched, unresolved = self._fetch_from_pod(
-                pod, need, num_servers, diag
-            )
-            for pl_id in need:
-                pairs = fetched[pl_id]
-                for slot_index, response in pairs:
+        need: list[int] = []
+        for pl_id in pl_ids:
+            # num_servers is part of the key: a wider request must
+            # not be satisfied by a narrower fetch.
+            key = (self.user_id, fingerprint, num_servers, pl_id)
+            entry = cache.get(key) if cache is not None else None
+            if entry is not None:
+                diag.cache_hits += 1
+                for slot_index, response in entry:
                     out.append((slot_index, [response]))
-                # A list with an unresolved share shortfall is served but
-                # never cached: the missing shares may reappear when a
-                # server recovers, and a cached short entry would hide
-                # them until an unrelated write evicted it.
-                if cache is not None and pairs and pl_id not in unresolved:
-                    cache.put(
-                        (self.user_id, fingerprint, num_servers, pl_id),
-                        pl_id,
-                        pairs,
-                    )
+            else:
+                need.append(pl_id)
+        if not need:
+            return out
+        merged, unresolved = self._fetch_with_failover(
+            need, num_servers, diag
+        )
+        for pl_id in need:
+            pairs = sorted(merged[pl_id].items())
+            for slot_index, response in pairs:
+                out.append((slot_index, [response]))
+            # A list with an unresolved share shortfall is served but
+            # never cached: the missing shares may reappear when a
+            # server recovers, and a cached short entry would hide
+            # them until an unrelated write evicted it.
+            if cache is not None and pairs and pl_id not in unresolved:
+                cache.put(
+                    (self.user_id, fingerprint, num_servers, pl_id),
+                    pl_id,
+                    pairs,
+                )
         return out
+
+    def _fetch_with_failover(
+        self,
+        need: Sequence[int],
+        num_servers: int,
+        diag: ClusterDiagnostics,
+    ) -> tuple[dict[int, dict[int, PostingListResponse]], set[int]]:
+        """Fetch every list from its replica chain, best pod first.
+
+        Each round assigns every still-unfinished list to its next
+        untried replica pod (preference order from
+        :meth:`ClusterCoordinator.read_replicas`), fetches, and merges
+        slot-deduplicated responses. A list is finished when >= k slots
+        answered for it and no element is short of k shares; it degrades
+        loudly only when the whole replica chain is exhausted below k
+        answered slots.
+
+        Returns ``(merged, unresolved)`` — per list, one response per
+        answering slot; and the lists that still contain an element with
+        fewer than k shares after the whole ladder (uncacheable).
+        """
+        coordinator = self._coordinator
+        k = self._scheme.k
+        merged: dict[int, dict[int, PostingListResponse]] = {
+            pl_id: {} for pl_id in need
+        }
+        #: pl_id -> element_id -> shares gathered so far (kept
+        #: incrementally by _merge_response; shortfall checks are O(1)
+        #: per element instead of rescanning every response).
+        counts: dict[int, dict[int, int]] = {pl_id: {} for pl_id in need}
+        tried: dict[int, set[str]] = {pl_id: set() for pl_id in need}
+        contacted: set[str] = set()
+        pending = list(need)
+        while pending:
+            assignment: dict[Pod, list[int]] = {}
+            for pl_id in pending:
+                pod = next(
+                    (
+                        p
+                        for p in coordinator.read_replicas(pl_id)
+                        if p.name not in tried[pl_id]
+                    ),
+                    None,
+                )
+                if pod is None:
+                    continue  # replica chain exhausted
+                if tried[pl_id]:
+                    diag.pod_failovers += 1
+                tried[pl_id].add(pod.name)
+                assignment.setdefault(pod, []).append(pl_id)
+            if not assignment:
+                break
+            for pod in sorted(assignment, key=lambda p: p.index):
+                lists = assignment[pod]
+                if self._fetch_from_pod(
+                    pod, lists, num_servers, merged, counts, diag
+                ):
+                    contacted.add(pod.name)
+                    coordinator.note_pod_read(pod.name, len(lists))
+            pending = [
+                pl_id
+                for pl_id in need
+                if self._needs_more(merged[pl_id], counts[pl_id], k)
+                and any(
+                    pod.name not in tried[pl_id]
+                    for pod in coordinator.pods_of(pl_id)
+                )
+            ]
+        diag.pods_contacted = len(contacted)
+        for pl_id in need:
+            answered = len(merged[pl_id])
+            if answered < k:
+                raise ClusterDegradedError(
+                    f"list {pl_id}: only {answered} of the required "
+                    f"k={k} trusted server slots answered across "
+                    f"{len(tried[pl_id])} replica pod(s)"
+                )
+        unresolved = {
+            pl_id
+            for pl_id in need
+            if self._share_shortfall(counts[pl_id], k)
+        }
+        return merged, unresolved
+
+    @staticmethod
+    def _share_shortfall(share_counts: dict[int, int], k: int) -> bool:
+        """True when some element of the list has < k shares so far."""
+        return bool(share_counts) and min(share_counts.values()) < k
+
+    def _needs_more(
+        self,
+        slot_map: dict[int, PostingListResponse],
+        share_counts: dict[int, int],
+        k: int,
+    ) -> bool:
+        return len(slot_map) < k or self._share_shortfall(share_counts, k)
+
+    @staticmethod
+    def _merge_response(
+        slot_map: dict[int, PostingListResponse],
+        share_counts: dict[int, int],
+        slot_index: int,
+        response: PostingListResponse,
+    ) -> None:
+        """Fold one slot's response in, unioning records per element.
+
+        Replica pods hold identical shares per slot, so a record seen
+        twice is byte-equal; the union matters when an earlier replica's
+        seat answered short (e.g. lost shares) and a later replica's
+        same slot fills the gap. ``share_counts`` tracks per-element
+        share totals incrementally.
+        """
+        existing = slot_map.get(slot_index)
+        if existing is None:
+            slot_map[slot_index] = response
+            for record in response.records:
+                share_counts[record.element_id] = (
+                    share_counts.get(record.element_id, 0) + 1
+                )
+            return
+        known = {record.element_id for record in existing.records}
+        extra = [
+            record
+            for record in response.records
+            if record.element_id not in known
+        ]
+        if extra:
+            slot_map[slot_index] = PostingListResponse(
+                pl_id=existing.pl_id,
+                records=tuple(
+                    sorted(
+                        (*existing.records, *extra),
+                        key=lambda record: record.element_id,
+                    )
+                ),
+            )
+            for record in extra:
+                share_counts[record.element_id] = (
+                    share_counts.get(record.element_id, 0) + 1
+                )
 
     def _fetch_from_pod(
         self,
         pod: Pod,
         need: Sequence[int],
         num_servers: int,
+        merged: dict[int, dict[int, PostingListResponse]],
+        counts: dict[int, dict[int, int]],
         diag: ClusterDiagnostics,
-    ) -> tuple[
-        dict[int, list[tuple[int, PostingListResponse]]], set[int]
-    ]:
-        """Fetch ``need`` from one pod with failover and escalation.
+    ) -> bool:
+        """One pod's leg of the ladder: slot failover, then escalation.
 
-        Returns ``(fetched, unresolved)`` — the responses per list, and
-        the lists that still contain an element with fewer than k shares
-        after exhausting every live server (uncacheable).
+        Seats the staleness ledger marks incomplete for a list are never
+        asked for that list — a stale seat's answer is wrong in ways no
+        shortfall signal can catch (it omits inserts it slept through
+        and still holds shares of deletes it missed). Mutates ``merged``
+        with slot-deduplicated responses; returns whether the pod
+        answered at all. Never raises on a degraded pod — the caller
+        decides whether further replicas can cover.
         """
         k = self._scheme.k
-        want = max(k, min(num_servers, len(pod.slots)))
-        fetched: dict[int, list[tuple[int, PostingListResponse]]] = {
-            pl_id: [] for pl_id in need
+        coordinator = self._coordinator
+        untrusted = {
+            pl_id: coordinator.incomplete_seats(pod.name, pl_id)
+            for pl_id in need
         }
-        share_count: dict[tuple[int, int], int] = {}
+        want = max(k, min(num_servers, len(pod.slots)))
         successes = 0
         shortfall: set[int] = set()
+        contacted = False
         for slot in pod.slots:
             if successes >= want:
                 if not shortfall:
                     break
-                request: list[int] = sorted(shortfall)
+                base: list[int] = sorted(shortfall)
                 escalating = True
             else:
-                request = list(need)
+                base = list(need)
                 escalating = False
+            request = [
+                pl_id
+                for pl_id in base
+                if slot.server_id not in untrusted[pl_id]
+            ]
+            if not request:
+                continue  # nothing trustworthy to ask this seat for
             try:
                 responses = self._lookup_slot(slot, request, diag)
             except TransportError:
                 diag.failovers += 1
                 continue
+            contacted = True
             if escalating:
                 diag.escalations += 1
             else:
                 successes += 1
             for response in responses:
-                fetched[response.pl_id].append((slot.slot_index, response))
-                for record in response.records:
-                    key = (response.pl_id, record.element_id)
-                    share_count[key] = share_count.get(key, 0) + 1
+                self._merge_response(
+                    merged[response.pl_id],
+                    counts[response.pl_id],
+                    slot.slot_index,
+                    response,
+                )
             if successes >= want:
                 shortfall = {
                     pl_id
-                    for (pl_id, _eid), count in share_count.items()
-                    if count < k
+                    for pl_id in need
+                    if self._share_shortfall(counts[pl_id], k)
                 }
-        if successes < k:
-            raise ClusterDegradedError(
-                f"pod {pod.name!r}: only {successes} of the required "
-                f"k={k} servers answered"
-            )
-        unresolved = {
-            pl_id
-            for (pl_id, _eid), count in share_count.items()
-            if count < k
-        }
-        return fetched, unresolved
+        return contacted
 
     def _lookup_slot(
         self,

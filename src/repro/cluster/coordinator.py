@@ -6,37 +6,48 @@ posting list n times and caps throughput at one fleet's capacity. The
 cluster layer shards the merged lists across many pods:
 
 - a :class:`~repro.extensions.dht.ConsistentHashRing` over pod names
-  places each ``pl_id`` on exactly one pod (``pl_id -> pod``), so a pod
-  stores — and a compromised pod reveals — only its fraction of the
-  index, the §8 "DHT-based infrastructure" direction;
-- within its pod, an element is still split k-of-n across that pod's
-  servers, so confidentiality and the §5.4.2 query protocol are
-  unchanged;
+  places each ``pl_id`` on ``replication_factor`` pods (``pl_id ->
+  [pod, ...]``), so a pod stores — and a compromised pod reveals — only
+  its fraction of the index, the §8 "DHT-based infrastructure"
+  direction; with ``replication_factor >= 2`` the loss of an *entire*
+  pod costs nothing but a read failover;
+- within each replica pod, an element is still split k-of-n across that
+  pod's servers, so confidentiality and the §5.4.2 query protocol are
+  unchanged — a replica pod holds the same slot-aligned shares, never
+  more reconstruction power;
 - every pod shares one :class:`~repro.secretsharing.shamir.ShamirScheme`
   (slot ``s`` of every pod uses ``x_of(s)``), which keeps owners and
   searchers pod-agnostic: shares are index-aligned with *slots*, not
-  with global server numbers.
+  with global server numbers — and lets replica pods answer
+  interchangeably, byte for byte.
 
 The :class:`ClusterCoordinator` is the control plane: it owns the
-placement, routes writes to the owning pod's live servers (invalidating
-the share cache first), tracks which servers are dead, and restarts them
-— from their :class:`~repro.server.persistence.PostingLog` WAL when one
-is attached, which is the recovery path §5.4.1's element IDs exist for.
+placement, routes writes to every replica pod's live servers
+(invalidating the share cache first), remembers which seats missed
+which lists (the staleness ledger read preference and owner
+re-provisioning lean on), tracks which servers are dead, and restarts
+them — from their :class:`~repro.server.persistence.PostingLog` WAL
+when one is attached, which is the recovery path §5.4.1's element IDs
+exist for. Pods join and leave at runtime: :meth:`add_pod` /
+:meth:`retire_pod` move only the lists whose ownership changed
+(per-list transfers, not whole-index copies) and report the movement as
+:class:`RebalanceStats`.
 """
 
 from __future__ import annotations
 
 import pathlib
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Sequence
 
+from repro.client.owner import DroppedRoute, WriteRoute
 from repro.cluster.cache import LRUShareCache
 from repro.errors import ClusterDegradedError, ClusterError, TransportError
 from repro.extensions.dht import ConsistentHashRing
 from repro.secretsharing.shamir import ShamirScheme
 from repro.server.auth import AuthService
 from repro.server.groups import GroupDirectory
-from repro.server.index_server import IndexServer
+from repro.server.index_server import DeleteOp, IndexServer, InsertOp
 from repro.server.persistence import PostingLog, attach_log, recover_server
 
 
@@ -94,6 +105,17 @@ class Pod:
         return self.slots[slot_index]
 
 
+def attach_wal_to_slot(slot: ServerSlot, path) -> PostingLog:
+    """Wire a WAL into one seat (usable before the pod joins a ring)."""
+    if slot.log is not None:
+        raise ClusterError(f"server {slot.server_id!r} already has a WAL")
+    log = PostingLog(path)
+    attach_log(slot.server, log)
+    slot.wal_path = pathlib.Path(path)
+    slot.log = log
+    return log
+
+
 def slot_handler(slot: ServerSlot):
     """Network adapter for one seat; a dead seat drops every request.
 
@@ -116,6 +138,31 @@ def slot_handler(slot: ServerSlot):
     return handler
 
 
+@dataclass
+class RebalanceStats:
+    """What one ring-membership change actually moved.
+
+    Attributes:
+        pod_name: the pod that joined or left.
+        action: ``"join"`` or ``"leave"``.
+        moved_lists: posting lists whose replica set changed.
+        copied_elements: share records copied slot-to-slot onto new
+            owners (summed over slots, so n copies of a list count n x).
+        gc_elements: records garbage-collected from pods that lost
+            ownership of a list.
+        dropped_copy_routes: slot pairs that could not transfer (source
+            or destination seat dead) — nonzero means a replica starts
+            life incomplete.
+    """
+
+    pod_name: str
+    action: str
+    moved_lists: int = 0
+    copied_elements: int = 0
+    gc_elements: int = 0
+    dropped_copy_routes: int = 0
+
+
 class ClusterCoordinator:
     """Control plane of a sharded Zerber cluster.
 
@@ -134,6 +181,7 @@ class ClusterCoordinator:
         share_bytes: int,
         cache_entries: int = 4096,
         virtual_nodes: int = 64,
+        replication_factor: int = 1,
     ) -> None:
         """Args:
         scheme: the k-of-n scheme every pod shares (n = pod size).
@@ -146,6 +194,9 @@ class ClusterCoordinator:
         share_bytes: wire size of one share value.
         cache_entries: LRU share-cache capacity; 0 disables caching.
         virtual_nodes: ring smoothness for pod placement.
+        replication_factor: pods each merged posting list lives on.
+            1 reproduces the PR 1 single-owner sharding; >= 2 keeps
+            every list fully readable with an entire pod dead.
         """
         if not pods:
             raise ClusterError("cluster needs at least one pod")
@@ -158,68 +209,156 @@ class ClusterCoordinator:
         names = [pod.name for pod in pods]
         if len(set(names)) != len(names):
             raise ClusterError("duplicate pod names")
+        if not 1 <= replication_factor <= len(pods):
+            raise ClusterError(
+                f"replication_factor must be in 1..{len(pods)} (the pod "
+                f"count), got {replication_factor}"
+            )
         self.scheme = scheme
         self.pods = list(pods)
+        self.replication_factor = replication_factor
         self._pod_by_name = {pod.name: pod for pod in self.pods}
         self._ring = ConsistentHashRing(names, virtual_nodes=virtual_nodes)
-        self._placement_memo: dict[int, Pod] = {}
+        self._placement_memo: dict[int, tuple[Pod, ...]] = {}
         self._auth = auth
         self._groups = groups
         self._share_bytes = share_bytes
         self.cache = LRUShareCache(cache_entries)
         #: Routing decisions (one per distinct posting list per batch,
-        #: per dead seat) made while a seat was down. A lower bound on
-        #: missed per-operation writes — owners memoize targets() per
-        #: batch — so nonzero means some restarted WAL is missing data.
+        #: per dead seat, per replica pod) made while a seat was down. A
+        #: lower bound on missed per-operation writes — owners memoize
+        #: route() per batch — so dropped > repaired means some seat is
+        #: missing data until an owner re-provisions.
         self.dropped_write_routes = 0
+        #: Per replica pod slice of :attr:`dropped_write_routes`.
+        self.dropped_write_routes_by_pod: dict[str, int] = {}
+        #: Routes owners have re-delivered via reprovision_dropped_writes.
+        self.repaired_write_routes = 0
+        #: (pod_name, pl_id) -> seats known to be missing writes for the
+        #: list. The read path deprioritizes stale (pod, list) pairs so a
+        #: replica that slept through a write is never the only source of
+        #: an answer; owner re-provisioning clears entries.
+        self._incomplete: dict[tuple[str, int], set[str]] = {}
+        #: pod name -> posting-list lookups routed to it (read balancing).
+        self.pod_read_load: dict[str, int] = {}
 
     # -- placement -------------------------------------------------------------
 
+    def pods_of(self, pl_id: int) -> tuple[Pod, ...]:
+        """The replica pods owning one merged posting list, ring order
+        (the first is the primary, the rest successors on the ring)."""
+        replicas = self._placement_memo.get(pl_id)
+        if replicas is None:
+            names = self._ring.owners(
+                f"pl:{pl_id}", replicas=self.replication_factor
+            )
+            replicas = tuple(self._pod_by_name[name] for name in names)
+            self._placement_memo[pl_id] = replicas
+        return replicas
+
     def pod_of(self, pl_id: int) -> Pod:
-        """The pod owning one merged posting list (consistent hashing)."""
-        pod = self._placement_memo.get(pl_id)
-        if pod is None:
-            name = self._ring.owners(f"pl:{pl_id}", replicas=1)[0]
-            pod = self._pod_by_name[name]
-            self._placement_memo[pl_id] = pod
-        return pod
+        """The primary pod of one merged posting list."""
+        return self.pods_of(pl_id)[0]
 
     def group_by_pod(self, pl_ids: Sequence[int]) -> dict[Pod, list[int]]:
-        """Partition a query's posting lists by owning pod (routing plan)."""
+        """Partition a query's posting lists by primary pod (routing plan)."""
         plan: dict[Pod, list[int]] = {}
         for pl_id in pl_ids:
             plan.setdefault(self.pod_of(pl_id), []).append(pl_id)
         return plan
 
     def shard_distribution(self, num_lists: int) -> dict[str, int]:
-        """pod name -> owned list count over ``[0, num_lists)`` (balance)."""
+        """pod name -> hosted list count over ``[0, num_lists)`` (balance;
+        every replica counts, so values sum to num_lists x R)."""
         counts = {pod.name: 0 for pod in self.pods}
         for pl_id in range(num_lists):
-            counts[self.pod_of(pl_id).name] += 1
+            for pod in self.pods_of(pl_id):
+                counts[pod.name] += 1
         return counts
 
     # -- write routing (the owner's router) --------------------------------------
 
-    def targets(self, pl_id: int) -> list[tuple[int, IndexServer]]:
-        """The ``(share_slot, server)`` pairs a write to ``pl_id`` must reach.
+    def route(self, pl_id: int) -> WriteRoute:
+        """The full write route for one posting list, replicas included.
 
         Invalidate-before-write: every cached entry for the list is
         evicted first, so no reader can observe pre-write shares after
-        the write lands. Dead seats are skipped (and the skipped route
-        counted in :attr:`dropped_write_routes`); the write still
-        succeeds as long as ``k`` servers remain, and the element simply
-        has fewer than n live shares until an owner re-provisions.
+        the write lands. Each replica pod with >= k live seats receives
+        the write on its live seats (dead seats drop their route); a
+        replica pod *below* k live seats is skipped entirely — partial
+        sub-k replicas would never reconstruct on their own, so the
+        whole pod's routes are dropped, every seat is marked incomplete
+        for the list, and the owner's re-provisioning ledger gets the
+        full slot set back. The write fails only when no replica pod can
+        take >= k shares.
         """
         self.cache.invalidate(pl_id)
-        pod = self.pod_of(pl_id)
-        live = pod.live_slots()
-        if len(live) < self.scheme.k:
+        live: list[tuple[int, IndexServer]] = []
+        missed_by_pod: list[tuple[Pod, list[ServerSlot]]] = []
+        for pod in self.pods_of(pl_id):
+            pod_live = pod.live_slots()
+            if len(pod_live) >= self.scheme.k:
+                live.extend(
+                    (slot.slot_index, slot.server) for slot in pod_live
+                )
+                missed = [slot for slot in pod.slots if not slot.alive]
+            else:
+                missed = list(pod.slots)
+            if missed:
+                missed_by_pod.append((pod, missed))
+        if not live:
+            # The write never happened anywhere: fail loudly and leave
+            # the dropped/staleness ledgers untouched.
             raise ClusterDegradedError(
-                f"pod {pod.name!r} has {len(live)} live servers, "
-                f"needs k={self.scheme.k} to accept writes"
+                f"no replica pod of list {pl_id} has k={self.scheme.k} "
+                "live servers to accept writes"
             )
-        self.dropped_write_routes += len(pod.slots) - len(live)
-        return [(slot.slot_index, slot.server) for slot in live]
+        dropped: list[DroppedRoute] = []
+        for pod, missed in missed_by_pod:
+            for slot in missed:
+                dropped.append(
+                    DroppedRoute(
+                        pod_name=pod.name,
+                        share_slot=slot.slot_index,
+                        server_id=slot.server_id,
+                    )
+                )
+                self._incomplete.setdefault((pod.name, pl_id), set()).add(
+                    slot.server_id
+                )
+            self.dropped_write_routes += len(missed)
+            self.dropped_write_routes_by_pod[pod.name] = (
+                self.dropped_write_routes_by_pod.get(pod.name, 0)
+                + len(missed)
+            )
+        return WriteRoute(live=tuple(live), dropped=tuple(dropped))
+
+    def targets(self, pl_id: int) -> list[tuple[int, IndexServer]]:
+        """The live ``(share_slot, server)`` pairs a write must reach
+        (:meth:`route` without the dropped-seat ledger view)."""
+        return list(self.route(pl_id).live)
+
+    def note_repaired(
+        self, server_id: str, pl_ids: Iterable[int], routes: int
+    ) -> None:
+        """An owner re-delivered a seat's missed writes; clear the ledger."""
+        self.repaired_write_routes += routes
+        slot = self.find_slot(server_id)
+        if slot is None:
+            return
+        pod_name = self.pods[slot.pod_index].name
+        for pl_id in pl_ids:
+            missing = self._incomplete.get((pod_name, pl_id))
+            if missing is None:
+                continue
+            missing.discard(server_id)
+            if not missing:
+                del self._incomplete[(pod_name, pl_id)]
+
+    @property
+    def outstanding_write_routes(self) -> int:
+        """Dropped routes no owner has re-provisioned yet."""
+        return self.dropped_write_routes - self.repaired_write_routes
 
     # -- read-side helpers ----------------------------------------------------------
 
@@ -227,6 +366,60 @@ class ClusterCoordinator:
         """The user's current group set — part of every cache key, so a
         membership change re-keys (and thereby bypasses) old entries."""
         return frozenset(self._groups.groups_of(user_id))
+
+    def is_complete_for(self, pod: Pod, pl_id: int) -> bool:
+        """Whether no seat of ``pod`` is known to be missing writes for
+        the list (the staleness ledger's read-side view)."""
+        return not self._incomplete.get((pod.name, pl_id))
+
+    def incomplete_seats(self, pod_name: str, pl_id: int) -> frozenset[str]:
+        """Seats of one pod known to be missing writes for one list.
+
+        The read path must not consume these seats' responses for the
+        list at all: a seat that slept through an insert would silently
+        *omit* it (no share-shortfall signal exists for an element it
+        never saw), and a seat that slept through a delete still holds
+        the share and could help a deleted element reach k again.
+        """
+        return frozenset(self._incomplete.get((pod_name, pl_id), ()))
+
+    def trusted_live_slots(self, pod: Pod, pl_id: int) -> int:
+        """Live seats of ``pod`` whose data for the list is complete."""
+        missing = self._incomplete.get((pod.name, pl_id))
+        if not missing:
+            return len(pod.live_slots())
+        return sum(
+            1
+            for slot in pod.live_slots()
+            if slot.server_id not in missing
+        )
+
+    def read_replicas(self, pl_id: int) -> list[Pod]:
+        """The list's replica pods in read-preference order.
+
+        A pod is ranked by how much *trustworthy* capacity it has for
+        the list: live seats that did not miss any write (the staleness
+        ledger). Pods that can answer alone (>= k trusted live seats)
+        come first, least read-loaded wins among them; the rest stay as
+        last resorts — even a sub-k pod contributes trusted slots that
+        union with another replica's.
+        """
+        k = self.scheme.k
+        ranked = list(enumerate(self.pods_of(pl_id)))
+        ranked.sort(
+            key=lambda item: (
+                self.trusted_live_slots(item[1], pl_id) < k,
+                self.pod_read_load.get(item[1].name, 0),
+                item[0],
+            )
+        )
+        return [pod for _rank, pod in ranked]
+
+    def note_pod_read(self, pod_name: str, num_lists: int) -> None:
+        """Account lookups routed to one pod (feeds read balancing)."""
+        self.pod_read_load[pod_name] = (
+            self.pod_read_load.get(pod_name, 0) + num_lists
+        )
 
     # -- failure injection & recovery ----------------------------------------------
 
@@ -272,23 +465,226 @@ class ClusterCoordinator:
         slot.alive = True
         return slot.server
 
+    def kill_pod(self, pod_index: int) -> list[str]:
+        """Take an entire pod down (rack loss, AZ outage drill).
+
+        Every live seat is killed; with ``replication_factor >= 2`` the
+        cluster keeps answering byte-identically from the surviving
+        replicas. Returns the downed server ids.
+        """
+        pod = self._pod(pod_index)
+        live = pod.live_slots()
+        if not live:
+            raise ClusterError(f"pod {pod.name!r} is already down")
+        return [
+            self.kill_server(pod_index, slot.slot_index) for slot in live
+        ]
+
+    def restart_pod(self, pod_index: int) -> list[IndexServer]:
+        """Bring every dead seat of one pod back (WAL recovery per seat).
+
+        Seats that missed writes while down stay marked incomplete until
+        an owner re-provisions them — the read path keeps preferring
+        complete replicas in the meantime.
+        """
+        pod = self._pod(pod_index)
+        dead = [slot for slot in pod.slots if not slot.alive]
+        if not dead:
+            raise ClusterError(f"pod {pod.name!r} has no dead servers")
+        return [
+            self.restart_server(pod_index, slot.slot_index) for slot in dead
+        ]
+
     def attach_wal(self, pod_index: int, slot_index: int, path) -> PostingLog:
         """Give one seat a write-ahead log (idempotent per seat)."""
-        slot = self._slot(pod_index, slot_index)
-        if slot.log is not None:
-            raise ClusterError(f"server {slot.server_id!r} already has a WAL")
-        log = PostingLog(path)
-        attach_log(slot.server, log)
-        slot.wal_path = pathlib.Path(path)
-        slot.log = log
-        return log
+        return attach_wal_to_slot(self._slot(pod_index, slot_index), path)
 
-    def _slot(self, pod_index: int, slot_index: int) -> ServerSlot:
+    def _pod(self, pod_index: int) -> Pod:
         if not 0 <= pod_index < len(self.pods):
             raise ClusterError(
                 f"no pod {pod_index} (0..{len(self.pods) - 1})"
             )
-        return self.pods[pod_index].slot(slot_index)
+        return self.pods[pod_index]
+
+    def _slot(self, pod_index: int, slot_index: int) -> ServerSlot:
+        return self._pod(pod_index).slot(slot_index)
+
+    def find_slot(self, server_id: str) -> ServerSlot | None:
+        """The seat currently answering to one server id (None if gone)."""
+        for pod in self.pods:
+            for slot in pod.slots:
+                if slot.server_id == server_id:
+                    return slot
+        return None
+
+    # -- ring membership & rebalancing -------------------------------------------
+
+    def add_pod(self, pod: Pod, num_lists: int) -> RebalanceStats:
+        """Join a new pod: re-ring, move only the lists it now owns.
+
+        For every posting list whose replica set changed, share records
+        are copied slot-to-slot from a surviving owner (complete
+        replicas preferred) onto the new pod, appended to the
+        destination seats' WALs, and garbage-collected from any pod the
+        join displaced. The cache entries of moved lists are
+        invalidated. This is the DHT's operational win the paper's §8
+        points at: a join shuffles per-list transfers, never the whole
+        index.
+        """
+        if len(pod.slots) != self.scheme.n:
+            raise ClusterError(
+                f"pod {pod.name!r} has {len(pod.slots)} servers, "
+                f"scheme expects n={self.scheme.n}"
+            )
+        if pod.name in self._pod_by_name:
+            raise ClusterError(f"duplicate pod name {pod.name!r}")
+        before = {
+            pl_id: self.pods_of(pl_id) for pl_id in range(num_lists)
+        }
+        self._ring.add_peer(pod.name)
+        pod.index = len(self.pods)
+        for slot in pod.slots:
+            slot.pod_index = pod.index
+        self.pods.append(pod)
+        self._pod_by_name[pod.name] = pod
+        self._placement_memo.clear()
+        return self._rebalance(pod.name, "join", before, num_lists)
+
+    def retire_pod(self, pod_index: int, num_lists: int) -> RebalanceStats:
+        """Gracefully drain one pod off the ring and out of the cluster.
+
+        Lists the pod owned gain a new replica elsewhere, copied from
+        the surviving owners (or from the retiring pod itself when it
+        held the only copy). The retiring pod's servers stop being part
+        of the cluster; remaining pods are re-indexed.
+        """
+        pod = self._pod(pod_index)
+        if len(self.pods) - 1 < self.replication_factor:
+            raise ClusterError(
+                f"cannot retire {pod.name!r}: {len(self.pods) - 1} pods "
+                f"cannot hold replication_factor="
+                f"{self.replication_factor}"
+            )
+        before = {
+            pl_id: self.pods_of(pl_id) for pl_id in range(num_lists)
+        }
+        self._ring.remove_peer(pod.name)
+        self.pods.pop(pod_index)
+        del self._pod_by_name[pod.name]
+        for index, remaining in enumerate(self.pods):
+            remaining.index = index
+            for slot in remaining.slots:
+                slot.pod_index = index
+        self._placement_memo.clear()
+        self.pod_read_load.pop(pod.name, None)
+        stats = self._rebalance(pod.name, "leave", before, num_lists)
+        for key in [k for k in self._incomplete if k[0] == pod.name]:
+            del self._incomplete[key]
+        self.dropped_write_routes_by_pod.pop(pod.name, None)
+        return stats
+
+    def _rebalance(
+        self,
+        pod_name: str,
+        action: str,
+        before: dict[int, tuple[Pod, ...]],
+        num_lists: int,
+    ) -> RebalanceStats:
+        """Diff old vs new placement; copy gained lists, GC lost ones."""
+        stats = RebalanceStats(pod_name=pod_name, action=action)
+        for pl_id in range(num_lists):
+            after = self.pods_of(pl_id)
+            if tuple(p.name for p in after) == tuple(
+                p.name for p in before[pl_id]
+            ):
+                continue
+            stats.moved_lists += 1
+            self.cache.invalidate(pl_id)
+            after_names = {p.name for p in after}
+            before_names = {p.name for p in before[pl_id]}
+            gained = [p for p in after if p.name not in before_names]
+            lost = [p for p in before[pl_id] if p.name not in after_names]
+            # Complete old owners first; an incomplete source would hand
+            # its gaps to the new replica.
+            sources = sorted(
+                before[pl_id],
+                key=lambda p: (
+                    not self.is_complete_for(p, pl_id),
+                    p.name != pod_name if action == "leave" else False,
+                ),
+            )
+            for dest in gained:
+                copied, dropped = self._copy_list(pl_id, sources, dest)
+                stats.copied_elements += copied
+                stats.dropped_copy_routes += dropped
+                if all(
+                    not self.is_complete_for(p, pl_id) for p in sources
+                ):
+                    self._incomplete[(dest.name, pl_id)] = {
+                        slot.server_id for slot in dest.slots
+                    }
+            for displaced in lost:
+                if displaced.name == pod_name and action == "leave":
+                    continue  # the pod is gone; nothing to GC
+                stats.gc_elements += self._gc_list(pl_id, displaced)
+        return stats
+
+    def _copy_list(
+        self, pl_id: int, sources: Sequence[Pod], dest: Pod
+    ) -> tuple[int, int]:
+        """Slot-aligned transfer of one list onto a new replica pod.
+
+        Slot s of every replica holds the same share, so slot s of any
+        live source seat feeds slot s of the destination; the transfer
+        ships shares only. Returns (records copied, slot routes dropped
+        because no live source seat or a dead destination seat).
+        """
+        copied = dropped = 0
+        for slot_index in range(self.scheme.n):
+            source = next(
+                (
+                    p.slots[slot_index]
+                    for p in sources
+                    if p.slots[slot_index].alive
+                ),
+                None,
+            )
+            dest_slot = dest.slots[slot_index]
+            if source is None or not dest_slot.alive:
+                dropped += 1
+                continue
+            records = source.server.export_posting_list(pl_id)
+            if not records:
+                continue
+            added = dest_slot.server.adopt_posting_list(pl_id, records)
+            if added and dest_slot.log is not None:
+                dest_slot.log.append_inserts(
+                    InsertOp(
+                        pl_id=pl_id,
+                        element_id=record.element_id,
+                        group_id=record.group_id,
+                        share_y=record.share_y,
+                    )
+                    for record in added
+                )
+            copied += len(added)
+        return copied, dropped
+
+    def _gc_list(self, pl_id: int, pod: Pod) -> int:
+        """Drop one list from a pod that lost its ownership."""
+        removed_total = 0
+        for slot in pod.slots:
+            if not slot.alive:
+                continue
+            removed = slot.server.drop_posting_list(pl_id)
+            if removed and slot.log is not None:
+                slot.log.append_deletes(
+                    DeleteOp(pl_id=pl_id, element_id=record.element_id)
+                    for record in removed
+                )
+            removed_total += len(removed)
+        self._incomplete.pop((pod.name, pl_id), None)
+        return removed_total
 
     # -- introspection ---------------------------------------------------------------
 

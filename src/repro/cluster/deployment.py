@@ -11,11 +11,13 @@ on one fleet.
 Typical use (see ``examples/cluster_tour.py``)::
 
     cluster = ClusterDeployment.bootstrap(
-        stats.term_probabilities(), num_pods=3, k=3, n=6, num_lists=256)
+        stats.term_probabilities(), num_pods=3, k=3, n=6, num_lists=256,
+        replication_factor=2)
     cluster.create_group(1, coordinator="alice")
     cluster.share_document("alice", doc)
     cluster.flush_all()
     cluster.kill_server(pod_index=0, slot_index=2)   # survives n-k per pod
+    cluster.kill_pod(1)                              # survives a whole pod
     results = cluster.search("alice", ["budget"], top_k=10)
 """
 
@@ -33,7 +35,9 @@ from repro.cluster.clients import ClusterSearchClient
 from repro.cluster.coordinator import (
     ClusterCoordinator,
     Pod,
+    RebalanceStats,
     ServerSlot,
+    attach_wal_to_slot,
     slot_handler,
 )
 from repro.core.dictionary import TermDictionary
@@ -66,6 +70,7 @@ class ClusterDeployment:
         cache_entries: int = 4096,
         virtual_nodes: int = 64,
         wal_dir: str | pathlib.Path | None = None,
+        replication_factor: int = 1,
         seed: int = 0x2E4B,
     ) -> None:
         """Args:
@@ -83,6 +88,9 @@ class ClusterDeployment:
         wal_dir: when given, every server gets a
             :class:`~repro.server.persistence.PostingLog` WAL under this
             directory and :meth:`restart_server` recovers from it.
+        replication_factor: pods each merged posting list lives on;
+            >= 2 keeps the cluster byte-identical with a whole pod dead
+            at the cost of R x storage and write fan-out.
         seed: master seed for all deployment randomness.
         """
         if num_pods < 1:
@@ -98,23 +106,15 @@ class ClusterDeployment:
         self.groups = GroupDirectory()
         self._batch_policy = batch_policy or BatchPolicy()
         share_bytes = (self.field.p.bit_length() + 7) // 8
-        pods: list[Pod] = []
-        for pod_index in range(num_pods):
-            slots = [
-                ServerSlot(
-                    pod_index=pod_index,
-                    slot_index=slot_index,
-                    server=IndexServer(
-                        server_id=f"pod{pod_index}-server-{slot_index}",
-                        x_coordinate=self.scheme.x_of(slot_index),
-                        auth=self.auth,
-                        groups=self.groups,
-                        share_bytes=share_bytes,
-                    ),
-                )
-                for slot_index in range(n)
-            ]
-            pods.append(Pod(index=pod_index, name=f"pod{pod_index}", slots=slots))
+        self._share_bytes = share_bytes
+        self._wal_dir = (
+            pathlib.Path(wal_dir) if wal_dir is not None else None
+        )
+        pods: list[Pod] = [
+            self._build_pod(pod_index, f"pod{pod_index}", n)
+            for pod_index in range(num_pods)
+        ]
+        self._next_pod_ordinal = num_pods
         self.coordinator = ClusterCoordinator(
             scheme=self.scheme,
             pods=pods,
@@ -123,15 +123,15 @@ class ClusterDeployment:
             share_bytes=share_bytes,
             cache_entries=cache_entries,
             virtual_nodes=virtual_nodes,
+            replication_factor=replication_factor,
         )
-        if wal_dir is not None:
-            base = pathlib.Path(wal_dir)
+        if self._wal_dir is not None:
             for pod in pods:
                 for slot in pod.slots:
                     self.coordinator.attach_wal(
                         pod.index,
                         slot.slot_index,
-                        base / f"{slot.server_id}.wal",
+                        self._wal_dir / f"{slot.server_id}.wal",
                     )
         self.network: SimulatedNetwork | None = None
         if use_network:
@@ -144,6 +144,24 @@ class ClusterDeployment:
         self.snippets = SnippetService(self.groups)
         self._tokens: dict[str, AuthToken] = {}
         self._owners: dict[str, DocumentOwner] = {}
+
+    def _build_pod(self, pod_index: int, name: str, n: int) -> Pod:
+        """One fleet of n slot-aligned servers (shared scheme/auth/groups)."""
+        slots = [
+            ServerSlot(
+                pod_index=pod_index,
+                slot_index=slot_index,
+                server=IndexServer(
+                    server_id=f"{name}-server-{slot_index}",
+                    x_coordinate=self.scheme.x_of(slot_index),
+                    auth=self.auth,
+                    groups=self.groups,
+                    share_bytes=self._share_bytes,
+                ),
+            )
+            for slot_index in range(n)
+        ]
+        return Pod(index=pod_index, name=name, slots=slots)
 
     # -- construction from corpus statistics --------------------------------------
 
@@ -281,6 +299,83 @@ class ClusterDeployment:
     def restart_server(self, pod_index: int, slot_index: int) -> IndexServer:
         """Bring a dead server back (recovering from its WAL if it has one)."""
         return self.coordinator.restart_server(pod_index, slot_index)
+
+    def kill_pod(self, pod_index: int) -> list[str]:
+        """Take an entire pod down; returns the downed server ids.
+
+        With ``replication_factor >= 2`` every list the pod owned stays
+        fully readable from its surviving replicas.
+        """
+        return self.coordinator.kill_pod(pod_index)
+
+    def restart_pod(self, pod_index: int) -> list[IndexServer]:
+        """Bring a whole pod back (per-seat WAL recovery)."""
+        return self.coordinator.restart_pod(pod_index)
+
+    def reprovision_dropped_writes(self) -> int:
+        """Every owner replays the writes dead seats missed (post-restart).
+
+        Returns the number of operations re-delivered; afterwards
+        ``coordinator.outstanding_write_routes`` is 0 when every seat
+        with a ledger entry is back up.
+        """
+        return sum(
+            owner.reprovision_dropped_writes()
+            for owner in self._owners.values()
+        )
+
+    # -- ring membership --------------------------------------------------------
+
+    def add_pod(self, name: str | None = None) -> RebalanceStats:
+        """Join a fresh pod to the ring and rebalance onto it.
+
+        Only the lists whose replica set changed move (slot-aligned
+        share transfers from surviving owners); returns the movement
+        stats. The new pod gets WALs/network endpoints matching the
+        deployment's configuration.
+        """
+        name = name or f"pod{self._next_pod_ordinal}"
+        pod = self._build_pod(len(self.pods), name, self.scheme.n)
+        # WAL and network wiring must precede the join so migrated
+        # records are logged and the seats are reachable immediately.
+        if self._wal_dir is not None:
+            for slot in pod.slots:
+                attach_wal_to_slot(
+                    slot, self._wal_dir / f"{slot.server_id}.wal"
+                )
+        if self.network is not None:
+            for slot in pod.slots:
+                self.network.register(slot.server_id, slot_handler(slot))
+        stats = self.coordinator.add_pod(
+            pod, self.mapping_table.num_lists
+        )
+        self._next_pod_ordinal += 1
+        return stats
+
+    def retire_pod(self, pod_index: int) -> RebalanceStats:
+        """Drain one pod off the ring (graceful leave) with rebalancing.
+
+        After the coordinator re-homes its lists, the pod is fully
+        decommissioned: WALs closed, network endpoints released (so the
+        name can be reused), and its share stores wiped — a drained pod
+        must not keep its index fraction around.
+        """
+        pods = self.coordinator.pods
+        pod = pods[pod_index] if 0 <= pod_index < len(pods) else None
+        stats = self.coordinator.retire_pod(
+            pod_index, self.mapping_table.num_lists
+        )
+        assert pod is not None  # coordinator validated the index
+        for slot in pod.slots:
+            if slot.log is not None:
+                slot.log.close()
+            if self.network is not None and self.network.has_endpoint(
+                slot.server_id
+            ):
+                self.network.unregister(slot.server_id)
+            for pl_id in range(self.mapping_table.num_lists):
+                slot.server.drop_posting_list(pl_id)
+        return stats
 
     # -- fleet statistics ---------------------------------------------------------------
 

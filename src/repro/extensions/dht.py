@@ -12,7 +12,15 @@ hosts — :meth:`DHTPlacement.peer_confidentiality` computes the r-value of
 that restricted view, which is never worse (and usually no better: r is a
 per-list property) than the full-replica deployment, while churn costs
 shrink from whole-index copies to per-list transfers
-(:meth:`DHTPlacement.rebalance_cost`).
+(:meth:`DHTPlacement.rebalance_cost` /
+:meth:`DHTPlacement.rebalance_cost_leave`).
+
+The sharded cluster engine rides directly on :class:`ConsistentHashRing`:
+:class:`~repro.cluster.coordinator.ClusterCoordinator` asks
+``owners(f"pl:{pl_id}", replicas=replication_factor)`` for each list's
+replica pods, so ring-membership guarantees pinned in
+``tests/test_dht_rebalancing.py`` (minimal key movement, duplicate-free
+owner sets) are exactly the guarantees pod joins and retirements lean on.
 """
 
 from __future__ import annotations
@@ -164,6 +172,22 @@ class DHTPlacement:
             pl_id: tuple(owners) for pl_id, owners in self._placement.items()
         }
         self._ring.add_peer(new_peer)
+        return self._replace_placement(before)
+
+    def rebalance_cost_leave(self, peer: str) -> int:
+        """Posting lists that move when ``peer`` leaves the ring.
+
+        Symmetric to :meth:`rebalance_cost`: a departure re-homes only
+        the lists the peer owned (each surviving replica set gains one
+        successor), never the whole index.
+        """
+        before = {
+            pl_id: tuple(owners) for pl_id, owners in self._placement.items()
+        }
+        self._ring.remove_peer(peer)
+        return self._replace_placement(before)
+
+    def _replace_placement(self, before: Mapping[int, tuple[str, ...]]) -> int:
         moved = 0
         for pl_id in before:
             after = self._ring.owners(f"pl:{pl_id}", self._replicas)

@@ -238,6 +238,42 @@ class IndexServer:
             responses.append(PostingListResponse(pl_id=pl_id, records=records))
         return responses
 
+    # -- pod-to-pod replication seam ----------------------------------------------
+    #
+    # Rebalancing a sharded cluster moves posting lists between *slot-
+    # aligned* servers of different pods. Slot s of every pod holds the
+    # same Shamir share of every element (the owner splits once and fans
+    # the same y out to each replica pod), so a server-to-server transfer
+    # ships exactly the bytes the destination would have received from
+    # the owner — shares only, confidentiality unchanged. These methods
+    # bypass the narrow insert/delete/lookup interface on purpose: they
+    # are the operator's replication channel, not a user-facing one.
+
+    def export_posting_list(self, pl_id: int) -> list[ShareRecord]:
+        """This server's stored share records for one merged list."""
+        return list(self._store.get(pl_id, {}).values())
+
+    def adopt_posting_list(
+        self, pl_id: int, records: Sequence[ShareRecord]
+    ) -> list[ShareRecord]:
+        """Merge transferred records into the store (idempotent).
+
+        Returns the records actually added, so the caller can append
+        exactly those to this seat's WAL.
+        """
+        plist = self._store[pl_id]
+        added: list[ShareRecord] = []
+        for record in records:
+            if record.element_id not in plist:
+                plist[record.element_id] = record
+                added.append(record)
+        return added
+
+    def drop_posting_list(self, pl_id: int) -> list[ShareRecord]:
+        """Discard a list this server no longer owns; returns the records."""
+        plist = self._store.pop(pl_id, None)
+        return list(plist.values()) if plist else []
+
     # -- operator/diagnostic surface ---------------------------------------------
 
     @property

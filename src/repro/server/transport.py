@@ -96,6 +96,12 @@ class SimulatedNetwork:
             raise TransportError(f"endpoint {name!r} already registered")
         self._endpoints[name] = handler
 
+    def unregister(self, name: str) -> None:
+        """Detach an endpoint (a decommissioned server leaves the network)."""
+        if name not in self._endpoints:
+            raise TransportError(f"endpoint {name!r} is not registered")
+        del self._endpoints[name]
+
     def set_link(self, src: str, dst: str, spec: LinkSpec) -> None:
         """Configure one directed link (both directions need two calls)."""
         self._links[(src, dst)] = spec

@@ -142,34 +142,28 @@ class TestCacheCompleteness:
     def test_shortfall_fetches_are_not_cached(self, cluster):
         """A fetch that dropped an under-k element must not be cached.
 
-        Regression: slot 1 misses a write while down, slot 2 (which has
-        the share) dies, and the stale slot 1 restarts. The element now
-        has only one live share, so the read drops it — but once slot 2
-        recovers, the *same cached searcher* must see the element again
-        instead of serving the short entry forever.
+        Regression: slot 1 silently loses its shares of the budget list
+        (disk rot — nothing in the staleness ledger) and slot 2 dies.
+        Every budget element now has one live share, so the read drops
+        them — but once slot 2 recovers, the *same cached searcher*
+        must see the elements again instead of serving the short entry
+        forever.
         """
-        cluster.kill_server(0, 1)
         cluster.share_document("alice", doc(3, 0, {"budget": 5}))
         cluster.flush_all()
-        pod_index = cluster.coordinator.pod_of(
-            cluster.mapping_table.lookup("budget")
-        ).index
-        if pod_index != 0:
-            cluster.restart_server(0, 1)
-            cluster.kill_server(pod_index, 1)
-            cluster.share_document("alice", doc(4, 0, {"budget": 5}))
-            cluster.flush_all()
-        new_doc = 3 if pod_index == 0 else 4
+        pl_id = cluster.mapping_table.lookup("budget")
+        pod_index = cluster.coordinator.pod_of(pl_id).index
+        pod = cluster.pods[pod_index]
+        assert pod.slots[1].server.drop_posting_list(pl_id)
         cluster.kill_server(pod_index, 2)
-        cluster.restart_server(pod_index, 1)  # stale: missed the write
         searcher = cluster.searcher("alice")
         degraded = searcher.search(["budget"], top_k=5,
                                    fetch_snippets=False)
-        assert new_doc not in {h.doc_id for h in degraded}
-        cluster.restart_server(pod_index, 2)  # the missing share returns
+        assert 3 not in {h.doc_id for h in degraded}
+        cluster.restart_server(pod_index, 2)  # the missing shares return
         recovered = searcher.search(["budget"], top_k=5,
                                     fetch_snippets=False)
-        assert new_doc in {h.doc_id for h in recovered}
+        assert 3 in {h.doc_id for h in recovered}
 
     def test_verify_consistency_bypasses_cache(self, cluster):
         """k-share cached entries must not starve the > k cross-check."""

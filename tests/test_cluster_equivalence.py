@@ -58,7 +58,12 @@ def make_world(seed: int):
     return documents, num_groups, user_groups, queries, num_lists, num_pods
 
 
-def build_twins(world, seed: int, index_through: int | None = None):
+def build_twins(
+    world,
+    seed: int,
+    index_through: int | None = None,
+    replication_factor: int = 1,
+):
     """A single-fleet deployment and a cluster over the same documents.
 
     Args:
@@ -68,6 +73,8 @@ def build_twins(world, seed: int, index_through: int | None = None):
         index_through: index only the first this-many documents into the
             *cluster* (the rest are indexed later by the mid-run tests);
             the single fleet always indexes everything.
+        replication_factor: pods per posting list in the cluster twin
+            (the pod count is raised to fit when the world rolled fewer).
     """
     documents, num_groups, user_groups, _, num_lists, num_pods = world
     single = ZerberDeployment(
@@ -80,11 +87,12 @@ def build_twins(world, seed: int, index_through: int | None = None):
     )
     cluster = ClusterDeployment(
         MappingTable({}, num_lists=num_lists),
-        num_pods=num_pods,
+        num_pods=max(num_pods, replication_factor),
         k=K,
         n=N,
         use_network=False,
         batch_policy=BatchPolicy(min_documents=2),
+        replication_factor=replication_factor,
         seed=seed,
     )
     for deployment in (single, cluster):
@@ -178,6 +186,78 @@ def test_cluster_equals_single_fleet_killed_mid_run(seed):
                 terms, top_k=5, fetch_snippets=False
             )
         )
+
+
+@pytest.mark.parametrize("seed", SEEDS[::3])
+def test_cluster_equals_single_fleet_whole_pod_dead(seed):
+    """replication_factor=2: an entire pod dies, answers must not move.
+
+    The acceptance invariant of the replication layer — pod loss is
+    rebalance-free: surviving replicas hold identical slot-aligned
+    shares, so every query stays byte-identical, cached or fresh.
+    """
+    world = make_world(seed)
+    single, cluster = build_twins(world, seed, replication_factor=2)
+    victim = random.Random(seed * 13).randrange(len(cluster.pods))
+    cluster.kill_pod(victim)
+    for terms in world[3]:
+        expected = single.search("the-user", terms, top_k=5)
+        assert cluster.search("the-user", terms, top_k=5) == expected
+        fresh = cluster.searcher("the-user", use_cache=False)
+        assert (
+            fresh.search(terms, top_k=5, fetch_snippets=False)
+            == single.searcher("the-user").search(
+                terms, top_k=5, fetch_snippets=False
+            )
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS[1::3])
+def test_cluster_equals_single_fleet_pod_killed_mid_run(seed):
+    """A pod dies mid-workload, misses writes, restarts stale, is repaired.
+
+    Three checkpoints, all byte-identical to the single fleet:
+    1. the pod is dead and late writes only reached its replica;
+    2. the pod restarted but is stale — the staleness ledger must keep
+       reads on the complete replica (a stale pod would silently omit
+       the elements it never saw);
+    3. owners re-provisioned the missed writes — any replica serves.
+    """
+    world = make_world(seed)
+    documents = world[0]
+    half = len(documents) // 2
+    single, cluster = build_twins(
+        world, seed, index_through=half, replication_factor=2
+    )
+    victim = random.Random(seed * 19).randrange(len(cluster.pods))
+    cluster.kill_pod(victim)
+    for document in documents[half:]:
+        cluster.share_document(f"owner{document.group_id}", document)
+    cluster.flush_all()
+
+    def assert_identical():
+        for terms in world[3]:
+            searcher = cluster.searcher("the-user", use_cache=False)
+            assert (
+                searcher.search(terms, top_k=5, fetch_snippets=False)
+                == single.searcher("the-user").search(
+                    terms, top_k=5, fetch_snippets=False
+                )
+            )
+
+    assert_identical()  # 1. pod dead
+    cluster.restart_pod(victim)
+    assert_identical()  # 2. pod back but stale
+    cluster.reprovision_dropped_writes()
+    assert cluster.coordinator.outstanding_write_routes == 0
+    assert_identical()  # 3. repaired
+    # After repair the other replica may die outright: the previously
+    # stale pod must now carry every answer alone.
+    survivors = [p.index for p in cluster.pods if p.index != victim]
+    if len(cluster.pods) >= 2:
+        other = random.Random(seed * 23).choice(survivors)
+        cluster.kill_pod(other)
+        assert_identical()
 
 
 @pytest.mark.parametrize("seed", SEEDS[::4])

@@ -4,6 +4,10 @@ Covers the operational properties the equivalence suite assumes: a pod
 answers with any k live servers, degrades loudly below k, counts the
 writes its dead seats miss, recovers via restart, and actually sends
 fewer lookup messages when batching than the naive per-term fan-out.
+With ``replication_factor >= 2`` the same drills extend to whole pods:
+kill-pod/restart-pod lifecycle, per-replica dropped-write accounting,
+replica read failover, and owner-side re-provisioning of the writes a
+dead seat missed.
 """
 
 from __future__ import annotations
@@ -159,13 +163,13 @@ class TestFailoverAndEscalation:
         ) == expected
         assert degraded.last_cluster_diagnostics.failovers >= 2
 
-    def test_stale_restarted_server_triggers_escalation(self):
-        """A seat that missed writes answers short; the client tops up.
+    def test_stale_restarted_server_is_routed_around(self):
+        """A seat that missed writes is never asked about those lists.
 
-        After the restart the stale server is back in the preferred k
-        set, so elements it never received come back with k - 1 shares —
-        the shortfall escalation must fetch the missing share from a
-        peer instead of silently dropping the element.
+        The staleness ledger knows exactly which seats slept through
+        which lists, so the fetch excludes them up front — the late
+        document comes back whole from the complete peers, with no
+        escalation round needed.
         """
         documents = make_documents()
         cluster = make_cluster(documents, num_pods=1, k=2, n=3)
@@ -202,7 +206,291 @@ class TestFailoverAndEscalation:
         )
         assert results == expected
         assert any(hit.doc_id == 600 for hit in results)
+        assert searcher.last_cluster_diagnostics.escalations == 0
+        # Re-provisioning clears the ledger; the seat serves again.
+        assert cluster.reprovision_dropped_writes() > 0
+        searcher = cluster.searcher("owner0", use_cache=False)
+        assert searcher.search(["w0", "w3"], top_k=10,
+                               fetch_snippets=False) == expected
+
+    def test_untracked_share_loss_triggers_escalation(self):
+        """Share loss the ledger cannot see (disk rot) still self-heals.
+
+        One seat silently loses a posting list — no kill, no dropped
+        route, nothing ledgered. Its short answer leaves elements below
+        k shares; the shortfall escalation must top them up from the
+        remaining live seats instead of dropping the elements.
+        """
+        documents = make_documents()
+        cluster = make_cluster(documents, num_pods=1, k=2, n=3)
+        term = sorted(documents[0].term_counts)[0]
+        pl_id = cluster.mapping_table.lookup(term)
+        healthy = cluster.searcher("owner0", use_cache=False).search(
+            [term], top_k=10, fetch_snippets=False
+        )
+        assert healthy
+        lost = cluster.pods[0].slots[0].server.drop_posting_list(pl_id)
+        assert lost  # the seat really held shares of the list
+        searcher = cluster.searcher("owner0", use_cache=False)
+        results = searcher.search([term], top_k=10, fetch_snippets=False)
+        assert results == healthy
         assert searcher.last_cluster_diagnostics.escalations >= 1
+
+
+class TestPodLifecycle:
+    def test_kill_and_restart_pod_bookkeeping(self):
+        cluster = make_cluster(make_documents(), num_pods=2,
+                               replication_factor=2)
+        downed = cluster.kill_pod(0)
+        assert downed == [f"pod0-server-{i}" for i in range(4)]
+        assert set(downed) == set(cluster.coordinator.dead_servers())
+        with pytest.raises(ClusterError):
+            cluster.kill_pod(0)  # already fully down
+        restarted = cluster.restart_pod(0)
+        assert len(restarted) == 4
+        assert not cluster.coordinator.dead_servers()
+        with pytest.raises(ClusterError):
+            cluster.restart_pod(0)  # nothing dead
+
+    def test_kill_pod_finishes_a_partially_dead_pod(self):
+        cluster = make_cluster(make_documents(), num_pods=2,
+                               replication_factor=2)
+        cluster.kill_server(1, 2)
+        downed = cluster.kill_pod(1)
+        assert "pod1-server-2" not in downed  # already down
+        assert len(downed) == 3
+        assert len(cluster.coordinator.dead_servers()) == 4
+
+    def test_replication_factor_validated(self):
+        for bad in (0, 3):
+            with pytest.raises(ClusterError):
+                make_cluster(make_documents(), num_pods=2,
+                             replication_factor=bad)
+
+
+class TestReplicaFailover:
+    def test_whole_pod_loss_keeps_answers_identical(self):
+        documents = make_documents()
+        cluster = make_cluster(documents, num_pods=2, replication_factor=2,
+                               use_network=True)
+        terms = sorted(documents[0].term_counts)[:3]
+        expected = cluster.searcher("owner0", use_cache=False).search(
+            terms, top_k=5, fetch_snippets=False
+        )
+        for pod_index in (0, 1):
+            cluster.kill_pod(pod_index)
+            survivor = cluster.searcher("owner0", use_cache=False)
+            assert survivor.search(
+                terms, top_k=5, fetch_snippets=False
+            ) == expected
+            cluster.restart_pod(pod_index)
+
+    def test_every_list_is_hosted_by_replication_factor_pods(self):
+        cluster = make_cluster(make_documents(), num_pods=3, num_lists=12,
+                               replication_factor=2)
+        coordinator = cluster.coordinator
+        for pl_id in range(12):
+            replicas = coordinator.pods_of(pl_id)
+            assert len(replicas) == 2
+            assert len({pod.name for pod in replicas}) == 2
+        shards = coordinator.shard_distribution(12)
+        assert sum(shards.values()) == 12 * 2
+
+    def test_replicas_store_identical_slot_aligned_shares(self):
+        """Slot s of every replica pod holds byte-equal share records."""
+        cluster = make_cluster(make_documents(), num_pods=2, num_lists=8,
+                               replication_factor=2)
+        for pl_id in range(8):
+            pods = cluster.coordinator.pods_of(pl_id)
+            for slot_index in range(cluster.scheme.n):
+                exports = [
+                    sorted(
+                        pod.slots[slot_index].server.export_posting_list(
+                            pl_id
+                        ),
+                        key=lambda record: record.element_id,
+                    )
+                    for pod in pods
+                ]
+                assert exports[0] == exports[1]
+
+    def test_writes_with_a_dead_pod_count_per_replica(self):
+        documents = make_documents()
+        cluster = make_cluster(documents, num_pods=2, replication_factor=2)
+        cluster.kill_pod(1)
+        extra = Document(
+            doc_id=700,
+            host="host0",
+            group_id=0,
+            term_counts={"w1": 2, "w2": 1},
+            length=3,
+        )
+        cluster.share_document("owner0", extra)
+        cluster.flush_all()
+        coordinator = cluster.coordinator
+        # The two terms land in two lists; the dead pod missed all
+        # n = 4 seats of each -> 8 dropped routes, all charged to pod1.
+        assert coordinator.dropped_write_routes == 8
+        assert coordinator.dropped_write_routes_by_pod == {"pod1": 8}
+        assert coordinator.outstanding_write_routes == 8
+
+    def test_stale_replica_never_resurrects_deleted_documents(self):
+        """A missed delete must not come back — degrade loudly instead.
+
+        pod0 sleeps through a delete and restarts with the shares still
+        in memory; then the complete replica drops below k. The stale
+        seats are excluded per list, so the cluster refuses the query
+        rather than serving the deleted document from stale shares.
+        """
+        documents = make_documents()
+        cluster = make_cluster(documents, num_pods=2, replication_factor=2)
+        target = documents[0]
+        term = sorted(target.term_counts)[0]
+        cluster.kill_pod(0)
+        cluster.owner(f"owner{target.group_id}").delete_document(
+            target.doc_id
+        )
+        cluster.restart_pod(0)  # no WAL: memory kept, delete missed
+        searcher = cluster.searcher("owner0", use_cache=False)
+        results = searcher.search([term], top_k=10, fetch_snippets=False)
+        assert all(hit.doc_id != target.doc_id for hit in results)
+        # The complete replica degrades below k: stale shares must not
+        # quietly stand in for it.
+        for slot_index in range(3):  # 1 live < k=2 remains in pod1
+            cluster.kill_server(1, slot_index)
+        fresh = cluster.searcher("owner0", use_cache=False)
+        with pytest.raises(ClusterDegradedError):
+            fresh.search([term], top_k=10, fetch_snippets=False)
+        # Repair heals everything: restart + re-provision, all seats
+        # trusted again, the deleted document stays gone.
+        for slot_index in range(3):
+            cluster.restart_server(1, slot_index)
+        assert cluster.reprovision_dropped_writes() > 0
+        healed = cluster.searcher("owner0", use_cache=False)
+        assert healed.search(
+            [term], top_k=10, fetch_snippets=False
+        ) == results
+
+    def test_stale_replica_is_not_preferred_after_restart(self):
+        """A pod that slept through writes must not serve them short.
+
+        There is no share-shortfall signal for an element a whole pod
+        never saw, so the staleness ledger has to steer reads to the
+        complete replica until owners re-provision.
+        """
+        documents = make_documents()
+        cluster = make_cluster(documents, num_pods=2, replication_factor=2)
+        terms = sorted(documents[0].term_counts)[:2]
+        late = Document(
+            doc_id=800,
+            host="host0",
+            group_id=0,
+            term_counts={terms[0]: 3},
+            length=3,
+        )
+        cluster.kill_pod(0)
+        cluster.share_document("owner0", late)
+        cluster.flush_all()
+        cluster.restart_pod(0)  # stale: missed `late` entirely
+        for _ in range(6):  # repeat queries; load must not flip reads
+            searcher = cluster.searcher("owner0", use_cache=False)
+            results = searcher.search(terms, top_k=10,
+                                      fetch_snippets=False)
+            assert any(hit.doc_id == 800 for hit in results)
+
+
+class TestReprovisioning:
+    def test_reprovision_after_stale_wal_restart(self, tmp_path):
+        """The ROADMAP gap: a restarted seat gets its missed writes back."""
+        documents = make_documents()
+        cluster = make_cluster(documents, num_pods=1, k=2, n=3,
+                               wal_dir=tmp_path)
+        cluster.kill_server(0, 1)
+        extra = Document(
+            doc_id=900,
+            host="host0",
+            group_id=0,
+            term_counts={"w0": 2, "w5": 1},
+            length=3,
+        )
+        cluster.share_document("owner0", extra)
+        cluster.flush_all()
+        assert cluster.coordinator.outstanding_write_routes == 2
+        cluster.restart_server(0, 1)  # WAL replay misses `extra`
+        stale = cluster.pods[0].slots[1].server
+        peer = cluster.pods[0].slots[0].server
+        assert stale.num_elements == peer.num_elements - 2
+        redelivered = cluster.reprovision_dropped_writes()
+        assert redelivered == 2
+        assert cluster.coordinator.outstanding_write_routes == 0
+        # The seat (a fresh object after the WAL restart) caught up...
+        assert cluster.pods[0].slots[1].server.num_elements == (
+            peer.num_elements
+        )
+        # ...and the repair went through the WAL wrapper, so a second
+        # crash-restart keeps the re-provisioned elements too.
+        cluster.kill_server(0, 1)
+        cluster.restart_server(0, 1)
+        assert cluster.pods[0].slots[1].server.num_elements == (
+            peer.num_elements
+        )
+        # No escalation needed anymore: every seat answers in full.
+        searcher = cluster.searcher("owner0", use_cache=False)
+        searcher.search(["w0", "w5"], top_k=10, fetch_snippets=False)
+        assert searcher.last_cluster_diagnostics.escalations == 0
+
+    def test_reprovision_skips_seats_still_dead(self):
+        documents = make_documents()
+        cluster = make_cluster(documents, num_pods=1, k=2, n=3)
+        cluster.kill_server(0, 2)
+        extra = Document(
+            doc_id=901, host="host0", group_id=0,
+            term_counts={"w1": 1}, length=1,
+        )
+        cluster.share_document("owner0", extra)
+        cluster.flush_all()
+        owner = cluster.owner("owner0")
+        assert owner.undelivered_operations == 1
+        assert cluster.reprovision_dropped_writes() == 0  # seat still dead
+        assert owner.undelivered_operations == 1  # ledger kept
+        cluster.restart_server(0, 2)
+        assert cluster.reprovision_dropped_writes() == 1
+        assert owner.undelivered_operations == 0
+
+    def test_missed_delete_is_replayed_not_resurrected(self):
+        documents = make_documents()
+        cluster = make_cluster(documents, num_pods=1, k=2, n=3)
+        target = documents[0]
+        elements = len(target.term_counts)
+        cluster.kill_server(0, 0)
+        cluster.owner(f"owner{target.group_id}").delete_document(
+            target.doc_id
+        )
+        stale = cluster.pods[0].slots[0].server
+        live = cluster.pods[0].slots[1].server
+        assert stale.num_elements == live.num_elements + elements
+        cluster.restart_server(0, 0)
+        assert cluster.reprovision_dropped_writes() == elements
+        assert stale.num_elements == live.num_elements
+
+    def test_insert_then_delete_while_dead_cancels_out(self):
+        documents = make_documents()
+        cluster = make_cluster(documents, num_pods=1, k=2, n=3)
+        cluster.kill_server(0, 1)
+        extra = Document(
+            doc_id=902, host="host0", group_id=0,
+            term_counts={"w2": 1, "w3": 1}, length=2,
+        )
+        cluster.share_document("owner0", extra)
+        cluster.flush_all()
+        cluster.owner("owner0").delete_document(902)
+        cluster.restart_server(0, 1)
+        # Both sides of the pair died in the ledger: nothing to deliver.
+        assert cluster.reprovision_dropped_writes() == 0
+        assert cluster.owner("owner0").undelivered_operations == 0
+        stale = cluster.pods[0].slots[1].server
+        live = cluster.pods[0].slots[0].server
+        assert stale.num_elements == live.num_elements
 
 
 class TestBatchedLookups:

@@ -1,18 +1,27 @@
-"""Rebalancing edge cases of :mod:`repro.extensions.dht`.
+"""Rebalancing edge cases of :mod:`repro.extensions.dht` and the cluster.
 
 The cluster's shard placement rides on the consistent-hash ring, so the
 ring's two core guarantees get pinned here: membership changes move only
 the minimal key range (keys whose owner actually changed), and
 ``owners(key, replicas)`` never returns duplicates however small the
-peer set or large the virtual-node count.
+peer set or large the virtual-node count. On top of those, the cluster
+layer's pod join/retire must actually *move the data* the placement
+diff says moved — slot-aligned share transfers — without ever changing
+an answer.
 """
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
+from repro.client.batching import BatchPolicy
+from repro.cluster import ClusterDeployment
+from repro.core.mapping_table import MappingTable
+from repro.corpus.document import Document
 from repro.errors import ReproError
-from repro.extensions.dht import ConsistentHashRing
+from repro.extensions.dht import ConsistentHashRing, DHTPlacement
 
 KEYS = [f"pl:{i}" for i in range(400)]
 
@@ -126,3 +135,131 @@ class TestOwnersNeverDuplicates:
             owners = ring.owners(key, 3)
             assert sorted(owners) == sorted(set(owners))
             assert set(owners) <= {"b", "d", "e"}
+
+
+class TestClusterPodJoinReplicaMovement:
+    """The cluster's add_pod/retire_pod honour the ring's minimal-move
+    guarantee with real data: only changed replica sets transfer, the
+    new replica holds the same slot-aligned shares, answers never move.
+    """
+
+    NUM_LISTS = 24
+
+    def _cluster(self):
+        rng = random.Random(11)
+        vocab = [f"w{i}" for i in range(40)]
+        cluster = ClusterDeployment(
+            MappingTable({}, num_lists=self.NUM_LISTS),
+            num_pods=2,
+            k=2,
+            n=3,
+            use_network=False,
+            batch_policy=BatchPolicy(min_documents=1),
+            replication_factor=2,
+            seed=29,
+        )
+        cluster.create_group(0, coordinator="owner0")
+        for doc_id in range(18):
+            terms = rng.sample(vocab, rng.randint(2, 6))
+            counts = {t: rng.randint(1, 3) for t in terms}
+            cluster.share_document(
+                "owner0",
+                Document(
+                    doc_id=doc_id,
+                    host="host0",
+                    group_id=0,
+                    term_counts=counts,
+                    length=sum(counts.values()),
+                    text=" ".join(sorted(counts)),
+                ),
+            )
+        cluster.flush_all()
+        terms = sorted(vocab)[:6]
+        baseline = cluster.searcher("owner0", use_cache=False).search(
+            terms, top_k=10, fetch_snippets=False
+        )
+        return cluster, terms, baseline
+
+    def test_pod_join_moves_only_changed_replica_sets(self):
+        cluster, terms, baseline = self._cluster()
+        coordinator = cluster.coordinator
+        before = {
+            pl_id: {p.name for p in coordinator.pods_of(pl_id)}
+            for pl_id in range(self.NUM_LISTS)
+        }
+        stats = cluster.add_pod()
+        assert stats.action == "join"
+        assert 0 < stats.moved_lists < self.NUM_LISTS
+        assert stats.copied_elements > 0
+        assert stats.dropped_copy_routes == 0
+        moved = 0
+        for pl_id in range(self.NUM_LISTS):
+            after = {p.name for p in coordinator.pods_of(pl_id)}
+            assert len(after) == 2  # replication factor preserved
+            # A join may only introduce the new pod, never reshuffle
+            # ownership among the old ones.
+            assert after - before[pl_id] <= {stats.pod_name}
+            if after != before[pl_id]:
+                moved += 1
+        assert moved == stats.moved_lists
+        # The new replica answers interchangeably: kill either old pod.
+        assert cluster.searcher("owner0", use_cache=False).search(
+            terms, top_k=10, fetch_snippets=False
+        ) == baseline
+        for victim in (0, 1):
+            cluster.kill_pod(victim)
+            assert cluster.searcher("owner0", use_cache=False).search(
+                terms, top_k=10, fetch_snippets=False
+            ) == baseline
+            cluster.restart_pod(victim)
+
+    def test_pod_join_garbage_collects_displaced_replicas(self):
+        cluster, _terms, _baseline = self._cluster()
+        stats = cluster.add_pod()
+        # Whatever the new pod gained, someone else dropped: storage
+        # does not balloon beyond R x the logical index.
+        assert stats.gc_elements == stats.copied_elements
+        hosted = {
+            pod.name: set() for pod in cluster.pods
+        }
+        for pl_id in range(self.NUM_LISTS):
+            for pod in cluster.coordinator.pods_of(pl_id):
+                hosted[pod.name].add(pl_id)
+        for pod in cluster.pods:
+            for slot in pod.slots:
+                stored = {
+                    pl_id
+                    for pl_id in range(self.NUM_LISTS)
+                    if slot.server.export_posting_list(pl_id)
+                }
+                assert stored <= hosted[pod.name]
+
+    def test_pod_retire_rehomes_and_preserves_answers(self):
+        cluster, terms, baseline = self._cluster()
+        cluster.add_pod()
+        stats = cluster.retire_pod(0)
+        assert stats.action == "leave"
+        assert stats.moved_lists > 0
+        assert [p.name for p in cluster.pods] == ["pod1", "pod2"]
+        assert [p.index for p in cluster.pods] == [0, 1]
+        assert cluster.searcher("owner0", use_cache=False).search(
+            terms, top_k=10, fetch_snippets=False
+        ) == baseline
+
+
+class TestPlacementRebalanceCosts:
+    def test_leave_cost_is_symmetric_and_minimal(self):
+        from repro.core.merging.base import MergeResult
+
+        merge = MergeResult(
+            lists=tuple((f"t{i}",) for i in range(60)), heuristic="test"
+        )
+        ring = ConsistentHashRing([f"p{i}" for i in range(4)])
+        placement = DHTPlacement(ring, merge, replicas=2)
+        hosted_before = len(placement.lists_on("p2"))
+        moved = placement.rebalance_cost_leave("p2")
+        # Every list the peer hosted moved somewhere; nothing else did.
+        assert moved == hosted_before
+        assert placement.lists_on("p2") == []
+        for pl_id in range(merge.num_lists):
+            assert len(set(placement.peers_for(pl_id))) == 2

@@ -1,0 +1,46 @@
+"""Doc-sanity gate: the README's quickstart snippet must actually run.
+
+Extracts every fenced ``python`` block from the top-level README and
+executes it in a fresh namespace. A README that drifts from the real
+API fails CI instead of misleading the first person who copies it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+README = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+
+FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def python_blocks() -> list[str]:
+    return FENCE.findall(README.read_text(encoding="utf-8"))
+
+
+def test_readme_exists_with_a_python_quickstart():
+    assert README.exists(), "top-level README.md is missing"
+    blocks = python_blocks()
+    assert blocks, "README.md has no fenced python quickstart block"
+
+
+@pytest.mark.parametrize("index", range(len(python_blocks())))
+def test_readme_python_block_executes(index, capsys):
+    source = python_blocks()[index]
+    namespace: dict = {"__name__": "__readme__"}
+    exec(compile(source, f"README.md[python#{index}]", "exec"), namespace)
+    # The quickstart asserts its own results; also pin the visible
+    # outcome so a silently-empty search cannot pass.
+    if "results" in namespace:
+        assert namespace["results"], "quickstart search returned nothing"
+
+
+def test_readme_mentions_the_tier1_command_and_pointers():
+    text = README.read_text(encoding="utf-8")
+    assert "python -m pytest -x -q" in text
+    assert "examples/cluster_tour.py" in text
+    assert "docs/ARCHITECTURE.md" in text
+    assert "scripts/ci.sh" in text
