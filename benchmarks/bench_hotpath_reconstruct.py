@@ -1,0 +1,143 @@
+"""Reconstruction hot path: naive vs weight-cached vs batch (ISSUE 3).
+
+The read path's per-element cost is Shamir reconstruction. The naive
+Lagrange back-end pays the full basis per element — k modular
+inversions (Fermat exponentiations) and the basis products — while the
+weight-cached path computes the Lagrange-at-zero weights once per
+x-tuple and turns every further element into a k-term dot product mod
+p; the batch path additionally amortizes the per-call bookkeeping
+across a whole column of elements.
+
+This bench times all paths over the same share columns, asserts they
+agree bit-for-bit, and records the trajectory in
+``benchmarks/results/BENCH_hotpath.json`` so later PRs can track it.
+``scripts/ci.sh`` runs it as the perf smoke gate: the weight-cached
+path must stay measurably faster than naive reconstruction (generous
+ratio threshold — no flaky absolute numbers).
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_hotpath_reconstruct.py``
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+from benchmarks.conftest import RESULTS_DIR, emit
+from repro.secretsharing.field import DEFAULT_PRIME, PrimeField
+from repro.secretsharing.shamir import ShamirScheme, reconstruct_secret
+
+#: Elements per timed column — enough to dwarf per-call noise while the
+#: whole bench stays in the low seconds.
+ELEMENTS = 3000
+
+#: (k, n) deployments to sweep: the paper's default-ish 2-of-3 and a
+#: wider 3-of-5.
+CONFIGS = ((2, 3), (3, 5))
+
+#: The CI smoke gate: cached must beat naive by at least this factor.
+#: Real measurements show 10-30x; 1.25x keeps the gate honest without
+#: ever tripping on scheduler noise.
+GATE_SPEEDUP = 1.25
+
+
+def _share_columns(k: int, n: int, seed: int):
+    """One scheme + ELEMENTS secrets split into per-element share rows."""
+    rng = random.Random(seed)
+    field = PrimeField(DEFAULT_PRIME)
+    scheme = ShamirScheme(k=k, n=n, field=field, rng=rng)
+    secrets_ = [rng.randrange(field.p) for _ in range(ELEMENTS)]
+    rows = [scheme.split(s)[:k] for s in secrets_]
+    return scheme, secrets_, rows
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def test_hotpath_reconstruct_paths(benchmark):
+    rows_out = []
+    lines = [
+        "reconstruction hot path: naive lagrange vs gaussian vs "
+        f"weight-cached vs batch ({ELEMENTS} elements per column)",
+    ]
+    for k, n in CONFIGS:
+        scheme, secrets_, rows = _share_columns(k, n, seed=1000 * k + n)
+        field = scheme.field
+
+        def naive():
+            return [
+                reconstruct_secret(shares, k, field, "lagrange")
+                for shares in rows
+            ]
+
+        def gaussian():
+            return [
+                reconstruct_secret(shares, k, field, "gaussian")
+                for shares in rows
+            ]
+
+        def cached():
+            scheme._weight_memo.clear()  # cold memo: pay the basis once
+            return [scheme.reconstruct_cached(shares) for shares in rows]
+
+        def batch():
+            scheme._weight_memo.clear()
+            return list(
+                scheme.reconstruct_batch(dict(enumerate(rows))).values()
+            )
+
+        timings = {}
+        for name, fn in (
+            ("naive", naive),
+            ("gaussian", gaussian),
+            ("cached", cached),
+            ("batch", batch),
+        ):
+            seconds, out = _timed(fn)
+            assert out == secrets_, f"{name} path diverged at k={k} n={n}"
+            timings[name] = seconds
+        for name, seconds in timings.items():
+            rows_out.append(
+                {
+                    "path": name,
+                    "k": k,
+                    "n": n,
+                    "elements": ELEMENTS,
+                    "seconds": round(seconds, 6),
+                    "elements_per_sec": round(ELEMENTS / seconds, 1),
+                    "speedup_vs_naive": round(
+                        timings["naive"] / seconds, 2
+                    ),
+                }
+            )
+            lines.append(
+                f"k={k} n={n} {name:8s}: {ELEMENTS / seconds:12.0f} "
+                f"elem/s  ({timings['naive'] / seconds:6.2f}x naive)"
+            )
+        # The perf smoke gate (ci.sh): weight caching must actually pay.
+        assert timings["naive"] > timings["cached"] * GATE_SPEEDUP, (
+            f"weight-cached reconstruction not measurably faster than "
+            f"naive at k={k} n={n}: naive={timings['naive']:.4f}s "
+            f"cached={timings['cached']:.4f}s"
+        )
+        assert timings["naive"] > timings["batch"] * GATE_SPEEDUP
+    # One benchmarked reference pass for pytest-benchmark's ledger.
+    scheme, _secrets, rows = _share_columns(*CONFIGS[0], seed=77)
+    benchmark.pedantic(
+        lambda: scheme.reconstruct_batch(dict(enumerate(rows))),
+        rounds=1,
+        iterations=1,
+    )
+    emit("hotpath_reconstruct", lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_hotpath.json").write_text(
+        json.dumps(
+            {"schema": "zerber.bench_hotpath.v1", "rows": rows_out},
+            indent=2,
+        )
+        + "\n"
+    )

@@ -9,7 +9,10 @@
 # - the whole-pod-loss equivalence tests (replication_factor >= 2) are
 #   the contract of the replication layer;
 # - the README quickstart block must execute, so the first command a
-#   newcomer copies cannot rot.
+#   newcomer copies cannot rot;
+# - the hot-path perf smoke: weight-cached reconstruction must stay
+#   measurably faster than naive Lagrange (ratio gate, no absolute
+#   numbers, so it cannot flake on slow machines).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -45,5 +48,7 @@ gate "pod-loss equivalence" "failed|skipped|no tests ran|error" \
     -k "whole_pod_dead or pod_killed_mid_run"
 gate "README quickstart (doc sanity)" "failed|skipped|deselected|no tests ran|error" \
     tests/test_readme_quickstart.py
+gate "hot-path perf smoke" "failed|skipped|deselected|no tests ran|error" \
+    benchmarks/bench_hotpath_reconstruct.py
 
 echo "CI gate passed."

@@ -191,7 +191,12 @@ class SearchClient:
             raise ReproError(
                 f"must query at least k={k} servers, asked {num_servers}"
             )
-        # Join share streams on (pl_id, element_id).
+        # Join share streams on (pl_id, element_id). Because the fetch
+        # stage yields whole posting lists per server slot, the columns
+        # of this join are naturally grouped by (pl_id, slot-set): every
+        # element of a list fetched from the same k slots carries the
+        # same x-tuple, which is exactly what reconstruct_batch's shared
+        # Lagrange weight vectors amortize over.
         shares_of: dict[tuple[int, int], list[Share]] = defaultdict(list)
         for server_index, responses in self._fetch_lists(pl_ids, num_servers):
             x = self._scheme.x_of(server_index)
@@ -200,13 +205,27 @@ class SearchClient:
                     shares_of[(response.pl_id, record.element_id)].append(
                         Share(x=x, y=record.share_y)
                     )
+        # Elements short of k shares (a lagging or lying server) cannot
+        # reconstruct and are dropped before the batch.
+        eligible = {
+            key: shares
+            for key, shares in shares_of.items()
+            if len(shares) >= k
+        }
+        self.last_diagnostics.elements_received = len(eligible)
+        if self._method == "lagrange":
+            # The hot path: per-element cost is a k-term dot product
+            # with Lagrange weights cached per x-tuple. Byte-identical
+            # to per-element reconstruct (same chosen k-subsets).
+            secrets = self._scheme.reconstruct_batch(eligible)
+        else:
+            secrets = {
+                key: self._scheme.reconstruct(shares, method=self._method)
+                for key, shares in eligible.items()
+            }
         elements: list[PostingElement] = []
-        for (_pl_id, _element_id), shares in shares_of.items():
-            if len(shares) < k:
-                # A lagging or lying server; cannot reconstruct.
-                continue
-            self.last_diagnostics.elements_received += 1
-            secret = self._scheme.reconstruct(shares, method=self._method)
+        for key, shares in eligible.items():
+            secret = secrets[key]
             if self._verify and len(shares) > k:
                 # Cross-check and, when shares disagree, recover by
                 # plurality vote over k-subsets: with a single lying
@@ -253,10 +272,14 @@ class SearchClient:
         from collections import Counter
         from itertools import combinations, islice
 
+        # The lagrange back-end gets the weight-cached fast path — the
+        # 21 subsets draw from at most C(m, k) distinct x-tuples whose
+        # weights the scheme memoizes; results are byte-identical.
+        method = "cached" if self._method == "lagrange" else self._method
         counts: Counter[int] = Counter()
         for subset in islice(combinations(shares, k), 21):
             counts[
-                self._scheme.reconstruct(list(subset), method=self._method)
+                self._scheme.reconstruct(list(subset), method=method)
             ] += 1
         ranked = counts.most_common(2)
         if len(ranked) == 1:

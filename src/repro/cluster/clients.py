@@ -31,11 +31,22 @@ routing:
   (invalidated on writes, re-keyed on membership changes); a cache hit
   costs zero messages and zero bytes. Cache keys are pod-agnostic —
   ``(user, group fingerprint, width, pl_id)`` — so an entry fetched
-  from one replica serves reads even after that pod dies.
+  from one replica serves reads even after that pod dies;
+- **parallel fan-out**: each failover round assigns disjoint list sets
+  to its pods, so the per-pod fetches run concurrently on a shared
+  :class:`~repro.server.transport.ConcurrentDispatcher` and fold back
+  in deterministic pod order — byte-identical *results* versus the
+  sequential path (``parallel_fanout=False``) always; diagnostics
+  counts are identical too whenever replica choice cannot diverge
+  (``replication_factor=1``, or tied EWMA buckets). At R >= 2 the
+  latency-aware ranking is deliberately wall-clock-sensitive, so the
+  two modes may route the same query to different (equally correct)
+  replicas.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -48,7 +59,12 @@ from repro.core.posting import PostingElementCodec
 from repro.errors import ClusterDegradedError, TransportError
 from repro.server.auth import AuthToken
 from repro.server.index_server import PostingListResponse
-from repro.server.transport import SimulatedNetwork
+from repro.server.transport import ConcurrentDispatcher, SimulatedNetwork
+
+#: Shared worker pool for the parallel pod fan-out. Module-level so the
+#: threads are reused across every client (and every test) instead of
+#: being churned per searcher; single-pod rounds never touch it.
+_FANOUT_DISPATCHER = ConcurrentDispatcher(max_workers=8)
 
 
 @dataclass
@@ -71,6 +87,26 @@ class ClusterDiagnostics:
     failovers: int = 0
     escalations: int = 0
     pod_failovers: int = 0
+    parallel_rounds: int = 0
+
+
+@dataclass
+class _PodFetchOutcome:
+    """One pod's leg of a fan-out round, tallied thread-locally.
+
+    The parallel fan-out runs one :meth:`ClusterSearchClient
+    ._fetch_from_pod` per assigned pod concurrently; each leg records
+    its accounting here instead of mutating shared diagnostics, and the
+    query thread folds the outcomes back in deterministic pod order
+    once the round completes.
+    """
+
+    contacted: bool = False
+    failovers: int = 0
+    escalations: int = 0
+    lookup_messages: int = 0
+    response_bytes: int = 0
+    latency_s: float = 0.0
 
 
 class ClusterSearchClient(SearchClient):
@@ -90,6 +126,7 @@ class ClusterSearchClient(SearchClient):
         verify_consistency: bool = False,
         use_cache: bool = True,
         batch_lookups: bool = True,
+        parallel_fanout: bool = True,
     ) -> None:
         """Args:
         user_id: the searching principal (network endpoint name too).
@@ -108,6 +145,15 @@ class ClusterSearchClient(SearchClient):
         batch_lookups: one lookup message per server per query (True,
             the default) vs one message per posting list per server
             (False — the naive fan-out, kept for benches).
+        parallel_fanout: fetch from the pods assigned in one failover
+            round concurrently (True, the default) instead of one pod
+            at a time. Results are byte-identical either way (outcomes
+            merge in deterministic pod order); diagnostics counts
+            match as well unless the latency-aware replica ranking —
+            wall-clock-fed, hence timing-sensitive at
+            ``replication_factor >= 2`` — routes the modes to
+            different replicas. False exists for A/B tests and
+            debugging.
         """
         super().__init__(
             user_id=user_id,
@@ -125,6 +171,7 @@ class ClusterSearchClient(SearchClient):
         self._coordinator = coordinator
         self._use_cache = use_cache
         self._batch_lookups = batch_lookups
+        self._parallel_fanout = parallel_fanout
         self.last_cluster_diagnostics = ClusterDiagnostics()
 
     # -- the cluster fetch stage ------------------------------------------------
@@ -166,6 +213,11 @@ class ClusterSearchClient(SearchClient):
             entry = cache.get(key) if cache is not None else None
             if entry is not None:
                 diag.cache_hits += 1
+                # Cache-hit-aware balancing: the pod whose fetch
+                # produced this entry is still absorbing the list's
+                # read traffic; tell the coordinator so its replica
+                # ranking doesn't mistake it for idle.
+                coordinator.note_cache_read(pl_id)
                 for slot_index, response in entry:
                     out.append((slot_index, [response]))
             else:
@@ -201,11 +253,14 @@ class ClusterSearchClient(SearchClient):
 
         Each round assigns every still-unfinished list to its next
         untried replica pod (preference order from
-        :meth:`ClusterCoordinator.read_replicas`), fetches, and merges
-        slot-deduplicated responses. A list is finished when >= k slots
-        answered for it and no element is short of k shares; it degrades
-        loudly only when the whole replica chain is exhausted below k
-        answered slots.
+        :meth:`ClusterCoordinator.read_replicas`), fetches — from all
+        assigned pods *concurrently* when more than one pod is involved
+        (the pods' list sets are disjoint within a round, so their
+        merges touch disjoint state) — and merges slot-deduplicated
+        responses in deterministic pod order. A list is finished when
+        >= k slots answered for it and no element is short of k shares;
+        it degrades loudly only when the whole replica chain is
+        exhausted below k answered slots.
 
         Returns ``(merged, unresolved)`` — per list, one response per
         answering slot; and the lists that still contain an element with
@@ -242,13 +297,50 @@ class ClusterSearchClient(SearchClient):
                 assignment.setdefault(pod, []).append(pl_id)
             if not assignment:
                 break
-            for pod in sorted(assignment, key=lambda p: p.index):
-                lists = assignment[pod]
-                if self._fetch_from_pod(
-                    pod, lists, num_servers, merged, counts, diag
-                ):
+            # One job per assigned pod. The jobs are independent: each
+            # list belongs to exactly one pod this round, so the merges
+            # mutate disjoint per-list state, and every job tallies its
+            # accounting thread-locally in a _PodFetchOutcome.
+            jobs = [
+                (pod, assignment[pod])
+                for pod in sorted(assignment, key=lambda p: p.index)
+            ]
+            if self._parallel_fanout and len(jobs) > 1:
+                diag.parallel_rounds += 1
+                outcomes = _FANOUT_DISPATCHER.map_ordered(
+                    [
+                        (
+                            lambda p=pod, ls=lists: self._fetch_from_pod(
+                                p, ls, num_servers, merged, counts
+                            )
+                        )
+                        for pod, lists in jobs
+                    ]
+                )
+            else:
+                outcomes = [
+                    self._fetch_from_pod(
+                        pod, lists, num_servers, merged, counts
+                    )
+                    for pod, lists in jobs
+                ]
+            # Deterministic merge: outcomes fold in pod-index order no
+            # matter which thread finished first.
+            for (pod, lists), outcome in zip(jobs, outcomes):
+                diag.failovers += outcome.failovers
+                diag.escalations += outcome.escalations
+                diag.lookup_messages += outcome.lookup_messages
+                self.last_diagnostics.response_bytes += (
+                    outcome.response_bytes
+                )
+                if outcome.contacted:
                     contacted.add(pod.name)
-                    coordinator.note_pod_read(pod.name, len(lists))
+                    coordinator.note_pod_read(
+                        pod.name,
+                        len(lists),
+                        latency_s=outcome.latency_s,
+                        pl_ids=lists,
+                    )
             pending = [
                 pl_id
                 for pl_id in need
@@ -338,20 +430,24 @@ class ClusterSearchClient(SearchClient):
         num_servers: int,
         merged: dict[int, dict[int, PostingListResponse]],
         counts: dict[int, dict[int, int]],
-        diag: ClusterDiagnostics,
-    ) -> bool:
+    ) -> _PodFetchOutcome:
         """One pod's leg of the ladder: slot failover, then escalation.
 
         Seats the staleness ledger marks incomplete for a list are never
         asked for that list — a stale seat's answer is wrong in ways no
         shortfall signal can catch (it omits inserts it slept through
         and still holds shares of deletes it missed). Mutates ``merged``
-        with slot-deduplicated responses; returns whether the pod
-        answered at all. Never raises on a degraded pod — the caller
-        decides whether further replicas can cover.
+        with slot-deduplicated responses (safe under the parallel
+        fan-out: each list is assigned to exactly one pod per round, so
+        concurrent legs touch disjoint per-list dicts) and tallies all
+        accounting into the returned :class:`_PodFetchOutcome`. Never
+        raises on a degraded pod — the caller decides whether further
+        replicas can cover.
         """
         k = self._scheme.k
         coordinator = self._coordinator
+        outcome = _PodFetchOutcome()
+        started = time.perf_counter()
         untrusted = {
             pl_id: coordinator.incomplete_seats(pod.name, pl_id)
             for pl_id in need
@@ -359,7 +455,6 @@ class ClusterSearchClient(SearchClient):
         want = max(k, min(num_servers, len(pod.slots)))
         successes = 0
         shortfall: set[int] = set()
-        contacted = False
         for slot in pod.slots:
             if successes >= want:
                 if not shortfall:
@@ -377,13 +472,13 @@ class ClusterSearchClient(SearchClient):
             if not request:
                 continue  # nothing trustworthy to ask this seat for
             try:
-                responses = self._lookup_slot(slot, request, diag)
+                responses = self._lookup_slot(slot, request, outcome)
             except TransportError:
-                diag.failovers += 1
+                outcome.failovers += 1
                 continue
-            contacted = True
+            outcome.contacted = True
             if escalating:
-                diag.escalations += 1
+                outcome.escalations += 1
             else:
                 successes += 1
             for response in responses:
@@ -399,13 +494,14 @@ class ClusterSearchClient(SearchClient):
                     for pl_id in need
                     if self._share_shortfall(counts[pl_id], k)
                 }
-        return contacted
+        outcome.latency_s = time.perf_counter() - started
+        return outcome
 
     def _lookup_slot(
         self,
         slot: ServerSlot,
         pl_ids: Sequence[int],
-        diag: ClusterDiagnostics,
+        outcome: _PodFetchOutcome,
     ) -> list[PostingListResponse]:
         """One server's lookup traffic: one batched message, or per-list."""
         server = slot.server
@@ -427,7 +523,7 @@ class ClusterSearchClient(SearchClient):
                         r.wire_bytes(server.share_bytes) for r in rs
                     ),
                 )
-                self.last_diagnostics.response_bytes += sum(
+                outcome.response_bytes += sum(
                     r.wire_bytes(server.share_bytes)
                     for r in chunk_responses
                 )
@@ -439,6 +535,6 @@ class ClusterSearchClient(SearchClient):
                 chunk_responses = server.get_posting_lists(
                     self._token, chunk
                 )
-            diag.lookup_messages += 1
+            outcome.lookup_messages += 1
             responses.extend(chunk_responses)
         return responses

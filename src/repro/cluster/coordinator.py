@@ -37,6 +37,7 @@ exist for. Pods join and leave at runtime: :meth:`add_pod` /
 from __future__ import annotations
 
 import pathlib
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -49,6 +50,16 @@ from repro.server.auth import AuthService
 from repro.server.groups import GroupDirectory
 from repro.server.index_server import DeleteOp, IndexServer, InsertOp
 from repro.server.persistence import PostingLog, attach_log, recover_server
+
+#: EWMA smoothing factor for observed per-pod read latency.
+READ_LATENCY_ALPHA = 0.25
+
+#: Latency bucket width (seconds per posting list) used when ranking
+#: replicas. Replica choice compares *buckets*, not raw floats, so
+#: micro-jitter between equally healthy pods never flips the ranking —
+#: only a genuinely slower pod (>= one bucket worse per list) loses its
+#: place, and ties fall back to the load counters deterministically.
+READ_LATENCY_BUCKET_S = 1e-4
 
 
 @dataclass
@@ -241,6 +252,24 @@ class ClusterCoordinator:
         self._incomplete: dict[tuple[str, int], set[str]] = {}
         #: pod name -> posting-list lookups routed to it (read balancing).
         self.pod_read_load: dict[str, int] = {}
+        #: pod name -> EWMA of observed fetch latency in seconds *per
+        #: posting list* (normalized so batched and single-list fetches
+        #: are comparable). Fed by :meth:`note_pod_read`; consulted by
+        #: :meth:`read_replicas`.
+        self.pod_read_latency: dict[str, float] = {}
+        #: pod name -> posting lists served from share-cache entries
+        #: this pod originally fetched (cache-hit-aware accounting: a
+        #: pod whose entries absorb a hot list's reads is still carrying
+        #: that list's traffic, and the balancer should know).
+        self.pod_cache_reads: dict[str, int] = {}
+        #: pl_id -> pod whose fetch last actually served the list (the
+        #: provenance note_cache_read charges hits against).
+        self._read_origin: dict[int, str] = {}
+        #: The parallel fan-out reports per-pod accounting from the
+        #: query thread after every round, but nothing stops multiple
+        #: searchers (or future async paths) from reporting
+        #: concurrently — the counters and EWMA updates take this lock.
+        self._read_stats_lock = threading.Lock()
 
     # -- placement -------------------------------------------------------------
 
@@ -400,26 +429,87 @@ class ClusterCoordinator:
         A pod is ranked by how much *trustworthy* capacity it has for
         the list: live seats that did not miss any write (the staleness
         ledger). Pods that can answer alone (>= k trusted live seats)
-        come first, least read-loaded wins among them; the rest stay as
-        last resorts — even a sub-k pod contributes trusted slots that
-        union with another replica's.
+        come first; among those, the lowest observed fetch latency wins
+        (EWMA per list, compared in coarse buckets so jitter between
+        equally healthy pods never flips the order), then the smallest
+        effective read load — lookups actually routed *plus* lists the
+        pod's fetches keep serving from the share cache, so a pod whose
+        entry absorbs a hot list's reads is not mistaken for idle. The
+        rest stay as last resorts — even a sub-k pod contributes
+        trusted slots that union with another replica's.
         """
         k = self.scheme.k
         ranked = list(enumerate(self.pods_of(pl_id)))
+        with self._read_stats_lock:
+            latency = dict(self.pod_read_latency)
+            load = dict(self.pod_read_load)
+            cache_reads = dict(self.pod_cache_reads)
         ranked.sort(
             key=lambda item: (
                 self.trusted_live_slots(item[1], pl_id) < k,
-                self.pod_read_load.get(item[1].name, 0),
+                int(
+                    latency.get(item[1].name, 0.0) / READ_LATENCY_BUCKET_S
+                ),
+                load.get(item[1].name, 0)
+                + cache_reads.get(item[1].name, 0),
                 item[0],
             )
         )
         return [pod for _rank, pod in ranked]
 
-    def note_pod_read(self, pod_name: str, num_lists: int) -> None:
-        """Account lookups routed to one pod (feeds read balancing)."""
-        self.pod_read_load[pod_name] = (
-            self.pod_read_load.get(pod_name, 0) + num_lists
-        )
+    def note_pod_read(
+        self,
+        pod_name: str,
+        num_lists: int,
+        latency_s: float | None = None,
+        pl_ids: Iterable[int] = (),
+    ) -> None:
+        """Account lookups routed to one pod (feeds read balancing).
+
+        Args:
+            pod_name: the pod that served the fetch.
+            num_lists: posting lists the fetch covered.
+            latency_s: observed wall-clock duration of the fetch; folded
+                into the pod's per-list latency EWMA when given.
+            pl_ids: the fetched lists — recorded as cache provenance so
+                later cache hits can be charged to this pod.
+
+        Race-safe: callers may report from concurrent query threads.
+        """
+        with self._read_stats_lock:
+            self.pod_read_load[pod_name] = (
+                self.pod_read_load.get(pod_name, 0) + num_lists
+            )
+            if latency_s is not None and num_lists > 0:
+                per_list = latency_s / num_lists
+                previous = self.pod_read_latency.get(pod_name)
+                self.pod_read_latency[pod_name] = (
+                    per_list
+                    if previous is None
+                    else previous
+                    + READ_LATENCY_ALPHA * (per_list - previous)
+                )
+            for pl_id in pl_ids:
+                self._read_origin[pl_id] = pod_name
+
+    def note_cache_read(self, pl_id: int, num_lists: int = 1) -> None:
+        """A list was served from the share cache; charge its origin pod.
+
+        Cache keys are pod-agnostic, so the provenance comes from the
+        last real fetch of the list (:meth:`note_pod_read`). Unknown
+        provenance (entry outlived its origin pod, or predates the
+        ledger) is simply not charged.
+        """
+        with self._read_stats_lock:
+            # Checked under the lock so a concurrent retire_pod purge
+            # cannot interleave between the check and the increment and
+            # leave a phantom counter behind for a reused pod name.
+            origin = self._read_origin.get(pl_id)
+            if origin is None or origin not in self._pod_by_name:
+                return
+            self.pod_cache_reads[origin] = (
+                self.pod_cache_reads.get(origin, 0) + num_lists
+            )
 
     # -- failure injection & recovery ----------------------------------------------
 
@@ -576,7 +666,16 @@ class ClusterCoordinator:
             for slot in remaining.slots:
                 slot.pod_index = index
         self._placement_memo.clear()
-        self.pod_read_load.pop(pod.name, None)
+        with self._read_stats_lock:
+            self.pod_read_load.pop(pod.name, None)
+            self.pod_read_latency.pop(pod.name, None)
+            self.pod_cache_reads.pop(pod.name, None)
+            for pl_id in [
+                pl_id
+                for pl_id, origin in self._read_origin.items()
+                if origin == pod.name
+            ]:
+                del self._read_origin[pl_id]
         stats = self._rebalance(pod.name, "leave", before, num_lists)
         for key in [k for k in self._incomplete if k[0] == pod.name]:
             del self._incomplete[key]

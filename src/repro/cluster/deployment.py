@@ -356,9 +356,14 @@ class ClusterDeployment:
         """Drain one pod off the ring (graceful leave) with rebalancing.
 
         After the coordinator re-homes its lists, the pod is fully
-        decommissioned: WALs closed, network endpoints released (so the
-        name can be reused), and its share stores wiped — a drained pod
-        must not keep its index fraction around.
+        decommissioned: WALs closed *and deleted*, network endpoints
+        released (so the name can be reused), and its share stores
+        wiped — a drained pod must not keep its index fraction around,
+        on disk any more than in memory. The WAL delete closes the
+        durability story: the seats' lists now live (and are logged) on
+        their new owners, so a retired seat's log is an orphan that
+        would otherwise accumulate forever — and hand a future
+        same-named seat a stale store to replay.
         """
         pods = self.coordinator.pods
         pod = pods[pod_index] if 0 <= pod_index < len(pods) else None
@@ -369,6 +374,10 @@ class ClusterDeployment:
         for slot in pod.slots:
             if slot.log is not None:
                 slot.log.close()
+                slot.log = None
+            if slot.wal_path is not None:
+                slot.wal_path.unlink(missing_ok=True)
+                slot.wal_path = None
             if self.network is not None and self.network.has_endpoint(
                 slot.server_id
             ):

@@ -137,6 +137,35 @@ class PrimeField:
     def div(self, a: int, b: int) -> int:
         return self.mul(a, self.inv(b))
 
+    def batch_inv(self, values: list[int]) -> list[int]:
+        """Invert many nonzero elements with one modular exponentiation.
+
+        Montgomery's trick: multiply the values into a prefix-product
+        chain, invert only the final product, then peel the individual
+        inverses back off the chain. Cuts ``len(values)`` Fermat
+        exponentiations down to one — the difference between a Lagrange
+        basis costing k modexps and costing one.
+
+        Raises:
+            FieldError: if any value is congruent to 0.
+        """
+        if not values:
+            return []
+        prefix: list[int] = []
+        acc = 1
+        for v in values:
+            v %= self.p
+            if v == 0:
+                raise FieldError("0 has no multiplicative inverse")
+            prefix.append(acc)
+            acc = (acc * v) % self.p
+        inv_acc = self.inv(acc)
+        out = [0] * len(values)
+        for i in range(len(values) - 1, -1, -1):
+            out[i] = (inv_acc * prefix[i]) % self.p
+            inv_acc = (inv_acc * values[i]) % self.p
+        return out
+
     def pow(self, a: int, e: int) -> int:
         return pow(a % self.p, e, self.p)
 
@@ -241,3 +270,40 @@ class PrimeField:
     def lagrange_at_zero(self, points: list[tuple[int, int]]) -> int:
         """Recover a Shamir secret: interpolate through ``points`` at x=0."""
         return self.lagrange_eval(points, 0)
+
+    def lagrange_weights_at_zero(self, xs: tuple[int, ...]) -> tuple[int, ...]:
+        """The Lagrange basis evaluated at x=0 for the support ``xs``.
+
+        Returns weights ``w_i = prod_{j != i} x_j / (x_j - x_i)`` such
+        that any polynomial ``f`` of degree ``< len(xs)`` through points
+        ``(x_i, y_i)`` satisfies ``f(0) = sum w_i * y_i  (mod p)``. The
+        weights depend only on the x-coordinates, never on the shares —
+        which is what makes them cacheable across every posting element
+        fetched from the same server slots.
+
+        Computed with a single modular inversion (:meth:`batch_inv`).
+
+        Raises:
+            FieldError: on duplicate or zero x-coordinates (x=0 in the
+                support would mean a share *is* the secret).
+        """
+        normalized = [self.normalize(x) for x in xs]
+        if len(set(normalized)) != len(normalized):
+            raise FieldError("duplicate x-coordinates in interpolation")
+        if any(x == 0 for x in normalized):
+            raise FieldError("x-coordinate 0 in a Lagrange-at-zero basis")
+        numerators: list[int] = []
+        denominators: list[int] = []
+        for i, xi in enumerate(normalized):
+            num, den = 1, 1
+            for j, xj in enumerate(normalized):
+                if i == j:
+                    continue
+                num = (num * xj) % self.p
+                den = (den * (xj - xi)) % self.p
+            numerators.append(num)
+            denominators.append(den)
+        inverses = self.batch_inv(denominators)
+        return tuple(
+            (num * inv) % self.p for num, inv in zip(numerators, inverses)
+        )

@@ -23,7 +23,7 @@ from __future__ import annotations
 import random
 import secrets
 from dataclasses import dataclass
-from typing import Iterable, Literal, Sequence
+from typing import Hashable, Iterable, Literal, Mapping, Sequence
 
 from repro.errors import InsufficientSharesError, SecretSharingError
 from repro.secretsharing.field import DEFAULT_PRIME, PrimeField
@@ -140,6 +140,27 @@ def _reconstruct_gaussian(
     return solution[0]
 
 
+def _choose_k_shares(
+    shares: Iterable[Share], k: int, field: PrimeField
+) -> list[Share]:
+    """The canonical k-share subset every reconstruction back-end uses.
+
+    First occurrence wins per distinct (normalized) x-coordinate, then
+    the first ``k`` in arrival order — shared by the naive, Gaussian,
+    weight-cached, and batch paths so that, when shares disagree (a
+    lying server), every back-end reconstructs from the *same* subset
+    and stays byte-identical.
+    """
+    unique: dict[int, Share] = {}
+    for share in shares:
+        unique.setdefault(field.normalize(share.x), share)
+    if len(unique) < k:
+        raise InsufficientSharesError(
+            f"need {k} distinct shares, got {len(unique)}"
+        )
+    return list(unique.values())[:k]
+
+
 def reconstruct_secret(
     shares: Iterable[Share],
     k: int,
@@ -165,14 +186,7 @@ def reconstruct_secret(
         SecretSharingError: duplicate x-coordinates among the chosen shares.
     """
     field = field or PrimeField(DEFAULT_PRIME)
-    unique: dict[int, Share] = {}
-    for share in shares:
-        unique.setdefault(field.normalize(share.x), share)
-    if len(unique) < k:
-        raise InsufficientSharesError(
-            f"need {k} distinct shares, got {len(unique)}"
-        )
-    chosen = list(unique.values())[:k]
+    chosen = _choose_k_shares(shares, k, field)
     if method == "gaussian":
         return _reconstruct_gaussian(chosen, k, field)
     if method == "lagrange":
@@ -227,6 +241,14 @@ class ShamirScheme:
             self._x_coordinates = coords
         else:
             self._x_coordinates = self._draw_coordinates(n)
+        #: Lagrange-at-zero basis weights, memoized per frozen x-tuple.
+        #: The weights depend only on which server slots answered, so a
+        #: query reconstructing thousands of posting elements from the
+        #: same k slots pays the basis (and its modular inversions)
+        #: exactly once; afterwards each element is a k-term dot product
+        #: mod p. Values are idempotent, so concurrent readers may
+        #: recompute the same entry harmlessly (no lock needed).
+        self._weight_memo: dict[tuple[int, ...], tuple[int, ...]] = {}
 
     def _draw_coordinates(self, count: int) -> list[int]:
         coords: set[int] = set()
@@ -272,10 +294,84 @@ class ShamirScheme:
     def reconstruct(
         self,
         shares: Iterable[Share],
-        method: ReconstructMethod = "lagrange",
+        method: ReconstructMethod | Literal["cached"] = "lagrange",
     ) -> int:
-        """Recover a secret from any ``k`` of its shares."""
+        """Recover a secret from any ``k`` of its shares.
+
+        ``method="cached"`` routes through the memoized Lagrange-weight
+        fast path (:meth:`reconstruct_cached`); ``"lagrange"`` and
+        ``"gaussian"`` are the naive back-ends, kept bit-for-bit as the
+        reference the hot path is benchmarked (and property-tested)
+        against.
+        """
+        if method == "cached":
+            return self.reconstruct_cached(shares)
         return reconstruct_secret(shares, self.k, self.field, method)
+
+    def lagrange_weights(self, xs: tuple[int, ...]) -> tuple[int, ...]:
+        """Memoized Lagrange-at-zero basis weights for one x-tuple.
+
+        ``xs`` must already be normalized into [0, p) — the memo is
+        keyed on the tuple verbatim.
+        """
+        weights = self._weight_memo.get(xs)
+        if weights is None:
+            weights = self.field.lagrange_weights_at_zero(xs)
+            self._weight_memo[xs] = weights
+        return weights
+
+    def reconstruct_cached(self, shares: Iterable[Share]) -> int:
+        """Weight-cached reconstruction: a k-term dot product mod p.
+
+        Chooses the same k-share subset as :meth:`reconstruct` (first
+        occurrence per x, first k in arrival order), so results are
+        byte-identical to the naive Lagrange path — including which
+        (possibly corrupted) shares a > k fetch reconstructs from.
+        """
+        chosen = _choose_k_shares(shares, self.k, self.field)
+        field = self.field
+        weights = self.lagrange_weights(
+            tuple(field.normalize(s.x) for s in chosen)
+        )
+        return (
+            sum(w * s.y for w, s in zip(weights, chosen)) % field.p
+        )
+
+    def reconstruct_batch(
+        self, shares_by_element: Mapping[Hashable, Sequence[Share]]
+    ) -> dict[Hashable, int]:
+        """Reconstruct many secrets, sharing Lagrange weights per x-tuple.
+
+        The query hot path joins share streams into element -> shares
+        columns where nearly every element carries the same x-tuple (the
+        k server slots that answered). Elements sharing a tuple share
+        one weight vector — the scheme-level memo computes each tuple's
+        basis (and its modular inversions) once, for the whole batch
+        and for every later query — so the per-element cost collapses
+        to a k-term dot product mod p.
+
+        Args:
+            shares_by_element: element key -> its fetched shares (each
+                element needs >= k distinct x-coordinates).
+
+        Returns:
+            element key -> reconstructed secret, same iteration order.
+
+        Raises:
+            InsufficientSharesError: some element has < k distinct
+                shares (checked in input order, like the naive loop).
+        """
+        field = self.field
+        p = field.p
+        k = self.k
+        out: dict[Hashable, int] = {}
+        for key, shares in shares_by_element.items():
+            chosen = _choose_k_shares(shares, k, field)
+            weights = self.lagrange_weights(
+                tuple(field.normalize(s.x) for s in chosen)
+            )
+            out[key] = sum(w * s.y for w, s in zip(weights, chosen)) % p
+        return out
 
     def extend(self, additional_servers: int) -> list[int]:
         """Dynamically add servers by "just selecting additional points on the

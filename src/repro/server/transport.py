@@ -15,9 +15,11 @@ way the paper does.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.errors import TransportError
 
@@ -85,6 +87,10 @@ class SimulatedNetwork:
         self._links: dict[tuple[str, str], LinkSpec] = {}
         self._default_link = default_link or LinkSpec()
         self.stats = NetworkStats()
+        # The parallel read fan-out issues calls from worker threads;
+        # the ledger increments must not lose updates. Handlers run
+        # outside the lock (they may be slow, or call back in).
+        self._stats_lock = threading.Lock()
 
     # -- topology ------------------------------------------------------------
 
@@ -149,15 +155,90 @@ class SimulatedNetwork:
         if request_bytes < 0:
             raise TransportError("negative request size")
         forward = self.link(src, dst)
-        self.stats.bytes_by_link[(src, dst)] += request_bytes
-        self.stats.bytes_by_kind[kind] += request_bytes
-        self.stats.messages_by_kind[kind] += 1
-        self.stats.simulated_seconds += forward.transfer_time(request_bytes)
+        with self._stats_lock:
+            self.stats.bytes_by_link[(src, dst)] += request_bytes
+            self.stats.bytes_by_kind[kind] += request_bytes
+            self.stats.messages_by_kind[kind] += 1
+            self.stats.simulated_seconds += forward.transfer_time(
+                request_bytes
+            )
         response = handler(kind, message)
         if response_bytes_of is not None:
             size = response_bytes_of(response)
             backward = self.link(dst, src)
-            self.stats.bytes_by_link[(dst, src)] += size
-            self.stats.bytes_by_kind[kind] += size
-            self.stats.simulated_seconds += backward.transfer_time(size)
+            with self._stats_lock:
+                self.stats.bytes_by_link[(dst, src)] += size
+                self.stats.bytes_by_kind[kind] += size
+                self.stats.simulated_seconds += backward.transfer_time(size)
         return response
+
+
+class ConcurrentDispatcher:
+    """Thread-pooled fan-out with a deterministic merge order.
+
+    The read path issues one fetch per replica pod per round; the pods
+    are independent, so the fetches can run concurrently — but the
+    results must fold back in a fixed order or diagnostics (and any
+    order-sensitive merge) would depend on thread scheduling.
+    :meth:`map_ordered` returns results in *submission* order no matter
+    which call finishes first, and runs single calls inline so the
+    common one-pod round never pays for a thread hop.
+
+    The executor is created lazily on the first multi-call dispatch and
+    shared across calls (worker threads are reused, not churned per
+    query).
+    """
+
+    def __init__(self, max_workers: int = 8) -> None:
+        """Args:
+        max_workers: thread-pool width; 1 forces sequential dispatch
+            (useful to A/B the parallel path against it).
+        """
+        if max_workers < 1:
+            raise TransportError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self._max_workers = max_workers
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+
+    def map_ordered(self, calls: Sequence[Callable[[], Any]]) -> list[Any]:
+        """Run every thunk, return their results in submission order.
+
+        An exception from any call is re-raised — the earliest failing
+        call in submission order wins, after every future has settled
+        (no call is abandoned mid-flight with shared state half-merged).
+        """
+        calls = list(calls)
+        if len(calls) <= 1 or self._max_workers == 1:
+            return [call() for call in calls]
+        executor = self._ensure_executor()
+        futures: list[Future] = [executor.submit(call) for call in calls]
+        outcomes = []
+        error: BaseException | None = None
+        for future in futures:
+            try:
+                outcomes.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                outcomes.append(None)
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+        return outcomes
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="zerber-fanout",
+                )
+            return self._executor
+
+    def shutdown(self) -> None:
+        """Release the worker threads (idempotent)."""
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None

@@ -246,6 +246,67 @@ class TestClusterPodJoinReplicaMovement:
             terms, top_k=10, fetch_snippets=False
         ) == baseline
 
+    def test_pod_retire_deletes_orphaned_wals(self, tmp_path):
+        """Regression: decommissioning a pod must not leave its seats'
+        WAL files behind — the lists now live (and are logged) on their
+        new owners, so a retired log is an orphan that would accumulate
+        forever and could feed a stale replay to a future same-named
+        seat."""
+        rng = random.Random(13)
+        vocab = [f"w{i}" for i in range(40)]
+        cluster = ClusterDeployment(
+            MappingTable({}, num_lists=self.NUM_LISTS),
+            num_pods=2,
+            k=2,
+            n=3,
+            use_network=False,
+            batch_policy=BatchPolicy(min_documents=1),
+            replication_factor=2,
+            wal_dir=tmp_path,
+            seed=31,
+        )
+        cluster.create_group(0, coordinator="owner0")
+        for doc_id in range(12):
+            terms = rng.sample(vocab, rng.randint(2, 6))
+            counts = {t: rng.randint(1, 3) for t in terms}
+            cluster.share_document(
+                "owner0",
+                Document(
+                    doc_id=doc_id,
+                    host="host0",
+                    group_id=0,
+                    term_counts=counts,
+                    length=sum(counts.values()),
+                    text=" ".join(sorted(counts)),
+                ),
+            )
+        cluster.flush_all()
+        query = sorted(vocab)[:6]
+        baseline = cluster.searcher("owner0", use_cache=False).search(
+            query, top_k=10, fetch_snippets=False
+        )
+        cluster.add_pod()
+        retiring = cluster.pods[0]
+        retired_wals = [slot.wal_path for slot in retiring.slots]
+        assert all(path is not None and path.exists() for path in retired_wals)
+        cluster.retire_pod(0)
+        # The retired seats' logs are gone; every surviving seat's log
+        # remains and keeps the cluster restartable.
+        assert not any(path.exists() for path in retired_wals)
+        surviving = [
+            slot.wal_path for pod in cluster.pods for slot in pod.slots
+        ]
+        assert all(path is not None and path.exists() for path in surviving)
+        assert cluster.searcher("owner0", use_cache=False).search(
+            query, top_k=10, fetch_snippets=False
+        ) == baseline
+        # WAL recovery still works on the survivors (crash drill).
+        cluster.kill_server(0, 0)
+        cluster.restart_server(0, 0)
+        assert cluster.searcher("owner0", use_cache=False).search(
+            query, top_k=10, fetch_snippets=False
+        ) == baseline
+
 
 class TestPlacementRebalanceCosts:
     def test_leave_cost_is_symmetric_and_minimal(self):

@@ -1,0 +1,183 @@
+"""The read-path fast lane must be invisible (ISSUE 3).
+
+Weight-cached and batch reconstruction are pure speedups: for every
+share multiset — healthy, permuted, duplicated, or corrupted by a lying
+server — they must return bit-for-bit what the naive Lagrange and
+Gaussian back-ends return, because the cluster's standing invariant
+(byte-identical answers everywhere) is built on top of them. Hypothesis
+drives random schemes, subsets and corruptions through all four
+back-ends; further tests pin the weight memo's behavior and the field
+helpers' error cases.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError, InsufficientSharesError
+from repro.secretsharing.field import PrimeField
+from repro.secretsharing.shamir import (
+    ShamirScheme,
+    Share,
+    reconstruct_secret,
+)
+
+#: Small primes keep hypothesis fast; the default 2**64 + 13 field is
+#: exercised by the deployment suites and the microbenchmark.
+PRIMES = (101, 257, 65537)
+
+
+@st.composite
+def shamir_case(draw):
+    """A scheme, a secret's shares, and a fetched (maybe lying) subset."""
+    p = draw(st.sampled_from(PRIMES))
+    k = draw(st.integers(min_value=1, max_value=5))
+    n = draw(st.integers(min_value=k, max_value=7))
+    rng = random.Random(draw(st.integers(0, 2**20)))
+    field = PrimeField(p)
+    scheme = ShamirScheme(k=k, n=n, field=field, rng=rng)
+    secret = draw(st.integers(min_value=0, max_value=p - 1))
+    shares = scheme.split(secret)
+    m = draw(st.integers(min_value=k, max_value=n))
+    subset = rng.sample(shares, m)
+    # A lying server corrupts up to m - k of the fetched shares (the
+    # remaining k honest ones may or may not be the chosen subset —
+    # either way every back-end must agree on the same answer).
+    num_corrupt = draw(st.integers(min_value=0, max_value=m - k))
+    corrupt_at = rng.sample(range(m), num_corrupt)
+    fetched = [
+        Share(x=s.x, y=(s.y + rng.randint(1, p - 1)) % p)
+        if i in corrupt_at
+        else s
+        for i, s in enumerate(subset)
+    ]
+    return scheme, secret, fetched, num_corrupt
+
+
+@settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(shamir_case())
+def test_all_backends_agree_bit_for_bit(case):
+    scheme, secret, fetched, num_corrupt = case
+    naive = scheme.reconstruct(fetched, method="lagrange")
+    gaussian = scheme.reconstruct(fetched, method="gaussian")
+    cached = scheme.reconstruct_cached(fetched)
+    batch = scheme.reconstruct_batch({"e": fetched})["e"]
+    via_method = scheme.reconstruct(fetched, method="cached")
+    assert naive == gaussian == cached == batch == via_method
+    if num_corrupt == 0:
+        assert naive == secret
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(shamir_case(), st.integers(min_value=2, max_value=30))
+def test_batch_matches_per_element_over_columns(case, num_elements):
+    """A whole column of elements (same scheme, fresh random secrets,
+    varying slot subsets) reconstructs identically via batch and naive."""
+    scheme, _secret, _fetched, _ = case
+    p = scheme.field.p
+    rng = random.Random(num_elements * 7919 + p)
+    column = {}
+    expected = {}
+    for element_id in range(num_elements):
+        secret = rng.randrange(p)
+        shares = scheme.split(secret)
+        m = rng.randint(scheme.k, scheme.n)
+        column[element_id] = rng.sample(shares, m)
+        expected[element_id] = secret
+    batch = scheme.reconstruct_batch(column)
+    assert list(batch) == list(column)  # iteration order preserved
+    for element_id, shares in column.items():
+        assert batch[element_id] == expected[element_id]
+        assert batch[element_id] == reconstruct_secret(
+            shares, scheme.k, scheme.field, "lagrange"
+        )
+
+
+class TestWeightCache:
+    def _scheme(self, k=3, n=5, p=65537, seed=5):
+        return ShamirScheme(
+            k=k, n=n, field=PrimeField(p), rng=random.Random(seed)
+        )
+
+    def test_weights_memoized_per_x_tuple(self):
+        scheme = self._scheme()
+        secret_shares = [scheme.split(s) for s in (11, 22, 33)]
+        for shares in secret_shares:
+            scheme.reconstruct_cached(shares[: scheme.k])
+        # Same slot subset every time -> exactly one memo entry.
+        assert len(scheme._weight_memo) == 1
+        scheme.reconstruct_cached(secret_shares[0][1:4])
+        assert len(scheme._weight_memo) == 2
+
+    def test_weights_match_lagrange_basis(self):
+        scheme = self._scheme()
+        field = scheme.field
+        xs = scheme.x_coordinates[: scheme.k]
+        weights = scheme.lagrange_weights(tuple(xs))
+        # Dot product with the weights == interpolation at zero, for
+        # arbitrary y-columns (not just consistent polynomials).
+        rng = random.Random(9)
+        for _ in range(20):
+            ys = [rng.randrange(field.p) for _ in xs]
+            direct = field.lagrange_at_zero(list(zip(xs, ys)))
+            dotted = sum(w * y for w, y in zip(weights, ys)) % field.p
+            assert direct == dotted
+
+    def test_insufficient_distinct_shares_raise_like_naive(self):
+        scheme = self._scheme(k=3, n=5)
+        shares = scheme.split(42)
+        dup = [shares[0], shares[0], shares[1]]  # 2 distinct < k=3
+        with pytest.raises(InsufficientSharesError):
+            scheme.reconstruct(dup, method="lagrange")
+        with pytest.raises(InsufficientSharesError):
+            scheme.reconstruct_cached(dup)
+        with pytest.raises(InsufficientSharesError):
+            scheme.reconstruct_batch({"e": dup})
+
+    def test_duplicate_x_first_occurrence_wins_everywhere(self):
+        """A server echoing another's x-coordinate with a different y:
+        the canonical subset keeps the first occurrence, so every
+        back-end reconstructs the same (possibly wrong) value."""
+        scheme = self._scheme(k=2, n=3, p=101)
+        shares = scheme.split(7)
+        echo = Share(x=shares[0].x, y=(shares[0].y + 5) % 101)
+        fetched = [shares[0], echo, shares[1]]
+        assert (
+            scheme.reconstruct(fetched, "lagrange")
+            == scheme.reconstruct_cached(fetched)
+            == scheme.reconstruct_batch({"e": fetched})["e"]
+            == 7
+        )
+
+
+class TestFieldHelpers:
+    def test_batch_inv_matches_single_inv(self):
+        field = PrimeField(65537)
+        rng = random.Random(3)
+        values = [rng.randrange(1, field.p) for _ in range(40)]
+        assert field.batch_inv(values) == [field.inv(v) for v in values]
+        assert field.batch_inv([]) == []
+
+    def test_batch_inv_rejects_zero(self):
+        field = PrimeField(101)
+        with pytest.raises(FieldError):
+            field.batch_inv([5, 0, 7])
+
+    def test_weights_reject_bad_supports(self):
+        field = PrimeField(101)
+        with pytest.raises(FieldError):
+            field.lagrange_weights_at_zero((3, 3))
+        with pytest.raises(FieldError):
+            field.lagrange_weights_at_zero((3, 0))
