@@ -10,9 +10,15 @@
 #   the contract of the replication layer;
 # - the README quickstart block must execute, so the first command a
 #   newcomer copies cannot rot;
+# - the socket-transport equivalence suite re-runs equivalence worlds
+#   over loopback TCP — the wire protocol's two backends must return
+#   byte-identical results, seat kills and pod kills included;
 # - the hot-path perf smoke: weight-cached reconstruction must stay
 #   measurably faster than naive Lagrange (ratio gate, no absolute
-#   numbers, so it cannot flake on slow machines).
+#   numbers, so it cannot flake on slow machines);
+# - the transport bench records BENCH_transport.json and gates the
+#   in-process backend against the recorded PR 3 read-path baseline
+#   (ratio gate).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -48,7 +54,13 @@ gate "pod-loss equivalence" "failed|skipped|no tests ran|error" \
     -k "whole_pod_dead or pod_killed_mid_run"
 gate "README quickstart (doc sanity)" "failed|skipped|deselected|no tests ran|error" \
     tests/test_readme_quickstart.py
+gate "socket transport equivalence (loopback TCP)" \
+    "failed|skipped|deselected|no tests ran|error" \
+    tests/test_socket_equivalence.py
 gate "hot-path perf smoke" "failed|skipped|deselected|no tests ran|error" \
     benchmarks/bench_hotpath_reconstruct.py
+gate "transport bench (BENCH_transport.json)" \
+    "failed|skipped|deselected|no tests ran|error" \
+    benchmarks/bench_transport.py
 
 echo "CI gate passed."

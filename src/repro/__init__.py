@@ -25,7 +25,10 @@ Package map (see DESIGN.md for the paper-section cross-reference):
 - :mod:`repro.analysis` — workload/bandwidth/storage models (§7.2–7.4);
 - :mod:`repro.extensions` — the paper's future-work features;
 - :mod:`repro.cluster` — the sharded multi-pod cluster engine (pods,
-  placement, batched lookups, failover, share caching).
+  placement, batched lookups, failover, share caching);
+- :mod:`repro.protocol` — the wire-protocol service API: versioned
+  messages, binary codec, server-side dispatch, and the pluggable
+  in-process / socket transports.
 """
 
 __version__ = "1.1.0"

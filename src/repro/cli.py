@@ -10,11 +10,17 @@ Five entry points for kicking Zerber's tires without writing code:
 - ``bandwidth`` — the §7.3 network model with adjustable parameters;
 - ``cluster``   — the sharded multi-pod engine: ``deploy`` prints the
   topology and shard placement, ``search`` runs batched cluster queries,
-  ``kill-server`` demonstrates failover under server loss, and
-  ``kill-pod`` runs the whole-pod-loss drill (with ``--replication 2``
-  the answers stay byte-identical, then the pod restarts and owners
-  re-provision the writes it missed). Every run rebuilds the same
-  deterministic scenario from ``--seed``, like the other commands.
+  ``kill-server`` demonstrates failover under server loss, ``kill-pod``
+  runs the whole-pod-loss drill (with ``--replication 2`` the answers
+  stay byte-identical, then the pod restarts and owners re-provision
+  the writes it missed), and ``status`` prints the observability
+  snapshot (pods, live/dead seats, replica placement, per-pod EWMA read
+  latency). Every run rebuilds the same deterministic scenario from
+  ``--seed``, like the other commands;
+- ``serve``     — stand the deterministic cluster scenario up behind the
+  wire protocol on a TCP listener, so searches can run out-of-process
+  (pair with ``ClusterDeployment(transport="socket")`` or a raw
+  ``SocketTransport``).
 """
 
 from __future__ import annotations
@@ -142,7 +148,7 @@ def _cmd_bandwidth(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_cluster(args: argparse.Namespace):
+def _build_cluster(args: argparse.Namespace, **extra):
     """The deterministic cluster scenario every ``cluster`` subcommand uses."""
     from repro.cluster import ClusterDeployment
     from repro.corpus.synthetic import SyntheticCorpusConfig, generate_corpus
@@ -167,6 +173,7 @@ def _build_cluster(args: argparse.Namespace):
             n=args.n,
             replication_factor=args.replication,
             seed=args.seed,
+            **extra,
         )
     except ClusterError as exc:
         raise SystemExit(f"bad cluster configuration: {exc}")
@@ -338,6 +345,76 @@ def _cmd_cluster_kill_pod(args: argparse.Namespace) -> int:
     return 0 if degraded == healthy and final_results == healthy else 1
 
 
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    """Observability snapshot: pods, seats, placement, EWMA latencies."""
+    corpus, cluster = _build_cluster(args)
+    with cluster:
+        _kill_servers(cluster, _parse_kills(args.kill))
+        # Warm the read-side statistics so the latency/load columns mean
+        # something (the snapshot of an idle cluster is all dashes).
+        terms = _cluster_query_terms(corpus, args)
+        searcher = cluster.searcher("owner0")
+        for _ in range(args.warmup_queries):
+            searcher.search(terms, top_k=5, fetch_snippets=False)
+        snap = cluster.status_snapshot()
+        print(
+            f"cluster: {len(snap['pods'])} pods, "
+            f"replication={snap['replication_factor']}, "
+            f"{snap['num_lists']} merged lists, "
+            f"{snap['outstanding_write_routes']} write routes outstanding"
+        )
+        for pod in snap["pods"]:
+            ewma = pod["read_latency_ewma_s"]
+            latency = f"{ewma * 1e6:8.1f} us/list" if ewma else "       - "
+            print(
+                f"  {pod['name']:>6}: {pod['live_seats']}/{len(pod['seats'])}"
+                f" seats live, {pod['hosted_lists']:3d} lists,"
+                f" read load {pod['read_load']:4d},"
+                f" ewma {latency},"
+                f" {pod['stale_lists']} stale lists"
+            )
+            dead = [s["server_id"] for s in pod["seats"] if not s["alive"]]
+            if dead:
+                print(f"          dead: {', '.join(dead)}")
+        cache = snap["cache"]
+        print(
+            f"share cache: {cache['entries']} entries, "
+            f"{cache['hits']} hits / {cache['misses']} misses"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Stand the scenario up behind the wire protocol on loopback TCP."""
+    import time as _time
+
+    _, cluster = _build_cluster(
+        args,
+        transport="socket",
+        socket_host=args.host,
+        socket_port=args.port,
+    )
+    with cluster:
+        host, port = cluster.transport.address
+        endpoints = cluster.registry.endpoints()
+        print(f"serving {len(endpoints)} endpoints at {host}:{port}")
+        print(f"  pods: {', '.join(pod.name for pod in cluster.pods)}")
+        print(
+            "  connect with: ClusterDeployment(..., transport='socket') "
+            f"or SocketTransport(('{host}', {port}))"
+        )
+        deadline = (
+            None if args.duration is None
+            else _time.monotonic() + args.duration
+        )
+        try:
+            while deadline is None or _time.monotonic() < deadline:
+                _time.sleep(0.2)
+        except KeyboardInterrupt:
+            print("shutting down")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -434,6 +511,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--pod", type=int, default=0, help="pod index to take down"
     )
     ckillpod.set_defaults(func=_cmd_cluster_kill_pod, replication=2)
+
+    cstatus = cluster_sub.add_parser(
+        "status",
+        help="observability snapshot: pods, seats, placement, "
+             "per-pod EWMA read latency",
+    )
+    _common_cluster_args(cstatus)
+    cstatus.add_argument("--terms", nargs="+", default=None)
+    cstatus.add_argument(
+        "--kill", action="append", metavar="POD:SLOT",
+        help="take servers down before the snapshot (repeatable)",
+    )
+    cstatus.add_argument(
+        "--warmup-queries", type=int, default=3,
+        help="queries run first so latency/load columns are populated",
+    )
+    cstatus.set_defaults(func=_cmd_cluster_status, top_k=5)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the deterministic cluster scenario over the wire "
+             "protocol on TCP",
+    )
+    serve.add_argument("--pods", type=int, default=3)
+    serve.add_argument("--n", type=int, default=6)
+    serve.add_argument("--k", type=int, default=3)
+    serve.add_argument("--replication", type=int, default=2)
+    serve.add_argument("--documents", type=int, default=40)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 picks a free one; printed on startup)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None,
+        help="serve for this many seconds then exit (default: forever)",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

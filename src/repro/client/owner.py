@@ -31,9 +31,16 @@ from repro.core.posting import PostingElement, PostingElementCodec, new_element_
 from repro.corpus.document import Document
 from repro.errors import ReproError
 from repro.invindex.inverted_index import InvertedIndex
+from repro.protocol.messages import (
+    DeleteBatchRequest,
+    FetchListsRequest,
+    InsertBatchRequest,
+)
+from repro.protocol.service import fleet_resolver
+from repro.protocol.transport import InProcessTransport, Transport
 from repro.secretsharing.shamir import ShamirScheme
 from repro.server.auth import AuthToken
-from repro.server.index_server import DeleteOp, IndexServer, InsertOp
+from repro.server.index_server import DeleteOp, InsertOp
 from repro.server.transport import SimulatedNetwork
 
 
@@ -69,32 +76,42 @@ class DroppedRoute:
 class WriteRoute:
     """A router's full answer for one posting list: who gets the write,
     and which seats missed it (the owner's re-provisioning ledger feeds
-    off ``dropped``)."""
+    off ``dropped``).
 
-    live: tuple[tuple[int, IndexServer], ...]
+    ``live`` names seats by *endpoint*, never by server object — the
+    owner delivers every operation as a protocol message over its
+    transport, so a route is pure addressing: ``shares_y[share_slot]``
+    goes to the endpoint ``server_id``.
+    """
+
+    live: tuple[tuple[int, str], ...]
     dropped: tuple[DroppedRoute, ...] = ()
 
 
 class FleetRouter:
     """The paper's §5 placement: every posting list lives on every server.
 
-    A router decides which ``(share_slot, server)`` pairs an operation on
-    one posting list must reach; ``shares_y[share_slot]`` is the share
-    delivered to that server. This default routes everything to the whole
-    fleet; the cluster's :class:`~repro.cluster.coordinator.ClusterCoordinator`
-    implements the same ``route``/``targets`` contract to route each list
-    to its replica pods instead.
+    A router decides which ``(share_slot, server_id)`` pairs an operation
+    on one posting list must reach; ``shares_y[share_slot]`` is the share
+    delivered to that endpoint. This default routes everything to the
+    whole fleet; the cluster's
+    :class:`~repro.cluster.coordinator.ClusterCoordinator` implements the
+    same ``route``/``targets`` contract to route each list to its replica
+    pods instead.
     """
 
-    def __init__(self, servers: Sequence[IndexServer]) -> None:
+    def __init__(self, servers: Sequence) -> None:
         self._servers = servers
 
-    def targets(self, pl_id: int) -> list[tuple[int, IndexServer]]:
-        return list(enumerate(self._servers))
+    def targets(self, pl_id: int) -> list[tuple[int, str]]:
+        return [
+            (slot, server.server_id)
+            for slot, server in enumerate(self._servers)
+        ]
 
     def route(self, pl_id: int) -> WriteRoute:
         """Full replication never drops a seat: every server is live."""
-        return WriteRoute(live=tuple(enumerate(self._servers)))
+        return WriteRoute(live=tuple(self.targets(pl_id)))
 
 
 class DocumentOwner:
@@ -113,6 +130,7 @@ class DocumentOwner:
         batch_policy: BatchPolicy | None = None,
         rng: random.Random | None = None,
         router=None,
+        transport: Transport | None = None,
     ) -> None:
         """Args:
         owner_id: the owner's principal name (also its network endpoint).
@@ -123,8 +141,9 @@ class DocumentOwner:
         servers: the n index servers, index-aligned with the scheme's
             x-coordinates.
         codec: posting-element packer (standard 64-bit layout by default).
-        network: when given, every server call is routed through the
-            simulated network for §7.3 byte accounting.
+        network: when given (and no ``transport``), the private default
+            transport charges every call against this simulated network
+            for §7.3 byte accounting.
         batch_policy: §5.4.1 batching knobs; defaults to a 4-document
             batch. Use ``BatchPolicy(min_documents=1)`` for the paper's
             "if the user trusts that no index servers are compromised"
@@ -134,6 +153,10 @@ class DocumentOwner:
             paper's full replication (:class:`FleetRouter` over
             ``servers``). A cluster coordinator routes each list to its
             owning pod instead, in which case ``servers`` may be None.
+        transport: where protocol messages go. Deployments pass their
+            shared transport; when omitted, a private in-process
+            transport over ``servers`` is built (resolving the live
+            sequence lazily, so fleet extension keeps working).
         """
         if router is None:
             if servers is None:
@@ -154,6 +177,14 @@ class DocumentOwner:
         self._router = router
         self._codec = codec or PostingElementCodec()
         self._network = network
+        self._share_bytes = (scheme.field.p.bit_length() + 7) // 8
+        if transport is None:
+            transport = InProcessTransport(
+                network=network,
+                share_bytes=self._share_bytes,
+                resolver=fleet_resolver(servers),
+            )
+        self._transport = transport
         self._rng = rng or random.Random()
         self._batcher: UpdateBatcher[_ElementPlan] = UpdateBatcher(
             batch_policy or BatchPolicy(),
@@ -243,15 +274,12 @@ class DocumentOwner:
 
     def _send_insert_batch(self, plans: list[_ElementPlan]) -> None:
         """Fan one shuffled batch out along the router's placement."""
-        ops_by_server: dict[str, tuple[IndexServer, list[InsertOp]]] = {}
+        ops_by_server: dict[str, list[InsertOp]] = {}
         route_memo: dict[int, WriteRoute] = {}
         for plan in plans:
             route = self._batch_route(plan.pl_id, route_memo)
-            for share_slot, server in route.live:
-                _, operations = ops_by_server.setdefault(
-                    server.server_id, (server, [])
-                )
-                operations.append(
+            for share_slot, server_id in route.live:
+                ops_by_server.setdefault(server_id, []).append(
                     InsertOp(
                         pl_id=plan.pl_id,
                         element_id=plan.element_id,
@@ -270,32 +298,22 @@ class DocumentOwner:
                         share_y=plan.shares_y[dropped.share_slot],
                     ),
                 )
-        for server, operations in ops_by_server.values():
-            self._deliver("insert", server, operations)
+        for server_id, operations in ops_by_server.items():
+            self._deliver("insert", server_id, operations)
 
     def _deliver(
-        self, kind: str, server: IndexServer, operations: list
+        self, kind: str, server_id: str, operations: list
     ) -> None:
-        """One insert/delete message to one server (network or direct)."""
-        if self._network is not None:
-            if kind == "insert":
-                payload = sum(
-                    op.wire_bytes(server.share_bytes) for op in operations
-                )
-            else:
-                payload = sum(op.wire_bytes() for op in operations)
-            self._network.call(
-                src=self.owner_id,
-                dst=server.server_id,
-                kind=kind,
-                message=(self._token, operations),
-                request_bytes=self._token.wire_bytes() + payload,
-                response_bytes_of=lambda _count: 8,
+        """One insert/delete protocol message to one endpoint."""
+        if kind == "insert":
+            request = InsertBatchRequest(
+                token=self._token, operations=tuple(operations)
             )
-        elif kind == "insert":
-            server.insert_batch(self._token, operations)
         else:
-            server.delete(self._token, operations)
+            request = DeleteBatchRequest(
+                token=self._token, operations=tuple(operations)
+            )
+        self._transport.call(src=self.owner_id, dst=server_id, request=request)
 
     # -- freshness -----------------------------------------------------------
 
@@ -328,19 +346,16 @@ class DocumentOwner:
             for pl_id, element_id in entries
         ]
         self._rng.shuffle(operations)
-        ops_by_server: dict[str, tuple[IndexServer, list[DeleteOp]]] = {}
+        ops_by_server: dict[str, list[DeleteOp]] = {}
         route_memo: dict[int, WriteRoute] = {}
         for op in operations:
             route = self._batch_route(op.pl_id, route_memo)
-            for _share_slot, server in route.live:
-                _, server_ops = ops_by_server.setdefault(
-                    server.server_id, (server, [])
-                )
-                server_ops.append(op)
+            for _share_slot, server_id in route.live:
+                ops_by_server.setdefault(server_id, []).append(op)
             for dropped in route.dropped:
                 self._record_undelivered(dropped, "delete", op)
-        for server, server_ops in ops_by_server.values():
-            self._deliver("delete", server, server_ops)
+        for server_id, server_ops in ops_by_server.items():
+            self._deliver("delete", server_id, server_ops)
         self.local_index.delete_document(doc_id)
         self._documents.pop(doc_id, None)
         return len(operations)
@@ -395,9 +410,9 @@ class DocumentOwner:
                 if (op.pl_id, op.element_id) not in cancelled
             ]
             if inserts:
-                self._deliver("insert", slot.server, inserts)
+                self._deliver("insert", server_id, inserts)
             if deletes:
-                self._deliver("delete", slot.server, deletes)
+                self._deliver("delete", server_id, deletes)
             redelivered += len(inserts) + len(deletes)
             repaired_lists = (
                 {op.pl_id for op in inserts}
@@ -460,9 +475,15 @@ class DocumentOwner:
         # Gather k shares of every element from the first k old servers.
         points: dict[tuple[int, int], list[tuple[int, int]]] = {}
         for server_index in range(k):
-            server = self._servers[server_index]
             x = self._scheme.x_of(server_index)
-            for response in server.get_posting_lists(self._token, pl_ids):
+            fetched = self._transport.call(
+                src=self.owner_id,
+                dst=self._servers[server_index].server_id,
+                request=FetchListsRequest(
+                    token=self._token, pl_ids=tuple(pl_ids)
+                ),
+            )
+            for response in fetched.lists:
                 for record in response.records:
                     key = (response.pl_id, record.element_id)
                     if key in my_entries:
@@ -490,7 +511,7 @@ class DocumentOwner:
                 )
             )
         if operations:
-            new_server.insert_batch(self._token, operations)
+            self._deliver("insert", new_server.server_id, operations)
         return len(operations)
 
     # -- introspection ---------------------------------------------------------

@@ -26,12 +26,15 @@ from repro.client.snippets import SnippetService
 from repro.core.dictionary import TermDictionary
 from repro.core.mapping_table import MappingTable
 from repro.core.posting import PostingElement, PostingElementCodec
-from repro.errors import PackingError, ReproError
+from repro.errors import PackingError, ReproError, UnknownEndpointError
+from repro.protocol.messages import FetchListsRequest, FetchSnippetRequest
+from repro.protocol.service import fleet_resolver
+from repro.protocol.transport import InProcessTransport, Transport
 from repro.ranking.scores import CollectionStatistics, TfIdfScorer
 from repro.ranking.threshold import threshold_top_k
 from repro.secretsharing.shamir import ShamirScheme, Share
 from repro.server.auth import AuthToken
-from repro.server.index_server import IndexServer, PostingListResponse
+from repro.server.index_server import PostingListResponse
 from repro.server.transport import SimulatedNetwork
 
 
@@ -86,12 +89,13 @@ class SearchClient:
         scheme: ShamirScheme,
         mapping_table: MappingTable,
         dictionary: TermDictionary,
-        servers: Sequence[IndexServer] | None,
+        servers: Sequence | None,
         codec: PostingElementCodec | None = None,
         network: SimulatedNetwork | None = None,
         snippet_service: SnippetService | None = None,
         reconstruct_method: str = "lagrange",
         verify_consistency: bool = False,
+        transport: Transport | None = None,
     ) -> None:
         """Args:
         user_id: the searching principal (network endpoint name too).
@@ -103,7 +107,8 @@ class SearchClient:
             Subclasses that override :meth:`_fetch_lists` with their own
             routing (the cluster client) pass None instead.
         codec: posting-element unpacker.
-        network: optional simulated network for byte accounting.
+        network: optional simulated network for byte accounting (used by
+            the default transport when no ``transport`` is given).
         snippet_service: optional hosting-peer registry for step 6.
         reconstruct_method: "lagrange" (default) or "gaussian" (the
             paper's Algorithm 1b formulation).
@@ -112,6 +117,9 @@ class SearchClient:
             of its shares; elements whose reconstructions disagree (a
             lying or corrupted server) are dropped and counted in
             :attr:`SearchDiagnostics.inconsistent_elements`.
+        transport: where protocol messages go. Deployments pass their
+            shared transport (in-process or socket); when omitted, a
+            private in-process transport over ``servers`` is built.
         """
         if servers is not None and len(servers) != scheme.n:
             raise ReproError(
@@ -129,6 +137,14 @@ class SearchClient:
         self._snippets = snippet_service
         self._method = reconstruct_method
         self._verify = verify_consistency
+        self._share_bytes = (scheme.field.p.bit_length() + 7) // 8
+        if transport is None:
+            transport = InProcessTransport(
+                network=network,
+                share_bytes=self._share_bytes,
+                resolver=fleet_resolver(servers),
+            )
+        self._transport = transport
         self.last_diagnostics = SearchDiagnostics()
 
     # -- low level: fetch + decrypt -------------------------------------------
@@ -143,27 +159,18 @@ class SearchClient:
                 "subclasses that override _fetch_lists with their own routing"
             )
         chosen = list(range(len(self._servers)))[:num_servers]
+        request = FetchListsRequest(token=self._token, pl_ids=tuple(pl_ids))
         out = []
         for server_index in chosen:
-            server = self._servers[server_index]
-            if self._network is not None:
-                request_bytes = self._token.wire_bytes() + 4 * len(pl_ids)
-                responses = self._network.call(
-                    src=self.user_id,
-                    dst=server.server_id,
-                    kind="lookup",
-                    message=(self._token, list(pl_ids)),
-                    request_bytes=request_bytes,
-                    response_bytes_of=lambda rs: sum(
-                        r.wire_bytes(server.share_bytes) for r in rs
-                    ),
-                )
-                self.last_diagnostics.response_bytes += sum(
-                    r.wire_bytes(server.share_bytes) for r in responses
-                )
-            else:
-                responses = server.get_posting_lists(self._token, pl_ids)
-            out.append((server_index, responses))
+            response = self._transport.call(
+                src=self.user_id,
+                dst=self._servers[server_index].server_id,
+                request=request,
+            )
+            self.last_diagnostics.response_bytes += response.wire_bytes(
+                self._share_bytes
+            )
+            out.append((server_index, list(response.lists)))
         return out
 
     def fetch_elements(
@@ -289,26 +296,28 @@ class SearchClient:
         return verdict, len(counts)
 
     def _fetch_snippet(self, doc_id: int, terms: Sequence[str]):
-        """Step 6 of Algorithm 2, with §7.3 byte accounting when the
-        hosting peer is reachable over the simulated network."""
+        """Step 6 of Algorithm 2: a protocol message to the hosting peer
+        (with §7.3 byte accounting on the in-process backend), falling
+        back to a local service read when the peer has no endpoint.
+
+        The attempt-then-fall-back shape matters on the socket backend:
+        probing ``has_endpoint`` first would cost an extra discovery
+        round-trip per hit, while an unknown peer already fails fast
+        with a typed :class:`UnknownEndpointError`.
+        """
         host = self._snippets.host_of(doc_id)
-        if (
-            self._network is not None
-            and host is not None
-            and self._network.has_endpoint(host)
-        ):
-            request = (self.user_id, doc_id, list(terms))
-            request_bytes = self._token.wire_bytes() + 8 + sum(
-                len(t) for t in terms
-            )
-            return self._network.call(
-                src=self.user_id,
-                dst=host,
-                kind="snippet",
-                message=request,
-                request_bytes=request_bytes,
-                response_bytes_of=lambda s: s.wire_bytes(),
-            )
+        if host is not None:
+            try:
+                response = self._transport.call(
+                    src=self.user_id,
+                    dst=host,
+                    request=FetchSnippetRequest(
+                        token=self._token, doc_id=doc_id, terms=tuple(terms)
+                    ),
+                )
+                return response.snippet
+            except UnknownEndpointError:
+                pass  # peer not served by this transport: read locally
         return self._snippets.request_snippet(
             self.user_id, doc_id, list(terms)
         )

@@ -16,7 +16,7 @@ from repro.cluster.coordinator import (
     RebalanceStats,
     ServerSlot,
     attach_wal_to_slot,
-    slot_handler,
+    slot_service,
 )
 from repro.cluster.deployment import ClusterDeployment
 
@@ -31,5 +31,5 @@ __all__ = [
     "RebalanceStats",
     "ServerSlot",
     "attach_wal_to_slot",
-    "slot_handler",
+    "slot_service",
 ]

@@ -57,6 +57,8 @@ from repro.core.dictionary import TermDictionary
 from repro.core.mapping_table import MappingTable
 from repro.core.posting import PostingElementCodec
 from repro.errors import ClusterDegradedError, TransportError
+from repro.protocol.messages import FetchListsRequest
+from repro.protocol.transport import Transport
 from repro.server.auth import AuthToken
 from repro.server.index_server import PostingListResponse
 from repro.server.transport import ConcurrentDispatcher, SimulatedNetwork
@@ -127,6 +129,8 @@ class ClusterSearchClient(SearchClient):
         use_cache: bool = True,
         batch_lookups: bool = True,
         parallel_fanout: bool = True,
+        transport: Transport | None = None,
+        dispatcher: ConcurrentDispatcher | None = None,
     ) -> None:
         """Args:
         user_id: the searching principal (network endpoint name too).
@@ -154,6 +158,12 @@ class ClusterSearchClient(SearchClient):
             ``replication_factor >= 2`` — routes the modes to
             different replicas. False exists for A/B tests and
             debugging.
+        transport: where lookup messages go; defaults to the
+            coordinator's transport (deployments pass their own — the
+            in-process registry or a socket client).
+        dispatcher: worker pool for the parallel fan-out; deployments
+            pass their own so ``close()`` can reap the threads. Falls
+            back to a module-shared pool.
         """
         super().__init__(
             user_id=user_id,
@@ -167,11 +177,13 @@ class ClusterSearchClient(SearchClient):
             snippet_service=snippet_service,
             reconstruct_method=reconstruct_method,
             verify_consistency=verify_consistency,
+            transport=transport or coordinator.transport,
         )
         self._coordinator = coordinator
         self._use_cache = use_cache
         self._batch_lookups = batch_lookups
         self._parallel_fanout = parallel_fanout
+        self._dispatcher = dispatcher or _FANOUT_DISPATCHER
         self.last_cluster_diagnostics = ClusterDiagnostics()
 
     # -- the cluster fetch stage ------------------------------------------------
@@ -307,7 +319,7 @@ class ClusterSearchClient(SearchClient):
             ]
             if self._parallel_fanout and len(jobs) > 1:
                 diag.parallel_rounds += 1
-                outcomes = _FANOUT_DISPATCHER.map_ordered(
+                outcomes = self._dispatcher.map_ordered(
                     [
                         (
                             lambda p=pod, ls=lists: self._fetch_from_pod(
@@ -503,38 +515,25 @@ class ClusterSearchClient(SearchClient):
         pl_ids: Sequence[int],
         outcome: _PodFetchOutcome,
     ) -> list[PostingListResponse]:
-        """One server's lookup traffic: one batched message, or per-list."""
-        server = slot.server
+        """One seat's lookup traffic: one batched message, or per-list.
+
+        Pure protocol dispatch: a :class:`FetchListsRequest` per chunk
+        to the seat's endpoint, whatever the transport backend. A dead
+        seat raises :class:`TransportError` from the far side's service
+        — the failover ladder treats it exactly like a lost packet.
+        """
         if self._batch_lookups:
-            chunks = [list(pl_ids)]
+            chunks = [tuple(pl_ids)]
         else:
-            chunks = [[pl_id] for pl_id in pl_ids]
+            chunks = [(pl_id,) for pl_id in pl_ids]
         responses: list[PostingListResponse] = []
         for chunk in chunks:
-            if self._network is not None:
-                request_bytes = self._token.wire_bytes() + 4 * len(chunk)
-                chunk_responses = self._network.call(
-                    src=self.user_id,
-                    dst=server.server_id,
-                    kind="lookup",
-                    message=(self._token, chunk),
-                    request_bytes=request_bytes,
-                    response_bytes_of=lambda rs: sum(
-                        r.wire_bytes(server.share_bytes) for r in rs
-                    ),
-                )
-                outcome.response_bytes += sum(
-                    r.wire_bytes(server.share_bytes)
-                    for r in chunk_responses
-                )
-            else:
-                if not slot.alive:
-                    raise TransportError(
-                        f"server {server.server_id!r} is down"
-                    )
-                chunk_responses = server.get_posting_lists(
-                    self._token, chunk
-                )
+            response = self._transport.call(
+                src=self.user_id,
+                dst=slot.server_id,
+                request=FetchListsRequest(token=self._token, pl_ids=chunk),
+            )
+            outcome.response_bytes += response.wire_bytes(self._share_bytes)
             outcome.lookup_messages += 1
-            responses.extend(chunk_responses)
+            responses.extend(response.lists)
         return responses

@@ -43,8 +43,15 @@ from typing import Iterable, Sequence
 
 from repro.client.owner import DroppedRoute, WriteRoute
 from repro.cluster.cache import LRUShareCache
-from repro.errors import ClusterDegradedError, ClusterError, TransportError
+from repro.errors import ClusterDegradedError, ClusterError
 from repro.extensions.dht import ConsistentHashRing
+from repro.protocol.messages import (
+    AdoptListRequest,
+    DropListRequest,
+    ExportListRequest,
+)
+from repro.protocol.service import IndexServerService
+from repro.protocol.transport import InProcessTransport
 from repro.secretsharing.shamir import ShamirScheme
 from repro.server.auth import AuthService
 from repro.server.groups import GroupDirectory
@@ -127,26 +134,13 @@ def attach_wal_to_slot(slot: ServerSlot, path) -> PostingLog:
     return log
 
 
-def slot_handler(slot: ServerSlot):
-    """Network adapter for one seat; a dead seat drops every request.
+def slot_service(slot: ServerSlot) -> IndexServerService:
+    """The protocol endpoint for one seat; a dead seat drops every request.
 
-    The closure reads ``slot.server`` at call time, so a WAL restart that
-    swaps the server object needs no network re-registration.
+    The service reads ``slot.server`` at call time, so a WAL restart
+    that swaps the server object needs no transport re-registration.
     """
-
-    def handler(kind: str, message):
-        if not slot.alive:
-            raise TransportError(f"server {slot.server_id!r} is down")
-        token, payload = message
-        if kind == "insert":
-            return slot.server.insert_batch(token, payload)
-        if kind == "delete":
-            return slot.server.delete(token, payload)
-        if kind == "lookup":
-            return slot.server.get_posting_lists(token, payload)
-        raise TransportError(f"unknown message kind {kind!r}")
-
-    return handler
+    return IndexServerService.for_slot(slot)
 
 
 @dataclass
@@ -193,6 +187,7 @@ class ClusterCoordinator:
         cache_entries: int = 4096,
         virtual_nodes: int = 64,
         replication_factor: int = 1,
+        transport: InProcessTransport | None = None,
     ) -> None:
         """Args:
         scheme: the k-of-n scheme every pod shares (n = pod size).
@@ -208,6 +203,11 @@ class ClusterCoordinator:
         replication_factor: pods each merged posting list lives on.
             1 reproduces the PR 1 single-owner sharding; >= 2 keeps
             every list fully readable with an entire pod dead.
+        transport: the endpoint registry the control plane's admin
+            traffic (slot-to-slot replication during rebalancing) flows
+            through. A deployment passes its shared registry — with
+            every seat already registered; standalone coordinators get
+            a private registry with the seats registered here.
         """
         if not pods:
             raise ClusterError("cluster needs at least one pod")
@@ -234,6 +234,12 @@ class ClusterCoordinator:
         self._auth = auth
         self._groups = groups
         self._share_bytes = share_bytes
+        if transport is None:
+            transport = InProcessTransport(share_bytes=share_bytes)
+            for pod in self.pods:
+                for slot in pod.slots:
+                    transport.register(slot.server_id, slot_service(slot))
+        self.transport = transport
         self.cache = LRUShareCache(cache_entries)
         #: Routing decisions (one per distinct posting list per batch,
         #: per dead seat, per replica pod) made while a seat was down. A
@@ -322,13 +328,13 @@ class ClusterCoordinator:
         take >= k shares.
         """
         self.cache.invalidate(pl_id)
-        live: list[tuple[int, IndexServer]] = []
+        live: list[tuple[int, str]] = []
         missed_by_pod: list[tuple[Pod, list[ServerSlot]]] = []
         for pod in self.pods_of(pl_id):
             pod_live = pod.live_slots()
             if len(pod_live) >= self.scheme.k:
                 live.extend(
-                    (slot.slot_index, slot.server) for slot in pod_live
+                    (slot.slot_index, slot.server_id) for slot in pod_live
                 )
                 missed = [slot for slot in pod.slots if not slot.alive]
             else:
@@ -362,8 +368,8 @@ class ClusterCoordinator:
             )
         return WriteRoute(live=tuple(live), dropped=tuple(dropped))
 
-    def targets(self, pl_id: int) -> list[tuple[int, IndexServer]]:
-        """The live ``(share_slot, server)`` pairs a write must reach
+    def targets(self, pl_id: int) -> list[tuple[int, str]]:
+        """The live ``(share_slot, server_id)`` pairs a write must reach
         (:meth:`route` without the dropped-seat ledger view)."""
         return list(self.route(pl_id).live)
 
@@ -735,8 +741,10 @@ class ClusterCoordinator:
 
         Slot s of every replica holds the same share, so slot s of any
         live source seat feeds slot s of the destination; the transfer
-        ships shares only. Returns (records copied, slot routes dropped
-        because no live source seat or a dead destination seat).
+        ships shares only, as export/adopt protocol messages over the
+        transport (the control plane is a network peer like any other).
+        Returns (records copied, slot routes dropped because no live
+        source seat or a dead destination seat).
         """
         copied = dropped = 0
         for slot_index in range(self.scheme.n):
@@ -752,10 +760,21 @@ class ClusterCoordinator:
             if source is None or not dest_slot.alive:
                 dropped += 1
                 continue
-            records = source.server.export_posting_list(pl_id)
-            if not records:
+            exported = self.transport.call(
+                src="coordinator",
+                dst=source.server_id,
+                request=ExportListRequest(pl_id=pl_id),
+            )
+            if not exported.records:
                 continue
-            added = dest_slot.server.adopt_posting_list(pl_id, records)
+            adopted = self.transport.call(
+                src="coordinator",
+                dst=dest_slot.server_id,
+                request=AdoptListRequest(
+                    pl_id=pl_id, records=exported.records
+                ),
+            )
+            added = adopted.records
             if added and dest_slot.log is not None:
                 dest_slot.log.append_inserts(
                     InsertOp(
@@ -775,7 +794,12 @@ class ClusterCoordinator:
         for slot in pod.slots:
             if not slot.alive:
                 continue
-            removed = slot.server.drop_posting_list(pl_id)
+            response = self.transport.call(
+                src="coordinator",
+                dst=slot.server_id,
+                request=DropListRequest(pl_id=pl_id),
+            )
+            removed = response.records
             if removed and slot.log is not None:
                 slot.log.append_deletes(
                     DeleteOp(pl_id=pl_id, element_id=record.element_id)
@@ -786,6 +810,67 @@ class ClusterCoordinator:
         return removed_total
 
     # -- introspection ---------------------------------------------------------------
+
+    def status_snapshot(self, num_lists: int) -> dict:
+        """One observability snapshot of the whole cluster.
+
+        The structure ``repro cluster status`` renders — and the first
+        thing to pull from a socket deployment when a query slows down:
+
+        - per pod: seat liveness, hosted-list count (replicas included),
+          per-list read-latency EWMA (seconds), effective read load
+          (routed lookups + cache hits charged to the pod), and how many
+          (pod, list) pairs the staleness ledger still distrusts;
+        - cluster-wide: replication factor, outstanding (dropped minus
+          repaired) write routes, and share-cache counters.
+        """
+        shards = self.shard_distribution(num_lists)
+        with self._read_stats_lock:
+            latency = dict(self.pod_read_latency)
+            load = dict(self.pod_read_load)
+            cache_reads = dict(self.pod_cache_reads)
+        pods = []
+        for pod in self.pods:
+            stale_lists = sum(
+                1 for (name, _pl), seats in self._incomplete.items()
+                if name == pod.name and seats
+            )
+            pods.append(
+                {
+                    "name": pod.name,
+                    "index": pod.index,
+                    "seats": [
+                        {
+                            "server_id": slot.server_id,
+                            "slot": slot.slot_index,
+                            "alive": slot.alive,
+                            "wal": str(slot.wal_path)
+                            if slot.wal_path is not None
+                            else None,
+                        }
+                        for slot in pod.slots
+                    ],
+                    "live_seats": len(pod.live_slots()),
+                    "dead_seats": len(pod.slots) - len(pod.live_slots()),
+                    "hosted_lists": shards.get(pod.name, 0),
+                    "read_latency_ewma_s": latency.get(pod.name),
+                    "read_load": load.get(pod.name, 0)
+                    + cache_reads.get(pod.name, 0),
+                    "stale_lists": stale_lists,
+                }
+            )
+        return {
+            "replication_factor": self.replication_factor,
+            "num_lists": num_lists,
+            "pods": pods,
+            "dead_servers": self.dead_servers(),
+            "outstanding_write_routes": self.outstanding_write_routes,
+            "cache": {
+                "hits": self.cache.stats.hits,
+                "misses": self.cache.stats.misses,
+                "entries": len(self.cache),
+            },
+        }
 
     def live_servers(self) -> list[str]:
         return [

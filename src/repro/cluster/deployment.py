@@ -38,20 +38,33 @@ from repro.cluster.coordinator import (
     RebalanceStats,
     ServerSlot,
     attach_wal_to_slot,
-    slot_handler,
+    slot_service,
 )
 from repro.core.dictionary import TermDictionary
 from repro.core.mapping_table import MappingTable
 from repro.core.merging.base import MergingHeuristic
 from repro.core.posting import PackingSpec, PostingElementCodec
 from repro.core.zerber_index import build_mapping_table
-from repro.errors import ClusterError, TransportError
+from repro.errors import ClusterError
+from repro.protocol.messages import DropListRequest
+from repro.protocol.service import SnippetHostService
+from repro.protocol.transport import (
+    InProcessTransport,
+    SocketServer,
+    SocketTransport,
+    Transport,
+)
 from repro.secretsharing.field import DEFAULT_PRIME, PrimeField
 from repro.secretsharing.shamir import ShamirScheme
 from repro.server.auth import AuthService, AuthToken
 from repro.server.groups import GroupDirectory
 from repro.server.index_server import IndexServer
-from repro.server.transport import LinkSpec, SimulatedNetwork, WLAN_55_MBPS
+from repro.server.transport import (
+    ConcurrentDispatcher,
+    LinkSpec,
+    SimulatedNetwork,
+    WLAN_55_MBPS,
+)
 
 
 class ClusterDeployment:
@@ -72,6 +85,10 @@ class ClusterDeployment:
         wal_dir: str | pathlib.Path | None = None,
         replication_factor: int = 1,
         seed: int = 0x2E4B,
+        transport: str = "in-process",
+        socket_host: str = "127.0.0.1",
+        socket_port: int = 0,
+        fanout_workers: int = 8,
     ) -> None:
         """Args:
         mapping_table: the public term -> posting-list table.
@@ -80,8 +97,9 @@ class ClusterDeployment:
         n: servers per pod (each pod tolerates n - k failures).
         field: the Z_p field; defaults to the 64-bit+ prime.
         packing: posting-element bit layout.
-        use_network: route all traffic through a
-            :class:`SimulatedNetwork` for byte/message accounting.
+        use_network: charge all in-process traffic against a
+            :class:`SimulatedNetwork` for byte/message accounting (the
+            socket backend moves real bytes instead).
         batch_policy: default owner batching policy.
         cache_entries: coordinator share-cache capacity (0 disables).
         virtual_nodes: consistent-hash smoothness for pod placement.
@@ -92,6 +110,16 @@ class ClusterDeployment:
             >= 2 keeps the cluster byte-identical with a whole pod dead
             at the cost of R x storage and write fan-out.
         seed: master seed for all deployment randomness.
+        transport: ``"in-process"`` (default) or ``"socket"`` — with
+            ``"socket"`` the deployment embeds a loopback TCP
+            :class:`SocketServer` and every client (owners, searchers,
+            failover fetches) speaks real length-prefixed frames
+            through a :class:`SocketTransport`. Search results are
+            byte-identical across backends; CI gates it.
+        socket_host / socket_port: the ``"socket"`` listener address
+            (port 0 picks a free port; see ``self.transport.address``).
+        fanout_workers: width of this deployment's parallel-fan-out
+            worker pool (reaped by :meth:`close`).
         """
         if num_pods < 1:
             raise ClusterError(f"need at least one pod, got {num_pods}")
@@ -115,6 +143,17 @@ class ClusterDeployment:
             for pod_index in range(num_pods)
         ]
         self._next_pod_ordinal = num_pods
+        self.network: SimulatedNetwork | None = None
+        if use_network:
+            self.network = SimulatedNetwork(
+                default_link=LinkSpec(bandwidth_bps=WLAN_55_MBPS)
+            )
+        self.registry = InProcessTransport(
+            network=self.network, share_bytes=share_bytes
+        )
+        for pod in pods:
+            for slot in pod.slots:
+                self.registry.register(slot.server_id, slot_service(slot))
         self.coordinator = ClusterCoordinator(
             scheme=self.scheme,
             pods=pods,
@@ -124,6 +163,7 @@ class ClusterDeployment:
             cache_entries=cache_entries,
             virtual_nodes=virtual_nodes,
             replication_factor=replication_factor,
+            transport=self.registry,
         )
         if self._wal_dir is not None:
             for pod in pods:
@@ -133,14 +173,27 @@ class ClusterDeployment:
                         slot.slot_index,
                         self._wal_dir / f"{slot.server_id}.wal",
                     )
-        self.network: SimulatedNetwork | None = None
-        if use_network:
-            self.network = SimulatedNetwork(
-                default_link=LinkSpec(bandwidth_bps=WLAN_55_MBPS)
+        self._socket_server: SocketServer | None = None
+        self.transport: Transport = self.registry
+        if transport == "socket":
+            self._socket_server = SocketServer(
+                self.registry, host=socket_host, port=socket_port
             )
-            for pod in pods:
-                for slot in pod.slots:
-                    self.network.register(slot.server_id, slot_handler(slot))
+            self.transport = SocketTransport(
+                self._socket_server.address, share_bytes=share_bytes
+            )
+        elif transport != "in-process":
+            raise ClusterError(
+                f"unknown transport {transport!r}; "
+                "expected 'in-process' or 'socket'"
+            )
+        #: Per-deployment fan-out pool: closing the deployment reaps its
+        #: worker threads (the dispatcher-leak regression of this PR).
+        self.dispatcher = ConcurrentDispatcher(
+            max_workers=fanout_workers,
+            thread_name_prefix=f"zerber-fanout-{id(self):x}",
+        )
+        self._closed = False
         self.snippets = SnippetService(self.groups)
         self._tokens: dict[str, AuthToken] = {}
         self._owners: dict[str, DocumentOwner] = {}
@@ -238,12 +291,15 @@ class ClusterDeployment:
                 batch_policy=batch_policy or self._batch_policy,
                 rng=random.Random(self._rng.getrandbits(64)),
                 router=self.coordinator,
+                transport=self.transport,
             )
         return self._owners[owner_id]
 
     def searcher(self, user_id: str, **kwargs) -> ClusterSearchClient:
         """A fresh cluster search client for a principal."""
         token = self.enroll_user(user_id)
+        kwargs.setdefault("transport", self.transport)
+        kwargs.setdefault("dispatcher", self.dispatcher)
         return ClusterSearchClient(
             user_id=user_id,
             token=token,
@@ -263,22 +319,11 @@ class ClusterDeployment:
         owner = self.owner(owner_id)
         count = owner.share_document(document)
         self.snippets.host_document(document)
-        if self.network is not None and not self.network.has_endpoint(
-            document.host
-        ):
-            self.network.register(document.host, self._snippet_handler())
+        if not self.registry.has_endpoint(document.host):
+            self.registry.register(
+                document.host, SnippetHostService(self.snippets)
+            )
         return count
-
-    def _snippet_handler(self):
-        """Network adapter serving snippet requests for hosted documents."""
-
-        def handler(kind: str, message):
-            if kind != "snippet":
-                raise TransportError(f"unknown message kind {kind!r}")
-            user_id, doc_id, terms = message
-            return self.snippets.request_snippet(user_id, doc_id, terms)
-
-        return handler
 
     def search(
         self, user_id: str, terms: Sequence[str], top_k: int = 10, **kwargs
@@ -336,16 +381,15 @@ class ClusterDeployment:
         """
         name = name or f"pod{self._next_pod_ordinal}"
         pod = self._build_pod(len(self.pods), name, self.scheme.n)
-        # WAL and network wiring must precede the join so migrated
+        # WAL and transport wiring must precede the join so migrated
         # records are logged and the seats are reachable immediately.
         if self._wal_dir is not None:
             for slot in pod.slots:
                 attach_wal_to_slot(
                     slot, self._wal_dir / f"{slot.server_id}.wal"
                 )
-        if self.network is not None:
-            for slot in pod.slots:
-                self.network.register(slot.server_id, slot_handler(slot))
+        for slot in pod.slots:
+            self.registry.register(slot.server_id, slot_service(slot))
         stats = self.coordinator.add_pod(
             pod, self.mapping_table.num_lists
         )
@@ -378,13 +422,61 @@ class ClusterDeployment:
             if slot.wal_path is not None:
                 slot.wal_path.unlink(missing_ok=True)
                 slot.wal_path = None
-            if self.network is not None and self.network.has_endpoint(
-                slot.server_id
-            ):
-                self.network.unregister(slot.server_id)
-            for pl_id in range(self.mapping_table.num_lists):
-                slot.server.drop_posting_list(pl_id)
+            # Wipe the drained seat's store — through the same admin
+            # messages replication uses while the seat still serves; a
+            # dead seat's store is wiped locally (its box is being
+            # decommissioned either way) — then release its endpoint.
+            if slot.alive and self.registry.has_endpoint(slot.server_id):
+                for pl_id in range(self.mapping_table.num_lists):
+                    self.registry.call(
+                        "coordinator",
+                        slot.server_id,
+                        DropListRequest(pl_id=pl_id),
+                    )
+            else:
+                for pl_id in range(self.mapping_table.num_lists):
+                    slot.server.drop_posting_list(pl_id)
+            if self.registry.has_endpoint(slot.server_id):
+                self.registry.unregister(slot.server_id)
         return stats
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the whole deployment down (idempotent).
+
+        Reaps the parallel-fan-out worker threads (the dispatcher-leak
+        fix of this PR), closes the client transport and the embedded
+        socket server when ``transport="socket"``, and closes every
+        seat's WAL handle — after ``close()`` returns, no thread, TCP
+        socket, or file handle of this deployment outlives it.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.dispatcher.shutdown()
+        if self.transport is not self.registry:
+            self.transport.close()
+        if self._socket_server is not None:
+            self._socket_server.close()
+        self.registry.close()
+        for pod in self.coordinator.pods:
+            for slot in pod.slots:
+                if slot.log is not None:
+                    slot.log.close()
+
+    def __enter__(self) -> "ClusterDeployment":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- observability ------------------------------------------------------------------
+
+    def status_snapshot(self) -> dict:
+        """The coordinator's cluster-status snapshot (``repro cluster
+        status`` renders this)."""
+        return self.coordinator.status_snapshot(self.mapping_table.num_lists)
 
     # -- fleet statistics ---------------------------------------------------------------
 

@@ -44,7 +44,18 @@ from repro.core.merging.bfm import BreadthFirstMerging, bfm_r_for_list_count
 from repro.core.merging.dfm import DepthFirstMerging
 from repro.core.merging.udm import UniformDistributionMerging
 from repro.core.posting import PackingSpec, PostingElementCodec
-from repro.errors import ReproError, TransportError
+from repro.errors import ReproError
+from repro.protocol.service import (
+    IndexServerService,
+    SnippetHostService,
+    fleet_resolver,
+)
+from repro.protocol.transport import (
+    InProcessTransport,
+    SocketServer,
+    SocketTransport,
+    Transport,
+)
 from repro.secretsharing.field import DEFAULT_PRIME, PrimeField
 from repro.secretsharing.shamir import ShamirScheme
 from repro.server.auth import AuthService, AuthToken
@@ -114,24 +125,14 @@ def build_mapping_table(
     return table, merge
 
 
-def _server_handler(server: IndexServer):
-    """Network adapter translating (kind, message) onto the narrow interface."""
-
-    def handler(kind: str, message):
-        token, payload = message
-        if kind == "insert":
-            return server.insert_batch(token, payload)
-        if kind == "delete":
-            return server.delete(token, payload)
-        if kind == "lookup":
-            return server.get_posting_lists(token, payload)
-        raise TransportError(f"unknown message kind {kind!r}")
-
-    return handler
-
-
 class ZerberDeployment:
-    """A complete, running Zerber installation."""
+    """A complete, running Zerber installation.
+
+    A deployment is also a context manager: ``close()`` (or leaving a
+    ``with`` block) releases the transport — which matters once
+    ``transport="socket"`` puts real listener threads and TCP
+    connections behind the API.
+    """
 
     def __init__(
         self,
@@ -143,6 +144,9 @@ class ZerberDeployment:
         use_network: bool = True,
         batch_policy: BatchPolicy | None = None,
         seed: int = 0x2E4B,
+        transport: str = "in-process",
+        socket_host: str = "127.0.0.1",
+        socket_port: int = 0,
     ) -> None:
         """Args:
         mapping_table: the public term -> posting-list table (build one
@@ -151,11 +155,21 @@ class ZerberDeployment:
         n: number of index servers (paper default 3).
         field: the Z_p field; defaults to the 64-bit+ prime.
         packing: posting-element bit layout.
-        use_network: route client/server traffic through a
+        use_network: charge client/server traffic against a
             :class:`SimulatedNetwork` (55 Mb/s client links, 100 Mb/s
-            server links per §7.3) and account every byte.
+            server links per §7.3) and account every byte. Only affects
+            the in-process transport; the socket backend moves real
+            bytes.
         batch_policy: default owner batching policy.
         seed: master seed for all deployment randomness.
+        transport: ``"in-process"`` (default) dispatches protocol
+            messages to the servers in this process; ``"socket"``
+            serves them over loopback TCP (a :class:`SocketServer` is
+            embedded and every client speaks real frames through a
+            :class:`SocketTransport`). Results are byte-identical
+            either way — CI gates it.
+        socket_host / socket_port: the ``"socket"`` listener address
+            (port 0 picks a free port; see ``self.transport.address``).
         """
         self._rng = random.Random(seed)
         self.field = field or PrimeField(DEFAULT_PRIME)
@@ -168,6 +182,7 @@ class ZerberDeployment:
         self.groups = GroupDirectory()
         self._batch_policy = batch_policy or BatchPolicy()
         share_bytes = (self.field.p.bit_length() + 7) // 8
+        self._share_bytes = share_bytes
         self.servers: list[IndexServer] = [
             IndexServer(
                 server_id=f"index-server-{i}",
@@ -183,10 +198,35 @@ class ZerberDeployment:
             self.network = SimulatedNetwork(
                 default_link=LinkSpec(bandwidth_bps=WLAN_55_MBPS)
             )
-            for server in self.servers:
-                self.network.register(
-                    server.server_id, _server_handler(server)
-                )
+        # The registry resolves against the *live* server list as a
+        # fallback, so operators who splice a replacement box into
+        # ``deployment.servers`` (see examples/operations_tour.py) stay
+        # addressable without re-wiring — the old direct-dispatch
+        # semantics, kept at the transport layer.
+        self.registry = InProcessTransport(
+            network=self.network,
+            share_bytes=share_bytes,
+            resolver=fleet_resolver(self.servers),
+        )
+        for server in self.servers:
+            self.registry.register(
+                server.server_id, IndexServerService.for_server(server)
+            )
+        self._socket_server: SocketServer | None = None
+        self.transport: Transport = self.registry
+        if transport == "socket":
+            self._socket_server = SocketServer(
+                self.registry, host=socket_host, port=socket_port
+            )
+            self.transport = SocketTransport(
+                self._socket_server.address, share_bytes=share_bytes
+            )
+        elif transport != "in-process":
+            raise ReproError(
+                f"unknown transport {transport!r}; "
+                "expected 'in-process' or 'socket'"
+            )
+        self._closed = False
         self.snippets = SnippetService(self.groups)
         self._tokens: dict[str, AuthToken] = {}
         self._owners: dict[str, DocumentOwner] = {}
@@ -275,12 +315,14 @@ class ZerberDeployment:
                 network=self.network,
                 batch_policy=batch_policy or self._batch_policy,
                 rng=random.Random(self._rng.getrandbits(64)),
+                transport=self.transport,
             )
         return self._owners[owner_id]
 
     def searcher(self, user_id: str, **kwargs) -> SearchClient:
         """A fresh search client for a principal."""
         token = self.enroll_user(user_id)
+        kwargs.setdefault("transport", self.transport)
         return SearchClient(
             user_id=user_id,
             token=token,
@@ -301,24 +343,11 @@ class ZerberDeployment:
         owner = self.owner(owner_id)
         count = owner.share_document(document)
         self.snippets.host_document(document)
-        if self.network is not None and not self.network.has_endpoint(
-            document.host
-        ):
-            self.network.register(
-                document.host, self._snippet_handler()
+        if not self.registry.has_endpoint(document.host):
+            self.registry.register(
+                document.host, SnippetHostService(self.snippets)
             )
         return count
-
-    def _snippet_handler(self):
-        """Network adapter serving snippet requests for hosted documents."""
-
-        def handler(kind: str, message):
-            if kind != "snippet":
-                raise TransportError(f"unknown message kind {kind!r}")
-            user_id, doc_id, terms = message
-            return self.snippets.request_snippet(user_id, doc_id, terms)
-
-        return handler
 
     def search(
         self, user_id: str, terms: Sequence[str], top_k: int = 10
@@ -355,11 +384,36 @@ class ZerberDeployment:
             share_bytes=share_bytes,
         )
         self.servers.append(server)
-        if self.network is not None:
-            self.network.register(server.server_id, _server_handler(server))
+        self.registry.register(
+            server.server_id, IndexServerService.for_server(server)
+        )
         for owner in self._owners.values():
             owner.provision_new_server(index)
         return server
+
+    # -- lifecycle ------------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the deployment down (idempotent).
+
+        Closes the client transport and the embedded socket server (when
+        ``transport="socket"``); the in-process registry holds no OS
+        resources but is closed for symmetry.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.transport is not self.registry:
+            self.transport.close()
+        if self._socket_server is not None:
+            self._socket_server.close()
+        self.registry.close()
+
+    def __enter__(self) -> "ZerberDeployment":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     # -- fleet statistics ---------------------------------------------------------------
 

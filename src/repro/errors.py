@@ -54,7 +54,26 @@ class UnknownPostingListError(IndexServerError):
 
 
 class TransportError(ReproError):
-    """Simulated-network failure (unknown endpoint, link down)."""
+    """Transport failure (unknown endpoint, link down, socket error)."""
+
+
+class UnknownEndpointError(TransportError):
+    """A message was addressed to an endpoint no transport knows about.
+
+    Carries the offending endpoint name so operators (and the failover
+    ladder's diagnostics) can say *which* seat vanished — the kill-pod /
+    retire-pod race hits this when a client still holds a routing plan
+    that names a just-unregistered server.
+    """
+
+    def __init__(self, endpoint: str, message: str | None = None) -> None:
+        super().__init__(message or f"unknown endpoint {endpoint!r}")
+        self.endpoint = endpoint
+
+
+class ProtocolError(ReproError):
+    """A wire-protocol message could not be encoded or decoded (garbage,
+    truncated frame, unknown message type, or unsupported version)."""
 
 
 class CorpusError(ReproError):
@@ -72,3 +91,25 @@ class ClusterError(ReproError):
 class ClusterDegradedError(ClusterError):
     """A pod has fewer than ``k`` live servers, so it can neither accept
     writes nor serve reconstructable lookups until servers restart."""
+
+
+def error_class(name: str) -> type[ReproError]:
+    """Resolve a library exception class by name.
+
+    The wire protocol ships server-side failures as ``ErrorResponse``
+    messages carrying the exception's class name; the client-side
+    transport re-raises the matching class so callers see the same
+    exception across every transport backend. Unknown names fall back to
+    :class:`ReproError` (a newer server may know errors this client does
+    not).
+    """
+
+    def walk(cls: type[ReproError]):
+        yield cls
+        for sub in cls.__subclasses__():
+            yield from walk(sub)
+
+    for cls in walk(ReproError):
+        if cls.__name__ == name:
+            return cls
+    return ReproError

@@ -1,0 +1,79 @@
+"""The wire-protocol service API: messages, codec, services, transports.
+
+This package is the explicit network boundary the paper's threat model
+(§4–§5) assumes: clients and the cluster control plane speak *versioned,
+byte-serializable messages* to named endpoints over a pluggable
+:class:`~repro.protocol.transport.Transport`; nothing client-side ever
+dispatches on an :class:`~repro.server.index_server.IndexServer` object
+again.
+
+- :mod:`repro.protocol.messages`  — the request/response catalogue and
+  versioning rules;
+- :mod:`repro.protocol.codec`     — the compact binary frame codec;
+- :mod:`repro.protocol.service`   — server-side dispatchers;
+- :mod:`repro.protocol.transport` — the in-process (simulated-network)
+  and socket (real TCP) backends.
+"""
+
+from repro.protocol.codec import decode_message, encode_message
+from repro.protocol.messages import (
+    PROTOCOL_VERSION,
+    AdoptListRequest,
+    DeleteBatchRequest,
+    DropListRequest,
+    EndpointsRequest,
+    EndpointsResponse,
+    ErrorResponse,
+    ExportListRequest,
+    FetchListsRequest,
+    FetchListsResponse,
+    FetchSnippetRequest,
+    InsertBatchRequest,
+    OpCountResponse,
+    RecordListResponse,
+    ServerStatusRequest,
+    ServerStatusResponse,
+    SnippetResponse,
+)
+from repro.protocol.service import (
+    IndexServerService,
+    SnippetHostService,
+    error_response,
+    raise_for_error,
+)
+from repro.protocol.transport import (
+    InProcessTransport,
+    SocketServer,
+    SocketTransport,
+    Transport,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "AdoptListRequest",
+    "DeleteBatchRequest",
+    "DropListRequest",
+    "EndpointsRequest",
+    "EndpointsResponse",
+    "ErrorResponse",
+    "ExportListRequest",
+    "FetchListsRequest",
+    "FetchListsResponse",
+    "FetchSnippetRequest",
+    "InsertBatchRequest",
+    "OpCountResponse",
+    "RecordListResponse",
+    "ServerStatusRequest",
+    "ServerStatusResponse",
+    "SnippetResponse",
+    "IndexServerService",
+    "SnippetHostService",
+    "error_response",
+    "raise_for_error",
+    "InProcessTransport",
+    "SocketServer",
+    "SocketTransport",
+    "Transport",
+    "decode_message",
+    "encode_message",
+]

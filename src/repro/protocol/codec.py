@@ -1,0 +1,426 @@
+"""Compact binary codec for the wire-protocol messages.
+
+Frame layout (everything big-picture, nothing clever)::
+
+    +----+----+---------+------+-------------------------------+
+    | 'Z'| 'W'| version | type |  message body (type-specific) |
+    +----+----+---------+------+-------------------------------+
+
+- 2-byte magic ``b"ZW"`` rejects garbage cheaply;
+- 1 version byte (:data:`~repro.protocol.messages.PROTOCOL_VERSION`) —
+  unknown versions are rejected, never guessed at;
+- 1 type byte from the registry below;
+- the body is a concatenation of primitives: unsigned LEB128 varints
+  for every integer (ids, counts, shares — shares live in Z_p and can
+  exceed 64 bits), and varint-length-prefixed UTF-8 for strings /
+  raw bytes for blobs.
+
+Decoding is strict: every primitive is bounds-checked against the
+buffer, varints are capped (a malicious 5 KB "integer" is garbage, not
+a number), and a decoded message must consume the frame *exactly* —
+trailing bytes mean a corrupt or hostile frame and raise
+:class:`~repro.errors.ProtocolError`, as does any truncation.
+
+The hot in-process path never touches this module (messages cross a
+function call, not a socket); the Hypothesis round-trip suite in
+``tests/test_protocol_codec.py`` and the socket equivalence gate keep
+the encoded form honest anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.client.snippets import Snippet
+from repro.errors import ProtocolError
+from repro.protocol import messages as m
+from repro.server.auth import AuthToken
+from repro.server.index_server import (
+    DeleteOp,
+    InsertOp,
+    PostingListResponse,
+    ShareRecord,
+)
+
+MAGIC = b"ZW"
+HEADER_LEN = 4  # magic + version + type
+
+#: Varint size cap: shares are < 2^72 today; 512 bits of headroom means
+#: a "number" longer than 74 encoded bytes is garbage by construction.
+_MAX_VARINT_BYTES = 74
+
+
+# -- primitives ---------------------------------------------------------------
+
+
+def _write_uint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise ProtocolError(f"negative integer {value} cannot be encoded")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _write_bytes(out: bytearray, blob: bytes) -> None:
+    _write_uint(out, len(blob))
+    out.extend(blob)
+
+
+def _write_str(out: bytearray, text: str) -> None:
+    _write_bytes(out, text.encode("utf-8"))
+
+
+class _Reader:
+    """Strict, bounds-checked cursor over one frame body."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes, pos: int = 0) -> None:
+        self.data = data
+        self.pos = pos
+
+    def uint(self) -> int:
+        value = 0
+        shift = 0
+        start = self.pos
+        while True:
+            if self.pos >= len(self.data):
+                raise ProtocolError("truncated varint")
+            if self.pos - start >= _MAX_VARINT_BYTES:
+                raise ProtocolError("varint exceeds the size cap")
+            byte = self.data[self.pos]
+            self.pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+
+    def blob(self) -> bytes:
+        length = self.uint()
+        if self.pos + length > len(self.data):
+            raise ProtocolError("truncated byte string")
+        out = self.data[self.pos : self.pos + length]
+        self.pos += length
+        return out
+
+    def text(self) -> str:
+        try:
+            return self.blob().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError("invalid UTF-8 string") from exc
+
+    def done(self) -> None:
+        if self.pos != len(self.data):
+            raise ProtocolError(
+                f"{len(self.data) - self.pos} trailing bytes after message"
+            )
+
+
+# -- compound fields ----------------------------------------------------------
+
+
+def _write_token(out: bytearray, token: AuthToken) -> None:
+    _write_str(out, token.user_id)
+    _write_uint(out, token.issued_at)
+    _write_uint(out, token.expires_at)
+    _write_bytes(out, token.signature)
+
+
+def _read_token(r: _Reader) -> AuthToken:
+    return AuthToken(
+        user_id=r.text(),
+        issued_at=r.uint(),
+        expires_at=r.uint(),
+        signature=r.blob(),
+    )
+
+
+def _write_record(out: bytearray, record: ShareRecord) -> None:
+    _write_uint(out, record.element_id)
+    _write_uint(out, record.group_id)
+    _write_uint(out, record.share_y)
+
+
+def _read_record(r: _Reader) -> ShareRecord:
+    return ShareRecord(
+        element_id=r.uint(), group_id=r.uint(), share_y=r.uint()
+    )
+
+
+def _write_records(out: bytearray, records: tuple[ShareRecord, ...]) -> None:
+    _write_uint(out, len(records))
+    for record in records:
+        _write_record(out, record)
+
+
+def _read_records(r: _Reader) -> tuple[ShareRecord, ...]:
+    return tuple(_read_record(r) for _ in range(r.uint()))
+
+
+# -- per-message encoders/decoders -------------------------------------------
+
+
+def _enc_insert(out: bytearray, msg: m.InsertBatchRequest) -> None:
+    _write_token(out, msg.token)
+    _write_uint(out, len(msg.operations))
+    for op in msg.operations:
+        _write_uint(out, op.pl_id)
+        _write_uint(out, op.element_id)
+        _write_uint(out, op.group_id)
+        _write_uint(out, op.share_y)
+
+
+def _dec_insert(r: _Reader) -> m.InsertBatchRequest:
+    token = _read_token(r)
+    ops = tuple(
+        InsertOp(
+            pl_id=r.uint(),
+            element_id=r.uint(),
+            group_id=r.uint(),
+            share_y=r.uint(),
+        )
+        for _ in range(r.uint())
+    )
+    return m.InsertBatchRequest(token=token, operations=ops)
+
+
+def _enc_delete(out: bytearray, msg: m.DeleteBatchRequest) -> None:
+    _write_token(out, msg.token)
+    _write_uint(out, len(msg.operations))
+    for op in msg.operations:
+        _write_uint(out, op.pl_id)
+        _write_uint(out, op.element_id)
+
+
+def _dec_delete(r: _Reader) -> m.DeleteBatchRequest:
+    token = _read_token(r)
+    ops = tuple(
+        DeleteOp(pl_id=r.uint(), element_id=r.uint())
+        for _ in range(r.uint())
+    )
+    return m.DeleteBatchRequest(token=token, operations=ops)
+
+
+def _enc_fetch(out: bytearray, msg: m.FetchListsRequest) -> None:
+    _write_token(out, msg.token)
+    _write_uint(out, len(msg.pl_ids))
+    for pl_id in msg.pl_ids:
+        _write_uint(out, pl_id)
+
+
+def _dec_fetch(r: _Reader) -> m.FetchListsRequest:
+    token = _read_token(r)
+    pl_ids = tuple(r.uint() for _ in range(r.uint()))
+    return m.FetchListsRequest(token=token, pl_ids=pl_ids)
+
+
+def _enc_snippet_req(out: bytearray, msg: m.FetchSnippetRequest) -> None:
+    _write_token(out, msg.token)
+    _write_uint(out, msg.doc_id)
+    _write_uint(out, len(msg.terms))
+    for term in msg.terms:
+        _write_str(out, term)
+
+
+def _dec_snippet_req(r: _Reader) -> m.FetchSnippetRequest:
+    token = _read_token(r)
+    doc_id = r.uint()
+    terms = tuple(r.text() for _ in range(r.uint()))
+    return m.FetchSnippetRequest(token=token, doc_id=doc_id, terms=terms)
+
+
+def _enc_export(out: bytearray, msg: m.ExportListRequest) -> None:
+    _write_uint(out, msg.pl_id)
+
+
+def _dec_export(r: _Reader) -> m.ExportListRequest:
+    return m.ExportListRequest(pl_id=r.uint())
+
+
+def _enc_adopt(out: bytearray, msg: m.AdoptListRequest) -> None:
+    _write_uint(out, msg.pl_id)
+    _write_records(out, msg.records)
+
+
+def _dec_adopt(r: _Reader) -> m.AdoptListRequest:
+    return m.AdoptListRequest(pl_id=r.uint(), records=_read_records(r))
+
+
+def _enc_drop(out: bytearray, msg: m.DropListRequest) -> None:
+    _write_uint(out, msg.pl_id)
+
+
+def _dec_drop(r: _Reader) -> m.DropListRequest:
+    return m.DropListRequest(pl_id=r.uint())
+
+
+def _enc_status_req(out: bytearray, msg: m.ServerStatusRequest) -> None:
+    pass
+
+
+def _dec_status_req(r: _Reader) -> m.ServerStatusRequest:
+    return m.ServerStatusRequest()
+
+
+def _enc_endpoints_req(out: bytearray, msg: m.EndpointsRequest) -> None:
+    pass
+
+
+def _dec_endpoints_req(r: _Reader) -> m.EndpointsRequest:
+    return m.EndpointsRequest()
+
+
+def _enc_count(out: bytearray, msg: m.OpCountResponse) -> None:
+    _write_uint(out, msg.count)
+
+
+def _dec_count(r: _Reader) -> m.OpCountResponse:
+    return m.OpCountResponse(count=r.uint())
+
+
+def _enc_lists(out: bytearray, msg: m.FetchListsResponse) -> None:
+    _write_uint(out, len(msg.lists))
+    for pl in msg.lists:
+        _write_uint(out, pl.pl_id)
+        _write_records(out, pl.records)
+
+
+def _dec_lists(r: _Reader) -> m.FetchListsResponse:
+    lists = tuple(
+        PostingListResponse(pl_id=r.uint(), records=_read_records(r))
+        for _ in range(r.uint())
+    )
+    return m.FetchListsResponse(lists=lists)
+
+
+def _enc_snippet_resp(out: bytearray, msg: m.SnippetResponse) -> None:
+    _write_uint(out, msg.snippet.doc_id)
+    _write_str(out, msg.snippet.host)
+    _write_str(out, msg.snippet.text)
+
+
+def _dec_snippet_resp(r: _Reader) -> m.SnippetResponse:
+    return m.SnippetResponse(
+        snippet=Snippet(doc_id=r.uint(), host=r.text(), text=r.text())
+    )
+
+
+def _enc_record_list(out: bytearray, msg: m.RecordListResponse) -> None:
+    _write_records(out, msg.records)
+
+
+def _dec_record_list(r: _Reader) -> m.RecordListResponse:
+    return m.RecordListResponse(records=_read_records(r))
+
+
+def _enc_status_resp(out: bytearray, msg: m.ServerStatusResponse) -> None:
+    _write_str(out, msg.server_id)
+    _write_uint(out, msg.x_coordinate)
+    _write_uint(out, msg.num_posting_lists)
+    _write_uint(out, msg.num_elements)
+    _write_uint(out, msg.storage_bytes)
+
+
+def _dec_status_resp(r: _Reader) -> m.ServerStatusResponse:
+    return m.ServerStatusResponse(
+        server_id=r.text(),
+        x_coordinate=r.uint(),
+        num_posting_lists=r.uint(),
+        num_elements=r.uint(),
+        storage_bytes=r.uint(),
+    )
+
+
+def _enc_endpoints_resp(out: bytearray, msg: m.EndpointsResponse) -> None:
+    _write_uint(out, len(msg.names))
+    for name in msg.names:
+        _write_str(out, name)
+
+
+def _dec_endpoints_resp(r: _Reader) -> m.EndpointsResponse:
+    return m.EndpointsResponse(
+        names=tuple(r.text() for _ in range(r.uint()))
+    )
+
+
+def _enc_error(out: bytearray, msg: m.ErrorResponse) -> None:
+    _write_str(out, msg.error)
+    _write_str(out, msg.message)
+    _write_str(out, msg.endpoint)
+
+
+def _dec_error(r: _Reader) -> m.ErrorResponse:
+    return m.ErrorResponse(error=r.text(), message=r.text(), endpoint=r.text())
+
+
+#: type byte -> (message class, encoder, decoder). Type bytes are wire
+#: contract: never renumber, only append.
+_REGISTRY: dict[int, tuple[type, Callable, Callable]] = {
+    0x01: (m.InsertBatchRequest, _enc_insert, _dec_insert),
+    0x02: (m.DeleteBatchRequest, _enc_delete, _dec_delete),
+    0x03: (m.FetchListsRequest, _enc_fetch, _dec_fetch),
+    0x04: (m.FetchSnippetRequest, _enc_snippet_req, _dec_snippet_req),
+    0x05: (m.ExportListRequest, _enc_export, _dec_export),
+    0x06: (m.AdoptListRequest, _enc_adopt, _dec_adopt),
+    0x07: (m.DropListRequest, _enc_drop, _dec_drop),
+    0x08: (m.ServerStatusRequest, _enc_status_req, _dec_status_req),
+    0x09: (m.EndpointsRequest, _enc_endpoints_req, _dec_endpoints_req),
+    0x21: (m.OpCountResponse, _enc_count, _dec_count),
+    0x22: (m.FetchListsResponse, _enc_lists, _dec_lists),
+    0x23: (m.SnippetResponse, _enc_snippet_resp, _dec_snippet_resp),
+    0x24: (m.RecordListResponse, _enc_record_list, _dec_record_list),
+    0x25: (m.ServerStatusResponse, _enc_status_resp, _dec_status_resp),
+    0x26: (m.EndpointsResponse, _enc_endpoints_resp, _dec_endpoints_resp),
+    0x27: (m.ErrorResponse, _enc_error, _dec_error),
+}
+
+_TYPE_BYTE = {cls: byte for byte, (cls, _e, _d) in _REGISTRY.items()}
+
+
+def encode_message(message: Any) -> bytes:
+    """Serialize one protocol message to a self-describing frame body.
+
+    Raises:
+        ProtocolError: unknown message class or a negative integer field.
+    """
+    entry = _TYPE_BYTE.get(type(message))
+    if entry is None:
+        raise ProtocolError(
+            f"{type(message).__name__} is not a protocol message"
+        )
+    out = bytearray(MAGIC)
+    out.append(m.PROTOCOL_VERSION)
+    out.append(entry)
+    _REGISTRY[entry][1](out, message)
+    return bytes(out)
+
+
+def decode_message(data: bytes) -> Any:
+    """Parse one frame body back into its message dataclass.
+
+    Raises:
+        ProtocolError: bad magic, unsupported version, unknown type,
+            truncation, or trailing garbage.
+    """
+    if len(data) < HEADER_LEN:
+        raise ProtocolError(f"frame shorter than the {HEADER_LEN}-byte header")
+    if data[:2] != MAGIC:
+        raise ProtocolError("bad magic; not a Zerber wire frame")
+    version = data[2]
+    if version != m.PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} "
+            f"(this peer speaks {m.PROTOCOL_VERSION})"
+        )
+    entry = _REGISTRY.get(data[3])
+    if entry is None:
+        raise ProtocolError(f"unknown message type byte 0x{data[3]:02x}")
+    reader = _Reader(data, HEADER_LEN)
+    message = entry[2](reader)
+    reader.done()
+    return message

@@ -1,0 +1,300 @@
+"""The versioned wire-protocol message catalogue.
+
+Zerber's threat model (paper §4–§5) is stated at a *network* boundary:
+index servers see opaque share requests, never Python objects. This
+module is that boundary made explicit — every operation a client or the
+control plane performs against a server is one of the request/response
+dataclasses below, each byte-serializable through
+:mod:`repro.protocol.codec` and dispatched server-side by
+:class:`repro.protocol.service.IndexServerService`.
+
+Catalogue (requests → responses):
+
+====================  ==============================  ====================
+request               carries                          response
+====================  ==============================  ====================
+InsertBatchRequest    token + InsertOp batch           OpCountResponse
+DeleteBatchRequest    token + DeleteOp batch           OpCountResponse
+FetchListsRequest     token + posting-list ids         FetchListsResponse
+FetchSnippetRequest   token + doc id + query terms     SnippetResponse
+ExportListRequest     pl_id (admin/replication)        RecordListResponse
+AdoptListRequest      pl_id + records (admin)          RecordListResponse
+DropListRequest       pl_id (admin)                    RecordListResponse
+ServerStatusRequest   —  (admin/observability)         ServerStatusResponse
+EndpointsRequest      —  (transport discovery)         EndpointsResponse
+(any, on failure)                                      ErrorResponse
+====================  ==============================  ====================
+
+Versioning rules:
+
+- :data:`PROTOCOL_VERSION` is a single integer carried in every frame
+  header. A decoder that sees a version it does not implement must
+  reject the frame with :class:`~repro.errors.ProtocolError` — never
+  guess at field layouts.
+- Adding a *new message type* is backwards-compatible (old peers reject
+  only frames of that type, with a typed error); changing the *fields*
+  of an existing message requires bumping :data:`PROTOCOL_VERSION`.
+- Integers are unsigned LEB128 varints, so widening a counter or a
+  share never changes the format.
+
+Every message also knows its **accounted** wire size
+(:meth:`wire_bytes`): the §7.3 cost model the benchmarks have always
+charged (4-byte ids, ``share_bytes``-byte shares, the token's
+``wire_bytes``). The in-process transport charges these sizes against
+the simulated network so every historical benchmark number stays
+comparable; the socket transport moves real encoded bytes instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.client.snippets import Snippet
+from repro.server.auth import AuthToken
+from repro.server.index_server import (
+    DeleteOp,
+    InsertOp,
+    PostingListResponse,
+    ShareRecord,
+)
+
+#: Bump when the *layout* of an existing message changes.
+PROTOCOL_VERSION = 1
+
+#: Default share width (matches ceil(bits(DEFAULT_PRIME)/8)).
+DEFAULT_SHARE_BYTES = 9
+
+
+# -- requests -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InsertBatchRequest:
+    """One §5.4.1 update batch bound for one server."""
+
+    token: AuthToken
+    operations: tuple[InsertOp, ...]
+
+    kind = "insert"
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        # Fixed-width operations: pl id + element id + group id + share.
+        return self.token.wire_bytes() + len(self.operations) * (
+            4 + 4 + 4 + share_bytes
+        )
+
+
+@dataclass(frozen=True)
+class DeleteBatchRequest:
+    """Per-element deletions ("its owner must delete each element
+    separately", §7.3)."""
+
+    token: AuthToken
+    operations: tuple[DeleteOp, ...]
+
+    kind = "delete"
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return self.token.wire_bytes() + len(self.operations) * (4 + 4)
+
+
+@dataclass(frozen=True)
+class FetchListsRequest:
+    """The §5.4.2 lookup: authenticated fetch of whole posting lists."""
+
+    token: AuthToken
+    pl_ids: tuple[int, ...]
+
+    kind = "lookup"
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return self.token.wire_bytes() + 4 * len(self.pl_ids)
+
+
+@dataclass(frozen=True)
+class FetchSnippetRequest:
+    """Step 6 of Algorithm 2: a snippet read from a hosting peer."""
+
+    token: AuthToken
+    doc_id: int
+    terms: tuple[str, ...]
+
+    kind = "snippet"
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return self.token.wire_bytes() + 8 + sum(len(t) for t in self.terms)
+
+
+@dataclass(frozen=True)
+class ExportListRequest:
+    """Admin/replication: ship one list's stored share records out."""
+
+    pl_id: int
+
+    kind = "admin"
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return 4
+
+
+@dataclass(frozen=True)
+class AdoptListRequest:
+    """Admin/replication: merge slot-aligned records into the store."""
+
+    pl_id: int
+    records: tuple[ShareRecord, ...]
+
+    kind = "admin"
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return 4 + len(self.records) * (4 + 4 + share_bytes)
+
+
+@dataclass(frozen=True)
+class DropListRequest:
+    """Admin/replication: discard a list the seat no longer owns."""
+
+    pl_id: int
+
+    kind = "admin"
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return 4
+
+
+@dataclass(frozen=True)
+class ServerStatusRequest:
+    """Admin/observability: one seat's store statistics."""
+
+    kind = "admin"
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return 4
+
+
+@dataclass(frozen=True)
+class EndpointsRequest:
+    """Transport discovery: which endpoints does the far side serve?
+
+    Addressed to the transport itself (empty ``dst``), not to a seat —
+    the socket client uses it to answer ``has_endpoint`` questions the
+    in-process registry can answer locally.
+    """
+
+    kind = "admin"
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return 4
+
+
+# -- responses ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OpCountResponse:
+    """Insert/delete acknowledgement: how many operations took effect."""
+
+    count: int
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return 8
+
+
+@dataclass(frozen=True)
+class FetchListsResponse:
+    """The §5.4.2 answer: one :class:`PostingListResponse` per asked list."""
+
+    lists: tuple[PostingListResponse, ...]
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return sum(pl.wire_bytes(share_bytes) for pl in self.lists)
+
+
+@dataclass(frozen=True)
+class SnippetResponse:
+    """A hosting peer's snippet (with the §7.3 XML envelope sizing)."""
+
+    snippet: Snippet
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return self.snippet.wire_bytes()
+
+
+@dataclass(frozen=True)
+class RecordListResponse:
+    """Admin answer: the share records an export/adopt/drop touched."""
+
+    records: tuple[ShareRecord, ...]
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return len(self.records) * (4 + 4 + share_bytes)
+
+
+@dataclass(frozen=True)
+class ServerStatusResponse:
+    """One seat's observable store statistics."""
+
+    server_id: str
+    x_coordinate: int
+    num_posting_lists: int
+    num_elements: int
+    storage_bytes: int
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return len(self.server_id) + 4 * 4
+
+
+@dataclass(frozen=True)
+class EndpointsResponse:
+    """The far transport's endpoint names, sorted."""
+
+    names: tuple[str, ...]
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return 4 + sum(len(n) + 1 for n in self.names)
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A server-side failure shipped back over the wire.
+
+    Attributes:
+        error: the :mod:`repro.errors` class name — re-raised verbatim
+            by the client transport (see :func:`repro.errors.error_class`).
+        message: the exception text; never carries shares or secrets
+            (library exceptions are safe to log by contract).
+        endpoint: for :class:`~repro.errors.UnknownEndpointError`, the
+            endpoint that was addressed.
+    """
+
+    error: str
+    message: str
+    endpoint: str = ""
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return len(self.error) + len(self.message) + len(self.endpoint) + 3
+
+
+#: Requests a seat's service understands (EndpointsRequest is handled by
+#: the transport itself).
+REQUEST_TYPES = (
+    InsertBatchRequest,
+    DeleteBatchRequest,
+    FetchListsRequest,
+    FetchSnippetRequest,
+    ExportListRequest,
+    AdoptListRequest,
+    DropListRequest,
+    ServerStatusRequest,
+    EndpointsRequest,
+)
+
+RESPONSE_TYPES = (
+    OpCountResponse,
+    FetchListsResponse,
+    SnippetResponse,
+    RecordListResponse,
+    ServerStatusResponse,
+    EndpointsResponse,
+    ErrorResponse,
+)

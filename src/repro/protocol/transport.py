@@ -1,0 +1,467 @@
+"""Pluggable transports: how protocol messages reach their endpoint.
+
+Two interchangeable backends behind one :class:`Transport` contract:
+
+- :class:`InProcessTransport` — endpoints are services in this process.
+  When a :class:`~repro.server.transport.SimulatedNetwork` is attached,
+  every call is routed through it with the *accounted* message sizes
+  (:meth:`wire_bytes`), so the §7.3 latency/byte ledger — and therefore
+  every historical benchmark number — is preserved bit for bit. Without
+  a network, dispatch is a plain function call (the read hot path).
+- :class:`SocketTransport` / :class:`SocketServer` — real TCP, real
+  bytes. Frames are length-prefixed codec messages; each client thread
+  keeps a persistent connection, so the cluster's thread-pooled fan-out
+  overlaps genuine network latency with reconstruction CPU. Server-side
+  failures travel as ``ErrorResponse`` frames and re-raise client-side
+  as the same :mod:`repro.errors` class.
+
+The contract both backends honour, and any future backend (async,
+shared-memory, ...) must too:
+
+- ``call(src, dst, request)`` returns the response message or raises
+  the failure the server raised; a dead or missing endpoint raises
+  :class:`~repro.errors.TransportError`
+  (:class:`~repro.errors.UnknownEndpointError` when the name itself is
+  unknown — the kill-pod race), which the cluster failover ladder
+  absorbs identically on every backend;
+- responses are byte-identical across backends for identical stores —
+  the CI equivalence gate runs the same seeds over both.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import Any, Callable
+
+from repro.errors import (
+    ProtocolError,
+    ReproError,
+    TransportError,
+    UnknownEndpointError,
+)
+from repro.protocol.codec import decode_message, encode_message
+from repro.protocol.messages import (
+    DEFAULT_SHARE_BYTES,
+    EndpointsRequest,
+    EndpointsResponse,
+    ErrorResponse,
+    ExportListRequest,
+    FetchListsRequest,
+    FetchSnippetRequest,
+    ServerStatusRequest,
+)
+from repro.protocol.service import error_response, raise_for_error
+from repro.server.transport import SimulatedNetwork
+
+#: A frame longer than this is garbage (or hostile), not a message.
+MAX_FRAME_BYTES = 1 << 26  # 64 MiB
+
+#: Requests a broken connection may safely re-send: pure reads. A write
+#: (insert/delete/adopt/drop) whose response frame was lost may already
+#: have been applied — re-sending it would double-apply server-side
+#: bookkeeping (e.g. the §5.4.1 update log the correlation experiments
+#: read), so writes fail fast instead and the caller's failover /
+#: re-provisioning machinery decides.
+_RETRY_SAFE = (
+    FetchListsRequest,
+    FetchSnippetRequest,
+    ExportListRequest,
+    ServerStatusRequest,
+    EndpointsRequest,
+)
+
+_LEN = struct.Struct(">I")
+
+
+class Transport:
+    """Where protocol messages go. See the module docstring for the laws."""
+
+    def call(self, src: str, dst: str, request: Any) -> Any:
+        raise NotImplementedError
+
+    def has_endpoint(self, name: str) -> bool:
+        raise NotImplementedError
+
+    def endpoints(self) -> list[str]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # idempotent everywhere
+        pass
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class InProcessTransport(Transport):
+    """Endpoint registry dispatching to services in this process.
+
+    Args:
+        network: optional :class:`SimulatedNetwork`. When given, every
+            call is charged against it (same endpoint names, same
+            message kinds, same accounted sizes as the pre-protocol
+            code), and endpoints are mirrored into its registry.
+        share_bytes: wire width of one share for the accounted sizes.
+        resolver: optional fallback ``name -> service | None``. Lets a
+            standalone client resolve a fleet that grows after the
+            transport was built (``ZerberDeployment.add_server``).
+    """
+
+    def __init__(
+        self,
+        network: SimulatedNetwork | None = None,
+        share_bytes: int = DEFAULT_SHARE_BYTES,
+        resolver: Callable[[str], Any] | None = None,
+    ) -> None:
+        self._services: dict[str, Any] = {}
+        self._network = network
+        self._share_bytes = share_bytes
+        self._resolver = resolver
+
+    @property
+    def network(self) -> SimulatedNetwork | None:
+        return self._network
+
+    # -- registry -------------------------------------------------------------
+
+    def register(self, name: str, service: Any) -> None:
+        """Attach one endpoint (anything with ``handle(request)``)."""
+        if name in self._services:
+            raise TransportError(f"endpoint {name!r} already registered")
+        self._services[name] = service
+        if self._network is not None and not self._network.has_endpoint(name):
+            self._network.register(name, _network_adapter(service))
+
+    def unregister(self, name: str) -> None:
+        """Drop one endpoint (a retired seat leaves the transport)."""
+        if name not in self._services:
+            raise UnknownEndpointError(
+                name, f"endpoint {name!r} is not registered"
+            )
+        del self._services[name]
+        if self._network is not None and self._network.has_endpoint(name):
+            self._network.unregister(name)
+
+    def has_endpoint(self, name: str) -> bool:
+        return name in self._services
+
+    def endpoints(self) -> list[str]:
+        return sorted(self._services)
+
+    def _resolve(self, name: str) -> Any:
+        service = self._services.get(name)
+        if service is None and self._resolver is not None:
+            service = self._resolver(name)
+            if service is not None:
+                self.register(name, service)
+        if service is None:
+            raise UnknownEndpointError(name)
+        return service
+
+    # -- dispatch ------------------------------------------------------------
+
+    def call(self, src: str, dst: str, request: Any) -> Any:
+        service = self._resolve(dst)
+        if self._network is not None:
+            share_bytes = self._share_bytes
+            return self._network.call(
+                src,
+                dst,
+                request.kind,
+                request,
+                request_bytes=request.wire_bytes(share_bytes),
+                response_bytes_of=lambda r: r.wire_bytes(share_bytes),
+            )
+        return service.handle(request)
+
+    def dispatch_local(self, dst: str, request: Any) -> Any:
+        """Hand a request straight to the service, no network accounting.
+
+        The socket server uses this: its bytes are real, charging the
+        simulated ledger on top would double-count.
+        """
+        return self._resolve(dst).handle(request)
+
+
+def _network_adapter(service: Any) -> Callable[[str, Any], Any]:
+    """A :class:`SimulatedNetwork` handler fronting one service."""
+
+    def handler(_kind: str, message: Any) -> Any:
+        return service.handle(message)
+
+    return handler
+
+
+# -- sockets -----------------------------------------------------------------
+
+
+def _read_exact(sock: socket.socket, length: int) -> bytes:
+    chunks = bytearray()
+    while len(chunks) < length:
+        chunk = sock.recv(length - len(chunks))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def _read_frame(sock: socket.socket) -> bytes:
+    (length,) = _LEN.unpack(_read_exact(sock, _LEN.size))
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the cap")
+    return _read_exact(sock, length)
+
+
+def _write_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def _pack_request(dst: str, request: Any) -> bytes:
+    name = dst.encode("utf-8")
+    return _LEN.pack(len(name)) + name + encode_message(request)
+
+
+def _unpack_request(payload: bytes) -> tuple[str, Any]:
+    if len(payload) < _LEN.size:
+        raise ProtocolError("request frame shorter than its name header")
+    (name_len,) = _LEN.unpack(payload[: _LEN.size])
+    body_start = _LEN.size + name_len
+    if name_len > MAX_FRAME_BYTES or body_start > len(payload):
+        raise ProtocolError("request frame truncated inside endpoint name")
+    try:
+        dst = payload[_LEN.size : body_start].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError("endpoint name is not valid UTF-8") from exc
+    return dst, decode_message(payload[body_start:])
+
+
+class SocketServer:
+    """Serve an :class:`InProcessTransport` registry over loopback/LAN TCP.
+
+    One accept thread plus one thread per connection (clients keep
+    persistent per-thread connections, so the thread count tracks
+    client-side concurrency, not request volume). ``repro serve`` wraps
+    this; deployments constructed with ``transport="socket"`` embed it.
+    """
+
+    def __init__(
+        self,
+        registry: InProcessTransport,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._registry = registry
+        self._listener = socket.create_server(
+            (host, port), reuse_port=False
+        )
+        # A blocked accept() does not reliably wake when another thread
+        # closes the listener; poll with a short timeout instead so
+        # close() always reaps the accept thread.
+        self._listener.settimeout(0.1)
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._closed = threading.Event()
+        self._lock = threading.Lock()
+        self._connections: set[socket.socket] = set()
+        self._threads: list[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"zerber-socket-accept-{self.address[1]}",
+            daemon=True,
+        )
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                conn, _peer = self._listener.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                return  # listener closed
+            conn.settimeout(None)
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                if self._closed.is_set():
+                    conn.close()
+                    return
+                self._connections.add(conn)
+                thread = threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn,),
+                    name=f"zerber-socket-conn-{self.address[1]}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while not self._closed.is_set():
+                try:
+                    payload = _read_frame(conn)
+                except (ConnectionError, OSError):
+                    return
+                except ProtocolError:
+                    # A garbage length prefix desynchronizes the frame
+                    # stream — nothing sane can follow; drop the
+                    # connection rather than parse noise forever.
+                    return
+                response = self._handle(payload)
+                try:
+                    _write_frame(conn, encode_message(response))
+                except OSError:
+                    return
+        finally:
+            with self._lock:
+                self._connections.discard(conn)
+            conn.close()
+
+    def _handle(self, payload: bytes) -> Any:
+        try:
+            dst, request = _unpack_request(payload)
+            if isinstance(request, EndpointsRequest):
+                return EndpointsResponse(
+                    names=tuple(self._registry.endpoints())
+                )
+            return self._registry.dispatch_local(dst, request)
+        except ReproError as exc:
+            return error_response(exc)
+        except Exception as exc:  # noqa: BLE001 - a server bug must not
+            # kill the connection silently: ship it back typed so the
+            # client sees "server broke", not "seat is dead".
+            return ErrorResponse(
+                error="ReproError",
+                message=f"internal server error: "
+                f"{type(exc).__name__}: {exc}",
+            )
+
+    def close(self) -> None:
+        """Stop accepting, drop every connection, join the threads."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._listener.close()
+        with self._lock:
+            connections = list(self._connections)
+            threads = list(self._threads)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        self._accept_thread.join(timeout=5)
+        for thread in threads:
+            thread.join(timeout=5)
+
+    def __enter__(self) -> "SocketServer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class SocketTransport(Transport):
+    """TCP client for a :class:`SocketServer` (or ``repro serve``).
+
+    Each calling thread keeps one persistent connection (the parallel
+    pod fan-out therefore multiplexes over as many connections as the
+    dispatcher has workers). A broken connection is retried once with a
+    fresh socket — a restarted server looks like one lost round-trip,
+    not a failed query.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        share_bytes: int = DEFAULT_SHARE_BYTES,
+        timeout_s: float = 30.0,
+    ) -> None:
+        self._address = (address[0], int(address[1]))
+        self._share_bytes = share_bytes
+        self._timeout_s = timeout_s
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._sockets: set[socket.socket] = set()
+        self._closed = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._address
+
+    def _connection(self) -> socket.socket:
+        sock = getattr(self._local, "sock", None)
+        if sock is None:
+            if self._closed:
+                raise TransportError("socket transport is closed")
+            try:
+                sock = socket.create_connection(
+                    self._address, timeout=self._timeout_s
+                )
+            except OSError as exc:
+                raise TransportError(
+                    f"cannot connect to {self._address[0]}:"
+                    f"{self._address[1]}: {exc}"
+                ) from exc
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._local.sock = sock
+            with self._lock:
+                self._sockets.add(sock)
+        return sock
+
+    def _drop_connection(self) -> None:
+        sock = getattr(self._local, "sock", None)
+        if sock is not None:
+            with self._lock:
+                self._sockets.discard(sock)
+            sock.close()
+            self._local.sock = None
+
+    def _round_trip(self, payload: bytes, retry: bool) -> bytes:
+        for attempt in (0, 1):
+            sock = self._connection()
+            try:
+                _write_frame(sock, payload)
+                return _read_frame(sock)
+            except (ConnectionError, OSError) as exc:
+                self._drop_connection()
+                if attempt or not retry:
+                    raise TransportError(
+                        f"socket round-trip to {self._address[0]}:"
+                        f"{self._address[1]} failed: {exc}"
+                    ) from exc
+        raise AssertionError("unreachable")
+
+    def call(self, src: str, dst: str, request: Any) -> Any:
+        # Only pure reads are re-sent over a fresh connection: a write
+        # whose response was lost may already have landed, and
+        # at-least-once writes are a semantics change nothing upstream
+        # accounts for.
+        retry = isinstance(request, _RETRY_SAFE)
+        response = decode_message(
+            self._round_trip(_pack_request(dst, request), retry)
+        )
+        return raise_for_error(response)
+
+    def endpoints(self) -> list[str]:
+        response = self.call("", "", EndpointsRequest())
+        return list(response.names)
+
+    def has_endpoint(self, name: str) -> bool:
+        try:
+            return name in self.endpoints()
+        except TransportError:
+            return False
+
+    def close(self) -> None:
+        self._closed = True
+        with self._lock:
+            sockets = list(self._sockets)
+            self._sockets.clear()
+        for sock in sockets:
+            sock.close()
+        self._local = threading.local()

@@ -81,7 +81,10 @@ class PostingListResponse:
     records: tuple[ShareRecord, ...]
 
     def wire_bytes(self, share_bytes: int = 9) -> int:
-        return 4 + sum(r.wire_bytes(share_bytes) for r in self.records)
+        # Every record is the same fixed width (element id + group id +
+        # share), so the sum is a product — this sizer runs once per
+        # lookup response on the read hot path.
+        return 4 + len(self.records) * (4 + 4 + share_bytes)
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from repro.errors import TransportError
+from repro.errors import TransportError, UnknownEndpointError
 
 #: §7.3 link presets.
 WLAN_55_MBPS = 55_000_000.0
@@ -105,7 +105,9 @@ class SimulatedNetwork:
     def unregister(self, name: str) -> None:
         """Detach an endpoint (a decommissioned server leaves the network)."""
         if name not in self._endpoints:
-            raise TransportError(f"endpoint {name!r} is not registered")
+            raise UnknownEndpointError(
+                name, f"endpoint {name!r} is not registered"
+            )
         del self._endpoints[name]
 
     def set_link(self, src: str, dst: str, spec: LinkSpec) -> None:
@@ -147,11 +149,14 @@ class SimulatedNetwork:
             The handler's response.
 
         Raises:
-            TransportError: unknown destination.
+            UnknownEndpointError: unknown destination — typed, and naming
+                the endpoint, because the caller may legitimately race a
+                pod retirement (the failover ladder catches it as an
+                ordinary :class:`TransportError` and moves on).
         """
         handler = self._endpoints.get(dst)
         if handler is None:
-            raise TransportError(f"unknown endpoint {dst!r}")
+            raise UnknownEndpointError(dst)
         if request_bytes < 0:
             raise TransportError("negative request size")
         forward = self.link(src, dst)
@@ -189,16 +194,24 @@ class ConcurrentDispatcher:
     query).
     """
 
-    def __init__(self, max_workers: int = 8) -> None:
+    def __init__(
+        self,
+        max_workers: int = 8,
+        thread_name_prefix: str = "zerber-fanout",
+    ) -> None:
         """Args:
         max_workers: thread-pool width; 1 forces sequential dispatch
             (useful to A/B the parallel path against it).
+        thread_name_prefix: worker-thread name prefix. Deployments pass
+            a per-instance prefix so lifecycle tests can prove *their*
+            workers died with the deployment's ``close()``.
         """
         if max_workers < 1:
             raise TransportError(
                 f"max_workers must be >= 1, got {max_workers}"
             )
         self._max_workers = max_workers
+        self.thread_name_prefix = thread_name_prefix
         self._executor: ThreadPoolExecutor | None = None
         self._executor_lock = threading.Lock()
 
@@ -232,7 +245,7 @@ class ConcurrentDispatcher:
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=self._max_workers,
-                    thread_name_prefix="zerber-fanout",
+                    thread_name_prefix=self.thread_name_prefix,
                 )
             return self._executor
 

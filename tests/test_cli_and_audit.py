@@ -124,6 +124,90 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["frobnicate"])
 
+    def test_cluster_status(self, capsys):
+        code = main(
+            [
+                "cluster", "status",
+                "--documents", "12",
+                "--pods", "2",
+                "--n", "3",
+                "--k", "2",
+                "--kill", "0:1",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cluster: 2 pods" in out
+        assert "pod0: 2/3 seats live" in out
+        assert "dead: pod0-server-1" in out
+        assert "ewma" in out
+        assert "share cache" in out
+
+    def test_serve_bounded_duration(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--documents", "8",
+                "--pods", "2",
+                "--n", "3",
+                "--k", "2",
+                "--replication", "1",
+                "--duration", "0.3",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving" in out and "endpoints at 127.0.0.1:" in out
+
+    def test_serve_answers_over_tcp_while_up(self):
+        """A second thread queries the served scenario over a raw
+        SocketTransport while the serve loop is still running."""
+        import re
+        import threading
+        import io
+        from contextlib import redirect_stdout
+
+        from repro.protocol import ServerStatusRequest, SocketTransport
+
+        buffer = io.StringIO()
+
+        def run_server():
+            with redirect_stdout(buffer):
+                main(
+                    [
+                        "serve",
+                        "--documents", "8",
+                        "--pods", "2",
+                        "--n", "3",
+                        "--k", "2",
+                        "--replication", "1",
+                        "--duration", "2.5",
+                        "--seed", "3",
+                    ]
+                )
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        address = None
+        for _ in range(100):
+            match = re.search(r"endpoints at ([\d.]+):(\d+)", buffer.getvalue())
+            if match:
+                address = (match.group(1), int(match.group(2)))
+                break
+            thread.join(timeout=0.05)
+        assert address, "serve never printed its address"
+        with SocketTransport(address) as transport:
+            endpoints = transport.endpoints()
+            assert any(name.startswith("pod0-server-") for name in endpoints)
+            status = transport.call(
+                "probe", "pod0-server-0", ServerStatusRequest()
+            )
+            assert status.num_elements > 0
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
 
 class TestSnippetNetworkAccounting:
     def test_snippet_bytes_hit_the_ledger(self, small_corpus):

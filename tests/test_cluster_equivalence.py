@@ -63,6 +63,7 @@ def build_twins(
     seed: int,
     index_through: int | None = None,
     replication_factor: int = 1,
+    **cluster_kwargs,
 ):
     """A single-fleet deployment and a cluster over the same documents.
 
@@ -75,6 +76,9 @@ def build_twins(
             the single fleet always indexes everything.
         replication_factor: pods per posting list in the cluster twin
             (the pod count is raised to fit when the world rolled fewer).
+        cluster_kwargs: extra :class:`ClusterDeployment` arguments — the
+            socket equivalence gate passes ``transport="socket"`` to run
+            the same worlds over loopback TCP.
     """
     documents, num_groups, user_groups, _, num_lists, num_pods = world
     single = ZerberDeployment(
@@ -94,6 +98,7 @@ def build_twins(
         batch_policy=BatchPolicy(min_documents=2),
         replication_factor=replication_factor,
         seed=seed,
+        **cluster_kwargs,
     )
     for deployment in (single, cluster):
         for g in range(num_groups):

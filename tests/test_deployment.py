@@ -100,19 +100,37 @@ class TestPrincipals:
 
 
 class TestNetworkWiring:
-    def test_unknown_message_kind_rejected(self):
+    def test_unknown_message_rejected(self):
+        # A frame that is not a protocol message the index-server
+        # service understands is rejected with a typed error, whichever
+        # path (transport or raw network) delivered it.
+        from repro.errors import ProtocolError
+        from repro.protocol import FetchSnippetRequest
+
         deployment = ZerberDeployment(
             mapping_table=MappingTable({}, num_lists=4), seed=3
         )
         token = deployment.enroll_user("alice")
-        with pytest.raises(TransportError):
-            deployment.network.call(
+        with pytest.raises(ProtocolError):
+            deployment.transport.call(
                 "alice",
                 deployment.servers[0].server_id,
-                "format-disk",
-                (token, None),
-                request_bytes=1,
+                FetchSnippetRequest(token=token, doc_id=1, terms=("a",)),
             )
+
+    def test_unknown_endpoint_names_the_endpoint(self):
+        from repro.errors import UnknownEndpointError
+        from repro.protocol import ServerStatusRequest
+
+        deployment = ZerberDeployment(
+            mapping_table=MappingTable({}, num_lists=4), seed=3
+        )
+        with pytest.raises(UnknownEndpointError) as excinfo:
+            deployment.transport.call(
+                "alice", "no-such-server", ServerStatusRequest()
+            )
+        assert excinfo.value.endpoint == "no-such-server"
+        assert "no-such-server" in str(excinfo.value)
 
     def test_expired_token_rejected_through_network(self):
         deployment = ZerberDeployment(

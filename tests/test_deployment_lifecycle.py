@@ -1,0 +1,155 @@
+"""Deployment lifecycle: ``close()``, context managers, and leak fixes.
+
+The dispatcher-leak regression of this PR: ``ClusterDeployment`` used to
+spin up ``ConcurrentDispatcher`` worker threads (and, with the socket
+backend, listener/connection threads and WAL handles) that nothing ever
+shut down. ``close()`` — and the ``with`` form — must reap all of it,
+idempotently. Plus the unregistered-endpoint race: a seat leaving the
+transport mid-query must surface as a typed, *named* failure that the
+failover ladder absorbs.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.client.batching import BatchPolicy
+from repro.cluster import ClusterDeployment
+from repro.core.mapping_table import MappingTable
+from repro.core.zerber_index import ZerberDeployment
+from repro.corpus.document import Document
+from repro.errors import UnknownEndpointError
+
+
+def _documents(count=6):
+    return [
+        Document(
+            doc_id=i,
+            host=f"peer{i % 2}",
+            group_id=0,
+            term_counts={"alpha": 2, "beta": 1, f"w{i}": 1},
+            length=4,
+            text=f"alpha alpha beta w{i}",
+        )
+        for i in range(count)
+    ]
+
+
+def _cluster(**kwargs):
+    kwargs.setdefault("num_pods", 2)
+    kwargs.setdefault("k", 2)
+    kwargs.setdefault("n", 3)
+    kwargs.setdefault("use_network", False)
+    kwargs.setdefault("replication_factor", 2)
+    kwargs.setdefault("seed", 77)
+    cluster = ClusterDeployment(
+        MappingTable({}, num_lists=12),
+        batch_policy=BatchPolicy(min_documents=1),
+        **kwargs,
+    )
+    cluster.create_group(0, coordinator="alice")
+    for document in _documents():
+        cluster.share_document("alice", document)
+    cluster.flush_all()
+    return cluster
+
+
+def _threads_with_prefix(prefix: str) -> list[threading.Thread]:
+    return [
+        t for t in threading.enumerate()
+        if t.is_alive() and t.name.startswith(prefix)
+    ]
+
+
+class TestDispatcherLeak:
+    def test_no_fanout_threads_outlive_a_closed_deployment(self):
+        """Regression: ConcurrentDispatcher.shutdown() was never called."""
+        cluster = _cluster()
+        prefix = cluster.dispatcher.thread_name_prefix
+        # Multi-pod round: forces the parallel fan-out to spin workers.
+        searcher = cluster.searcher("alice", use_cache=False)
+        searcher.search(["alpha", "beta", "w0", "w3"], top_k=5,
+                        fetch_snippets=False)
+        assert searcher.last_cluster_diagnostics.parallel_rounds >= 0
+        cluster.close()
+        assert _threads_with_prefix(prefix) == []
+
+    def test_no_socket_threads_outlive_a_closed_deployment(self):
+        cluster = _cluster(transport="socket")
+        port = cluster.transport.address[1]
+        cluster.search("alice", ["alpha", "beta"], top_k=5)
+        assert _threads_with_prefix(f"zerber-socket-accept-{port}")
+        cluster.close()
+        assert _threads_with_prefix(f"zerber-socket-accept-{port}") == []
+        assert _threads_with_prefix(f"zerber-socket-conn-{port}") == []
+
+    def test_close_is_idempotent_and_with_block_closes(self):
+        with _cluster(transport="socket") as cluster:
+            port = cluster.transport.address[1]
+            assert cluster.search("alice", ["alpha"], top_k=3)
+        assert _threads_with_prefix(f"zerber-socket-accept-{port}") == []
+        cluster.close()  # second close is a no-op
+        cluster.close()
+
+    def test_close_closes_wal_handles(self, tmp_path):
+        cluster = _cluster(wal_dir=tmp_path, replication_factor=1)
+        logs = [
+            slot.log
+            for pod in cluster.pods
+            for slot in pod.slots
+            if slot.log is not None
+        ]
+        assert logs
+        cluster.close()
+        assert all(log._handle.closed for log in logs)
+
+    def test_single_fleet_deployment_context_manager(self):
+        with ZerberDeployment(
+            MappingTable({}, num_lists=4),
+            batch_policy=BatchPolicy(min_documents=1),
+            transport="socket",
+            seed=5,
+        ) as deployment:
+            deployment.create_group(0, coordinator="alice")
+            deployment.share_document("alice", _documents(1)[0])
+            assert deployment.search("alice", ["alpha"], top_k=3)
+            port = deployment.transport.address[1]
+        assert _threads_with_prefix(f"zerber-socket-accept-{port}") == []
+
+
+class TestUnregisteredEndpointRace:
+    def test_searcher_fails_over_past_an_unregistered_seat(self):
+        """The kill-pod race: a routing plan can still name a seat whose
+        endpoint a concurrent retirement already unregistered. The call
+        raises a typed UnknownEndpointError (not a KeyError), which the
+        ladder counts as an ordinary failover."""
+        with _cluster() as cluster:
+            healthy = cluster.search("alice", ["alpha", "beta"], top_k=5)
+            victim = cluster.pods[0].slots[0]
+            cluster.registry.unregister(victim.server_id)
+            searcher = cluster.searcher("alice", use_cache=False)
+            results = searcher.search(
+                ["alpha", "beta"], top_k=5, fetch_snippets=False
+            )
+            assert results == cluster.searcher(
+                "alice", use_cache=False
+            ).search(["alpha", "beta"], top_k=5, fetch_snippets=False)
+            assert [r.doc_id for r in results] == [
+                r.doc_id for r in healthy
+            ]
+            assert searcher.last_cluster_diagnostics.failovers >= 1
+
+    def test_unknown_endpoint_error_names_the_seat(self):
+        with _cluster() as cluster:
+            from repro.protocol import ServerStatusRequest
+
+            victim = cluster.pods[0].slots[0].server_id
+            cluster.registry.unregister(victim)
+            with pytest.raises(UnknownEndpointError) as excinfo:
+                cluster.registry.call(
+                    "alice", victim, ServerStatusRequest()
+                )
+            assert excinfo.value.endpoint == victim
+            assert victim in str(excinfo.value)

@@ -1,0 +1,238 @@
+"""Property suite for the wire-protocol codec.
+
+Random message → encode → decode must be the identity for every message
+type in the catalogue, and the decoder must reject — with a typed
+:class:`~repro.errors.ProtocolError`, never a stray ``ValueError`` or
+``IndexError`` — everything that is not a well-formed frame: truncations
+at every byte boundary, random garbage, bad magic, unknown type bytes,
+and frames from protocol versions this peer does not speak.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.client.snippets import Snippet
+from repro.errors import ProtocolError
+from repro.protocol import codec
+from repro.protocol import messages as m
+from repro.server.auth import AuthToken
+from repro.server.index_server import (
+    DeleteOp,
+    InsertOp,
+    PostingListResponse,
+    ShareRecord,
+)
+
+# -- strategies ---------------------------------------------------------------
+
+uints = st.integers(min_value=0, max_value=2**72 - 1)
+small_uints = st.integers(min_value=0, max_value=2**32 - 1)
+texts = st.text(max_size=40)
+
+tokens = st.builds(
+    AuthToken,
+    user_id=texts,
+    issued_at=small_uints,
+    expires_at=small_uints,
+    signature=st.binary(max_size=48),
+)
+
+insert_ops = st.builds(
+    InsertOp,
+    pl_id=small_uints,
+    element_id=small_uints,
+    group_id=small_uints,
+    share_y=uints,
+)
+
+delete_ops = st.builds(DeleteOp, pl_id=small_uints, element_id=small_uints)
+
+records = st.builds(
+    ShareRecord, element_id=small_uints, group_id=small_uints, share_y=uints
+)
+
+posting_lists = st.builds(
+    PostingListResponse,
+    pl_id=small_uints,
+    records=st.tuples() | st.lists(records, max_size=5).map(tuple),
+)
+
+snippets = st.builds(Snippet, doc_id=small_uints, host=texts, text=texts)
+
+messages = st.one_of(
+    st.builds(
+        m.InsertBatchRequest,
+        token=tokens,
+        operations=st.lists(insert_ops, max_size=6).map(tuple),
+    ),
+    st.builds(
+        m.DeleteBatchRequest,
+        token=tokens,
+        operations=st.lists(delete_ops, max_size=6).map(tuple),
+    ),
+    st.builds(
+        m.FetchListsRequest,
+        token=tokens,
+        pl_ids=st.lists(small_uints, max_size=8).map(tuple),
+    ),
+    st.builds(
+        m.FetchSnippetRequest,
+        token=tokens,
+        doc_id=small_uints,
+        terms=st.lists(texts, max_size=4).map(tuple),
+    ),
+    st.builds(m.ExportListRequest, pl_id=small_uints),
+    st.builds(
+        m.AdoptListRequest,
+        pl_id=small_uints,
+        records=st.lists(records, max_size=5).map(tuple),
+    ),
+    st.builds(m.DropListRequest, pl_id=small_uints),
+    st.just(m.ServerStatusRequest()),
+    st.just(m.EndpointsRequest()),
+    st.builds(m.OpCountResponse, count=small_uints),
+    st.builds(
+        m.FetchListsResponse,
+        lists=st.lists(posting_lists, max_size=4).map(tuple),
+    ),
+    st.builds(m.SnippetResponse, snippet=snippets),
+    st.builds(
+        m.RecordListResponse,
+        records=st.lists(records, max_size=5).map(tuple),
+    ),
+    st.builds(
+        m.ServerStatusResponse,
+        server_id=texts,
+        x_coordinate=small_uints,
+        num_posting_lists=small_uints,
+        num_elements=small_uints,
+        storage_bytes=small_uints,
+    ),
+    st.builds(
+        m.EndpointsResponse, names=st.lists(texts, max_size=6).map(tuple)
+    ),
+    st.builds(
+        m.ErrorResponse, error=texts, message=texts, endpoint=texts
+    ),
+)
+
+
+# -- round trips --------------------------------------------------------------
+
+
+@settings(max_examples=300, deadline=None)
+@given(message=messages)
+def test_encode_decode_round_trip(message):
+    assert codec.decode_message(codec.encode_message(message)) == message
+
+
+@settings(max_examples=100, deadline=None)
+@given(message=messages, data=st.data())
+def test_truncated_frames_rejected(message, data):
+    encoded = codec.encode_message(message)
+    cut = data.draw(st.integers(min_value=0, max_value=len(encoded) - 1))
+    truncated = encoded[:cut]
+    # Every strict prefix either fails to parse or (when the cut lands
+    # on a self-delimiting boundary of a shorter valid message) must
+    # never be mistaken for the original.
+    try:
+        decoded = codec.decode_message(truncated)
+    except ProtocolError:
+        return
+    assert decoded != message
+
+
+@settings(max_examples=200, deadline=None)
+@given(garbage=st.binary(max_size=120))
+def test_garbage_rejected_or_roundtrips(garbage):
+    """Arbitrary bytes never crash the decoder with an untyped error."""
+    try:
+        decoded = codec.decode_message(garbage)
+    except ProtocolError:
+        return
+    # The rare garbage that *is* a valid frame must re-encode to itself.
+    assert codec.encode_message(decoded) == garbage
+
+
+@settings(max_examples=50, deadline=None)
+@given(message=messages, version=st.integers(min_value=0, max_value=255))
+def test_unknown_protocol_versions_rejected(message, version):
+    encoded = bytearray(codec.encode_message(message))
+    if version == m.PROTOCOL_VERSION:
+        return
+    encoded[2] = version
+    with pytest.raises(ProtocolError, match="version"):
+        codec.decode_message(bytes(encoded))
+
+
+@settings(max_examples=50, deadline=None)
+@given(message=messages, extra=st.binary(min_size=1, max_size=8))
+def test_trailing_bytes_rejected(message, extra):
+    with pytest.raises(ProtocolError):
+        codec.decode_message(codec.encode_message(message) + extra)
+
+
+# -- deterministic edges ------------------------------------------------------
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ProtocolError, match="magic"):
+        codec.decode_message(b"XX\x01\x01")
+
+
+def test_unknown_type_byte_rejected():
+    with pytest.raises(ProtocolError, match="type"):
+        codec.decode_message(codec.MAGIC + bytes([m.PROTOCOL_VERSION, 0xEE]))
+
+
+def test_negative_integer_rejected_at_encode():
+    with pytest.raises(ProtocolError, match="negative"):
+        codec.encode_message(m.OpCountResponse(count=-1))
+
+
+def test_oversized_varint_rejected():
+    # 100 continuation bytes: an "integer" wider than any share can be.
+    body = b"\xff" * 100 + b"\x01"
+    frame = codec.MAGIC + bytes([m.PROTOCOL_VERSION, 0x21]) + body
+    with pytest.raises(ProtocolError, match="cap"):
+        codec.decode_message(frame)
+
+
+def test_large_shares_survive_the_round_trip():
+    # Shares live in Z_p with p > 2^64 — wider than any fixed-width int.
+    record = ShareRecord(element_id=1, group_id=2, share_y=2**71 + 12345)
+    message = m.RecordListResponse(records=(record,))
+    assert codec.decode_message(codec.encode_message(message)) == message
+
+
+def test_wire_bytes_match_the_historical_cost_model():
+    """The accounted sizes must stay the §7.3 formulas the benchmarks
+    have always charged — the in-process transport bills these against
+    the simulated network, so a drift here silently shifts every
+    recorded benchmark number."""
+    token = AuthToken("alice", 0, 10, b"\x00" * 32)
+    assert token.wire_bytes() == len("alice") + 8 + 8 + 32
+    fetch = m.FetchListsRequest(token=token, pl_ids=(1, 2, 3))
+    assert fetch.wire_bytes() == token.wire_bytes() + 4 * 3
+    op = InsertOp(pl_id=1, element_id=2, group_id=3, share_y=4)
+    insert = m.InsertBatchRequest(token=token, operations=(op, op))
+    assert insert.wire_bytes(9) == token.wire_bytes() + 2 * (4 + 4 + 4 + 9)
+    delete = m.DeleteBatchRequest(
+        token=token, operations=(DeleteOp(pl_id=1, element_id=2),)
+    )
+    assert delete.wire_bytes() == token.wire_bytes() + 8
+    snip = m.FetchSnippetRequest(token=token, doc_id=9, terms=("ab", "c"))
+    assert snip.wire_bytes() == token.wire_bytes() + 8 + 3
+    lists = m.FetchListsResponse(
+        lists=(
+            PostingListResponse(
+                pl_id=1,
+                records=(ShareRecord(element_id=1, group_id=1, share_y=1),),
+            ),
+        )
+    )
+    assert lists.wire_bytes(9) == 4 + (4 + 4 + 9)
+    assert m.OpCountResponse(count=7).wire_bytes() == 8
