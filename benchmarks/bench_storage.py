@@ -1,0 +1,208 @@
+"""Storage engines head to head: flat WAL replay vs snapshot recovery.
+
+The segmented engine exists for one number: **time to bring a seat
+back**. A flat WAL replays its entire history — every insert ever
+accepted and every delete that later erased one — so a churn-heavy seat
+pays for its past forever. The segmented engine recovers from the last
+snapshot plus the short segment suffix written since, so recovery cost
+tracks the *live* set, not the history.
+
+The workload models that churn at the acceptance scale: ``WAVES``
+generations of ``LIVE`` elements, each wave deleting its predecessor
+(documents re-shared after edits, the §7.3 delete-then-reinsert
+pattern), then a post-compaction suffix of fresh writes — >100k history
+records over a ~8k live set. Both engines ingest the identical op
+stream; the segmented store compacts once in the middle of the suffix
+era (as its background compactor would have), and then both recover.
+
+Rows land in ``benchmarks/results/BENCH_storage.json``:
+
+- per engine: recovery seconds (best of ``PASSES``), on-disk bytes,
+  history records;
+- ``recovery_speedup``: flat replay time / segmented recovery time —
+  the acceptance gate requires >= 5x and the assertion below enforces
+  it (a pure ratio: both sides are CPU-bound on the same machine, so a
+  loaded CI box slows them together).
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_storage.py``
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+from benchmarks.conftest import RESULTS_DIR, emit
+from repro.server.index_server import DeleteOp, InsertOp
+from repro.storage import open_seat_store
+
+#: Generations of the live set; history = (2 * WAVES - 1) * LIVE records.
+WAVES = 7
+#: Elements alive at any instant.
+LIVE = 8_000
+#: Records appended after the segmented store's compaction — the
+#: "segment suffix" recovery replays on top of the snapshot.
+SUFFIX = 2_000
+#: Ops per append batch (one fsync each, like an owner's update batch).
+BATCH = 2_000
+#: Recovery timing passes; best-of (noise only ever slows a pass).
+PASSES = 3
+
+#: The acceptance bar: snapshot + suffix recovery must beat full WAL
+#: replay by at least this factor at the 100k-record scale.
+GATE_MIN_SPEEDUP = 5.0
+
+
+def _op_stream():
+    """The deterministic churn workload both engines ingest."""
+    rng = random.Random(0x5E65)
+    ops: list[InsertOp | DeleteOp] = []
+    for wave in range(WAVES):
+        base = wave * LIVE
+        for start in range(0, LIVE, BATCH):
+            ops.append(
+                [
+                    InsertOp(
+                        pl_id=(base + i) % 64,
+                        element_id=base + i,
+                        group_id=(base + i) % 4,
+                        share_y=rng.getrandbits(64),
+                    )
+                    for i in range(start, start + BATCH)
+                ]
+            )
+        if wave:
+            prev = (wave - 1) * LIVE
+            for start in range(0, LIVE, BATCH):
+                ops.append(
+                    [
+                        DeleteOp(
+                            pl_id=(prev + i) % 64, element_id=prev + i
+                        )
+                        for i in range(start, start + BATCH)
+                    ]
+                )
+    return ops
+
+
+def _suffix_stream():
+    rng = random.Random(0xD1FF)
+    base = WAVES * LIVE
+    return [
+        InsertOp(
+            pl_id=(base + i) % 64,
+            element_id=base + i,
+            group_id=(base + i) % 4,
+            share_y=rng.getrandbits(64),
+        )
+        for i in range(SUFFIX)
+    ]
+
+
+def _ingest(store, batches, suffix):
+    records = 0
+    for batch in batches:
+        if isinstance(batch[0], InsertOp):
+            records += store.append_inserts(batch)
+        else:
+            records += store.append_deletes(batch)
+    compacted = None
+    if store.engine == "segmented":
+        compacted = store.compact()
+    records += store.append_inserts(suffix)
+    return records, compacted
+
+
+def _time_recovery(path, engine):
+    best = None
+    state = None
+    for _ in range(PASSES):
+        start = time.perf_counter()
+        store = open_seat_store(path, engine=engine, **(
+            {"auto_compact": False} if engine == "segmented" else {}
+        ))
+        state = store.replay()
+        elapsed = time.perf_counter() - start
+        store.close()
+        best = elapsed if best is None else min(best, elapsed)
+    return best, state
+
+
+def test_storage_benchmark(tmp_path):
+    batches = _op_stream()
+    suffix = _suffix_stream()
+    history = sum(len(batch) for batch in batches) + len(suffix)
+    rows = {}
+    states = {}
+    for engine in ("flat", "segmented"):
+        path = (
+            tmp_path / "seat.wal" if engine == "flat" else tmp_path / "seat"
+        )
+        store = open_seat_store(path, engine=engine, **(
+            {"auto_compact": False} if engine == "segmented" else {}
+        ))
+        appended, compacted = _ingest(store, batches, suffix)
+        assert appended == history
+        store.close()
+        recovery_s, state = _time_recovery(path, engine)
+        states[engine] = state
+        reopened = open_seat_store(path, engine=engine, **(
+            {"auto_compact": False} if engine == "segmented" else {}
+        ))
+        disk = reopened.status()["disk_bytes"]
+        reopened.close()
+        rows[engine] = {
+            "recovery_s": round(recovery_s, 4),
+            "disk_bytes": disk,
+            "history_records": history,
+            "snapshot_records": compacted,
+        }
+    # Same op stream, same engine-agnostic facade: the recovered states
+    # must be identical before their speeds are worth comparing.
+    assert states["flat"] == states["segmented"]
+    live = sum(len(plist) for plist in states["flat"].values())
+    speedup = rows["flat"]["recovery_s"] / max(
+        rows["segmented"]["recovery_s"], 1e-9
+    )
+    shrink = rows["flat"]["disk_bytes"] / max(
+        rows["segmented"]["disk_bytes"], 1
+    )
+    payload = {
+        "schema": "zerber.bench_storage.v1",
+        "config": {
+            "waves": WAVES,
+            "live_records": live,
+            "suffix_records": SUFFIX,
+            "history_records": history,
+            "batch": BATCH,
+            "passes": PASSES,
+        },
+        "recovery_speedup": round(speedup, 2),
+        "disk_shrink": round(shrink, 2),
+        **rows,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_storage.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    emit(
+        "storage_engines",
+        [
+            f"seat recovery, {history} history records over {live} live "
+            f"({WAVES} churn waves + {SUFFIX}-record suffix)",
+            f"  {'engine':>10}  {'recovery':>10}  {'on disk':>12}",
+            *(
+                f"  {engine:>10}  {row['recovery_s'] * 1000:8.1f} ms  "
+                f"{row['disk_bytes']:10d} B"
+                for engine, row in rows.items()
+            ),
+            f"  snapshot+suffix recovery speedup: {speedup:.1f}x "
+            f"(gate: >= {GATE_MIN_SPEEDUP:.0f}x), disk {shrink:.1f}x smaller",
+        ],
+    )
+    assert speedup >= GATE_MIN_SPEEDUP, (
+        f"segmented recovery only {speedup:.2f}x faster than flat replay "
+        f"(acceptance requires >= {GATE_MIN_SPEEDUP}x at "
+        f"{history} records)"
+    )

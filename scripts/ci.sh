@@ -18,7 +18,13 @@
 #   numbers, so it cannot flake on slow machines);
 # - the transport bench records BENCH_transport.json and gates the
 #   in-process backend against the recorded PR 3 read-path baseline
-#   (ratio gate).
+#   (ratio gate);
+# - the segmented-storage equivalence suite re-runs equivalence worlds
+#   with storage="segmented" — seat kills recovered from snapshot +
+#   segment suffix, whole-pod kills at R=2, one world over TCP;
+# - the storage bench records BENCH_storage.json and gates snapshot
+#   recovery at >= 5x faster than full flat-WAL replay at 100k+
+#   records (ratio gate).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -62,5 +68,11 @@ gate "hot-path perf smoke" "failed|skipped|deselected|no tests ran|error" \
 gate "transport bench (BENCH_transport.json)" \
     "failed|skipped|deselected|no tests ran|error" \
     benchmarks/bench_transport.py
+gate "segmented-storage equivalence" \
+    "failed|skipped|deselected|no tests ran|error" \
+    tests/test_segmented_equivalence.py
+gate "storage bench (BENCH_storage.json, >= 5x recovery)" \
+    "failed|skipped|deselected|no tests ran|error" \
+    benchmarks/bench_storage.py
 
 echo "CI gate passed."

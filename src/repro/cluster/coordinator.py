@@ -26,9 +26,11 @@ placement, routes writes to every replica pod's live servers
 (invalidating the share cache first), remembers which seats missed
 which lists (the staleness ledger read preference and owner
 re-provisioning lean on), tracks which servers are dead, and restarts
-them — from their :class:`~repro.server.persistence.PostingLog` WAL
-when one is attached, which is the recovery path §5.4.1's element IDs
-exist for. Pods join and leave at runtime: :meth:`add_pod` /
+them — from their durable seat store (a flat
+:class:`~repro.server.persistence.PostingLog` WAL or a
+:class:`~repro.storage.SegmentedStore` snapshot + segment-suffix
+store) when one is attached, which is the recovery path §5.4.1's
+element IDs exist for. Pods join and leave at runtime: :meth:`add_pod` /
 :meth:`retire_pod` move only the lists whose ownership changed
 (per-list transfers, not whole-index copies) and report the movement as
 :class:`RebalanceStats`.
@@ -55,8 +57,8 @@ from repro.protocol.transport import InProcessTransport
 from repro.secretsharing.shamir import ShamirScheme
 from repro.server.auth import AuthService
 from repro.server.groups import GroupDirectory
-from repro.server.index_server import DeleteOp, IndexServer, InsertOp
-from repro.server.persistence import PostingLog, attach_log, recover_server
+from repro.server.index_server import IndexServer
+from repro.storage.engine import open_seat_store
 
 #: EWMA smoothing factor for observed per-pod read latency.
 READ_LATENCY_ALPHA = 0.25
@@ -81,8 +83,18 @@ class ServerSlot:
             restart from WAL replaces the object; the seat persists).
         alive: False between :meth:`ClusterCoordinator.kill_server` and
             the matching restart.
-        wal_path: the seat's write-ahead log file, when durability is on.
-        log: the open :class:`PostingLog` attached to ``server``.
+        wal_path: the seat's durable-store location, when durability is
+            on — a ``.wal`` file for the flat engine, a directory for
+            the segmented engine.
+        log: the open seat store attached to ``server`` (a
+            :class:`~repro.server.persistence.PostingLog` or a
+            :class:`~repro.storage.SegmentedStore`; both speak the same
+            facade).
+        storage_engine: which engine ``wal_path`` holds, so a restart
+            reopens the seat with the right one.
+        storage_options: the engine options the store was attached
+            with, so a restart round-trips them (a seat configured
+            with ``auto_compact=False`` must not come back compacting).
     """
 
     pod_index: int
@@ -90,7 +102,9 @@ class ServerSlot:
     server: IndexServer
     alive: bool = True
     wal_path: pathlib.Path | None = None
-    log: PostingLog | None = field(default=None, repr=False)
+    log: object | None = field(default=None, repr=False)
+    storage_engine: str = "flat"
+    storage_options: dict = field(default_factory=dict, repr=False)
 
     @property
     def server_id(self) -> str:
@@ -123,15 +137,20 @@ class Pod:
         return self.slots[slot_index]
 
 
-def attach_wal_to_slot(slot: ServerSlot, path) -> PostingLog:
-    """Wire a WAL into one seat (usable before the pod joins a ring)."""
+def attach_wal_to_slot(
+    slot: ServerSlot, path, engine: str = "flat", **store_options
+):
+    """Wire a durable store into one seat (usable before the pod joins
+    a ring). Returns the opened store."""
     if slot.log is not None:
         raise ClusterError(f"server {slot.server_id!r} already has a WAL")
-    log = PostingLog(path)
-    attach_log(slot.server, log)
+    store = open_seat_store(path, engine=engine, **store_options)
+    slot.server.attach_store(store)
     slot.wal_path = pathlib.Path(path)
-    slot.log = log
-    return log
+    slot.log = store
+    slot.storage_engine = engine
+    slot.storage_options = dict(store_options)
+    return store
 
 
 def slot_service(slot: ServerSlot) -> IndexServerService:
@@ -553,11 +572,15 @@ class ClusterCoordinator:
                 groups=self._groups,
                 share_bytes=self._share_bytes,
             )
-            log = PostingLog(slot.wal_path)
-            recover_server(fresh, log)
-            attach_log(fresh, log)
+            store = open_seat_store(
+                slot.wal_path,
+                engine=slot.storage_engine,
+                **slot.storage_options,
+            )
+            fresh.bulk_load(store.replay())
+            fresh.attach_store(store)
             slot.server = fresh
-            slot.log = log
+            slot.log = store
         slot.alive = True
         return slot.server
 
@@ -591,9 +614,13 @@ class ClusterCoordinator:
             self.restart_server(pod_index, slot.slot_index) for slot in dead
         ]
 
-    def attach_wal(self, pod_index: int, slot_index: int, path) -> PostingLog:
-        """Give one seat a write-ahead log (idempotent per seat)."""
-        return attach_wal_to_slot(self._slot(pod_index, slot_index), path)
+    def attach_wal(
+        self, pod_index: int, slot_index: int, path, engine: str = "flat"
+    ):
+        """Give one seat a durable store (once per seat); returns it."""
+        return attach_wal_to_slot(
+            self._slot(pod_index, slot_index), path, engine=engine
+        )
 
     def _pod(self, pod_index: int) -> Pod:
         if not 0 <= pod_index < len(self.pods):
@@ -767,6 +794,9 @@ class ClusterCoordinator:
             )
             if not exported.records:
                 continue
+            # The destination seat's own persistence hook logs the
+            # adopted records — the control plane no longer reaches into
+            # anyone's WAL.
             adopted = self.transport.call(
                 src="coordinator",
                 dst=dest_slot.server_id,
@@ -774,18 +804,7 @@ class ClusterCoordinator:
                     pl_id=pl_id, records=exported.records
                 ),
             )
-            added = adopted.records
-            if added and dest_slot.log is not None:
-                dest_slot.log.append_inserts(
-                    InsertOp(
-                        pl_id=pl_id,
-                        element_id=record.element_id,
-                        group_id=record.group_id,
-                        share_y=record.share_y,
-                    )
-                    for record in added
-                )
-            copied += len(added)
+            copied += len(adopted.records)
         return copied, dropped
 
     def _gc_list(self, pl_id: int, pod: Pod) -> int:
@@ -794,18 +813,13 @@ class ClusterCoordinator:
         for slot in pod.slots:
             if not slot.alive:
                 continue
+            # The seat's persistence hook logs the drop as deletes.
             response = self.transport.call(
                 src="coordinator",
                 dst=slot.server_id,
                 request=DropListRequest(pl_id=pl_id),
             )
-            removed = response.records
-            if removed and slot.log is not None:
-                slot.log.append_deletes(
-                    DeleteOp(pl_id=pl_id, element_id=record.element_id)
-                    for record in removed
-                )
-            removed_total += len(removed)
+            removed_total += len(response.records)
         self._incomplete.pop((pod.name, pl_id), None)
         return removed_total
 

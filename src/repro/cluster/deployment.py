@@ -55,6 +55,7 @@ from repro.protocol.transport import (
     Transport,
 )
 from repro.secretsharing.field import DEFAULT_PRIME, PrimeField
+from repro.storage.engine import ENGINES
 from repro.secretsharing.shamir import ShamirScheme
 from repro.server.auth import AuthService, AuthToken
 from repro.server.groups import GroupDirectory
@@ -89,6 +90,7 @@ class ClusterDeployment:
         socket_host: str = "127.0.0.1",
         socket_port: int = 0,
         fanout_workers: int = 8,
+        storage: str = "flat",
     ) -> None:
         """Args:
         mapping_table: the public term -> posting-list table.
@@ -103,9 +105,9 @@ class ClusterDeployment:
         batch_policy: default owner batching policy.
         cache_entries: coordinator share-cache capacity (0 disables).
         virtual_nodes: consistent-hash smoothness for pod placement.
-        wal_dir: when given, every server gets a
-            :class:`~repro.server.persistence.PostingLog` WAL under this
-            directory and :meth:`restart_server` recovers from it.
+        wal_dir: when given, every server gets a durable seat store
+            under this directory and :meth:`restart_server` recovers
+            from it.
         replication_factor: pods each merged posting list lives on;
             >= 2 keeps the cluster byte-identical with a whole pod dead
             at the cost of R x storage and write fan-out.
@@ -120,6 +122,13 @@ class ClusterDeployment:
             (port 0 picks a free port; see ``self.transport.address``).
         fanout_workers: width of this deployment's parallel-fan-out
             worker pool (reaped by :meth:`close`).
+        storage: the seat-store engine under ``wal_dir`` —
+            ``"flat"`` (one line-per-record ``.wal`` file per seat,
+            full-history replay on restart) or ``"segmented"`` (a
+            per-seat directory holding a binary segment log, immutable
+            snapshots written by a background compactor, and a fsync'd
+            manifest; restarts load one snapshot and replay only the
+            segment suffix). See :mod:`repro.storage`.
         """
         if num_pods < 1:
             raise ClusterError(f"need at least one pod, got {num_pods}")
@@ -138,6 +147,12 @@ class ClusterDeployment:
         self._wal_dir = (
             pathlib.Path(wal_dir) if wal_dir is not None else None
         )
+        if storage not in ENGINES:
+            raise ClusterError(
+                f"unknown storage engine {storage!r}; "
+                f"expected one of {ENGINES}"
+            )
+        self.storage = storage
         pods: list[Pod] = [
             self._build_pod(pod_index, f"pod{pod_index}", n)
             for pod_index in range(num_pods)
@@ -171,7 +186,8 @@ class ClusterDeployment:
                     self.coordinator.attach_wal(
                         pod.index,
                         slot.slot_index,
-                        self._wal_dir / f"{slot.server_id}.wal",
+                        self._seat_store_path(slot.server_id),
+                        engine=self.storage,
                     )
         self._socket_server: SocketServer | None = None
         self.transport: Transport = self.registry
@@ -197,6 +213,14 @@ class ClusterDeployment:
         self.snippets = SnippetService(self.groups)
         self._tokens: dict[str, AuthToken] = {}
         self._owners: dict[str, DocumentOwner] = {}
+
+    def _seat_store_path(self, server_id: str) -> pathlib.Path:
+        """Where one seat's durable store lives under ``wal_dir`` — a
+        ``.wal`` file for the flat engine, a directory for segmented."""
+        assert self._wal_dir is not None
+        if self.storage == "segmented":
+            return self._wal_dir / server_id
+        return self._wal_dir / f"{server_id}.wal"
 
     def _build_pod(self, pod_index: int, name: str, n: int) -> Pod:
         """One fleet of n slot-aligned servers (shared scheme/auth/groups)."""
@@ -386,7 +410,9 @@ class ClusterDeployment:
         if self._wal_dir is not None:
             for slot in pod.slots:
                 attach_wal_to_slot(
-                    slot, self._wal_dir / f"{slot.server_id}.wal"
+                    slot,
+                    self._seat_store_path(slot.server_id),
+                    engine=self.storage,
                 )
         for slot in pod.slots:
             self.registry.register(slot.server_id, slot_service(slot))
@@ -400,14 +426,16 @@ class ClusterDeployment:
         """Drain one pod off the ring (graceful leave) with rebalancing.
 
         After the coordinator re-homes its lists, the pod is fully
-        decommissioned: WALs closed *and deleted*, network endpoints
-        released (so the name can be reused), and its share stores
-        wiped — a drained pod must not keep its index fraction around,
-        on disk any more than in memory. The WAL delete closes the
+        decommissioned: seat stores closed *and deleted* — the flat
+        engine's ``.wal`` file and the segmented engine's entire
+        segment/snapshot directory alike — network endpoints released
+        (so the name can be reused), and its share stores wiped — a
+        drained pod must not keep its index fraction around, on disk
+        any more than in memory. The store delete closes the
         durability story: the seats' lists now live (and are logged) on
-        their new owners, so a retired seat's log is an orphan that
+        their new owners, so a retired seat's store is an orphan that
         would otherwise accumulate forever — and hand a future
-        same-named seat a stale store to replay.
+        same-named seat a stale state to replay.
         """
         pods = self.coordinator.pods
         pod = pods[pod_index] if 0 <= pod_index < len(pods) else None
@@ -416,10 +444,15 @@ class ClusterDeployment:
         )
         assert pod is not None  # coordinator validated the index
         for slot in pod.slots:
+            # Unhook persistence first: the wipe below must not log into
+            # a store that is about to be destroyed (and a dead seat's
+            # store handle is already closed).
+            slot.server.detach_store()
             if slot.log is not None:
-                slot.log.close()
+                slot.log.destroy()
                 slot.log = None
-            if slot.wal_path is not None:
+                slot.wal_path = None
+            elif slot.wal_path is not None:  # pragma: no cover - safety
                 slot.wal_path.unlink(missing_ok=True)
                 slot.wal_path = None
             # Wipe the drained seat's store — through the same admin

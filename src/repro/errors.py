@@ -53,6 +53,18 @@ class UnknownPostingListError(IndexServerError):
     """A lookup referenced a posting-list ID the server has never seen."""
 
 
+class StorageError(ReproError):
+    """A seat's durable store is corrupt, inconsistent, or misused
+    (interior segment corruption, bad manifest, engine misconfiguration)."""
+
+
+class CheckpointMismatchError(IndexServerError):
+    """A WAL checkpoint marker (``C <count>``) disagrees with the number
+    of live records the replay reconstructed at that point — the log was
+    corrupted or truncated *before* the marker, so the replayed state
+    cannot be trusted."""
+
+
 class TransportError(ReproError):
     """Transport failure (unknown endpoint, link down, socket error)."""
 

@@ -358,6 +358,17 @@ def _dec_error(r: _Reader) -> m.ErrorResponse:
     return m.ErrorResponse(error=r.text(), message=r.text(), endpoint=r.text())
 
 
+# -- public LEB128 surface ----------------------------------------------------
+#
+# The segmented storage engine (``repro.storage``) frames its on-disk
+# records with the same varint primitives the wire protocol uses, so the
+# byte discipline (and its Hypothesis suite) is shared rather than
+# reimplemented. These aliases are the supported way in.
+
+write_uint = _write_uint
+Reader = _Reader
+
+
 #: type byte -> (message class, encoder, decoder). Type bytes are wire
 #: contract: never renumber, only append.
 _REGISTRY: dict[int, tuple[type, Callable, Callable]] = {

@@ -146,6 +146,67 @@ class IndexServer:
         self._store: dict[int, dict[int, ShareRecord]] = defaultdict(dict)
         self._update_log: list[list[tuple[int, int]]] = []
         self._query_log: list[tuple[str, tuple[int, ...]]] = []
+        self._persistence = None
+
+    # -- persistence hook ------------------------------------------------------
+    #
+    # Durability is the seat's own concern: every *accepted* mutation —
+    # user-facing inserts/deletes and the replication-channel adopt/drop
+    # — is reported to the attached store after validation succeeds, so
+    # rejected batches never hit disk. This replaces the old
+    # ``attach_log`` bound-method monkey-patching: the hook is part of
+    # the server, not a wrapper taped over it.
+
+    def attach_store(self, store) -> None:
+        """Wire a seat store (anything with ``append_inserts`` /
+        ``append_deletes``) into this server's mutation path.
+
+        Raises:
+            IndexServerError: a store is already attached (detach first;
+                two stores double-logging is never what anyone wants).
+        """
+        if self._persistence is not None:
+            raise IndexServerError(
+                f"server {self.server_id!r} already has a persistence store"
+            )
+        self._persistence = store
+
+    def detach_store(self):
+        """Unhook and return the attached store (None when there is none).
+
+        Decommissioning uses this so a store can be closed and destroyed
+        without the seat's final wipe trying to log into it.
+        """
+        store, self._persistence = self._persistence, None
+        return store
+
+    @property
+    def persistence(self):
+        """The attached seat store, or None."""
+        return self._persistence
+
+    def bulk_load(
+        self, records: dict[int, dict[int, ShareRecord]]
+    ) -> int:
+        """Load a replayed store wholesale (the recovery path's public API).
+
+        Args:
+            records: ``pl_id -> {element_id -> ShareRecord}`` — exactly
+                what a seat store's ``replay()`` returns.
+
+        Returns:
+            The number of elements now stored.
+
+        Raises:
+            IndexServerError: the server already holds data (recovery
+                happens before a seat serves traffic; merging two states
+                silently would hide a double-recovery bug).
+        """
+        if self.num_elements:
+            raise IndexServerError("bulk-load target server is not empty")
+        for pl_id, plist in records.items():
+            self._store[pl_id].update(plist)
+        return self.num_elements
 
     # -- narrow interface: insert --------------------------------------------
 
@@ -162,21 +223,31 @@ class IndexServer:
             AuthError: bad token.
             AccessDeniedError: inserting into a group the user is outside.
             IndexServerError: duplicate element ID within a posting list.
+
+        Batches are atomic: every operation is validated before any is
+        applied, so a rejected batch leaves neither the in-memory store
+        nor the persistence store touched — a partial apply that never
+        reached the WAL would silently vanish on restart and break
+        replica byte-identity.
         """
         user_id = self._auth.verify(token)
+        seen: set[tuple[int, int]] = set()
         for op in operations:
             if not self._groups.is_member(user_id, op.group_id):
                 raise AccessDeniedError(
                     f"user {user_id!r} is not in group {op.group_id}"
                 )
-        batch_entry: list[tuple[int, int]] = []
-        for op in operations:
-            plist = self._store[op.pl_id]
-            if op.element_id in plist:
+            key = (op.pl_id, op.element_id)
+            if key in seen or op.element_id in self._store.get(
+                op.pl_id, ()
+            ):
                 raise IndexServerError(
                     f"element {op.element_id} already exists in list {op.pl_id}"
                 )
-            plist[op.element_id] = ShareRecord(
+            seen.add(key)
+        batch_entry: list[tuple[int, int]] = []
+        for op in operations:
+            self._store[op.pl_id][op.element_id] = ShareRecord(
                 element_id=op.element_id,
                 group_id=op.group_id,
                 share_y=op.share_y,
@@ -184,6 +255,8 @@ class IndexServer:
             batch_entry.append((op.pl_id, op.element_id))
         if batch_entry:
             self._update_log.append(batch_entry)
+        if self._persistence is not None:
+            self._persistence.append_inserts(operations)
         return len(batch_entry)
 
     # -- narrow interface: delete -----------------------------------------------
@@ -195,22 +268,30 @@ class IndexServer:
         so the server cannot determine which posting elements have the same
         document ID. To delete a document, its owner must delete each
         element separately." (§7.3)
+
+        Like :meth:`insert_batch`, the batch is atomic: ACLs are checked
+        for every targeted record before any is removed, so a rejected
+        batch cannot leave deletions applied in memory that never
+        reached the persistence store (they would resurrect on restart).
         """
         user_id = self._auth.verify(token)
+        for op in operations:
+            record = self._store.get(op.pl_id, {}).get(op.element_id)
+            if record is not None and not self._groups.is_member(
+                user_id, record.group_id
+            ):
+                raise AccessDeniedError(
+                    f"user {user_id!r} may not delete from group {record.group_id}"
+                )
         deleted = 0
         for op in operations:
             plist = self._store.get(op.pl_id)
             if plist is None:
                 continue
-            record = plist.get(op.element_id)
-            if record is None:
-                continue
-            if not self._groups.is_member(user_id, record.group_id):
-                raise AccessDeniedError(
-                    f"user {user_id!r} may not delete from group {record.group_id}"
-                )
-            del plist[op.element_id]
-            deleted += 1
+            if plist.pop(op.element_id, None) is not None:
+                deleted += 1
+        if self._persistence is not None:
+            self._persistence.append_deletes(operations)
         return deleted
 
     # -- narrow interface: lookup ---------------------------------------------------
@@ -270,12 +351,28 @@ class IndexServer:
             if record.element_id not in plist:
                 plist[record.element_id] = record
                 added.append(record)
+        if added and self._persistence is not None:
+            self._persistence.append_inserts(
+                InsertOp(
+                    pl_id=pl_id,
+                    element_id=record.element_id,
+                    group_id=record.group_id,
+                    share_y=record.share_y,
+                )
+                for record in added
+            )
         return added
 
     def drop_posting_list(self, pl_id: int) -> list[ShareRecord]:
         """Discard a list this server no longer owns; returns the records."""
         plist = self._store.pop(pl_id, None)
-        return list(plist.values()) if plist else []
+        removed = list(plist.values()) if plist else []
+        if removed and self._persistence is not None:
+            self._persistence.append_deletes(
+                DeleteOp(pl_id=pl_id, element_id=record.element_id)
+                for record in removed
+            )
+        return removed
 
     # -- operator/diagnostic surface ---------------------------------------------
 

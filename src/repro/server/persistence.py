@@ -16,6 +16,11 @@ Format: one record per line —
 
 Shares are integers in Z_p; the log never stores anything but shares, so
 a stolen disk is exactly as useless as a compromised server (§5).
+
+This flat line-per-record layout is the ``storage="flat"`` engine of the
+cluster; large stores should prefer the binary segment + snapshot engine
+in :mod:`repro.storage`, which recovers from a snapshot plus a short
+segment suffix instead of replaying the entire history.
 """
 
 from __future__ import annotations
@@ -24,19 +29,48 @@ import os
 import pathlib
 from typing import Iterable
 
-from repro.errors import IndexServerError
+from repro.errors import CheckpointMismatchError, IndexServerError
 from repro.server.index_server import InsertOp, DeleteOp, ShareRecord
+
+
+def fsync_dir(path: str | pathlib.Path) -> None:
+    """fsync a directory so a rename/create inside it is durable.
+
+    ``os.replace`` makes a swap atomic but not persistent: until the
+    parent directory's metadata reaches disk, a crash can resurrect the
+    old name. Platforms whose directory handles cannot be fsynced
+    (Windows) are skipped — there the rename itself is the best
+    available barrier.
+    """
+    try:
+        dir_fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
 
 
 class PostingLog:
     """Append-only WAL + snapshot persistence for one server's store."""
 
+    #: Engine tag (the segmented engine answers ``"segmented"``).
+    engine = "flat"
+
     def __init__(self, path: str | pathlib.Path) -> None:
         """Args:
         path: the log file; created empty if absent.
+
+        A stale ``.compact`` temp file left by a compaction that crashed
+        before its atomic rename is deleted here: the real log is still
+        the authoritative copy, and the orphan would otherwise sit on
+        disk forever (and get clobbered mid-write by the next
+        compaction, confusing forensics).
         """
         self._path = pathlib.Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._path.with_suffix(".compact").unlink(missing_ok=True)
         self._handle = open(self._path, "a", encoding="ascii")
         self.records_appended = 0
 
@@ -70,6 +104,12 @@ class PostingLog:
         if not self._handle.closed:
             self._handle.close()
 
+    def destroy(self) -> None:
+        """Close the log and delete its on-disk artifacts (orphan cleanup)."""
+        self.close()
+        self._path.unlink(missing_ok=True)
+        self._path.with_suffix(".compact").unlink(missing_ok=True)
+
     # -- recovery -------------------------------------------------------------
 
     def replay(self) -> dict[int, dict[int, ShareRecord]]:
@@ -82,10 +122,15 @@ class PostingLog:
         Raises:
             IndexServerError: on a corrupt record (torn writes at the
                 tail are tolerated: a final partial line is skipped).
+            CheckpointMismatchError: a ``C <count>`` checkpoint marker
+                disagrees with the live-record count the replay
+                reconstructed at that point — the history *before* the
+                marker is damaged, which a torn tail can never explain.
         """
         store: dict[int, dict[int, ShareRecord]] = {}
         if not self._path.exists():
             return store
+        live = 0
         with open(self._path, "r", encoding="ascii") as handle:
             lines = handle.readlines()
         for line_no, line in enumerate(lines):
@@ -105,25 +150,46 @@ class PostingLog:
                         group_id=group_id,
                         share_y=share_y,
                     )
+                    live += 1
                 elif kind == "D":
                     pl_id, element_id = map(int, parts[1:])
-                    store.get(pl_id, {}).pop(element_id, None)
+                    if store.get(pl_id, {}).pop(element_id, None) is not None:
+                        live -= 1
                 elif kind == "C":
-                    continue  # checkpoint markers are informational
+                    (expected,) = map(int, parts[1:])
+                    if live != expected:
+                        raise CheckpointMismatchError(
+                            f"checkpoint at line {line_no} claims "
+                            f"{expected} live records, replay "
+                            f"reconstructed {live}"
+                        )
                 else:
                     raise ValueError(kind)
+            except CheckpointMismatchError:
+                raise
             except (ValueError, IndexError) as exc:
                 raise IndexServerError(
                     f"corrupt log record at line {line_no}: {line!r}"
                 ) from exc
         return store
 
-    def compact(self, store: dict[int, dict[int, ShareRecord]]) -> int:
+    def compact(
+        self, store: dict[int, dict[int, ShareRecord]] | None = None
+    ) -> int:
         """Rewrite the log as a snapshot of the live store.
 
+        Args:
+            store: the state to snapshot; defaults to this log's own
+                :meth:`replay` so the engine-agnostic ``compact()``
+                facade works without a handle on the server.
+
         Returns the number of records written. The old log is atomically
-        replaced (write to a temp file, fsync, rename).
+        replaced (write to a temp file, fsync, rename, fsync the
+        directory — without the directory fsync a crash after the rename
+        could resurrect the uncompacted log *and* the temp file).
         """
+        if store is None:
+            store = self.replay()
         tmp_path = self._path.with_suffix(".compact")
         count = 0
         with open(tmp_path, "w", encoding="ascii") as tmp:
@@ -140,42 +206,47 @@ class PostingLog:
             os.fsync(tmp.fileno())
         self.close()
         os.replace(tmp_path, self._path)
+        fsync_dir(self._path.parent)
         self._handle = open(self._path, "a", encoding="ascii")
         return count
+
+    # -- operator surface ------------------------------------------------------
+
+    def disk_bytes(self) -> int:
+        """Bytes the log currently occupies on disk."""
+        try:
+            return self._path.stat().st_size
+        except OSError:
+            return 0
+
+    def status(self) -> dict:
+        """Operator snapshot (``repro storage status`` renders this)."""
+        return {
+            "engine": self.engine,
+            "path": str(self._path),
+            "records_appended": self.records_appended,
+            "disk_bytes": self.disk_bytes(),
+        }
 
 
 def attach_log(server, log: PostingLog) -> None:
     """Wire a :class:`PostingLog` into a live IndexServer.
 
-    Wraps the server's narrow interface so every accepted mutation is
-    logged *after* validation succeeds (rejected batches never hit disk).
+    Thin shim over the first-class hook
+    (:meth:`~repro.server.index_server.IndexServer.attach_store`); every
+    accepted mutation is logged *after* validation succeeds, so rejected
+    batches never hit disk. Kept for callers of the original
+    monkey-patching API.
     """
-    original_insert = server.insert_batch
-    original_delete = server.delete
-
-    def insert_batch(token, operations):
-        inserted = original_insert(token, operations)
-        log.append_inserts(operations)
-        return inserted
-
-    def delete(token, operations):
-        deleted = original_delete(token, operations)
-        log.append_deletes(operations)
-        return deleted
-
-    server.insert_batch = insert_batch
-    server.delete = delete
+    server.attach_store(log)
     server.posting_log = log
 
 
 def recover_server(server, log: PostingLog) -> int:
     """Load a replayed store into a fresh IndexServer; returns element count.
 
-    The server must be empty (recovery happens before it serves traffic).
+    The server must be empty (recovery happens before it serves
+    traffic); the load goes through the public
+    :meth:`~repro.server.index_server.IndexServer.bulk_load` API.
     """
-    if server.num_elements:
-        raise IndexServerError("recovery target server is not empty")
-    replayed = log.replay()
-    for pl_id, records in replayed.items():
-        server._store[pl_id].update(records)
-    return server.num_elements
+    return server.bulk_load(log.replay())

@@ -1,0 +1,106 @@
+"""Legacy flat-WAL ingestion — the one-way door into the segmented engine.
+
+A cluster that ran with ``storage="flat"`` has one line-per-record
+``<server_id>.wal`` file per seat. Migration replays that history to
+its live state, writes it into a fresh segmented store (segment log,
+then an immediate compaction so the store opens from a snapshot, not a
+full replay), and optionally deletes the flat file. The replay goes
+through :meth:`PostingLog.replay`, so checkpoint markers are validated
+and a torn tail is handled exactly as a flat restart would have handled
+it — migration never invents state a flat recovery could not have seen.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import shutil
+
+from repro.errors import StorageError
+from repro.server.index_server import InsertOp
+from repro.server.persistence import PostingLog, fsync_dir
+from repro.storage.engine import SegmentedStore
+
+#: Suffix of the staging directory a migration builds in before its
+#: atomic rename into place. A crash leaves only this — never a
+#: half-ingested directory under the real name that a re-run (or a
+#: ``--delete-flat`` cut-over) could mistake for a finished store.
+STAGING_SUFFIX = ".migrating"
+
+
+def migrate_flat_wal(
+    wal_path: str | pathlib.Path,
+    dest_dir: str | pathlib.Path | None = None,
+    *,
+    delete_source: bool = False,
+    **options,
+) -> int:
+    """Ingest one legacy flat WAL into a segmented storage directory.
+
+    Args:
+        wal_path: the ``.wal`` file to migrate (must exist).
+        dest_dir: destination directory; defaults to the WAL path minus
+            its suffix (``pod0-server-1.wal`` -> ``pod0-server-1/``),
+            which is exactly where ``ClusterDeployment(...,
+            storage="segmented")`` will look for the seat.
+        delete_source: remove the flat file after a successful
+            migration (the default keeps it, so a botched cut-over can
+            fall back).
+        options: :class:`SegmentedStore` knobs (segment_bytes, ...).
+
+    Returns:
+        The number of live records migrated.
+
+    Raises:
+        StorageError: missing source, or a destination that already
+            exists (migration must never merge into an existing store —
+            that is what ``adopt`` replication is for; a leftover
+            staging directory from a crashed attempt is swept and
+            retried).
+    """
+    wal_path = pathlib.Path(wal_path)
+    if not wal_path.exists():
+        raise StorageError(f"no flat WAL at {wal_path}")
+    dest = (
+        pathlib.Path(dest_dir)
+        if dest_dir is not None
+        else wal_path.with_suffix("")
+    )
+    if dest.exists():
+        raise StorageError(f"migration destination {dest} already exists")
+    log = PostingLog(wal_path)
+    try:
+        state = log.replay()
+    finally:
+        log.close()
+    # Build in a staging directory and rename into place at the end:
+    # the directory rename is the atomic commit, so a directory under
+    # the real name is a *complete* migration by construction.
+    staging = dest.with_name(dest.name + STAGING_SUFFIX)
+    if staging.exists():
+        shutil.rmtree(staging)  # a previous attempt crashed mid-build
+    options.setdefault("auto_compact", False)
+    store = SegmentedStore(staging, **options)
+    try:
+        operations = [
+            InsertOp(
+                pl_id=pl_id,
+                element_id=record.element_id,
+                group_id=record.group_id,
+                share_y=record.share_y,
+            )
+            for pl_id, plist in sorted(state.items())
+            for record in (
+                plist[element_id] for element_id in sorted(plist)
+            )
+        ]
+        store.append_inserts(operations)
+        count = store.compact()
+    finally:
+        store.close()
+    os.rename(staging, dest)
+    fsync_dir(dest.parent)
+    if delete_source:
+        wal_path.unlink(missing_ok=True)
+        wal_path.with_suffix(".compact").unlink(missing_ok=True)
+    return count
