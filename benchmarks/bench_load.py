@@ -1,0 +1,255 @@
+"""Open-loop load harness: both TCP backends under Poisson arrivals.
+
+Closed-loop benchmarks (``bench_transport.py``) hide overload: a slow
+server slows its own clients down, so measured qps degrades gracefully
+and latency never shows the queue. This harness drives the serving
+stack the way real traffic does — **open loop**: query arrivals are a
+seeded Poisson process at a configured offered rate, independent of
+completions, executed by a pool of hundreds of concurrent searchers.
+Latency is measured from the *scheduled arrival* (so queueing delay
+under overload is visible), and the saturation row offers far more
+load than either backend can serve, making achieved throughput the
+backend's true capacity.
+
+Rows land in ``benchmarks/results/BENCH_load.json``:
+
+- per backend, one row per offered rate with achieved qps and
+  p50/p95/p99 latency in milliseconds;
+- ``saturation_qps`` per backend: achieved throughput under the
+  overload rate with ``WORKERS`` concurrent searchers.
+
+The CI gate runs this file. The acceptance assertion is the PR 6
+tentpole's reason to exist: the pipelined async backend must sustain
+at least ``GATE_SPEEDUP``x the threaded backend's saturation qps. The
+threaded server pays a thread (and a private lockstep connection) per
+searcher — at hundreds of workers the scheduler convoy caps it — while
+the async stack multiplexes every searcher over one correlated-frame
+connection.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_load.py``
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+
+from benchmarks.conftest import RESULTS_DIR, emit
+from repro.client.batching import BatchPolicy
+from repro.cluster import ClusterDeployment
+from repro.corpus.synthetic import SyntheticCorpusConfig, generate_corpus
+
+N, K = 3, 2
+TERMS_PER_QUERY = 3
+
+#: Concurrent searcher workers ("hundreds of concurrent searchers").
+WORKERS = 200
+
+#: Offered rates (queries/second). The low rate stays under both
+#: backends' capacity so its percentiles describe service latency; the
+#: overload rate exceeds both capacities, so achieved throughput there
+#: *is* the saturation qps.
+PROBE_RATE_QPS = 25.0
+OVERLOAD_RATE_QPS = 600.0
+
+PROBE_DURATION_S = 6.0
+OVERLOAD_DURATION_S = 10.0
+
+#: The tentpole's acceptance bar: async saturation over threaded.
+GATE_SPEEDUP = 1.5
+
+
+def _corpus():
+    return generate_corpus(
+        SyntheticCorpusConfig(
+            num_documents=120,
+            vocabulary_size=900,
+            num_groups=2,
+            seed=1723,
+        )
+    )
+
+
+def _queries(corpus, rng, count=64):
+    probabilities = corpus.term_probabilities()
+    frequent = sorted(
+        probabilities, key=lambda t: (-probabilities[t], t)
+    )[:120]
+    return [rng.sample(frequent, TERMS_PER_QUERY) for _ in range(count)]
+
+
+def _build(corpus, transport):
+    cluster = ClusterDeployment.bootstrap(
+        corpus.term_probabilities(),
+        heuristic="dfm",
+        num_lists=64,
+        num_pods=1,
+        k=K,
+        n=N,
+        use_network=False,
+        batch_policy=BatchPolicy(min_documents=8),
+        seed=1723,
+        transport=transport,
+    )
+    for g in corpus.group_ids():
+        cluster.create_group(g, coordinator=f"owner{g}")
+    for document in corpus:
+        cluster.share_document(f"owner{document.group_id}", document)
+    cluster.flush_all()
+    return cluster
+
+
+def _percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def open_loop(cluster, queries, rate_qps, duration_s, seed):
+    """One open-loop run: Poisson arrivals at ``rate_qps`` for
+    ``duration_s``, executed by ``WORKERS`` concurrent searchers.
+
+    Returns ``(achieved_qps, p50_ms, p95_ms, p99_ms, completed)``.
+    Arrival times are drawn up front from a seeded exponential stream;
+    each worker claims the next arrival, sleeps until it is due (if the
+    backlog has not already eaten the schedule), runs the query, and
+    records completion − scheduled-arrival as that query's latency.
+    Under overload nobody sleeps and the pool chews the backlog at the
+    backend's capacity — which is exactly the number we are after.
+    """
+    rng = random.Random(seed)
+    arrivals = []
+    t = 0.0
+    while t < duration_s:
+        t += rng.expovariate(rate_qps)
+        arrivals.append(t)
+    picks = [rng.randrange(len(queries)) for _ in arrivals]
+    searchers = [
+        cluster.searcher("owner0", use_cache=False) for _ in range(WORKERS)
+    ]
+    cursor = [0]
+    cursor_lock = threading.Lock()
+    latencies_s: list[float] = []
+    sink_lock = threading.Lock()
+    start = time.perf_counter()
+    deadline = duration_s + 20.0  # overload safety valve
+
+    def worker(worker_id: int) -> None:
+        searcher = searchers[worker_id]
+        local: list[float] = []
+        while True:
+            with cursor_lock:
+                index = cursor[0]
+                if index >= len(arrivals):
+                    break
+                cursor[0] += 1
+            due = start + arrivals[index]
+            now = time.perf_counter()
+            if now - start > deadline:
+                break
+            if now < due:
+                time.sleep(due - now)
+            searcher.search(
+                queries[picks[index]], top_k=10, fetch_snippets=False
+            )
+            local.append(time.perf_counter() - due)
+        with sink_lock:
+            latencies_s.extend(local)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(WORKERS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    ordered = sorted(latencies_s)
+    return (
+        len(ordered) / elapsed,
+        _percentile(ordered, 0.50) * 1e3,
+        _percentile(ordered, 0.95) * 1e3,
+        _percentile(ordered, 0.99) * 1e3,
+        len(ordered),
+    )
+
+
+def test_open_loop_load():
+    corpus = _corpus()
+    queries = _queries(corpus, random.Random(42))
+    results = {}
+    for transport in ("socket", "async-socket"):
+        key = transport.replace("-", "_")
+        with _build(corpus, transport) as cluster:
+            rows = []
+            for label, rate, duration in (
+                ("probe", PROBE_RATE_QPS, PROBE_DURATION_S),
+                ("overload", OVERLOAD_RATE_QPS, OVERLOAD_DURATION_S),
+            ):
+                qps, p50, p95, p99, completed = open_loop(
+                    cluster, queries, rate, duration, seed=1723
+                )
+                rows.append(
+                    {
+                        "phase": label,
+                        "offered_qps": rate,
+                        "achieved_qps": round(qps, 1),
+                        "p50_ms": round(p50, 2),
+                        "p95_ms": round(p95, 2),
+                        "p99_ms": round(p99, 2),
+                        "completed": completed,
+                    }
+                )
+            results[key] = {
+                "rows": rows,
+                "saturation_qps": rows[-1]["achieved_qps"],
+            }
+    payload = {
+        "schema": "zerber.bench_load.v1",
+        "config": {
+            "pods": 1,
+            "n": N,
+            "k": K,
+            "workers": WORKERS,
+            "probe_rate_qps": PROBE_RATE_QPS,
+            "overload_rate_qps": OVERLOAD_RATE_QPS,
+            "gate_speedup": GATE_SPEEDUP,
+        },
+        **results,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_load.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    lines = [
+        f"open-loop Poisson load, {WORKERS} concurrent searchers, "
+        "1 pod x 3 servers (k=2), uncached",
+        f"  {'backend':>12}  {'phase':>8}  {'offered':>8}  "
+        f"{'achieved':>8}  {'p50 ms':>8}  {'p95 ms':>8}  {'p99 ms':>8}",
+    ]
+    for key, entry in results.items():
+        for row in entry["rows"]:
+            lines.append(
+                f"  {key:>12}  {row['phase']:>8}  "
+                f"{row['offered_qps']:8.0f}  {row['achieved_qps']:8.1f}  "
+                f"{row['p50_ms']:8.1f}  {row['p95_ms']:8.1f}  "
+                f"{row['p99_ms']:8.1f}"
+            )
+    socket_sat = results["socket"]["saturation_qps"]
+    async_sat = results["async_socket"]["saturation_qps"]
+    lines.append(
+        f"  saturation: async {async_sat:.1f} q/s vs threaded "
+        f"{socket_sat:.1f} q/s ({async_sat / socket_sat:.2f}x)"
+    )
+    emit("open_loop_load", lines)
+    # The tentpole gate: pipelined multiplexing must beat a thread and
+    # a lockstep connection per searcher, with margin.
+    assert async_sat >= GATE_SPEEDUP * socket_sat, (
+        f"async saturation {async_sat:.1f} qps did not reach "
+        f"{GATE_SPEEDUP}x threaded saturation {socket_sat:.1f} qps"
+    )

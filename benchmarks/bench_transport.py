@@ -11,8 +11,10 @@ reconstruction CPU ("batch").
 
 Rows land in ``benchmarks/results/BENCH_transport.json``:
 
-- ``in_process`` / ``socket``: uncached qps, sequential ("single") and
-  8-way concurrent ("batch"), plus cached qps;
+- ``in_process`` / ``socket`` / ``async_socket``: uncached qps,
+  sequential ("single") and 8-way concurrent ("batch"), plus cached
+  qps (the saturation story for the two TCP backends is
+  ``bench_load.py``'s job — this file measures the per-call cost);
 - ``baseline_uncached_qps``: the PR 3 single-pod number read from
   BENCH_cluster.json, for the within-10% acceptance check.
 
@@ -184,7 +186,7 @@ def test_transport_benchmark():
     queries = _queries(corpus, random.Random(42))
     rows = {}
     reference_results = None
-    for transport in ("in-process", "socket"):
+    for transport in ("in-process", "socket", "async-socket"):
         with _build(corpus, transport) as cluster:
             single_qps, results = _qps_sequential(
                 cluster, queries, use_cache=False
@@ -224,6 +226,7 @@ def test_transport_benchmark():
     )
     in_process = rows["in_process"]["uncached_qps_single"]
     socket_qps = rows["socket"]["uncached_qps_single"]
+    async_qps = rows["async_socket"]["uncached_qps_single"]
     lines = [
         "transport backends, 1 pod x 3 servers (k=2), uncached unless noted",
         f"  {'backend':>10}  {'single q/s':>10}  {'batch q/s':>10}  "
@@ -246,5 +249,6 @@ def test_transport_benchmark():
             f"baseline {baseline:.1f} (must retain "
             f">= {GATE_RETAINED_FRACTION:.0%})"
         )
-    # Sanity, not speed: the socket backend must actually answer.
+    # Sanity, not speed: the socket backends must actually answer.
     assert socket_qps > 0
+    assert async_qps > 0

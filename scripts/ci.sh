@@ -24,7 +24,13 @@
 #   segment suffix, whole-pod kills at R=2, one world over TCP;
 # - the storage bench records BENCH_storage.json and gates snapshot
 #   recovery at >= 5x faster than full flat-WAL replay at 100k+
-#   records (ratio gate).
+#   records (ratio gate);
+# - the async transport suite covers the pipelined multiplexing stack:
+#   correlated frames, retry/close semantics, drain, interop with the
+#   threaded backend, and the socket-layer leak/stall regressions;
+# - the open-loop load bench records BENCH_load.json and gates the
+#   async backend's saturation qps at >= 1.5x the threaded backend
+#   under 200 concurrent searchers (ratio gate).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -74,5 +80,11 @@ gate "segmented-storage equivalence" \
 gate "storage bench (BENCH_storage.json, >= 5x recovery)" \
     "failed|skipped|deselected|no tests ran|error" \
     benchmarks/bench_storage.py
+gate "async transport (pipelined multiplexing + socket regressions)" \
+    "failed|skipped|deselected|no tests ran|error" \
+    tests/test_async_transport.py
+gate "open-loop load bench (BENCH_load.json, >= 1.5x saturation)" \
+    "failed|skipped|deselected|no tests ran|error" \
+    benchmarks/bench_load.py
 
 echo "CI gate passed."

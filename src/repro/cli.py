@@ -397,18 +397,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     _, cluster = _build_cluster(
         args,
-        transport="socket",
+        transport=args.transport,
         socket_host=args.host,
         socket_port=args.port,
+        socket_idle_timeout_s=args.idle_timeout,
     )
     with cluster:
         host, port = cluster.transport.address
         endpoints = cluster.registry.endpoints()
-        print(f"serving {len(endpoints)} endpoints at {host}:{port}")
+        client = (
+            "AsyncSocketTransport"
+            if args.transport == "async-socket"
+            else "SocketTransport"
+        )
+        print(
+            f"serving {len(endpoints)} endpoints at {host}:{port} "
+            f"({args.transport} backend, idle timeout "
+            f"{args.idle_timeout:g}s)"
+        )
         print(f"  pods: {', '.join(pod.name for pod in cluster.pods)}")
         print(
-            "  connect with: ClusterDeployment(..., transport='socket') "
-            f"or SocketTransport(('{host}', {port}))"
+            f"  connect with: ClusterDeployment(..., "
+            f"transport='{args.transport}') "
+            f"or {client}(('{host}', {port}))"
         )
         deadline = (
             None if args.duration is None
@@ -699,6 +710,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--port", type=int, default=0,
         help="TCP port (0 picks a free one; printed on startup)",
+    )
+    serve.add_argument(
+        "--transport", choices=("async-socket", "socket"),
+        default="async-socket",
+        help="serving stack: pipelined asyncio multiplexing (default) "
+             "or the classic thread-per-connection backend",
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=300.0,
+        help="close connections quiet for this many seconds "
+             "(default: 300)",
     )
     serve.add_argument(
         "--duration", type=float, default=None,

@@ -46,6 +46,10 @@ from repro.core.merging.base import MergingHeuristic
 from repro.core.posting import PackingSpec, PostingElementCodec
 from repro.core.zerber_index import build_mapping_table
 from repro.errors import ClusterError
+from repro.protocol.async_transport import (
+    AsyncSocketServer,
+    AsyncSocketTransport,
+)
 from repro.protocol.messages import DropListRequest
 from repro.protocol.service import SnippetHostService
 from repro.protocol.transport import (
@@ -89,6 +93,7 @@ class ClusterDeployment:
         transport: str = "in-process",
         socket_host: str = "127.0.0.1",
         socket_port: int = 0,
+        socket_idle_timeout_s: float | None = None,
         fanout_workers: int = 8,
         storage: str = "flat",
     ) -> None:
@@ -112,14 +117,22 @@ class ClusterDeployment:
             >= 2 keeps the cluster byte-identical with a whole pod dead
             at the cost of R x storage and write fan-out.
         seed: master seed for all deployment randomness.
-        transport: ``"in-process"`` (default) or ``"socket"`` — with
-            ``"socket"`` the deployment embeds a loopback TCP
-            :class:`SocketServer` and every client (owners, searchers,
-            failover fetches) speaks real length-prefixed frames
-            through a :class:`SocketTransport`. Search results are
-            byte-identical across backends; CI gates it.
-        socket_host / socket_port: the ``"socket"`` listener address
-            (port 0 picks a free port; see ``self.transport.address``).
+        transport: ``"in-process"`` (default), ``"socket"``, or
+            ``"async-socket"``. With ``"socket"`` the deployment embeds
+            a loopback TCP :class:`SocketServer` (thread per
+            connection) and every client (owners, searchers, failover
+            fetches) speaks real length-prefixed frames through a
+            :class:`SocketTransport`. With ``"async-socket"`` it
+            embeds the pipelined :class:`AsyncSocketServer` and a
+            single multiplexed :class:`AsyncSocketTransport`
+            connection carries every client's correlated frames.
+            Search results are byte-identical across all backends; CI
+            gates it.
+        socket_host / socket_port: the socket backends' listener
+            address (port 0 picks a free port; see
+            ``self.transport.address``).
+        socket_idle_timeout_s: close server-side connections idle for
+            this long (both socket backends; None: never).
         fanout_workers: width of this deployment's parallel-fan-out
             worker pool (reaped by :meth:`close`).
         storage: the seat-store engine under ``wal_dir`` —
@@ -189,19 +202,34 @@ class ClusterDeployment:
                         self._seat_store_path(slot.server_id),
                         engine=self.storage,
                     )
-        self._socket_server: SocketServer | None = None
+        self._socket_server: SocketServer | AsyncSocketServer | None = (
+            None
+        )
         self.transport: Transport = self.registry
         if transport == "socket":
             self._socket_server = SocketServer(
-                self.registry, host=socket_host, port=socket_port
+                self.registry,
+                host=socket_host,
+                port=socket_port,
+                idle_timeout_s=socket_idle_timeout_s,
             )
             self.transport = SocketTransport(
                 self._socket_server.address, share_bytes=share_bytes
             )
+        elif transport == "async-socket":
+            self._socket_server = AsyncSocketServer(
+                self.registry,
+                host=socket_host,
+                port=socket_port,
+                idle_timeout_s=socket_idle_timeout_s,
+            )
+            self.transport = AsyncSocketTransport(
+                self._socket_server.address, share_bytes=share_bytes
+            )
         elif transport != "in-process":
             raise ClusterError(
-                f"unknown transport {transport!r}; "
-                "expected 'in-process' or 'socket'"
+                f"unknown transport {transport!r}; expected "
+                "'in-process', 'socket', or 'async-socket'"
             )
         #: Per-deployment fan-out pool: closing the deployment reaps its
         #: worker threads (the dispatcher-leak regression of this PR).

@@ -12,9 +12,16 @@ again.
 - :mod:`repro.protocol.codec`     — the compact binary frame codec;
 - :mod:`repro.protocol.service`   — server-side dispatchers;
 - :mod:`repro.protocol.transport` — the in-process (simulated-network)
-  and socket (real TCP) backends.
+  and threaded socket (real TCP) backends;
+- :mod:`repro.protocol.async_transport` — the pipelined asyncio
+  backend: correlated frames, one multiplexed connection per client,
+  packed encodings.
 """
 
+from repro.protocol.async_transport import (
+    AsyncSocketServer,
+    AsyncSocketTransport,
+)
 from repro.protocol.codec import decode_message, encode_message
 from repro.protocol.messages import (
     PROTOCOL_VERSION,
@@ -49,6 +56,8 @@ from repro.protocol.transport import (
 )
 
 __all__ = [
+    "AsyncSocketServer",
+    "AsyncSocketTransport",
     "PROTOCOL_VERSION",
     "AdoptListRequest",
     "DeleteBatchRequest",

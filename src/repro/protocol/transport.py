@@ -1,6 +1,6 @@
 """Pluggable transports: how protocol messages reach their endpoint.
 
-Two interchangeable backends behind one :class:`Transport` contract:
+Three interchangeable backends behind one :class:`Transport` contract:
 
 - :class:`InProcessTransport` — endpoints are services in this process.
   When a :class:`~repro.server.transport.SimulatedNetwork` is attached,
@@ -14,6 +14,15 @@ Two interchangeable backends behind one :class:`Transport` contract:
   overlaps genuine network latency with reconstruction CPU. Server-side
   failures travel as ``ErrorResponse`` frames and re-raise client-side
   as the same :mod:`repro.errors` class.
+- :class:`~repro.protocol.async_transport.AsyncSocketServer` /
+  :class:`~repro.protocol.async_transport.AsyncSocketTransport`
+  (``repro.protocol.async_transport``) — the pipelined revision: one
+  asyncio connection multiplexes many in-flight requests via the
+  correlated frame form (:data:`CORRELATION_FLAG`), with bounded
+  per-connection write queues and graceful drain on close. Correlated
+  frames also negotiate the packed message encodings; plain frames
+  keep parsing everywhere, so the revisions interoperate in both
+  directions.
 
 The contract both backends honour, and any future backend (async,
 shared-memory, ...) must too:
@@ -73,6 +82,20 @@ _RETRY_SAFE = (
 )
 
 _LEN = struct.Struct(">I")
+
+#: High bit of the length prefix: this frame carries a 4-byte
+#: correlation id between the length word and the payload. Frame
+#: lengths are capped at :data:`MAX_FRAME_BYTES` (1 << 26), so the top
+#: bits of the length word are free by construction — a classic peer
+#: that sees the flag rejects the "oversized" frame with a typed
+#: :class:`ProtocolError` instead of misparsing it, and plain frames
+#: parse unchanged everywhere. Correlated frames are how the pipelined
+#: protocol revision is negotiated: a request that carries a
+#: correlation id states that its sender multiplexes (responses may
+#: return out of order, matched by id) and accepts the packed message
+#: encodings (:func:`repro.protocol.codec.encode_message` with
+#: ``packed=True``).
+CORRELATION_FLAG = 0x8000_0000
 
 
 class Transport:
@@ -199,6 +222,32 @@ def _network_adapter(service: Any) -> Callable[[str, Any], Any]:
 # -- sockets -----------------------------------------------------------------
 
 
+def handle_request_payload(
+    registry: InProcessTransport, payload: bytes
+) -> Any:
+    """One server-side request leg: unpack, dispatch, never raise.
+
+    Shared by the threaded and async socket servers — every failure
+    (including a non-Repro bug inside a service) comes back as a typed
+    :class:`ErrorResponse` so the client sees "server broke", not "seat
+    is dead" (which would trigger failover, or a retry for reads).
+    """
+    try:
+        dst, request = _unpack_request(payload)
+        if isinstance(request, EndpointsRequest):
+            return EndpointsResponse(names=tuple(registry.endpoints()))
+        return registry.dispatch_local(dst, request)
+    except ReproError as exc:
+        return error_response(exc)
+    except Exception as exc:  # noqa: BLE001 - a server bug must not
+        # kill the connection silently.
+        return ErrorResponse(
+            error="ReproError",
+            message=f"internal server error: "
+            f"{type(exc).__name__}: {exc}",
+        )
+
+
 def _read_exact(sock: socket.socket, length: int) -> bytes:
     chunks = bytearray()
     while len(chunks) < length:
@@ -209,20 +258,41 @@ def _read_exact(sock: socket.socket, length: int) -> bytes:
     return bytes(chunks)
 
 
-def _read_frame(sock: socket.socket) -> bytes:
-    (length,) = _LEN.unpack(_read_exact(sock, _LEN.size))
+def _read_frame(sock: socket.socket) -> tuple[int | None, bytes]:
+    """One frame off the wire: ``(correlation id | None, payload)``."""
+    (word,) = _LEN.unpack(_read_exact(sock, _LEN.size))
+    corr_id: int | None = None
+    length = word
+    if word & CORRELATION_FLAG:
+        length = word ^ CORRELATION_FLAG
+        (corr_id,) = _LEN.unpack(_read_exact(sock, _LEN.size))
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {length} bytes exceeds the cap")
-    return _read_exact(sock, length)
+    return corr_id, _read_exact(sock, length)
 
 
-def _write_frame(sock: socket.socket, payload: bytes) -> None:
-    sock.sendall(_LEN.pack(len(payload)) + payload)
+def _write_frame(
+    sock: socket.socket, payload: bytes, corr_id: int | None = None
+) -> None:
+    sock.sendall(frame_bytes(payload, corr_id))
 
 
-def _pack_request(dst: str, request: Any) -> bytes:
+def frame_bytes(payload: bytes, corr_id: int | None = None) -> bytes:
+    """A complete wire frame: length word (+ correlation id) + payload."""
+    if corr_id is None:
+        return _LEN.pack(len(payload)) + payload
+    return (
+        _LEN.pack(len(payload) | CORRELATION_FLAG)
+        + _LEN.pack(corr_id)
+        + payload
+    )
+
+
+def _pack_request(dst: str, request: Any, packed: bool = False) -> bytes:
     name = dst.encode("utf-8")
-    return _LEN.pack(len(name)) + name + encode_message(request)
+    return (
+        _LEN.pack(len(name)) + name + encode_message(request, packed=packed)
+    )
 
 
 def _unpack_request(payload: bytes) -> tuple[str, Any]:
@@ -246,6 +316,16 @@ class SocketServer:
     persistent per-thread connections, so the thread count tracks
     client-side concurrency, not request volume). ``repro serve`` wraps
     this; deployments constructed with ``transport="socket"`` embed it.
+
+    Finished handler threads prune themselves from the census as their
+    connection closes, so connection churn cannot grow the thread list
+    without bound, and ``idle_timeout_s`` (when set) closes connections
+    that go quiet — a stalled or half-open client no longer pins a
+    handler thread forever. Requests that arrive as *correlated* frames
+    (the pipelined revision's form) are answered with the same
+    correlation id and the packed message encoding; this server handles
+    them one at a time per connection, so a multiplexing client gets
+    correct-but-serial service from the threaded backend.
     """
 
     def __init__(
@@ -253,8 +333,10 @@ class SocketServer:
         registry: InProcessTransport,
         host: str = "127.0.0.1",
         port: int = 0,
+        idle_timeout_s: float | None = None,
     ) -> None:
         self._registry = registry
+        self._idle_timeout_s = idle_timeout_s
         self._listener = socket.create_server(
             (host, port), reuse_port=False
         )
@@ -282,7 +364,11 @@ class SocketServer:
                 continue
             except OSError:
                 return  # listener closed
-            conn.settimeout(None)
+            # None (the default) keeps the historical block-forever
+            # behaviour; a configured idle timeout turns a quiet
+            # connection's next read into a TimeoutError, which the
+            # handler treats as "hang up on this client".
+            conn.settimeout(self._idle_timeout_s)
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             with self._lock:
                 if self._closed.is_set():
@@ -302,7 +388,12 @@ class SocketServer:
         try:
             while not self._closed.is_set():
                 try:
-                    payload = _read_frame(conn)
+                    corr_id, payload = _read_frame(conn)
+                except TimeoutError:
+                    # The configured idle timeout expired with no frame
+                    # (or mid-frame from a stalled sender): hang up so
+                    # a half-open client cannot pin this thread.
+                    return
                 except (ConnectionError, OSError):
                     return
                 except ProtocolError:
@@ -312,32 +403,34 @@ class SocketServer:
                     return
                 response = self._handle(payload)
                 try:
-                    _write_frame(conn, encode_message(response))
+                    _write_frame(
+                        conn,
+                        encode_message(response, packed=corr_id is not None),
+                        corr_id,
+                    )
                 except OSError:
                     return
         finally:
             with self._lock:
                 self._connections.discard(conn)
+                # Reap this connection's census entry: the thread is
+                # done the moment this frame exits, and close() joins
+                # a live snapshot anyway. Without this the list grows
+                # by one thread per connection ever accepted.
+                try:
+                    self._threads.remove(threading.current_thread())
+                except ValueError:  # pragma: no cover - close() raced us
+                    pass
             conn.close()
 
+    @property
+    def connection_thread_count(self) -> int:
+        """Live connection-handler threads (the leak-regression probe)."""
+        with self._lock:
+            return len(self._threads)
+
     def _handle(self, payload: bytes) -> Any:
-        try:
-            dst, request = _unpack_request(payload)
-            if isinstance(request, EndpointsRequest):
-                return EndpointsResponse(
-                    names=tuple(self._registry.endpoints())
-                )
-            return self._registry.dispatch_local(dst, request)
-        except ReproError as exc:
-            return error_response(exc)
-        except Exception as exc:  # noqa: BLE001 - a server bug must not
-            # kill the connection silently: ship it back typed so the
-            # client sees "server broke", not "seat is dead".
-            return ErrorResponse(
-                error="ReproError",
-                message=f"internal server error: "
-                f"{type(exc).__name__}: {exc}",
-            )
+        return handle_request_payload(self._registry, payload)
 
     def close(self) -> None:
         """Stop accepting, drop every connection, join the threads."""
@@ -408,9 +501,17 @@ class SocketTransport(Transport):
                     f"{self._address[1]}: {exc}"
                 ) from exc
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            self._local.sock = sock
             with self._lock:
+                if self._closed:
+                    # close() swept the socket set while we were
+                    # connecting; a socket registered now would leak
+                    # (nobody will sweep again) and the call must see
+                    # the deterministic "closed" failure, not a
+                    # spurious broken-connection retry.
+                    sock.close()
+                    raise TransportError("socket transport is closed")
                 self._sockets.add(sock)
+            self._local.sock = sock
         return sock
 
     def _drop_connection(self) -> None:
@@ -426,9 +527,20 @@ class SocketTransport(Transport):
             sock = self._connection()
             try:
                 _write_frame(sock, payload)
-                return _read_frame(sock)
+                _corr, frame = _read_frame(sock)
+                return frame
             except (ConnectionError, OSError) as exc:
                 self._drop_connection()
+                if self._closed:
+                    # close() yanked this socket out from under a call
+                    # already in flight. Without this check the caller
+                    # saw a spurious retry (for reads) or a misleading
+                    # "round-trip failed" — the deterministic outcome
+                    # is the same typed "closed" failure a fresh call
+                    # gets.
+                    raise TransportError(
+                        "socket transport is closed"
+                    ) from exc
                 if attempt or not retry:
                     raise TransportError(
                         f"socket round-trip to {self._address[0]}:"

@@ -127,8 +127,13 @@ class TestUnregisteredEndpointRace:
         ladder counts as an ordinary failover."""
         with _cluster() as cluster:
             healthy = cluster.search("alice", ["alpha", "beta"], top_k=5)
-            victim = cluster.pods[0].slots[0]
-            cluster.registry.unregister(victim.server_id)
+            # Replica choice between two equally healthy pods keys on
+            # wall-clock latency EWMAs, so which pod serves the next
+            # read is machine-dependent. Unregister the first seat of
+            # *every* pod: whichever replica the plan picks, it names
+            # an unregistered endpoint.
+            for pod in cluster.pods:
+                cluster.registry.unregister(pod.slots[0].server_id)
             searcher = cluster.searcher("alice", use_cache=False)
             results = searcher.search(
                 ["alpha", "beta"], top_k=5, fetch_snippets=False

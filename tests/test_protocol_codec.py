@@ -236,3 +236,90 @@ def test_wire_bytes_match_the_historical_cost_model():
     )
     assert lists.wire_bytes(9) == 4 + (4 + 4 + 9)
     assert m.OpCountResponse(count=7).wire_bytes() == 8
+
+
+# -- packed encodings (the pipelined revision's record forms) -----------------
+
+#: Messages with a packed (fixed-width column) wire form.
+packable_messages = st.one_of(
+    st.builds(
+        m.InsertBatchRequest,
+        token=tokens,
+        operations=st.lists(insert_ops, max_size=6).map(tuple),
+    ),
+    st.builds(
+        m.FetchListsResponse,
+        lists=st.lists(posting_lists, max_size=4).map(tuple),
+    ),
+    st.builds(
+        m.RecordListResponse,
+        records=st.lists(records, max_size=5).map(tuple),
+    ),
+    st.builds(
+        m.AdoptListRequest,
+        pl_id=small_uints,
+        records=st.lists(records, max_size=5).map(tuple),
+    ),
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(message=packable_messages)
+def test_packed_encode_decode_round_trip(message):
+    assert (
+        codec.decode_message(codec.encode_message(message, packed=True))
+        == message
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(message=packable_messages)
+def test_packed_and_classic_forms_decode_identically(message):
+    classic = codec.encode_message(message)
+    packed = codec.encode_message(message, packed=True)
+    assert codec.decode_message(classic) == codec.decode_message(packed)
+    # The classic bytes are untouched by packed=False — old peers see
+    # exactly the PR 4 wire form.
+    assert codec.encode_message(message, packed=False) == classic
+
+
+@settings(max_examples=100, deadline=None)
+@given(message=packable_messages, data=st.data())
+def test_truncated_packed_frames_rejected(message, data):
+    encoded = codec.encode_message(message, packed=True)
+    cut = data.draw(st.integers(min_value=0, max_value=len(encoded) - 1))
+    try:
+        decoded = codec.decode_message(encoded[:cut])
+    except ProtocolError:
+        return
+    assert decoded != message
+
+
+def test_unpackable_message_encodes_classic_under_packed():
+    """packed=True on a message without a packed form is a no-op."""
+    message = m.ServerStatusRequest()
+    assert codec.encode_message(message, packed=True) == (
+        codec.encode_message(message)
+    )
+
+
+def test_packed_shares_wider_than_the_field_round_trip():
+    record = ShareRecord(element_id=1, group_id=2, share_y=2**71 + 99)
+    message = m.RecordListResponse(records=(record,))
+    blob = codec.encode_message(message, packed=True)
+    assert codec.decode_message(blob) == message
+
+
+def test_packed_zero_width_column_rejected():
+    """A forged packed frame claiming a zero-byte column is typed."""
+    good = codec.encode_message(
+        m.RecordListResponse(
+            records=(ShareRecord(element_id=1, group_id=1, share_y=1),)
+        ),
+        packed=True,
+    )
+    forged = bytearray(good)
+    # Layout: magic(2) version(1) type(1) count(varint=1) widths(3)...
+    forged[5] = 0  # element-id width byte
+    with pytest.raises(ProtocolError):
+        codec.decode_message(bytes(forged))
