@@ -1,0 +1,180 @@
+"""Rebalance strategies head to head: snapshot-shipping vs record-by-record.
+
+``add_pod`` re-homes roughly ``1/(P+1)`` of all posting lists onto the
+joining pod. The legacy path moved each (list, slot) pair as its own
+export/adopt round trip, every record individually varint-encoded,
+decoded, and re-encoded by the protocol codec. Snapshot-shipping seals
+each source seat's moved lists into one ``ZSNP`` image — the exact bytes
+the segmented engine writes to disk — and moves it as a single opaque
+blob per (source seat, destination seat) pair: one CRC-checked
+sequential pass end to end, no per-record codec work.
+
+The harness times ``add_pod`` on two identical clusters (~100k share
+records moved) with the coordinator's admin transport wrapped in a
+codec round-trip loopback — every request and response is
+``encode_message``/``decode_message``'d exactly as the socket backends
+frame them, so the timing includes the serialization each strategy
+actually puts on the wire. Real TCP adds per-message latency on top,
+which favors bulk further (a handful of ships vs hundreds of
+round trips); the ratio reported here is therefore a floor.
+
+Rows land in ``benchmarks/results/BENCH_rebalance.json``:
+
+- per strategy: best-of-``PASSES`` ``add_pod`` seconds, records moved,
+  ship count, shipped bytes;
+- ``rebalance_speedup``: record-by-record / snapshot-shipping — the
+  acceptance gate requires >= 3x and the assertion below enforces it (a
+  pure ratio: both sides are CPU-bound on the same machine).
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_rebalance.py``
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+from benchmarks.conftest import RESULTS_DIR, emit
+from repro.client.batching import BatchPolicy
+from repro.cluster import ClusterDeployment
+from repro.core.mapping_table import MappingTable
+from repro.protocol.codec import decode_message, encode_message
+from repro.server.index_server import ShareRecord
+
+#: Merged posting lists in the ring; ~1/3 move when the third pod joins.
+NUM_LISTS = 24
+#: Elements per list; moved records = moved_lists x ELEMENTS x N ~ 100k.
+ELEMENTS = 3_000
+#: Seats per pod (every slot of a moved list transfers).
+N, K = 4, 2
+#: Timing passes; best-of (noise only ever slows a pass).
+PASSES = 3
+
+#: The acceptance bar: snapshot-shipping must beat record-by-record by
+#: at least this factor at the ~100k-record scale.
+GATE_MIN_SPEEDUP = 3.0
+
+
+class CodecLoopback:
+    """Wire-faithful admin transport: every message round-trips the codec.
+
+    This is what both socket backends do to each frame (minus TCP), so
+    timing through it charges each strategy its true serialization cost.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def call(self, src, dst, request):
+        request = decode_message(encode_message(request))
+        response = self.inner.call(src=src, dst=dst, request=request)
+        return decode_message(encode_message(response))
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+def _build_cluster(bulk_rebalance: bool) -> ClusterDeployment:
+    """Two pods, every seat pre-seeded with the deterministic workload."""
+    cluster = ClusterDeployment(
+        MappingTable({}, num_lists=NUM_LISTS),
+        num_pods=2,
+        k=K,
+        n=N,
+        use_network=False,
+        batch_policy=BatchPolicy(min_documents=1),
+        seed=77,
+        bulk_rebalance=bulk_rebalance,
+    )
+    rng = random.Random(0x5EED)
+    for pl_id in range(NUM_LISTS):
+        records = [
+            ShareRecord(
+                element_id=pl_id * ELEMENTS + i,
+                group_id=i % 4,
+                share_y=rng.getrandbits(64),
+            )
+            for i in range(ELEMENTS)
+        ]
+        for pod in cluster.coordinator.pods_of(pl_id):
+            for slot in pod.slots:
+                slot.server.adopt_posting_list(pl_id, records)
+    cluster.coordinator.transport = CodecLoopback(
+        cluster.coordinator.transport
+    )
+    return cluster
+
+
+def _time_add_pod(bulk_rebalance: bool):
+    best = None
+    stats = None
+    for _ in range(PASSES):
+        cluster = _build_cluster(bulk_rebalance)
+        start = time.perf_counter()
+        stats = cluster.add_pod()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, stats
+
+
+def test_rebalance_benchmark():
+    rows = {}
+    answers = {}
+    for name, bulk in (("record_by_record", False), ("snapshot_shipping", True)):
+        seconds, stats = _time_add_pod(bulk)
+        rows[name] = {
+            "add_pod_s": round(seconds, 4),
+            "moved_lists": stats.moved_lists,
+            "copied_elements": stats.copied_elements,
+            "snapshot_ships": stats.snapshot_ships,
+            "shipped_bytes": stats.shipped_bytes,
+            "dropped_copy_routes": stats.dropped_copy_routes,
+        }
+        # A slow path that moved different data would be meaningless.
+        answers[name] = (stats.moved_lists, stats.copied_elements)
+        assert stats.dropped_copy_routes == 0
+    assert answers["record_by_record"] == answers["snapshot_shipping"]
+    moved_records = rows["snapshot_shipping"]["copied_elements"]
+    speedup = rows["record_by_record"]["add_pod_s"] / max(
+        rows["snapshot_shipping"]["add_pod_s"], 1e-9
+    )
+    payload = {
+        "schema": "zerber.bench_rebalance.v1",
+        "config": {
+            "num_lists": NUM_LISTS,
+            "elements_per_list": ELEMENTS,
+            "n": N,
+            "k": K,
+            "moved_records": moved_records,
+            "passes": PASSES,
+        },
+        "rebalance_speedup": round(speedup, 2),
+        **rows,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_rebalance.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    emit(
+        "rebalance_strategies",
+        [
+            f"add_pod onto a 2-pod ring, {moved_records} share records "
+            f"re-homed ({rows['snapshot_shipping']['moved_lists']} lists "
+            f"x {N} slots, codec-loopback admin transport)",
+            f"  {'strategy':>18}  {'add_pod':>10}  {'ships':>6}  "
+            f"{'wire bytes':>12}",
+            *(
+                f"  {name:>18}  {row['add_pod_s'] * 1000:8.1f} ms  "
+                f"{row['snapshot_ships']:6d}  {row['shipped_bytes']:10d} B"
+                for name, row in rows.items()
+            ),
+            f"  snapshot-shipping speedup: {speedup:.1f}x "
+            f"(gate: >= {GATE_MIN_SPEEDUP:.0f}x)",
+        ],
+    )
+    assert speedup >= GATE_MIN_SPEEDUP, (
+        f"snapshot-shipping only {speedup:.2f}x faster than "
+        f"record-by-record (acceptance requires >= {GATE_MIN_SPEEDUP}x "
+        f"at {moved_records} moved records)"
+    )

@@ -30,7 +30,18 @@
 #   threaded backend, and the socket-layer leak/stall regressions;
 # - the open-loop load bench records BENCH_load.json and gates the
 #   async backend's saturation qps at >= 1.5x the threaded backend
-#   under 200 concurrent searchers (ratio gate).
+#   under 200 concurrent searchers (ratio gate);
+# - the anti-entropy drill suite runs in full, including the
+#   drill-marked over-the-wire variants that tier-1 deselects: dropped
+#   writes must heal via sweep alone (no owner), over all three
+#   transports, with byte-identical answers afterwards;
+# - the repair convergence property suite runs both the tier-1 smoke
+#   pass and the slow-marked wide pass: random interleavings of
+#   writes, deletes, kills, restarts, and sweeps must always quiesce
+#   to an empty ledger and a byte-identical index;
+# - the rebalance bench records BENCH_rebalance.json and gates
+#   snapshot-shipping add_pod at >= 3x faster than record-by-record
+#   transfer at ~130k moved share records (ratio gate).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -86,5 +97,16 @@ gate "async transport (pipelined multiplexing + socket regressions)" \
 gate "open-loop load bench (BENCH_load.json, >= 1.5x saturation)" \
     "failed|skipped|deselected|no tests ran|error" \
     benchmarks/bench_load.py
+# -m "" clears the setup.cfg marker filter so the drill- and
+# slow-marked cases run here alongside their tier-1 siblings.
+gate "anti-entropy drills (sweep-only heal, all transports)" \
+    "failed|skipped|deselected|no tests ran|error" \
+    tests/test_anti_entropy.py -m ""
+gate "repair convergence property (smoke + wide)" \
+    "failed|skipped|deselected|no tests ran|error" \
+    tests/test_repair_convergence.py -m ""
+gate "rebalance bench (BENCH_rebalance.json, >= 3x snapshot-shipping)" \
+    "failed|skipped|deselected|no tests ran|error" \
+    benchmarks/bench_rebalance.py
 
 echo "CI gate passed."

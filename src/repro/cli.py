@@ -352,6 +352,60 @@ def _cmd_cluster_kill_pod(args: argparse.Namespace) -> int:
     return 0 if degraded == healthy and final_results == healthy else 1
 
 
+def _cmd_cluster_repair(args: argparse.Namespace) -> int:
+    """Anti-entropy drill: drop writes on dead seats, heal by sweep alone."""
+    from repro.errors import ClusterDegradedError
+
+    corpus, cluster = _build_cluster(args)
+    with cluster:
+        coordinator = cluster.coordinator
+        terms = _cluster_query_terms(corpus, args)
+        kills = _parse_kills(args.kill) or [(0, 0)]
+        _kill_servers(cluster, kills)
+        extra = corpus.documents_in_group(0)[-1]
+        try:
+            cluster.share_document("owner0", extra)
+            cluster.flush_all()
+        except ClusterDegradedError as exc:
+            print(f"write refused while seats are dead: {exc}")
+            print("(kill fewer than n-k seats per pod to keep writing)")
+            return 1
+        print(f"wrote 1 document with {len(kills)} seats dead: "
+              f"{coordinator.outstanding_write_routes} write routes dropped")
+        expected = cluster.searcher("owner0", use_cache=False).search(
+            terms, top_k=args.top_k
+        )
+        for pod_index, slot_index in kills:
+            cluster.restart_server(pod_index, slot_index)
+        # The owner never comes back: the coordinator's sweep is the only
+        # repair path exercised here.
+        sweeps = 0
+        while sweeps < args.max_sweeps:
+            stats = cluster.repair_sweep(budget=args.budget)
+            sweeps += 1
+            print(f"sweep {sweeps}: {stats.examined} entries examined, "
+                  f"{stats.healed_seats} seats healed "
+                  f"({stats.repaired_routes} routes, "
+                  f"{stats.shipped_bytes} bytes shipped, "
+                  f"{stats.skipped_no_source} no-source, "
+                  f"{stats.failed} failed)")
+            if coordinator.outstanding_write_routes == 0:
+                break
+            if stats.healed_seats == 0 and not stats.budget_exhausted:
+                break
+        outstanding = coordinator.outstanding_write_routes
+        print(f"outstanding write routes after repair: {outstanding}")
+        if outstanding and coordinator.replication_factor < 2:
+            print("(run with --replication 2 so the sweep has a trusted "
+                  "source replica)")
+        final = cluster.searcher("owner0", use_cache=False).search(
+            terms, top_k=args.top_k
+        )
+        converged = outstanding == 0 and final == expected
+        print("results identical after sweep repair:", final == expected)
+    return 0 if converged else 1
+
+
 def _cmd_cluster_status(args: argparse.Namespace) -> int:
     """Observability snapshot: pods, seats, placement, EWMA latencies."""
     corpus, cluster = _build_cluster(args)
@@ -387,6 +441,16 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
         print(
             f"share cache: {cache['entries']} entries, "
             f"{cache['hits']} hits / {cache['misses']} misses"
+        )
+        repair = snap["repair"]
+        thread = "running" if repair["thread_running"] else "stopped"
+        print(
+            f"anti-entropy: {repair['sweeps']} sweeps, "
+            f"{repair['healed_seats']} seats healed, "
+            f"{repair['shipped_bytes']} bytes shipped, "
+            f"{repair['failures']} failures, "
+            f"{repair['pending_entries']} ledger entries pending "
+            f"(repair thread {thread})"
         )
     return 0
 
@@ -677,6 +741,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--pod", type=int, default=0, help="pod index to take down"
     )
     ckillpod.set_defaults(func=_cmd_cluster_kill_pod, replication=2)
+
+    crepair = cluster_sub.add_parser(
+        "repair",
+        help="anti-entropy drill: drop writes on dead seats, heal them "
+             "with coordinator sweeps alone (no owner re-provisioning)",
+    )
+    _common_cluster_args(crepair)
+    crepair.add_argument("--terms", nargs="+", default=None)
+    crepair.add_argument(
+        "--kill", action="append", metavar="POD:SLOT",
+        help="seats to down before the write; default kills 0:0",
+    )
+    crepair.add_argument(
+        "--budget", type=int, default=None,
+        help="max seats healed per sweep (default unlimited)",
+    )
+    crepair.add_argument(
+        "--max-sweeps", type=int, default=8,
+        help="give up after this many sweeps",
+    )
+    crepair.set_defaults(func=_cmd_cluster_repair, top_k=5, replication=2)
 
     cstatus = cluster_sub.add_parser(
         "status",

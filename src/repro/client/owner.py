@@ -20,6 +20,7 @@ owner can.
 
 from __future__ import annotations
 
+import contextlib
 import random
 from dataclasses import dataclass
 from typing import Sequence
@@ -32,6 +33,7 @@ from repro.corpus.document import Document
 from repro.errors import ReproError
 from repro.invindex.inverted_index import InvertedIndex
 from repro.protocol.messages import (
+    AdoptListRequest,
     DeleteBatchRequest,
     FetchListsRequest,
     InsertBatchRequest,
@@ -40,7 +42,7 @@ from repro.protocol.service import fleet_resolver
 from repro.protocol.transport import InProcessTransport, Transport
 from repro.secretsharing.shamir import ShamirScheme
 from repro.server.auth import AuthToken
-from repro.server.index_server import DeleteOp, InsertOp
+from repro.server.index_server import DeleteOp, InsertOp, ShareRecord
 from repro.server.transport import SimulatedNetwork
 
 
@@ -252,6 +254,19 @@ class DocumentOwner:
             )
         return plans
 
+    def _repair_span(self):
+        """The router's repair mutex when it has one, else a no-op.
+
+        Cluster routers expose ``repair_mutex`` so write *spans* (route
+        + deliver) serialize against anti-entropy heals: a heal that
+        exported a source seat's state between this owner's route and
+        its delivery would adopt a pre-write image onto a seat the
+        ledger just declared healthy, silently erasing the write. The
+        single-fleet router has no repair machinery and no mutex.
+        """
+        mutex = getattr(self._router, "repair_mutex", None)
+        return contextlib.nullcontext() if mutex is None else mutex
+
     def _batch_route(self, pl_id: int, memo: dict) -> WriteRoute:
         """Router route memoized per distinct list within one batch
         (the router may invalidate caches / scan liveness per call)."""
@@ -273,33 +288,40 @@ class DocumentOwner:
         self._undelivered.setdefault(dropped.server_id, []).append((kind, op))
 
     def _send_insert_batch(self, plans: list[_ElementPlan]) -> None:
-        """Fan one shuffled batch out along the router's placement."""
-        ops_by_server: dict[str, list[InsertOp]] = {}
-        route_memo: dict[int, WriteRoute] = {}
-        for plan in plans:
-            route = self._batch_route(plan.pl_id, route_memo)
-            for share_slot, server_id in route.live:
-                ops_by_server.setdefault(server_id, []).append(
-                    InsertOp(
-                        pl_id=plan.pl_id,
-                        element_id=plan.element_id,
-                        group_id=plan.group_id,
-                        share_y=plan.shares_y[share_slot],
+        """Fan one shuffled batch out along the router's placement.
+
+        The whole route+deliver span holds the router's repair mutex
+        (see :meth:`_repair_span`) so an anti-entropy heal can only
+        observe the cluster before the batch routed or after it landed
+        everywhere — never in between.
+        """
+        with self._repair_span():
+            ops_by_server: dict[str, list[InsertOp]] = {}
+            route_memo: dict[int, WriteRoute] = {}
+            for plan in plans:
+                route = self._batch_route(plan.pl_id, route_memo)
+                for share_slot, server_id in route.live:
+                    ops_by_server.setdefault(server_id, []).append(
+                        InsertOp(
+                            pl_id=plan.pl_id,
+                            element_id=plan.element_id,
+                            group_id=plan.group_id,
+                            share_y=plan.shares_y[share_slot],
+                        )
                     )
-                )
-            for dropped in route.dropped:
-                self._record_undelivered(
-                    dropped,
-                    "insert",
-                    InsertOp(
-                        pl_id=plan.pl_id,
-                        element_id=plan.element_id,
-                        group_id=plan.group_id,
-                        share_y=plan.shares_y[dropped.share_slot],
-                    ),
-                )
-        for server_id, operations in ops_by_server.items():
-            self._deliver("insert", server_id, operations)
+                for dropped in route.dropped:
+                    self._record_undelivered(
+                        dropped,
+                        "insert",
+                        InsertOp(
+                            pl_id=plan.pl_id,
+                            element_id=plan.element_id,
+                            group_id=plan.group_id,
+                            share_y=plan.shares_y[dropped.share_slot],
+                        ),
+                    )
+            for server_id, operations in ops_by_server.items():
+                self._deliver("insert", server_id, operations)
 
     def _deliver(
         self, kind: str, server_id: str, operations: list
@@ -346,16 +368,36 @@ class DocumentOwner:
             for pl_id, element_id in entries
         ]
         self._rng.shuffle(operations)
-        ops_by_server: dict[str, list[DeleteOp]] = {}
-        route_memo: dict[int, WriteRoute] = {}
-        for op in operations:
-            route = self._batch_route(op.pl_id, route_memo)
-            for _share_slot, server_id in route.live:
-                ops_by_server.setdefault(server_id, []).append(op)
-            for dropped in route.dropped:
-                self._record_undelivered(dropped, "delete", op)
-        for server_id, server_ops in ops_by_server.items():
-            self._deliver("delete", server_id, server_ops)
+        with self._repair_span():
+            ops_by_server: dict[str, list[DeleteOp]] = {}
+            route_memo: dict[int, WriteRoute] = {}
+            for op in operations:
+                route = self._batch_route(op.pl_id, route_memo)
+                for _share_slot, server_id in route.live:
+                    ops_by_server.setdefault(server_id, []).append(op)
+                dropped_ids = set()
+                for dropped in route.dropped:
+                    self._record_undelivered(dropped, "delete", op)
+                    dropped_ids.add(dropped.server_id)
+                # A seat that is live *now* may still owe this element's
+                # insert from an earlier outage (the backlog holds the
+                # share). The live delete below no-ops on such a seat,
+                # so pair the delete into its backlog as well:
+                # reprovision then cancels the insert/delete pair
+                # instead of resurrecting a withdrawn element onto the
+                # seat long after every healthy replica forgot it.
+                key = (op.pl_id, op.element_id)
+                for server_id, entries in self._undelivered.items():
+                    if server_id in dropped_ids:
+                        continue
+                    if any(
+                        kind == "insert"
+                        and (pending.pl_id, pending.element_id) == key
+                        for kind, pending in entries
+                    ):
+                        entries.append(("delete", op))
+            for server_id, server_ops in ops_by_server.items():
+                self._deliver("delete", server_id, server_ops)
         self.local_index.delete_document(doc_id)
         self._documents.pop(doc_id, None)
         return len(operations)
@@ -382,50 +424,78 @@ class DocumentOwner:
 
         Seats still dead keep their ledger entries for a later call.
         Returns the number of operations re-delivered.
+
+        Re-delivered inserts travel as idempotent per-list adoptions
+        (:class:`AdoptListRequest`), not fresh insert batches: the
+        anti-entropy sweep — or another owner's earlier reprovision —
+        may have already healed the seat, and replaying an
+        ``InsertBatchRequest`` then would be rejected as a duplicate
+        element. Adoption merges exactly the records the seat still
+        misses and no-ops on the rest; deletes are naturally idempotent
+        and stay delete batches. Each seat's span (liveness check,
+        delivery, ledger note) holds the router's repair mutex so a
+        concurrent sweep can never heal-then-lose against it.
         """
         find_slot = getattr(self._router, "find_slot", None)
         if find_slot is None or not self._undelivered:
             return 0
         self._batcher.flush()
+        note = getattr(self._router, "note_repaired", None)
         redelivered = 0
         for server_id in sorted(self._undelivered):
-            slot = find_slot(server_id)
-            if slot is None or not slot.alive:
-                continue
-            entries = self._undelivered.pop(server_id)
-            inserts = [op for kind, op in entries if kind == "insert"]
-            deletes = [op for kind, op in entries if kind == "delete"]
-            insert_keys = {(op.pl_id, op.element_id) for op in inserts}
-            cancelled = {
-                (op.pl_id, op.element_id)
-                for op in deletes
-                if (op.pl_id, op.element_id) in insert_keys
-            }
-            inserts = [
-                op for op in inserts
-                if (op.pl_id, op.element_id) not in cancelled
-            ]
-            deletes = [
-                op for op in deletes
-                if (op.pl_id, op.element_id) not in cancelled
-            ]
-            if inserts:
-                self._deliver("insert", server_id, inserts)
-            if deletes:
-                self._deliver("delete", server_id, deletes)
-            redelivered += len(inserts) + len(deletes)
-            repaired_lists = (
-                {op.pl_id for op in inserts}
-                | {op.pl_id for op in deletes}
-                | {pl_id for pl_id, _ in cancelled}
-            )
-            note = getattr(self._router, "note_repaired", None)
-            if note is not None:
-                note(
-                    server_id,
-                    repaired_lists,
-                    self._dropped_route_tally.pop(server_id, 0),
+            with self._repair_span():
+                slot = find_slot(server_id)
+                if slot is None or not slot.alive:
+                    continue
+                entries = self._undelivered.pop(server_id)
+                inserts = [op for kind, op in entries if kind == "insert"]
+                deletes = [op for kind, op in entries if kind == "delete"]
+                insert_keys = {(op.pl_id, op.element_id) for op in inserts}
+                cancelled = {
+                    (op.pl_id, op.element_id)
+                    for op in deletes
+                    if (op.pl_id, op.element_id) in insert_keys
+                }
+                inserts = [
+                    op for op in inserts
+                    if (op.pl_id, op.element_id) not in cancelled
+                ]
+                deletes = [
+                    op for op in deletes
+                    if (op.pl_id, op.element_id) not in cancelled
+                ]
+                adopt_by_list: dict[int, list[ShareRecord]] = {}
+                for op in inserts:
+                    adopt_by_list.setdefault(op.pl_id, []).append(
+                        ShareRecord(
+                            element_id=op.element_id,
+                            group_id=op.group_id,
+                            share_y=op.share_y,
+                        )
+                    )
+                for pl_id in sorted(adopt_by_list):
+                    self._transport.call(
+                        src=self.owner_id,
+                        dst=server_id,
+                        request=AdoptListRequest(
+                            pl_id=pl_id,
+                            records=tuple(adopt_by_list[pl_id]),
+                        ),
+                    )
+                if deletes:
+                    self._deliver("delete", server_id, deletes)
+                redelivered += len(inserts) + len(deletes)
+                repaired_lists = (
+                    {op.pl_id for op in inserts}
+                    | {op.pl_id for op in deletes}
+                    | {pl_id for pl_id, _ in cancelled}
                 )
+                if note is not None:
+                    note(
+                        server_id,
+                        repaired_lists,
+                        self._dropped_route_tally.pop(server_id, 0),
+                    )
         return redelivered
 
     # -- fleet extension (§5.1) ------------------------------------------------

@@ -31,9 +31,13 @@ them — from their durable seat store (a flat
 :class:`~repro.storage.SegmentedStore` snapshot + segment-suffix
 store) when one is attached, which is the recovery path §5.4.1's
 element IDs exist for. Pods join and leave at runtime: :meth:`add_pod` /
-:meth:`retire_pod` move only the lists whose ownership changed
-(per-list transfers, not whole-index copies) and report the movement as
-:class:`RebalanceStats`.
+:meth:`retire_pod` move only the lists whose ownership changed —
+shipped as sealed snapshot images per seat pair, not record by record —
+and report the movement as :class:`RebalanceStats`. Staleness no longer
+waits on owners alone: :meth:`repair_sweep` (one-shot or on the
+background repair thread) walks the ledger and heals stale seats from
+trusted same-slot replicas, so the cluster converges even when the
+owner that dropped the writes never reconnects.
 """
 
 from __future__ import annotations
@@ -45,12 +49,14 @@ from typing import Iterable, Sequence
 
 from repro.client.owner import DroppedRoute, WriteRoute
 from repro.cluster.cache import LRUShareCache
-from repro.errors import ClusterDegradedError, ClusterError
+from repro.errors import ClusterDegradedError, ClusterError, ReproError
 from repro.extensions.dht import ConsistentHashRing
 from repro.protocol.messages import (
     AdoptListRequest,
+    AdoptSnapshotRequest,
     DropListRequest,
     ExportListRequest,
+    ShipSnapshotRequest,
 )
 from repro.protocol.service import IndexServerService
 from repro.protocol.transport import InProcessTransport
@@ -136,6 +142,12 @@ class Pod:
             )
         return self.slots[slot_index]
 
+    def slot_by_id(self, server_id: str) -> ServerSlot | None:
+        for slot in self.slots:
+            if slot.server_id == server_id:
+                return slot
+        return None
+
 
 def attach_wal_to_slot(
     slot: ServerSlot, path, engine: str = "flat", **store_options
@@ -174,9 +186,15 @@ class RebalanceStats:
             owners (summed over slots, so n copies of a list count n x).
         gc_elements: records garbage-collected from pods that lost
             ownership of a list.
-        dropped_copy_routes: slot pairs that could not transfer (source
-            or destination seat dead) — nonzero means a replica starts
-            life incomplete.
+        dropped_copy_routes: (list, slot) pairs that could not transfer
+            (source or destination seat dead, or a ship that failed
+            mid-flight) — nonzero means a replica starts life
+            incomplete; under snapshot-shipping those gaps land in the
+            staleness ledger for the repair sweep to close.
+        snapshot_ships: bulk ship/adopt round trips performed (one per
+            distinct source-seat/destination-seat pair, covering every
+            moved list those seats share).
+        shipped_bytes: total sealed ``ZSNP`` image bytes moved.
     """
 
     pod_name: str
@@ -185,6 +203,43 @@ class RebalanceStats:
     copied_elements: int = 0
     gc_elements: int = 0
     dropped_copy_routes: int = 0
+    snapshot_ships: int = 0
+    shipped_bytes: int = 0
+
+
+@dataclass
+class RepairSweepStats:
+    """What one anti-entropy sweep over the staleness ledger did.
+
+    Attributes:
+        examined: ledger entries the sweep looked at.
+        healed_seats: stale (seat, list) pairs healed from a trusted
+            source (one ship/adopt round trip each).
+        repaired_routes: dropped write routes those heals retired from
+            the ledger.
+        shipped_bytes: sealed snapshot bytes moved by the heals.
+        skipped_no_source: stale pairs left alone because no live,
+            trusted same-slot source seat exists (``R == 1``, or every
+            replica slept through the same writes) — owner
+            re-provisioning remains their only cure.
+        skipped_dead_seat: stale pairs whose target seat is down (a
+            heal needs a live destination; the entry survives for a
+            post-restart sweep).
+        failed: heals that errored mid-flight (source or target died
+            between election and transfer); the ledger entry survives
+            and the next sweep retries.
+        budget_exhausted: True when the sweep stopped early because it
+            hit its heal budget.
+    """
+
+    examined: int = 0
+    healed_seats: int = 0
+    repaired_routes: int = 0
+    shipped_bytes: int = 0
+    skipped_no_source: int = 0
+    skipped_dead_seat: int = 0
+    failed: int = 0
+    budget_exhausted: bool = False
 
 
 class ClusterCoordinator:
@@ -207,6 +262,8 @@ class ClusterCoordinator:
         virtual_nodes: int = 64,
         replication_factor: int = 1,
         transport: InProcessTransport | None = None,
+        bulk_rebalance: bool = True,
+        repair_budget: int | None = None,
     ) -> None:
         """Args:
         scheme: the k-of-n scheme every pod shares (n = pod size).
@@ -227,6 +284,14 @@ class ClusterCoordinator:
             through. A deployment passes its shared registry — with
             every seat already registered; standalone coordinators get
             a private registry with the seats registered here.
+        bulk_rebalance: True moves rebalanced lists as sealed snapshot
+            images (one ship per source/destination seat pair); False
+            keeps the record-by-record export/adopt transfer — the
+            baseline the rebalance benchmark measures against.
+        repair_budget: default per-sweep heal cap for
+            :meth:`repair_sweep` (None = unbounded). A budget turns the
+            sweep into a rate limiter: a huge backlog is worked off
+            across sweeps instead of one long stop-the-world pass.
         """
         if not pods:
             raise ClusterError("cluster needs at least one pod")
@@ -259,22 +324,54 @@ class ClusterCoordinator:
                 for slot in pod.slots:
                     transport.register(slot.server_id, slot_service(slot))
         self.transport = transport
+        self.bulk_rebalance = bulk_rebalance
+        self.repair_budget = repair_budget
         self.cache = LRUShareCache(cache_entries)
         #: Routing decisions (one per distinct posting list per batch,
         #: per dead seat, per replica pod) made while a seat was down. A
         #: lower bound on missed per-operation writes — owners memoize
         #: route() per batch — so dropped > repaired means some seat is
-        #: missing data until an owner re-provisions.
+        #: missing data until an owner or the repair sweep re-provisions.
         self.dropped_write_routes = 0
         #: Per replica pod slice of :attr:`dropped_write_routes`.
         self.dropped_write_routes_by_pod: dict[str, int] = {}
-        #: Routes owners have re-delivered via reprovision_dropped_writes.
+        #: Routes retired from the ledger — by owner re-provisioning,
+        #: by the anti-entropy sweep, or by a list leaving the pod that
+        #: missed it. Credited *from the ledger's own counts* when an
+        #: entry clears, so it converges on dropped_write_routes no
+        #: matter which repair path wins the race.
         self.repaired_write_routes = 0
-        #: (pod_name, pl_id) -> seats known to be missing writes for the
-        #: list. The read path deprioritizes stale (pod, list) pairs so a
-        #: replica that slept through a write is never the only source of
-        #: an answer; owner re-provisioning clears entries.
-        self._incomplete: dict[tuple[str, int], set[str]] = {}
+        #: (pod_name, pl_id) -> {server_id: dropped route count}. Seats
+        #: known to be missing writes for the list, with how many routed
+        #: batches each missed. The read path deprioritizes stale
+        #: (pod, list) pairs so a replica that slept through a write is
+        #: never the only source of an answer; owner re-provisioning and
+        #: the repair sweep clear entries (crediting the counts).
+        self._incomplete: dict[tuple[str, int], dict[str, int]] = {}
+        #: Guards :attr:`_incomplete` and the dropped/repaired counters
+        #: — route(), note_repaired(), and the sweep touch them from
+        #: different threads. Always taken *inside* :attr:`repair_mutex`
+        #: when both are held.
+        self._ledger_lock = threading.Lock()
+        #: Serializes whole repair/delivery *spans*: owners hold it
+        #: across each route+deliver pair, the anti-entropy sweep holds
+        #: it per heal, and rebalances hold it for their transfer phase.
+        #: This is the hard guarantee that a heal (replace from a
+        #: trusted source) never interleaves with a write mid-delivery —
+        #: without it, a write landing on the source after its export
+        #: but before the target's adopt would be silently erased from
+        #: the healed seat. Reentrant so coordinator-internal paths
+        #: (retire_pod -> rebalance) can nest.
+        self.repair_mutex = threading.RLock()
+        #: Lifetime anti-entropy accounting (surfaced in
+        #: :meth:`status_snapshot` and ``repro cluster status``).
+        self.repair_sweeps = 0
+        self.repair_healed_seats = 0
+        self.repair_shipped_bytes = 0
+        self.repair_failures = 0
+        self.last_sweep: RepairSweepStats | None = None
+        self._repair_thread: threading.Thread | None = None
+        self._repair_stop = threading.Event()
         #: pod name -> posting-list lookups routed to it (read balancing).
         self.pod_read_load: dict[str, int] = {}
         #: pod name -> EWMA of observed fetch latency in seconds *per
@@ -368,23 +465,25 @@ class ClusterCoordinator:
                 "live servers to accept writes"
             )
         dropped: list[DroppedRoute] = []
-        for pod, missed in missed_by_pod:
-            for slot in missed:
-                dropped.append(
-                    DroppedRoute(
-                        pod_name=pod.name,
-                        share_slot=slot.slot_index,
-                        server_id=slot.server_id,
+        with self._ledger_lock:
+            for pod, missed in missed_by_pod:
+                for slot in missed:
+                    dropped.append(
+                        DroppedRoute(
+                            pod_name=pod.name,
+                            share_slot=slot.slot_index,
+                            server_id=slot.server_id,
+                        )
                     )
+                    cell = self._incomplete.setdefault(
+                        (pod.name, pl_id), {}
+                    )
+                    cell[slot.server_id] = cell.get(slot.server_id, 0) + 1
+                self.dropped_write_routes += len(missed)
+                self.dropped_write_routes_by_pod[pod.name] = (
+                    self.dropped_write_routes_by_pod.get(pod.name, 0)
+                    + len(missed)
                 )
-                self._incomplete.setdefault((pod.name, pl_id), set()).add(
-                    slot.server_id
-                )
-            self.dropped_write_routes += len(missed)
-            self.dropped_write_routes_by_pod[pod.name] = (
-                self.dropped_write_routes_by_pod.get(pod.name, 0)
-                + len(missed)
-            )
         return WriteRoute(live=tuple(live), dropped=tuple(dropped))
 
     def targets(self, pl_id: int) -> list[tuple[int, str]]:
@@ -393,25 +492,56 @@ class ClusterCoordinator:
         return list(self.route(pl_id).live)
 
     def note_repaired(
-        self, server_id: str, pl_ids: Iterable[int], routes: int
+        self, server_id: str, pl_ids: Iterable[int], routes: int = 0
     ) -> None:
-        """An owner re-delivered a seat's missed writes; clear the ledger."""
-        self.repaired_write_routes += routes
+        """An owner re-delivered a seat's missed writes; clear the ledger.
+
+        The credit comes from the ledger's own per-seat route counts,
+        not from the caller's tally (``routes`` is accepted for
+        interface compatibility and ignored): the coordinator is the
+        accounting authority, so a seat the anti-entropy sweep already
+        healed credits nothing a second time, and
+        :attr:`outstanding_write_routes` converges to zero no matter
+        which repair path — owner or sweep — clears each entry.
+        """
         slot = self.find_slot(server_id)
         if slot is None:
             return
         pod_name = self.pods[slot.pod_index].name
-        for pl_id in pl_ids:
-            missing = self._incomplete.get((pod_name, pl_id))
-            if missing is None:
-                continue
-            missing.discard(server_id)
-            if not missing:
-                del self._incomplete[(pod_name, pl_id)]
+        with self._ledger_lock:
+            for pl_id in pl_ids:
+                self._clear_ledger_seat_locked(pod_name, pl_id, server_id)
+
+    def _clear_ledger_seat_locked(
+        self, pod_name: str, pl_id: int, server_id: str
+    ) -> int:
+        """Retire one seat from one ledger cell; credit and return its
+        route count. Caller holds :attr:`_ledger_lock`."""
+        cell = self._incomplete.get((pod_name, pl_id))
+        if cell is None:
+            return 0
+        count = cell.pop(server_id, None)
+        if count is None:
+            return 0
+        if not cell:
+            del self._incomplete[(pod_name, pl_id)]
+        self.repaired_write_routes += count
+        return count
+
+    def _credit_ledger_cell_locked(self, pod_name: str, pl_id: int) -> int:
+        """Retire a whole ledger cell (list left the pod, or the pod
+        left the cluster); credit and return its route counts. Caller
+        holds :attr:`_ledger_lock`."""
+        cell = self._incomplete.pop((pod_name, pl_id), None)
+        if not cell:
+            return 0
+        credit = sum(cell.values())
+        self.repaired_write_routes += credit
+        return credit
 
     @property
     def outstanding_write_routes(self) -> int:
-        """Dropped routes no owner has re-provisioned yet."""
+        """Dropped routes nothing has re-provisioned yet."""
         return self.dropped_write_routes - self.repaired_write_routes
 
     # -- read-side helpers ----------------------------------------------------------
@@ -661,17 +791,18 @@ class ClusterCoordinator:
             )
         if pod.name in self._pod_by_name:
             raise ClusterError(f"duplicate pod name {pod.name!r}")
-        before = {
-            pl_id: self.pods_of(pl_id) for pl_id in range(num_lists)
-        }
-        self._ring.add_peer(pod.name)
-        pod.index = len(self.pods)
-        for slot in pod.slots:
-            slot.pod_index = pod.index
-        self.pods.append(pod)
-        self._pod_by_name[pod.name] = pod
-        self._placement_memo.clear()
-        return self._rebalance(pod.name, "join", before, num_lists)
+        with self.repair_mutex:
+            before = {
+                pl_id: self.pods_of(pl_id) for pl_id in range(num_lists)
+            }
+            self._ring.add_peer(pod.name)
+            pod.index = len(self.pods)
+            for slot in pod.slots:
+                slot.pod_index = pod.index
+            self.pods.append(pod)
+            self._pod_by_name[pod.name] = pod
+            self._placement_memo.clear()
+            return self._rebalance(pod.name, "join", before, num_lists)
 
     def retire_pod(self, pod_index: int, num_lists: int) -> RebalanceStats:
         """Gracefully drain one pod off the ring and out of the cluster.
@@ -688,32 +819,38 @@ class ClusterCoordinator:
                 f"cannot hold replication_factor="
                 f"{self.replication_factor}"
             )
-        before = {
-            pl_id: self.pods_of(pl_id) for pl_id in range(num_lists)
-        }
-        self._ring.remove_peer(pod.name)
-        self.pods.pop(pod_index)
-        del self._pod_by_name[pod.name]
-        for index, remaining in enumerate(self.pods):
-            remaining.index = index
-            for slot in remaining.slots:
-                slot.pod_index = index
-        self._placement_memo.clear()
-        with self._read_stats_lock:
-            self.pod_read_load.pop(pod.name, None)
-            self.pod_read_latency.pop(pod.name, None)
-            self.pod_cache_reads.pop(pod.name, None)
-            for pl_id in [
-                pl_id
-                for pl_id, origin in self._read_origin.items()
-                if origin == pod.name
-            ]:
-                del self._read_origin[pl_id]
-        stats = self._rebalance(pod.name, "leave", before, num_lists)
-        for key in [k for k in self._incomplete if k[0] == pod.name]:
-            del self._incomplete[key]
-        self.dropped_write_routes_by_pod.pop(pod.name, None)
-        return stats
+        with self.repair_mutex:
+            before = {
+                pl_id: self.pods_of(pl_id) for pl_id in range(num_lists)
+            }
+            self._ring.remove_peer(pod.name)
+            self.pods.pop(pod_index)
+            del self._pod_by_name[pod.name]
+            for index, remaining in enumerate(self.pods):
+                remaining.index = index
+                for slot in remaining.slots:
+                    slot.pod_index = index
+            self._placement_memo.clear()
+            with self._read_stats_lock:
+                self.pod_read_load.pop(pod.name, None)
+                self.pod_read_latency.pop(pod.name, None)
+                self.pod_cache_reads.pop(pod.name, None)
+                for pl_id in [
+                    pl_id
+                    for pl_id, origin in self._read_origin.items()
+                    if origin == pod.name
+                ]:
+                    del self._read_origin[pl_id]
+            stats = self._rebalance(pod.name, "leave", before, num_lists)
+            with self._ledger_lock:
+                # The pod's unhealed gaps leave the cluster with it —
+                # retire the routes so the outstanding counter converges.
+                for key in [
+                    k for k in self._incomplete if k[0] == pod.name
+                ]:
+                    self._credit_ledger_cell_locked(*key)
+                self.dropped_write_routes_by_pod.pop(pod.name, None)
+            return stats
 
     def _rebalance(
         self,
@@ -722,8 +859,22 @@ class ClusterCoordinator:
         before: dict[int, tuple[Pod, ...]],
         num_lists: int,
     ) -> RebalanceStats:
-        """Diff old vs new placement; copy gained lists, GC lost ones."""
+        """Diff old vs new placement; copy gained lists, GC lost ones.
+
+        Two transfer modes share the placement diff. Record-by-record
+        (``bulk_rebalance=False``) is the original per-list export/adopt
+        loop. Snapshot-shipping groups every moved list by (source
+        seat, destination seat) pair during the diff, then moves each
+        group as one sealed ``ZSNP`` image + bulk load — one round trip
+        and one sequential pass per seat pair instead of two round
+        trips and a per-record merge per list per slot. GC of displaced
+        copies runs after the transfer phase in both modes, so a
+        displaced pod can still serve as a copy source.
+        """
         stats = RebalanceStats(pod_name=pod_name, action=action)
+        #: (source server_id, dest pod name, slot index) -> moved lists.
+        shipments: dict[tuple[str, str, int], list[int]] = {}
+        gc_actions: list[tuple[int, Pod]] = []
         for pl_id in range(num_lists):
             after = self.pods_of(pl_id)
             if tuple(p.name for p in after) == tuple(
@@ -746,20 +897,121 @@ class ClusterCoordinator:
                 ),
             )
             for dest in gained:
-                copied, dropped = self._copy_list(pl_id, sources, dest)
-                stats.copied_elements += copied
-                stats.dropped_copy_routes += dropped
+                if self.bulk_rebalance:
+                    self._plan_ship(pl_id, sources, dest, shipments, stats)
+                else:
+                    copied, dropped = self._copy_list(pl_id, sources, dest)
+                    stats.copied_elements += copied
+                    stats.dropped_copy_routes += dropped
                 if all(
                     not self.is_complete_for(p, pl_id) for p in sources
                 ):
-                    self._incomplete[(dest.name, pl_id)] = {
-                        slot.server_id for slot in dest.slots
-                    }
+                    self._mark_seats_stale(
+                        dest.name,
+                        pl_id,
+                        [slot.server_id for slot in dest.slots],
+                    )
             for displaced in lost:
                 if displaced.name == pod_name and action == "leave":
                     continue  # the pod is gone; nothing to GC
-                stats.gc_elements += self._gc_list(pl_id, displaced)
+                gc_actions.append((pl_id, displaced))
+        for key in sorted(shipments):
+            self._execute_shipment(key, shipments[key], stats)
+        for pl_id, displaced in gc_actions:
+            stats.gc_elements += self._gc_list(pl_id, displaced)
         return stats
+
+    def _mark_seats_stale(
+        self, pod_name: str, pl_id: int, server_ids: Iterable[str]
+    ) -> None:
+        """Record seats as missing the list (count 0: no dropped write
+        route, just a copy that never happened — the repair sweep's
+        problem now)."""
+        with self._ledger_lock:
+            cell = self._incomplete.setdefault((pod_name, pl_id), {})
+            for server_id in server_ids:
+                cell.setdefault(server_id, 0)
+
+    def _plan_ship(
+        self,
+        pl_id: int,
+        sources: Sequence[Pod],
+        dest: Pod,
+        shipments: dict[tuple[str, str, int], list[int]],
+        stats: RebalanceStats,
+    ) -> None:
+        """Assign one moved list's slot transfers to shipment groups.
+
+        Source election matches :meth:`_copy_list`: slot s of the first
+        source pod (complete owners first) whose seat s is alive feeds
+        slot s of the destination. Untransferable slots (no live
+        source, dead destination seat) are dropped routes — and, unlike
+        the record-by-record path, immediately ledgered so the repair
+        sweep can close the gap once a source or the seat returns.
+        """
+        for slot_index in range(self.scheme.n):
+            source = next(
+                (
+                    p.slots[slot_index]
+                    for p in sources
+                    if p.slots[slot_index].alive
+                ),
+                None,
+            )
+            dest_slot = dest.slots[slot_index]
+            if source is None or not dest_slot.alive:
+                stats.dropped_copy_routes += 1
+                self._mark_seats_stale(
+                    dest.name, pl_id, (dest_slot.server_id,)
+                )
+                continue
+            shipments.setdefault(
+                (source.server_id, dest.name, slot_index), []
+            ).append(pl_id)
+
+    def _execute_shipment(
+        self,
+        key: tuple[str, str, int],
+        pl_ids: list[int],
+        stats: RebalanceStats,
+    ) -> None:
+        """One bulk transfer: ship a sealed image, bulk-load it.
+
+        A failure mid-flight (the source died between election and
+        export, the destination between export and adopt, or a torn
+        image) drops the whole group's routes into the ledger — the
+        anti-entropy sweep re-elects a source and retries; the
+        rebalance itself never raises for a transfer it can record as
+        pending repair.
+        """
+        source_id, dest_pod_name, slot_index = key
+        dest_pod = self._pod_by_name.get(dest_pod_name)
+        if dest_pod is None:  # pragma: no cover - dest pods are members
+            return
+        dest_slot = dest_pod.slots[slot_index]
+        try:
+            shipped = self.transport.call(
+                src="coordinator",
+                dst=source_id,
+                request=ShipSnapshotRequest(pl_ids=tuple(pl_ids)),
+            )
+            adopted = self.transport.call(
+                src="coordinator",
+                dst=dest_slot.server_id,
+                request=AdoptSnapshotRequest(
+                    pl_ids=tuple(pl_ids), snapshot=shipped.snapshot
+                ),
+            )
+        except ReproError:
+            stats.dropped_copy_routes += len(pl_ids)
+            for pl_id in pl_ids:
+                self._mark_seats_stale(
+                    dest_pod_name, pl_id, (dest_slot.server_id,)
+                )
+            return
+        stats.snapshot_ships += 1
+        stats.shipped_bytes += len(shipped.snapshot)
+        stats.copied_elements += adopted.count
 
     def _copy_list(
         self, pl_id: int, sources: Sequence[Pod], dest: Pod
@@ -813,15 +1065,213 @@ class ClusterCoordinator:
         for slot in pod.slots:
             if not slot.alive:
                 continue
-            # The seat's persistence hook logs the drop as deletes.
+            # The seat's persistence hook logs the drop as deletes. GC
+            # only needs the count — shipping every discarded record
+            # back would cost as much wire as the transfer itself.
             response = self.transport.call(
                 src="coordinator",
                 dst=slot.server_id,
-                request=DropListRequest(pl_id=pl_id),
+                request=DropListRequest(pl_id=pl_id, count_only=True),
             )
-            removed_total += len(response.records)
-        self._incomplete.pop((pod.name, pl_id), None)
+            removed_total += response.count
+        with self._ledger_lock:
+            # Gaps in a list the pod no longer owns are moot; retire
+            # their routes so the outstanding counter converges.
+            self._credit_ledger_cell_locked(pod.name, pl_id)
         return removed_total
+
+    # -- anti-entropy repair ---------------------------------------------------------
+
+    def repair_sweep(self, budget: int | None = None) -> RepairSweepStats:
+        """One pass over the staleness ledger, healing what it can.
+
+        For every (pod, list) gap, each live stale seat is healed by
+        electing a **trusted same-slot source**: the same slot index of
+        another replica pod, live and not itself stale for the list
+        (slot s of every pod holds the share at ``scheme.x_of(s)``, so
+        only a same-slot seat has the right bytes). The heal ships the
+        source's sealed snapshot image of the list and bulk-loads it
+        with replace semantics — a stale seat may have slept through
+        deletes, so merge cannot cure it. Each heal runs under
+        :attr:`repair_mutex`, so it can never interleave with an
+        owner's route+deliver span; the ledger credit comes from the
+        entry's own route counts, keeping
+        :attr:`outstanding_write_routes` convergent whether the owner
+        or the sweep gets there first.
+
+        Args:
+            budget: max heals this sweep (None falls back to the
+                coordinator's ``repair_budget``; that too being None
+                means unbounded). Exhausting it sets
+                ``budget_exhausted`` and leaves the rest for the next
+                sweep — the sweep is a rate-limited background chore,
+                not a stop-the-world pass.
+
+        Unhealable gaps are left in place and classified: a dead target
+        seat waits for its restart; a gap with no trusted source
+        (``R == 1``, or every replica missed the same writes) waits for
+        owner re-provisioning. Mid-flight failures (a seat dying
+        between election and transfer) are counted and retried next
+        sweep.
+        """
+        if budget is None:
+            budget = self.repair_budget
+        stats = RepairSweepStats()
+        with self._ledger_lock:
+            backlog = sorted(self._incomplete)
+        for key in backlog:
+            if budget is not None and stats.healed_seats >= budget:
+                stats.budget_exhausted = True
+                break
+            with self.repair_mutex:
+                self._repair_entry(key, budget, stats)
+        self.repair_sweeps += 1
+        self.repair_healed_seats += stats.healed_seats
+        self.repair_shipped_bytes += stats.shipped_bytes
+        self.repair_failures += stats.failed
+        self.last_sweep = stats
+        return stats
+
+    def _repair_entry(
+        self,
+        key: tuple[str, int],
+        budget: int | None,
+        stats: RepairSweepStats,
+    ) -> None:
+        """Heal one ledger entry's stale seats (repair_mutex held)."""
+        pod_name, pl_id = key
+        with self._ledger_lock:
+            cell = self._incomplete.get(key)
+            seats = sorted(cell) if cell else []
+        if not seats:
+            return  # an owner's reprovision won the race; nothing left
+        stats.examined += 1
+        pod = self._pod_by_name.get(pod_name)
+        if pod is None:
+            return  # pod retired between snapshot and heal
+        replicas = self.pods_of(pl_id)
+        if pod not in replicas:
+            # Placement moved on; the list is no longer this pod's to
+            # host. GC retires the entry on the next rebalance.
+            return
+        for server_id in seats:
+            if budget is not None and stats.healed_seats >= budget:
+                stats.budget_exhausted = True
+                return
+            slot = pod.slot_by_id(server_id)
+            if slot is None:
+                continue
+            if not slot.alive:
+                stats.skipped_dead_seat += 1
+                continue
+            source = self._elect_repair_source(
+                replicas, pod, pl_id, slot.slot_index
+            )
+            if source is None:
+                stats.skipped_no_source += 1
+                continue
+            try:
+                shipped = self.transport.call(
+                    src="coordinator",
+                    dst=source.server_id,
+                    request=ShipSnapshotRequest(pl_ids=(pl_id,)),
+                )
+                self.transport.call(
+                    src="coordinator",
+                    dst=slot.server_id,
+                    request=AdoptSnapshotRequest(
+                        pl_ids=(pl_id,), snapshot=shipped.snapshot
+                    ),
+                )
+            except (ReproError, ValueError, OSError):
+                # Source or target died mid-ship (the drill case), or
+                # the image tore in flight: the entry stays; the next
+                # sweep re-elects and retries.
+                stats.failed += 1
+                continue
+            self.cache.invalidate(pl_id)
+            with self._ledger_lock:
+                stats.repaired_routes += self._clear_ledger_seat_locked(
+                    pod_name, pl_id, server_id
+                )
+            stats.healed_seats += 1
+            stats.shipped_bytes += len(shipped.snapshot)
+
+    def _elect_repair_source(
+        self,
+        replicas: Sequence[Pod],
+        stale_pod: Pod,
+        pl_id: int,
+        slot_index: int,
+    ) -> ServerSlot | None:
+        """A live, trusted seat holding the same share slot, or None.
+
+        Only the same slot index of *another* replica pod qualifies —
+        any other slot holds a different Shamir x-coordinate's share,
+        and shipping it would corrupt reconstruction. Trust is
+        per-seat: a source pod may be stale on other seats as long as
+        this slot's seat never missed a write for the list.
+        """
+        for candidate in replicas:
+            if candidate.name == stale_pod.name:
+                continue
+            seat = candidate.slots[slot_index]
+            if not seat.alive:
+                continue
+            with self._ledger_lock:
+                cell = self._incomplete.get((candidate.name, pl_id))
+                if cell and seat.server_id in cell:
+                    continue
+            return seat
+        return None
+
+    def start_repair_thread(
+        self,
+        interval_s: float = 0.05,
+        budget: int | None = None,
+        max_backoff_s: float | None = None,
+    ) -> None:
+        """Run :meth:`repair_sweep` periodically in a daemon thread.
+
+        A sweep that hits mid-flight failures doubles the wait (up to
+        ``max_backoff_s``, default 8x the interval) before retrying —
+        a flapping seat should not be hammered; a clean sweep resets
+        the backoff.
+        """
+        if self._repair_thread is not None:
+            raise ClusterError("repair thread is already running")
+        if max_backoff_s is None:
+            max_backoff_s = interval_s * 8
+
+        def run() -> None:
+            wait = interval_s
+            while not self._repair_stop.wait(wait):
+                try:
+                    swept = self.repair_sweep(budget)
+                except Exception:  # noqa: BLE001 - the chore must survive
+                    self.repair_failures += 1
+                    wait = min(wait * 2, max_backoff_s)
+                    continue
+                if swept.failed:
+                    wait = min(wait * 2, max_backoff_s)
+                else:
+                    wait = interval_s
+
+        self._repair_stop.clear()
+        thread = threading.Thread(
+            target=run, name="repro-anti-entropy", daemon=True
+        )
+        self._repair_thread = thread
+        thread.start()
+
+    def stop_repair_thread(self) -> None:
+        """Stop the background sweep (idempotent; joins the thread)."""
+        thread = self._repair_thread
+        if thread is None:
+            return
+        self._repair_stop.set()
+        thread.join()
+        self._repair_thread = None
 
     # -- introspection ---------------------------------------------------------------
 
@@ -843,12 +1293,15 @@ class ClusterCoordinator:
             latency = dict(self.pod_read_latency)
             load = dict(self.pod_read_load)
             cache_reads = dict(self.pod_cache_reads)
+        with self._ledger_lock:
+            stale_by_pod: dict[str, int] = {}
+            for (name, _pl), seats in self._incomplete.items():
+                if seats:
+                    stale_by_pod[name] = stale_by_pod.get(name, 0) + 1
+            pending_entries = len(self._incomplete)
         pods = []
         for pod in self.pods:
-            stale_lists = sum(
-                1 for (name, _pl), seats in self._incomplete.items()
-                if name == pod.name and seats
-            )
+            stale_lists = stale_by_pod.get(pod.name, 0)
             pods.append(
                 {
                     "name": pod.name,
@@ -873,6 +1326,7 @@ class ClusterCoordinator:
                     "stale_lists": stale_lists,
                 }
             )
+        last = self.last_sweep
         return {
             "replication_factor": self.replication_factor,
             "num_lists": num_lists,
@@ -883,6 +1337,26 @@ class ClusterCoordinator:
                 "hits": self.cache.stats.hits,
                 "misses": self.cache.stats.misses,
                 "entries": len(self.cache),
+            },
+            "repair": {
+                "sweeps": self.repair_sweeps,
+                "healed_seats": self.repair_healed_seats,
+                "shipped_bytes": self.repair_shipped_bytes,
+                "failures": self.repair_failures,
+                "pending_entries": pending_entries,
+                "thread_running": self._repair_thread is not None,
+                "last_sweep": None
+                if last is None
+                else {
+                    "examined": last.examined,
+                    "healed_seats": last.healed_seats,
+                    "repaired_routes": last.repaired_routes,
+                    "shipped_bytes": last.shipped_bytes,
+                    "skipped_no_source": last.skipped_no_source,
+                    "skipped_dead_seat": last.skipped_dead_seat,
+                    "failed": last.failed,
+                    "budget_exhausted": last.budget_exhausted,
+                },
             },
         }
 

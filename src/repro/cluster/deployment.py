@@ -96,6 +96,9 @@ class ClusterDeployment:
         socket_idle_timeout_s: float | None = None,
         fanout_workers: int = 8,
         storage: str = "flat",
+        bulk_rebalance: bool = True,
+        anti_entropy_interval_s: float | None = None,
+        repair_budget: int | None = None,
     ) -> None:
         """Args:
         mapping_table: the public term -> posting-list table.
@@ -142,6 +145,16 @@ class ClusterDeployment:
             snapshots written by a background compactor, and a fsync'd
             manifest; restarts load one snapshot and replay only the
             segment suffix). See :mod:`repro.storage`.
+        bulk_rebalance: move rebalanced lists as sealed snapshot
+            images (default) instead of record-by-record transfers —
+            the False path is the baseline the rebalance benchmark
+            measures against.
+        anti_entropy_interval_s: when given, a background repair
+            thread runs :meth:`repair_sweep` at this cadence (with
+            failure backoff) until :meth:`close`; None leaves repair
+            to explicit sweeps and owner re-provisioning.
+        repair_budget: per-sweep heal cap for the repair thread and
+            default for :meth:`repair_sweep` (None = unbounded).
         """
         if num_pods < 1:
             raise ClusterError(f"need at least one pod, got {num_pods}")
@@ -192,7 +205,13 @@ class ClusterDeployment:
             virtual_nodes=virtual_nodes,
             replication_factor=replication_factor,
             transport=self.registry,
+            bulk_rebalance=bulk_rebalance,
+            repair_budget=repair_budget,
         )
+        if anti_entropy_interval_s is not None:
+            self.coordinator.start_repair_thread(
+                interval_s=anti_entropy_interval_s, budget=repair_budget
+            )
         if self._wal_dir is not None:
             for pod in pods:
                 for slot in pod.slots:
@@ -421,6 +440,12 @@ class ClusterDeployment:
             for owner in self._owners.values()
         )
 
+    def repair_sweep(self, budget: int | None = None):
+        """One anti-entropy pass over the staleness ledger (see
+        :meth:`ClusterCoordinator.repair_sweep`). Heals stale seats
+        from trusted same-slot replicas without involving any owner."""
+        return self.coordinator.repair_sweep(budget)
+
     # -- ring membership --------------------------------------------------------
 
     def add_pod(self, name: str | None = None) -> RebalanceStats:
@@ -492,7 +517,7 @@ class ClusterDeployment:
                     self.registry.call(
                         "coordinator",
                         slot.server_id,
-                        DropListRequest(pl_id=pl_id),
+                        DropListRequest(pl_id=pl_id, count_only=True),
                     )
             else:
                 for pl_id in range(self.mapping_table.num_lists):
@@ -515,6 +540,7 @@ class ClusterDeployment:
         if self._closed:
             return
         self._closed = True
+        self.coordinator.stop_repair_thread()
         self.dispatcher.shutdown()
         if self.transport is not self.registry:
             self.transport.close()

@@ -253,10 +253,50 @@ def _dec_adopt(r: _Reader) -> m.AdoptListRequest:
 
 def _enc_drop(out: bytearray, msg: m.DropListRequest) -> None:
     _write_uint(out, msg.pl_id)
+    _write_uint(out, 1 if msg.count_only else 0)
 
 
 def _dec_drop(r: _Reader) -> m.DropListRequest:
-    return m.DropListRequest(pl_id=r.uint())
+    return m.DropListRequest(pl_id=r.uint(), count_only=r.uint() != 0)
+
+
+def _enc_ship_snapshot(out: bytearray, msg: m.ShipSnapshotRequest) -> None:
+    _write_uint(out, len(msg.pl_ids))
+    for pl_id in msg.pl_ids:
+        _write_uint(out, pl_id)
+
+
+def _dec_ship_snapshot(r: _Reader) -> m.ShipSnapshotRequest:
+    return m.ShipSnapshotRequest(
+        pl_ids=tuple(r.uint() for _ in range(r.uint()))
+    )
+
+
+def _enc_adopt_snapshot(
+    out: bytearray, msg: m.AdoptSnapshotRequest
+) -> None:
+    _write_uint(out, len(msg.pl_ids))
+    for pl_id in msg.pl_ids:
+        _write_uint(out, pl_id)
+    _write_bytes(out, msg.snapshot)
+    _write_bytes(out, msg.suffix)
+
+
+def _dec_adopt_snapshot(r: _Reader) -> m.AdoptSnapshotRequest:
+    return m.AdoptSnapshotRequest(
+        pl_ids=tuple(r.uint() for _ in range(r.uint())),
+        snapshot=r.blob(),
+        suffix=r.blob(),
+    )
+
+
+def _enc_snapshot_resp(out: bytearray, msg: m.SnapshotResponse) -> None:
+    _write_uint(out, msg.record_count)
+    _write_bytes(out, msg.snapshot)
+
+
+def _dec_snapshot_resp(r: _Reader) -> m.SnapshotResponse:
+    return m.SnapshotResponse(record_count=r.uint(), snapshot=r.blob())
 
 
 def _enc_status_req(out: bytearray, msg: m.ServerStatusRequest) -> None:
@@ -545,6 +585,12 @@ _REGISTRY: dict[int, tuple[type, Callable, Callable]] = {
     0x07: (m.DropListRequest, _enc_drop, _dec_drop),
     0x08: (m.ServerStatusRequest, _enc_status_req, _dec_status_req),
     0x09: (m.EndpointsRequest, _enc_endpoints_req, _dec_endpoints_req),
+    0x0A: (m.ShipSnapshotRequest, _enc_ship_snapshot, _dec_ship_snapshot),
+    0x0B: (
+        m.AdoptSnapshotRequest,
+        _enc_adopt_snapshot,
+        _dec_adopt_snapshot,
+    ),
     0x21: (m.OpCountResponse, _enc_count, _dec_count),
     0x22: (m.FetchListsResponse, _enc_lists, _dec_lists),
     0x23: (m.SnippetResponse, _enc_snippet_resp, _dec_snippet_resp),
@@ -552,6 +598,7 @@ _REGISTRY: dict[int, tuple[type, Callable, Callable]] = {
     0x25: (m.ServerStatusResponse, _enc_status_resp, _dec_status_resp),
     0x26: (m.EndpointsResponse, _enc_endpoints_resp, _dec_endpoints_resp),
     0x27: (m.ErrorResponse, _enc_error, _dec_error),
+    0x28: (m.SnapshotResponse, _enc_snapshot_resp, _dec_snapshot_resp),
 }
 
 #: Packed variants: same message classes, new type bytes (0x40 block),

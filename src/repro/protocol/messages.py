@@ -20,6 +20,8 @@ FetchSnippetRequest   token + doc id + query terms     SnippetResponse
 ExportListRequest     pl_id (admin/replication)        RecordListResponse
 AdoptListRequest      pl_id + records (admin)          RecordListResponse
 DropListRequest       pl_id (admin)                    RecordListResponse
+ShipSnapshotRequest   pl_ids (admin/bulk transfer)     SnapshotResponse
+AdoptSnapshotRequest  pl_ids + ZSNP image + suffix     OpCountResponse
 ServerStatusRequest   —  (admin/observability)         ServerStatusResponse
 EndpointsRequest      —  (transport discovery)         EndpointsResponse
 (any, on failure)                                      ErrorResponse
@@ -152,14 +154,75 @@ class AdoptListRequest:
 
 @dataclass(frozen=True)
 class DropListRequest:
-    """Admin/replication: discard a list the seat no longer owns."""
+    """Admin/replication: discard a list the seat no longer owns.
+
+    With ``count_only`` the response is an :class:`OpCountResponse`
+    instead of the dropped records themselves — rebalance GC only needs
+    the count, and shipping every discarded record back across the wire
+    made GC cost as much as the transfer it was cleaning up after.
+    """
 
     pl_id: int
+    count_only: bool = False
 
     kind = "admin"
 
     def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
-        return 4
+        return 5
+
+
+@dataclass(frozen=True)
+class ShipSnapshotRequest:
+    """Admin/replication: ask a seat for a sealed snapshot image of a
+    set of posting lists — the bulk-transfer read of snapshot-shipping
+    rebalance and anti-entropy repair. The response carries the exact
+    ``ZSNP`` byte format the segmented engine writes to disk (fixed-width
+    packed records, trailing CRC32), so the eventual receiver's CRC
+    check spans the whole journey.
+    """
+
+    pl_ids: tuple[int, ...]
+
+    kind = "admin"
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return 4 + 4 * len(self.pl_ids)
+
+
+@dataclass(frozen=True)
+class AdoptSnapshotRequest:
+    """Admin/replication: bulk-load a shipped snapshot into a seat.
+
+    The receiver validates the image's CRC, *drops* its pre-existing
+    data for every listed ``pl_id`` (stale records — including shares of
+    since-deleted elements — must not survive the adoption), loads the
+    image in one sequential pass, then replays ``suffix``: operations
+    framed exactly like segment-file records, covering writes logged
+    after the image's rotation point. Replace semantics are the point —
+    an idempotent merge could never heal a seat that slept through a
+    delete.
+
+    Attributes:
+        pl_ids: the lists this shipment covers (dropped before the
+            load; a list absent from the image is left empty — shipping
+            an empty posting list is how a receiver's stale copy dies).
+        snapshot: a sealed ``ZSNP`` image (see
+            :func:`repro.storage.snapshot.snapshot_bytes`).
+        suffix: framed segment records to replay after the image
+            (:func:`repro.storage.segment.encode_op_frames`); empty when
+            the image alone is current.
+    """
+
+    pl_ids: tuple[int, ...]
+    snapshot: bytes
+    suffix: bytes = b""
+
+    kind = "admin"
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return (
+            4 + 4 * len(self.pl_ids) + len(self.snapshot) + len(self.suffix)
+        )
 
 
 @dataclass(frozen=True)
@@ -231,6 +294,18 @@ class RecordListResponse:
 
 
 @dataclass(frozen=True)
+class SnapshotResponse:
+    """A seat's answer to :class:`ShipSnapshotRequest`: the sealed image
+    plus how many records it packs (the caller's transfer accounting)."""
+
+    snapshot: bytes
+    record_count: int
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return len(self.snapshot) + 8
+
+
+@dataclass(frozen=True)
 class ServerStatusResponse:
     """One seat's observable store statistics."""
 
@@ -285,6 +360,8 @@ REQUEST_TYPES = (
     ExportListRequest,
     AdoptListRequest,
     DropListRequest,
+    ShipSnapshotRequest,
+    AdoptSnapshotRequest,
     ServerStatusRequest,
     EndpointsRequest,
 )
@@ -294,6 +371,7 @@ RESPONSE_TYPES = (
     FetchListsResponse,
     SnippetResponse,
     RecordListResponse,
+    SnapshotResponse,
     ServerStatusResponse,
     EndpointsResponse,
     ErrorResponse,

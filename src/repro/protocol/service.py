@@ -29,6 +29,7 @@ from repro.errors import (
 )
 from repro.protocol.messages import (
     AdoptListRequest,
+    AdoptSnapshotRequest,
     DeleteBatchRequest,
     DropListRequest,
     ErrorResponse,
@@ -41,6 +42,8 @@ from repro.protocol.messages import (
     FetchListsResponse,
     ServerStatusRequest,
     ServerStatusResponse,
+    ShipSnapshotRequest,
+    SnapshotResponse,
     SnippetResponse,
 )
 
@@ -119,8 +122,18 @@ class IndexServerService:
                 )
             )
         if isinstance(request, DropListRequest):
-            return RecordListResponse(
-                records=tuple(server.drop_posting_list(request.pl_id))
+            dropped = server.drop_posting_list(request.pl_id)
+            if request.count_only:
+                return OpCountResponse(count=len(dropped))
+            return RecordListResponse(records=tuple(dropped))
+        if isinstance(request, ShipSnapshotRequest):
+            image, count = server.export_snapshot(request.pl_ids)
+            return SnapshotResponse(snapshot=image, record_count=count)
+        if isinstance(request, AdoptSnapshotRequest):
+            return OpCountResponse(
+                count=server.ingest_snapshot(
+                    request.pl_ids, request.snapshot, request.suffix
+                )
             )
         if isinstance(request, ServerStatusRequest):
             return ServerStatusResponse(

@@ -60,6 +60,7 @@ from repro.protocol.messages import (
     FetchListsRequest,
     FetchSnippetRequest,
     ServerStatusRequest,
+    ShipSnapshotRequest,
 )
 from repro.protocol.service import error_response, raise_for_error
 from repro.server.transport import SimulatedNetwork
@@ -77,6 +78,7 @@ _RETRY_SAFE = (
     FetchListsRequest,
     FetchSnippetRequest,
     ExportListRequest,
+    ShipSnapshotRequest,
     ServerStatusRequest,
     EndpointsRequest,
 )

@@ -199,6 +199,55 @@ def _decode_payload(
     return op
 
 
+def decode_op_frames(
+    data: bytes, source: str = "<wire>"
+) -> list[InsertOp | DeleteOp]:
+    """Decode a sealed run of record frames (no segment header).
+
+    This is the *wire* twin of :func:`read_segment`: snapshot-shipping
+    sends a segment suffix — operations logged after the shipped
+    snapshot's rotation point — as a bare concatenation of the same
+    framed records a segment file holds. Unlike an on-disk tail, a
+    shipped suffix is sealed by construction (it crossed a
+    length-prefixed transport frame intact), so *any* damage — torn
+    varint, short payload, CRC mismatch, trailing bytes — raises
+    :class:`~repro.errors.StorageError` instead of being treated as a
+    crash artifact.
+    """
+    operations: list[InsertOp | DeleteOp] = []
+    size = len(data)
+    pos = 0
+    crc32 = zlib.crc32
+    from_bytes = int.from_bytes
+    while pos < size:
+        try:
+            length, body_start = _uvarint(data, pos)
+        except IndexError as exc:
+            raise StorageError(f"{source}: torn record frame") from exc
+        body_end = body_start + length
+        if body_end + 4 > size:
+            raise StorageError(f"{source}: truncated record frame")
+        payload = data[body_start:body_end]
+        if crc32(payload) != from_bytes(
+            data[body_end : body_end + 4], "little"
+        ):
+            raise StorageError(f"{source}: record CRC mismatch")
+        operations.append(_decode_payload(payload, source))
+        pos = body_end + 4
+    return operations
+
+
+def encode_op_frames(operations) -> bytes:
+    """Frame a run of operations for the wire (decode_op_frames' twin)."""
+    out = bytearray()
+    for op in operations:
+        if isinstance(op, InsertOp):
+            encode_insert(out, op)
+        else:
+            encode_delete(out, op)
+    return bytes(out)
+
+
 def repair_segment_tail(path: str | pathlib.Path) -> int:
     """Truncate a segment back to its last whole record (crash repair).
 

@@ -55,6 +55,92 @@ def _pad_width(natural: int) -> int:
     return natural  # > 8: caller splits or falls back
 
 
+def snapshot_bytes(
+    store: dict[int, dict[int, ShareRecord]],
+) -> tuple[bytes, int]:
+    """Encode one store state as a complete, CRC-sealed snapshot image.
+
+    Returns ``(image, record_count)``. The image is the exact byte
+    sequence :func:`write_snapshot` puts on disk — magic, version,
+    widths, count, packed records, trailing CRC32 — so the same sealed
+    format serves both the durable file and the wire (snapshot-shipping
+    rebalance and anti-entropy repair move these bytes inside an
+    ``AdoptSnapshotRequest``; the receiver's CRC check is therefore end
+    to end, disk or socket alike).
+    """
+    max_id = 1
+    max_share = 1
+    count = 0
+    for pl_id, plist in store.items():
+        if not plist:
+            continue
+        count += len(plist)
+        # Element IDs are the keys; per-field C-level max() sweeps beat
+        # one Python-level loop over records by a wide margin.
+        max_id = max(max_id, pl_id, max(plist))
+        max_id = max(max_id, max(r.group_id for r in plist.values()))
+        max_share = max(max_share, max(r.share_y for r in plist.values()))
+    id_width = _pad_width((max_id.bit_length() + 7) // 8)
+    natural_share = (max_share.bit_length() + 7) // 8
+    if natural_share <= 8:
+        share_width = _pad_width(natural_share)
+    elif natural_share <= 16:
+        # High part padded to a struct width + an 8-byte low word.
+        share_width = _pad_width(natural_share - 8) + 8
+    else:  # pragma: no cover - shares beyond 128 bits
+        share_width = natural_share
+    body = bytearray()
+    body.append(id_width)
+    body.append(0)  # reserved
+    body.append(0)  # reserved
+    body.append(share_width)
+    write_uint(body, count)
+    id_char = _STRUCT_CHAR.get(id_width)
+    if id_char and share_width in _STRUCT_CHAR:
+        # One struct pack per record (the loader's iter_unpack twin).
+        pack = struct.Struct(
+            ">" + id_char * 3 + _STRUCT_CHAR[share_width]
+        ).pack
+        for pl_id in sorted(store):
+            plist = store[pl_id]
+            body += b"".join(
+                pack(pl_id, element_id, record.group_id, record.share_y)
+                for element_id, record in sorted(plist.items())
+            )
+    elif id_char and share_width > 8 and share_width - 8 in _STRUCT_CHAR:
+        # Wide shares (the 64-bit+ prime): high part + 8-byte low word.
+        pack = struct.Struct(
+            ">" + id_char * 3 + _STRUCT_CHAR[share_width - 8] + "Q"
+        ).pack
+        low_mask = (1 << 64) - 1
+        for pl_id in sorted(store):
+            plist = store[pl_id]
+            body += b"".join(
+                pack(
+                    pl_id,
+                    element_id,
+                    record.group_id,
+                    record.share_y >> 64,
+                    record.share_y & low_mask,
+                )
+                for element_id, record in sorted(plist.items())
+            )
+    else:  # pragma: no cover - widths with no struct fast path
+        for pl_id in sorted(store):
+            plist = store[pl_id]
+            for element_id in sorted(plist):
+                record = plist[element_id]
+                body += pl_id.to_bytes(id_width, "big")
+                body += record.element_id.to_bytes(id_width, "big")
+                body += record.group_id.to_bytes(id_width, "big")
+                body += record.share_y.to_bytes(share_width, "big")
+    image = bytearray(SNAPSHOT_MAGIC)
+    image.append(SNAPSHOT_VERSION)
+    image += body
+    image += zlib.crc32(body).to_bytes(4, "little")
+    return bytes(image), count
+
+
 def write_snapshot(
     path: str | pathlib.Path,
     store: dict[int, dict[int, ShareRecord]],
@@ -71,43 +157,10 @@ def write_snapshot(
     a missing file, which recovery rightly refuses to guess around.
     """
     path = pathlib.Path(path)
-    max_id = 1
-    max_share = 1
-    count = 0
-    for pl_id, plist in store.items():
-        for record in plist.values():
-            count += 1
-            max_id = max(max_id, pl_id, record.element_id, record.group_id)
-            max_share = max(max_share, record.share_y)
-    id_width = _pad_width((max_id.bit_length() + 7) // 8)
-    natural_share = (max_share.bit_length() + 7) // 8
-    if natural_share <= 8:
-        share_width = _pad_width(natural_share)
-    elif natural_share <= 16:
-        # High part padded to a struct width + an 8-byte low word.
-        share_width = _pad_width(natural_share - 8) + 8
-    else:  # pragma: no cover - shares beyond 128 bits
-        share_width = natural_share
-    body = bytearray()
-    body.append(id_width)
-    body.append(0)  # reserved
-    body.append(0)  # reserved
-    body.append(share_width)
-    write_uint(body, count)
-    for pl_id in sorted(store):
-        plist = store[pl_id]
-        for element_id in sorted(plist):
-            record = plist[element_id]
-            body += pl_id.to_bytes(id_width, "big")
-            body += record.element_id.to_bytes(id_width, "big")
-            body += record.group_id.to_bytes(id_width, "big")
-            body += record.share_y.to_bytes(share_width, "big")
+    image, count = snapshot_bytes(store)
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "wb") as handle:
-        handle.write(SNAPSHOT_MAGIC)
-        handle.write(bytes((SNAPSHOT_VERSION,)))
-        handle.write(body)
-        handle.write(zlib.crc32(body).to_bytes(4, "little"))
+        handle.write(image)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
@@ -115,18 +168,21 @@ def write_snapshot(
     return count
 
 
-def load_snapshot(
-    path: str | pathlib.Path,
+def parse_snapshot_bytes(
+    data: bytes, source: str = "<wire>"
 ) -> dict[int, dict[int, ShareRecord]]:
-    """Load one snapshot into the server's in-memory store layout.
+    """Parse one sealed snapshot image into the in-memory store layout.
+
+    ``source`` only labels error messages (a file path, or the default
+    ``"<wire>"`` for shipped images).
 
     Raises:
         StorageError: bad magic/version, CRC mismatch, or truncation —
-            a manifest-named snapshot is sealed, so any damage means the
-            disk lied and recovery must stop loudly rather than serve a
+            a snapshot image is sealed, so any damage (disk rot or a
+            torn wire frame) must stop loudly rather than load a
             silently shortened index.
     """
-    data = pathlib.Path(path).read_bytes()
+    path = source
     if len(data) < _PREFIX_LEN + 4 + 4:
         raise StorageError(f"{path}: snapshot truncated")
     if data[: len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
@@ -204,3 +260,18 @@ def load_snapshot(
         )
         offset += stride
     return store
+
+
+def load_snapshot(
+    path: str | pathlib.Path,
+) -> dict[int, dict[int, ShareRecord]]:
+    """Load one snapshot file into the server's in-memory store layout.
+
+    Raises:
+        StorageError: any damage — a manifest-named snapshot is sealed,
+            so a failed validation means the disk lied and recovery must
+            stop loudly rather than serve a silently shortened index.
+    """
+    return parse_snapshot_bytes(
+        pathlib.Path(path).read_bytes(), source=str(path)
+    )

@@ -1,11 +1,31 @@
-"""Shared helpers for integration-style tests."""
+"""Shared helpers for integration-style tests.
+
+Besides the corpus deployment helpers, the cluster drill scaffolding
+lives here so the equivalence, socket, failover, anti-entropy, and
+convergence suites stop growing private copies:
+
+* the *seeded random world* family (:func:`make_world` /
+  :func:`build_twins`) — a random corpus plus a single-fleet deployment
+  and a cluster twin over the same documents, for byte-identity
+  properties;
+* the *small deterministic cluster* family (:func:`make_documents` /
+  :func:`make_cluster` / :func:`make_single_fleet`) — a fixed
+  12-document corpus on a configurable cluster, for targeted failure
+  drills.
+"""
 
 from __future__ import annotations
 
+import random
+
 from repro.baselines.plain_index import IdealTrustedIndex
 from repro.client.batching import BatchPolicy
+from repro.cluster import ClusterDeployment
+from repro.core.mapping_table import MappingTable
 from repro.core.zerber_index import ZerberDeployment
-from repro.corpus.document import Corpus
+from repro.corpus.document import Corpus, Document
+
+K, N = 3, 6  # the acceptance configuration: each pod tolerates 3 failures
 
 
 def owner_of_group(group_id: int) -> str:
@@ -52,3 +72,169 @@ def ideal_twin(corpus: Corpus, deployment: ZerberDeployment) -> IdealTrustedInde
     for document in corpus:
         ideal.index_document(document)
     return ideal
+
+
+def make_world(seed: int):
+    """One random world: documents, groups, an extra member, queries."""
+    rng = random.Random(seed)
+    num_groups = rng.randint(1, 3)
+    vocab = [f"w{i}" for i in range(rng.randint(6, 24))]
+    documents = []
+    for doc_id in range(rng.randint(4, 16)):
+        terms = rng.sample(vocab, rng.randint(1, min(6, len(vocab))))
+        counts = {t: rng.randint(1, 4) for t in terms}
+        documents.append(
+            Document(
+                doc_id=doc_id,
+                host=f"host{doc_id % 3}",
+                group_id=rng.randrange(num_groups),
+                term_counts=counts,
+                length=sum(counts.values()) + rng.randint(0, 2),
+                text=" ".join(
+                    t for t, c in sorted(counts.items()) for _ in range(c)
+                ),
+            )
+        )
+    user_groups = [g for g in range(num_groups) if rng.random() < 0.6]
+    queries = [
+        rng.sample(vocab, rng.randint(1, min(4, len(vocab))))
+        for _ in range(3)
+    ]
+    queries.append(["never-indexed-term"])
+    num_lists = rng.randint(1, 10)
+    num_pods = rng.randint(1, 4)
+    return documents, num_groups, user_groups, queries, num_lists, num_pods
+
+
+def build_twins(
+    world,
+    seed: int,
+    index_through: int | None = None,
+    replication_factor: int = 1,
+    **cluster_kwargs,
+):
+    """A single-fleet deployment and a cluster over the same documents.
+
+    Args:
+        world: output of :func:`make_world`.
+        seed: deployment seed (shared; element IDs still differ by rng
+            stream, which the equivalence property must not care about).
+        index_through: index only the first this-many documents into the
+            *cluster* (the rest are indexed later by the mid-run tests);
+            the single fleet always indexes everything.
+        replication_factor: pods per posting list in the cluster twin
+            (the pod count is raised to fit when the world rolled fewer).
+        cluster_kwargs: extra :class:`ClusterDeployment` arguments — the
+            socket equivalence gate passes ``transport="socket"`` to run
+            the same worlds over loopback TCP.
+    """
+    documents, num_groups, user_groups, _, num_lists, num_pods = world
+    single = ZerberDeployment(
+        MappingTable({}, num_lists=num_lists),
+        k=K,
+        n=N,
+        use_network=False,
+        batch_policy=BatchPolicy(min_documents=2),
+        seed=seed,
+    )
+    cluster = ClusterDeployment(
+        MappingTable({}, num_lists=num_lists),
+        num_pods=max(num_pods, replication_factor),
+        k=K,
+        n=N,
+        use_network=False,
+        batch_policy=BatchPolicy(min_documents=2),
+        replication_factor=replication_factor,
+        seed=seed,
+        **cluster_kwargs,
+    )
+    for deployment in (single, cluster):
+        for g in range(num_groups):
+            deployment.create_group(g, coordinator=f"owner{g}")
+    for document in documents:
+        single.share_document(f"owner{document.group_id}", document)
+    cutoff = len(documents) if index_through is None else index_through
+    for document in documents[:cutoff]:
+        cluster.share_document(f"owner{document.group_id}", document)
+    single.flush_all()
+    cluster.flush_all()
+    for g in user_groups:
+        single.add_member(g, "the-user", actor=f"owner{g}")
+        cluster.add_member(g, "the-user", actor=f"owner{g}")
+    return single, cluster
+
+
+def kill_one_per_pod(cluster: ClusterDeployment, rng: random.Random) -> list[str]:
+    """The acceptance drill: any one server down in every pod."""
+    return [
+        cluster.kill_server(pod.index, rng.randrange(N))
+        for pod in cluster.pods
+    ]
+
+
+def make_documents(num_docs=12, vocab_size=20, num_groups=2, seed=5):
+    """A small deterministic corpus for targeted failure drills."""
+    rng = random.Random(seed)
+    vocab = [f"w{i}" for i in range(vocab_size)]
+    documents = []
+    for doc_id in range(num_docs):
+        terms = rng.sample(vocab, rng.randint(2, 6))
+        counts = {t: rng.randint(1, 3) for t in terms}
+        documents.append(
+            Document(
+                doc_id=doc_id,
+                host=f"host{doc_id % 2}",
+                group_id=doc_id % num_groups,
+                term_counts=counts,
+                length=sum(counts.values()),
+                text=" ".join(sorted(counts)),
+            )
+        )
+    return documents
+
+
+def make_cluster(
+    documents,
+    num_pods=2,
+    k=2,
+    n=4,
+    num_lists=8,
+    use_network=False,
+    **kwargs,
+):
+    """A fully indexed cluster over ``documents`` (one owner per group)."""
+    cluster = ClusterDeployment(
+        MappingTable({}, num_lists=num_lists),
+        num_pods=num_pods,
+        k=k,
+        n=n,
+        use_network=use_network,
+        batch_policy=BatchPolicy(min_documents=1),
+        seed=77,
+        **kwargs,
+    )
+    groups = {d.group_id for d in documents}
+    for g in groups:
+        cluster.create_group(g, coordinator=f"owner{g}")
+    for document in documents:
+        cluster.share_document(f"owner{document.group_id}", document)
+    cluster.flush_all()
+    return cluster
+
+
+def make_single_fleet(documents, k=2, n=3, num_lists=8):
+    """The paper's single fleet over the same deterministic corpus."""
+    single = ZerberDeployment(
+        MappingTable({}, num_lists=num_lists),
+        k=k,
+        n=n,
+        use_network=False,
+        batch_policy=BatchPolicy(min_documents=1),
+        seed=77,
+    )
+    for g in sorted({d.group_id for d in documents}):
+        single.create_group(g, coordinator=f"owner{g}")
+    for document in documents:
+        single.share_document(f"owner{document.group_id}", document)
+    single.flush_all()
+    return single

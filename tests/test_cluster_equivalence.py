@@ -17,112 +17,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.client.batching import BatchPolicy
-from repro.cluster import ClusterDeployment
-from repro.core.mapping_table import MappingTable
-from repro.core.zerber_index import ZerberDeployment
-from repro.corpus.document import Document
-
-K, N = 3, 6  # the acceptance configuration: each pod tolerates 3 failures
-
-
-def make_world(seed: int):
-    """One random world: documents, groups, an extra member, queries."""
-    rng = random.Random(seed)
-    num_groups = rng.randint(1, 3)
-    vocab = [f"w{i}" for i in range(rng.randint(6, 24))]
-    documents = []
-    for doc_id in range(rng.randint(4, 16)):
-        terms = rng.sample(vocab, rng.randint(1, min(6, len(vocab))))
-        counts = {t: rng.randint(1, 4) for t in terms}
-        documents.append(
-            Document(
-                doc_id=doc_id,
-                host=f"host{doc_id % 3}",
-                group_id=rng.randrange(num_groups),
-                term_counts=counts,
-                length=sum(counts.values()) + rng.randint(0, 2),
-                text=" ".join(
-                    t for t, c in sorted(counts.items()) for _ in range(c)
-                ),
-            )
-        )
-    user_groups = [g for g in range(num_groups) if rng.random() < 0.6]
-    queries = [
-        rng.sample(vocab, rng.randint(1, min(4, len(vocab))))
-        for _ in range(3)
-    ]
-    queries.append(["never-indexed-term"])
-    num_lists = rng.randint(1, 10)
-    num_pods = rng.randint(1, 4)
-    return documents, num_groups, user_groups, queries, num_lists, num_pods
-
-
-def build_twins(
-    world,
-    seed: int,
-    index_through: int | None = None,
-    replication_factor: int = 1,
-    **cluster_kwargs,
-):
-    """A single-fleet deployment and a cluster over the same documents.
-
-    Args:
-        world: output of :func:`make_world`.
-        seed: deployment seed (shared; element IDs still differ by rng
-            stream, which the equivalence property must not care about).
-        index_through: index only the first this-many documents into the
-            *cluster* (the rest are indexed later by the mid-run tests);
-            the single fleet always indexes everything.
-        replication_factor: pods per posting list in the cluster twin
-            (the pod count is raised to fit when the world rolled fewer).
-        cluster_kwargs: extra :class:`ClusterDeployment` arguments — the
-            socket equivalence gate passes ``transport="socket"`` to run
-            the same worlds over loopback TCP.
-    """
-    documents, num_groups, user_groups, _, num_lists, num_pods = world
-    single = ZerberDeployment(
-        MappingTable({}, num_lists=num_lists),
-        k=K,
-        n=N,
-        use_network=False,
-        batch_policy=BatchPolicy(min_documents=2),
-        seed=seed,
-    )
-    cluster = ClusterDeployment(
-        MappingTable({}, num_lists=num_lists),
-        num_pods=max(num_pods, replication_factor),
-        k=K,
-        n=N,
-        use_network=False,
-        batch_policy=BatchPolicy(min_documents=2),
-        replication_factor=replication_factor,
-        seed=seed,
-        **cluster_kwargs,
-    )
-    for deployment in (single, cluster):
-        for g in range(num_groups):
-            deployment.create_group(g, coordinator=f"owner{g}")
-    for document in documents:
-        single.share_document(f"owner{document.group_id}", document)
-    cutoff = len(documents) if index_through is None else index_through
-    for document in documents[:cutoff]:
-        cluster.share_document(f"owner{document.group_id}", document)
-    single.flush_all()
-    cluster.flush_all()
-    for g in user_groups:
-        single.add_member(g, "the-user", actor=f"owner{g}")
-        cluster.add_member(g, "the-user", actor=f"owner{g}")
-    return single, cluster
-
-
-def kill_one_per_pod(cluster: ClusterDeployment, rng: random.Random) -> list[str]:
-    """The acceptance drill: any one server down in every pod."""
-    return [
-        cluster.kill_server(pod.index, rng.randrange(N))
-        for pod in cluster.pods
-    ]
-
+from helpers import K, N, build_twins, kill_one_per_pod, make_world
 
 SEEDS = range(100, 124)  # 24 corpora >= the required 20
 

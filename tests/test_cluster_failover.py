@@ -12,64 +12,14 @@ dead seat missed.
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
+from helpers import make_cluster, make_documents
 from repro.client.batching import BatchPolicy
-from repro.cluster import ClusterDeployment
 from repro.core.mapping_table import MappingTable
 from repro.core.zerber_index import ZerberDeployment
 from repro.corpus.document import Document
 from repro.errors import ClusterDegradedError, ClusterError
-
-
-def make_documents(num_docs=12, vocab_size=20, num_groups=2, seed=5):
-    rng = random.Random(seed)
-    vocab = [f"w{i}" for i in range(vocab_size)]
-    documents = []
-    for doc_id in range(num_docs):
-        terms = rng.sample(vocab, rng.randint(2, 6))
-        counts = {t: rng.randint(1, 3) for t in terms}
-        documents.append(
-            Document(
-                doc_id=doc_id,
-                host=f"host{doc_id % 2}",
-                group_id=doc_id % num_groups,
-                term_counts=counts,
-                length=sum(counts.values()),
-                text=" ".join(sorted(counts)),
-            )
-        )
-    return documents
-
-
-def make_cluster(
-    documents,
-    num_pods=2,
-    k=2,
-    n=4,
-    num_lists=8,
-    use_network=False,
-    **kwargs,
-):
-    cluster = ClusterDeployment(
-        MappingTable({}, num_lists=num_lists),
-        num_pods=num_pods,
-        k=k,
-        n=n,
-        use_network=use_network,
-        batch_policy=BatchPolicy(min_documents=1),
-        seed=77,
-        **kwargs,
-    )
-    groups = {d.group_id for d in documents}
-    for g in groups:
-        cluster.create_group(g, coordinator=f"owner{g}")
-    for document in documents:
-        cluster.share_document(f"owner{document.group_id}", document)
-    cluster.flush_all()
-    return cluster
 
 
 class TestKillRestartLifecycle:

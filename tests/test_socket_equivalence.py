@@ -18,7 +18,7 @@ import random
 
 import pytest
 
-from test_cluster_equivalence import K, N, build_twins, make_world
+from helpers import K, N, build_twins, make_world
 
 # A subset of the equivalence seeds: every query crosses TCP dozens of
 # times, so the socket gate trades corpus count for real-frame coverage.
