@@ -40,6 +40,7 @@ from benchmarks.conftest import RESULTS_DIR, emit
 from repro.client.batching import BatchPolicy
 from repro.cluster import ClusterDeployment
 from repro.corpus.synthetic import SyntheticCorpusConfig, generate_corpus
+from repro.resilience import FaultPlan, FaultyTransport
 
 N, K = 3, 2
 TERMS_PER_QUERY = 3
@@ -59,6 +60,15 @@ OVERLOAD_DURATION_S = 10.0
 
 #: The tentpole's acceptance bar: async saturation over threaded.
 GATE_SPEEDUP = 1.5
+
+#: Slow-pod scenario (PR 8): one replica pod stalls on a seeded
+#: schedule; hedged reads must keep tail latency bounded. The gate is
+#: hedged p99 <= GATE_HEDGE_P99_RATIO x unhedged p99.
+SLOW_POD_QUERIES = 120
+SLOW_POD_STALL_RATE = 0.35
+SLOW_POD_STALL_S = 0.12
+SLOW_POD_HEDGE_DELAY_S = 0.01
+GATE_HEDGE_P99_RATIO = 0.5
 
 
 def _corpus():
@@ -252,4 +262,152 @@ def test_open_loop_load():
     assert async_sat >= GATE_SPEEDUP * socket_sat, (
         f"async saturation {async_sat:.1f} qps did not reach "
         f"{GATE_SPEEDUP}x threaded saturation {socket_sat:.1f} qps"
+    )
+
+
+# -- PR 8: one slow pod, hedged vs unhedged -----------------------------------
+
+
+def _build_replicated(corpus, transport):
+    """Two pods, R=2: every list readable from either pod."""
+    cluster = ClusterDeployment.bootstrap(
+        corpus.term_probabilities(),
+        heuristic="dfm",
+        num_lists=64,
+        num_pods=2,
+        k=K,
+        n=N,
+        use_network=False,
+        batch_policy=BatchPolicy(min_documents=8),
+        seed=1723,
+        transport=transport,
+        replication_factor=2,
+        admission_max_pending=256,
+    )
+    for g in corpus.group_ids():
+        cluster.create_group(g, coordinator=f"owner{g}")
+    for document in corpus:
+        cluster.share_document(f"owner{document.group_id}", document)
+    cluster.flush_all()
+    return cluster
+
+
+def _slow_pod_run(cluster, queries, hedge_reads, seed):
+    """Sequential latency sweep against a cluster whose pod0 stalls.
+
+    Routing is pinned (stalled pod primary for every list) so the EWMA
+    ranker cannot rescue the unhedged run by routing around the stall —
+    the comparison isolates exactly what hedging buys.
+
+    Returns ``(p50_ms, p95_ms, p99_ms, hedged, hedge_wins)``.
+    """
+    coordinator = cluster.coordinator
+    stalled = frozenset(
+        slot.server_id for slot in cluster.pods[0].slots
+    )
+    plan = FaultPlan(
+        seed=seed,
+        stall_rate=SLOW_POD_STALL_RATE,
+        stall_s=SLOW_POD_STALL_S,
+        endpoints=stalled,
+    )
+    faulty = FaultyTransport(cluster.transport, plan)
+    searcher = cluster.searcher(
+        "owner0",
+        transport=faulty,
+        use_cache=False,
+        hedge_reads=hedge_reads,
+        hedge_delay_s=SLOW_POD_HEDGE_DELAY_S if hedge_reads else None,
+    )
+    original = coordinator.read_replicas
+    coordinator.read_replicas = lambda pl_id: sorted(
+        original(pl_id), key=lambda pod: pod.name
+    )
+    latencies = []
+    hedged = wins = 0
+    try:
+        for index in range(SLOW_POD_QUERIES):
+            terms = queries[index % len(queries)]
+            begin = time.perf_counter()
+            searcher.search(terms, top_k=10, fetch_snippets=False)
+            latencies.append(time.perf_counter() - begin)
+            diag = searcher.last_cluster_diagnostics
+            hedged += diag.hedged_fetches
+            wins += diag.hedge_wins
+    finally:
+        coordinator.read_replicas = original
+    ordered = sorted(latencies)
+    return (
+        _percentile(ordered, 0.50) * 1e3,
+        _percentile(ordered, 0.95) * 1e3,
+        _percentile(ordered, 0.99) * 1e3,
+        hedged,
+        wins,
+    )
+
+
+def test_slow_pod_hedging():
+    corpus = _corpus()
+    queries = _queries(corpus, random.Random(42))
+    with _build_replicated(corpus, "async-socket") as cluster:
+        up50, up95, up99, _h, _w = _slow_pod_run(
+            cluster, queries, hedge_reads=False, seed=1723
+        )
+        hp50, hp95, hp99, hedged, wins = _slow_pod_run(
+            cluster, queries, hedge_reads=True, seed=1723
+        )
+        snap = cluster.status_snapshot()
+        row = {
+            "queries": SLOW_POD_QUERIES,
+            "stall_rate": SLOW_POD_STALL_RATE,
+            "stall_ms": SLOW_POD_STALL_S * 1e3,
+            "hedge_delay_ms": SLOW_POD_HEDGE_DELAY_S * 1e3,
+            "unhedged": {
+                "p50_ms": round(up50, 2),
+                "p95_ms": round(up95, 2),
+                "p99_ms": round(up99, 2),
+            },
+            "hedged": {
+                "p50_ms": round(hp50, 2),
+                "p95_ms": round(hp95, 2),
+                "p99_ms": round(hp99, 2),
+                "hedged_fetches": hedged,
+                "hedge_wins": wins,
+            },
+            "p99_ratio": round(hp99 / up99, 3) if up99 else None,
+            "gate_p99_ratio": GATE_HEDGE_P99_RATIO,
+            "admission": snap.get("admission"),
+            "health": snap.get("health"),
+        }
+    # Merge into BENCH_load.json next to the open-loop rows (either
+    # test may run alone; neither clobbers the other's numbers).
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_load.json"
+    payload = (
+        json.loads(path.read_text())
+        if path.exists()
+        else {"schema": "zerber.bench_load.v1"}
+    )
+    payload["slow_pod"] = row
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    emit(
+        "slow_pod_hedging",
+        [
+            "one stalled replica pod (2 pods, R=2, async-socket), "
+            f"stall {SLOW_POD_STALL_S * 1e3:.0f} ms at "
+            f"p={SLOW_POD_STALL_RATE}, sequential queries",
+            f"  unhedged: p50 {up50:7.1f}  p95 {up95:7.1f}  "
+            f"p99 {up99:7.1f} ms",
+            f"  hedged:   p50 {hp50:7.1f}  p95 {hp95:7.1f}  "
+            f"p99 {hp99:7.1f} ms  "
+            f"({hedged} hedges, {wins} backup wins)",
+            f"  p99 ratio {hp99 / up99:.3f} "
+            f"(gate <= {GATE_HEDGE_P99_RATIO})",
+        ],
+    )
+    assert hedged > 0, "hedging never fired against a stalled pod"
+    # The regression gate: a stalled replica must not own the tail.
+    assert hp99 <= GATE_HEDGE_P99_RATIO * up99, (
+        f"hedged p99 {hp99:.1f} ms exceeded "
+        f"{GATE_HEDGE_P99_RATIO}x unhedged p99 {up99:.1f} ms"
     )

@@ -41,7 +41,14 @@
 #   to an empty ledger and a byte-identical index;
 # - the rebalance bench records BENCH_rebalance.json and gates
 #   snapshot-shipping add_pod at >= 3x faster than record-by-record
-#   transfer at ~130k moved share records (ratio gate).
+#   transfer at ~130k moved share records (ratio gate);
+# - the chaos smoke runs the seeded fault drills over all three
+#   transports: under any fault schedule every query must return
+#   byte-identical results or a typed error — never silently wrong,
+#   never hung;
+# - the slow-pod bench stalls one replica pod and gates hedged-read
+#   p99 at <= 0.5x the unhedged p99, recording hedge/breaker/shed
+#   counters into BENCH_load.json (ratio gate).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -94,9 +101,11 @@ gate "storage bench (BENCH_storage.json, >= 5x recovery)" \
 gate "async transport (pipelined multiplexing + socket regressions)" \
     "failed|skipped|deselected|no tests ran|error" \
     tests/test_async_transport.py
+# -k selection intentionally deselects the slow-pod scenario here;
+# it runs under its own gate below.
 gate "open-loop load bench (BENCH_load.json, >= 1.5x saturation)" \
-    "failed|skipped|deselected|no tests ran|error" \
-    benchmarks/bench_load.py
+    "failed|skipped|no tests ran|error" \
+    benchmarks/bench_load.py -k open_loop
 # -m "" clears the setup.cfg marker filter so the drill- and
 # slow-marked cases run here alongside their tier-1 siblings.
 gate "anti-entropy drills (sweep-only heal, all transports)" \
@@ -108,5 +117,11 @@ gate "repair convergence property (smoke + wide)" \
 gate "rebalance bench (BENCH_rebalance.json, >= 3x snapshot-shipping)" \
     "failed|skipped|deselected|no tests ran|error" \
     benchmarks/bench_rebalance.py
+gate "chaos smoke (seeded faults, byte-identical-or-typed)" \
+    "failed|skipped|deselected|no tests ran|error" \
+    tests/test_chaos_drill.py
+gate "slow-pod hedging bench (hedged p99 <= 0.5x unhedged)" \
+    "failed|skipped|no tests ran|error" \
+    benchmarks/bench_load.py -k slow_pod
 
 echo "CI gate passed."

@@ -444,19 +444,41 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
         )
         repair = snap["repair"]
         thread = "running" if repair["thread_running"] else "stopped"
+        backoff = repair.get("current_backoff_s")
+        cadence = f", backoff {backoff:g}s" if backoff is not None else ""
         print(
             f"anti-entropy: {repair['sweeps']} sweeps, "
             f"{repair['healed_seats']} seats healed, "
             f"{repair['shipped_bytes']} bytes shipped, "
             f"{repair['failures']} failures, "
             f"{repair['pending_entries']} ledger entries pending "
-            f"(repair thread {thread})"
+            f"(repair thread {thread}{cadence})"
         )
+        health = snap.get("health", {})
+        if health:
+            states = ", ".join(
+                f"{pod}={entry['state']}"
+                f" ({entry['consecutive_failures']} failures)"
+                for pod, entry in sorted(health.items())
+            )
+            print(f"breakers: {states}")
+        else:
+            print("breakers: all pods healthy (no failures observed)")
+        admission = snap.get("admission")
+        if admission is not None:
+            print(
+                f"admission: {admission['admitted']} admitted, "
+                f"{admission['shed']} shed, "
+                f"peak depth {admission['peak_depth']}"
+                f"/{admission['max_pending']}"
+            )
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Stand the scenario up behind the wire protocol on loopback TCP."""
+    import signal
+    import threading
     import time as _time
 
     _, cluster = _build_cluster(
@@ -466,6 +488,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         socket_port=args.port,
         socket_idle_timeout_s=args.idle_timeout,
     )
+    exit_code = 0
     with cluster:
         host, port = cluster.transport.address
         endpoints = cluster.registry.endpoints()
@@ -485,16 +508,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"transport='{args.transport}') "
             f"or {client}(('{host}', {port}))"
         )
+        # Graceful shutdown: SIGTERM (the supervisor's stop signal) and
+        # SIGINT both request a drain — stop accepting, let in-flight
+        # requests finish, then exit. A drain that can't finish inside
+        # --drain-timeout aborts the stragglers and exits nonzero so
+        # the supervisor knows work was cut off.
+        stop_requested: list[int] = []
+
+        def _request_stop(signum, _frame) -> None:
+            stop_requested.append(signum)
+
+        # signal.signal is main-thread-only; when serve runs on a worker
+        # thread (tests embed it that way) the host process owns signal
+        # routing and --duration is the only exit path.
+        previous: dict = {}
+        if threading.current_thread() is threading.main_thread():
+            previous = {
+                signal.SIGTERM: signal.signal(
+                    signal.SIGTERM, _request_stop
+                ),
+                signal.SIGINT: signal.signal(signal.SIGINT, _request_stop),
+            }
         deadline = (
             None if args.duration is None
             else _time.monotonic() + args.duration
         )
         try:
             while deadline is None or _time.monotonic() < deadline:
-                _time.sleep(0.2)
-        except KeyboardInterrupt:
-            print("shutting down")
-    return 0
+                if stop_requested:
+                    name = signal.Signals(stop_requested[0]).name
+                    print(f"{name} received, draining")
+                    server = cluster.socket_server
+                    clean = (
+                        server.drain(timeout_s=args.drain_timeout)
+                        if server is not None
+                        else True
+                    )
+                    if clean:
+                        print("drained cleanly")
+                    else:
+                        print(
+                            "drain aborted: in-flight requests cut off "
+                            f"after {args.drain_timeout:g}s"
+                        )
+                        exit_code = 1
+                    break
+                _time.sleep(0.05)
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+    return exit_code
 
 
 def _open_selected_stores(args):
@@ -810,6 +873,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--duration", type=float, default=None,
         help="serve for this many seconds then exit (default: forever)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=5.0,
+        help="on SIGTERM/SIGINT, wait this long for in-flight requests "
+             "before cutting them off and exiting nonzero (default: 5)",
     )
     serve.set_defaults(func=_cmd_serve)
 

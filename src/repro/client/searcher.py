@@ -30,6 +30,7 @@ from repro.errors import PackingError, ReproError, UnknownEndpointError
 from repro.protocol.messages import FetchListsRequest, FetchSnippetRequest
 from repro.protocol.service import fleet_resolver
 from repro.protocol.transport import InProcessTransport, Transport
+from repro.resilience.deadline import deadline_scope
 from repro.ranking.scores import CollectionStatistics, TfIdfScorer
 from repro.ranking.threshold import threshold_top_k
 from repro.secretsharing.shamir import ShamirScheme, Share
@@ -330,8 +331,25 @@ class SearchClient:
         top_k: int = 10,
         num_servers: int | None = None,
         fetch_snippets: bool = True,
+        budget_s: float | None = None,
     ) -> list[SearchResult]:
-        """The complete Algorithm 2 pipeline; returns ranked results."""
+        """The complete Algorithm 2 pipeline; returns ranked results.
+
+        ``budget_s`` bounds the whole pipeline with one deadline: every
+        fetch, failover round, retry backoff, and snippet call sees the
+        same shrinking budget (transports put the remainder on the
+        wire), and the query fails with a typed
+        :class:`~repro.errors.DeadlineExceededError` rather than ever
+        outliving it. None (default) keeps the pipeline unbounded.
+        """
+        if budget_s is not None:
+            with deadline_scope(budget_s=budget_s):
+                return self.search(
+                    terms,
+                    top_k=top_k,
+                    num_servers=num_servers,
+                    fetch_snippets=fetch_snippets,
+                )
         elements = self.fetch_elements(terms, num_servers)
         if not elements:
             return []

@@ -47,6 +47,7 @@ routing:
 from __future__ import annotations
 
 import time
+from concurrent.futures import FIRST_COMPLETED, wait as futures_wait
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -59,6 +60,11 @@ from repro.core.posting import PostingElementCodec
 from repro.errors import ClusterDegradedError, TransportError
 from repro.protocol.messages import FetchListsRequest
 from repro.protocol.transport import Transport
+from repro.resilience.deadline import (
+    Deadline,
+    current_deadline,
+    deadline_scope,
+)
 from repro.server.auth import AuthToken
 from repro.server.index_server import PostingListResponse
 from repro.server.transport import ConcurrentDispatcher, SimulatedNetwork
@@ -81,6 +87,9 @@ class ClusterDiagnostics:
         escalations: extra fetches issued to cover share shortfalls.
         pod_failovers: lists retried on a further replica pod because
             the preferred pod could not finish them.
+        hedged_fetches: backup replica legs actually fired because the
+            primary leg outlived the hedge delay.
+        hedge_wins: hedged fetches where the backup leg answered first.
     """
 
     pods_contacted: int = 0
@@ -90,6 +99,8 @@ class ClusterDiagnostics:
     escalations: int = 0
     pod_failovers: int = 0
     parallel_rounds: int = 0
+    hedged_fetches: int = 0
+    hedge_wins: int = 0
 
 
 @dataclass
@@ -131,6 +142,8 @@ class ClusterSearchClient(SearchClient):
         parallel_fanout: bool = True,
         transport: Transport | None = None,
         dispatcher: ConcurrentDispatcher | None = None,
+        hedge_reads: bool = False,
+        hedge_delay_s: float | None = None,
     ) -> None:
         """Args:
         user_id: the searching principal (network endpoint name too).
@@ -164,6 +177,15 @@ class ClusterSearchClient(SearchClient):
         dispatcher: worker pool for the parallel fan-out; deployments
             pass their own so ``close()`` can reap the threads. Falls
             back to a module-shared pool.
+        hedge_reads: race a delayed backup replica leg against a slow
+            primary leg (first answer wins, the loser's result is
+            discarded). Opt-in: replicas hold byte-identical slot
+            shares so results never differ, but hedging spends extra
+            lookup messages — the historical message-count invariants
+            assume it off.
+        hedge_delay_s: fixed hedge delay override; None (default)
+            derives it per list from the replica pods' observed p95
+            fetch latency (:meth:`ClusterCoordinator.hedge_delay_s`).
         """
         super().__init__(
             user_id=user_id,
@@ -184,6 +206,8 @@ class ClusterSearchClient(SearchClient):
         self._batch_lookups = batch_lookups
         self._parallel_fanout = parallel_fanout
         self._dispatcher = dispatcher or _FANOUT_DISPATCHER
+        self._hedge_reads = hedge_reads
+        self._hedge_delay_s = hedge_delay_s
         self.last_cluster_diagnostics = ClusterDiagnostics()
 
     # -- the cluster fetch stage ------------------------------------------------
@@ -289,8 +313,15 @@ class ClusterSearchClient(SearchClient):
         counts: dict[int, dict[int, int]] = {pl_id: {} for pl_id in need}
         tried: dict[int, set[str]] = {pl_id: set() for pl_id in need}
         contacted: set[str] = set()
+        # Sampled once: worker threads re-apply it explicitly (the
+        # scope is thread-local), and every failover round checks it —
+        # a degraded query walks the replica chain only as far as its
+        # caller's remaining budget allows, never past it.
+        deadline = current_deadline()
         pending = list(need)
         while pending:
+            if deadline is not None:
+                deadline.check("cluster fetch")
             assignment: dict[Pod, list[int]] = {}
             for pl_id in pending:
                 pod = next(
@@ -317,13 +348,36 @@ class ClusterSearchClient(SearchClient):
                 (pod, assignment[pod])
                 for pod in sorted(assignment, key=lambda p: p.index)
             ]
+            if self._hedge_reads:
+                for pod, lists in jobs:
+                    self._hedged_job(
+                        deadline,
+                        pod,
+                        lists,
+                        num_servers,
+                        merged,
+                        counts,
+                        tried,
+                        contacted,
+                        diag,
+                    )
+                pending = [
+                    pl_id
+                    for pl_id in need
+                    if self._needs_more(merged[pl_id], counts[pl_id], k)
+                    and any(
+                        pod.name not in tried[pl_id]
+                        for pod in coordinator.pods_of(pl_id)
+                    )
+                ]
+                continue
             if self._parallel_fanout and len(jobs) > 1:
                 diag.parallel_rounds += 1
                 outcomes = self._dispatcher.map_ordered(
                     [
                         (
-                            lambda p=pod, ls=lists: self._fetch_from_pod(
-                                p, ls, num_servers, merged, counts
+                            lambda p=pod, ls=lists: self._pod_leg(
+                                deadline, p, ls, num_servers, merged, counts
                             )
                         )
                         for pod, lists in jobs
@@ -347,12 +401,19 @@ class ClusterSearchClient(SearchClient):
                 )
                 if outcome.contacted:
                     contacted.add(pod.name)
+                    coordinator.breakers.record_success(pod.name)
                     coordinator.note_pod_read(
                         pod.name,
                         len(lists),
                         latency_s=outcome.latency_s,
                         pl_ids=lists,
                     )
+                else:
+                    # No seat of the pod answered a thing: the whole
+                    # leg failed. (A partially degraded pod that still
+                    # answered counts as success — the breaker guards
+                    # against dead pods, not slow seats.)
+                    coordinator.breakers.record_failure(pod.name)
             pending = [
                 pl_id
                 for pl_id in need
@@ -434,6 +495,190 @@ class ClusterSearchClient(SearchClient):
                 share_counts[record.element_id] = (
                     share_counts.get(record.element_id, 0) + 1
                 )
+
+    def _pod_leg(
+        self,
+        deadline: Deadline | None,
+        pod: Pod,
+        need: Sequence[int],
+        num_servers: int,
+        merged: dict[int, dict[int, PostingListResponse]],
+        counts: dict[int, dict[int, int]],
+    ) -> _PodFetchOutcome:
+        """A :meth:`_fetch_from_pod` on a worker thread.
+
+        The ambient deadline is thread-local, so the fan-out worker
+        re-applies the query thread's deadline before fetching —
+        without this, a leg dispatched to the pool would be unbounded.
+        """
+        with deadline_scope(deadline=deadline):
+            return self._fetch_from_pod(pod, need, num_servers, merged, counts)
+
+    def _hedge_backup(
+        self,
+        pod: Pod,
+        lists: Sequence[int],
+        tried: dict[int, set[str]],
+    ) -> Pod | None:
+        """The backup replica a hedged leg would race against ``pod``.
+
+        Must replicate *every* list of the leg and be untried for all
+        of them; preference order from the first list's ranking. None
+        when the leg cannot be hedged (no common untried replica).
+        """
+        coordinator = self._coordinator
+        for candidate in coordinator.read_replicas(lists[0]):
+            if candidate.name == pod.name:
+                continue
+            if all(
+                candidate.name not in tried[pl_id]
+                and any(
+                    p.name == candidate.name
+                    for p in coordinator.pods_of(pl_id)
+                )
+                for pl_id in lists
+            ):
+                return candidate
+        return None
+
+    def _hedged_job(
+        self,
+        deadline: Deadline | None,
+        pod: Pod,
+        lists: list[int],
+        num_servers: int,
+        merged: dict[int, dict[int, PostingListResponse]],
+        counts: dict[int, dict[int, int]],
+        tried: dict[int, set[str]],
+        contacted: set[str],
+        diag: ClusterDiagnostics,
+    ) -> None:
+        """One hedged leg of a failover round (Dean-style backup read).
+
+        The primary leg runs on the dispatcher; if it has not answered
+        within the hedge delay (p95-derived — "the best replica would
+        have answered by now"), a backup leg fires against the next
+        untried replica and the first *successful* answer wins. Each
+        leg fetches into private dicts, so the racing legs never touch
+        shared state; only the winner's responses are folded in (on
+        this thread, deterministically). Replica pods hold identical
+        slot-aligned shares, so whichever leg wins, the folded bytes
+        are the same — hedging buys latency, never different results.
+        The loser is abandoned, its result discarded on completion.
+        """
+        coordinator = self._coordinator
+        backup = self._hedge_backup(pod, lists, tried)
+
+        def leg(target: Pod):
+            local_merged: dict[int, dict[int, PostingListResponse]] = {
+                pl_id: {} for pl_id in lists
+            }
+            local_counts: dict[int, dict[int, int]] = {
+                pl_id: {} for pl_id in lists
+            }
+            with deadline_scope(deadline=deadline):
+                outcome = self._fetch_from_pod(
+                    target, lists, num_servers, local_merged, local_counts
+                )
+            return target, outcome, local_merged, local_counts
+
+        completed: list[tuple] = []  # (target, outcome, lm, lc, is_backup)
+        error: BaseException | None = None
+        winner: tuple | None = None
+        if backup is None:
+            completed.append((*leg(pod), False))
+            if completed[0][1].contacted:
+                winner = completed[0]
+        else:
+            delay = self._hedge_delay_s
+            if delay is None:
+                delay = coordinator.hedge_delay_s(lists[0])
+            primary = self._dispatcher.submit(lambda: leg(pod))
+            done, _running = futures_wait([primary], timeout=delay)
+            if done:
+                try:
+                    completed.append((*primary.result(), False))
+                    if completed[0][1].contacted:
+                        winner = completed[0]
+                except Exception as exc:  # noqa: BLE001 - re-raised below
+                    error = exc
+            else:
+                diag.hedged_fetches += 1
+                backup_future = self._dispatcher.submit(lambda: leg(backup))
+                # The backup attempt is consumed whether it wins or
+                # not — a later failover round must not re-ask it.
+                for pl_id in lists:
+                    tried[pl_id].add(backup.name)
+                remaining = {primary, backup_future}
+                while remaining and winner is None:
+                    if deadline is not None:
+                        deadline.check("hedged fetch")
+                    done, remaining = futures_wait(
+                        remaining,
+                        timeout=(
+                            None
+                            if deadline is None
+                            else max(deadline.remaining_s(), 1e-4)
+                        ),
+                        return_when=FIRST_COMPLETED,
+                    )
+                    # Primary first on a simultaneous finish, for a
+                    # deterministic tiebreak.
+                    for future in sorted(
+                        done, key=lambda f: f is backup_future
+                    ):
+                        try:
+                            target, outcome, lm, lc = future.result()
+                        except Exception as exc:  # noqa: BLE001
+                            if error is None:
+                                error = exc
+                            continue
+                        entry = (
+                            target,
+                            outcome,
+                            lm,
+                            lc,
+                            future is backup_future,
+                        )
+                        completed.append(entry)
+                        if outcome.contacted and winner is None:
+                            winner = entry
+                if winner is not None and winner[4]:
+                    diag.hedge_wins += 1
+        # Every completed leg is a real observation for the breaker,
+        # winner or not.
+        for target, outcome, _lm, _lc, _is_backup in completed:
+            if outcome.contacted:
+                coordinator.breakers.record_success(target.name)
+            else:
+                coordinator.breakers.record_failure(target.name)
+        folded = winner if winner is not None else (
+            completed[0] if completed else None
+        )
+        if folded is None:
+            if error is not None:
+                raise error
+            return
+        target, outcome, local_merged, local_counts, _is_backup = folded
+        diag.failovers += outcome.failovers
+        diag.escalations += outcome.escalations
+        diag.lookup_messages += outcome.lookup_messages
+        self.last_diagnostics.response_bytes += outcome.response_bytes
+        for pl_id in lists:
+            for slot_index, response in sorted(local_merged[pl_id].items()):
+                self._merge_response(
+                    merged[pl_id], counts[pl_id], slot_index, response
+                )
+        if outcome.contacted:
+            contacted.add(target.name)
+            coordinator.note_pod_read(
+                target.name,
+                len(lists),
+                latency_s=outcome.latency_s,
+                pl_ids=lists,
+            )
+        elif error is not None:
+            raise error
 
     def _fetch_from_pod(
         self,

@@ -44,7 +44,9 @@ from __future__ import annotations
 
 import pathlib
 import threading
+from collections import deque
 from dataclasses import dataclass, field
+from random import Random
 from typing import Iterable, Sequence
 
 from repro.client.owner import DroppedRoute, WriteRoute
@@ -60,6 +62,7 @@ from repro.protocol.messages import (
 )
 from repro.protocol.service import IndexServerService
 from repro.protocol.transport import InProcessTransport
+from repro.resilience.breaker import BreakerRegistry
 from repro.secretsharing.shamir import ShamirScheme
 from repro.server.auth import AuthService
 from repro.server.groups import GroupDirectory
@@ -75,6 +78,13 @@ READ_LATENCY_ALPHA = 0.25
 #: only a genuinely slower pod (>= one bucket worse per list) loses its
 #: place, and ties fall back to the load counters deterministically.
 READ_LATENCY_BUCKET_S = 1e-4
+
+#: Recent whole-fetch latency samples kept per pod for the p95 the
+#: hedged-read delay derives from.
+LATENCY_SAMPLE_WINDOW = 64
+
+#: Hedge delay when no pod of the list has latency samples yet.
+DEFAULT_HEDGE_DELAY_S = 0.05
 
 
 @dataclass
@@ -392,6 +402,17 @@ class ClusterCoordinator:
         #: searchers (or future async paths) from reporting
         #: concurrently — the counters and EWMA updates take this lock.
         self._read_stats_lock = threading.Lock()
+        #: Per-pod circuit breakers, fed by the search clients' fetch
+        #: outcomes; an open breaker deprioritizes its pod in
+        #: :meth:`read_replicas` (never forbids it — when everything is
+        #: open the failover ladder still tries every replica).
+        self.breakers = BreakerRegistry()
+        #: pod name -> recent whole-fetch latency samples (seconds),
+        #: the raw material for :meth:`pod_latency_p95`.
+        self._pod_latency_samples: dict[str, deque] = {}
+        #: The repair thread's current backoff (None: not running);
+        #: surfaced in ``status_snapshot()["repair"]``.
+        self.repair_backoff_s: float | None = None
 
     # -- placement -------------------------------------------------------------
 
@@ -592,6 +613,13 @@ class ClusterCoordinator:
         entry absorbs a hot list's reads is not mistaken for idle. The
         rest stay as last resorts — even a sub-k pod contributes
         trusted slots that union with another replica's.
+
+        An *open circuit breaker* outranks everything: a pod that has
+        failed its last N legs outright goes behind every healthy pod
+        regardless of its latency history (which predates the failures),
+        until its cooldown releases a half-open probe. Reading the
+        breaker here is what *performs* the probe release — ranking is
+        the only consumer of breaker state.
         """
         k = self.scheme.k
         ranked = list(enumerate(self.pods_of(pl_id)))
@@ -601,6 +629,7 @@ class ClusterCoordinator:
             cache_reads = dict(self.pod_cache_reads)
         ranked.sort(
             key=lambda item: (
+                self.breakers.deprioritize(item[1].name),
                 self.trusted_live_slots(item[1], pl_id) < k,
                 int(
                     latency.get(item[1].name, 0.0) / READ_LATENCY_BUCKET_S
@@ -644,8 +673,47 @@ class ClusterCoordinator:
                     else previous
                     + READ_LATENCY_ALPHA * (per_list - previous)
                 )
+                # Whole-fetch samples (not per-list): the hedged-read
+                # delay races whole fetch legs, so its p95 must be in
+                # the same unit.
+                samples = self._pod_latency_samples.get(pod_name)
+                if samples is None:
+                    samples = self._pod_latency_samples[pod_name] = deque(
+                        maxlen=LATENCY_SAMPLE_WINDOW
+                    )
+                samples.append(latency_s)
             for pl_id in pl_ids:
                 self._read_origin[pl_id] = pod_name
+
+    def pod_latency_p95(self, pod_name: str) -> float | None:
+        """p95 of the pod's recent whole-fetch latencies (None: no data)."""
+        with self._read_stats_lock:
+            samples = self._pod_latency_samples.get(pod_name)
+            if not samples:
+                return None
+            ordered = sorted(samples)
+        return ordered[int(0.95 * (len(ordered) - 1))]
+
+    def hedge_delay_s(
+        self, pl_id: int, fallback: float = DEFAULT_HEDGE_DELAY_S
+    ) -> float:
+        """How long a hedged read waits before firing its backup leg.
+
+        The delay is the *minimum* over the list's replica pods of
+        their p95 fetch latency: "if the best replica would have
+        answered by now 95% of the time, something is wrong with this
+        leg." Deriving it from the contacted pod instead would
+        self-defeat exactly when hedging matters — a stalling pod's own
+        p95 *is* the stall, so the hedge would never fire.
+        """
+        best: float | None = None
+        for pod in self.pods_of(pl_id):
+            p95 = self.pod_latency_p95(pod.name)
+            if p95 is not None and (best is None or p95 < best):
+                best = p95
+        if best is None:
+            return fallback
+        return max(best, 1e-4)
 
     def note_cache_read(self, pl_id: int, num_lists: int = 1) -> None:
         """A list was served from the share cache; charge its origin pod.
@@ -835,12 +903,16 @@ class ClusterCoordinator:
                 self.pod_read_load.pop(pod.name, None)
                 self.pod_read_latency.pop(pod.name, None)
                 self.pod_cache_reads.pop(pod.name, None)
+                self._pod_latency_samples.pop(pod.name, None)
                 for pl_id in [
                     pl_id
                     for pl_id, origin in self._read_origin.items()
                     if origin == pod.name
                 ]:
                     del self._read_origin[pl_id]
+            # A later pod under a reused name starts with a clean
+            # breaker, not the retiree's failure history.
+            self.breakers.forget(pod.name)
             stats = self._rebalance(pod.name, "leave", before, num_lists)
             with self._ledger_lock:
                 # The pod's unhealed gaps leave the cluster with it —
@@ -1230,22 +1302,38 @@ class ClusterCoordinator:
         interval_s: float = 0.05,
         budget: int | None = None,
         max_backoff_s: float | None = None,
+        jitter: float = 0.25,
+        seed: int = 0xA17E,
     ) -> None:
         """Run :meth:`repair_sweep` periodically in a daemon thread.
 
         A sweep that hits mid-flight failures doubles the wait (up to
         ``max_backoff_s``, default 8x the interval) before retrying —
         a flapping seat should not be hammered; a clean sweep resets
-        the backoff.
+        the backoff. Each actual sleep is the current backoff with a
+        seeded jitter fraction (``wait * (1 - jitter + jitter * u)``):
+        many coordinators recovering from the same outage spread their
+        sweeps out instead of thundering in lockstep, and the same
+        seed replays the same schedule. The *un*-jittered backoff is
+        exposed as :attr:`repair_backoff_s` (and in
+        ``status_snapshot()["repair"]["current_backoff_s"]``) so an
+        operator can see a sweeping-vs-backing-off thread at a glance.
         """
         if self._repair_thread is not None:
             raise ClusterError("repair thread is already running")
         if max_backoff_s is None:
             max_backoff_s = interval_s * 8
+        rng = Random(seed)
 
         def run() -> None:
             wait = interval_s
-            while not self._repair_stop.wait(wait):
+            while True:
+                self.repair_backoff_s = wait
+                sleep_s = wait
+                if jitter > 0.0:
+                    sleep_s = wait * (1.0 - jitter + jitter * rng.random())
+                if self._repair_stop.wait(sleep_s):
+                    return
                 try:
                     swept = self.repair_sweep(budget)
                 except Exception:  # noqa: BLE001 - the chore must survive
@@ -1258,6 +1346,7 @@ class ClusterCoordinator:
                     wait = interval_s
 
         self._repair_stop.clear()
+        self.repair_backoff_s = interval_s
         thread = threading.Thread(
             target=run, name="repro-anti-entropy", daemon=True
         )
@@ -1272,6 +1361,7 @@ class ClusterCoordinator:
         self._repair_stop.set()
         thread.join()
         self._repair_thread = None
+        self.repair_backoff_s = None
 
     # -- introspection ---------------------------------------------------------------
 
@@ -1338,7 +1428,9 @@ class ClusterCoordinator:
                 "misses": self.cache.stats.misses,
                 "entries": len(self.cache),
             },
+            "health": self.breakers.snapshot(),
             "repair": {
+                "current_backoff_s": self.repair_backoff_s,
                 "sweeps": self.repair_sweeps,
                 "healed_seats": self.repair_healed_seats,
                 "shipped_bytes": self.repair_shipped_bytes,

@@ -99,6 +99,7 @@ class ClusterDeployment:
         bulk_rebalance: bool = True,
         anti_entropy_interval_s: float | None = None,
         repair_budget: int | None = None,
+        admission_max_pending: int | None = None,
     ) -> None:
         """Args:
         mapping_table: the public term -> posting-list table.
@@ -155,6 +156,13 @@ class ClusterDeployment:
             to explicit sweeps and owner re-provisioning.
         repair_budget: per-sweep heal cap for the repair thread and
             default for :meth:`repair_sweep` (None = unbounded).
+        admission_max_pending: bound on concurrently dispatched
+            requests at the embedded socket server; excess requests
+            are shed with a retryable
+            :class:`~repro.errors.OverloadedError` instead of queueing
+            without limit. None (default) admits everything — the
+            byte-level equivalence suites depend on an unbounded
+            server, so shedding is strictly opt-in.
         """
         if num_pods < 1:
             raise ClusterError(f"need at least one pod, got {num_pods}")
@@ -231,6 +239,7 @@ class ClusterDeployment:
                 host=socket_host,
                 port=socket_port,
                 idle_timeout_s=socket_idle_timeout_s,
+                max_pending=admission_max_pending,
             )
             self.transport = SocketTransport(
                 self._socket_server.address, share_bytes=share_bytes
@@ -241,6 +250,7 @@ class ClusterDeployment:
                 host=socket_host,
                 port=socket_port,
                 idle_timeout_s=socket_idle_timeout_s,
+                max_pending=admission_max_pending,
             )
             self.transport = AsyncSocketTransport(
                 self._socket_server.address, share_bytes=share_bytes
@@ -560,10 +570,22 @@ class ClusterDeployment:
 
     # -- observability ------------------------------------------------------------------
 
+    @property
+    def socket_server(self) -> SocketServer | AsyncSocketServer | None:
+        """The embedded socket server (None for in-process transport)."""
+        return self._socket_server
+
     def status_snapshot(self) -> dict:
         """The coordinator's cluster-status snapshot (``repro cluster
-        status`` renders this)."""
-        return self.coordinator.status_snapshot(self.mapping_table.num_lists)
+        status`` renders this), plus this deployment's server-side
+        admission ledger when a socket backend is embedded."""
+        snapshot = self.coordinator.status_snapshot(
+            self.mapping_table.num_lists
+        )
+        server = self._socket_server
+        if server is not None and server.admission is not None:
+            snapshot["admission"] = server.admission.stats()
+        return snapshot
 
     # -- fleet statistics ---------------------------------------------------------------
 

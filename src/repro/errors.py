@@ -10,7 +10,20 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for every exception raised by this library."""
+    """Base class for every exception raised by this library.
+
+    Every exception carries a :attr:`retryable` classification read by
+    :class:`repro.resilience.RetryPolicy`: True means the failure is
+    transient *and* re-issuing the request cannot double-apply state
+    (the server rejected it before dispatch, or the request is a pure
+    read that never reached an applier). The class attribute is the
+    conservative default for the type; transports override it per
+    *instance* where safety depends on the request (a broken connection
+    is retryable for reads, ambiguous for writes).
+    """
+
+    #: May this failure be retried without at-least-once side effects?
+    retryable: bool = False
 
 
 class FieldError(ReproError):
@@ -81,6 +94,28 @@ class UnknownEndpointError(TransportError):
     def __init__(self, endpoint: str, message: str | None = None) -> None:
         super().__init__(message or f"unknown endpoint {endpoint!r}")
         self.endpoint = endpoint
+
+
+class DeadlineExceededError(ReproError):
+    """A request's deadline budget ran out before a response arrived.
+
+    Raised client-side when the budget expires at send time or while
+    waiting, and shipped server-side (as a typed ``ErrorResponse``)
+    when the remaining budget is already gone before dispatch. Never
+    retryable: the caller's time is spent — retrying a dead deadline
+    only burns someone else's.
+    """
+
+
+class OverloadedError(ReproError):
+    """A server shed this request at admission instead of queueing it.
+
+    The request was rejected *before* dispatch, so nothing was applied
+    — which is exactly what makes it safe to retry (with backoff), even
+    for writes.
+    """
+
+    retryable = True
 
 
 class ProtocolError(ReproError):

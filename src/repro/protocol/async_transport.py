@@ -53,10 +53,11 @@ from __future__ import annotations
 import asyncio
 import socket
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
-from repro.errors import ProtocolError, TransportError
+from repro.errors import DeadlineExceededError, ProtocolError, TransportError
 from repro.protocol.codec import decode_message, encode_message
 from repro.protocol.messages import DEFAULT_SHARE_BYTES, EndpointsRequest
 from repro.protocol.service import raise_for_error
@@ -71,6 +72,9 @@ from repro.protocol.transport import (
     InProcessTransport,
     Transport,
 )
+from repro.resilience.admission import AdmissionController
+from repro.resilience.deadline import Deadline, current_deadline
+from repro.resilience.retry import RetryPolicy
 
 #: Coalesce at most this many buffered response bytes into one write()
 #: before letting the event loop breathe.
@@ -201,6 +205,9 @@ class AsyncSocketServer:
             (use when registry handlers block on real I/O).
         drain_timeout_s: how long close() waits for in-flight handlers
             and queued responses before dropping the connection anyway.
+        max_pending: bounded-dispatch admission limit across all
+            connections; beyond it requests are shed with a typed
+            retryable ``OverloadedError`` (None: admit everything).
     """
 
     def __init__(
@@ -213,12 +220,18 @@ class AsyncSocketServer:
         write_queue_frames: int = 256,
         handler_threads: int = 0,
         drain_timeout_s: float = 5.0,
+        max_pending: int | None = None,
     ) -> None:
         self._registry = registry
         self._idle_timeout_s = idle_timeout_s
         self._max_in_flight = max_in_flight
         self._write_queue_frames = write_queue_frames
         self._drain_timeout_s = drain_timeout_s
+        self.admission = (
+            None if max_pending is None else AdmissionController(max_pending)
+        )
+        #: Did the drain deadline pass with connections still open?
+        self.drain_aborted = False
         self._pool: ThreadPoolExecutor | None = None
         if handler_threads > 0:
             self._pool = ThreadPoolExecutor(
@@ -246,9 +259,19 @@ class AsyncSocketServer:
 
     # -- request handling (runs on the dispatch pool) --------------------------
 
-    def _handle(self, payload: bytes, packed: bool) -> bytes:
+    def _handle(
+        self,
+        payload: bytes,
+        packed: bool,
+        received_at: float | None = None,
+    ) -> bytes:
         """Decode, dispatch, encode — the whole CPU leg of one request."""
-        response = handle_request_payload(self._registry, payload)
+        response = handle_request_payload(
+            self._registry,
+            payload,
+            received_at=received_at,
+            admission=self.admission,
+        )
         return encode_message(response, packed=packed)
 
     # -- connection lifecycle (runs on the loop) -------------------------------
@@ -310,6 +333,9 @@ class AsyncSocketServer:
                 return  # unframeable peer; hang up
             if not frames:
                 continue
+            # Deadline budgets count from frame arrival: any queueing
+            # from here to dispatch is the server's own delay.
+            received_at = time.monotonic()
             if self._pool is None:
                 # Inline dispatch: answer every complete frame of this
                 # chunk back to back, then enqueue the coalesced blob
@@ -319,7 +345,9 @@ class AsyncSocketServer:
                 out = bytearray()
                 for corr_id, payload in frames:
                     out += frame_bytes(
-                        self._handle(payload, corr_id is not None),
+                        self._handle(
+                            payload, corr_id is not None, received_at
+                        ),
                         corr_id,
                     )
                 await conn.queue.put(bytes(out))
@@ -330,23 +358,33 @@ class AsyncSocketServer:
                         # order, one at a time — exactly the threaded
                         # server's contract.
                         blob = await loop.run_in_executor(
-                            self._pool, self._handle, payload, False
+                            self._pool,
+                            self._handle,
+                            payload,
+                            False,
+                            received_at,
                         )
                         await conn.queue.put(frame_bytes(blob, None))
                     else:
                         await conn.slots.acquire()
                         task = loop.create_task(
-                            self._serve_one(conn, corr_id, payload)
+                            self._serve_one(
+                                conn, corr_id, payload, received_at
+                            )
                         )
                         conn.in_flight.add(task)
                         task.add_done_callback(conn.in_flight.discard)
 
     async def _serve_one(
-        self, conn: _ServerConnection, corr_id: int, payload: bytes
+        self,
+        conn: _ServerConnection,
+        corr_id: int,
+        payload: bytes,
+        received_at: float,
     ) -> None:
         try:
             blob = await asyncio.get_running_loop().run_in_executor(
-                self._pool, self._handle, payload, True
+                self._pool, self._handle, payload, True, received_at
             )
             await conn.queue.put(frame_bytes(blob, corr_id))
         finally:
@@ -420,6 +458,19 @@ class AsyncSocketServer:
         if self._pool is not None:
             self._pool.shutdown(wait=False)
 
+    def drain(self, timeout_s: float | None = None) -> bool:
+        """Graceful shutdown; True when every connection finished.
+
+        Same close() sequence (stop accepting, let in-flight handlers
+        and write queues drain, then drop what's left), optionally
+        under a different drain budget. ``repro serve`` exits nonzero
+        when this returns False.
+        """
+        if timeout_s is not None:
+            self._drain_timeout_s = timeout_s
+        self.close()
+        return not self.drain_aborted
+
     async def _shutdown(self) -> None:
         self._server.close()
         await self._server.wait_closed()
@@ -435,6 +486,8 @@ class AsyncSocketServer:
             and asyncio.get_running_loop().time() < deadline
         ):
             await asyncio.sleep(0.01)
+        if self._connections:
+            self.drain_aborted = True
 
     def __enter__(self) -> "AsyncSocketServer":
         return self
@@ -491,11 +544,15 @@ class AsyncSocketTransport(Transport):
     thread. Works against :class:`AsyncSocketServer` (pipelined) and
     the threaded ``SocketServer`` (serial but correct).
 
-    Failure semantics mirror :class:`SocketTransport`: a broken
-    connection retries pure reads once on a fresh connection, writes
-    fail fast, a dead listener raises :class:`TransportError`, and
-    ``close()`` deterministically fails in-flight calls with the typed
-    "transport is closed" message.
+    Failure semantics mirror :class:`SocketTransport`: failures retry
+    under a shared :class:`~repro.resilience.retry.RetryPolicy` (a
+    broken connection is retryable for pure reads on a fresh
+    connection, a typed retryable server rejection backs off for any
+    request, writes whose response was lost fail fast), an ambient
+    deadline rides the wire and caps the completion wait, a dead
+    listener raises :class:`TransportError`, and ``close()``
+    deterministically fails in-flight calls with the typed "transport
+    is closed" message.
     """
 
     def __init__(
@@ -504,11 +561,15 @@ class AsyncSocketTransport(Transport):
         share_bytes: int = DEFAULT_SHARE_BYTES,
         timeout_s: float = 30.0,
         connect_timeout_s: float = 5.0,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self._address = (address[0], int(address[1]))
         self._share_bytes = share_bytes
         self._timeout_s = timeout_s
         self._connect_timeout_s = connect_timeout_s
+        self._retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
         self._closed = False
         #: The live connection as one atomically-swapped pair, so an
         #: unlocked fast-path read can never see a socket from one
@@ -537,27 +598,38 @@ class AsyncSocketTransport(Transport):
     def call(self, src: str, dst: str, request: Any) -> Any:
         if self._closed:
             raise TransportError("async socket transport is closed")
-        payload = _pack_request(dst, request, packed=True)
-        retry = isinstance(request, _RETRY_SAFE)
-        for attempt in (0, 1):
+        read_safe = isinstance(request, _RETRY_SAFE)
+
+        def attempt(_index: int) -> Any:
+            deadline = current_deadline()
+            budget_us = None
+            if deadline is not None:
+                deadline.check(f"call to {dst!r}")
+                budget_us = deadline.budget_us()
+            payload = _pack_request(
+                dst, request, packed=True, budget_us=budget_us
+            )
             try:
-                blob = self._round_trip(payload)
+                blob = self._round_trip(payload, deadline)
             except _ConnectionLost as exc:
                 if self._closed:
                     raise TransportError(
                         "async socket transport is closed"
                     ) from exc
-                if attempt or not retry:
-                    raise TransportError(
-                        f"async round-trip to {self._address[0]}:"
-                        f"{self._address[1]} failed: {exc}"
-                    ) from exc
-                continue
+                error = TransportError(
+                    f"async round-trip to {self._address[0]}:"
+                    f"{self._address[1]} failed: {exc}"
+                )
+                # A lost pure read re-sends on a fresh connection; a
+                # lost write may already have landed, so it fails fast.
+                error.retryable = read_safe
+                raise error from exc
             # Decode on the calling thread: concurrent callers decode
             # their own responses in parallel instead of serializing
             # on the reader thread.
             return raise_for_error(decode_message(blob))
-        raise AssertionError("unreachable")
+
+        return self._retry_policy.run(attempt)
 
     def endpoints(self) -> list[str]:
         response = self.call("", "", EndpointsRequest())
@@ -602,7 +674,9 @@ class AsyncSocketTransport(Transport):
 
     # -- wire plumbing ---------------------------------------------------------
 
-    def _round_trip(self, payload: bytes) -> bytes:
+    def _round_trip(
+        self, payload: bytes, deadline: Deadline | None = None
+    ) -> bytes:
         sock, wstate = self._ensure_connection()
         call = _PendingCall()
         with self._lock:
@@ -626,7 +700,17 @@ class AsyncSocketTransport(Transport):
             except (ConnectionError, OSError) as exc:
                 self._drop_connection(sock, exc)
                 raise _ConnectionLost(exc) from exc
-            if not call.event.wait(self._timeout_s):
+            # The completion wait is capped by the remaining deadline
+            # budget: the response would be worthless after it anyway.
+            wait_s = self._timeout_s
+            if deadline is not None:
+                wait_s = min(wait_s, max(deadline.remaining_s(), 1e-4))
+            if not call.event.wait(wait_s):
+                if deadline is not None and deadline.expired:
+                    raise DeadlineExceededError(
+                        f"no response from {self._address[0]}:"
+                        f"{self._address[1]} within the deadline budget"
+                    )
                 raise TransportError(
                     f"async round-trip to {self._address[0]}:"
                     f"{self._address[1]} timed out "

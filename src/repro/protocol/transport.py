@@ -42,9 +42,11 @@ from __future__ import annotations
 import socket
 import struct
 import threading
+import time
 from typing import Any, Callable
 
 from repro.errors import (
+    DeadlineExceededError,
     ProtocolError,
     ReproError,
     TransportError,
@@ -63,6 +65,16 @@ from repro.protocol.messages import (
     ShipSnapshotRequest,
 )
 from repro.protocol.service import error_response, raise_for_error
+# Submodule imports on purpose: the repro.resilience *package* pulls in
+# the chaos harness, which imports this module back.
+from repro.resilience.admission import AdmissionController
+from repro.resilience.deadline import (
+    Deadline,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+from repro.resilience.retry import RetryPolicy
 from repro.server.transport import SimulatedNetwork
 
 #: A frame longer than this is garbage (or hostile), not a message.
@@ -98,6 +110,21 @@ _LEN = struct.Struct(">I")
 #: encodings (:func:`repro.protocol.codec.encode_message` with
 #: ``packed=True``).
 CORRELATION_FLAG = 0x8000_0000
+
+#: Second-highest bit, but of the *request envelope's* name-length word
+#: (inside the frame payload, see :func:`_pack_request`): the endpoint
+#: name is followed by a 4-byte big-endian **remaining deadline budget
+#: in microseconds**. Same negotiation story as the correlation flag —
+#: endpoint names can never be anywhere near :data:`MAX_FRAME_BYTES`
+#: long, so on a classic peer the flagged word reads as an absurd name
+#: length and the request is rejected with the typed "truncated inside
+#: endpoint name" :class:`ProtocolError` (shipped back as an
+#: ``ErrorResponse``), never misparsed; deadline-free requests are
+#: byte-identical to the previous revision everywhere. The budget is
+#: relative, not an absolute instant: wall clocks don't agree across
+#: machines, and losing the transit time only makes the server side
+#: *more* conservative about a deadline it would enforce anyway.
+DEADLINE_FLAG = 0x4000_0000
 
 
 class Transport:
@@ -190,6 +217,11 @@ class InProcessTransport(Transport):
     # -- dispatch ------------------------------------------------------------
 
     def call(self, src: str, dst: str, request: Any) -> Any:
+        # In-process there is no wire to carry a budget: caller and
+        # service share the thread, so the ambient deadline *is* the
+        # propagated one. Enforce it at the same point the socket
+        # servers do — before dispatch.
+        check_deadline(f"call to {dst!r}")
         service = self._resolve(dst)
         if self._network is not None:
             share_bytes = self._share_bytes
@@ -225,7 +257,10 @@ def _network_adapter(service: Any) -> Callable[[str, Any], Any]:
 
 
 def handle_request_payload(
-    registry: InProcessTransport, payload: bytes
+    registry: InProcessTransport,
+    payload: bytes,
+    received_at: float | None = None,
+    admission: AdmissionController | None = None,
 ) -> Any:
     """One server-side request leg: unpack, dispatch, never raise.
 
@@ -233,12 +268,37 @@ def handle_request_payload(
     (including a non-Repro bug inside a service) comes back as a typed
     :class:`ErrorResponse` so the client sees "server broke", not "seat
     is dead" (which would trigger failover, or a retry for reads).
+
+    A request carrying a wire deadline budget (:data:`DEADLINE_FLAG`)
+    is checked *before* dispatch — an already-expired request is pure
+    wasted work (its caller has given up) and comes back as a typed
+    ``DeadlineExceededError`` instead. ``received_at`` is the monotonic
+    instant the frame finished arriving: queueing time between read and
+    dispatch counts against the budget, exactly the delay an overloaded
+    server adds. When an ``admission`` controller is given, dispatch
+    concurrency beyond its bound is shed as a typed retryable
+    ``OverloadedError`` rather than queued into latency collapse.
     """
     try:
-        dst, request = _unpack_request(payload)
+        dst, request, budget_us = _unpack_request(payload)
+        deadline: Deadline | None = None
+        if budget_us is not None:
+            start = (
+                received_at if received_at is not None else time.monotonic()
+            )
+            deadline = Deadline(start + budget_us / 1e6)
+            deadline.check(f"request for {dst!r}")
         if isinstance(request, EndpointsRequest):
             return EndpointsResponse(names=tuple(registry.endpoints()))
-        return registry.dispatch_local(dst, request)
+        if admission is not None:
+            admission.admit(f"request for {dst!r}")
+            try:
+                with deadline_scope(deadline=deadline):
+                    return registry.dispatch_local(dst, request)
+            finally:
+                admission.release()
+        with deadline_scope(deadline=deadline):
+            return registry.dispatch_local(dst, request)
     except ReproError as exc:
         return error_response(exc)
     except Exception as exc:  # noqa: BLE001 - a server bug must not
@@ -290,17 +350,31 @@ def frame_bytes(payload: bytes, corr_id: int | None = None) -> bytes:
     )
 
 
-def _pack_request(dst: str, request: Any, packed: bool = False) -> bytes:
+def _pack_request(
+    dst: str,
+    request: Any,
+    packed: bool = False,
+    budget_us: int | None = None,
+) -> bytes:
     name = dst.encode("utf-8")
-    return (
-        _LEN.pack(len(name)) + name + encode_message(request, packed=packed)
-    )
+    if budget_us is None:
+        header = _LEN.pack(len(name)) + name
+    else:
+        header = (
+            _LEN.pack(len(name) | DEADLINE_FLAG)
+            + name
+            + _LEN.pack(budget_us)
+        )
+    return header + encode_message(request, packed=packed)
 
 
-def _unpack_request(payload: bytes) -> tuple[str, Any]:
+def _unpack_request(payload: bytes) -> tuple[str, Any, int | None]:
+    """``(dst, request, remaining budget in µs | None)`` off one frame."""
     if len(payload) < _LEN.size:
         raise ProtocolError("request frame shorter than its name header")
-    (name_len,) = _LEN.unpack(payload[: _LEN.size])
+    (word,) = _LEN.unpack(payload[: _LEN.size])
+    has_deadline = bool(word & DEADLINE_FLAG)
+    name_len = word ^ DEADLINE_FLAG if has_deadline else word
     body_start = _LEN.size + name_len
     if name_len > MAX_FRAME_BYTES or body_start > len(payload):
         raise ProtocolError("request frame truncated inside endpoint name")
@@ -308,7 +382,16 @@ def _unpack_request(payload: bytes) -> tuple[str, Any]:
         dst = payload[_LEN.size : body_start].decode("utf-8")
     except UnicodeDecodeError as exc:
         raise ProtocolError("endpoint name is not valid UTF-8") from exc
-    return dst, decode_message(payload[body_start:])
+    budget_us: int | None = None
+    if has_deadline:
+        budget_end = body_start + _LEN.size
+        if budget_end > len(payload):
+            raise ProtocolError(
+                "request frame truncated inside deadline budget"
+            )
+        (budget_us,) = _LEN.unpack(payload[body_start:budget_end])
+        body_start = budget_end
+    return dst, decode_message(payload[body_start:]), budget_us
 
 
 class SocketServer:
@@ -336,9 +419,15 @@ class SocketServer:
         host: str = "127.0.0.1",
         port: int = 0,
         idle_timeout_s: float | None = None,
+        max_pending: int | None = None,
     ) -> None:
         self._registry = registry
         self._idle_timeout_s = idle_timeout_s
+        #: Bounded-dispatch gate (None: admit everything, the
+        #: historical behaviour every byte-identity gate assumes).
+        self.admission = (
+            None if max_pending is None else AdmissionController(max_pending)
+        )
         self._listener = socket.create_server(
             (host, port), reuse_port=False
         )
@@ -348,7 +437,12 @@ class SocketServer:
         self._listener.settimeout(0.1)
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
         self._closed = threading.Event()
+        self._draining = threading.Event()
+        #: Did a drain() give up on in-flight requests? (``repro
+        #: serve`` exits nonzero when so.)
+        self.drain_aborted = False
         self._lock = threading.Lock()
+        self._in_flight = 0
         self._connections: set[socket.socket] = set()
         self._threads: list[threading.Thread] = []
         self._accept_thread = threading.Thread(
@@ -388,7 +482,7 @@ class SocketServer:
 
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
-            while not self._closed.is_set():
+            while not self._closed.is_set() and not self._draining.is_set():
                 try:
                     corr_id, payload = _read_frame(conn)
                 except TimeoutError:
@@ -403,15 +497,24 @@ class SocketServer:
                     # stream — nothing sane can follow; drop the
                     # connection rather than parse noise forever.
                     return
-                response = self._handle(payload)
+                received_at = time.monotonic()
+                with self._lock:
+                    self._in_flight += 1
                 try:
-                    _write_frame(
-                        conn,
-                        encode_message(response, packed=corr_id is not None),
-                        corr_id,
-                    )
-                except OSError:
-                    return
+                    response = self._handle(payload, received_at)
+                    try:
+                        _write_frame(
+                            conn,
+                            encode_message(
+                                response, packed=corr_id is not None
+                            ),
+                            corr_id,
+                        )
+                    except OSError:
+                        return
+                finally:
+                    with self._lock:
+                        self._in_flight -= 1
         finally:
             with self._lock:
                 self._connections.discard(conn)
@@ -431,8 +534,43 @@ class SocketServer:
         with self._lock:
             return len(self._threads)
 
-    def _handle(self, payload: bytes) -> Any:
-        return handle_request_payload(self._registry, payload)
+    def _handle(
+        self, payload: bytes, received_at: float | None = None
+    ) -> Any:
+        return handle_request_payload(
+            self._registry,
+            payload,
+            received_at=received_at,
+            admission=self.admission,
+        )
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently dispatched (the drain gauge)."""
+        with self._lock:
+            return self._in_flight
+
+    def drain(self, timeout_s: float = 5.0) -> bool:
+        """Graceful shutdown: stop accepting, finish in-flight, close.
+
+        New connections and further frames on existing connections are
+        refused immediately; requests already dispatched get up to
+        ``timeout_s`` to answer. Returns True on a clean drain; on
+        timeout, sets :attr:`drain_aborted` and force-closes (the
+        ``repro serve`` SIGTERM path exits nonzero then).
+        """
+        self._draining.set()
+        self._listener.close()
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                if self._in_flight == 0:
+                    break
+            time.sleep(0.005)
+        with self._lock:
+            self.drain_aborted = self._in_flight > 0
+        self.close()
+        return not self.drain_aborted
 
     def close(self) -> None:
         """Stop accepting, drop every connection, join the threads."""
@@ -465,9 +603,14 @@ class SocketTransport(Transport):
 
     Each calling thread keeps one persistent connection (the parallel
     pod fan-out therefore multiplexes over as many connections as the
-    dispatcher has workers). A broken connection is retried once with a
-    fresh socket — a restarted server looks like one lost round-trip,
-    not a failed query.
+    dispatcher has workers). Failures retry under a shared
+    :class:`~repro.resilience.retry.RetryPolicy`: a broken connection
+    is retryable for pure reads (a restarted server looks like one
+    lost round-trip, not a failed query), a typed retryable server
+    rejection (``OverloadedError``) backs off for any request kind, and
+    everything else — including a write whose response was lost —
+    fails fast. An ambient deadline rides the wire as a shrinking
+    budget and caps every socket wait.
     """
 
     def __init__(
@@ -475,10 +618,14 @@ class SocketTransport(Transport):
         address: tuple[str, int],
         share_bytes: int = DEFAULT_SHARE_BYTES,
         timeout_s: float = 30.0,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self._address = (address[0], int(address[1]))
         self._share_bytes = share_bytes
         self._timeout_s = timeout_s
+        self._retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
         self._local = threading.local()
         self._lock = threading.Lock()
         self._sockets: set[socket.socket] = set()
@@ -524,42 +671,76 @@ class SocketTransport(Transport):
             sock.close()
             self._local.sock = None
 
-    def _round_trip(self, payload: bytes, retry: bool) -> bytes:
-        for attempt in (0, 1):
-            sock = self._connection()
-            try:
-                _write_frame(sock, payload)
-                _corr, frame = _read_frame(sock)
-                return frame
-            except (ConnectionError, OSError) as exc:
-                self._drop_connection()
-                if self._closed:
-                    # close() yanked this socket out from under a call
-                    # already in flight. Without this check the caller
-                    # saw a spurious retry (for reads) or a misleading
-                    # "round-trip failed" — the deterministic outcome
-                    # is the same typed "closed" failure a fresh call
-                    # gets.
-                    raise TransportError(
-                        "socket transport is closed"
-                    ) from exc
-                if attempt or not retry:
-                    raise TransportError(
-                        f"socket round-trip to {self._address[0]}:"
-                        f"{self._address[1]} failed: {exc}"
-                    ) from exc
-        raise AssertionError("unreachable")
+    def _round_trip(
+        self,
+        payload: bytes,
+        read_safe: bool,
+        deadline: Deadline | None,
+    ) -> bytes:
+        """One send + receive; raises a classified :mod:`repro.errors`."""
+        sock = self._connection()
+        # Never wait past the caller's deadline: the per-round-trip
+        # socket timeout is the transport ceiling or the remaining
+        # budget, whichever is tighter.
+        wait_s = self._timeout_s
+        if deadline is not None:
+            wait_s = min(wait_s, max(deadline.remaining_s(), 1e-4))
+        try:
+            sock.settimeout(wait_s)
+            _write_frame(sock, payload)
+            _corr, frame = _read_frame(sock)
+            return frame
+        except (ConnectionError, OSError) as exc:
+            # A timed-out or broken round trip leaves an unknown amount
+            # of a frame in the stream — the connection cannot be
+            # reused either way.
+            self._drop_connection()
+            if (
+                isinstance(exc, TimeoutError)
+                and deadline is not None
+                and deadline.expired
+            ):
+                raise DeadlineExceededError(
+                    f"no response from {self._address[0]}:"
+                    f"{self._address[1]} within the deadline budget"
+                ) from exc
+            if self._closed:
+                # close() yanked this socket out from under a call
+                # already in flight. Without this check the caller
+                # saw a spurious retry (for reads) or a misleading
+                # "round-trip failed" — the deterministic outcome
+                # is the same typed "closed" failure a fresh call
+                # gets.
+                raise TransportError(
+                    "socket transport is closed"
+                ) from exc
+            error = TransportError(
+                f"socket round-trip to {self._address[0]}:"
+                f"{self._address[1]} failed: {exc}"
+            )
+            # Only pure reads are re-sent over a fresh connection: a
+            # write whose response was lost may already have landed,
+            # and at-least-once writes are a semantics change nothing
+            # upstream accounts for.
+            error.retryable = read_safe
+            raise error from exc
 
     def call(self, src: str, dst: str, request: Any) -> Any:
-        # Only pure reads are re-sent over a fresh connection: a write
-        # whose response was lost may already have landed, and
-        # at-least-once writes are a semantics change nothing upstream
-        # accounts for.
-        retry = isinstance(request, _RETRY_SAFE)
-        response = decode_message(
-            self._round_trip(_pack_request(dst, request), retry)
-        )
-        return raise_for_error(response)
+        read_safe = isinstance(request, _RETRY_SAFE)
+
+        def attempt(_index: int) -> Any:
+            deadline = current_deadline()
+            budget_us = None
+            if deadline is not None:
+                deadline.check(f"call to {dst!r}")
+                budget_us = deadline.budget_us()
+            payload = _pack_request(dst, request, budget_us=budget_us)
+            response = decode_message(
+                self._round_trip(payload, read_safe, deadline)
+            )
+            return raise_for_error(response)
+
+        return self._retry_policy.run(attempt)
 
     def endpoints(self) -> list[str]:
         response = self.call("", "", EndpointsRequest())

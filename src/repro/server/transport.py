@@ -240,6 +240,17 @@ class ConcurrentDispatcher:
             raise error
         return outcomes
 
+    def submit(self, call: Callable[[], Any]) -> Future:
+        """Run one thunk on the pool; returns its :class:`Future`.
+
+        The escape hatch for callers that race calls instead of joining
+        them all (hedged reads: primary leg vs delayed backup leg,
+        first answer wins). Unlike :meth:`map_ordered` this never runs
+        inline — the caller needs to keep the current thread free to
+        time the race.
+        """
+        return self._ensure_executor().submit(call)
+
     def _ensure_executor(self) -> ThreadPoolExecutor:
         with self._executor_lock:
             if self._executor is None:
