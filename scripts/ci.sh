@@ -48,7 +48,15 @@
 #   never hung;
 # - the slow-pod bench stalls one replica pod and gates hedged-read
 #   p99 at <= 0.5x the unhedged p99, recording hedge/breaker/shed
-#   counters into BENCH_load.json (ratio gate).
+#   counters into BENCH_load.json (ratio gate);
+# - the cache-equivalence gate runs the tiered-cache suite in full:
+#   cached reads must be byte-identical to uncached reads over all
+#   three transports, mid-run invalidation included, plus the
+#   random-interleaving property (writes/invalidations/reads racing
+#   the L1 and L2 tiers);
+# - the cache bench records BENCH_cache.json and gates Zipf-workload
+#   cached qps at >= 2x the uncached fan-out baseline with
+#   byte-identical per-query digests (ratio gate).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -123,5 +131,11 @@ gate "chaos smoke (seeded faults, byte-identical-or-typed)" \
 gate "slow-pod hedging bench (hedged p99 <= 0.5x unhedged)" \
     "failed|skipped|no tests ran|error" \
     benchmarks/bench_load.py -k slow_pod
+gate "cache equivalence (cached == uncached, all transports)" \
+    "failed|skipped|deselected|no tests ran|error" \
+    tests/test_cache_tier.py tests/test_cache_property.py
+gate "cache bench (BENCH_cache.json, >= 2x cached qps)" \
+    "failed|skipped|deselected|no tests ran|error" \
+    benchmarks/bench_cache.py
 
 echo "CI gate passed."

@@ -1,0 +1,45 @@
+"""The tiered cache subsystem: searcher-local L1 + shared L2 tier.
+
+Two tiers in front of the server fleet:
+
+- **L1** (:mod:`repro.cachetier.l1`): a searcher-local cache of
+  reconstructed postings — a hit skips the network *and* Lagrange
+  reconstruction entirely;
+- **L2** (:mod:`repro.cachetier.store` / :mod:`~repro.cachetier.service`):
+  a memcache-shaped cache-tier server holding share-level entries,
+  reachable as an ordinary protocol endpoint over every transport
+  backend, with pluggable eviction/admission policies
+  (:mod:`repro.cachetier.policies`).
+
+Both tiers obey the share cache's two safety rules — invalidate before
+any write is delivered, re-key (and eagerly evict) on membership
+change — which is what keeps a cached read byte-identical to an
+uncached one.
+"""
+
+from repro.cachetier.l1 import L1PostingCache
+from repro.cachetier.policies import (
+    POLICIES,
+    FrequencySketch,
+    LRUPolicy,
+    TinyLFUPolicy,
+    make_policy,
+)
+from repro.cachetier.service import CACHE_TIER_ENDPOINT, CacheTierService
+from repro.cachetier.store import CacheTierStore
+from repro.cachetier.wire import decode_entry, encode_entry, entry_key
+
+__all__ = [
+    "CACHE_TIER_ENDPOINT",
+    "CacheTierService",
+    "CacheTierStore",
+    "FrequencySketch",
+    "L1PostingCache",
+    "LRUPolicy",
+    "POLICIES",
+    "TinyLFUPolicy",
+    "decode_entry",
+    "encode_entry",
+    "entry_key",
+    "make_policy",
+]

@@ -1,0 +1,54 @@
+"""The cache tier as a protocol endpoint.
+
+:class:`CacheTierService` is just another PR 4 service: it answers the
+four cache messages and nothing else, so registering it on a transport
+registry makes it reachable over the in-process, socket, and async
+backends alike — the transports neither know nor care that the endpoint
+is a cache.
+"""
+
+from __future__ import annotations
+
+from repro.cachetier.store import CacheTierStore
+from repro.errors import ProtocolError
+from repro.protocol.messages import (
+    CacheGetRequest,
+    CacheInvalidateRequest,
+    CachePutRequest,
+    CacheStatsRequest,
+    CacheStatsResponse,
+    CacheValueResponse,
+    OpCountResponse,
+)
+
+#: The conventional endpoint name deployments register the tier under.
+CACHE_TIER_ENDPOINT = "cache-tier"
+
+
+class CacheTierService:
+    """Protocol dispatch for one cache-tier store."""
+
+    def __init__(self, store: CacheTierStore) -> None:
+        self.store = store
+
+    def handle(self, request):
+        if isinstance(request, CacheGetRequest):
+            value = self.store.get(request.key)
+            if value is None:
+                return CacheValueResponse(hit=False)
+            return CacheValueResponse(hit=True, value=value)
+        if isinstance(request, CachePutRequest):
+            admitted = self.store.put(
+                request.key, request.pl_id, request.value
+            )
+            return OpCountResponse(count=1 if admitted else 0)
+        if isinstance(request, CacheInvalidateRequest):
+            evicted = sum(
+                self.store.invalidate(pl_id) for pl_id in request.pl_ids
+            )
+            return OpCountResponse(count=evicted)
+        if isinstance(request, CacheStatsRequest):
+            return CacheStatsResponse(**self.store.stats_snapshot())
+        raise ProtocolError(
+            f"cache tier cannot handle {type(request).__name__}"
+        )

@@ -1,0 +1,132 @@
+"""The shared cache tier's key-value store.
+
+Memcache-shaped on purpose: opaque string keys, opaque byte values,
+exact-match get/put, plus the one Zerber-specific verb — invalidate by
+posting-list id. The store never interprets keys or values; the key
+scheme (group fingerprint × fan-out width × posting list) and the value
+format (encoded slot-aligned share responses, see
+:mod:`repro.cachetier.wire`) are entirely client-side conventions.
+Holding only share-level data is the §5 safety argument: a stolen cache
+tier yields exactly what a compromised index server yields — r-confidential
+shares, not postings.
+
+Thread safety: the socket and async servers dispatch requests from
+multiple connection threads, so every public method takes the store
+lock. Eviction/admission decisions are delegated to a policy object
+(:mod:`repro.cachetier.policies`).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ClusterError
+from repro.cachetier.policies import make_policy
+
+
+class CacheTierStore:
+    """A bounded, policy-driven, invalidation-indexed byte store."""
+
+    def __init__(self, capacity: int = 4096, policy: str = "lru") -> None:
+        if capacity < 0:
+            raise ClusterError(
+                f"cache-tier capacity must be >= 0, got {capacity}"
+            )
+        self.capacity = capacity
+        self.policy_name = policy
+        self._policy = make_policy(policy, capacity)
+        #: key -> (pl_id, value)
+        self._entries: dict[str, tuple[int, bytes]] = {}
+        #: pl_id -> keys currently cached for that list (the
+        #: invalidation index — a write must evict every entry of its
+        #: list without scanning the store).
+        self._keys_of_pl: dict[int, set[str]] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.rejections = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> bytes | None:
+        with self._lock:
+            self._policy.touch(key)
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return entry[1]
+
+    def put(self, key: str, pl_id: int, value: bytes) -> bool:
+        """Store ``value``; returns False when admission rejected it."""
+        if self.capacity == 0:
+            return False
+        with self._lock:
+            if key in self._entries:
+                old_pl, _ = self._entries[key]
+                if old_pl != pl_id:
+                    self._unindex(key, old_pl)
+                    self._keys_of_pl.setdefault(pl_id, set()).add(key)
+                self._entries[key] = (pl_id, value)
+                self._policy.touch(key)
+                return True
+            if len(self._entries) >= self.capacity:
+                victim = self._policy.admit(key)
+                if victim is None:
+                    self.rejections += 1
+                    return False
+                self._evict(victim)
+            self._entries[key] = (pl_id, value)
+            self._keys_of_pl.setdefault(pl_id, set()).add(key)
+            self._policy.record_insert(key)
+            return True
+
+    def invalidate(self, pl_id: int) -> int:
+        """Evict every entry of the list; returns how many went."""
+        with self._lock:
+            keys = self._keys_of_pl.pop(pl_id, None)
+            if not keys:
+                return 0
+            for key in keys:
+                self._entries.pop(key, None)
+                self._policy.record_evict(key)
+            self.invalidations += len(keys)
+            return len(keys)
+
+    def clear(self) -> None:
+        with self._lock:
+            for key in list(self._entries):
+                self._policy.record_evict(key)
+            self._entries.clear()
+            self._keys_of_pl.clear()
+
+    def _evict(self, key: str) -> None:
+        pl_id, _ = self._entries.pop(key)
+        self._unindex(key, pl_id)
+        self._policy.record_evict(key)
+        self.evictions += 1
+
+    def _unindex(self, key: str, pl_id: int) -> None:
+        keys = self._keys_of_pl.get(pl_id)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._keys_of_pl[pl_id]
+
+    def stats_snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "policy": self.policy_name,
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "rejections": self.rejections,
+            }

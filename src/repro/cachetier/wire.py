@@ -1,0 +1,76 @@
+"""Byte format of one cache-tier value.
+
+A value is the exact thing the cluster client's share cache stores for
+one posting list: the sorted ``(slot_index, PostingListResponse)``
+pairs a fetch produced. Encoding reuses the wire protocol's strict
+LEB128 primitives (the public :func:`repro.protocol.codec.write_uint` /
+:class:`repro.protocol.codec.Reader` surface), so the byte discipline —
+bounds checks, varint caps, no trailing garbage — is shared, not
+reimplemented.
+
+Shares only, never reconstructed postings: an L2 value decodes to the
+same slot-aligned share responses a server fleet would have returned,
+which is what makes a cached read byte-identical to an uncached one and
+a stolen cache no more useful than a compromised server (§5).
+"""
+
+from __future__ import annotations
+
+from repro.protocol.codec import Reader, write_uint
+from repro.server.index_server import PostingListResponse, ShareRecord
+
+Entry = list[tuple[int, PostingListResponse]]
+
+
+def encode_entry(pairs: Entry) -> bytes:
+    """Serialize sorted (slot_index, response) pairs to an opaque value."""
+    out = bytearray()
+    write_uint(out, len(pairs))
+    for slot_index, response in pairs:
+        write_uint(out, slot_index)
+        write_uint(out, response.pl_id)
+        write_uint(out, len(response.records))
+        for record in response.records:
+            write_uint(out, record.element_id)
+            write_uint(out, record.group_id)
+            write_uint(out, record.share_y)
+    return bytes(out)
+
+
+def decode_entry(data: bytes) -> Entry:
+    """Parse a cache value back into (slot_index, response) pairs.
+
+    Raises:
+        ProtocolError: truncation or trailing bytes — a corrupt cache
+            entry must fail loudly, never decode to wrong shares.
+    """
+    r = Reader(data)
+    pairs: Entry = []
+    for _ in range(r.uint()):
+        slot_index = r.uint()
+        pl_id = r.uint()
+        records = tuple(
+            ShareRecord(
+                element_id=r.uint(), group_id=r.uint(), share_y=r.uint()
+            )
+            for _ in range(r.uint())
+        )
+        pairs.append(
+            (slot_index, PostingListResponse(pl_id=pl_id, records=records))
+        )
+    r.done()
+    return pairs
+
+
+def entry_key(fingerprint, num_servers: int, pl_id: int) -> str:
+    """The L2 key scheme: group fingerprint × fan-out width × list.
+
+    No user id — index servers filter responses by group membership
+    only, so two users with identical group sets receive identical
+    bytes and may share entries (that sharing is the point of a fleet-
+    wide tier). A membership change rotates the fingerprint and thus
+    the key, exactly the re-keying rule the per-coordinator share cache
+    relies on.
+    """
+    groups = ",".join(str(g) for g in sorted(fingerprint))
+    return f"{groups}|{num_servers}|{pl_id}"

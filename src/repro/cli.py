@@ -170,6 +170,11 @@ def _build_cluster(args: argparse.Namespace, **extra):
         )
     )
     probs = corpus.term_probabilities()
+    if getattr(args, "cache_tier", None):
+        extra.setdefault("cache_tier", args.cache_tier)
+        extra.setdefault(
+            "l1_entries", getattr(args, "l1_entries", 0) or 0
+        )
     try:
         cluster = ClusterDeployment.bootstrap(
             probs,
@@ -439,9 +444,21 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
                 print(f"          dead: {', '.join(dead)}")
         cache = snap["cache"]
         print(
-            f"share cache: {cache['entries']} entries, "
-            f"{cache['hits']} hits / {cache['misses']} misses"
+            f"share cache: {cache['entries']}/{cache['capacity']} entries, "
+            f"{cache['hits']} hits / {cache['misses']} misses, "
+            f"{cache['evictions']} evictions, "
+            f"{cache['invalidations']} invalidations"
         )
+        tier = snap.get("cache_tier")
+        if tier is not None:
+            print(
+                f"cache tier ({tier['policy']}): "
+                f"{tier['entries']}/{tier['capacity']} entries, "
+                f"{tier['hits']} hits / {tier['misses']} misses, "
+                f"{tier['evictions']} evictions, "
+                f"{tier['invalidations']} invalidations, "
+                f"{tier['rejections']} rejections"
+            )
         repair = snap["repair"]
         thread = "running" if repair["thread_running"] else "stopped"
         backoff = repair.get("current_backoff_s")
@@ -472,6 +489,60 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
                 f"peak depth {admission['peak_depth']}"
                 f"/{admission['max_pending']}"
             )
+    return 0
+
+
+def _cmd_cache_status(args: argparse.Namespace) -> int:
+    """Tiered-cache observability: warm the tiers, render hit rates.
+
+    The L2 statistics are fetched over the wire protocol's
+    ``CacheStats`` message — the same path a remote operator's probe
+    would use — not read out of the store object directly.
+    """
+    from repro.cachetier import CACHE_TIER_ENDPOINT
+    from repro.protocol.messages import CacheStatsRequest
+
+    args.cache_tier = args.cache_tier or args.cache_tier_default
+    args.l1_entries = args.l1_entries or args.l1_default
+    corpus, cluster = _build_cluster(args)
+    with cluster:
+        terms = _cluster_query_terms(corpus, args)
+        searcher = cluster.searcher("owner0")
+        l1_hits = l2_hits = 0
+        for _ in range(args.warmup_queries):
+            searcher.search(terms, top_k=5, fetch_snippets=False)
+            diag = searcher.last_cluster_diagnostics
+            l1_hits += diag.l1_hits
+            l2_hits += diag.l2_hits
+        stats = cluster.transport.call(
+            src="operator",
+            dst=CACHE_TIER_ENDPOINT,
+            request=CacheStatsRequest(),
+        )
+        print(
+            f"workload: {args.warmup_queries} queries over "
+            f"{len(terms)} terms ({l1_hits} L1 hits, "
+            f"{l2_hits} L2 hits observed by the searcher)"
+        )
+        l1 = searcher.l1_cache.stats_snapshot() if searcher.l1_cache else {}
+        if l1:
+            print(
+                f"L1 (searcher-local, reconstructed postings): "
+                f"{l1['entries']}/{l1['capacity']} entries, "
+                f"{l1['hits']} hits / {l1['misses']} misses, "
+                f"{l1['evictions']} evictions, "
+                f"{l1['invalidations']} invalidations"
+            )
+        total = stats.hits + stats.misses
+        rate = (stats.hits / total * 100.0) if total else 0.0
+        print(
+            f"L2 (shared tier, policy {stats.policy}): "
+            f"{stats.entries}/{stats.capacity} entries, "
+            f"{stats.hits} hits / {stats.misses} misses "
+            f"({rate:.0f}% hit rate), {stats.evictions} evictions, "
+            f"{stats.invalidations} invalidations, "
+            f"{stats.rejections} rejections"
+        )
     return 0
 
 
@@ -757,6 +828,17 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--documents", type=int, default=40)
         p.add_argument("--seed", type=int, default=7)
+        p.add_argument(
+            "--cache-tier", choices=("lru", "tinylfu"), default=None,
+            help="embed a shared L2 cache-tier endpoint with this "
+                 "eviction/admission policy",
+        )
+        p.add_argument(
+            "--l1-entries", type=int, default=0,
+            help="searcher-local L1 capacity in reconstructed posting "
+                 "lists (0 disables; requires --cache-tier to matter "
+                 "for the shared tier, but works standalone too)",
+        )
 
     deploy = cluster_sub.add_parser(
         "deploy", help="stand up a cluster, print topology and placement"
@@ -879,7 +961,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="on SIGTERM/SIGINT, wait this long for in-flight requests "
              "before cutting them off and exiting nonzero (default: 5)",
     )
-    serve.set_defaults(func=_cmd_serve)
+    serve.add_argument(
+        "--cache-tier", choices=("lru", "tinylfu"), default=None,
+        help="also serve a shared cache-tier endpoint ('cache-tier') "
+             "with this eviction/admission policy",
+    )
+    serve.set_defaults(func=_cmd_serve, l1_entries=0)
+
+    cache = sub.add_parser(
+        "cache",
+        help="the tiered cache subsystem (searcher L1 + shared L2 tier)",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    chstatus = cache_sub.add_parser(
+        "status",
+        help="stand up a cached cluster, run a warm-up workload, and "
+             "render L1/L2 hit statistics (L2 stats fetched over the "
+             "wire protocol's CacheStats message)",
+    )
+    _common_cluster_args(chstatus)
+    chstatus.add_argument(
+        "--warmup-queries", type=int, default=6,
+        help="repeat queries run first so the tiers have traffic",
+    )
+    chstatus.set_defaults(
+        func=_cmd_cache_status, cache_tier_default="lru",
+        l1_default=128, terms=None,
+    )
 
     storage = sub.add_parser(
         "storage",

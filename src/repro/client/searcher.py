@@ -174,31 +174,21 @@ class SearchClient:
             out.append((server_index, list(response.lists)))
         return out
 
-    def fetch_elements(
-        self, terms: Sequence[str], num_servers: int | None = None
-    ) -> list[PostingElement]:
-        """Steps 1-4 of Algorithm 2: fetch, join, reconstruct, filter.
+    def _reconstruct_lists(
+        self, pl_ids: Sequence[int], num_servers: int
+    ) -> dict[int, list[PostingElement]]:
+        """Steps 2-3 for the named lists: fetch, join, reconstruct, unpack.
 
-        Returns the decrypted posting elements of the queried terms only
-        (false positives already removed). Populates
-        :attr:`last_diagnostics`.
+        Returns every decrypted element per list — *no* term filtering,
+        so the result depends only on (user's groups, num_servers,
+        list), never on which query asked. That property is what makes
+        the per-list output safely cacheable by the searcher-local L1
+        (see :class:`repro.cachetier.L1PostingCache`); the term filter
+        stays per-query in :meth:`fetch_elements`. A list with no
+        reconstructible elements maps to an empty entry — emptiness is
+        a cacheable fact too.
         """
-        self.last_diagnostics = SearchDiagnostics()
-        if not terms:
-            return []
-        wanted_term_ids = {
-            self._dictionary.id_of(t)
-            for t in terms
-            if self._dictionary.id_of(t) is not None
-        }
-        pl_ids = sorted({self._mapping.lookup(t) for t in terms})
-        self.last_diagnostics.posting_lists_requested = len(pl_ids)
         k = self._scheme.k
-        num_servers = num_servers or k
-        if num_servers < k:
-            raise ReproError(
-                f"must query at least k={k} servers, asked {num_servers}"
-            )
         # Join share streams on (pl_id, element_id). Because the fetch
         # stage yields whole posting lists per server slot, the columns
         # of this join are naturally grouped by (pl_id, slot-set): every
@@ -231,7 +221,9 @@ class SearchClient:
                 key: self._scheme.reconstruct(shares, method=self._method)
                 for key, shares in eligible.items()
             }
-        elements: list[PostingElement] = []
+        by_list: dict[int, list[PostingElement]] = {
+            pl_id: [] for pl_id in pl_ids
+        }
         for key, shares in eligible.items():
             secret = secrets[key]
             if self._verify and len(shares) > k:
@@ -252,10 +244,49 @@ class SearchClient:
             except PackingError:
                 # Inconsistent shares decode to garbage; drop them.
                 continue
-            if element.term_id in wanted_term_ids:
-                elements.append(element)
-            else:
-                self.last_diagnostics.false_positives += 1
+            by_list[key[0]].append(element)
+        return by_list
+
+    def _elements_by_list(
+        self, pl_ids: Sequence[int], num_servers: int
+    ) -> dict[int, list[PostingElement]]:
+        """Override point for caching tiers that sit past reconstruction
+        (the cluster client's L1); the base client always reconstructs."""
+        return self._reconstruct_lists(pl_ids, num_servers)
+
+    def fetch_elements(
+        self, terms: Sequence[str], num_servers: int | None = None
+    ) -> list[PostingElement]:
+        """Steps 1-4 of Algorithm 2: fetch, join, reconstruct, filter.
+
+        Returns the decrypted posting elements of the queried terms only
+        (false positives already removed). Populates
+        :attr:`last_diagnostics`.
+        """
+        self.last_diagnostics = SearchDiagnostics()
+        if not terms:
+            return []
+        wanted_term_ids = {
+            self._dictionary.id_of(t)
+            for t in terms
+            if self._dictionary.id_of(t) is not None
+        }
+        pl_ids = sorted({self._mapping.lookup(t) for t in terms})
+        self.last_diagnostics.posting_lists_requested = len(pl_ids)
+        k = self._scheme.k
+        num_servers = num_servers or k
+        if num_servers < k:
+            raise ReproError(
+                f"must query at least k={k} servers, asked {num_servers}"
+            )
+        by_list = self._elements_by_list(pl_ids, num_servers)
+        elements: list[PostingElement] = []
+        for pl_id in pl_ids:
+            for element in by_list[pl_id]:
+                if element.term_id in wanted_term_ids:
+                    elements.append(element)
+                else:
+                    self.last_diagnostics.false_positives += 1
         self.last_diagnostics.elements_matched = len(elements)
         return elements
 

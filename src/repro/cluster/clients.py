@@ -51,14 +51,25 @@ from concurrent.futures import FIRST_COMPLETED, wait as futures_wait
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.cachetier.l1 import L1PostingCache
+from repro.cachetier.wire import decode_entry, encode_entry, entry_key
 from repro.client.searcher import SearchClient
 from repro.client.snippets import SnippetService
 from repro.cluster.coordinator import ClusterCoordinator, Pod, ServerSlot
 from repro.core.dictionary import TermDictionary
 from repro.core.mapping_table import MappingTable
-from repro.core.posting import PostingElementCodec
-from repro.errors import ClusterDegradedError, TransportError
-from repro.protocol.messages import FetchListsRequest
+from repro.core.posting import PostingElement, PostingElementCodec
+from repro.errors import (
+    ClusterDegradedError,
+    ProtocolError,
+    TransportError,
+    UnknownEndpointError,
+)
+from repro.protocol.messages import (
+    CacheGetRequest,
+    CachePutRequest,
+    FetchListsRequest,
+)
 from repro.protocol.transport import Transport
 from repro.resilience.deadline import (
     Deadline,
@@ -90,6 +101,10 @@ class ClusterDiagnostics:
         hedged_fetches: backup replica legs actually fired because the
             primary leg outlived the hedge delay.
         hedge_wins: hedged fetches where the backup leg answered first.
+        l1_hits: lists served from the searcher-local L1 (no network,
+            no reconstruction).
+        l2_hits: lists served from the shared cache tier (one cache
+            round-trip instead of k seat fetches).
     """
 
     pods_contacted: int = 0
@@ -101,6 +116,8 @@ class ClusterDiagnostics:
     parallel_rounds: int = 0
     hedged_fetches: int = 0
     hedge_wins: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
 
 
 @dataclass
@@ -144,6 +161,8 @@ class ClusterSearchClient(SearchClient):
         dispatcher: ConcurrentDispatcher | None = None,
         hedge_reads: bool = False,
         hedge_delay_s: float | None = None,
+        cache_tier: str | None = None,
+        l1_entries: int = 0,
     ) -> None:
         """Args:
         user_id: the searching principal (network endpoint name too).
@@ -186,6 +205,18 @@ class ClusterSearchClient(SearchClient):
         hedge_delay_s: fixed hedge delay override; None (default)
             derives it per list from the replica pods' observed p95
             fetch latency (:meth:`ClusterCoordinator.hedge_delay_s`).
+        cache_tier: endpoint name of a shared cache-tier service
+            (:class:`repro.cachetier.CacheTierService`); None (default)
+            skips the L2 consult entirely. Obeys the same gating as
+            the share cache (``use_cache``, and never under
+            ``verify_consistency``); a dead or unknown tier degrades
+            silently to a fleet fetch.
+        l1_entries: capacity of a searcher-local L1 of *reconstructed*
+            postings; 0 (default) disables it. The L1 registers with
+            the coordinator for write-fan-out invalidation and eager
+            membership eviction, so hot repeat queries skip the
+            network and Lagrange reconstruction while staying
+            byte-identical to fresh fetches.
         """
         super().__init__(
             user_id=user_id,
@@ -208,7 +239,20 @@ class ClusterSearchClient(SearchClient):
         self._dispatcher = dispatcher or _FANOUT_DISPATCHER
         self._hedge_reads = hedge_reads
         self._hedge_delay_s = hedge_delay_s
+        self._cache_tier = cache_tier
+        self._l1: L1PostingCache | None = None
+        if l1_entries:
+            self._l1 = L1PostingCache(l1_entries)
+            coordinator.register_l1(self._l1)
+        #: Lists whose last fetch left an element below k shares — never
+        #: cacheable, in any tier (set per _fetch_lists call).
+        self._last_unresolved: set[int] = set()
         self.last_cluster_diagnostics = ClusterDiagnostics()
+
+    @property
+    def l1_cache(self) -> L1PostingCache | None:
+        """The searcher-local L1, for observability (None when off)."""
+        return self._l1
 
     # -- the cluster fetch stage ------------------------------------------------
 
@@ -225,19 +269,19 @@ class ClusterSearchClient(SearchClient):
         one response per slot.
         """
         self.last_cluster_diagnostics = ClusterDiagnostics()
+        self._last_unresolved = set()
         diag = self.last_cluster_diagnostics
         coordinator = self._coordinator
         # verify_consistency needs fresh shares from > k servers every
         # time — serving a k-share cached entry would silently disable
-        # the lying-server cross-check, so the cache steps aside.
-        cache = (
-            coordinator.cache
-            if self._use_cache and not self._verify
-            else None
-        )
+        # the lying-server cross-check, so the cache steps aside. The
+        # same gate covers the shared cache tier.
+        caching = self._use_cache and not self._verify
+        cache = coordinator.cache if caching else None
+        tier = self._cache_tier if caching else None
         fingerprint = (
             coordinator.group_fingerprint(self.user_id)
-            if cache is not None
+            if caching
             else None
         )
         out: list[tuple[int, list[PostingListResponse]]] = []
@@ -258,11 +302,36 @@ class ClusterSearchClient(SearchClient):
                     out.append((slot_index, [response]))
             else:
                 need.append(pl_id)
+        if tier is not None and need:
+            # Consult the shared tier before paying a fleet fetch. A
+            # hit is the same sorted (slot, response) pairs a fetch
+            # would have produced; it also warms the local share cache
+            # so the next repeat stays process-local.
+            still: list[int] = []
+            for pl_id in need:
+                entry = self._cache_tier_get(
+                    fingerprint, num_servers, pl_id
+                )
+                if entry is None:
+                    still.append(pl_id)
+                    continue
+                diag.l2_hits += 1
+                coordinator.note_cache_read(pl_id)
+                for slot_index, response in entry:
+                    out.append((slot_index, [response]))
+                if cache is not None:
+                    cache.put(
+                        (self.user_id, fingerprint, num_servers, pl_id),
+                        pl_id,
+                        entry,
+                    )
+            need = still
         if not need:
             return out
         merged, unresolved = self._fetch_with_failover(
             need, num_servers, diag
         )
+        self._last_unresolved = set(unresolved)
         for pl_id in need:
             pairs = sorted(merged[pl_id].items())
             for slot_index, response in pairs:
@@ -271,12 +340,111 @@ class ClusterSearchClient(SearchClient):
             # never cached: the missing shares may reappear when a
             # server recovers, and a cached short entry would hide
             # them until an unrelated write evicted it.
-            if cache is not None and pairs and pl_id not in unresolved:
-                cache.put(
-                    (self.user_id, fingerprint, num_servers, pl_id),
-                    pl_id,
-                    pairs,
-                )
+            if pairs and pl_id not in unresolved:
+                if cache is not None:
+                    cache.put(
+                        (self.user_id, fingerprint, num_servers, pl_id),
+                        pl_id,
+                        pairs,
+                    )
+                if tier is not None:
+                    self._cache_tier_put(
+                        fingerprint, num_servers, pl_id, pairs
+                    )
+        return out
+
+    def _cache_tier_get(
+        self, fingerprint, num_servers: int, pl_id: int
+    ) -> list[tuple[int, PostingListResponse]] | None:
+        """One L2 lookup; None on miss, tier failure, or a torn entry."""
+        key = entry_key(fingerprint, num_servers, pl_id)
+        try:
+            response = self._transport.call(
+                src=self.user_id,
+                dst=self._cache_tier,
+                request=CacheGetRequest(key=key),
+            )
+        except (TransportError, UnknownEndpointError):
+            return None  # the tier is an accelerator, never a dependency
+        self.last_diagnostics.response_bytes += response.wire_bytes(
+            self._share_bytes
+        )
+        if not response.hit:
+            return None
+        try:
+            return decode_entry(response.value)
+        except ProtocolError:
+            return None  # corrupt value: treat as a miss, refetch
+
+    def _cache_tier_put(
+        self, fingerprint, num_servers: int, pl_id: int, pairs
+    ) -> None:
+        """Best-effort L2 fill; a lost put only costs a future miss."""
+        try:
+            self._transport.call(
+                src=self.user_id,
+                dst=self._cache_tier,
+                request=CachePutRequest(
+                    key=entry_key(fingerprint, num_servers, pl_id),
+                    pl_id=pl_id,
+                    value=encode_entry(pairs),
+                ),
+            )
+        except (TransportError, UnknownEndpointError):
+            pass
+
+    # -- the searcher-local L1 ---------------------------------------------------
+
+    def _elements_by_list(
+        self, pl_ids: Sequence[int], num_servers: int
+    ) -> dict[int, list[PostingElement]]:
+        """Front reconstruction with the L1 when one is attached.
+
+        An L1 entry is the reconstructed-but-unfiltered element tuple of
+        one list for this exact (user, group fingerprint, width) — the
+        same inputs that determine a fresh fetch's bytes, so a hit is
+        byte-identical by construction. Shortfall lists are never
+        stored; verify_consistency bypasses the L1 exactly like every
+        other cache.
+        """
+        l1 = (
+            self._l1
+            if self._l1 is not None
+            and self._use_cache
+            and not self._verify
+            else None
+        )
+        if l1 is None:
+            return self._reconstruct_lists(pl_ids, num_servers)
+        coordinator = self._coordinator
+        fingerprint = coordinator.group_fingerprint(self.user_id)
+        out: dict[int, list[PostingElement]] = {}
+        missing: list[int] = []
+        l1_hits = 0
+        for pl_id in pl_ids:
+            entry = l1.get((self.user_id, fingerprint, num_servers, pl_id))
+            if entry is None:
+                missing.append(pl_id)
+            else:
+                out[pl_id] = list(entry)
+                l1_hits += 1
+                coordinator.note_cache_read(pl_id)
+        if missing:
+            # _fetch_lists (inside) resets last_cluster_diagnostics for
+            # this query; the L1 tallies are re-applied after.
+            fetched = self._reconstruct_lists(missing, num_servers)
+            for pl_id in missing:
+                elements = fetched[pl_id]
+                out[pl_id] = elements
+                if pl_id not in self._last_unresolved:
+                    l1.put(
+                        (self.user_id, fingerprint, num_servers, pl_id),
+                        pl_id,
+                        tuple(elements),
+                    )
+        else:
+            self.last_cluster_diagnostics = ClusterDiagnostics()
+        self.last_cluster_diagnostics.l1_hits += l1_hits
         return out
 
     def _fetch_with_failover(

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import pathlib
 import threading
+import weakref
 from collections import deque
 from dataclasses import dataclass, field
 from random import Random
@@ -56,6 +57,7 @@ from repro.extensions.dht import ConsistentHashRing
 from repro.protocol.messages import (
     AdoptListRequest,
     AdoptSnapshotRequest,
+    CacheInvalidateRequest,
     DropListRequest,
     ExportListRequest,
     ShipSnapshotRequest,
@@ -413,6 +415,19 @@ class ClusterCoordinator:
         #: The repair thread's current backoff (None: not running);
         #: surfaced in ``status_snapshot()["repair"]``.
         self.repair_backoff_s: float | None = None
+        #: Searcher-local L1 caches subscribed to write invalidations.
+        #: Weakly referenced: a searcher that goes away takes its L1
+        #: with it, with no unsubscribe ceremony.
+        self._l1_caches: weakref.WeakSet = weakref.WeakSet()
+        #: Endpoint name of the shared cache tier, when one is attached
+        #: (:meth:`attach_cache_tier`); invalidations fan out to it
+        #: through :attr:`transport` before any write is delivered.
+        self.cache_tier_endpoint: str | None = None
+        # Eager L1 eviction on membership change: key rotation alone
+        # would leave a revoked user's entries resident until LRU aged
+        # them out; the subscription drops them the moment the group
+        # table changes.
+        groups.subscribe(self._on_membership_change)
 
     # -- placement -------------------------------------------------------------
 
@@ -448,6 +463,51 @@ class ClusterCoordinator:
                 counts[pod.name] += 1
         return counts
 
+    # -- cache-tier fan-out ------------------------------------------------------
+
+    def register_l1(self, cache) -> None:
+        """Subscribe a searcher-local L1 to write invalidations.
+
+        Weakly held: dropping the searcher (and its cache) is the
+        unsubscribe.
+        """
+        self._l1_caches.add(cache)
+
+    def attach_cache_tier(self, endpoint: str) -> None:
+        """Route invalidations to a shared cache-tier endpoint too."""
+        self.cache_tier_endpoint = endpoint
+
+    def invalidate_list(self, pl_id: int) -> None:
+        """Evict a list from every tier: local share cache, subscribed
+        L1s, and the attached cache tier.
+
+        Called *before* any write (or rebalance, or heal) touches the
+        list on any seat — the invalidate-before-write rule, applied
+        uniformly, is what keeps every tier byte-identical to a fresh
+        fetch. A cache-tier failure propagates: delivering the write
+        anyway would let the tier serve pre-write shares forever, so
+        the write fails loudly instead.
+        """
+        self.cache.invalidate(pl_id)
+        for l1 in list(self._l1_caches):
+            l1.invalidate(pl_id)
+        if self.cache_tier_endpoint is not None:
+            self.transport.call(
+                src="coordinator",
+                dst=self.cache_tier_endpoint,
+                request=CacheInvalidateRequest(pl_ids=(pl_id,)),
+            )
+
+    def _on_membership_change(self, group_id: int, user_id: str) -> None:
+        """Group table changed: evict the affected user's L1 entries now.
+
+        The share cache and L2 keys rotate with the fingerprint (the
+        old entries become unreachable), but eager eviction frees the
+        space and removes even the theoretical stale-replay window.
+        """
+        for l1 in list(self._l1_caches):
+            l1.evict_user(user_id)
+
     # -- write routing (the owner's router) --------------------------------------
 
     def route(self, pl_id: int) -> WriteRoute:
@@ -464,7 +524,7 @@ class ClusterCoordinator:
         full slot set back. The write fails only when no replica pod can
         take >= k shares.
         """
-        self.cache.invalidate(pl_id)
+        self.invalidate_list(pl_id)
         live: list[tuple[int, str]] = []
         missed_by_pod: list[tuple[Pod, list[ServerSlot]]] = []
         for pod in self.pods_of(pl_id):
@@ -954,7 +1014,7 @@ class ClusterCoordinator:
             ):
                 continue
             stats.moved_lists += 1
-            self.cache.invalidate(pl_id)
+            self.invalidate_list(pl_id)
             after_names = {p.name for p in after}
             before_names = {p.name for p in before[pl_id]}
             gained = [p for p in after if p.name not in before_names]
@@ -1261,7 +1321,7 @@ class ClusterCoordinator:
                 # sweep re-elects and retries.
                 stats.failed += 1
                 continue
-            self.cache.invalidate(pl_id)
+            self.invalidate_list(pl_id)
             with self._ledger_lock:
                 stats.repaired_routes += self._clear_ledger_seat_locked(
                     pod_name, pl_id, server_id
@@ -1426,7 +1486,10 @@ class ClusterCoordinator:
             "cache": {
                 "hits": self.cache.stats.hits,
                 "misses": self.cache.stats.misses,
+                "evictions": self.cache.stats.evictions,
+                "invalidations": self.cache.stats.invalidations,
                 "entries": len(self.cache),
+                "capacity": self.cache.capacity,
             },
             "health": self.breakers.snapshot(),
             "repair": {

@@ -27,6 +27,11 @@ import pathlib
 import random
 from typing import Mapping, Sequence
 
+from repro.cachetier import (
+    CACHE_TIER_ENDPOINT,
+    CacheTierService,
+    CacheTierStore,
+)
 from repro.client.batching import BatchPolicy
 from repro.client.owner import DocumentOwner
 from repro.client.searcher import SearchResult
@@ -100,6 +105,9 @@ class ClusterDeployment:
         anti_entropy_interval_s: float | None = None,
         repair_budget: int | None = None,
         admission_max_pending: int | None = None,
+        cache_tier: str | None = None,
+        cache_tier_entries: int = 4096,
+        l1_entries: int = 0,
     ) -> None:
         """Args:
         mapping_table: the public term -> posting-list table.
@@ -163,6 +171,17 @@ class ClusterDeployment:
             without limit. None (default) admits everything — the
             byte-level equivalence suites depend on an unbounded
             server, so shedding is strictly opt-in.
+        cache_tier: when given, the eviction/admission policy name
+            (``"lru"`` or ``"tinylfu"``) of an embedded shared L2
+            cache-tier service, registered as the ordinary protocol
+            endpoint ``"cache-tier"`` — so it is reachable over every
+            transport backend — and wired into the coordinator's
+            write-path invalidation fan-out. None (default) runs
+            without a cache tier.
+        cache_tier_entries: L2 cache-tier capacity in entries.
+        l1_entries: default searcher-local L1 capacity (reconstructed
+            postings); 0 (default) disables the L1. Per-searcher
+            overrides via ``searcher(..., l1_entries=...)``.
         """
         if num_pods < 1:
             raise ClusterError(f"need at least one pod, got {num_pods}")
@@ -216,6 +235,20 @@ class ClusterDeployment:
             bulk_rebalance=bulk_rebalance,
             repair_budget=repair_budget,
         )
+        self.cache_tier_store: CacheTierStore | None = None
+        if cache_tier is not None:
+            # The L2 tier is just another endpoint on the shared
+            # registry, so every transport backend reaches it through
+            # the same dispatch path as the index servers.
+            self.cache_tier_store = CacheTierStore(
+                capacity=cache_tier_entries, policy=cache_tier
+            )
+            self.registry.register(
+                CACHE_TIER_ENDPOINT,
+                CacheTierService(self.cache_tier_store),
+            )
+            self.coordinator.attach_cache_tier(CACHE_TIER_ENDPOINT)
+        self._l1_entries = l1_entries
         if anti_entropy_interval_s is not None:
             self.coordinator.start_repair_thread(
                 interval_s=anti_entropy_interval_s, budget=repair_budget
@@ -381,6 +414,9 @@ class ClusterDeployment:
         token = self.enroll_user(user_id)
         kwargs.setdefault("transport", self.transport)
         kwargs.setdefault("dispatcher", self.dispatcher)
+        if self.cache_tier_store is not None:
+            kwargs.setdefault("cache_tier", CACHE_TIER_ENDPOINT)
+        kwargs.setdefault("l1_entries", self._l1_entries)
         return ClusterSearchClient(
             user_id=user_id,
             token=token,
@@ -585,6 +621,8 @@ class ClusterDeployment:
         server = self._socket_server
         if server is not None and server.admission is not None:
             snapshot["admission"] = server.admission.stats()
+        if self.cache_tier_store is not None:
+            snapshot["cache_tier"] = self.cache_tier_store.stats_snapshot()
         return snapshot
 
     # -- fleet statistics ---------------------------------------------------------------

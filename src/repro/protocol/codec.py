@@ -398,6 +398,81 @@ def _dec_error(r: _Reader) -> m.ErrorResponse:
     return m.ErrorResponse(error=r.text(), message=r.text(), endpoint=r.text())
 
 
+def _enc_cache_get(out: bytearray, msg: m.CacheGetRequest) -> None:
+    _write_str(out, msg.key)
+
+
+def _dec_cache_get(r: _Reader) -> m.CacheGetRequest:
+    return m.CacheGetRequest(key=r.text())
+
+
+def _enc_cache_put(out: bytearray, msg: m.CachePutRequest) -> None:
+    _write_str(out, msg.key)
+    _write_uint(out, msg.pl_id)
+    _write_bytes(out, msg.value)
+
+
+def _dec_cache_put(r: _Reader) -> m.CachePutRequest:
+    return m.CachePutRequest(key=r.text(), pl_id=r.uint(), value=r.blob())
+
+
+def _enc_cache_invalidate(
+    out: bytearray, msg: m.CacheInvalidateRequest
+) -> None:
+    _write_uint(out, len(msg.pl_ids))
+    for pl_id in msg.pl_ids:
+        _write_uint(out, pl_id)
+
+
+def _dec_cache_invalidate(r: _Reader) -> m.CacheInvalidateRequest:
+    return m.CacheInvalidateRequest(
+        pl_ids=tuple(r.uint() for _ in range(r.uint()))
+    )
+
+
+def _enc_cache_stats_req(out: bytearray, msg: m.CacheStatsRequest) -> None:
+    pass
+
+
+def _dec_cache_stats_req(r: _Reader) -> m.CacheStatsRequest:
+    return m.CacheStatsRequest()
+
+
+def _enc_cache_value(out: bytearray, msg: m.CacheValueResponse) -> None:
+    _write_uint(out, 1 if msg.hit else 0)
+    _write_bytes(out, msg.value)
+
+
+def _dec_cache_value(r: _Reader) -> m.CacheValueResponse:
+    return m.CacheValueResponse(hit=r.uint() != 0, value=r.blob())
+
+
+def _enc_cache_stats_resp(
+    out: bytearray, msg: m.CacheStatsResponse
+) -> None:
+    _write_str(out, msg.policy)
+    _write_uint(out, msg.entries)
+    _write_uint(out, msg.capacity)
+    _write_uint(out, msg.hits)
+    _write_uint(out, msg.misses)
+    _write_uint(out, msg.evictions)
+    _write_uint(out, msg.invalidations)
+    _write_uint(out, msg.rejections)
+
+
+def _dec_cache_stats_resp(r: _Reader) -> m.CacheStatsResponse:
+    return m.CacheStatsResponse(
+        policy=r.text(),
+        entries=r.uint(),
+        capacity=r.uint(),
+        hits=r.uint(),
+        misses=r.uint(),
+        evictions=r.uint(),
+        invalidations=r.uint(),
+        rejections=r.uint(),
+    )
+
+
 # -- packed record arrays (the async/pipelined protocol revision) -------------
 #
 # Varint-decoding a share record costs ~15 Python bytecode loops per
@@ -591,6 +666,14 @@ _REGISTRY: dict[int, tuple[type, Callable, Callable]] = {
         _enc_adopt_snapshot,
         _dec_adopt_snapshot,
     ),
+    0x0C: (m.CacheGetRequest, _enc_cache_get, _dec_cache_get),
+    0x0D: (m.CachePutRequest, _enc_cache_put, _dec_cache_put),
+    0x0E: (
+        m.CacheInvalidateRequest,
+        _enc_cache_invalidate,
+        _dec_cache_invalidate,
+    ),
+    0x0F: (m.CacheStatsRequest, _enc_cache_stats_req, _dec_cache_stats_req),
     0x21: (m.OpCountResponse, _enc_count, _dec_count),
     0x22: (m.FetchListsResponse, _enc_lists, _dec_lists),
     0x23: (m.SnippetResponse, _enc_snippet_resp, _dec_snippet_resp),
@@ -599,6 +682,12 @@ _REGISTRY: dict[int, tuple[type, Callable, Callable]] = {
     0x26: (m.EndpointsResponse, _enc_endpoints_resp, _dec_endpoints_resp),
     0x27: (m.ErrorResponse, _enc_error, _dec_error),
     0x28: (m.SnapshotResponse, _enc_snapshot_resp, _dec_snapshot_resp),
+    0x29: (m.CacheValueResponse, _enc_cache_value, _dec_cache_value),
+    0x2A: (
+        m.CacheStatsResponse,
+        _enc_cache_stats_resp,
+        _dec_cache_stats_resp,
+    ),
 }
 
 #: Packed variants: same message classes, new type bytes (0x40 block),

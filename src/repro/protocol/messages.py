@@ -24,6 +24,10 @@ ShipSnapshotRequest   pl_ids (admin/bulk transfer)     SnapshotResponse
 AdoptSnapshotRequest  pl_ids + ZSNP image + suffix     OpCountResponse
 ServerStatusRequest   —  (admin/observability)         ServerStatusResponse
 EndpointsRequest      —  (transport discovery)         EndpointsResponse
+CacheGetRequest       cache key (cache tier)           CacheValueResponse
+CachePutRequest       key + pl_id + value (cache)      OpCountResponse
+CacheInvalidateRequest  pl_ids (cache tier)            OpCountResponse
+CacheStatsRequest     —  (cache tier observability)    CacheStatsResponse
 (any, on failure)                                      ErrorResponse
 ====================  ==============================  ====================
 
@@ -250,6 +254,74 @@ class EndpointsRequest:
         return 4
 
 
+@dataclass(frozen=True)
+class CacheGetRequest:
+    """Cache tier: look one entry up by its opaque key.
+
+    Keys are built client-side from the group fingerprint, the fan-out
+    width, and the posting-list id (see
+    :mod:`repro.cachetier.store`) — the cache tier itself never
+    interprets them beyond exact-match lookup.
+    """
+
+    key: str
+
+    kind = "cache"
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return 4 + len(self.key)
+
+
+@dataclass(frozen=True)
+class CachePutRequest:
+    """Cache tier: store one opaque value under ``key``.
+
+    ``pl_id`` rides along so write-path invalidation can evict by
+    posting list without the tier understanding the key scheme. The
+    value is the encoded share-level entry
+    (:func:`repro.cachetier.wire.encode_entry`) — shares only, never
+    reconstructed postings, so a stolen cache tier is exactly as useless
+    as a compromised index server (§5).
+    """
+
+    key: str
+    pl_id: int
+    value: bytes
+
+    kind = "cache"
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return 4 + len(self.key) + 4 + len(self.value)
+
+
+@dataclass(frozen=True)
+class CacheInvalidateRequest:
+    """Cache tier: evict every entry of the named posting lists.
+
+    Sent by the coordinator *before* a write is delivered to any seat —
+    the same invalidate-before-write rule the coordinator's local share
+    cache enforces. Idempotent: invalidating an absent list evicts
+    nothing and succeeds.
+    """
+
+    pl_ids: tuple[int, ...]
+
+    kind = "cache"
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return 4 + 4 * len(self.pl_ids)
+
+
+@dataclass(frozen=True)
+class CacheStatsRequest:
+    """Cache tier observability: counters and occupancy."""
+
+    kind = "cache"
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return 4
+
+
 # -- responses ----------------------------------------------------------------
 
 
@@ -330,6 +402,38 @@ class EndpointsResponse:
 
 
 @dataclass(frozen=True)
+class CacheValueResponse:
+    """The cache tier's answer to :class:`CacheGetRequest`.
+
+    ``hit`` distinguishes "absent" from "present and empty" — an empty
+    posting list is a perfectly cacheable fact.
+    """
+
+    hit: bool
+    value: bytes = b""
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return 1 + len(self.value)
+
+
+@dataclass(frozen=True)
+class CacheStatsResponse:
+    """Cache-tier counters: the memcache ``stats`` analogue."""
+
+    policy: str
+    entries: int
+    capacity: int
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    rejections: int
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return len(self.policy) + 7 * 4
+
+
+@dataclass(frozen=True)
 class ErrorResponse:
     """A server-side failure shipped back over the wire.
 
@@ -364,6 +468,10 @@ REQUEST_TYPES = (
     AdoptSnapshotRequest,
     ServerStatusRequest,
     EndpointsRequest,
+    CacheGetRequest,
+    CachePutRequest,
+    CacheInvalidateRequest,
+    CacheStatsRequest,
 )
 
 RESPONSE_TYPES = (
@@ -375,4 +483,6 @@ RESPONSE_TYPES = (
     ServerStatusResponse,
     EndpointsResponse,
     ErrorResponse,
+    CacheValueResponse,
+    CacheStatsResponse,
 )

@@ -55,6 +55,9 @@ from repro.errors import (
 from repro.protocol.codec import decode_message, encode_message
 from repro.protocol.messages import (
     DEFAULT_SHARE_BYTES,
+    CacheGetRequest,
+    CacheInvalidateRequest,
+    CacheStatsRequest,
     EndpointsRequest,
     EndpointsResponse,
     ErrorResponse,
@@ -93,6 +96,13 @@ _RETRY_SAFE = (
     ShipSnapshotRequest,
     ServerStatusRequest,
     EndpointsRequest,
+    # Cache-tier reads are pure; invalidation is idempotent (evicting an
+    # already-evicted list is a no-op), so re-sending it is safe. A
+    # CachePut is *not* retry-safe by policy: a lost put only costs a
+    # future miss, so it fails fast like every other write.
+    CacheGetRequest,
+    CacheStatsRequest,
+    CacheInvalidateRequest,
 )
 
 _LEN = struct.Struct(">I")

@@ -30,6 +30,19 @@ class GroupDirectory:
         self._members: dict[int, set[str]] = defaultdict(set)
         self._groups_of: dict[str, set[int]] = defaultdict(set)
         self._coordinators: dict[int, str] = {}
+        #: Membership-change listeners, called as ``listener(group_id,
+        #: user_id)`` after every add/remove. Cache layers subscribe so
+        #: a revocation evicts eagerly instead of waiting for key
+        #: rotation to age old entries out.
+        self._listeners: list = []
+
+    def subscribe(self, listener) -> None:
+        """Register a ``listener(group_id, user_id)`` membership hook."""
+        self._listeners.append(listener)
+
+    def _notify(self, group_id: int, user_id: str) -> None:
+        for listener in list(self._listeners):
+            listener(group_id, user_id)
 
     # -- administration ------------------------------------------------------
 
@@ -59,6 +72,7 @@ class GroupDirectory:
         self._check_actor(group_id, actor)
         self._members[group_id].add(user_id)
         self._groups_of[user_id].add(group_id)
+        self._notify(group_id, user_id)
 
     def remove_member(
         self, group_id: int, user_id: str, actor: str | None = None
@@ -67,6 +81,7 @@ class GroupDirectory:
         self._check_actor(group_id, actor)
         self._members[group_id].discard(user_id)
         self._groups_of[user_id].discard(group_id)
+        self._notify(group_id, user_id)
 
     # -- lookup (the Fig. 3 query path) -----------------------------------------
 

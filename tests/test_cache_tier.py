@@ -1,0 +1,419 @@
+"""The tiered cache subsystem: policies, store, wire format, service,
+searcher-local L1, and full-cluster integration over every transport.
+
+The acceptance property throughout: a cached read is byte-identical to
+an uncached read — the tiers may only change *cost*, never answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import make_cluster, make_documents
+from repro.cachetier import (
+    CACHE_TIER_ENDPOINT,
+    CacheTierService,
+    CacheTierStore,
+    FrequencySketch,
+    L1PostingCache,
+    decode_entry,
+    encode_entry,
+    entry_key,
+    make_policy,
+)
+from repro.corpus.document import Document
+from repro.errors import ClusterError, ProtocolError
+from repro.protocol.messages import (
+    CacheGetRequest,
+    CacheInvalidateRequest,
+    CachePutRequest,
+    CacheStatsRequest,
+    FetchListsRequest,
+)
+from repro.protocol.transport import _RETRY_SAFE, InProcessTransport
+from repro.server.index_server import PostingListResponse, ShareRecord
+
+
+class TestPolicies:
+    def test_lru_evicts_least_recently_used(self):
+        policy = make_policy("lru", 3)
+        for key in ("a", "b", "c"):
+            policy.record_insert(key)
+        policy.touch("a")  # refresh: b is now the oldest
+        assert policy.admit("d") == "b"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ClusterError):
+            make_policy("clock", 8)
+
+    def test_sketch_estimates_track_increments(self):
+        sketch = FrequencySketch(width=64)
+        for _ in range(5):
+            sketch.increment("hot")
+        assert sketch.estimate("hot") >= 5
+        assert sketch.estimate("never-seen") == 0
+
+    def test_sketch_counters_saturate_and_age(self):
+        sketch = FrequencySketch(width=8, sample_size=1000)
+        for _ in range(100):
+            sketch.increment("hot")
+        assert sketch.estimate("hot") == 15  # saturation, not 100
+        sketch._age()
+        assert sketch.estimate("hot") <= 7
+
+    def test_sketch_is_deterministic_across_instances(self):
+        # crc32 with fixed seeds, not salted hash(): two sketches fed
+        # the same stream agree exactly (BENCH reproducibility).
+        a, b = FrequencySketch(width=32), FrequencySketch(width=32)
+        for key in ("x", "y", "x", "z", "x"):
+            a.increment(key)
+            b.increment(key)
+        for key in ("x", "y", "z", "w"):
+            assert a.estimate(key) == b.estimate(key)
+
+    def test_tinylfu_rejects_cold_candidate_keeps_hot_victim(self):
+        policy = make_policy("tinylfu", 2)
+        for key in ("hot", "warm"):
+            policy.record_insert(key)
+        for _ in range(6):
+            policy.touch("hot")
+            policy.touch("warm")
+        # A key nobody has asked for must not flush the hot head.
+        assert policy.admit("one-hit-wonder") is None
+        # Sustained demand eventually wins admission.
+        for _ in range(8):
+            policy.touch("riser")
+        assert policy.admit("riser") is not None
+
+
+class TestCacheTierStore:
+    def test_get_put_and_counters(self):
+        store = CacheTierStore(capacity=8)
+        assert store.get("k") is None
+        assert store.put("k", pl_id=3, value=b"v")
+        assert store.get("k") == b"v"
+        snap = store.stats_snapshot()
+        assert (snap["hits"], snap["misses"], snap["entries"]) == (1, 1, 1)
+
+    def test_lru_eviction_at_capacity(self):
+        store = CacheTierStore(capacity=2)
+        store.put("a", 0, b"0")
+        store.put("b", 1, b"1")
+        store.get("a")  # refresh: b is the LRU victim
+        store.put("c", 2, b"2")
+        assert store.get("b") is None
+        assert store.get("a") == b"0"
+        assert store.evictions == 1
+
+    def test_invalidate_evicts_every_key_of_the_list(self):
+        store = CacheTierStore(capacity=8)
+        store.put("g1|3|7", 7, b"x")
+        store.put("g2|3|7", 7, b"y")
+        store.put("g1|3|8", 8, b"z")
+        assert store.invalidate(7) == 2
+        assert store.get("g1|3|7") is None
+        assert store.get("g1|3|8") == b"z"
+        assert store.invalidate(7) == 0  # idempotent
+
+    def test_update_in_place_reindexes_pl(self):
+        store = CacheTierStore(capacity=8)
+        store.put("k", 1, b"old")
+        store.put("k", 2, b"new")
+        assert store.invalidate(1) == 0
+        assert store.invalidate(2) == 1
+
+    def test_capacity_zero_disables(self):
+        store = CacheTierStore(capacity=0)
+        assert not store.put("k", 0, b"v")
+        assert store.get("k") is None
+
+    def test_tinylfu_store_counts_rejections(self):
+        store = CacheTierStore(capacity=1, policy="tinylfu")
+        for _ in range(5):
+            store.get("hot")  # feeds the sketch
+        store.put("hot", 0, b"h")
+        assert not store.put("cold", 1, b"c")  # admission rejected
+        assert store.rejections == 1
+        assert store.get("hot") == b"h"
+
+
+class TestWireFormat:
+    def _pairs(self):
+        return [
+            (
+                0,
+                PostingListResponse(
+                    pl_id=5,
+                    records=(
+                        ShareRecord(element_id=9, group_id=1, share_y=123),
+                        ShareRecord(element_id=10, group_id=2, share_y=7),
+                    ),
+                ),
+            ),
+            (2, PostingListResponse(pl_id=5, records=())),
+        ]
+
+    def test_entry_round_trip(self):
+        pairs = self._pairs()
+        assert decode_entry(encode_entry(pairs)) == pairs
+        assert decode_entry(encode_entry([])) == []
+
+    def test_corrupt_entry_fails_loudly(self):
+        blob = encode_entry(self._pairs())
+        with pytest.raises(ProtocolError):
+            decode_entry(blob + b"\x00")
+        with pytest.raises(ProtocolError):
+            decode_entry(blob[:-1])
+
+    def test_entry_key_is_user_free_and_order_insensitive(self):
+        assert entry_key(frozenset({2, 1}), 3, 9) == "1,2|3|9"
+        # identical group sets -> identical key, whoever asks
+        assert entry_key([1, 2], 3, 9) == entry_key((2, 1), 3, 9)
+
+
+class TestCacheTierService:
+    def _tier(self):
+        transport = InProcessTransport()
+        transport.register(
+            CACHE_TIER_ENDPOINT, CacheTierService(CacheTierStore(capacity=8))
+        )
+        return transport
+
+    def test_protocol_round_trip(self):
+        transport = self._tier()
+
+        def call(request):
+            return transport.call(
+                src="client", dst=CACHE_TIER_ENDPOINT, request=request
+            )
+
+        assert call(CacheGetRequest(key="k")).hit is False
+        assert call(CachePutRequest(key="k", pl_id=4, value=b"v")).count == 1
+        got = call(CacheGetRequest(key="k"))
+        assert (got.hit, got.value) == (True, b"v")
+        assert call(CacheInvalidateRequest(pl_ids=(4, 5))).count == 1
+        assert call(CacheGetRequest(key="k")).hit is False
+        stats = call(CacheStatsRequest())
+        assert (stats.hits, stats.misses) == (1, 2)
+        assert stats.policy == "lru"
+
+    def test_non_cache_messages_rejected(self):
+        service = CacheTierService(CacheTierStore())
+        with pytest.raises(ProtocolError):
+            service.handle(FetchListsRequest(token="t", pl_ids=(1,)))
+
+    def test_retry_safety_membership(self):
+        # Reads and idempotent invalidations may be re-sent; a put is a
+        # write and must fail fast like every other write.
+        assert CacheGetRequest in _RETRY_SAFE
+        assert CacheStatsRequest in _RETRY_SAFE
+        assert CacheInvalidateRequest in _RETRY_SAFE
+        assert CachePutRequest not in _RETRY_SAFE
+
+
+class TestL1PostingCache:
+    def test_hit_miss_and_lru_eviction(self):
+        l1 = L1PostingCache(capacity=2)
+        key_a = ("u", frozenset({1}), 3, 0)
+        key_b = ("u", frozenset({1}), 3, 1)
+        assert l1.get(key_a) is None
+        l1.put(key_a, 0, ("ea",))
+        l1.put(key_b, 1, ("eb",))
+        assert l1.get(key_a) == ("ea",)
+        l1.put(("u", frozenset({1}), 3, 2), 2, ("ec",))  # evicts b
+        assert l1.get(key_b) is None
+        assert l1.evictions == 1
+
+    def test_invalidate_by_list(self):
+        l1 = L1PostingCache(capacity=8)
+        l1.put(("u", frozenset({1}), 3, 5), 5, ("e",))
+        l1.put(("v", frozenset({2}), 3, 5), 5, ("f",))
+        l1.put(("u", frozenset({1}), 3, 6), 6, ("g",))
+        assert l1.invalidate(5) == 2
+        assert len(l1) == 1
+
+    def test_evict_user_only_touches_that_user(self):
+        l1 = L1PostingCache(capacity=8)
+        l1.put(("alice", frozenset({1}), 3, 5), 5, ("e",))
+        l1.put(("bob", frozenset({1}), 3, 5), 5, ("f",))
+        assert l1.evict_user("alice") == 1
+        assert l1.get(("bob", frozenset({1}), 3, 5)) == ("f",)
+
+    def test_capacity_zero_is_inert(self):
+        l1 = L1PostingCache(capacity=0)
+        l1.put(("u", frozenset(), 3, 0), 0, ("e",))
+        assert len(l1) == 0
+
+
+def _result_bytes(results):
+    return [(r.doc_id, r.score) for r in results]
+
+
+class TestClusterIntegration:
+    """The tiers against a real cluster, over every transport backend."""
+
+    @pytest.mark.parametrize(
+        "transport", ["in-process", "socket", "async-socket"]
+    )
+    def test_cached_reads_byte_identical_with_midrun_invalidation(
+        self, transport
+    ):
+        documents = make_documents(num_docs=10)
+        plain = make_cluster(documents, n=3, transport=transport)
+        cached = make_cluster(
+            documents,
+            n=3,
+            transport=transport,
+            cache_tier="lru",
+            l1_entries=32,
+            cache_entries=0,  # every hit comes from the new tiers
+        )
+        try:
+            for cluster in (plain, cached):
+                cluster.add_member(0, "alice", actor="owner0")
+            searcher = cached.searcher("alice")
+            queries = [["w3", "w5"], ["w1"], ["w3", "w5"], ["w3", "w5"]]
+            for terms in queries:
+                expected = plain.search("alice", terms, use_cache=False)
+                got = searcher.search(terms)
+                assert _result_bytes(got) == _result_bytes(expected)
+            diag = searcher.last_cluster_diagnostics
+            assert diag.l1_hits > 0  # the repeats actually hit
+            # Mid-run write: invalidation must beat the next read.
+            newdoc = Document(
+                doc_id=900, group_id=0, host="host0",
+                term_counts={"w3": 5}, length=5, text="w3",
+            )
+            for cluster in (plain, cached):
+                cluster.share_document("owner0", newdoc)
+                cluster.flush_all()
+            expected = plain.search("alice", ["w3"], use_cache=False)
+            got = searcher.search(["w3"])
+            assert _result_bytes(got) == _result_bytes(expected)
+            assert 900 in {r.doc_id for r in got}
+            tier = cached.status_snapshot()["cache_tier"]
+            assert tier["invalidations"] > 0
+        finally:
+            plain.close()
+            cached.close()
+
+    def test_l2_serves_a_fresh_searcher(self):
+        documents = make_documents(num_docs=10)
+        cluster = make_cluster(
+            documents, cache_tier="lru", cache_entries=0
+        )
+        try:
+            cluster.add_member(0, "alice", actor="owner0")
+            first = cluster.searcher("alice")
+            r1 = first.search(["w3", "w5"])
+            # A brand new searcher has a cold L1 but shares the tier.
+            second = cluster.searcher("alice")
+            r2 = second.search(["w3", "w5"])
+            assert _result_bytes(r1) == _result_bytes(r2)
+            assert second.last_cluster_diagnostics.l2_hits > 0
+        finally:
+            cluster.close()
+
+    def test_verify_mode_bypasses_the_tiers(self):
+        documents = make_documents(num_docs=8)
+        cluster = make_cluster(
+            documents, cache_tier="lru", l1_entries=32
+        )
+        try:
+            cluster.add_member(0, "alice", actor="owner0")
+            searcher = cluster.searcher("alice")
+            searcher.search(["w3"])
+            checker = cluster.searcher("alice", verify_consistency=True)
+            checker.search(["w3"])
+            diag = checker.last_cluster_diagnostics
+            assert diag.l1_hits == 0 and diag.l2_hits == 0
+        finally:
+            cluster.close()
+
+    def test_revoked_group_read_is_eagerly_evicted(self):
+        """Satellite regression: revocation evicts the L1 *now*, not
+        whenever fingerprint rotation happens to age the entry out."""
+        documents = make_documents(num_docs=10)
+        cluster = make_cluster(
+            documents, cache_tier="lru", l1_entries=32
+        )
+        try:
+            cluster.add_member(0, "alice", actor="owner0")
+            searcher = cluster.searcher("alice")
+            warm = searcher.search(["w3", "w5"])
+            assert warm  # the L1 now holds alice's postings
+            assert len(searcher.l1_cache) > 0
+            cluster.remove_member(0, "alice", actor="owner0")
+            # Eager: her entries are gone before any further query.
+            assert all(
+                key[0] != "alice" for key in searcher.l1_cache._entries
+            )
+            assert searcher.search(["w3", "w5"]) == []
+        finally:
+            cluster.close()
+
+    def test_membership_change_of_one_user_spares_others(self):
+        documents = make_documents(num_docs=10)
+        cluster = make_cluster(
+            documents, cache_tier="lru", l1_entries=32
+        )
+        try:
+            cluster.add_member(0, "alice", actor="owner0")
+            cluster.add_member(0, "bob", actor="owner0")
+            alice = cluster.searcher("alice")
+            alice.search(["w3", "w5"])
+            before = len(alice.l1_cache)
+            assert before > 0
+            # bob's revocation must not evict alice's entries…
+            cluster.remove_member(0, "bob", actor="owner0")
+            assert len(alice.l1_cache) == before
+            # …and her repeat query still hits.
+            alice.search(["w3", "w5"])
+            assert alice.last_cluster_diagnostics.l1_hits > 0
+        finally:
+            cluster.close()
+
+    def test_share_cache_counters_surface_in_status(self):
+        """Satellite: hit/miss/eviction counters in status_snapshot."""
+        documents = make_documents(num_docs=8)
+        cluster = make_cluster(documents)
+        try:
+            cluster.add_member(0, "alice", actor="owner0")
+            searcher = cluster.searcher("alice")
+            searcher.search(["w3"])
+            searcher.search(["w3"])
+            cache = cluster.status_snapshot()["cache"]
+            for field in (
+                "hits", "misses", "evictions", "invalidations",
+                "entries", "capacity",
+            ):
+                assert field in cache
+            assert cache["hits"] > 0
+        finally:
+            cluster.close()
+
+    def test_cache_tier_failure_degrades_reads_but_fails_writes(self):
+        """The tier is an accelerator for reads (silent fallback) but a
+        dependency for write invalidation (loud failure keeps it from
+        ever serving pre-write bytes)."""
+        documents = make_documents(num_docs=8)
+        cluster = make_cluster(
+            documents, cache_tier="lru", cache_entries=0
+        )
+        try:
+            cluster.add_member(0, "alice", actor="owner0")
+            searcher = cluster.searcher("alice")
+            expected = _result_bytes(searcher.search(["w3", "w5"]))
+            # Tear the tier's endpoint down mid-flight.
+            cluster.registry.unregister(CACHE_TIER_ENDPOINT)
+            got = searcher.search(["w3", "w5"])
+            assert _result_bytes(got) == expected  # reads degrade fine
+            newdoc = Document(
+                doc_id=901, group_id=0, host="host0",
+                term_counts={"w3": 2}, length=2, text="w3",
+            )
+            with pytest.raises(Exception):
+                cluster.share_document("owner0", newdoc)
+                cluster.flush_all()
+        finally:
+            cluster.close()

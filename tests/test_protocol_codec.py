@@ -117,6 +117,34 @@ messages = st.one_of(
     st.builds(
         m.ErrorResponse, error=texts, message=texts, endpoint=texts
     ),
+    st.builds(m.CacheGetRequest, key=texts),
+    st.builds(
+        m.CachePutRequest,
+        key=texts,
+        pl_id=small_uints,
+        value=st.binary(max_size=64),
+    ),
+    st.builds(
+        m.CacheInvalidateRequest,
+        pl_ids=st.lists(small_uints, max_size=8).map(tuple),
+    ),
+    st.just(m.CacheStatsRequest()),
+    st.builds(
+        m.CacheValueResponse,
+        hit=st.booleans(),
+        value=st.binary(max_size=64),
+    ),
+    st.builds(
+        m.CacheStatsResponse,
+        policy=texts,
+        entries=small_uints,
+        capacity=small_uints,
+        hits=small_uints,
+        misses=small_uints,
+        evictions=small_uints,
+        invalidations=small_uints,
+        rejections=small_uints,
+    ),
 )
 
 
@@ -236,6 +264,17 @@ def test_wire_bytes_match_the_historical_cost_model():
     )
     assert lists.wire_bytes(9) == 4 + (4 + 4 + 9)
     assert m.OpCountResponse(count=7).wire_bytes() == 8
+    assert m.CacheGetRequest(key="a|3|9").wire_bytes() == 4 + 5
+    put = m.CachePutRequest(key="a|3|9", pl_id=9, value=b"\x00" * 10)
+    assert put.wire_bytes() == 4 + 5 + 4 + 10
+    assert m.CacheInvalidateRequest(pl_ids=(1, 2)).wire_bytes() == 4 + 8
+    assert m.CacheStatsRequest().wire_bytes() == 4
+    assert m.CacheValueResponse(hit=True, value=b"ab").wire_bytes() == 3
+    stats = m.CacheStatsResponse(
+        policy="lru", entries=1, capacity=2, hits=3, misses=4,
+        evictions=5, invalidations=6, rejections=7,
+    )
+    assert stats.wire_bytes() == 3 + 7 * 4
 
 
 # -- packed encodings (the pipelined revision's record forms) -----------------
