@@ -27,7 +27,12 @@ from repro.cachetier.policies import (
 )
 from repro.cachetier.service import CACHE_TIER_ENDPOINT, CacheTierService
 from repro.cachetier.store import CacheTierStore
-from repro.cachetier.wire import decode_entry, encode_entry, entry_key
+from repro.cachetier.wire import (
+    decode_entry,
+    encode_entry,
+    entry_key,
+    parse_key,
+)
 
 __all__ = [
     "CACHE_TIER_ENDPOINT",
@@ -42,4 +47,5 @@ __all__ = [
     "encode_entry",
     "entry_key",
     "make_policy",
+    "parse_key",
 ]

@@ -3,12 +3,14 @@
 Memcache-shaped on purpose: opaque string keys, opaque byte values,
 exact-match get/put, plus the one Zerber-specific verb — invalidate by
 posting-list id. The store never interprets keys or values; the key
-scheme (group fingerprint × fan-out width × posting list) and the value
-format (encoded slot-aligned share responses, see
-:mod:`repro.cachetier.wire`) are entirely client-side conventions.
-Holding only share-level data is the §5 safety argument: a stolen cache
-tier yields exactly what a compromised index server yields — r-confidential
-shares, not postings.
+scheme (group fingerprint × fan-out width × posting list × write
+epoch) and the value format (encoded slot-aligned share responses, see
+:mod:`repro.cachetier.wire`) are client-side conventions, and access
+control — token verification plus the fingerprint check — lives in the
+protocol layer (:class:`repro.cachetier.service.CacheTierService`),
+not here. Note the values are share-*encoded* but not share-*safe*: an
+entry aggregates >= k shares per element, so the host this store runs
+on sits inside the trust boundary (see ``docs/ARCHITECTURE.md``).
 
 Thread safety: the socket and async servers dispatch requests from
 multiple connection threads, so every public method takes the store

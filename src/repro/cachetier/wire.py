@@ -10,12 +10,20 @@ reimplemented.
 
 Shares only, never reconstructed postings: an L2 value decodes to the
 same slot-aligned share responses a server fleet would have returned,
-which is what makes a cached read byte-identical to an uncached one and
-a stolen cache no more useful than a compromised server (§5).
+which is what makes a cached read byte-identical to an uncached one.
+Unlike a single index server's store, though, one value aggregates the
+*whole* slot-aligned fetch — at least k shares per element — so it is
+Lagrange-reconstructible by whoever holds it. That is why the tier
+authenticates every get/put and re-checks the key's group fingerprint
+against the live group directory (:class:`repro.cachetier.service
+.CacheTierService`), and why a compromised cache-tier *host* must be
+treated like k compromised index servers, not one (see the "Cache
+tier" safety argument in ``docs/ARCHITECTURE.md``).
 """
 
 from __future__ import annotations
 
+from repro.errors import ProtocolError
 from repro.protocol.codec import Reader, write_uint
 from repro.server.index_server import PostingListResponse, ShareRecord
 
@@ -62,8 +70,10 @@ def decode_entry(data: bytes) -> Entry:
     return pairs
 
 
-def entry_key(fingerprint, num_servers: int, pl_id: int) -> str:
-    """The L2 key scheme: group fingerprint × fan-out width × list.
+def entry_key(
+    fingerprint, num_servers: int, pl_id: int, epoch: int = 0
+) -> str:
+    """The L2 key scheme: fingerprint × fan-out width × list × epoch.
 
     No user id — index servers filter responses by group membership
     only, so two users with identical group sets receive identical
@@ -71,6 +81,36 @@ def entry_key(fingerprint, num_servers: int, pl_id: int) -> str:
     wide tier). A membership change rotates the fingerprint and thus
     the key, exactly the re-keying rule the per-coordinator share cache
     relies on.
+
+    ``epoch`` is the list's coordinator write epoch, captured *before*
+    the fetch that produced the entry. Invalidation bumps the epoch, so
+    a look-aside fill that raced a concurrent write installs its
+    pre-write shares under a key no post-write reader ever derives —
+    the fence that keeps the byte-identity invariant under concurrent
+    write+read (readers always key gets by the current epoch).
     """
     groups = ",".join(str(g) for g in sorted(fingerprint))
-    return f"{groups}|{num_servers}|{pl_id}"
+    return f"{groups}|{num_servers}|{pl_id}|{epoch}"
+
+
+def parse_key(key: str) -> tuple[frozenset[int], int, int, int]:
+    """Split an L2 key into (group set, num_servers, pl_id, epoch).
+
+    The tier uses the group-set component to enforce access control —
+    a key is trivially forgeable, so the fingerprint it claims must be
+    checked against the caller's live group memberships, never trusted.
+
+    Raises:
+        ProtocolError: the key does not follow the scheme.
+    """
+    parts = key.split("|")
+    if len(parts) != 4:
+        raise ProtocolError(f"malformed cache key {key!r}")
+    groups_part, num_servers, pl_id, epoch = parts
+    try:
+        groups = frozenset(
+            int(g) for g in groups_part.split(",") if g != ""
+        )
+        return groups, int(num_servers), int(pl_id), int(epoch)
+    except ValueError as exc:
+        raise ProtocolError(f"malformed cache key {key!r}") from exc

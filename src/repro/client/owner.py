@@ -322,6 +322,21 @@ class DocumentOwner:
                     )
             for server_id, operations in ops_by_server.items():
                 self._deliver("insert", server_id, operations)
+            self._complete_writes(route_memo)
+
+    def _complete_writes(self, route_memo: dict) -> None:
+        """Fence the delivered lists' cache epochs (cluster routers).
+
+        The router invalidated every tier when it routed; this second
+        epoch bump closes the invalidate→delivery window, in which a
+        reader could fetch pre-write shares under the post-invalidate
+        epoch and fill them back into a cache. Runs inside the repair
+        span, after the last seat took the batch.
+        """
+        complete = getattr(self._router, "complete_write", None)
+        if complete is not None:
+            for pl_id in route_memo:
+                complete(pl_id)
 
     def _deliver(
         self, kind: str, server_id: str, operations: list
@@ -398,6 +413,7 @@ class DocumentOwner:
                         entries.append(("delete", op))
             for server_id, server_ops in ops_by_server.items():
                 self._deliver("delete", server_id, server_ops)
+            self._complete_writes(route_memo)
         self.local_index.delete_document(doc_id)
         self._documents.pop(doc_id, None)
         return len(operations)

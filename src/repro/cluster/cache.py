@@ -17,11 +17,17 @@ Two rules keep the cache exactly as safe as talking to the servers:
   changes, so stale ACL-filtered entries become unreachable and age out
   via LRU instead of ever being served.
 
-Cached values are Shamir shares, so a stolen cache is exactly as useless
-as a compromised server (§5).
+Cached values are Shamir-share *bundles*: one entry joins >= k shares
+per element, enough to reconstruct, so unlike a single compromised
+server (one r-confidential share, §5) this cache must stay inside the
+coordinator/client trust boundary — it is never exposed to other
+principals.
 
 Keys are deliberately **pod-agnostic**: ``(user, group fingerprint,
-fetch width, pl_id)`` — never the pod that served the fetch. Replica
+fetch width, pl_id, write epoch)`` — never the pod that served the
+fetch. The epoch is bumped by the coordinator on every invalidation and
+on write completion, so a slow fill that raced a write re-installs
+under a dead key. Replica
 pods hold identical slot-aligned shares, so an entry fetched from pod A
 is byte-equal to what pod B would have returned, and it keeps serving
 hits after A dies; likewise writes invalidate by ``pl_id`` alone, which

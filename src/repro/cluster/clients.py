@@ -284,12 +284,28 @@ class ClusterSearchClient(SearchClient):
             if caching
             else None
         )
+        # Epochs are captured once, before any share leaves a seat: a
+        # fill is installed under the captured epoch, so a write that
+        # invalidates (and bumps) mid-fetch fences the fill into a key
+        # no later reader derives — re-installing pre-write shares
+        # after an invalidation is the race this closes.
+        epochs = (
+            {pl_id: coordinator.write_epoch(pl_id) for pl_id in pl_ids}
+            if caching
+            else {}
+        )
         out: list[tuple[int, list[PostingListResponse]]] = []
         need: list[int] = []
         for pl_id in pl_ids:
             # num_servers is part of the key: a wider request must
             # not be satisfied by a narrower fetch.
-            key = (self.user_id, fingerprint, num_servers, pl_id)
+            key = (
+                self.user_id,
+                fingerprint,
+                num_servers,
+                pl_id,
+                epochs.get(pl_id),
+            )
             entry = cache.get(key) if cache is not None else None
             if entry is not None:
                 diag.cache_hits += 1
@@ -310,7 +326,7 @@ class ClusterSearchClient(SearchClient):
             still: list[int] = []
             for pl_id in need:
                 entry = self._cache_tier_get(
-                    fingerprint, num_servers, pl_id
+                    fingerprint, num_servers, pl_id, epochs[pl_id]
                 )
                 if entry is None:
                     still.append(pl_id)
@@ -321,7 +337,13 @@ class ClusterSearchClient(SearchClient):
                     out.append((slot_index, [response]))
                 if cache is not None:
                     cache.put(
-                        (self.user_id, fingerprint, num_servers, pl_id),
+                        (
+                            self.user_id,
+                            fingerprint,
+                            num_servers,
+                            pl_id,
+                            epochs[pl_id],
+                        ),
                         pl_id,
                         entry,
                     )
@@ -343,26 +365,32 @@ class ClusterSearchClient(SearchClient):
             if pairs and pl_id not in unresolved:
                 if cache is not None:
                     cache.put(
-                        (self.user_id, fingerprint, num_servers, pl_id),
+                        (
+                            self.user_id,
+                            fingerprint,
+                            num_servers,
+                            pl_id,
+                            epochs[pl_id],
+                        ),
                         pl_id,
                         pairs,
                     )
                 if tier is not None:
                     self._cache_tier_put(
-                        fingerprint, num_servers, pl_id, pairs
+                        fingerprint, num_servers, pl_id, epochs[pl_id], pairs
                     )
         return out
 
     def _cache_tier_get(
-        self, fingerprint, num_servers: int, pl_id: int
+        self, fingerprint, num_servers: int, pl_id: int, epoch: int
     ) -> list[tuple[int, PostingListResponse]] | None:
         """One L2 lookup; None on miss, tier failure, or a torn entry."""
-        key = entry_key(fingerprint, num_servers, pl_id)
+        key = entry_key(fingerprint, num_servers, pl_id, epoch)
         try:
             response = self._transport.call(
                 src=self.user_id,
                 dst=self._cache_tier,
-                request=CacheGetRequest(key=key),
+                request=CacheGetRequest(token=self._token, key=key),
             )
         except (TransportError, UnknownEndpointError):
             return None  # the tier is an accelerator, never a dependency
@@ -377,15 +405,22 @@ class ClusterSearchClient(SearchClient):
             return None  # corrupt value: treat as a miss, refetch
 
     def _cache_tier_put(
-        self, fingerprint, num_servers: int, pl_id: int, pairs
+        self, fingerprint, num_servers: int, pl_id: int, epoch: int, pairs
     ) -> None:
-        """Best-effort L2 fill; a lost put only costs a future miss."""
+        """Best-effort L2 fill; a lost put only costs a future miss.
+
+        ``epoch`` is the value captured before the fetch that produced
+        ``pairs`` — never re-read here, or a fill racing an
+        invalidation could install pre-write shares under the current
+        key.
+        """
         try:
             self._transport.call(
                 src=self.user_id,
                 dst=self._cache_tier,
                 request=CachePutRequest(
-                    key=entry_key(fingerprint, num_servers, pl_id),
+                    token=self._token,
+                    key=entry_key(fingerprint, num_servers, pl_id, epoch),
                     pl_id=pl_id,
                     value=encode_entry(pairs),
                 ),
@@ -418,11 +453,26 @@ class ClusterSearchClient(SearchClient):
             return self._reconstruct_lists(pl_ids, num_servers)
         coordinator = self._coordinator
         fingerprint = coordinator.group_fingerprint(self.user_id)
+        # Same fence as the share tiers: the epoch rides in the key,
+        # captured before any fetch, so an L1 fill racing the
+        # coordinator's invalidation thread lands under a dead key
+        # instead of resurrecting pre-write postings.
+        epochs = {
+            pl_id: coordinator.write_epoch(pl_id) for pl_id in pl_ids
+        }
         out: dict[int, list[PostingElement]] = {}
         missing: list[int] = []
         l1_hits = 0
         for pl_id in pl_ids:
-            entry = l1.get((self.user_id, fingerprint, num_servers, pl_id))
+            entry = l1.get(
+                (
+                    self.user_id,
+                    fingerprint,
+                    num_servers,
+                    pl_id,
+                    epochs[pl_id],
+                )
+            )
             if entry is None:
                 missing.append(pl_id)
             else:
@@ -438,7 +488,13 @@ class ClusterSearchClient(SearchClient):
                 out[pl_id] = elements
                 if pl_id not in self._last_unresolved:
                     l1.put(
-                        (self.user_id, fingerprint, num_servers, pl_id),
+                        (
+                            self.user_id,
+                            fingerprint,
+                            num_servers,
+                            pl_id,
+                            epochs[pl_id],
+                        ),
                         pl_id,
                         tuple(elements),
                     )

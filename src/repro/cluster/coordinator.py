@@ -423,6 +423,13 @@ class ClusterCoordinator:
         #: (:meth:`attach_cache_tier`); invalidations fan out to it
         #: through :attr:`transport` before any write is delivered.
         self.cache_tier_endpoint: str | None = None
+        #: pl_id -> write epoch (absent = 0). Bumped by
+        #: :meth:`invalidate_list` and :meth:`complete_write`; baked
+        #: into every cache key so a look-aside fill that raced a
+        #: concurrent write lands under an unreachable key instead of
+        #: re-installing pre-write shares (see :meth:`write_epoch`).
+        self._write_epochs: dict[int, int] = {}
+        self._epoch_lock = threading.Lock()
         # Eager L1 eviction on membership change: key rotation alone
         # would leave a revoked user's entries resident until LRU aged
         # them out; the subscription drops them the moment the group
@@ -477,6 +484,38 @@ class ClusterCoordinator:
         """Route invalidations to a shared cache-tier endpoint too."""
         self.cache_tier_endpoint = endpoint
 
+    def write_epoch(self, pl_id: int) -> int:
+        """The list's current write epoch, part of every cache key.
+
+        Readers capture the epoch *before* fetching and fill caches
+        under the captured value; gets always key by the current value.
+        Any invalidation (or write completion) in between bumps the
+        epoch, so a racing fill installs under a key no later reader
+        derives — eviction alone cannot guarantee that, because a fill
+        can execute after the eviction it raced.
+        """
+        with self._epoch_lock:
+            return self._write_epochs.get(pl_id, 0)
+
+    def _bump_epoch(self, pl_id: int) -> None:
+        with self._epoch_lock:
+            self._write_epochs[pl_id] = (
+                self._write_epochs.get(pl_id, 0) + 1
+            )
+
+    def complete_write(self, pl_id: int) -> None:
+        """A write (route + delivery) finished for the list: fence it.
+
+        :meth:`invalidate_list` runs before delivery, so a reader that
+        starts *inside* the invalidate→delivery window captures the
+        post-invalidate epoch yet can still fetch pre-write shares.
+        Owners call this after the last seat took the write; the extra
+        bump makes that window's fills unreachable too. No eviction is
+        needed — the pre-delivery invalidation already emptied every
+        tier for the list.
+        """
+        self._bump_epoch(pl_id)
+
     def invalidate_list(self, pl_id: int) -> None:
         """Evict a list from every tier: local share cache, subscribed
         L1s, and the attached cache tier.
@@ -486,8 +525,11 @@ class ClusterCoordinator:
         uniformly, is what keeps every tier byte-identical to a fresh
         fetch. A cache-tier failure propagates: delivering the write
         anyway would let the tier serve pre-write shares forever, so
-        the write fails loudly instead.
+        the write fails loudly instead. The epoch bump comes first:
+        once any tier is emptied, every in-flight fill must already be
+        fenced out of the new key space.
         """
+        self._bump_epoch(pl_id)
         self.cache.invalidate(pl_id)
         for l1 in list(self._l1_caches):
             l1.invalidate(pl_id)

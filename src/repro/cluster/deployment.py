@@ -243,9 +243,16 @@ class ClusterDeployment:
             self.cache_tier_store = CacheTierStore(
                 capacity=cache_tier_entries, policy=cache_tier
             )
+            # The tier holds the same enterprise trust anchors an index
+            # server holds: it authenticates every get/put and checks
+            # the key's fingerprint against the live group table.
             self.registry.register(
                 CACHE_TIER_ENDPOINT,
-                CacheTierService(self.cache_tier_store),
+                CacheTierService(
+                    self.cache_tier_store,
+                    auth=self.auth,
+                    groups=self.groups,
+                ),
             )
             self.coordinator.attach_cache_tier(CACHE_TIER_ENDPOINT)
         self._l1_entries = l1_entries

@@ -399,21 +399,25 @@ def _dec_error(r: _Reader) -> m.ErrorResponse:
 
 
 def _enc_cache_get(out: bytearray, msg: m.CacheGetRequest) -> None:
+    _write_token(out, msg.token)
     _write_str(out, msg.key)
 
 
 def _dec_cache_get(r: _Reader) -> m.CacheGetRequest:
-    return m.CacheGetRequest(key=r.text())
+    return m.CacheGetRequest(token=_read_token(r), key=r.text())
 
 
 def _enc_cache_put(out: bytearray, msg: m.CachePutRequest) -> None:
+    _write_token(out, msg.token)
     _write_str(out, msg.key)
     _write_uint(out, msg.pl_id)
     _write_bytes(out, msg.value)
 
 
 def _dec_cache_put(r: _Reader) -> m.CachePutRequest:
-    return m.CachePutRequest(key=r.text(), pl_id=r.uint(), value=r.blob())
+    return m.CachePutRequest(
+        token=_read_token(r), key=r.text(), pl_id=r.uint(), value=r.blob()
+    )
 
 
 def _enc_cache_invalidate(

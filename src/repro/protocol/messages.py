@@ -24,8 +24,8 @@ ShipSnapshotRequest   pl_ids (admin/bulk transfer)     SnapshotResponse
 AdoptSnapshotRequest  pl_ids + ZSNP image + suffix     OpCountResponse
 ServerStatusRequest   —  (admin/observability)         ServerStatusResponse
 EndpointsRequest      —  (transport discovery)         EndpointsResponse
-CacheGetRequest       cache key (cache tier)           CacheValueResponse
-CachePutRequest       key + pl_id + value (cache)      OpCountResponse
+CacheGetRequest       token + cache key (cache tier)   CacheValueResponse
+CachePutRequest       token + key + pl_id + value      OpCountResponse
 CacheInvalidateRequest  pl_ids (cache tier)            OpCountResponse
 CacheStatsRequest     —  (cache tier observability)    CacheStatsResponse
 (any, on failure)                                      ErrorResponse
@@ -65,7 +65,9 @@ from repro.server.index_server import (
 )
 
 #: Bump when the *layout* of an existing message changes.
-PROTOCOL_VERSION = 1
+#: v2: CacheGetRequest/CachePutRequest carry an AuthToken — the cache
+#: tier authenticates callers and verifies group fingerprints.
+PROTOCOL_VERSION = 2
 
 #: Default share width (matches ceil(bits(DEFAULT_PRIME)/8)).
 DEFAULT_SHARE_BYTES = 9
@@ -256,20 +258,26 @@ class EndpointsRequest:
 
 @dataclass(frozen=True)
 class CacheGetRequest:
-    """Cache tier: look one entry up by its opaque key.
+    """Cache tier: look one entry up by its key.
 
     Keys are built client-side from the group fingerprint, the fan-out
-    width, and the posting-list id (see
-    :mod:`repro.cachetier.store`) — the cache tier itself never
-    interprets them beyond exact-match lookup.
+    width, the posting-list id, and the list's write epoch (see
+    :func:`repro.cachetier.wire.entry_key`). The tier *does* interpret
+    the fingerprint component: it verifies ``token`` against the
+    enterprise auth service and serves the entry only when the caller's
+    live group set matches the key's fingerprint — an L2 value bundles
+    >= k shares per element, so an unauthenticated get would hand any
+    client reconstructible postings for groups it never joined,
+    bypassing the index servers' per-request filtering.
     """
 
+    token: AuthToken
     key: str
 
     kind = "cache"
 
     def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
-        return 4 + len(self.key)
+        return self.token.wire_bytes() + 4 + len(self.key)
 
 
 @dataclass(frozen=True)
@@ -277,13 +285,15 @@ class CachePutRequest:
     """Cache tier: store one opaque value under ``key``.
 
     ``pl_id`` rides along so write-path invalidation can evict by
-    posting list without the tier understanding the key scheme. The
+    posting list without the tier understanding the value format. The
     value is the encoded share-level entry
-    (:func:`repro.cachetier.wire.encode_entry`) — shares only, never
-    reconstructed postings, so a stolen cache tier is exactly as useless
-    as a compromised index server (§5).
+    (:func:`repro.cachetier.wire.encode_entry`). ``token`` is verified
+    and the key's group fingerprint checked against the caller's live
+    group set, exactly like :class:`CacheGetRequest` — otherwise any
+    client could poison the entries other fingerprints are served.
     """
 
+    token: AuthToken
     key: str
     pl_id: int
     value: bytes
@@ -291,7 +301,7 @@ class CachePutRequest:
     kind = "cache"
 
     def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
-        return 4 + len(self.key) + 4 + len(self.value)
+        return self.token.wire_bytes() + 4 + len(self.key) + 4 + len(self.value)
 
 
 @dataclass(frozen=True)

@@ -21,8 +21,14 @@ from repro.cachetier import (
     entry_key,
     make_policy,
 )
+from repro.cachetier.wire import parse_key
 from repro.corpus.document import Document
-from repro.errors import ClusterError, ProtocolError
+from repro.errors import (
+    AccessDeniedError,
+    AuthError,
+    ClusterError,
+    ProtocolError,
+)
 from repro.protocol.messages import (
     CacheGetRequest,
     CacheInvalidateRequest,
@@ -31,6 +37,8 @@ from repro.protocol.messages import (
     FetchListsRequest,
 )
 from repro.protocol.transport import _RETRY_SAFE, InProcessTransport
+from repro.server.auth import AuthService, AuthToken
+from repro.server.groups import GroupDirectory
 from repro.server.index_server import PostingListResponse, ShareRecord
 
 
@@ -166,39 +174,155 @@ class TestWireFormat:
             decode_entry(blob[:-1])
 
     def test_entry_key_is_user_free_and_order_insensitive(self):
-        assert entry_key(frozenset({2, 1}), 3, 9) == "1,2|3|9"
+        assert entry_key(frozenset({2, 1}), 3, 9, 4) == "1,2|3|9|4"
         # identical group sets -> identical key, whoever asks
         assert entry_key([1, 2], 3, 9) == entry_key((2, 1), 3, 9)
+
+    def test_entry_key_rotates_with_the_write_epoch(self):
+        # The epoch is the anti-stale-fill fence: a fill captured at
+        # epoch e must never be reachable by a reader at epoch e+1.
+        assert entry_key({1}, 3, 9, 0) != entry_key({1}, 3, 9, 1)
+
+    def test_parse_key_round_trips_and_rejects_garbage(self):
+        assert parse_key(entry_key(frozenset({2, 1}), 3, 9, 7)) == (
+            frozenset({1, 2}),
+            3,
+            9,
+            7,
+        )
+        assert parse_key(entry_key(frozenset(), 3, 9)) == (
+            frozenset(),
+            3,
+            9,
+            0,
+        )
+        for bad in ("", "1,2|3", "1,2|3|9", "a|3|9|0", "1|x|9|0"):
+            with pytest.raises(ProtocolError):
+                parse_key(bad)
 
 
 class TestCacheTierService:
     def _tier(self):
+        """A transport-registered tier plus an enrolled member of
+        group 1 ('alice') and a non-member ('mallory', group 2)."""
+        auth = AuthService()
+        groups = GroupDirectory()
+        groups.create_group(1, "alice")
+        groups.create_group(2, "mallory")
+        tokens = {
+            user: auth.issue_token(user, auth.register_user(user))
+            for user in ("alice", "mallory")
+        }
         transport = InProcessTransport()
         transport.register(
-            CACHE_TIER_ENDPOINT, CacheTierService(CacheTierStore(capacity=8))
+            CACHE_TIER_ENDPOINT,
+            CacheTierService(
+                CacheTierStore(capacity=8), auth=auth, groups=groups
+            ),
         )
-        return transport
+        return transport, auth, tokens
 
     def test_protocol_round_trip(self):
-        transport = self._tier()
+        transport, _auth, tokens = self._tier()
+        key = entry_key({1}, 3, 4)
 
         def call(request):
             return transport.call(
                 src="client", dst=CACHE_TIER_ENDPOINT, request=request
             )
 
-        assert call(CacheGetRequest(key="k")).hit is False
-        assert call(CachePutRequest(key="k", pl_id=4, value=b"v")).count == 1
-        got = call(CacheGetRequest(key="k"))
+        token = tokens["alice"]
+        assert call(CacheGetRequest(token=token, key=key)).hit is False
+        assert (
+            call(
+                CachePutRequest(token=token, key=key, pl_id=4, value=b"v")
+            ).count
+            == 1
+        )
+        got = call(CacheGetRequest(token=token, key=key))
         assert (got.hit, got.value) == (True, b"v")
         assert call(CacheInvalidateRequest(pl_ids=(4, 5))).count == 1
-        assert call(CacheGetRequest(key="k")).hit is False
+        assert call(CacheGetRequest(token=token, key=key)).hit is False
         stats = call(CacheStatsRequest())
         assert (stats.hits, stats.misses) == (1, 2)
         assert stats.policy == "lru"
 
+    def test_forged_key_for_foreign_group_is_rejected(self):
+        """The high-severity regression: a key claims a fingerprint the
+        caller does not hold — the tier must refuse both directions
+        (get: reconstructible shares of someone else's groups; put:
+        poisoning entries other users are served)."""
+        transport, _auth, tokens = self._tier()
+        alice_key = entry_key({1}, 3, 4)
+        foreign = tokens["mallory"]  # member of group 2, not 1
+        with pytest.raises(AccessDeniedError):
+            transport.call(
+                src="mallory",
+                dst=CACHE_TIER_ENDPOINT,
+                request=CacheGetRequest(token=foreign, key=alice_key),
+            )
+        with pytest.raises(AccessDeniedError):
+            transport.call(
+                src="mallory",
+                dst=CACHE_TIER_ENDPOINT,
+                request=CachePutRequest(
+                    token=foreign, key=alice_key, pl_id=4, value=b"evil"
+                ),
+            )
+
+    def test_subset_and_superset_fingerprints_are_rejected(self):
+        # Exact match only: the key must equal the caller's whole live
+        # group set, just as an honest client would derive it.
+        transport, _auth, tokens = self._tier()
+        token = tokens["alice"]  # groups == {1}
+        for claimed in ({1, 2}, set()):
+            with pytest.raises(AccessDeniedError):
+                transport.call(
+                    src="alice",
+                    dst=CACHE_TIER_ENDPOINT,
+                    request=CacheGetRequest(
+                        token=token, key=entry_key(claimed, 3, 4)
+                    ),
+                )
+
+    def test_invalid_tokens_are_rejected(self):
+        transport, auth, tokens = self._tier()
+        key = entry_key({1}, 3, 4)
+        forged = AuthToken(
+            user_id="alice",
+            issued_at=0,
+            expires_at=10**6,
+            signature=b"\x00" * 32,
+        )
+        with pytest.raises(AuthError):
+            transport.call(
+                src="alice",
+                dst=CACHE_TIER_ENDPOINT,
+                request=CacheGetRequest(token=forged, key=key),
+            )
+        # An expired ticket dies too — same rule as the index servers.
+        auth.advance_clock(10**9)
+        with pytest.raises(AuthError):
+            transport.call(
+                src="alice",
+                dst=CACHE_TIER_ENDPOINT,
+                request=CacheGetRequest(token=tokens["alice"], key=key),
+            )
+
+    def test_malformed_keys_are_rejected_before_the_store(self):
+        transport, _auth, tokens = self._tier()
+        with pytest.raises(ProtocolError):
+            transport.call(
+                src="alice",
+                dst=CACHE_TIER_ENDPOINT,
+                request=CacheGetRequest(token=tokens["alice"], key="k"),
+            )
+
     def test_non_cache_messages_rejected(self):
-        service = CacheTierService(CacheTierStore())
+        auth = AuthService()
+        service = CacheTierService(
+            CacheTierStore(), auth=auth, groups=GroupDirectory()
+        )
         with pytest.raises(ProtocolError):
             service.handle(FetchListsRequest(token="t", pl_ids=(1,)))
 
@@ -243,6 +367,56 @@ class TestL1PostingCache:
         l1 = L1PostingCache(capacity=0)
         l1.put(("u", frozenset(), 3, 0), 0, ("e",))
         assert len(l1) == 0
+
+    def test_concurrent_mutation_is_safe(self):
+        """The coordinator invalidates/evicts registered L1s from other
+        threads while the owning searcher runs get/put — hammer both
+        sides and require clean internal state (the plain-OrderedDict
+        version corrupts or raises RuntimeError here)."""
+        import threading
+
+        l1 = L1PostingCache(capacity=64)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def searcher_side():
+            try:
+                i = 0
+                while not stop.is_set():
+                    pl_id = i % 8
+                    key = ("u", frozenset({1}), 3, pl_id, i % 3)
+                    l1.put(key, pl_id, ("e", i))
+                    l1.get(key)
+                    i += 1
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def coordinator_side():
+            try:
+                i = 0
+                while not stop.is_set():
+                    l1.invalidate(i % 8)
+                    l1.evict_user("u" if i % 5 else "v")
+                    i += 1
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=searcher_side),
+            threading.Thread(target=coordinator_side),
+        ]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert not errors
+        # Index and entry map must agree after the storm.
+        indexed = set().union(*l1._keys_of_pl.values()) if l1._keys_of_pl else set()
+        assert indexed == set(l1._entries)
 
 
 def _result_bytes(results):
@@ -389,6 +563,50 @@ class TestClusterIntegration:
             ):
                 assert field in cache
             assert cache["hits"] > 0
+        finally:
+            cluster.close()
+
+    def test_racing_fill_cannot_reinstall_pre_write_shares(self):
+        """Fill-race regression: a reader holding pre-write shares runs
+        its L2 fill *after* a concurrent write's invalidation already
+        swept the tier. Without the epoch fence the stale fill is
+        served fleet-wide until the next write; with it, the fill lands
+        under the pre-write epoch's key, which no post-write reader
+        derives."""
+        documents = make_documents(num_docs=10)
+        cluster = make_cluster(
+            documents, cache_tier="lru", cache_entries=0
+        )
+        try:
+            cluster.add_member(0, "alice", actor="owner0")
+            searcher = cluster.searcher("alice")
+            real = searcher._fetch_with_failover
+            raced = []
+
+            def racing_fetch(need, num_servers, diag):
+                # The fleet fetch returns pre-write shares; before the
+                # caller can fill the L2, a write lands and invalidates
+                # every tier. The fill then executes with stale bytes.
+                out = real(need, num_servers, diag)
+                if not raced:
+                    raced.append(True)
+                    newdoc = Document(
+                        doc_id=902, group_id=0, host="host0",
+                        term_counts={"w3": 4}, length=4, text="w3",
+                    )
+                    cluster.share_document("owner0", newdoc)
+                    cluster.flush_all()
+                return out
+
+            searcher._fetch_with_failover = racing_fetch
+            searcher.search(["w3"])  # executes the doomed fill
+            searcher._fetch_with_failover = real
+            # A cold searcher consults the tier first: it must miss the
+            # stale entry and refetch the post-write truth.
+            fresh = cluster.searcher("alice")
+            got = fresh.search(["w3"])
+            assert fresh.last_cluster_diagnostics.l2_hits == 0
+            assert 902 in {r.doc_id for r in got}
         finally:
             cluster.close()
 

@@ -117,9 +117,10 @@ messages = st.one_of(
     st.builds(
         m.ErrorResponse, error=texts, message=texts, endpoint=texts
     ),
-    st.builds(m.CacheGetRequest, key=texts),
+    st.builds(m.CacheGetRequest, token=tokens, key=texts),
     st.builds(
         m.CachePutRequest,
+        token=tokens,
         key=texts,
         pl_id=small_uints,
         value=st.binary(max_size=64),
@@ -264,9 +265,12 @@ def test_wire_bytes_match_the_historical_cost_model():
     )
     assert lists.wire_bytes(9) == 4 + (4 + 4 + 9)
     assert m.OpCountResponse(count=7).wire_bytes() == 8
-    assert m.CacheGetRequest(key="a|3|9").wire_bytes() == 4 + 5
-    put = m.CachePutRequest(key="a|3|9", pl_id=9, value=b"\x00" * 10)
-    assert put.wire_bytes() == 4 + 5 + 4 + 10
+    get = m.CacheGetRequest(token=token, key="1|3|9|0")
+    assert get.wire_bytes() == token.wire_bytes() + 4 + 7
+    put = m.CachePutRequest(
+        token=token, key="1|3|9|0", pl_id=9, value=b"\x00" * 10
+    )
+    assert put.wire_bytes() == token.wire_bytes() + 4 + 7 + 4 + 10
     assert m.CacheInvalidateRequest(pl_ids=(1, 2)).wire_bytes() == 4 + 8
     assert m.CacheStatsRequest().wire_bytes() == 4
     assert m.CacheValueResponse(hit=True, value=b"ab").wire_bytes() == 3
