@@ -36,7 +36,7 @@ import json
 import random
 import time
 
-from benchmarks.conftest import RESULTS_DIR, emit
+from benchmarks.conftest import RESULTS_DIR, emit, metrics_snapshot
 from repro.client.batching import BatchPolicy
 from repro.cluster import ClusterDeployment
 from repro.core.mapping_table import MappingTable
@@ -176,6 +176,7 @@ def _run_mode(documents, queries, cached: bool, policy: str = "lru"):
             if cached:
                 tier = cluster.status_snapshot()["cache_tier"]
                 row["l2_stats"] = tier
+            row["metrics"] = metrics_snapshot(cluster)
         finally:
             cluster.close()
     return row, digests

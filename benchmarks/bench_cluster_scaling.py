@@ -30,7 +30,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import RESULTS_DIR, emit
+from benchmarks.conftest import RESULTS_DIR, emit, metrics_snapshot
 from repro.client.batching import BatchPolicy
 from repro.cluster import ClusterDeployment
 from repro.corpus.synthetic import SyntheticCorpusConfig, generate_corpus
@@ -155,6 +155,7 @@ def test_cluster_scaling_sweep(benchmark):
                         "qps": round(qps, 1),
                         "bytes_per_query": round(bpq, 1),
                         "messages_per_query": round(mpq, 2),
+                        "metrics": metrics_snapshot(cluster),
                     }
                 )
                 if num_pods == 1 and kill_per_pod == 0 and not use_cache:

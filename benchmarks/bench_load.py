@@ -36,10 +36,11 @@ import random
 import threading
 import time
 
-from benchmarks.conftest import RESULTS_DIR, emit
+from benchmarks.conftest import RESULTS_DIR, emit, metrics_snapshot
 from repro.client.batching import BatchPolicy
 from repro.cluster import ClusterDeployment
 from repro.corpus.synthetic import SyntheticCorpusConfig, generate_corpus
+from repro.observability import new_trace_id
 from repro.resilience import FaultPlan, FaultyTransport
 
 N, K = 3, 2
@@ -120,9 +121,11 @@ def _percentile(sorted_values, fraction):
     return sorted_values[index]
 
 
-def open_loop(cluster, queries, rate_qps, duration_s, seed):
+def open_loop(cluster, queries, rate_qps, duration_s, seed, traced=False):
     """One open-loop run: Poisson arrivals at ``rate_qps`` for
     ``duration_s``, executed by ``WORKERS`` concurrent searchers.
+    With ``traced=True`` every query carries a fresh trace id (the
+    instrumentation-overhead arm).
 
     Returns ``(achieved_qps, p50_ms, p95_ms, p99_ms, completed)``.
     Arrival times are drawn up front from a seeded exponential stream;
@@ -164,9 +167,15 @@ def open_loop(cluster, queries, rate_qps, duration_s, seed):
                 break
             if now < due:
                 time.sleep(due - now)
-            searcher.search(
-                queries[picks[index]], top_k=10, fetch_snippets=False
-            )
+            if traced:
+                searcher.search(
+                    queries[picks[index]], top_k=10,
+                    fetch_snippets=False, trace_id=new_trace_id(),
+                )
+            else:
+                searcher.search(
+                    queries[picks[index]], top_k=10, fetch_snippets=False
+                )
             local.append(time.perf_counter() - due)
         with sink_lock:
             latencies_s.extend(local)
@@ -218,6 +227,7 @@ def test_open_loop_load():
             results[key] = {
                 "rows": rows,
                 "saturation_qps": rows[-1]["achieved_qps"],
+                "metrics": metrics_snapshot(cluster),
             }
     payload = {
         "schema": "zerber.bench_load.v1",
@@ -378,6 +388,7 @@ def test_slow_pod_hedging():
             "gate_p99_ratio": GATE_HEDGE_P99_RATIO,
             "admission": snap.get("admission"),
             "health": snap.get("health"),
+            "metrics": metrics_snapshot(cluster),
         }
     # Merge into BENCH_load.json next to the open-loop rows (either
     # test may run alone; neither clobbers the other's numbers).
@@ -410,4 +421,84 @@ def test_slow_pod_hedging():
     assert hp99 <= GATE_HEDGE_P99_RATIO * up99, (
         f"hedged p99 {hp99:.1f} ms exceeded "
         f"{GATE_HEDGE_P99_RATIO}x unhedged p99 {up99:.1f} ms"
+    )
+
+
+# -- PR 10: instrumentation overhead ------------------------------------------
+
+#: Observability must be (nearly) free on the hot path: saturation qps
+#: with metrics hot and every query traced must stay at or above this
+#: fraction of the uninstrumented figure.
+GATE_INSTRUMENTATION_RATIO = 0.9
+INSTRUMENTATION_RATE_QPS = 600.0
+INSTRUMENTATION_DURATION_S = 6.0
+
+
+def test_instrumentation_overhead():
+    """Two saturation runs over the async backend: one with every
+    hot-path instrument disarmed and no traces, one with metrics hot
+    and a fresh trace id on every query. The gate is the PR 10
+    acceptance bar: instrumented saturation >=
+    ``GATE_INSTRUMENTATION_RATIO`` x uninstrumented saturation."""
+    corpus = _corpus()
+    queries = _queries(corpus, random.Random(42))
+    saturation = {}
+    for arm in ("uninstrumented", "instrumented"):
+        with _build(corpus, "async-socket") as cluster:
+            if arm == "uninstrumented":
+                # Disarm every hot-path instrument: the client checks
+                # the coordinator's registry handle, the server its
+                # own. Collectors only run at dump time, so nothing
+                # else publishes on the hot path.
+                cluster.coordinator.metrics = None
+                cluster._socket_server.metrics = None
+            qps, _p50, _p95, _p99, completed = open_loop(
+                cluster,
+                queries,
+                INSTRUMENTATION_RATE_QPS,
+                INSTRUMENTATION_DURATION_S,
+                seed=1723,
+                traced=arm == "instrumented",
+            )
+            assert completed > 0
+            saturation[arm] = round(qps, 1)
+    ratio = saturation["instrumented"] / max(
+        saturation["uninstrumented"], 1e-9
+    )
+    row = {
+        "rate_qps": INSTRUMENTATION_RATE_QPS,
+        "duration_s": INSTRUMENTATION_DURATION_S,
+        "workers": WORKERS,
+        "uninstrumented_qps": saturation["uninstrumented"],
+        "instrumented_qps": saturation["instrumented"],
+        "ratio": round(ratio, 3),
+        "gate_ratio": GATE_INSTRUMENTATION_RATIO,
+    }
+    # Merge into BENCH_load.json next to the open-loop rows (either
+    # test may run alone; neither clobbers the other's numbers).
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_load.json"
+    payload = (
+        json.loads(path.read_text())
+        if path.exists()
+        else {"schema": "zerber.bench_load.v1"}
+    )
+    payload["instrumentation"] = row
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    emit(
+        "instrumentation_overhead",
+        [
+            "instrumentation overhead at saturation "
+            f"({WORKERS} workers, async-socket, "
+            f"{INSTRUMENTATION_DURATION_S:.0f} s overload)",
+            f"  uninstrumented: {saturation['uninstrumented']:8.1f} q/s",
+            f"  instrumented:   {saturation['instrumented']:8.1f} q/s "
+            "(metrics + a trace per query)",
+            f"  ratio {ratio:.3f} (gate >= {GATE_INSTRUMENTATION_RATIO})",
+        ],
+    )
+    assert ratio >= GATE_INSTRUMENTATION_RATIO, (
+        f"instrumented saturation {saturation['instrumented']:.1f} qps "
+        f"fell below {GATE_INSTRUMENTATION_RATIO}x the uninstrumented "
+        f"{saturation['uninstrumented']:.1f} qps"
     )

@@ -35,7 +35,7 @@ import json
 import random
 import time
 
-from benchmarks.conftest import RESULTS_DIR, emit
+from benchmarks.conftest import RESULTS_DIR, emit, metrics_snapshot
 from repro.client.batching import BatchPolicy
 from repro.cluster import ClusterDeployment
 from repro.core.mapping_table import MappingTable
@@ -109,20 +109,22 @@ def _build_cluster(bulk_rebalance: bool) -> ClusterDeployment:
 def _time_add_pod(bulk_rebalance: bool):
     best = None
     stats = None
+    snapshot = None
     for _ in range(PASSES):
         cluster = _build_cluster(bulk_rebalance)
         start = time.perf_counter()
         stats = cluster.add_pod()
         elapsed = time.perf_counter() - start
         best = elapsed if best is None else min(best, elapsed)
-    return best, stats
+        snapshot = metrics_snapshot(cluster)
+    return best, stats, snapshot
 
 
 def test_rebalance_benchmark():
     rows = {}
     answers = {}
     for name, bulk in (("record_by_record", False), ("snapshot_shipping", True)):
-        seconds, stats = _time_add_pod(bulk)
+        seconds, stats, snapshot = _time_add_pod(bulk)
         rows[name] = {
             "add_pod_s": round(seconds, 4),
             "moved_lists": stats.moved_lists,
@@ -130,6 +132,7 @@ def test_rebalance_benchmark():
             "snapshot_ships": stats.snapshot_ships,
             "shipped_bytes": stats.shipped_bytes,
             "dropped_copy_routes": stats.dropped_copy_routes,
+            "metrics": snapshot,
         }
         # A slow path that moved different data would be meaningless.
         answers[name] = (stats.moved_lists, stats.copied_elements)

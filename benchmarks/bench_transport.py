@@ -32,7 +32,7 @@ import random
 import time
 from concurrent.futures import ThreadPoolExecutor
 
-from benchmarks.conftest import RESULTS_DIR, emit
+from benchmarks.conftest import RESULTS_DIR, emit, metrics_snapshot
 from repro.client.batching import BatchPolicy
 from repro.cluster import ClusterDeployment
 from repro.corpus.synthetic import SyntheticCorpusConfig, generate_corpus
@@ -205,6 +205,7 @@ def test_transport_benchmark():
                 "uncached_qps_single": round(single_qps, 1),
                 "uncached_qps_batch": round(batch_qps, 1),
                 "cached_qps": round(cached_qps, 1),
+                "metrics": metrics_snapshot(cluster),
             }
     baseline = _baseline_uncached_qps()
     payload = {

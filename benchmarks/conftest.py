@@ -142,3 +142,56 @@ def emit(name: str, lines: list[str]) -> None:
     text = "\n".join(lines)
     print(f"\n{text}\n")
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def metrics_snapshot(cluster) -> dict:
+    """Hit rates and latency quantiles from a deployment's registry.
+
+    Embedded into each BENCH_*.json (PR 10) so every benchmark row
+    carries the observability picture of the run that produced it —
+    the same numbers `repro cluster top` renders.
+    """
+    from repro.observability.metrics import SampleView
+
+    view = SampleView(cluster.metrics.samples())
+
+    def rate(hits_name, misses_name):
+        hits = view.value(hits_name, 0.0)
+        misses = view.value(misses_name, 0.0)
+        total = hits + misses
+        return round(hits / total, 4) if total else None
+
+    def quantiles_ms(name, **labels):
+        return {
+            key: round(
+                (view.value(name, 0.0, quantile=q, **labels) or 0.0) * 1e3,
+                3,
+            )
+            for key, q in (
+                ("p50_ms", "0.5"), ("p95_ms", "0.95"), ("p99_ms", "0.99"),
+            )
+        }
+
+    return {
+        "search_queries": int(
+            view.value("zerber_search_queries_total", 0.0)
+        ),
+        "search_latency": quantiles_ms("zerber_search_latency_seconds"),
+        "hit_rates": {
+            "share_cache": rate(
+                "zerber_share_cache_hits", "zerber_share_cache_misses"
+            ),
+            "l1": rate("zerber_l1_hits", "zerber_l1_misses"),
+            "l2": rate(
+                "zerber_cache_tier_hits", "zerber_cache_tier_misses"
+            ),
+        },
+        "pod_fetch_latency": {
+            pod: quantiles_ms(
+                "zerber_pod_fetch_latency_seconds", pod=pod
+            )
+            for pod in view.label_values(
+                "zerber_pod_fetch_latency_seconds_count", "pod"
+            )
+        },
+    }

@@ -56,7 +56,14 @@
 #   the L1 and L2 tiers);
 # - the cache bench records BENCH_cache.json and gates Zipf-workload
 #   cached qps at >= 2x the uncached fan-out baseline with
-#   byte-identical per-query digests (ratio gate).
+#   byte-identical per-query digests (ratio gate);
+# - the observability gate runs the registry/tracing/MetricsDump
+#   suite: concurrent instrument updates never lose totals, trace ids
+#   propagate over all three transports, and results stay
+#   byte-identical with tracing on or off;
+# - the instrumentation-overhead bench gates saturation qps with
+#   metrics hot and a trace per query at >= 0.9x the uninstrumented
+#   figure, recorded into BENCH_load.json (ratio gate).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -137,5 +144,11 @@ gate "cache equivalence (cached == uncached, all transports)" \
 gate "cache bench (BENCH_cache.json, >= 2x cached qps)" \
     "failed|skipped|deselected|no tests ran|error" \
     benchmarks/bench_cache.py
+gate "observability (registry, tracing, MetricsDump, dashboards)" \
+    "failed|skipped|deselected|no tests ran|error" \
+    tests/test_observability.py
+gate "instrumentation overhead bench (>= 0.9x uninstrumented qps)" \
+    "failed|skipped|no tests ran|error" \
+    benchmarks/bench_load.py -k instrumentation
 
 echo "CI gate passed."

@@ -13,10 +13,13 @@ Five entry points for kicking Zerber's tires without writing code:
   ``kill-server`` demonstrates failover under server loss, ``kill-pod``
   runs the whole-pod-loss drill (with ``--replication 2`` the answers
   stay byte-identical, then the pod restarts and owners re-provision
-  the writes it missed), and ``status`` prints the observability
-  snapshot (pods, live/dead seats, replica placement, per-pod EWMA read
-  latency). Every run rebuilds the same deterministic scenario from
-  ``--seed``, like the other commands;
+  the writes it missed), ``status`` prints the observability snapshot
+  (pods, live/dead seats, replica placement, per-pod EWMA read
+  latency), and ``top`` renders a live curses-free dashboard (per-pod
+  read rates and latency quantiles, cache hit rates, breaker and
+  admission state) polled over the ``MetricsDump`` wire message. Every
+  run rebuilds the same deterministic scenario from ``--seed``, like
+  the other commands;
 - ``serve``     — stand the deterministic cluster scenario up behind the
   wire protocol on a TCP listener, so searches can run out-of-process
   (pair with ``ClusterDeployment(transport="socket")`` or a raw
@@ -411,8 +414,161 @@ def _cmd_cluster_repair(args: argparse.Namespace) -> int:
     return 0 if converged else 1
 
 
+def _fetch_metrics_view(cluster):
+    """One ``MetricsDump`` over the cluster's client transport.
+
+    The same request a remote operator's scrape would send — the CLI
+    never reads subsystem snapshot dicts directly, so ``status``,
+    ``top``, and a Prometheus probe can never disagree.
+    """
+    from repro.observability.metrics import SampleView
+    from repro.observability.service import METRICS_ENDPOINT
+    from repro.protocol.messages import MetricsDumpRequest
+
+    response = cluster.transport.call(
+        src="operator",
+        dst=METRICS_ENDPOINT,
+        request=MetricsDumpRequest(),
+    )
+    return SampleView(response.samples)
+
+
+def _pod_status_lines(view) -> list:
+    """Per-pod seat/load/latency rows from a metrics view."""
+    from repro.observability.metrics import parse_labels
+
+    lines = []
+    for pod in view.label_values("zerber_pod_live_seats", "pod"):
+        live = int(view.value("zerber_pod_live_seats", 0, pod=pod))
+        dead = int(view.value("zerber_pod_dead_seats", 0, pod=pod))
+        hosted = int(view.value("zerber_pod_hosted_lists", 0, pod=pod))
+        load = int(view.value("zerber_pod_read_load", 0, pod=pod))
+        ewma = view.value(
+            "zerber_pod_read_latency_ewma_seconds", 0.0, pod=pod
+        )
+        stale = int(view.value("zerber_pod_stale_lists", 0, pod=pod))
+        latency = f"{ewma * 1e6:8.1f} us/list" if ewma else "       - "
+        lines.append(
+            f"  {pod:>6}: {live}/{live + dead} seats live, "
+            f"{hosted:3d} lists, read load {load:4d}, ewma {latency}, "
+            f"{stale} stale lists"
+        )
+        dead_ids = sorted(
+            parse_labels(s.labels)["server"]
+            for s in view.samples
+            if s.name == "zerber_seat_alive"
+            and s.value == 0.0
+            and parse_labels(s.labels).get("pod") == pod
+        )
+        if dead_ids:
+            lines.append(f"          dead: {', '.join(dead_ids)}")
+    return lines
+
+
+def _cache_status_lines(view) -> list:
+    """Share-cache / L1 / L2 rows from a metrics view."""
+    lines = []
+    entries = view.value("zerber_share_cache_entries")
+    if entries is not None:
+        lines.append(
+            f"share cache: {int(entries)}"
+            f"/{int(view.value('zerber_share_cache_capacity', 0))} "
+            f"entries, {int(view.value('zerber_share_cache_hits', 0))} "
+            f"hits / {int(view.value('zerber_share_cache_misses', 0))} "
+            f"misses, "
+            f"{int(view.value('zerber_share_cache_evictions', 0))} "
+            f"evictions, "
+            f"{int(view.value('zerber_share_cache_invalidations', 0))} "
+            f"invalidations"
+        )
+    if view.value("zerber_l1_caches", 0):
+        hits = int(view.value("zerber_l1_hits", 0))
+        misses = int(view.value("zerber_l1_misses", 0))
+        total = hits + misses
+        rate = (hits / total * 100.0) if total else 0.0
+        lines.append(
+            f"L1 (searcher-local, "
+            f"{int(view.value('zerber_l1_caches', 0))} caches): "
+            f"{int(view.value('zerber_l1_entries', 0))}"
+            f"/{int(view.value('zerber_l1_capacity', 0))} entries, "
+            f"{hits} hits / {misses} misses ({rate:.0f}% hit rate), "
+            f"{int(view.value('zerber_l1_evictions', 0))} evictions, "
+            f"{int(view.value('zerber_l1_invalidations', 0))} "
+            f"invalidations"
+        )
+    policies = view.label_values("zerber_cache_tier_info", "policy")
+    if policies:
+        hits = int(view.value("zerber_cache_tier_hits", 0))
+        misses = int(view.value("zerber_cache_tier_misses", 0))
+        total = hits + misses
+        rate = (hits / total * 100.0) if total else 0.0
+        lines.append(
+            f"L2 (shared tier, policy {policies[0]}): "
+            f"{int(view.value('zerber_cache_tier_entries', 0))}"
+            f"/{int(view.value('zerber_cache_tier_capacity', 0))} "
+            f"entries, {hits} hits / {misses} misses "
+            f"({rate:.0f}% hit rate), "
+            f"{int(view.value('zerber_cache_tier_evictions', 0))} "
+            f"evictions, "
+            f"{int(view.value('zerber_cache_tier_invalidations', 0))} "
+            f"invalidations, "
+            f"{int(view.value('zerber_cache_tier_rejections', 0))} "
+            f"rejections"
+        )
+    return lines
+
+
+_BREAKER_STATES = {0: "closed", 1: "half-open", 2: "open"}
+
+
+def _health_status_lines(view) -> list:
+    """Repair / breaker / admission rows from a metrics view."""
+    lines = []
+    running = view.value("zerber_repair_thread_running", 0)
+    thread = "running" if running else "stopped"
+    backoff = view.value("zerber_repair_backoff_seconds", 0.0)
+    cadence = f", backoff {backoff:g}s" if backoff else ""
+    lines.append(
+        f"anti-entropy: {int(view.value('zerber_repair_sweeps', 0))} "
+        f"sweeps, "
+        f"{int(view.value('zerber_repair_healed_seats', 0))} seats "
+        f"healed, "
+        f"{int(view.value('zerber_repair_shipped_bytes', 0))} bytes "
+        f"shipped, {int(view.value('zerber_repair_failures', 0))} "
+        f"failures, "
+        f"{int(view.value('zerber_repair_pending_entries', 0))} ledger "
+        f"entries pending (repair thread {thread}{cadence})"
+    )
+    states = view.by_label("zerber_breaker_state", "pod")
+    if states:
+        rendered = ", ".join(
+            f"{pod}={_BREAKER_STATES.get(int(state), '?')} "
+            f"({int(view.value('zerber_breaker_consecutive_failures', 0, pod=pod))}"
+            f" failures)"
+            for pod, state in sorted(states.items())
+        )
+        lines.append(f"breakers: {rendered}")
+    else:
+        lines.append("breakers: all pods healthy (no failures observed)")
+    admitted = view.value("zerber_admission_admitted")
+    if admitted is not None:
+        lines.append(
+            f"admission: {int(admitted)} admitted, "
+            f"{int(view.value('zerber_admission_shed', 0))} shed, "
+            f"peak depth "
+            f"{int(view.value('zerber_admission_peak_depth', 0))}"
+            f"/{int(view.value('zerber_admission_max_pending', 0))}"
+        )
+    return lines
+
+
 def _cmd_cluster_status(args: argparse.Namespace) -> int:
-    """Observability snapshot: pods, seats, placement, EWMA latencies."""
+    """Observability snapshot, rendered from the metrics registry.
+
+    The data comes back over the wire as a ``MetricsDump`` — exactly
+    what ``repro cluster top`` polls and what a Prometheus-style scrape
+    exports — not from per-subsystem snapshot dicts.
+    """
     corpus, cluster = _build_cluster(args)
     with cluster:
         _kill_servers(cluster, _parse_kills(args.kill))
@@ -422,86 +578,124 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
         searcher = cluster.searcher("owner0")
         for _ in range(args.warmup_queries):
             searcher.search(terms, top_k=5, fetch_snippets=False)
-        snap = cluster.status_snapshot()
+        view = _fetch_metrics_view(cluster)
+        pods = view.label_values("zerber_pod_live_seats", "pod")
         print(
-            f"cluster: {len(snap['pods'])} pods, "
-            f"replication={snap['replication_factor']}, "
-            f"{snap['num_lists']} merged lists, "
-            f"{snap['outstanding_write_routes']} write routes outstanding"
+            f"cluster: {len(pods)} pods, "
+            f"replication={int(view.value('zerber_replication_factor', 1))},"
+            f" {int(view.value('zerber_num_lists', 0))} merged lists, "
+            f"{int(view.value('zerber_outstanding_write_routes', 0))} "
+            f"write routes outstanding"
         )
-        for pod in snap["pods"]:
-            ewma = pod["read_latency_ewma_s"]
-            latency = f"{ewma * 1e6:8.1f} us/list" if ewma else "       - "
-            print(
-                f"  {pod['name']:>6}: {pod['live_seats']}/{len(pod['seats'])}"
-                f" seats live, {pod['hosted_lists']:3d} lists,"
-                f" read load {pod['read_load']:4d},"
-                f" ewma {latency},"
-                f" {pod['stale_lists']} stale lists"
-            )
-            dead = [s["server_id"] for s in pod["seats"] if not s["alive"]]
-            if dead:
-                print(f"          dead: {', '.join(dead)}")
-        cache = snap["cache"]
-        print(
-            f"share cache: {cache['entries']}/{cache['capacity']} entries, "
-            f"{cache['hits']} hits / {cache['misses']} misses, "
-            f"{cache['evictions']} evictions, "
-            f"{cache['invalidations']} invalidations"
+        for line in _pod_status_lines(view):
+            print(line)
+        for line in _cache_status_lines(view):
+            print(line)
+        for line in _health_status_lines(view):
+            print(line)
+    return 0
+
+
+def _cmd_cluster_top(args: argparse.Namespace) -> int:
+    """A live, curses-free dashboard over the metrics endpoint.
+
+    Runs a background query workload against the deterministic
+    scenario, then polls ``MetricsDump`` every ``--interval`` seconds
+    and renders one frame per poll: per-pod read rate and latency
+    quantiles, cache hit rates, breaker/admission/repair state. Rates
+    are derived client-side from counter deltas between frames, the
+    way any scrape-based dashboard derives them.
+    """
+    import threading
+    import time as _time
+
+    corpus, cluster = _build_cluster(args)
+    with cluster:
+        terms = _cluster_query_terms(corpus, args)
+        stop = threading.Event()
+
+        def workload() -> None:
+            searcher = cluster.searcher("owner0")
+            while not stop.is_set():
+                searcher.search(terms, top_k=5, fetch_snippets=False)
+
+        thread = threading.Thread(
+            target=workload, name="zerber-top-workload", daemon=True
         )
-        tier = snap.get("cache_tier")
-        if tier is not None:
-            print(
-                f"cache tier ({tier['policy']}): "
-                f"{tier['entries']}/{tier['capacity']} entries, "
-                f"{tier['hits']} hits / {tier['misses']} misses, "
-                f"{tier['evictions']} evictions, "
-                f"{tier['invalidations']} invalidations, "
-                f"{tier['rejections']} rejections"
-            )
-        repair = snap["repair"]
-        thread = "running" if repair["thread_running"] else "stopped"
-        backoff = repair.get("current_backoff_s")
-        cadence = f", backoff {backoff:g}s" if backoff is not None else ""
-        print(
-            f"anti-entropy: {repair['sweeps']} sweeps, "
-            f"{repair['healed_seats']} seats healed, "
-            f"{repair['shipped_bytes']} bytes shipped, "
-            f"{repair['failures']} failures, "
-            f"{repair['pending_entries']} ledger entries pending "
-            f"(repair thread {thread}{cadence})"
-        )
-        health = snap.get("health", {})
-        if health:
-            states = ", ".join(
-                f"{pod}={entry['state']}"
-                f" ({entry['consecutive_failures']} failures)"
-                for pod, entry in sorted(health.items())
-            )
-            print(f"breakers: {states}")
-        else:
-            print("breakers: all pods healthy (no failures observed)")
-        admission = snap.get("admission")
-        if admission is not None:
-            print(
-                f"admission: {admission['admitted']} admitted, "
-                f"{admission['shed']} shed, "
-                f"peak depth {admission['peak_depth']}"
-                f"/{admission['max_pending']}"
-            )
+        thread.start()
+        previous_lists: dict = {}
+        previous_queries = 0.0
+        try:
+            for frame in range(args.iterations):
+                _time.sleep(args.interval)
+                view = _fetch_metrics_view(cluster)
+                queries = view.value("zerber_search_queries_total", 0.0)
+                qps = (queries - previous_queries) / args.interval
+                previous_queries = queries
+                print(
+                    f"-- repro cluster top · frame "
+                    f"{frame + 1}/{args.iterations} "
+                    f"(interval {args.interval:g}s) · "
+                    f"{int(queries)} queries, {qps:.1f} qps --"
+                )
+                print(
+                    f"{'pod':>8} {'lists/s':>9} {'p50':>9} {'p95':>9} "
+                    f"{'p99':>9} {'load':>7}  seats  breaker"
+                )
+                for pod in view.label_values(
+                    "zerber_pod_live_seats", "pod"
+                ):
+                    total = view.value(
+                        "zerber_pod_read_lists_total", 0.0, pod=pod
+                    )
+                    rate = (
+                        total - previous_lists.get(pod, 0.0)
+                    ) / args.interval
+                    previous_lists[pod] = total
+                    quantiles = [
+                        view.value(
+                            "zerber_pod_fetch_latency_seconds",
+                            0.0,
+                            pod=pod,
+                            quantile=q,
+                        )
+                        for q in ("0.5", "0.95", "0.99")
+                    ]
+                    live = int(
+                        view.value("zerber_pod_live_seats", 0, pod=pod)
+                    )
+                    dead = int(
+                        view.value("zerber_pod_dead_seats", 0, pod=pod)
+                    )
+                    state = _BREAKER_STATES.get(
+                        int(view.value("zerber_breaker_state", 0, pod=pod)),
+                        "closed",
+                    )
+                    cols = " ".join(
+                        f"{q * 1e3:7.2f}ms" for q in quantiles
+                    )
+                    print(
+                        f"{pod:>8} {rate:9.1f} {cols} "
+                        f"{int(view.value('zerber_pod_read_load', 0, pod=pod)):7d}"
+                        f"  {live}/{live + dead}    {state}"
+                    )
+                for line in _cache_status_lines(view):
+                    print(line)
+                for line in _health_status_lines(view):
+                    print(line)
+        finally:
+            stop.set()
+            thread.join(timeout=5)
     return 0
 
 
 def _cmd_cache_status(args: argparse.Namespace) -> int:
     """Tiered-cache observability: warm the tiers, render hit rates.
 
-    The L2 statistics are fetched over the wire protocol's
-    ``CacheStats`` message — the same path a remote operator's probe
-    would use — not read out of the store object directly.
+    The statistics are fetched over the wire protocol's
+    ``MetricsDump`` message — the same path a remote operator's probe
+    would use — not read out of the store objects directly.
     """
-    from repro.cachetier import CACHE_TIER_ENDPOINT
-    from repro.protocol.messages import CacheStatsRequest
-
     args.cache_tier = args.cache_tier or args.cache_tier_default
     args.l1_entries = args.l1_entries or args.l1_default
     corpus, cluster = _build_cluster(args)
@@ -514,35 +708,14 @@ def _cmd_cache_status(args: argparse.Namespace) -> int:
             diag = searcher.last_cluster_diagnostics
             l1_hits += diag.l1_hits
             l2_hits += diag.l2_hits
-        stats = cluster.transport.call(
-            src="operator",
-            dst=CACHE_TIER_ENDPOINT,
-            request=CacheStatsRequest(),
-        )
         print(
             f"workload: {args.warmup_queries} queries over "
             f"{len(terms)} terms ({l1_hits} L1 hits, "
             f"{l2_hits} L2 hits observed by the searcher)"
         )
-        l1 = searcher.l1_cache.stats_snapshot() if searcher.l1_cache else {}
-        if l1:
-            print(
-                f"L1 (searcher-local, reconstructed postings): "
-                f"{l1['entries']}/{l1['capacity']} entries, "
-                f"{l1['hits']} hits / {l1['misses']} misses, "
-                f"{l1['evictions']} evictions, "
-                f"{l1['invalidations']} invalidations"
-            )
-        total = stats.hits + stats.misses
-        rate = (stats.hits / total * 100.0) if total else 0.0
-        print(
-            f"L2 (shared tier, policy {stats.policy}): "
-            f"{stats.entries}/{stats.capacity} entries, "
-            f"{stats.hits} hits / {stats.misses} misses "
-            f"({rate:.0f}% hit rate), {stats.evictions} evictions, "
-            f"{stats.invalidations} invalidations, "
-            f"{stats.rejections} rejections"
-        )
+        view = _fetch_metrics_view(cluster)
+        for line in _cache_status_lines(view):
+            print(line)
     return 0
 
 
@@ -924,6 +1097,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="queries run first so latency/load columns are populated",
     )
     cstatus.set_defaults(func=_cmd_cluster_status, top_k=5)
+
+    ctop = cluster_sub.add_parser(
+        "top",
+        help="live dashboard: per-pod read rates, latency quantiles, "
+             "cache hit rates, breaker/admission/repair state",
+    )
+    _common_cluster_args(ctop)
+    ctop.add_argument("--terms", nargs="+", default=None)
+    ctop.add_argument(
+        "--iterations", type=int, default=3,
+        help="frames to render before exiting (no curses, no TTY needed)",
+    )
+    ctop.add_argument(
+        "--interval", type=float, default=0.2,
+        help="seconds between metric polls; rates are per-interval deltas",
+    )
+    ctop.set_defaults(func=_cmd_cluster_top, top_k=5)
 
     serve = sub.add_parser(
         "serve",

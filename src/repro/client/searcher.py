@@ -27,6 +27,7 @@ from repro.core.dictionary import TermDictionary
 from repro.core.mapping_table import MappingTable
 from repro.core.posting import PostingElement, PostingElementCodec
 from repro.errors import PackingError, ReproError, UnknownEndpointError
+from repro.observability.tracing import span, trace_scope
 from repro.protocol.messages import FetchListsRequest, FetchSnippetRequest
 from repro.protocol.service import fleet_resolver
 from repro.protocol.transport import InProcessTransport, Transport
@@ -196,55 +197,62 @@ class SearchClient:
         # same x-tuple, which is exactly what reconstruct_batch's shared
         # Lagrange weight vectors amortize over.
         shares_of: dict[tuple[int, int], list[Share]] = defaultdict(list)
-        for server_index, responses in self._fetch_lists(pl_ids, num_servers):
-            x = self._scheme.x_of(server_index)
-            for response in responses:
-                for record in response.records:
-                    shares_of[(response.pl_id, record.element_id)].append(
-                        Share(x=x, y=record.share_y)
-                    )
-        # Elements short of k shares (a lagging or lying server) cannot
-        # reconstruct and are dropped before the batch.
-        eligible = {
-            key: shares
-            for key, shares in shares_of.items()
-            if len(shares) >= k
-        }
-        self.last_diagnostics.elements_received = len(eligible)
-        if self._method == "lagrange":
-            # The hot path: per-element cost is a k-term dot product
-            # with Lagrange weights cached per x-tuple. Byte-identical
-            # to per-element reconstruct (same chosen k-subsets).
-            secrets = self._scheme.reconstruct_batch(eligible)
-        else:
-            secrets = {
-                key: self._scheme.reconstruct(shares, method=self._method)
-                for key, shares in eligible.items()
+        fetched = self._fetch_lists(pl_ids, num_servers)
+        with span("reconstruct"):
+            for server_index, responses in fetched:
+                x = self._scheme.x_of(server_index)
+                for response in responses:
+                    for record in response.records:
+                        shares_of[
+                            (response.pl_id, record.element_id)
+                        ].append(Share(x=x, y=record.share_y))
+            # Elements short of k shares (a lagging or lying server)
+            # cannot reconstruct and are dropped before the batch.
+            eligible = {
+                key: shares
+                for key, shares in shares_of.items()
+                if len(shares) >= k
             }
-        by_list: dict[int, list[PostingElement]] = {
-            pl_id: [] for pl_id in pl_ids
-        }
-        for key, shares in eligible.items():
-            secret = secrets[key]
-            if self._verify and len(shares) > k:
-                # Cross-check and, when shares disagree, recover by
-                # plurality vote over k-subsets: with a single lying
-                # server among m > k shares, the true secret appears in
-                # C(m-1, k) subsets while each corrupted reconstruction
-                # is a distinct field element appearing once.
-                verdict, distinct = self._majority_reconstruct(shares, k)
-                if distinct > 1:
-                    self.last_diagnostics.inconsistent_elements += 1
-                    if verdict is None:
-                        continue  # detectable but not correctable: drop
-                    self.last_diagnostics.recovered_elements += 1
-                    secret = verdict
-            try:
-                element = self._codec.unpack(secret)
-            except PackingError:
-                # Inconsistent shares decode to garbage; drop them.
-                continue
-            by_list[key[0]].append(element)
+            self.last_diagnostics.elements_received = len(eligible)
+            if self._method == "lagrange":
+                # The hot path: per-element cost is a k-term dot product
+                # with Lagrange weights cached per x-tuple. Byte-identical
+                # to per-element reconstruct (same chosen k-subsets).
+                secrets = self._scheme.reconstruct_batch(eligible)
+            else:
+                secrets = {
+                    key: self._scheme.reconstruct(
+                        shares, method=self._method
+                    )
+                    for key, shares in eligible.items()
+                }
+            by_list: dict[int, list[PostingElement]] = {
+                pl_id: [] for pl_id in pl_ids
+            }
+            for key, shares in eligible.items():
+                secret = secrets[key]
+                if self._verify and len(shares) > k:
+                    # Cross-check and, when shares disagree, recover by
+                    # plurality vote over k-subsets: with a single lying
+                    # server among m > k shares, the true secret appears
+                    # in C(m-1, k) subsets while each corrupted
+                    # reconstruction is a distinct field element
+                    # appearing once.
+                    verdict, distinct = self._majority_reconstruct(
+                        shares, k
+                    )
+                    if distinct > 1:
+                        self.last_diagnostics.inconsistent_elements += 1
+                        if verdict is None:
+                            continue  # detectable, not correctable: drop
+                        self.last_diagnostics.recovered_elements += 1
+                        secret = verdict
+                try:
+                    element = self._codec.unpack(secret)
+                except PackingError:
+                    # Inconsistent shares decode to garbage; drop them.
+                    continue
+                by_list[key[0]].append(element)
         return by_list
 
     def _elements_by_list(
@@ -363,6 +371,7 @@ class SearchClient:
         num_servers: int | None = None,
         fetch_snippets: bool = True,
         budget_s: float | None = None,
+        trace_id: int | None = None,
     ) -> list[SearchResult]:
         """The complete Algorithm 2 pipeline; returns ranked results.
 
@@ -372,7 +381,24 @@ class SearchClient:
         wire), and the query fails with a typed
         :class:`~repro.errors.DeadlineExceededError` rather than ever
         outliving it. None (default) keeps the pipeline unbounded.
+
+        ``trace_id`` turns on wire-level tracing for this one query: the
+        pipeline runs under a trace scope, every stage (fetch, cache
+        lookups, per-pod legs, reconstruction, ranking, snippets)
+        records a span into the process span buffer, and the id rides
+        every request frame so server-side spans join the same trace.
+        Tracing is strictly passive — results are byte-identical with
+        it on or off. None (default) records nothing.
         """
+        if trace_id is not None:
+            with trace_scope(trace_id=trace_id):
+                return self.search(
+                    terms,
+                    top_k=top_k,
+                    num_servers=num_servers,
+                    fetch_snippets=fetch_snippets,
+                    budget_s=budget_s,
+                )
         if budget_s is not None:
             with deadline_scope(budget_s=budget_s):
                 return self.search(
@@ -381,49 +407,62 @@ class SearchClient:
                     num_servers=num_servers,
                     fetch_snippets=fetch_snippets,
                 )
-        elements = self.fetch_elements(terms, num_servers)
-        if not elements:
-            return []
-        term_of_id = {
-            self._dictionary.id_of(t): t
-            for t in terms
-            if self._dictionary.id_of(t) is not None
-        }
-        collected: dict[str, list[tuple[int, float]]] = defaultdict(list)
-        for element in elements:
-            term = term_of_id[element.term_id]
-            collected[term].append((element.doc_id, element.tf))
-        # Normalize to term order, independent of share arrival order:
-        # float summation order must not depend on which server (or pod)
-        # answered first, or byte-identical ranking across deployments
-        # breaks in the last bit.
-        postings_by_term = {
-            term: sorted(collected[term]) for term in sorted(collected)
-        }
-        # Personalized collection statistics from the accessible postings.
-        statistics = CollectionStatistics.from_postings(
-            {t: [doc for doc, _ in ps] for t, ps in postings_by_term.items()}
-        )
-        scorer = TfIdfScorer(statistics)
-        weights = {t: scorer.weight(t) for t in postings_by_term}
-        hits = threshold_top_k(postings_by_term, weights, top_k)
-        matched: dict[int, list[str]] = defaultdict(list)
-        for term, postings in postings_by_term.items():
-            for doc_id, _ in postings:
-                matched[doc_id].append(term)
-        results = []
-        for hit in hits:
-            host, snippet = "", ""
-            if fetch_snippets and self._snippets is not None:
-                fetched = self._fetch_snippet(hit.doc_id, terms)
-                host, snippet = fetched.host, fetched.text
-            results.append(
-                SearchResult(
-                    doc_id=hit.doc_id,
-                    score=hit.score,
-                    host=host,
-                    snippet=snippet,
-                    matched_terms=tuple(sorted(matched[hit.doc_id])),
+        with span("search"):
+            with span("fetch-elements"):
+                elements = self.fetch_elements(terms, num_servers)
+            if not elements:
+                return []
+            with span("rank"):
+                term_of_id = {
+                    self._dictionary.id_of(t): t
+                    for t in terms
+                    if self._dictionary.id_of(t) is not None
+                }
+                collected: dict[str, list[tuple[int, float]]] = defaultdict(
+                    list
                 )
-            )
-        return results
+                for element in elements:
+                    term = term_of_id[element.term_id]
+                    collected[term].append((element.doc_id, element.tf))
+                # Normalize to term order, independent of share arrival
+                # order: float summation order must not depend on which
+                # server (or pod) answered first, or byte-identical
+                # ranking across deployments breaks in the last bit.
+                postings_by_term = {
+                    term: sorted(collected[term])
+                    for term in sorted(collected)
+                }
+                # Personalized collection statistics from the
+                # accessible postings.
+                statistics = CollectionStatistics.from_postings(
+                    {
+                        t: [doc for doc, _ in ps]
+                        for t, ps in postings_by_term.items()
+                    }
+                )
+                scorer = TfIdfScorer(statistics)
+                weights = {t: scorer.weight(t) for t in postings_by_term}
+                hits = threshold_top_k(postings_by_term, weights, top_k)
+                matched: dict[int, list[str]] = defaultdict(list)
+                for term, postings in postings_by_term.items():
+                    for doc_id, _ in postings:
+                        matched[doc_id].append(term)
+            with span("snippets"):
+                results = []
+                for hit in hits:
+                    host, snippet = "", ""
+                    if fetch_snippets and self._snippets is not None:
+                        fetched = self._fetch_snippet(hit.doc_id, terms)
+                        host, snippet = fetched.host, fetched.text
+                    results.append(
+                        SearchResult(
+                            doc_id=hit.doc_id,
+                            score=hit.score,
+                            host=host,
+                            snippet=snippet,
+                            matched_terms=tuple(
+                                sorted(matched[hit.doc_id])
+                            ),
+                        )
+                    )
+            return results

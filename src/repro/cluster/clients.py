@@ -70,6 +70,13 @@ from repro.protocol.messages import (
     CachePutRequest,
     FetchListsRequest,
 )
+from repro.observability.tracing import (
+    TraceContext,
+    current_trace,
+    record_span,
+    span,
+    trace_scope,
+)
 from repro.protocol.transport import Transport
 from repro.resilience.deadline import (
     Deadline,
@@ -254,6 +261,26 @@ class ClusterSearchClient(SearchClient):
         """The searcher-local L1, for observability (None when off)."""
         return self._l1
 
+    def fetch_elements(self, terms, num_servers=None):
+        """Publish per-query counters into the coordinator's registry.
+
+        The instrumented path is byte-identical to the base pipeline —
+        it only counts and times around it. ``zerber_search_queries
+        _total`` and the fetch-latency histogram are what ``repro
+        cluster top`` derives its qps and quantile columns from.
+        """
+        metrics = self._coordinator.metrics
+        if metrics is None:
+            return super().fetch_elements(terms, num_servers)
+        started = time.perf_counter()
+        try:
+            return super().fetch_elements(terms, num_servers)
+        finally:
+            metrics.counter("zerber_search_queries_total").inc()
+            metrics.histogram("zerber_search_latency_seconds").observe(
+                time.perf_counter() - started
+            )
+
     # -- the cluster fetch stage ------------------------------------------------
 
     def _fetch_lists(
@@ -296,28 +323,29 @@ class ClusterSearchClient(SearchClient):
         )
         out: list[tuple[int, list[PostingListResponse]]] = []
         need: list[int] = []
-        for pl_id in pl_ids:
-            # num_servers is part of the key: a wider request must
-            # not be satisfied by a narrower fetch.
-            key = (
-                self.user_id,
-                fingerprint,
-                num_servers,
-                pl_id,
-                epochs.get(pl_id),
-            )
-            entry = cache.get(key) if cache is not None else None
-            if entry is not None:
-                diag.cache_hits += 1
-                # Cache-hit-aware balancing: the pod whose fetch
-                # produced this entry is still absorbing the list's
-                # read traffic; tell the coordinator so its replica
-                # ranking doesn't mistake it for idle.
-                coordinator.note_cache_read(pl_id)
-                for slot_index, response in entry:
-                    out.append((slot_index, [response]))
-            else:
-                need.append(pl_id)
+        with span("cache-lookup"):
+            for pl_id in pl_ids:
+                # num_servers is part of the key: a wider request must
+                # not be satisfied by a narrower fetch.
+                key = (
+                    self.user_id,
+                    fingerprint,
+                    num_servers,
+                    pl_id,
+                    epochs.get(pl_id),
+                )
+                entry = cache.get(key) if cache is not None else None
+                if entry is not None:
+                    diag.cache_hits += 1
+                    # Cache-hit-aware balancing: the pod whose fetch
+                    # produced this entry is still absorbing the list's
+                    # read traffic; tell the coordinator so its replica
+                    # ranking doesn't mistake it for idle.
+                    coordinator.note_cache_read(pl_id)
+                    for slot_index, response in entry:
+                        out.append((slot_index, [response]))
+                else:
+                    need.append(pl_id)
         if tier is not None and need:
             # Consult the shared tier before paying a fleet fetch. A
             # hit is the same sorted (slot, response) pairs a fetch
@@ -387,11 +415,12 @@ class ClusterSearchClient(SearchClient):
         """One L2 lookup; None on miss, tier failure, or a torn entry."""
         key = entry_key(fingerprint, num_servers, pl_id, epoch)
         try:
-            response = self._transport.call(
-                src=self.user_id,
-                dst=self._cache_tier,
-                request=CacheGetRequest(token=self._token, key=key),
-            )
+            with span("l2-get"):
+                response = self._transport.call(
+                    src=self.user_id,
+                    dst=self._cache_tier,
+                    request=CacheGetRequest(token=self._token, key=key),
+                )
         except (TransportError, UnknownEndpointError):
             return None  # the tier is an accelerator, never a dependency
         self.last_diagnostics.response_bytes += response.wire_bytes(
@@ -463,22 +492,23 @@ class ClusterSearchClient(SearchClient):
         out: dict[int, list[PostingElement]] = {}
         missing: list[int] = []
         l1_hits = 0
-        for pl_id in pl_ids:
-            entry = l1.get(
-                (
-                    self.user_id,
-                    fingerprint,
-                    num_servers,
-                    pl_id,
-                    epochs[pl_id],
+        with span("l1-lookup"):
+            for pl_id in pl_ids:
+                entry = l1.get(
+                    (
+                        self.user_id,
+                        fingerprint,
+                        num_servers,
+                        pl_id,
+                        epochs[pl_id],
+                    )
                 )
-            )
-            if entry is None:
-                missing.append(pl_id)
-            else:
-                out[pl_id] = list(entry)
-                l1_hits += 1
-                coordinator.note_cache_read(pl_id)
+                if entry is None:
+                    missing.append(pl_id)
+                else:
+                    out[pl_id] = list(entry)
+                    l1_hits += 1
+                    coordinator.note_cache_read(pl_id)
         if missing:
             # _fetch_lists (inside) resets last_cluster_diagnostics for
             # this query; the L1 tallies are re-applied after.
@@ -542,6 +572,10 @@ class ClusterSearchClient(SearchClient):
         # a degraded query walks the replica chain only as far as its
         # caller's remaining budget allows, never past it.
         deadline = current_deadline()
+        # The ambient trace is thread-local for the same reason; legs
+        # dispatched to the pool re-apply it so their spans (and the
+        # TRACE-flagged frames they send) stay on the query's trace.
+        trace = current_trace()
         pending = list(need)
         while pending:
             if deadline is not None:
@@ -576,6 +610,7 @@ class ClusterSearchClient(SearchClient):
                 for pod, lists in jobs:
                     self._hedged_job(
                         deadline,
+                        trace,
                         pod,
                         lists,
                         num_servers,
@@ -601,7 +636,13 @@ class ClusterSearchClient(SearchClient):
                     [
                         (
                             lambda p=pod, ls=lists: self._pod_leg(
-                                deadline, p, ls, num_servers, merged, counts
+                                deadline,
+                                trace,
+                                p,
+                                ls,
+                                num_servers,
+                                merged,
+                                counts,
                             )
                         )
                         for pod, lists in jobs
@@ -723,6 +764,7 @@ class ClusterSearchClient(SearchClient):
     def _pod_leg(
         self,
         deadline: Deadline | None,
+        trace: TraceContext | None,
         pod: Pod,
         need: Sequence[int],
         num_servers: int,
@@ -731,11 +773,12 @@ class ClusterSearchClient(SearchClient):
     ) -> _PodFetchOutcome:
         """A :meth:`_fetch_from_pod` on a worker thread.
 
-        The ambient deadline is thread-local, so the fan-out worker
-        re-applies the query thread's deadline before fetching —
-        without this, a leg dispatched to the pool would be unbounded.
+        The ambient deadline and trace are thread-local, so the fan-out
+        worker re-applies the query thread's scopes before fetching —
+        without this, a leg dispatched to the pool would be unbounded
+        (and its spans orphaned off the query's trace).
         """
-        with deadline_scope(deadline=deadline):
+        with deadline_scope(deadline=deadline), trace_scope(trace=trace):
             return self._fetch_from_pod(pod, need, num_servers, merged, counts)
 
     def _hedge_backup(
@@ -768,6 +811,7 @@ class ClusterSearchClient(SearchClient):
     def _hedged_job(
         self,
         deadline: Deadline | None,
+        trace: TraceContext | None,
         pod: Pod,
         lists: list[int],
         num_servers: int,
@@ -800,7 +844,7 @@ class ClusterSearchClient(SearchClient):
             local_counts: dict[int, dict[int, int]] = {
                 pl_id: {} for pl_id in lists
             }
-            with deadline_scope(deadline=deadline):
+            with deadline_scope(deadline=deadline), trace_scope(trace=trace):
                 outcome = self._fetch_from_pod(
                     target, lists, num_servers, local_merged, local_counts
                 )
@@ -928,7 +972,13 @@ class ClusterSearchClient(SearchClient):
         k = self._scheme.k
         coordinator = self._coordinator
         outcome = _PodFetchOutcome()
-        started = time.perf_counter()
+        # The coordinator's injected clock times the leg: breakers,
+        # hedge-delay p95s, and this latency sample must share one
+        # source or a fake clock in tests would move them apart. Span
+        # timing stays on perf_counter — spans compare against other
+        # spans, not against the EWMA.
+        started = coordinator.clock()
+        span_start = time.perf_counter()
         untrusted = {
             pl_id: coordinator.incomplete_seats(pod.name, pl_id)
             for pl_id in need
@@ -975,7 +1025,13 @@ class ClusterSearchClient(SearchClient):
                     for pl_id in need
                     if self._share_shortfall(counts[pl_id], k)
                 }
-        outcome.latency_s = time.perf_counter() - started
+        outcome.latency_s = coordinator.clock() - started
+        record_span(
+            f"fetch:{pod.name}",
+            start_s=span_start,
+            duration_s=time.perf_counter() - span_start,
+            wire_bytes=outcome.response_bytes,
+        )
         return outcome
 
     def _lookup_slot(

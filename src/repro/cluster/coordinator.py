@@ -44,16 +44,18 @@ from __future__ import annotations
 
 import pathlib
 import threading
+import time
 import weakref
 from collections import deque
 from dataclasses import dataclass, field
 from random import Random
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.client.owner import DroppedRoute, WriteRoute
 from repro.cluster.cache import LRUShareCache
 from repro.errors import ClusterDegradedError, ClusterError, ReproError
 from repro.extensions.dht import ConsistentHashRing
+from repro.observability.metrics import MetricsRegistry
 from repro.protocol.messages import (
     AdoptListRequest,
     AdoptSnapshotRequest,
@@ -276,6 +278,8 @@ class ClusterCoordinator:
         transport: InProcessTransport | None = None,
         bulk_rebalance: bool = True,
         repair_budget: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         """Args:
         scheme: the k-of-n scheme every pod shares (n = pod size).
@@ -304,6 +308,15 @@ class ClusterCoordinator:
             :meth:`repair_sweep` (None = unbounded). A budget turns the
             sweep into a rate limiter: a huge backlog is worked off
             across sweeps instead of one long stop-the-world pass.
+        clock: the single monotonic clock behind every latency-
+            sensitive path the coordinator owns — breaker open/half-open
+            windows, :meth:`note_pod_read` EWMA + p95 samples, and
+            (through :attr:`clock`) the search clients' per-pod fetch
+            timing. Inject a fake to make latency tests deterministic
+            without sleeps.
+        metrics: optional observability registry; when set,
+            :meth:`note_pod_read` publishes per-pod fetch latency
+            histograms and read counters into it on the hot path.
         """
         if not pods:
             raise ClusterError("cluster needs at least one pod")
@@ -338,6 +351,13 @@ class ClusterCoordinator:
         self.transport = transport
         self.bulk_rebalance = bulk_rebalance
         self.repair_budget = repair_budget
+        #: The injected monotonic clock (satellite of the observability
+        #: PR): breakers, hedge-delay p95 samples, and the clients'
+        #: fetch timing all read this one source, so a fake clock moves
+        #: every latency surface together.
+        self.clock = clock
+        #: Optional observability registry note_pod_read publishes into.
+        self.metrics = metrics
         self.cache = LRUShareCache(cache_entries)
         #: Routing decisions (one per distinct posting list per batch,
         #: per dead seat, per replica pod) made while a seat was down. A
@@ -408,7 +428,7 @@ class ClusterCoordinator:
         #: outcomes; an open breaker deprioritizes its pod in
         #: :meth:`read_replicas` (never forbids it — when everything is
         #: open the failover ladder still tries every replica).
-        self.breakers = BreakerRegistry()
+        self.breakers = BreakerRegistry(clock=clock)
         #: pod name -> recent whole-fetch latency samples (seconds),
         #: the raw material for :meth:`pod_latency_p95`.
         self._pod_latency_samples: dict[str, deque] = {}
@@ -786,6 +806,17 @@ class ClusterCoordinator:
                 samples.append(latency_s)
             for pl_id in pl_ids:
                 self._read_origin[pl_id] = pod_name
+        # Registry publication happens outside _read_stats_lock: the
+        # instruments carry their own locks, and holding two at once
+        # would order this lock against every metrics reader.
+        if self.metrics is not None:
+            self.metrics.counter(
+                "zerber_pod_read_lists_total", pod=pod_name
+            ).inc(num_lists)
+            if latency_s is not None:
+                self.metrics.histogram(
+                    "zerber_pod_fetch_latency_seconds", pod=pod_name
+                ).observe(latency_s)
 
     def pod_latency_p95(self, pod_name: str) -> float | None:
         """p95 of the pod's recent whole-fetch latencies (None: no data)."""
@@ -1556,6 +1587,98 @@ class ClusterCoordinator:
                 },
             },
         }
+
+    def register_collectors(
+        self, registry: MetricsRegistry, num_lists: int
+    ) -> None:
+        """Publish the coordinator's state surfaces as registry gauges.
+
+        Pull-at-dump, not mirror-on-mutation: a collector callback runs
+        at ``registry.samples()`` time and sets gauges straight from
+        :meth:`status_snapshot`, so the metrics surface can never drift
+        from the snapshot dict the CLI used to render — they are the
+        same numbers read at the same instant. Hot-path instruments
+        (the fetch-latency histograms in :meth:`note_pod_read`) update
+        directly instead; only snapshot-style state goes through here.
+        """
+        state_rank = {"closed": 0.0, "half-open": 1.0, "open": 2.0}
+
+        def collect(_registry: MetricsRegistry) -> None:
+            snap = self.status_snapshot(num_lists)
+            for pod in snap["pods"]:
+                name = pod["name"]
+                registry.gauge("zerber_pod_live_seats", pod=name).set(
+                    pod["live_seats"]
+                )
+                registry.gauge("zerber_pod_dead_seats", pod=name).set(
+                    pod["dead_seats"]
+                )
+                registry.gauge("zerber_pod_hosted_lists", pod=name).set(
+                    pod["hosted_lists"]
+                )
+                registry.gauge("zerber_pod_read_load", pod=name).set(
+                    pod["read_load"]
+                )
+                registry.gauge(
+                    "zerber_pod_read_latency_ewma_seconds", pod=name
+                ).set(pod["read_latency_ewma_s"] or 0.0)
+                registry.gauge("zerber_pod_stale_lists", pod=name).set(
+                    pod["stale_lists"]
+                )
+                for seat in pod["seats"]:
+                    registry.gauge(
+                        "zerber_seat_alive",
+                        pod=name,
+                        server=seat["server_id"],
+                    ).set(1.0 if seat["alive"] else 0.0)
+            registry.gauge("zerber_replication_factor").set(
+                snap["replication_factor"]
+            )
+            registry.gauge("zerber_num_lists").set(snap["num_lists"])
+            registry.gauge("zerber_outstanding_write_routes").set(
+                snap["outstanding_write_routes"]
+            )
+            cache = snap["cache"]
+            for key in (
+                "hits",
+                "misses",
+                "evictions",
+                "invalidations",
+                "entries",
+                "capacity",
+            ):
+                registry.gauge(f"zerber_share_cache_{key}").set(cache[key])
+            for pod_name, health in snap["health"].items():
+                registry.gauge("zerber_breaker_state", pod=pod_name).set(
+                    state_rank.get(health["state"], 0.0)
+                )
+                registry.gauge(
+                    "zerber_breaker_consecutive_failures", pod=pod_name
+                ).set(health["consecutive_failures"])
+                registry.gauge(
+                    "zerber_breaker_times_opened", pod=pod_name
+                ).set(health["times_opened"])
+            repair = snap["repair"]
+            registry.gauge("zerber_repair_sweeps").set(repair["sweeps"])
+            registry.gauge("zerber_repair_healed_seats").set(
+                repair["healed_seats"]
+            )
+            registry.gauge("zerber_repair_shipped_bytes").set(
+                repair["shipped_bytes"]
+            )
+            registry.gauge("zerber_repair_failures").set(repair["failures"])
+            registry.gauge("zerber_repair_pending_entries").set(
+                repair["pending_entries"]
+            )
+            registry.gauge("zerber_repair_thread_running").set(
+                1.0 if repair["thread_running"] else 0.0
+            )
+            registry.gauge("zerber_repair_backoff_seconds").set(
+                repair["current_backoff_s"] or 0.0
+            )
+
+        registry.add_collector(collect)
+        self.metrics = registry
 
     def live_servers(self) -> list[str]:
         return [

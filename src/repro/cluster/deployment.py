@@ -25,7 +25,8 @@ from __future__ import annotations
 
 import pathlib
 import random
-from typing import Mapping, Sequence
+import time
+from typing import Callable, Mapping, Sequence
 
 from repro.cachetier import (
     CACHE_TIER_ENDPOINT,
@@ -51,6 +52,8 @@ from repro.core.merging.base import MergingHeuristic
 from repro.core.posting import PackingSpec, PostingElementCodec
 from repro.core.zerber_index import build_mapping_table
 from repro.errors import ClusterError
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.service import METRICS_ENDPOINT, MetricsService
 from repro.protocol.async_transport import (
     AsyncSocketServer,
     AsyncSocketTransport,
@@ -108,6 +111,7 @@ class ClusterDeployment:
         cache_tier: str | None = None,
         cache_tier_entries: int = 4096,
         l1_entries: int = 0,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         """Args:
         mapping_table: the public term -> posting-list table.
@@ -182,6 +186,9 @@ class ClusterDeployment:
         l1_entries: default searcher-local L1 capacity (reconstructed
             postings); 0 (default) disables the L1. Per-searcher
             overrides via ``searcher(..., l1_entries=...)``.
+        clock: the monotonic clock behind every coordinator latency
+            surface (fetch timing, EWMA/p95, breakers, hedge delays).
+            Inject a fake for deterministic latency tests — no sleeps.
         """
         if num_pods < 1:
             raise ClusterError(f"need at least one pod, got {num_pods}")
@@ -222,6 +229,12 @@ class ClusterDeployment:
         for pod in pods:
             for slot in pod.slots:
                 self.registry.register(slot.server_id, slot_service(slot))
+        #: The deployment-wide observability registry. Every subsystem
+        #: publishes into this one object — coordinator read/write
+        #: paths, socket-server frame counters, cache tiers, breakers,
+        #: admission, repair — and the ``metrics`` endpoint serves it
+        #: over every transport backend.
+        self.metrics = MetricsRegistry()
         self.coordinator = ClusterCoordinator(
             scheme=self.scheme,
             pods=pods,
@@ -234,6 +247,15 @@ class ClusterDeployment:
             transport=self.registry,
             bulk_rebalance=bulk_rebalance,
             repair_budget=repair_budget,
+            clock=clock,
+            metrics=self.metrics,
+        )
+        self.coordinator.register_collectors(
+            self.metrics, mapping_table.num_lists
+        )
+        self.metrics.add_collector(self._collect_deployment_metrics)
+        self.registry.register(
+            METRICS_ENDPOINT, MetricsService(self.metrics)
         )
         self.cache_tier_store: CacheTierStore | None = None
         if cache_tier is not None:
@@ -280,6 +302,7 @@ class ClusterDeployment:
                 port=socket_port,
                 idle_timeout_s=socket_idle_timeout_s,
                 max_pending=admission_max_pending,
+                metrics=self.metrics,
             )
             self.transport = SocketTransport(
                 self._socket_server.address, share_bytes=share_bytes
@@ -291,6 +314,7 @@ class ClusterDeployment:
                 port=socket_port,
                 idle_timeout_s=socket_idle_timeout_s,
                 max_pending=admission_max_pending,
+                metrics=self.metrics,
             )
             self.transport = AsyncSocketTransport(
                 self._socket_server.address, share_bytes=share_bytes
@@ -310,6 +334,59 @@ class ClusterDeployment:
         self.snippets = SnippetService(self.groups)
         self._tokens: dict[str, AuthToken] = {}
         self._owners: dict[str, DocumentOwner] = {}
+
+    def _collect_deployment_metrics(self, _registry: MetricsRegistry) -> None:
+        """Registry collector for the deployment-owned surfaces.
+
+        Runs at dump time (``metrics.samples()``), setting gauges from
+        the live admission controller, cache tiers, and seat stores —
+        the same sources :meth:`status_snapshot` reads, so the two
+        surfaces can never disagree.
+        """
+        metrics = self.metrics
+        server = self._socket_server
+        if server is not None and server.admission is not None:
+            for key, value in server.admission.stats().items():
+                metrics.gauge(f"zerber_admission_{key}").set(
+                    float(value if value is not None else 0)
+                )
+        if self.cache_tier_store is not None:
+            snap = self.cache_tier_store.stats_snapshot()
+            metrics.gauge(
+                "zerber_cache_tier_info", policy=snap.pop("policy")
+            ).set(1.0)
+            for key, value in snap.items():
+                metrics.gauge(f"zerber_cache_tier_{key}").set(value)
+        # Searcher-local L1s are per-client; the fleet view sums the
+        # live ones (the coordinator's weak registry of caches that
+        # subscribed for invalidation).
+        l1_totals: dict[str, int] = {}
+        l1_count = 0
+        for l1 in list(self.coordinator._l1_caches):
+            l1_count += 1
+            for key, value in l1.stats_snapshot().items():
+                l1_totals[key] = l1_totals.get(key, 0) + value
+        metrics.gauge("zerber_l1_caches").set(l1_count)
+        for key, value in l1_totals.items():
+            metrics.gauge(f"zerber_l1_{key}").set(value)
+        # Seat-store / compactor state (segmented engine only: the flat
+        # WAL has no background machinery worth a gauge).
+        for pod in self.coordinator.pods:
+            for slot in pod.slots:
+                log = slot.log
+                if log is None or not hasattr(log, "status"):
+                    continue
+                status = log.status()
+                for key in ("records_appended", "disk_bytes", "segments"):
+                    if key in status:
+                        metrics.gauge(
+                            f"zerber_storage_{key}",
+                            server=slot.server_id,
+                        ).set(status[key])
+                if "compacting" in status:
+                    metrics.gauge(
+                        "zerber_storage_compacting", server=slot.server_id
+                    ).set(1.0 if status["compacting"] else 0.0)
 
     def _seat_store_path(self, server_id: str) -> pathlib.Path:
         """Where one seat's durable store lives under ``wal_dir`` — a

@@ -61,12 +61,14 @@ from repro.errors import DeadlineExceededError, ProtocolError, TransportError
 from repro.protocol.codec import decode_message, encode_message
 from repro.protocol.messages import DEFAULT_SHARE_BYTES, EndpointsRequest
 from repro.protocol.service import raise_for_error
+from repro.observability.tracing import span
 from repro.protocol.transport import (
     _RETRY_SAFE,
     CORRELATION_FLAG,
     MAX_FRAME_BYTES,
     _LEN,
     _pack_request,
+    _wire_trace,
     frame_bytes,
     handle_request_payload,
     InProcessTransport,
@@ -221,9 +223,13 @@ class AsyncSocketServer:
         handler_threads: int = 0,
         drain_timeout_s: float = 5.0,
         max_pending: int | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self._registry = registry
         self._idle_timeout_s = idle_timeout_s
+        #: Optional observability registry the per-frame counters
+        #: publish into (``zerber_server_frames_total`` et al.).
+        self.metrics = metrics
         self._max_in_flight = max_in_flight
         self._write_queue_frames = write_queue_frames
         self._drain_timeout_s = drain_timeout_s
@@ -271,6 +277,8 @@ class AsyncSocketServer:
             payload,
             received_at=received_at,
             admission=self.admission,
+            metrics=self.metrics,
+            transport_label="async-socket",
         )
         return encode_message(response, packed=packed)
 
@@ -599,6 +607,7 @@ class AsyncSocketTransport(Transport):
         if self._closed:
             raise TransportError("async socket transport is closed")
         read_safe = isinstance(request, _RETRY_SAFE)
+        trace = _wire_trace()
 
         def attempt(_index: int) -> Any:
             deadline = current_deadline()
@@ -607,10 +616,12 @@ class AsyncSocketTransport(Transport):
                 deadline.check(f"call to {dst!r}")
                 budget_us = deadline.budget_us()
             payload = _pack_request(
-                dst, request, packed=True, budget_us=budget_us
+                dst, request, packed=True, budget_us=budget_us, trace=trace
             )
             try:
-                blob = self._round_trip(payload, deadline)
+                with span(f"call:{dst}") as call_span:
+                    blob = self._round_trip(payload, deadline)
+                    call_span.wire_bytes = len(payload) + len(blob)
             except _ConnectionLost as exc:
                 if self._closed:
                     raise TransportError(

@@ -29,6 +29,7 @@ the encoded form honest anyway.
 
 from __future__ import annotations
 
+import struct
 from typing import Any, Callable
 
 from repro.client.snippets import Snippet
@@ -477,6 +478,43 @@ def _dec_cache_stats_resp(r: _Reader) -> m.CacheStatsResponse:
     )
 
 
+def _enc_metrics_dump_req(out: bytearray, msg: m.MetricsDumpRequest) -> None:
+    pass
+
+
+def _dec_metrics_dump_req(r: _Reader) -> m.MetricsDumpRequest:
+    return m.MetricsDumpRequest()
+
+
+# Metric values are exact IEEE-754 doubles (latencies, ratios, EWMA
+# gauges do not fit varints); 8 fixed big-endian bytes per value.
+_F64 = struct.Struct(">d")
+
+
+def _enc_metrics_dump_resp(
+    out: bytearray, msg: m.MetricsDumpResponse
+) -> None:
+    _write_uint(out, len(msg.samples))
+    for name, labels, value in msg.samples:
+        _write_str(out, name)
+        _write_str(out, labels)
+        out.extend(_F64.pack(value))
+
+
+def _dec_metrics_dump_resp(r: _Reader) -> m.MetricsDumpResponse:
+    count = r.uint()
+    samples = []
+    for _ in range(count):
+        name = r.text()
+        labels = r.text()
+        if r.pos + _F64.size > len(r.data):
+            raise ProtocolError("truncated metric value")
+        (value,) = _F64.unpack_from(r.data, r.pos)
+        r.pos += _F64.size
+        samples.append((name, labels, value))
+    return m.MetricsDumpResponse(samples=tuple(samples))
+
+
 # -- packed record arrays (the async/pipelined protocol revision) -------------
 #
 # Varint-decoding a share record costs ~15 Python bytecode loops per
@@ -678,6 +716,11 @@ _REGISTRY: dict[int, tuple[type, Callable, Callable]] = {
         _dec_cache_invalidate,
     ),
     0x0F: (m.CacheStatsRequest, _enc_cache_stats_req, _dec_cache_stats_req),
+    0x10: (
+        m.MetricsDumpRequest,
+        _enc_metrics_dump_req,
+        _dec_metrics_dump_req,
+    ),
     0x21: (m.OpCountResponse, _enc_count, _dec_count),
     0x22: (m.FetchListsResponse, _enc_lists, _dec_lists),
     0x23: (m.SnippetResponse, _enc_snippet_resp, _dec_snippet_resp),
@@ -691,6 +734,11 @@ _REGISTRY: dict[int, tuple[type, Callable, Callable]] = {
         m.CacheStatsResponse,
         _enc_cache_stats_resp,
         _dec_cache_stats_resp,
+    ),
+    0x2B: (
+        m.MetricsDumpResponse,
+        _enc_metrics_dump_resp,
+        _dec_metrics_dump_resp,
     ),
 }
 

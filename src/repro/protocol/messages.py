@@ -28,6 +28,7 @@ CacheGetRequest       token + cache key (cache tier)   CacheValueResponse
 CachePutRequest       token + key + pl_id + value      OpCountResponse
 CacheInvalidateRequest  pl_ids (cache tier)            OpCountResponse
 CacheStatsRequest     —  (cache tier observability)    CacheStatsResponse
+MetricsDumpRequest    —  (metrics observability)       MetricsDumpResponse
 (any, on failure)                                      ErrorResponse
 ====================  ==============================  ====================
 
@@ -332,6 +333,21 @@ class CacheStatsRequest:
         return 4
 
 
+@dataclass(frozen=True)
+class MetricsDumpRequest:
+    """Metrics observability: every registry sample in one answer.
+
+    Token-free like :class:`ServerStatusRequest` and
+    :class:`CacheStatsRequest` — the dump carries counters and
+    quantiles only, never shares, keys, or tokens.
+    """
+
+    kind = "admin"
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return 4
+
+
 # -- responses ----------------------------------------------------------------
 
 
@@ -444,6 +460,24 @@ class CacheStatsResponse:
 
 
 @dataclass(frozen=True)
+class MetricsDumpResponse:
+    """The metrics registry's sample set at one instant.
+
+    Each sample is ``(name, canonical label string, value)`` — the
+    wire twin of :class:`repro.observability.metrics.MetricSample`.
+    Values travel as exact IEEE-754 doubles (8 wire bytes each), so a
+    remote scrape renders byte-identically to a local one.
+    """
+
+    samples: tuple[tuple[str, str, float], ...]
+
+    def wire_bytes(self, share_bytes: int = DEFAULT_SHARE_BYTES) -> int:
+        return 4 + sum(
+            len(name) + len(labels) + 8 for name, labels, _ in self.samples
+        )
+
+
+@dataclass(frozen=True)
 class ErrorResponse:
     """A server-side failure shipped back over the wire.
 
@@ -482,6 +516,7 @@ REQUEST_TYPES = (
     CachePutRequest,
     CacheInvalidateRequest,
     CacheStatsRequest,
+    MetricsDumpRequest,
 )
 
 RESPONSE_TYPES = (
@@ -495,4 +530,5 @@ RESPONSE_TYPES = (
     ErrorResponse,
     CacheValueResponse,
     CacheStatsResponse,
+    MetricsDumpResponse,
 )

@@ -64,10 +64,19 @@ from repro.protocol.messages import (
     ExportListRequest,
     FetchListsRequest,
     FetchSnippetRequest,
+    MetricsDumpRequest,
     ServerStatusRequest,
     ShipSnapshotRequest,
 )
 from repro.protocol.service import error_response, raise_for_error
+# Submodule import (not the repro.observability package __init__) for
+# the same cycle-avoidance reason as the resilience imports below.
+from repro.observability.tracing import (
+    TraceContext,
+    current_trace,
+    span,
+    trace_scope,
+)
 # Submodule imports on purpose: the repro.resilience *package* pulls in
 # the chaos harness, which imports this module back.
 from repro.resilience.admission import AdmissionController
@@ -103,6 +112,8 @@ _RETRY_SAFE = (
     CacheGetRequest,
     CacheStatsRequest,
     CacheInvalidateRequest,
+    # A metrics dump is a pure read of counters and gauges.
+    MetricsDumpRequest,
 )
 
 _LEN = struct.Struct(">I")
@@ -135,6 +146,32 @@ CORRELATION_FLAG = 0x8000_0000
 #: machines, and losing the transit time only makes the server side
 #: *more* conservative about a deadline it would enforce anyway.
 DEADLINE_FLAG = 0x4000_0000
+
+#: Third-highest bit of the request envelope's name-length word: the
+#: request carries a trace context — an **8-byte big-endian trace id
+#: plus a 2-byte big-endian hop counter** — after the endpoint name
+#: and after the optional deadline budget (both flags may be set).
+#: Negotiation is the deadline story again: the flag makes the word an
+#: absurd name length on a classic peer, which rejects the frame with
+#: the typed "truncated inside endpoint name" :class:`ProtocolError`
+#: rather than misparse it, and untraced requests stay byte-identical
+#: to the previous revision. The context is *passive*: a server
+#: restores it around dispatch so its span lands under the right trace
+#: id, but no routing, retry, or response byte ever depends on it —
+#: that is how tracing preserves the byte-identity invariant.
+TRACE_FLAG = 0x2000_0000
+
+#: The wire form of a trace context: trace id (8) + hop counter (2).
+_TRACE = struct.Struct(">QH")
+
+
+def _wire_trace() -> tuple[int, int] | None:
+    """The ambient trace as ``(trace_id, next hop)`` for the wire."""
+    trace = current_trace()
+    if trace is None:
+        return None
+    advanced = trace.next_hop()
+    return advanced.trace_id, advanced.hop
 
 
 class Transport:
@@ -271,6 +308,8 @@ def handle_request_payload(
     payload: bytes,
     received_at: float | None = None,
     admission: AdmissionController | None = None,
+    metrics: "MetricsRegistry | None" = None,
+    transport_label: str = "socket",
 ) -> Any:
     """One server-side request leg: unpack, dispatch, never raise.
 
@@ -288,9 +327,18 @@ def handle_request_payload(
     server adds. When an ``admission`` controller is given, dispatch
     concurrency beyond its bound is shed as a typed retryable
     ``OverloadedError`` rather than queued into latency collapse.
+    When a ``metrics`` registry is given, the server's frame and byte
+    counters publish into it, labelled by ``transport_label``.
     """
+    if metrics is not None:
+        metrics.counter(
+            "zerber_server_frames_total", transport=transport_label
+        ).inc()
+        metrics.counter(
+            "zerber_server_request_bytes_total", transport=transport_label
+        ).inc(len(payload))
     try:
-        dst, request, budget_us = _unpack_request(payload)
+        dst, request, budget_us, wire_trace = _unpack_request(payload)
         deadline: Deadline | None = None
         if budget_us is not None:
             start = (
@@ -298,16 +346,31 @@ def handle_request_payload(
             )
             deadline = Deadline(start + budget_us / 1e6)
             deadline.check(f"request for {dst!r}")
+        # Restore the wire trace context (if any) around dispatch so
+        # the server-side span lands under the caller's trace id at
+        # the hop the caller stamped. Passive: nothing below routes,
+        # retries, or encodes differently because a trace is present.
+        trace = (
+            TraceContext(trace_id=wire_trace[0], hop=wire_trace[1])
+            if wire_trace is not None
+            else None
+        )
         if isinstance(request, EndpointsRequest):
             return EndpointsResponse(names=tuple(registry.endpoints()))
         if admission is not None:
             admission.admit(f"request for {dst!r}")
             try:
-                with deadline_scope(deadline=deadline):
+                with deadline_scope(deadline=deadline), trace_scope(
+                    trace=trace
+                ), span(f"server:{dst}") as server_span:
+                    server_span.wire_bytes = len(payload)
                     return registry.dispatch_local(dst, request)
             finally:
                 admission.release()
-        with deadline_scope(deadline=deadline):
+        with deadline_scope(deadline=deadline), trace_scope(
+            trace=trace
+        ), span(f"server:{dst}") as server_span:
+            server_span.wire_bytes = len(payload)
             return registry.dispatch_local(dst, request)
     except ReproError as exc:
         return error_response(exc)
@@ -365,26 +428,34 @@ def _pack_request(
     request: Any,
     packed: bool = False,
     budget_us: int | None = None,
+    trace: tuple[int, int] | None = None,
 ) -> bytes:
     name = dst.encode("utf-8")
-    if budget_us is None:
-        header = _LEN.pack(len(name)) + name
-    else:
-        header = (
-            _LEN.pack(len(name) | DEADLINE_FLAG)
-            + name
-            + _LEN.pack(budget_us)
-        )
-    return header + encode_message(request, packed=packed)
+    word = len(name)
+    tail = b""
+    if budget_us is not None:
+        word |= DEADLINE_FLAG
+        tail += _LEN.pack(budget_us)
+    if trace is not None:
+        word |= TRACE_FLAG
+        trace_id, hop = trace
+        tail += _TRACE.pack(trace_id, hop)
+    return (
+        _LEN.pack(word) + name + tail + encode_message(request, packed=packed)
+    )
 
 
-def _unpack_request(payload: bytes) -> tuple[str, Any, int | None]:
-    """``(dst, request, remaining budget in µs | None)`` off one frame."""
+def _unpack_request(
+    payload: bytes,
+) -> tuple[str, Any, int | None, tuple[int, int] | None]:
+    """``(dst, request, remaining budget µs | None, (trace id, hop) |
+    None)`` off one frame."""
     if len(payload) < _LEN.size:
         raise ProtocolError("request frame shorter than its name header")
     (word,) = _LEN.unpack(payload[: _LEN.size])
     has_deadline = bool(word & DEADLINE_FLAG)
-    name_len = word ^ DEADLINE_FLAG if has_deadline else word
+    has_trace = bool(word & TRACE_FLAG)
+    name_len = word & ~(DEADLINE_FLAG | TRACE_FLAG)
     body_start = _LEN.size + name_len
     if name_len > MAX_FRAME_BYTES or body_start > len(payload):
         raise ProtocolError("request frame truncated inside endpoint name")
@@ -401,7 +472,16 @@ def _unpack_request(payload: bytes) -> tuple[str, Any, int | None]:
             )
         (budget_us,) = _LEN.unpack(payload[body_start:budget_end])
         body_start = budget_end
-    return dst, decode_message(payload[body_start:]), budget_us
+    trace: tuple[int, int] | None = None
+    if has_trace:
+        trace_end = body_start + _TRACE.size
+        if trace_end > len(payload):
+            raise ProtocolError(
+                "request frame truncated inside trace context"
+            )
+        trace = _TRACE.unpack(payload[body_start:trace_end])
+        body_start = trace_end
+    return dst, decode_message(payload[body_start:]), budget_us, trace
 
 
 class SocketServer:
@@ -430,9 +510,13 @@ class SocketServer:
         port: int = 0,
         idle_timeout_s: float | None = None,
         max_pending: int | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self._registry = registry
         self._idle_timeout_s = idle_timeout_s
+        #: Optional observability registry the per-frame counters
+        #: publish into (``zerber_server_frames_total`` et al.).
+        self.metrics = metrics
         #: Bounded-dispatch gate (None: admit everything, the
         #: historical behaviour every byte-identity gate assumes).
         self.admission = (
@@ -552,6 +636,8 @@ class SocketServer:
             payload,
             received_at=received_at,
             admission=self.admission,
+            metrics=self.metrics,
+            transport_label="socket",
         )
 
     @property
@@ -737,6 +823,7 @@ class SocketTransport(Transport):
 
     def call(self, src: str, dst: str, request: Any) -> Any:
         read_safe = isinstance(request, _RETRY_SAFE)
+        trace = _wire_trace()
 
         def attempt(_index: int) -> Any:
             deadline = current_deadline()
@@ -744,11 +831,13 @@ class SocketTransport(Transport):
             if deadline is not None:
                 deadline.check(f"call to {dst!r}")
                 budget_us = deadline.budget_us()
-            payload = _pack_request(dst, request, budget_us=budget_us)
-            response = decode_message(
-                self._round_trip(payload, read_safe, deadline)
+            payload = _pack_request(
+                dst, request, budget_us=budget_us, trace=trace
             )
-            return raise_for_error(response)
+            with span(f"call:{dst}") as call_span:
+                frame = self._round_trip(payload, read_safe, deadline)
+                call_span.wire_bytes = len(payload) + len(frame)
+            return raise_for_error(decode_message(frame))
 
         return self._retry_policy.run(attempt)
 

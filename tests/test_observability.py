@@ -1,0 +1,490 @@
+"""Observability layer: registry, tracing, wire flags, dashboards.
+
+Four verification fronts:
+
+- the metrics registry under concurrency — totals never lost, quantile
+  estimates monotone, collectors pulled at dump time;
+- the trace context and span buffer — passive, bounded, no-op when no
+  trace is active;
+- the ``TRACE_FLAG`` envelope — round-trips with and without a budget,
+  and a classic peer rejects flagged frames instead of misparsing them;
+- end to end — trace ids propagate across all three transports, a
+  traced async-socket search decomposes ≥ 95 % of its wall time into
+  named stages with byte-identical results tracing on or off, and the
+  ``MetricsDump`` endpoint plus the `cluster top`/`status` CLI render
+  live registry data.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from helpers import make_cluster, make_documents
+
+from repro.cli import main as cli_main
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SampleView,
+    parse_labels,
+    render_prometheus,
+)
+from repro.observability.service import METRICS_ENDPOINT
+from repro.observability.tracing import (
+    MAX_HOP,
+    SpanBuffer,
+    TraceContext,
+    current_trace,
+    global_spans,
+    new_trace_id,
+    record_span,
+    span,
+    trace_scope,
+)
+from repro.errors import ProtocolError
+from repro.protocol.messages import (
+    MetricsDumpRequest,
+    MetricsDumpResponse,
+    ServerStatusRequest,
+)
+from repro.protocol.transport import (
+    _LEN,
+    _pack_request,
+    _unpack_request,
+    DEADLINE_FLAG,
+    TRACE_FLAG,
+)
+
+#: Every transport backend the deployment supports.
+TRANSPORTS = ("in-process", "socket", "async-socket")
+
+
+class TestMetricsInstruments:
+    def test_concurrent_counter_updates_are_never_lost(self):
+        counter = Counter()
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc() for _ in range(5000)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8 * 5000
+
+    def test_counters_only_go_up(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec(3)
+        assert gauge.value == 4.0
+
+    def test_concurrent_histogram_totals_are_exact(self):
+        histogram = Histogram()
+        per_thread = 2000
+
+        def worker(offset):
+            for i in range(per_thread):
+                histogram.observe((offset + i % 7) * 1e-4)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        counts, total_sum, count = histogram.snapshot()
+        assert count == 8 * per_thread
+        assert sum(counts) == count
+        expected = sum(
+            (t + i % 7) * 1e-4 for t in range(8) for i in range(per_thread)
+        )
+        assert total_sum == pytest.approx(expected)
+
+    def test_quantiles_monotone_while_writers_run(self):
+        """p50 <= p95 <= p99 on every snapshot, even mid-write."""
+        histogram = Histogram()
+        stop = threading.Event()
+
+        def writer():
+            value = 1e-4
+            while not stop.is_set():
+                histogram.observe(value)
+                value = value * 1.1 if value < 1.0 else 1e-4
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(200):
+                p = histogram.percentiles()
+                assert p["p50"] <= p["p95"] <= p["p99"]
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+    def test_quantile_bounds_and_empty(self):
+        histogram = Histogram(bounds=(1.0, 2.0, 4.0))
+        assert histogram.quantile(0.5) == 0.0  # empty
+        for value in (0.5, 1.5, 3.0, 9.0):
+            histogram.observe(value)
+        assert histogram.quantile(1.0) == 4.0  # overflow clamps
+
+
+class TestMetricsRegistry:
+    def test_same_name_and_labels_return_the_same_handle(self):
+        registry = MetricsRegistry()
+        a = registry.counter("reqs", pod="p0")
+        b = registry.counter("reqs", pod="p0")
+        assert a is b
+        assert registry.counter("reqs", pod="p1") is not a
+
+    def test_kind_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x", pod="p0")  # name owns the kind
+
+    def test_collectors_run_at_dump_time(self):
+        registry = MetricsRegistry()
+        pulls = []
+
+        def collect(reg):
+            pulls.append(1)
+            reg.gauge("pulled").set(42)
+
+        registry.add_collector(collect)
+        assert not pulls
+        view = SampleView(registry.samples())
+        assert pulls == [1]
+        assert view.value("pulled") == 42.0
+
+    def test_histograms_explode_into_buckets_and_quantiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", pod="p0")
+        for value in (1e-4, 2e-4, 1e-3, 1e-2):
+            histogram.observe(value)
+        samples = registry.samples()
+        buckets = [
+            s for s in samples
+            if s.name == "lat_bucket"
+        ]
+        # Cumulative counts never decrease, +Inf equals the count.
+        values = [s.value for s in buckets]
+        assert values == sorted(values)
+        assert values[-1] == 4
+        view = SampleView(samples)
+        assert view.value("lat_count", pod="p0") == 4
+        p50 = view.value("lat", pod="p0", quantile="0.5")
+        p99 = view.value("lat", pod="p0", quantile="0.99")
+        assert 0 < p50 <= p99
+
+    def test_prometheus_rendering_and_label_parsing(self):
+        registry = MetricsRegistry()
+        registry.counter("frames", transport="socket").inc(3)
+        text = render_prometheus(registry.samples())
+        assert 'frames{transport="socket"} 3\n' == text
+        assert parse_labels('a="1",b="x"') == {"a": "1", "b": "x"}
+        assert parse_labels("") == {}
+
+    def test_sample_view_accepts_wire_triples(self):
+        view = SampleView(
+            [
+                ("up", 'pod="p0"', 1.0),
+                ("up", 'pod="p1"', 0.0),
+                ("total", "", 7.0),
+            ]
+        )
+        assert view.value("total") == 7.0
+        assert view.value("up", pod="p1") == 0.0
+        assert view.value("missing", 5.0) == 5.0
+        assert view.label_values("up", "pod") == ["p0", "p1"]
+        assert view.by_label("up", "pod") == {"p0": 1.0, "p1": 0.0}
+
+
+class TestTracing:
+    def test_span_is_a_noop_without_a_trace(self):
+        buffer = SpanBuffer()
+        assert current_trace() is None
+        with span("stage", buffer=buffer):
+            pass
+        record_span("stage", start_s=0.0, duration_s=1.0, buffer=buffer)
+        assert len(buffer) == 0
+
+    def test_spans_record_under_a_scope_and_dump_by_trace(self):
+        buffer = SpanBuffer()
+        trace_id = new_trace_id()
+        with trace_scope(trace_id=trace_id):
+            with span("outer", buffer=buffer):
+                with span("inner", buffer=buffer) as handle:
+                    handle.wire_bytes = 128
+        spans = buffer.spans_for(trace_id)
+        assert [s.stage for s in spans] == ["outer", "inner"]
+        assert spans[1].wire_bytes == 128
+        assert spans[0].duration_s >= spans[1].duration_s
+        assert "inner" in buffer.dump(trace_id)
+
+    def test_spans_record_even_when_the_stage_raises(self):
+        buffer = SpanBuffer()
+        trace_id = new_trace_id()
+        with pytest.raises(RuntimeError):
+            with trace_scope(trace_id=trace_id):
+                with span("failing", buffer=buffer):
+                    raise RuntimeError("boom")
+        assert [s.stage for s in buffer.spans_for(trace_id)] == ["failing"]
+
+    def test_buffer_is_bounded(self):
+        buffer = SpanBuffer(capacity=4)
+        trace = TraceContext(trace_id=1)
+        for i in range(10):
+            record_span(
+                f"s{i}", start_s=float(i), duration_s=0.0,
+                trace=trace, buffer=buffer,
+            )
+        assert len(buffer) == 4
+        assert buffer.dropped > 0
+        assert [s.stage for s in buffer.spans_for(1)] == [
+            "s6", "s7", "s8", "s9",
+        ]
+
+    def test_scopes_nest_and_restore(self):
+        with trace_scope(trace_id=7) as outer:
+            assert current_trace() is outer
+            with trace_scope(trace=TraceContext(9, hop=2)) as inner:
+                assert current_trace() is inner
+            assert current_trace() is outer
+        assert current_trace() is None
+
+    def test_hop_counter_saturates_at_the_wire_maximum(self):
+        assert TraceContext(1, hop=3).next_hop().hop == 4
+        assert TraceContext(1, hop=MAX_HOP).next_hop().hop == MAX_HOP
+
+
+class TestTraceWire:
+    def test_trace_rides_the_wire_and_round_trips(self):
+        payload = _pack_request(
+            "pod0-server-0", ServerStatusRequest(), trace=(0xABCD, 3)
+        )
+        word = _LEN.unpack_from(payload)[0]
+        assert word & TRACE_FLAG
+        dst, request, budget_us, wire_trace = _unpack_request(payload)
+        assert dst == "pod0-server-0"
+        assert isinstance(request, ServerStatusRequest)
+        assert budget_us is None
+        assert wire_trace == (0xABCD, 3)
+
+    def test_trace_and_budget_share_the_envelope(self):
+        payload = _pack_request(
+            "pod0-server-0",
+            ServerStatusRequest(),
+            budget_us=250_000,
+            trace=(1 << 60, 1),
+        )
+        word = _LEN.unpack_from(payload)[0]
+        assert word & TRACE_FLAG and word & DEADLINE_FLAG
+        _dst, _request, budget_us, wire_trace = _unpack_request(payload)
+        assert budget_us == 250_000
+        assert wire_trace == (1 << 60, 1)
+
+    def test_classic_parser_sees_an_absurd_name_length(self):
+        # A peer that predates TRACE_FLAG reads the flagged length word
+        # verbatim: 0x2000_0000 + 13 bytes of "name" it can never
+        # receive — the frame is rejected as truncated, not misparsed.
+        payload = _pack_request(
+            "pod0-server-0", ServerStatusRequest(), trace=(5, 0)
+        )
+        word = _LEN.unpack_from(payload)[0]
+        assert word > 0x2000_0000
+        assert word - TRACE_FLAG == len(b"pod0-server-0")
+
+    def test_truncated_trace_is_a_typed_protocol_error(self):
+        payload = _pack_request(
+            "pod0-server-0", ServerStatusRequest(), trace=(5, 0)
+        )
+        truncated = payload[: _LEN.size + len(b"pod0-server-0") + 4]
+        with pytest.raises(ProtocolError):
+            _unpack_request(truncated)
+
+
+def _query_terms(documents):
+    return sorted(documents[0].term_counts)[:2]
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_metrics_dump_reaches_every_transport(self, transport):
+        documents = make_documents()
+        cluster = make_cluster(documents, transport=transport)
+        with cluster:
+            searcher = cluster.searcher("owner0")
+            searcher.search(_query_terms(documents), top_k=5)
+            response = cluster.transport.call(
+                src="operator",
+                dst=METRICS_ENDPOINT,
+                request=MetricsDumpRequest(),
+            )
+            assert isinstance(response, MetricsDumpResponse)
+            view = SampleView(response.samples)
+            assert view.value("zerber_num_lists") == 8
+            assert view.value("zerber_search_queries_total") >= 1
+            assert view.label_values("zerber_pod_live_seats", "pod") == [
+                "pod0", "pod1",
+            ]
+            if transport != "in-process":
+                label = transport
+                frames = view.value(
+                    "zerber_server_frames_total", transport=label
+                )
+                request_bytes = view.value(
+                    "zerber_server_request_bytes_total", transport=label
+                )
+                assert frames and frames >= 1
+                assert request_bytes and request_bytes > frames
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_trace_id_propagates_across_the_transport(self, transport):
+        documents = make_documents()
+        cluster = make_cluster(documents, transport=transport)
+        with cluster:
+            terms = _query_terms(documents)
+            searcher = cluster.searcher("owner0", use_cache=False)
+            baseline = searcher.search(terms, top_k=5)
+            trace_id = new_trace_id()
+            traced = searcher.search(terms, top_k=5, trace_id=trace_id)
+            # Tracing is passive: results are byte-identical on/off.
+            assert traced == baseline
+            spans = global_spans().spans_for(trace_id)
+            stages = [s.stage for s in spans]
+            assert "search" in stages
+            assert any(s.startswith("fetch:pod") for s in stages)
+            if transport != "in-process":
+                # The id crossed real TCP: the server restored it from
+                # the frame and recorded dispatch spans at hop >= 1.
+                server_spans = [
+                    s for s in spans if s.stage.startswith("server:")
+                ]
+                assert server_spans
+                assert all(s.hop >= 1 for s in server_spans)
+
+    def test_async_socket_trace_decomposes_wall_time(self):
+        """The acceptance drill: one traced search over async-socket
+        yields spans covering >= 95 % of measured wall time, broken
+        into named stages."""
+        documents = make_documents(num_docs=16)
+        cluster = make_cluster(documents, transport="async-socket")
+        with cluster:
+            terms = _query_terms(documents)
+            searcher = cluster.searcher("owner0", use_cache=False)
+            searcher.search(terms, top_k=5)  # warm code paths
+            trace_id = new_trace_id()
+            started = time.perf_counter()
+            traced = searcher.search(terms, top_k=5, trace_id=trace_id)
+            wall_s = time.perf_counter() - started
+            plain = searcher.search(terms, top_k=5)
+            assert traced == plain
+            spans = global_spans().spans_for(trace_id)
+            search_spans = [s for s in spans if s.stage == "search"]
+            assert len(search_spans) == 1
+            assert search_spans[0].duration_s >= 0.95 * wall_s
+            stages = {s.stage for s in spans}
+            assert {"search", "fetch-elements", "rank"} <= stages
+            assert any(s.startswith("fetch:pod") for s in stages)
+            assert any(s.startswith("server:") for s in stages)
+            assert any(s.startswith("call:") for s in stages)
+            # The wire spans carry their response byte counts.
+            assert any(
+                s.wire_bytes > 0
+                for s in spans
+                if s.stage.startswith("fetch:")
+            )
+
+
+class TestInjectableClock:
+    def test_fetch_latency_accounting_uses_the_injected_clock(self):
+        """A frozen clock yields exactly-zero EWMAs — impossible with
+        the real clock — proving the read path times fetches with the
+        injected source, without a single sleep."""
+        documents = make_documents()
+        cluster = make_cluster(documents, clock=lambda: 100.0)
+        with cluster:
+            searcher = cluster.searcher("owner0", use_cache=False)
+            searcher.search(_query_terms(documents), top_k=5)
+            snap = cluster.status_snapshot()
+            read_pods = [
+                pod for pod in snap["pods"] if pod["read_load"] > 0
+            ]
+            assert read_pods
+            for pod in read_pods:
+                assert pod["read_latency_ewma_s"] == 0.0
+
+    def test_breakers_share_the_injected_clock(self):
+        """Cooldown expiry driven by advancing a fake clock, no sleeps."""
+        documents = make_documents(num_docs=4)
+        now = [100.0]
+        cluster = make_cluster(documents, clock=lambda: now[0])
+        with cluster:
+            breakers = cluster.coordinator.breakers
+            for _ in range(3):
+                breakers.record_failure("pod0")
+            assert breakers.of("pod0").state == "open"
+            now[0] += 1.0  # default cooldown_s elapses instantly
+            assert breakers.of("pod0").state == "half-open"
+
+
+class TestDashboards:
+    def test_cluster_top_renders_live_registry_data(self, capsys):
+        code = cli_main(
+            [
+                "cluster", "top", "--pods", "2", "--documents", "16",
+                "--iterations", "2", "--interval", "0.05",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repro cluster top · frame 2/2" in out
+        assert "p50" in out and "p95" in out and "p99" in out
+        assert "pod0" in out and "pod1" in out
+        assert "breakers:" in out
+        assert "anti-entropy:" in out
+
+    def test_cluster_status_renders_from_the_metrics_dump(self, capsys):
+        code = cli_main(
+            [
+                "cluster", "status", "--pods", "2", "--documents", "16",
+                "--kill", "1:0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cluster: 2 pods" in out
+        assert "seats live" in out
+        assert "dead: pod1-server-0" in out
+        assert "share cache:" in out
+
+    def test_cache_status_renders_from_the_metrics_dump(self, capsys):
+        code = cli_main(
+            [
+                "cache", "status", "--pods", "2", "--documents", "16",
+                "--cache-tier", "lru", "--l1-entries", "64",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "L1 (searcher-local" in out
+        assert "L2 (shared tier, policy lru)" in out
+        assert "hit rate" in out

@@ -156,10 +156,11 @@ class TestDeadlines:
         payload = _pack_request("pod0-server-0", request)
         name = b"pod0-server-0"
         assert payload.startswith(_LEN.pack(len(name)) + name)
-        dst, decoded, budget_us = _unpack_request(payload)
+        dst, decoded, budget_us, wire_trace = _unpack_request(payload)
         assert dst == "pod0-server-0"
         assert isinstance(decoded, ServerStatusRequest)
         assert budget_us is None
+        assert wire_trace is None
 
     def test_budget_rides_the_wire_and_round_trips(self):
         payload = _pack_request(
@@ -167,7 +168,7 @@ class TestDeadlines:
         )
         word = _LEN.unpack_from(payload)[0]
         assert word & DEADLINE_FLAG
-        dst, _request, budget_us = _unpack_request(payload)
+        dst, _request, budget_us, _trace = _unpack_request(payload)
         assert dst == "pod0-server-0"
         assert budget_us == 250_000
 
